@@ -1,0 +1,484 @@
+//! Srivastava-style *blocking* optimistic (a,b)-tree — the paper's
+//! `srivastava_abtree` comparator (Figure 6).
+//!
+//! Same structural rules as `flock_ds::abtree` (immutable key arrays,
+//! in-place child cells, copy-on-write node replacement, preemptive splits,
+//! relaxed deletes) but with raw test-and-test-and-set spin locks instead of
+//! Flock locks: no descriptors, no logging, no helping. This is the
+//! independent blocking implementation the paper compares its `abtree`
+//! against — sharing the node layout deliberately isolates the variable
+//! under test (the locking mechanism).
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+use flock_sync::TtasLock;
+
+use crate::BaselineMap;
+
+/// Maximum keys per node.
+pub const B: usize = 12;
+
+struct Node {
+    lock: TtasLock,
+    removed: AtomicBool,
+    is_leaf: bool,
+    len: usize,
+    keys: [u64; B],
+    vals: [u64; B],
+    children: [AtomicUsize; B + 1],
+}
+
+impl Node {
+    fn empty_children() -> [AtomicUsize; B + 1] {
+        std::array::from_fn(|_| AtomicUsize::new(0))
+    }
+
+    fn leaf(entries: &[(u64, u64)]) -> Self {
+        debug_assert!(entries.len() <= B);
+        let mut keys = [0; B];
+        let mut vals = [0; B];
+        for (i, (k, v)) in entries.iter().enumerate() {
+            keys[i] = *k;
+            vals[i] = *v;
+        }
+        Self {
+            lock: TtasLock::new(),
+            removed: AtomicBool::new(false),
+            is_leaf: true,
+            len: entries.len(),
+            keys,
+            vals,
+            children: Self::empty_children(),
+        }
+    }
+
+    fn internal(seps: &[u64], kids: &[*mut Node]) -> Self {
+        debug_assert_eq!(kids.len(), seps.len() + 1);
+        let mut keys = [0; B];
+        for (i, s) in seps.iter().enumerate() {
+            keys[i] = *s;
+        }
+        let children = std::array::from_fn(|i| {
+            AtomicUsize::new(if i < kids.len() { kids[i] as usize } else { 0 })
+        });
+        Self {
+            lock: TtasLock::new(),
+            removed: AtomicBool::new(false),
+            is_leaf: false,
+            len: seps.len(),
+            keys,
+            vals: [0; B],
+            children,
+        }
+    }
+
+    #[inline]
+    fn route(&self, k: u64) -> usize {
+        self.keys[..self.len].partition_point(|&s| s <= k)
+    }
+
+    #[inline]
+    fn find(&self, k: u64) -> Option<usize> {
+        self.keys[..self.len].iter().position(|&x| x == k)
+    }
+
+    fn leaf_entries(&self) -> Vec<(u64, u64)> {
+        (0..self.len).map(|i| (self.keys[i], self.vals[i])).collect()
+    }
+
+    fn separators(&self) -> Vec<u64> {
+        self.keys[..self.len].to_vec()
+    }
+
+    fn child_ptrs(&self) -> Vec<*mut Node> {
+        (0..=self.len)
+            .map(|i| self.children[i].load(Ordering::SeqCst) as *mut Node)
+            .collect()
+    }
+
+    #[inline]
+    fn is_full(&self) -> bool {
+        self.len == B
+    }
+}
+
+/// Blocking optimistic (a,b)-tree map.
+pub struct BlockingABTree {
+    anchor: *mut Node,
+}
+
+// SAFETY: spin locks guard mutation; epoch reclamation.
+unsafe impl Send for BlockingABTree {}
+unsafe impl Sync for BlockingABTree {}
+
+impl Default for BlockingABTree {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl BlockingABTree {
+    /// An empty tree.
+    pub fn new() -> Self {
+        let root = flock_epoch::alloc(Node::leaf(&[]));
+        let anchor = flock_epoch::alloc(Node::internal(&[], &[root]));
+        Self { anchor }
+    }
+
+    fn path_to(&self, k: u64) -> Vec<*mut Node> {
+        let mut path = vec![self.anchor];
+        // SAFETY: caller pinned.
+        let mut cur = unsafe { (*self.anchor).children[0].load(Ordering::SeqCst) } as *mut Node;
+        loop {
+            path.push(cur);
+            // SAFETY: pinned.
+            let n = unsafe { &*cur };
+            if n.is_leaf {
+                return path;
+            }
+            cur = n.children[n.route(k)].load(Ordering::SeqCst) as *mut Node;
+        }
+    }
+
+    /// Split full root under the anchor lock. Returns success.
+    fn split_root(&self, root: *mut Node) -> bool {
+        // SAFETY: pinned caller.
+        let a = unsafe { &*self.anchor };
+        let r = unsafe { &*root };
+        a.lock.acquire();
+        r.lock.acquire();
+        let ok = a.children[0].load(Ordering::SeqCst) == root as usize
+            && r.is_full()
+            && !r.removed.load(Ordering::SeqCst);
+        if ok {
+            let mid = r.len / 2;
+            let (sep, left_ptr, right_ptr);
+            if r.is_leaf {
+                let e = r.leaf_entries();
+                sep = e[mid].0;
+                left_ptr = flock_epoch::alloc(Node::leaf(&e[..mid]));
+                right_ptr = flock_epoch::alloc(Node::leaf(&e[mid..]));
+            } else {
+                let seps = r.separators();
+                let kids = r.child_ptrs();
+                sep = seps[mid];
+                left_ptr = flock_epoch::alloc(Node::internal(&seps[..mid], &kids[..=mid]));
+                right_ptr =
+                    flock_epoch::alloc(Node::internal(&seps[mid + 1..], &kids[mid + 1..]));
+            }
+            let new_root = flock_epoch::alloc(Node::internal(&[sep], &[left_ptr, right_ptr]));
+            r.removed.store(true, Ordering::SeqCst);
+            a.children[0].store(new_root as usize, Ordering::SeqCst);
+            // SAFETY: replaced above; unique retire under the locks.
+            unsafe { flock_epoch::retire(root) };
+        }
+        r.lock.release();
+        a.lock.release();
+        ok
+    }
+
+    /// Split full child `c` of `p` under `g`; returns success.
+    fn split_child(&self, g: *mut Node, p: *mut Node, c: *mut Node, k: u64) -> bool {
+        // SAFETY: pinned caller.
+        let (g, p, c) = unsafe { (&*g, &*p, &*c) };
+        g.lock.acquire();
+        p.lock.acquire();
+        c.lock.acquire();
+        let gi = g.route(k);
+        let pi = p.route(k);
+        let ok = !g.removed.load(Ordering::SeqCst)
+            && !p.removed.load(Ordering::SeqCst)
+            && !c.removed.load(Ordering::SeqCst)
+            && c.is_full()
+            && !p.is_full()
+            && g.children[gi].load(Ordering::SeqCst) == p as *const Node as usize
+            && p.children[pi].load(Ordering::SeqCst) == c as *const Node as usize;
+        if ok {
+            let mid = c.len / 2;
+            let (sep, left_ptr, right_ptr);
+            if c.is_leaf {
+                let e = c.leaf_entries();
+                sep = e[mid].0;
+                left_ptr = flock_epoch::alloc(Node::leaf(&e[..mid]));
+                right_ptr = flock_epoch::alloc(Node::leaf(&e[mid..]));
+            } else {
+                let seps = c.separators();
+                let kids = c.child_ptrs();
+                sep = seps[mid];
+                left_ptr = flock_epoch::alloc(Node::internal(&seps[..mid], &kids[..=mid]));
+                right_ptr =
+                    flock_epoch::alloc(Node::internal(&seps[mid + 1..], &kids[mid + 1..]));
+            }
+            let mut nseps = p.separators();
+            let mut nkids = p.child_ptrs();
+            nseps.insert(pi, sep);
+            nkids[pi] = left_ptr;
+            nkids.insert(pi + 1, right_ptr);
+            let new_p = flock_epoch::alloc(Node::internal(&nseps, &nkids));
+            p.removed.store(true, Ordering::SeqCst);
+            c.removed.store(true, Ordering::SeqCst);
+            g.children[gi].store(new_p as usize, Ordering::SeqCst);
+            // SAFETY: both replaced; unique retires under the locks.
+            unsafe {
+                flock_epoch::retire(p as *const Node as *mut Node);
+                flock_epoch::retire(c as *const Node as *mut Node);
+            }
+        }
+        c.lock.release();
+        p.lock.release();
+        g.lock.release();
+        ok
+    }
+
+    /// Insert; `false` if present.
+    pub fn insert(&self, k: u64, v: u64) -> bool {
+        let _g = flock_epoch::pin();
+        'restart: loop {
+            let path = self.path_to(k);
+            let leaf = *path.last().expect("leaf");
+            // SAFETY: pinned.
+            if unsafe { &*leaf }.find(k).is_some() {
+                return false;
+            }
+            // SAFETY: pinned.
+            if unsafe { &*path[1] }.is_full() {
+                self.split_root(path[1]);
+                continue 'restart;
+            }
+            for w in 2..path.len() {
+                // SAFETY: pinned.
+                if unsafe { &*path[w] }.is_full() {
+                    self.split_child(path[w - 2], path[w - 1], path[w], k);
+                    continue 'restart;
+                }
+            }
+            let parent = path[path.len() - 2];
+            // SAFETY: pinned.
+            let p = unsafe { &*parent };
+            p.lock.acquire();
+            let slot = p.route(k);
+            let l = unsafe { &*leaf };
+            let ok = !p.removed.load(Ordering::SeqCst)
+                && p.children[slot].load(Ordering::SeqCst) == leaf as usize
+                && l.find(k).is_none()
+                && !l.is_full();
+            if ok {
+                let mut entries = l.leaf_entries();
+                let pos = entries.partition_point(|&(ek, _)| ek < k);
+                entries.insert(pos, (k, v));
+                let newl = flock_epoch::alloc(Node::leaf(&entries));
+                p.children[slot].store(newl as usize, Ordering::SeqCst);
+                // SAFETY: replaced above; unique retire under the lock.
+                unsafe { flock_epoch::retire(leaf) };
+            }
+            p.lock.release();
+            if ok {
+                return true;
+            }
+            // Re-check for presence before retrying.
+            let path2 = self.path_to(k);
+            // SAFETY: pinned.
+            if unsafe { &**path2.last().expect("leaf") }.find(k).is_some() {
+                return false;
+            }
+        }
+    }
+
+    /// Remove; `false` if absent.
+    pub fn remove(&self, k: u64) -> bool {
+        let _g = flock_epoch::pin();
+        loop {
+            let path = self.path_to(k);
+            let leaf = *path.last().expect("leaf");
+            // SAFETY: pinned.
+            let l = unsafe { &*leaf };
+            if l.find(k).is_none() {
+                return false;
+            }
+            let parent = path[path.len() - 2];
+            // SAFETY: pinned.
+            let p = unsafe { &*parent };
+            if l.len > 1 || p.len == 0 {
+                p.lock.acquire();
+                let slot = p.route(k);
+                let ok = !p.removed.load(Ordering::SeqCst)
+                    && p.children[slot].load(Ordering::SeqCst) == leaf as usize
+                    && l.find(k).is_some();
+                if ok {
+                    let mut entries = l.leaf_entries();
+                    entries.remove(l.find(k).expect("validated"));
+                    let newl = flock_epoch::alloc(Node::leaf(&entries));
+                    p.children[slot].store(newl as usize, Ordering::SeqCst);
+                    // SAFETY: replaced above; unique retire under the lock.
+                    unsafe { flock_epoch::retire(leaf) };
+                }
+                p.lock.release();
+                if ok {
+                    return true;
+                }
+            } else {
+                let g = path[path.len() - 3];
+                // SAFETY: pinned.
+                let g = unsafe { &*g };
+                g.lock.acquire();
+                p.lock.acquire();
+                let gi = g.route(k);
+                let pi = p.route(k);
+                let ok = !g.removed.load(Ordering::SeqCst)
+                    && !p.removed.load(Ordering::SeqCst)
+                    && g.children[gi].load(Ordering::SeqCst) == parent as usize
+                    && p.children[pi].load(Ordering::SeqCst) == leaf as usize
+                    && l.len == 1
+                    && l.find(k).is_some();
+                if ok {
+                    let mut seps = p.separators();
+                    let mut kids = p.child_ptrs();
+                    kids.remove(pi);
+                    seps.remove(if pi == 0 { 0 } else { pi - 1 });
+                    let replacement = if seps.is_empty() {
+                        kids[0] as usize
+                    } else {
+                        flock_epoch::alloc(Node::internal(&seps, &kids)) as usize
+                    };
+                    p.removed.store(true, Ordering::SeqCst);
+                    g.children[gi].store(replacement, Ordering::SeqCst);
+                    // SAFETY: both unlinked; unique retires under the locks.
+                    unsafe {
+                        flock_epoch::retire(parent);
+                        flock_epoch::retire(leaf);
+                    }
+                }
+                p.lock.release();
+                g.lock.release();
+                if ok {
+                    return true;
+                }
+            }
+        }
+    }
+
+    /// Wait-free lookup.
+    pub fn get(&self, k: u64) -> Option<u64> {
+        let _g = flock_epoch::pin();
+        // SAFETY: pinned descent.
+        let mut cur = unsafe { (*self.anchor).children[0].load(Ordering::SeqCst) } as *mut Node;
+        loop {
+            // SAFETY: pinned.
+            let n = unsafe { &*cur };
+            if n.is_leaf {
+                return n.find(k).map(|i| n.vals[i]);
+            }
+            cur = n.children[n.route(k)].load(Ordering::SeqCst) as *mut Node;
+        }
+    }
+
+    /// Element count (O(n)).
+    pub fn len(&self) -> usize {
+        let _g = flock_epoch::pin();
+        // SAFETY: pinned walk.
+        unsafe { Self::count((*self.anchor).children[0].load(Ordering::SeqCst) as *mut Node) }
+    }
+
+    /// Is the tree empty?
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    unsafe fn count(n: *mut Node) -> usize {
+        // SAFETY: pinned per caller.
+        let node = unsafe { &*n };
+        if node.is_leaf {
+            node.len
+        } else {
+            (0..=node.len)
+                .map(|i| unsafe {
+                    Self::count(node.children[i].load(Ordering::SeqCst) as *mut Node)
+                })
+                .sum()
+        }
+    }
+}
+
+impl Drop for BlockingABTree {
+    fn drop(&mut self) {
+        // SAFETY: exclusive access.
+        unsafe fn free(n: *mut Node) {
+            if n.is_null() {
+                return;
+            }
+            // SAFETY: exclusive teardown.
+            unsafe {
+                if !(*n).is_leaf {
+                    for i in 0..=(*n).len {
+                        free((*n).children[i].load(Ordering::SeqCst) as *mut Node);
+                    }
+                }
+                flock_epoch::free_now(n);
+            }
+        }
+        // SAFETY: exclusive access.
+        unsafe {
+            free((*self.anchor).children[0].load(Ordering::SeqCst) as *mut Node);
+            flock_epoch::free_now(self.anchor);
+        }
+    }
+}
+
+impl BaselineMap for BlockingABTree {
+    fn insert(&self, key: u64, value: u64) -> bool {
+        BlockingABTree::insert(self, key, value)
+    }
+    fn remove(&self, key: u64) -> bool {
+        BlockingABTree::remove(self, key)
+    }
+    fn get(&self, key: u64) -> Option<u64> {
+        BlockingABTree::get(self, key)
+    }
+    fn name(&self) -> &'static str {
+        "srivastava_abtree"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil;
+
+    #[test]
+    fn basic_ops() {
+        let t = BlockingABTree::new();
+        assert!(t.insert(5, 50));
+        assert!(!t.insert(5, 51));
+        assert!(t.insert(3, 30));
+        assert_eq!(t.get(5), Some(50));
+        assert!(t.remove(5));
+        assert!(!t.remove(5));
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn grows_and_drains() {
+        let t = BlockingABTree::new();
+        for k in 0..2_000 {
+            assert!(t.insert(k, k * 3));
+        }
+        assert_eq!(t.len(), 2_000);
+        for k in 0..2_000 {
+            assert_eq!(t.get(k), Some(k * 3));
+            assert!(t.remove(k));
+        }
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn oracle() {
+        let t = BlockingABTree::new();
+        testutil::oracle_check(&t, 4_000, 512, 51);
+    }
+
+    #[test]
+    fn concurrent_partitioned() {
+        let t = BlockingABTree::new();
+        testutil::partition_stress(&t, 4, 1_500);
+    }
+}

@@ -1,0 +1,628 @@
+//! Ellen et al. non-blocking external BST (PODC 2010 design): cooperative
+//! updates through *Info records*.
+//!
+//! Each internal node carries an `update` word — a pointer to an Info
+//! record plus a 2-bit state (CLEAN / IFLAG / DFLAG / MARK). An insert
+//! flags the parent (IFLAG) with an IInfo describing the child swap; a
+//! delete flags the grandparent (DFLAG), marks the parent (MARK), then
+//! splices. Any thread that encounters a non-clean update word *helps* the
+//! recorded operation to completion before proceeding — the canonical
+//! hand-crafted helping protocol that the paper's general lock-free locks
+//! subsume.
+//!
+//! Reclamation: spliced nodes are retired through the epoch collector by
+//! the unique dchild-CAS winner. Info records are *not* reclaimed during
+//! the tree's lifetime: a Delete info is referenced from two update words
+//! (the owning grandparent and the marked parent), and stale helpers can
+//! hold update words arbitrarily long, so replaced records are parked on a
+//! per-tree garbage list and freed at drop. Update words also carry a
+//! 16-bit sequence stamp so a stale helper's CAS can never succeed
+//! spuriously.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use crate::BaselineMap;
+
+const CLEAN: usize = 0;
+const IFLAG: usize = 1;
+const DFLAG: usize = 2;
+const MARK: usize = 3;
+const STATE: usize = 3;
+/// Pointer bits of an update word (pointers fit 48 bits on supported
+/// targets; the low 2 bits carry the state).
+const PTR_MASK: usize = 0x0000_FFFF_FFFF_FFFC;
+/// High 16 bits: a sequence number bumped on every update-word transition.
+/// Info records are reclaimed through the epoch collector, so a *stale*
+/// helper can hold an update word whose embedded Info address has been
+/// freed and reused; the sequence stamp makes such a helper's CAS fail
+/// instead of succeeding spuriously (ABA).
+const SEQ_SHIFT: u32 = 48;
+
+#[inline]
+fn state(w: usize) -> usize {
+    w & STATE
+}
+
+#[inline]
+fn info_of(w: usize) -> *mut Info {
+    (w & PTR_MASK) as *mut Info
+}
+
+#[inline]
+fn seq_of(w: usize) -> usize {
+    w >> SEQ_SHIFT
+}
+
+/// Build the update word that replaces `prev`: new info + state, sequence
+/// bumped by one (mod 2^16).
+#[inline]
+fn next_word(prev: usize, info: *mut Info, st: usize) -> usize {
+    debug_assert_eq!(info as usize & !PTR_MASK, 0);
+    info as usize | st | (seq_of(prev).wrapping_add(1) << SEQ_SHIFT)
+}
+
+/// Sentinel-aware key: finite keys order below Inf1 below Inf2.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum KeyClass {
+    Finite(u64),
+    Inf1,
+    Inf2,
+}
+
+struct Node {
+    key: KeyClass,
+    value: u64,
+    is_leaf: bool,
+    left: AtomicUsize,
+    right: AtomicUsize,
+    /// Info pointer | state bits; coordinates updates at this internal.
+    update: AtomicUsize,
+}
+
+impl Node {
+    fn leaf(key: KeyClass, value: u64) -> Self {
+        Self {
+            key,
+            value,
+            is_leaf: true,
+            left: AtomicUsize::new(0),
+            right: AtomicUsize::new(0),
+            update: AtomicUsize::new(0),
+        }
+    }
+
+    fn internal(key: KeyClass, left: *mut Node, right: *mut Node) -> Self {
+        Self {
+            key,
+            value: 0,
+            is_leaf: false,
+            left: AtomicUsize::new(left as usize),
+            right: AtomicUsize::new(right as usize),
+            update: AtomicUsize::new(0),
+        }
+    }
+
+    #[inline]
+    fn child(&self, k: KeyClass) -> &AtomicUsize {
+        if k < self.key {
+            &self.left
+        } else {
+            &self.right
+        }
+    }
+}
+
+enum Info {
+    /// Swap `leaf` under `parent` for `new_internal`.
+    Insert {
+        parent: *mut Node,
+        leaf: *mut Node,
+        new_internal: *mut Node,
+    },
+    /// Splice `parent` + `leaf` out from under `gparent`.
+    Delete {
+        gparent: *mut Node,
+        parent: *mut Node,
+        leaf: *mut Node,
+        /// Parent's update word observed at flag time.
+        pupdate: usize,
+    },
+}
+
+/// Non-blocking external BST map (Ellen et al. style).
+pub struct EllenBst {
+    root: *mut Node,
+    /// Replaced Info records, freed only at drop. Deferring all Info
+    /// reclamation to teardown removes every use-after-free/ABA window on
+    /// update words by construction (an Info address is never reused while
+    /// the tree lives), at the cost of ~56 bytes per completed update until
+    /// the tree is dropped — fine for a benchmark baseline and simpler to
+    /// trust than a grace-period scheme for doubly-referenced records.
+    info_garbage: std::sync::Mutex<Vec<usize>>,
+}
+
+// SAFETY: CAS-based mutation; epoch reclamation.
+unsafe impl Send for EllenBst {}
+unsafe impl Sync for EllenBst {}
+
+impl Default for EllenBst {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+struct Search {
+    gparent: *mut Node,
+    parent: *mut Node,
+    leaf: *mut Node,
+    pupdate: usize,
+    gpupdate: usize,
+}
+
+impl EllenBst {
+    /// An empty tree.
+    pub fn new() -> Self {
+        let l1 = flock_epoch::alloc(Node::leaf(KeyClass::Inf1, 0));
+        let l2 = flock_epoch::alloc(Node::leaf(KeyClass::Inf2, 0));
+        let root = flock_epoch::alloc(Node::internal(KeyClass::Inf2, l1, l2));
+        Self {
+            root,
+            info_garbage: std::sync::Mutex::new(Vec::new()),
+        }
+    }
+
+    fn search(&self, k: KeyClass) -> Search {
+        let mut gparent = std::ptr::null_mut();
+        let mut gpupdate = 0;
+        let mut parent = self.root;
+        // SAFETY: caller pinned.
+        let mut pupdate = unsafe { &*parent }.update.load(Ordering::SeqCst);
+        let mut leaf = unsafe { &*parent }.child(k).load(Ordering::SeqCst) as *mut Node;
+        // SAFETY: pinned.
+        while !unsafe { &*leaf }.is_leaf {
+            gparent = parent;
+            gpupdate = pupdate;
+            parent = leaf;
+            // SAFETY: pinned.
+            pupdate = unsafe { &*parent }.update.load(Ordering::SeqCst);
+            leaf = unsafe { &*parent }.child(k).load(Ordering::SeqCst) as *mut Node;
+        }
+        Search {
+            gparent,
+            parent,
+            leaf,
+            pupdate,
+            gpupdate,
+        }
+    }
+
+    /// Help the operation recorded in update word `w` (non-clean).
+    fn help(&self, w: usize) {
+        match state(w) {
+            IFLAG => self.help_insert(info_of(w)),
+            MARK => self.help_marked(info_of(w)),
+            DFLAG => {
+                let _ = self.help_delete(info_of(w));
+            }
+            _ => {}
+        }
+    }
+
+    fn help_insert(&self, op: *mut Info) {
+        // SAFETY: op reachable from a flagged update word; pinned callers.
+        let Info::Insert {
+            parent,
+            leaf,
+            new_internal,
+        } = (unsafe { &*op })
+        else {
+            return;
+        };
+        // SAFETY: pinned.
+        let p = unsafe { &**parent };
+        // ichild: swing the child pointer from the old leaf.
+        let cell = if p.left.load(Ordering::SeqCst) == *leaf as usize {
+            Some(&p.left)
+        } else if p.right.load(Ordering::SeqCst) == *leaf as usize {
+            Some(&p.right)
+        } else {
+            None
+        };
+        if let Some(cell) = cell {
+            let _ = cell.compare_exchange(
+                *leaf as usize,
+                *new_internal as usize,
+                Ordering::SeqCst,
+                Ordering::SeqCst,
+            );
+        }
+        // Unflag: replace (op, IFLAG) with (op, CLEAN), bumping the seq.
+        let cur = p.update.load(Ordering::SeqCst);
+        if info_of(cur) == op && state(cur) == IFLAG {
+            let _ = p.update.compare_exchange(
+                cur,
+                next_word(cur, op, CLEAN),
+                Ordering::SeqCst,
+                Ordering::SeqCst,
+            );
+        }
+    }
+
+    /// Second phase of delete: parent is marked; splice it.
+    fn help_marked(&self, op: *mut Info) {
+        // SAFETY: as help_insert.
+        let Info::Delete {
+            gparent,
+            parent,
+            leaf,
+            ..
+        } = (unsafe { &*op })
+        else {
+            return;
+        };
+        // SAFETY: pinned.
+        let g = unsafe { &**gparent };
+        let p = unsafe { &**parent };
+        // Sibling of the victim leaf under parent.
+        let sibling = if p.left.load(Ordering::SeqCst) == *leaf as usize {
+            p.right.load(Ordering::SeqCst)
+        } else {
+            p.left.load(Ordering::SeqCst)
+        };
+        // dchild: replace parent with sibling under gparent.
+        let cell = if g.left.load(Ordering::SeqCst) == *parent as usize {
+            Some(&g.left)
+        } else if g.right.load(Ordering::SeqCst) == *parent as usize {
+            Some(&g.right)
+        } else {
+            None
+        };
+        if let Some(cell) = cell {
+            if cell
+                .compare_exchange(*parent as usize, sibling, Ordering::SeqCst, Ordering::SeqCst)
+                .is_ok()
+            {
+                // Unique winner: retire the spliced pair.
+                // SAFETY: both now unreachable; retired once.
+                unsafe {
+                    flock_epoch::retire(*parent);
+                    flock_epoch::retire(*leaf);
+                }
+            }
+        }
+        // Unflag the grandparent: (op, DFLAG) -> (op, CLEAN), seq bumped.
+        let cur = g.update.load(Ordering::SeqCst);
+        if info_of(cur) == op && state(cur) == DFLAG {
+            let _ = g.update.compare_exchange(
+                cur,
+                next_word(cur, op, CLEAN),
+                Ordering::SeqCst,
+                Ordering::SeqCst,
+            );
+        }
+    }
+
+    /// First phase of delete after DFLAG: mark the parent, then splice.
+    /// Returns false if the mark failed and the flag was backtracked.
+    fn help_delete(&self, op: *mut Info) -> bool {
+        // SAFETY: as help_insert.
+        let Info::Delete {
+            gparent,
+            parent,
+            pupdate,
+            ..
+        } = (unsafe { &*op })
+        else {
+            return false;
+        };
+        // SAFETY: pinned.
+        let p = unsafe { &**parent };
+        let res = p.update.compare_exchange(
+            *pupdate,
+            next_word(*pupdate, op, MARK),
+            Ordering::SeqCst,
+            Ordering::SeqCst,
+        );
+        match res {
+            Ok(_) => {
+                self.help_marked(op);
+                true
+            }
+            Err(cur) if info_of(cur) == op && state(cur) == MARK => {
+                // Someone already marked it for this op.
+                self.help_marked(op);
+                true
+            }
+            Err(cur) => {
+                // Parent busy with another operation: help it, then
+                // backtrack our flag so the tree does not wedge.
+                self.help(cur);
+                // SAFETY: pinned.
+                let g = unsafe { &**gparent };
+                let gcur = g.update.load(Ordering::SeqCst);
+                if info_of(gcur) == op && state(gcur) == DFLAG {
+                    let _ = g.update.compare_exchange(
+                        gcur,
+                        next_word(gcur, op, CLEAN),
+                        Ordering::SeqCst,
+                        Ordering::SeqCst,
+                    );
+                }
+                false
+            }
+        }
+    }
+
+    /// Flag-CAS an update word and retire the replaced (completed) info
+    /// record on success.
+    fn flag(&self, node: &Node, expected: usize, op: *mut Info, st: usize) -> bool {
+        if node
+            .update
+            .compare_exchange(
+                expected,
+                next_word(expected, op, st),
+                Ordering::SeqCst,
+                Ordering::SeqCst,
+            )
+            .is_ok()
+        {
+            let old = info_of(expected);
+            if !old.is_null() {
+                // `old` described a completed (CLEAN) operation; park it on
+                // the garbage list until drop (see `info_garbage`).
+                self.info_garbage
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .push(old as usize);
+            }
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Insert; `false` if present.
+    pub fn insert(&self, k: u64, v: u64) -> bool {
+        let kc = KeyClass::Finite(k);
+        let _g = flock_epoch::pin();
+        loop {
+            let s = self.search(kc);
+            // SAFETY: pinned.
+            let l = unsafe { &*s.leaf };
+            if l.key == kc {
+                return false;
+            }
+            if state(s.pupdate) != CLEAN {
+                self.help(s.pupdate);
+                continue;
+            }
+            let new_leaf = flock_epoch::alloc(Node::leaf(kc, v));
+            let leaf_key = l.key;
+            let new_internal = if kc < leaf_key {
+                flock_epoch::alloc(Node::internal(leaf_key, new_leaf, s.leaf))
+            } else {
+                flock_epoch::alloc(Node::internal(kc, s.leaf, new_leaf))
+            };
+            let op = flock_epoch::alloc(Info::Insert {
+                parent: s.parent,
+                leaf: s.leaf,
+                new_internal,
+            });
+            // SAFETY: pinned.
+            if self.flag(unsafe { &*s.parent }, s.pupdate, op, IFLAG) {
+                self.help_insert(op);
+                return true;
+            }
+            // Flag lost: nothing was published.
+            // SAFETY: all three are private allocations.
+            unsafe {
+                flock_epoch::free_now(op);
+                flock_epoch::free_now(new_internal);
+                flock_epoch::free_now(new_leaf);
+            }
+        }
+    }
+
+    /// Remove; `false` if absent.
+    pub fn remove(&self, k: u64) -> bool {
+        let kc = KeyClass::Finite(k);
+        let _g = flock_epoch::pin();
+        loop {
+            let s = self.search(kc);
+            // SAFETY: pinned.
+            if unsafe { &*s.leaf }.key != kc {
+                return false;
+            }
+            if state(s.gpupdate) != CLEAN {
+                self.help(s.gpupdate);
+                continue;
+            }
+            if state(s.pupdate) != CLEAN {
+                self.help(s.pupdate);
+                continue;
+            }
+            debug_assert!(!s.gparent.is_null(), "finite leaves sit at depth >= 2");
+            let op = flock_epoch::alloc(Info::Delete {
+                gparent: s.gparent,
+                parent: s.parent,
+                leaf: s.leaf,
+                pupdate: s.pupdate,
+            });
+            // SAFETY: pinned.
+            if self.flag(unsafe { &*s.gparent }, s.gpupdate, op, DFLAG) {
+                if self.help_delete(op) {
+                    return true;
+                }
+                // Backtracked: op stays reachable from stale words read by
+                // helpers until replaced; it was published, so it must go
+                // through the collector, which happens when the next flag
+                // replaces the CLEAN word. Nothing to do here.
+            } else {
+                // SAFETY: never published.
+                unsafe { flock_epoch::free_now(op) };
+            }
+        }
+    }
+
+    /// Lookup.
+    pub fn get(&self, k: u64) -> Option<u64> {
+        let kc = KeyClass::Finite(k);
+        let _g = flock_epoch::pin();
+        let s = self.search(kc);
+        // SAFETY: pinned.
+        let l = unsafe { &*s.leaf };
+        (l.key == kc).then_some(l.value)
+    }
+
+    /// Element count (O(n)).
+    pub fn len(&self) -> usize {
+        let _g = flock_epoch::pin();
+        // SAFETY: pinned walk.
+        unsafe { Self::count(self.root) }
+    }
+
+    /// Is the set empty?
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    unsafe fn count(n: *mut Node) -> usize {
+        // SAFETY: pinned per caller.
+        let node = unsafe { &*n };
+        if node.is_leaf {
+            return matches!(node.key, KeyClass::Finite(_)) as usize;
+        }
+        unsafe {
+            Self::count(node.left.load(Ordering::SeqCst) as *mut Node)
+                + Self::count(node.right.load(Ordering::SeqCst) as *mut Node)
+        }
+    }
+}
+
+impl Drop for EllenBst {
+    fn drop(&mut self) {
+        // SAFETY: exclusive access. An Info record is *owned* by the word
+        // it was installed on (the parent for Insert/IFLAG, the grandparent
+        // for Delete/DFLAG) and is retired by the flag-CAS that replaces it
+        // there; a MARK word holds a secondary reference to a Delete info
+        // owned elsewhere. Teardown therefore frees an info only through
+        // CLEAN/IFLAG/DFLAG words — freeing through MARK too would double
+        // free.
+        unsafe fn free(n: *mut Node) {
+            if n.is_null() {
+                return;
+            }
+            // SAFETY: exclusive teardown.
+            unsafe {
+                let u = (*n).update.load(Ordering::SeqCst);
+                let info = info_of(u);
+                if !info.is_null() && state(u) != MARK {
+                    flock_epoch::free_now(info);
+                }
+                if !(*n).is_leaf {
+                    free((*n).left.load(Ordering::SeqCst) as *mut Node);
+                    free((*n).right.load(Ordering::SeqCst) as *mut Node);
+                }
+                flock_epoch::free_now(n);
+            }
+        }
+        // SAFETY: exclusive access.
+        unsafe { free(self.root) };
+        for p in self
+            .info_garbage
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .drain(..)
+        {
+            // SAFETY: garbage entries were replaced in their owning update
+            // word exactly once and never freed elsewhere.
+            unsafe { flock_epoch::free_now(p as *mut Info) };
+        }
+    }
+}
+
+impl BaselineMap for EllenBst {
+    fn insert(&self, key: u64, value: u64) -> bool {
+        EllenBst::insert(self, key, value)
+    }
+    fn remove(&self, key: u64) -> bool {
+        EllenBst::remove(self, key)
+    }
+    fn get(&self, key: u64) -> Option<u64> {
+        EllenBst::get(self, key)
+    }
+    fn name(&self) -> &'static str {
+        "ellen"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil;
+
+    #[test]
+    fn basic_ops() {
+        let t = EllenBst::new();
+        assert!(t.is_empty());
+        assert!(t.insert(5, 50));
+        assert!(!t.insert(5, 51));
+        assert!(t.insert(3, 30));
+        assert!(t.insert(8, 80));
+        assert_eq!(t.get(5), Some(50));
+        assert!(t.remove(5));
+        assert!(!t.remove(5));
+        assert_eq!(t.get(5), None);
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn fill_and_drain() {
+        let t = EllenBst::new();
+        for k in 0..1_000 {
+            assert!(t.insert(k, k + 7));
+        }
+        for k in 0..1_000 {
+            assert_eq!(t.get(k), Some(k + 7));
+            assert!(t.remove(k));
+        }
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn oracle() {
+        let t = EllenBst::new();
+        testutil::oracle_check(&t, 4_000, 256, 61);
+    }
+
+    #[test]
+    fn concurrent_partitioned() {
+        let t = EllenBst::new();
+        testutil::partition_stress(&t, 4, 1_500);
+    }
+
+    #[test]
+    fn contended_tiny_keyspace() {
+        let t = EllenBst::new();
+        std::thread::scope(|s| {
+            for tid in 0..4u64 {
+                let t = &t;
+                s.spawn(move || {
+                    let mut state = tid + 1;
+                    for _ in 0..4_000 {
+                        state ^= state << 13;
+                        state ^= state >> 7;
+                        state ^= state << 17;
+                        let k = state % 8;
+                        if state % 2 == 0 {
+                            t.insert(k, k);
+                        } else {
+                            t.remove(k);
+                        }
+                    }
+                });
+            }
+        });
+        assert!(t.len() <= 8);
+    }
+}

@@ -1,0 +1,98 @@
+//! Criterion microbenchmarks of the Flock primitives: lock acquire/release
+//! in both modes, idempotent load/store, log commits, epoch pin, and the
+//! descriptor path. These quantify the per-operation overheads the paper
+//! attributes to lock-free mode (descriptor allocation + log commits).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::sync::Arc;
+
+use flock_core::{set_lock_mode, Lock, LockMode, Mutable};
+
+fn bench_mutable(c: &mut Criterion) {
+    set_lock_mode(LockMode::LockFree);
+    let m = Mutable::new(0u64);
+    c.bench_function("mutable_load_top_level", |b| {
+        b.iter(|| black_box(m.load()))
+    });
+    c.bench_function("mutable_store_top_level", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i + 1) & 0xFFFF_FFFF;
+            m.store(black_box(i));
+        })
+    });
+}
+
+fn bench_lock_modes(c: &mut Criterion) {
+    for (label, mode) in [
+        ("lock_free", LockMode::LockFree),
+        ("blocking", LockMode::Blocking),
+    ] {
+        set_lock_mode(mode);
+        let l = Arc::new(Lock::new());
+        let v = Arc::new(Mutable::new(0u64));
+        c.bench_function(&format!("uncontended_try_lock_{label}"), |b| {
+            b.iter(|| {
+                let v2 = Arc::clone(&v);
+                black_box(l.try_lock(move || {
+                    v2.store(v2.load() + 1);
+                    true
+                }))
+            })
+        });
+    }
+    set_lock_mode(LockMode::LockFree);
+}
+
+fn bench_nested_lock(c: &mut Criterion) {
+    set_lock_mode(LockMode::LockFree);
+    let outer = Arc::new(Lock::new());
+    let inner = Arc::new(Lock::new());
+    c.bench_function("nested_try_lock_lock_free", |b| {
+        b.iter(|| {
+            let i = Arc::clone(&inner);
+            black_box(outer.try_lock(move || i.try_lock(|| true)))
+        })
+    });
+}
+
+fn bench_epoch_pin(c: &mut Criterion) {
+    c.bench_function("epoch_pin_unpin", |b| {
+        b.iter(|| {
+            let g = flock_epoch::pin();
+            black_box(g.epoch())
+        })
+    });
+}
+
+fn bench_idempotent_alloc(c: &mut Criterion) {
+    set_lock_mode(LockMode::LockFree);
+    let l = Arc::new(Lock::new());
+    let slot: Arc<Mutable<*mut u64>> = Arc::new(Mutable::new(std::ptr::null_mut()));
+    c.bench_function("locked_alloc_retire_cycle", |b| {
+        b.iter(|| {
+            let s = Arc::clone(&slot);
+            l.try_lock(move || {
+                let old = s.load();
+                let fresh = flock_core::alloc(|| 1u64);
+                s.store(fresh);
+                if !old.is_null() {
+                    // SAFETY: old was unlinked by the store, under the lock.
+                    unsafe { flock_core::retire(old) };
+                }
+                true
+            })
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_mutable,
+    bench_lock_modes,
+    bench_nested_lock,
+    bench_epoch_pin,
+    bench_idempotent_alloc
+);
+criterion_main!(benches);

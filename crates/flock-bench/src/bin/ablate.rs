@@ -1,0 +1,64 @@
+//! Ablations of the §6 design choices, beyond the paper's figures:
+//!
+//! * **compare-and-compare-and-swap** on/off — the paper reports the
+//!   read-before-CAS is worth "sometimes a factor of two or more" under
+//!   high contention;
+//! * **descriptor reuse-if-unhelped** on/off — isolates the cost of
+//!   retiring every descriptor through the epoch collector;
+//! * **helping** on/off — with helping off, busy try-locks just fail
+//!   (forfeiting lock-freedom) — isolates what helping costs under
+//!   contention and what it buys under oversubscription.
+//!
+//! Workload: leaftree, small range, 50% updates, α = 0.99 (the paper's
+//! highest-contention point), at the full and oversubscribed thread counts.
+
+use flock_bench::{run_point, Report, Scale, Series};
+use flock_workload::Config;
+
+fn main() {
+    let scale = Scale::from_args();
+    let mut r = Report::new("ablations");
+    let cfg = Config {
+        threads: scale.full_threads,
+        key_range: scale.small_range,
+        update_percent: 50,
+        zipf_alpha: 0.99,
+        run_duration: scale.duration,
+        repeats: scale.repeats,
+        sparsify_keys: false,
+        seed: 8,
+    };
+    let series = Series::lf("leaftree");
+
+    for threads in [scale.full_threads, scale.oversub_threads] {
+        let cfg = Config {
+            threads,
+            ..cfg.clone()
+        };
+
+        println!("## threads = {threads}: baseline (all optimizations on)");
+        r.push(run_point(series, &cfg));
+
+        println!("## threads = {threads}: ccas off");
+        flock_sync::set_ccas_enabled(false);
+        let mut m = run_point(series, &cfg);
+        m.name = "leaftree-lf[no-ccas]";
+        r.push(m);
+        flock_sync::set_ccas_enabled(true);
+
+        println!("## threads = {threads}: descriptor reuse off");
+        flock_core::set_descriptor_reuse(false);
+        let mut m = run_point(series, &cfg);
+        m.name = "leaftree-lf[no-reuse]";
+        r.push(m);
+        flock_core::set_descriptor_reuse(true);
+
+        println!("## threads = {threads}: helping off");
+        flock_core::set_helping(false);
+        let mut m = run_point(series, &cfg);
+        m.name = "leaftree-lf[no-helping]";
+        r.push(m);
+        flock_core::set_helping(true);
+    }
+    r.write().expect("write results/ablations.csv");
+}

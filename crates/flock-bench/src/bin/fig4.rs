@@ -1,0 +1,36 @@
+//! Figure 4: try-lock vs strict lock on `leaftree`.
+//!
+//! Paper workload: 100K keys, 144 threads, 50% updates, zipfian α sweep
+//! {0, 0.75, 0.9, 0.99}; four series — trylock/strictlock × blocking/
+//! lock-free. Expected shape: try-lock ≥ strict lock everywhere, the gap
+//! growing with α, in both modes.
+
+use flock_bench::{run_point, Report, Scale, Series, ALPHAS};
+use flock_workload::Config;
+
+fn main() {
+    let scale = Scale::from_args();
+    let mut report = Report::new("fig4_try_vs_strict");
+    let series = [
+        Series::bl("leaftree"),
+        Series::lf("leaftree"),
+        Series::bl("leaftree-strict"),
+        Series::lf("leaftree-strict"),
+    ];
+    for alpha in ALPHAS {
+        for s in series {
+            let cfg = Config {
+                threads: scale.full_threads,
+                key_range: scale.small_range,
+                update_percent: 50,
+                zipf_alpha: alpha,
+                run_duration: scale.duration,
+                repeats: scale.repeats,
+                sparsify_keys: false,
+                seed: 4,
+            };
+            report.push(run_point(s, &cfg));
+        }
+    }
+    report.write().expect("write results/fig4_try_vs_strict.csv");
+}

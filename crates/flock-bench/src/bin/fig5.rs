@@ -1,0 +1,167 @@
+//! Figure 5 (a–h): binary trees under a wide range of workloads.
+//!
+//! Series: leaftree-bl, leaftree-lf (ours) vs natarajan + ellen (lock-free)
+//! and a Bronson-style blocking BST. Panels:
+//!
+//! * a: large range, 50% upd, α=.75, thread sweep
+//! * b: large range, full threads, α=.75, update sweep
+//! * c: large range, full threads, 50% upd, α sweep
+//! * d: large range, oversubscribed, 50% upd, α sweep
+//! * e: small range, 50% upd, α=.75, thread sweep
+//! * f: small range, full threads, α=.75, update sweep
+//! * g: small range, oversubscribed, 5% upd, α sweep
+//! * h: oversubscribed, 5% upd, α=.75, size sweep
+//!
+//! Run a single panel with `--panel <a..h>`; default runs all.
+
+use flock_bench::{run_point, Report, Scale, Series, ALPHAS, UPDATE_SWEEP};
+use flock_workload::Config;
+
+fn tree_series() -> Vec<Series> {
+    vec![
+        Series::bl("leaftree"),
+        Series::lf("leaftree"),
+        Series::base("natarajan"),
+        Series::base("ellen"),
+        Series::base("bronson_style_bst"),
+    ]
+}
+
+fn panel_arg() -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == "--panel")
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+fn main() {
+    let scale = Scale::from_args();
+    let panel = panel_arg();
+    let run = |p: &str| panel.as_deref().map(|sel| sel == p).unwrap_or(true);
+    let base_cfg = Config {
+        threads: scale.full_threads,
+        key_range: scale.large_range,
+        update_percent: 50,
+        zipf_alpha: 0.75,
+        run_duration: scale.duration,
+        repeats: scale.repeats,
+        sparsify_keys: false,
+        seed: 5,
+    };
+
+    if run("a") {
+        let mut r = Report::new("fig5a_large_thread_sweep");
+        for &t in &scale.thread_sweep {
+            for s in tree_series() {
+                r.push(run_point(s, &Config { threads: t, ..base_cfg.clone() }));
+            }
+        }
+        r.write().expect("write fig5a");
+    }
+    if run("b") {
+        let mut r = Report::new("fig5b_large_update_sweep");
+        for u in UPDATE_SWEEP {
+            for s in tree_series() {
+                r.push(run_point(s, &Config { update_percent: u, ..base_cfg.clone() }));
+            }
+        }
+        r.write().expect("write fig5b");
+    }
+    if run("c") {
+        let mut r = Report::new("fig5c_large_zipf_sweep");
+        for a in ALPHAS {
+            for s in tree_series() {
+                r.push(run_point(s, &Config { zipf_alpha: a, ..base_cfg.clone() }));
+            }
+        }
+        r.write().expect("write fig5c");
+    }
+    if run("d") {
+        let mut r = Report::new("fig5d_large_zipf_oversub");
+        for a in ALPHAS {
+            for s in tree_series() {
+                r.push(run_point(
+                    s,
+                    &Config {
+                        threads: scale.oversub_threads,
+                        zipf_alpha: a,
+                        ..base_cfg.clone()
+                    },
+                ));
+            }
+        }
+        r.write().expect("write fig5d");
+    }
+    if run("e") {
+        let mut r = Report::new("fig5e_small_thread_sweep");
+        for &t in &scale.thread_sweep {
+            for s in tree_series() {
+                r.push(run_point(
+                    s,
+                    &Config {
+                        threads: t,
+                        key_range: scale.small_range,
+                        ..base_cfg.clone()
+                    },
+                ));
+            }
+        }
+        r.write().expect("write fig5e");
+    }
+    if run("f") {
+        let mut r = Report::new("fig5f_small_update_sweep");
+        for u in UPDATE_SWEEP {
+            for s in tree_series() {
+                r.push(run_point(
+                    s,
+                    &Config {
+                        key_range: scale.small_range,
+                        update_percent: u,
+                        ..base_cfg.clone()
+                    },
+                ));
+            }
+        }
+        r.write().expect("write fig5f");
+    }
+    if run("g") {
+        let mut r = Report::new("fig5g_small_zipf_oversub");
+        for a in ALPHAS {
+            for s in tree_series() {
+                r.push(run_point(
+                    s,
+                    &Config {
+                        threads: scale.oversub_threads,
+                        key_range: scale.small_range,
+                        update_percent: 5,
+                        zipf_alpha: a,
+                        ..base_cfg.clone()
+                    },
+                ));
+            }
+        }
+        r.write().expect("write fig5g");
+    }
+    if run("h") {
+        let mut r = Report::new("fig5h_size_sweep_oversub");
+        let sizes: Vec<u64> = if std::env::args().any(|a| a == "--paper") {
+            vec![10_000, 100_000, 1_000_000, 10_000_000, 100_000_000]
+        } else {
+            vec![1_000, 10_000, 100_000, 1_000_000]
+        };
+        for range in sizes {
+            for s in tree_series() {
+                r.push(run_point(
+                    s,
+                    &Config {
+                        threads: scale.oversub_threads,
+                        key_range: range,
+                        update_percent: 5,
+                        ..base_cfg.clone()
+                    },
+                ));
+            }
+        }
+        r.write().expect("write fig5h");
+    }
+}

@@ -1,0 +1,82 @@
+//! Figure 6 (a, b): the other set data structures — arttree, leaftreap,
+//! hashtable, abtree (each blocking + lock-free) and the Srivastava-style
+//! blocking (a,b)-tree baseline.
+//!
+//! * a: large range, 50% upd, α=.75, thread sweep
+//! * b: large range, oversubscribed, 50% upd, α sweep
+//!
+//! The arttree runs with sparsified (hashed) keys, as in the paper.
+
+use flock_bench::{run_point, Report, Scale, Series, ALPHAS};
+use flock_workload::Config;
+
+fn series() -> Vec<Series> {
+    vec![
+        Series::bl("arttree"),
+        Series::lf("arttree"),
+        Series::bl("leaftreap"),
+        Series::lf("leaftreap"),
+        Series::bl("hashtable"),
+        Series::lf("hashtable"),
+        Series::bl("abtree"),
+        Series::lf("abtree"),
+        Series::base("srivastava_abtree"),
+    ]
+}
+
+fn main() {
+    let scale = Scale::from_args();
+    let panel = {
+        let args: Vec<String> = std::env::args().collect();
+        args.iter()
+            .position(|a| a == "--panel")
+            .and_then(|i| args.get(i + 1).cloned())
+    };
+    let run = |p: &str| panel.as_deref().map(|sel| sel == p).unwrap_or(true);
+    let base_cfg = Config {
+        threads: scale.full_threads,
+        key_range: scale.large_range,
+        update_percent: 50,
+        zipf_alpha: 0.75,
+        run_duration: scale.duration,
+        repeats: scale.repeats,
+        sparsify_keys: false,
+        seed: 6,
+    };
+
+    if run("a") {
+        let mut r = Report::new("fig6a_sets_thread_sweep");
+        for &t in &scale.thread_sweep {
+            for s in series() {
+                let sparsify = s.structure == "arttree";
+                r.push(run_point(
+                    s,
+                    &Config {
+                        threads: t,
+                        sparsify_keys: sparsify,
+                        ..base_cfg.clone()
+                    },
+                ));
+            }
+        }
+        r.write().expect("write fig6a");
+    }
+    if run("b") {
+        let mut r = Report::new("fig6b_sets_zipf_oversub");
+        for a in ALPHAS {
+            for s in series() {
+                let sparsify = s.structure == "arttree";
+                r.push(run_point(
+                    s,
+                    &Config {
+                        threads: scale.oversub_threads,
+                        zipf_alpha: a,
+                        sparsify_keys: sparsify,
+                        ..base_cfg.clone()
+                    },
+                ));
+            }
+        }
+        r.write().expect("write fig6b");
+    }
+}

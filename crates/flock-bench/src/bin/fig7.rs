@@ -1,0 +1,61 @@
+//! Figure 7 (a, b): singly and doubly linked lists.
+//!
+//! Series: harris_list, harris_list_opt (lock-free baselines),
+//! lazylist-{bl,lf} and dlist-{bl,lf} (ours).
+//!
+//! * a: full threads, 5% upd, α=.75, size sweep (paper: 10²–10⁴)
+//! * b: 100 keys, 5% upd, α=.75, thread sweep
+
+use flock_bench::{run_point, Report, Scale, Series};
+use flock_workload::Config;
+
+fn series() -> Vec<Series> {
+    vec![
+        Series::base("harris_list"),
+        Series::base("harris_list_opt"),
+        Series::bl("lazylist"),
+        Series::lf("lazylist"),
+        Series::bl("dlist"),
+        Series::lf("dlist"),
+    ]
+}
+
+fn main() {
+    let scale = Scale::from_args();
+    let panel = {
+        let args: Vec<String> = std::env::args().collect();
+        args.iter()
+            .position(|a| a == "--panel")
+            .and_then(|i| args.get(i + 1).cloned())
+    };
+    let run = |p: &str| panel.as_deref().map(|sel| sel == p).unwrap_or(true);
+    let base_cfg = Config {
+        threads: scale.full_threads,
+        key_range: 100,
+        update_percent: 5,
+        zipf_alpha: 0.75,
+        run_duration: scale.duration,
+        repeats: scale.repeats,
+        sparsify_keys: false,
+        seed: 7,
+    };
+
+    if run("a") {
+        let mut r = Report::new("fig7a_list_size_sweep");
+        for range in [100u64, 1_000, 10_000] {
+            for s in series() {
+                r.push(run_point(s, &Config { key_range: range, ..base_cfg.clone() }));
+            }
+        }
+        r.write().expect("write fig7a");
+    }
+    if run("b") {
+        let mut r = Report::new("fig7b_list_thread_sweep");
+        for &t in &scale.thread_sweep {
+            for s in series() {
+                r.push(run_point(s, &Config { threads: t, ..base_cfg.clone() }));
+            }
+        }
+        r.write().expect("write fig7b");
+    }
+}

@@ -1,0 +1,25 @@
+//! Run the full reproduction: every figure plus the ablations, writing
+//! `results/*.csv`. Pass `--paper` for the paper-scale parameters.
+//!
+//! This is a thin orchestrator: each figure also exists as its own binary
+//! (`fig4`, `fig5`, `fig6`, `fig7`, `ablate`) for selective reruns.
+
+use std::process::Command;
+
+fn main() {
+    let forward: Vec<String> = std::env::args().skip(1).collect();
+    let exe_dir = std::env::current_exe()
+        .expect("current exe")
+        .parent()
+        .expect("bin dir")
+        .to_path_buf();
+    for bin in ["fig4", "fig5", "fig6", "fig7", "ablate"] {
+        println!("===== running {bin} =====");
+        let status = Command::new(exe_dir.join(bin))
+            .args(&forward)
+            .status()
+            .unwrap_or_else(|e| panic!("failed to spawn {bin}: {e}"));
+        assert!(status.success(), "{bin} failed with {status}");
+    }
+    println!("===== done; see results/*.csv =====");
+}

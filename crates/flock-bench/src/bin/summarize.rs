@@ -1,0 +1,163 @@
+//! Summarize `results/*.csv` into the qualitative checks EXPERIMENTS.md
+//! records: lf/bl overhead without oversubscription, lf/bl advantage with
+//! oversubscription, try vs strict, and the baseline comparisons.
+
+use std::collections::BTreeMap;
+
+#[derive(Debug, Clone)]
+struct Row {
+    structure: String,
+    threads: usize,
+    key_range: u64,
+    update_percent: u32,
+    alpha: f64,
+    mops: f64,
+}
+
+fn load(file: &str) -> Vec<Row> {
+    let Ok(text) = std::fs::read_to_string(format!("results/{file}.csv")) else {
+        return Vec::new();
+    };
+    text.lines()
+        .skip(1)
+        .filter_map(|l| {
+            let f: Vec<&str> = l.split(',').collect();
+            Some(Row {
+                structure: f.first()?.to_string(),
+                threads: f.get(1)?.parse().ok()?,
+                key_range: f.get(2)?.parse().ok()?,
+                update_percent: f.get(3)?.parse().ok()?,
+                alpha: f.get(4)?.parse().ok()?,
+                mops: f.get(5)?.parse().ok()?,
+            })
+        })
+        .collect()
+}
+
+/// Geometric-mean ratio of `a` over `b` across matching configurations.
+fn ratio(rows: &[Row], a: &str, b: &str, pred: impl Fn(&Row) -> bool) -> Option<f64> {
+    let index = |name: &str| -> BTreeMap<(usize, u64, u32, u64), f64> {
+        rows.iter()
+            .filter(|r| r.structure == name && pred(r))
+            .map(|r| {
+                (
+                    (r.threads, r.key_range, r.update_percent, r.alpha.to_bits()),
+                    r.mops,
+                )
+            })
+            .collect()
+    };
+    let (ia, ib) = (index(a), index(b));
+    let mut log_sum = 0.0;
+    let mut n = 0;
+    for (k, va) in &ia {
+        if let Some(vb) = ib.get(k) {
+            if *vb > 0.0 && *va > 0.0 {
+                log_sum += (va / vb).ln();
+                n += 1;
+            }
+        }
+    }
+    (n > 0).then(|| (log_sum / n as f64).exp())
+}
+
+fn show(label: &str, r: Option<f64>) {
+    match r {
+        Some(v) => println!("  {label}: {v:.2}x"),
+        None => println!("  {label}: (no data)"),
+    }
+}
+
+fn main() {
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(2);
+
+    println!("== Figure 4 (try vs strict, leaftree, small range, 50% upd) ==");
+    let f4 = load("fig4_try_vs_strict");
+    show(
+        "trylock-bl / strictlock-bl (all alpha)",
+        ratio(&f4, "leaftree-bl", "leaftree-strict-bl", |_| true),
+    );
+    show(
+        "trylock-lf / strictlock-lf (all alpha)",
+        ratio(&f4, "leaftree-lf", "leaftree-strict-lf", |_| true),
+    );
+    show(
+        "trylock-bl / strictlock-bl (alpha=0.99)",
+        ratio(&f4, "leaftree-bl", "leaftree-strict-bl", |r| r.alpha > 0.98),
+    );
+
+    println!("== Figure 5 (trees): lf vs bl ==");
+    for (file, label) in [
+        ("fig5a_large_thread_sweep", "5a large thread sweep"),
+        ("fig5e_small_thread_sweep", "5e small thread sweep"),
+    ] {
+        let rows = load(file);
+        show(
+            &format!("{label}: lf/bl at <= cores"),
+            ratio(&rows, "leaftree-lf", "leaftree-bl", |r| r.threads <= cores),
+        );
+        show(
+            &format!("{label}: lf/bl oversubscribed"),
+            ratio(&rows, "leaftree-lf", "leaftree-bl", |r| r.threads > cores),
+        );
+    }
+    for (file, label) in [
+        ("fig5d_large_zipf_oversub", "5d large oversub zipf"),
+        ("fig5g_small_zipf_oversub", "5g small oversub zipf"),
+        ("fig5h_size_sweep_oversub", "5h size sweep oversub"),
+    ] {
+        let rows = load(file);
+        show(
+            &format!("{label}: lf/bl"),
+            ratio(&rows, "leaftree-lf", "leaftree-bl", |_| true),
+        );
+        show(
+            &format!("{label}: lf vs bronson-style"),
+            ratio(&rows, "leaftree-lf", "bronson_style_bst", |_| true),
+        );
+    }
+
+    println!("== Figure 6 (other sets): lf vs bl, oversubscribed ==");
+    let f6 = load("fig6b_sets_zipf_oversub");
+    for s in ["arttree", "leaftreap", "hashtable", "abtree"] {
+        show(
+            &format!("{s}: lf/bl"),
+            ratio(&f6, &format!("{s}-lf"), &format!("{s}-bl"), |_| true),
+        );
+    }
+    show(
+        "abtree-lf / srivastava_abtree",
+        ratio(&f6, "abtree-lf", "srivastava_abtree", |_| true),
+    );
+
+    println!("== Figure 7 (lists) ==");
+    let f7a = load("fig7a_list_size_sweep");
+    show(
+        "lazylist-lf / harris_list_opt",
+        ratio(&f7a, "lazylist-lf", "harris_list_opt", |_| true),
+    );
+    show(
+        "dlist-lf / lazylist-lf (back-pointer cost)",
+        ratio(&f7a, "dlist-lf", "lazylist-lf", |_| true),
+    );
+    let f7b = load("fig7b_list_thread_sweep");
+    show(
+        "7b small list: lazylist lf/bl (all threads)",
+        ratio(&f7b, "lazylist-lf", "lazylist-bl", |_| true),
+    );
+
+    println!("== Ablations (leaftree-lf, alpha=0.99) ==");
+    let ab = load("ablations");
+    show(
+        "baseline / no-ccas",
+        ratio(&ab, "leaftree-lf", "leaftree-lf[no-ccas]", |_| true),
+    );
+    show(
+        "baseline / no-reuse",
+        ratio(&ab, "leaftree-lf", "leaftree-lf[no-reuse]", |_| true),
+    );
+    show(
+        "baseline / no-helping",
+        ratio(&ab, "leaftree-lf", "leaftree-lf[no-helping]", |_| true),
+    );
+}

@@ -1,0 +1,306 @@
+//! # flock-bench — reproduction harness for every figure in the paper
+//!
+//! One binary per figure (`fig4`, `fig5`, `fig6`, `fig7`), an `ablate`
+//! binary for the §6 design-choice ablations, and a `reproduce` front-end
+//! that runs everything and writes `results/*.csv`.
+//!
+//! ## Scaling
+//!
+//! The paper's testbed is a 72-core (144-hyperthread) 4-socket Xeon with
+//! 1 TB of RAM; this harness defaults to a **quick** scale chosen relative
+//! to the host's core count (thread sweeps at 1×, 2×, 4× cores so the
+//! oversubscription phenomena still appear) and a reduced "large" key range
+//! (1M instead of 100M). `--paper` selects the paper's parameters verbatim.
+//! Absolute Mop/s are not comparable across machines; the *shape* of each
+//! series — who wins, where the blocking lines collapse — is what
+//! EXPERIMENTS.md records against the paper's figures.
+
+use std::time::Duration;
+
+use flock_baselines::BaselineMap;
+use flock_core::LockMode;
+use flock_ds::{
+    abtree::ABTree, arttree::ArtTree, dlist::DList, hashtable::HashTable, lazylist::LazyList,
+    leaftree::LeafTree, leaftreap::LeafTreap, ConcurrentMap,
+};
+use flock_workload::{BenchMap, Config, Measurement};
+
+/// Adapter: any Flock `ConcurrentMap` is a `BenchMap`.
+pub struct Flock<M: ConcurrentMap>(pub M);
+
+impl<M: ConcurrentMap> BenchMap for Flock<M> {
+    fn insert(&self, key: u64, value: u64) -> bool {
+        self.0.insert(key, value)
+    }
+    fn remove(&self, key: u64) -> bool {
+        self.0.remove(key)
+    }
+    fn get(&self, key: u64) -> Option<u64> {
+        self.0.get(key)
+    }
+    fn name(&self) -> &'static str {
+        self.0.name()
+    }
+}
+
+/// Adapter: any baseline is a `BenchMap`.
+pub struct Base<M: BaselineMap>(pub M);
+
+impl<M: BaselineMap> BenchMap for Base<M> {
+    fn insert(&self, key: u64, value: u64) -> bool {
+        self.0.insert(key, value)
+    }
+    fn remove(&self, key: u64) -> bool {
+        self.0.remove(key)
+    }
+    fn get(&self, key: u64) -> Option<u64> {
+        self.0.get(key)
+    }
+    fn name(&self) -> &'static str {
+        self.0.name()
+    }
+}
+
+/// A benchmarkable series: a structure plus the lock mode it runs under
+/// (baselines ignore the mode).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Series {
+    /// Registry name, e.g. `"leaftree"`, `"harris_list"`.
+    pub structure: &'static str,
+    /// Lock mode for Flock structures; `None` for baselines.
+    pub mode: Option<LockMode>,
+}
+
+impl Series {
+    /// Flock structure in lock-free mode (`-lf` suffix in reports).
+    pub fn lf(structure: &'static str) -> Self {
+        Self {
+            structure,
+            mode: Some(LockMode::LockFree),
+        }
+    }
+
+    /// Flock structure in blocking mode (`-bl` suffix in reports).
+    pub fn bl(structure: &'static str) -> Self {
+        Self {
+            structure,
+            mode: Some(LockMode::Blocking),
+        }
+    }
+
+    /// Baseline structure (mode-independent).
+    pub fn base(structure: &'static str) -> Self {
+        Self {
+            structure,
+            mode: None,
+        }
+    }
+
+    /// Display label, e.g. `leaftree-lf`.
+    pub fn label(&self) -> String {
+        match self.mode {
+            Some(LockMode::LockFree) => format!("{}-lf", self.structure),
+            Some(LockMode::Blocking) => format!("{}-bl", self.structure),
+            None => self.structure.to_string(),
+        }
+    }
+}
+
+/// Instantiate a structure by registry name, sized for `key_range`.
+pub fn make_map(structure: &str, key_range: u64) -> Box<dyn BenchMap> {
+    match structure {
+        "dlist" => Box::new(Flock(DList::new())),
+        "lazylist" => Box::new(Flock(LazyList::new())),
+        "hashtable" => Box::new(Flock(HashTable::with_capacity(key_range as usize))),
+        "leaftree" => Box::new(Flock(LeafTree::new())),
+        "leaftree-strict" => Box::new(Flock(LeafTree::new_strict())),
+        "leaftreap" => Box::new(Flock(LeafTreap::new())),
+        "abtree" => Box::new(Flock(ABTree::new())),
+        "arttree" => Box::new(Flock(ArtTree::new())),
+        "harris_list" => Box::new(Base(flock_baselines::HarrisList::new())),
+        "harris_list_opt" => Box::new(Base(flock_baselines::HarrisList::new_opt())),
+        "natarajan" => Box::new(Base(flock_baselines::NatarajanBst::new())),
+        "ellen" => Box::new(Base(flock_baselines::EllenBst::new())),
+        "bronson_style_bst" => Box::new(Base(flock_baselines::BlockingBst::new())),
+        "srivastava_abtree" => Box::new(Base(flock_baselines::BlockingABTree::new())),
+        other => panic!("unknown structure {other:?}"),
+    }
+}
+
+/// Scale parameters for a whole reproduction run.
+#[derive(Debug, Clone)]
+pub struct Scale {
+    /// "Large" key range (paper: 100M; quick: 1M).
+    pub large_range: u64,
+    /// "Small" key range (paper and quick: 100K).
+    pub small_range: u64,
+    /// Thread counts for thread sweeps (includes oversubscribed points).
+    pub thread_sweep: Vec<usize>,
+    /// Thread count standing in for the paper's 144 (all hyperthreads).
+    pub full_threads: usize,
+    /// Thread count standing in for the paper's 216 (1.5× oversubscribed).
+    pub oversub_threads: usize,
+    /// Per-run duration.
+    pub duration: Duration,
+    /// Timed repeats after warm-up.
+    pub repeats: usize,
+}
+
+impl Scale {
+    /// Quick scale relative to this host (default).
+    pub fn quick() -> Self {
+        let cores = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(2);
+        Self {
+            large_range: 1_000_000,
+            small_range: 100_000,
+            thread_sweep: vec![1, cores, 2 * cores, 4 * cores],
+            full_threads: cores,
+            oversub_threads: 2 * cores,
+            duration: Duration::from_millis(300),
+            repeats: 2,
+        }
+    }
+
+    /// The paper's parameters (needs a large machine and patience).
+    pub fn paper() -> Self {
+        Self {
+            large_range: 100_000_000,
+            small_range: 100_000,
+            thread_sweep: vec![1, 36, 72, 144, 216, 288],
+            full_threads: 144,
+            oversub_threads: 216,
+            duration: Duration::from_secs(3),
+            repeats: 3,
+        }
+    }
+
+    /// Parse `--paper` / `--quick` from argv.
+    pub fn from_args() -> Self {
+        if std::env::args().any(|a| a == "--paper") {
+            Self::paper()
+        } else {
+            Self::quick()
+        }
+    }
+}
+
+/// Run one series at one configuration; handles the global lock-mode switch
+/// (only while quiescent — the map is created fresh per run).
+pub fn run_point(series: Series, cfg: &Config) -> Measurement {
+    flock_core::set_lock_mode(series.mode.unwrap_or(LockMode::LockFree));
+    let map = make_map(series.structure, cfg.key_range);
+    let mut m = flock_workload::run_experiment(&*map, cfg);
+    drop(map);
+    flock_epoch::flush_all();
+    flock_core::set_lock_mode(LockMode::LockFree);
+    // Patch the label so lf/bl series are distinguishable in reports.
+    m.name = Box::leak(series.label().into_boxed_str());
+    m
+}
+
+/// Emit a CSV file under `results/` and echo rows to stdout.
+pub struct Report {
+    rows: Vec<Measurement>,
+    file: String,
+}
+
+impl Report {
+    /// New report writing to `results/<file>.csv`.
+    pub fn new(file: &str) -> Self {
+        println!("# {}", file);
+        println!("{}", Measurement::csv_header());
+        Self {
+            rows: Vec::new(),
+            file: file.to_string(),
+        }
+    }
+
+    /// Record and echo one measurement.
+    pub fn push(&mut self, m: Measurement) {
+        println!("{}", m.csv_row());
+        self.rows.push(m);
+    }
+
+    /// Write `results/<file>.csv`.
+    pub fn write(&self) -> std::io::Result<()> {
+        std::fs::create_dir_all("results")?;
+        let mut out = String::from(Measurement::csv_header());
+        out.push('\n');
+        for r in &self.rows {
+            out.push_str(&r.csv_row());
+            out.push('\n');
+        }
+        std::fs::write(format!("results/{}.csv", self.file), out)
+    }
+
+    /// Access the collected rows.
+    pub fn rows(&self) -> &[Measurement] {
+        &self.rows
+    }
+}
+
+/// The zipfian parameters every figure sweeps.
+pub const ALPHAS: [f64; 4] = [0.0, 0.75, 0.9, 0.99];
+/// The update percentages of Figure 5b/5f.
+pub const UPDATE_SWEEP: [u32; 4] = [0, 5, 10, 50];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_constructs_every_structure() {
+        for name in [
+            "dlist",
+            "lazylist",
+            "hashtable",
+            "leaftree",
+            "leaftree-strict",
+            "leaftreap",
+            "abtree",
+            "arttree",
+            "harris_list",
+            "harris_list_opt",
+            "natarajan",
+            "ellen",
+            "bronson_style_bst",
+            "srivastava_abtree",
+        ] {
+            let m = make_map(name, 1024);
+            assert!(m.insert(1, 2), "{name}");
+            assert_eq!(m.get(1), Some(2), "{name}");
+            assert!(m.remove(1), "{name}");
+        }
+    }
+
+    #[test]
+    fn series_labels() {
+        assert_eq!(Series::lf("leaftree").label(), "leaftree-lf");
+        assert_eq!(Series::bl("leaftree").label(), "leaftree-bl");
+        assert_eq!(Series::base("ellen").label(), "ellen");
+    }
+
+    #[test]
+    fn run_point_smoke() {
+        let cfg = Config {
+            threads: 2,
+            key_range: 512,
+            update_percent: 50,
+            zipf_alpha: 0.75,
+            run_duration: Duration::from_millis(20),
+            repeats: 1,
+            sparsify_keys: false,
+            seed: 3,
+        };
+        for s in [
+            Series::lf("leaftree"),
+            Series::bl("leaftree"),
+            Series::base("natarajan"),
+        ] {
+            let m = run_point(s, &cfg);
+            assert!(m.mops_mean > 0.0, "{}", m.name);
+        }
+    }
+}

@@ -1,0 +1,126 @@
+//! Ambient per-thread execution context: current log, position, descriptor.
+//!
+//! Mirrors the paper's process-local `log` and `position` variables
+//! (Algorithm 2, lines 4–6). `run` installs a descriptor's log, runs its
+//! thunk, and restores the previous context, which is what makes nested
+//! thunks work.
+
+use std::cell::Cell;
+
+use crate::descriptor::Descriptor;
+use crate::log::{LogBlock, EMPTY, LOG_BLOCK_ENTRIES};
+
+#[derive(Clone, Copy)]
+struct CtxState {
+    /// Current log block, null when not running a thunk.
+    block: *const LogBlock,
+    /// Position within the current block.
+    pos: usize,
+    /// Descriptor being run, null at top level.
+    descr: *const Descriptor,
+}
+
+const TOP_LEVEL: CtxState = CtxState {
+    block: std::ptr::null(),
+    pos: 0,
+    descr: std::ptr::null(),
+};
+
+thread_local! {
+    static CTX: Cell<CtxState> = const { Cell::new(TOP_LEVEL) };
+}
+
+/// Is the calling thread currently running a thunk (logging enabled)?
+#[inline]
+pub fn in_thunk() -> bool {
+    CTX.with(|c| !c.get().block.is_null())
+}
+
+/// The descriptor currently being run by this thread, if any.
+#[inline]
+pub(crate) fn current_descriptor() -> *const Descriptor {
+    CTX.with(|c| c.get().descr)
+}
+
+/// Commit `val` to the current thunk log, advancing the position.
+///
+/// Returns `(committed_value, was_first)`. Outside any thunk this is the
+/// paper's line 32 fast path: the input comes straight back with
+/// `was_first = true` and nothing is logged.
+#[inline]
+pub fn commit_raw(val: u64) -> (u64, bool) {
+    debug_assert_ne!(val, EMPTY, "cannot commit the EMPTY sentinel");
+    CTX.with(|c| {
+        let mut s = c.get();
+        if s.block.is_null() {
+            return (val, true);
+        }
+        // SAFETY: `s.block` points to the running descriptor's log, which is
+        // kept alive for at least as long as any thread can be running the
+        // thunk (epoch-protected or owner-held).
+        let mut block = unsafe { &*s.block };
+        if s.pos == LOG_BLOCK_ENTRIES {
+            let next = block.next_or_extend();
+            s.block = next;
+            s.pos = 0;
+            // SAFETY: `next_or_extend` returns a valid block in the same
+            // chain, protected by the same lifetime argument.
+            block = unsafe { &*next };
+        }
+        let (committed, first) = block.commit_at(s.pos, val);
+        s.pos += 1;
+        c.set(s);
+        (committed, first)
+    })
+}
+
+/// Run descriptor `d`'s thunk under its log (paper Algorithm 2, `run`).
+///
+/// Saves the caller's context, installs `d`'s log at position 0, runs the
+/// thunk, and restores the caller's context — even on unwind, so a panicking
+/// thunk does not poison the thread for unrelated operations.
+///
+/// # Safety
+///
+/// `d` must point to a live, initialized descriptor whose thunk and log stay
+/// valid for the duration of the call (owner-held, or epoch-protected after
+/// the helping protocol's revalidation).
+pub(crate) unsafe fn run(d: *const Descriptor) -> bool {
+    struct Restore(CtxState);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            CTX.with(|c| c.set(self.0));
+        }
+    }
+
+    let saved = CTX.with(|c| c.get());
+    let _restore = Restore(saved);
+    // SAFETY: caller guarantees `d` is live and initialized.
+    let dref = unsafe { &*d };
+    CTX.with(|c| {
+        c.set(CtxState {
+            block: dref.first_block() as *const LogBlock,
+            pos: 0,
+            descr: d,
+        })
+    });
+    dref.call_thunk()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn top_level_commit_passes_through() {
+        assert!(!in_thunk());
+        let (v, first) = commit_raw(123);
+        assert_eq!(v, 123);
+        assert!(first);
+    }
+
+    #[test]
+    fn top_level_has_no_descriptor() {
+        assert!(current_descriptor().is_null());
+    }
+}

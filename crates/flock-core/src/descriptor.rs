@@ -1,0 +1,419 @@
+//! Thunk descriptors: the unit of helping.
+//!
+//! A descriptor bundles a thunk (the critical-section closure), its shared
+//! log, a `done` flag, a `helped` flag and its birth epoch. Installing a
+//! descriptor on a lock word is how a thread "takes" a lock in lock-free
+//! mode; any contender can then run the descriptor to completion.
+//!
+//! ## Lifecycle (see DESIGN.md §3)
+//!
+//! * **Top-level** descriptors (created outside any thunk) belong to exactly
+//!   one thread. After the owning `try_lock` finishes, the owner reuses the
+//!   descriptor immediately if no helper ever touched it (`helped == false`,
+//!   the common case, §6 of the paper), and otherwise retires it through the
+//!   epoch collector.
+//! * **Nested** descriptors (created while running an outer thunk) are
+//!   created idempotently — all runners of the outer thunk share one — so no
+//!   single runner owns them: they are always retired idempotently through
+//!   the epoch collector and their `done`/`helped` flags stay sticky until
+//!   the memory is actually freed. This is what makes the raw `done` reads
+//!   in the lock algorithm divergence-free for replayers.
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+use crate::log::LogBlock;
+
+/// Maximum closure size stored inline in a descriptor; larger thunks spill to
+/// a `Box`. 88 bytes holds ~11 words of captures, comfortably covering the
+/// data-structure operations in `flock-ds`.
+const INLINE_BYTES: usize = 88;
+const INLINE_WORDS: usize = INLINE_BYTES / 8;
+
+/// Type-erased storage for a `Fn() -> bool + Send + Sync + 'static` closure.
+struct ThunkSlot {
+    buf: [std::mem::MaybeUninit<u64>; INLINE_WORDS],
+    /// Invokes the closure stored in `buf` (inline) or behind it (boxed).
+    call: Option<unsafe fn(*const u8) -> bool>,
+    /// Drops the closure in place.
+    drop_fn: Option<unsafe fn(*mut u8)>,
+}
+
+impl ThunkSlot {
+    const fn empty() -> Self {
+        Self {
+            buf: [std::mem::MaybeUninit::uninit(); INLINE_WORDS],
+            call: None,
+            drop_fn: None,
+        }
+    }
+
+    /// Store `f`, dropping any previous closure. Requires exclusive access
+    /// (descriptor not yet published, or past its grace period).
+    fn set<F: Fn() -> bool + Send + Sync + 'static>(&mut self, f: F) {
+        self.clear();
+        unsafe fn call_inline<F: Fn() -> bool>(p: *const u8) -> bool {
+            // SAFETY: `p` points at a valid `F` written by `set`.
+            (unsafe { &*p.cast::<F>() })()
+        }
+        unsafe fn drop_inline<F>(p: *mut u8) {
+            // SAFETY: exclusive access; `p` holds a valid `F`.
+            unsafe { std::ptr::drop_in_place(p.cast::<F>()) }
+        }
+        unsafe fn call_boxed(p: *const u8) -> bool {
+            // SAFETY: `p` points at the Box<dyn Fn...> written by `set`.
+            (unsafe { &*p.cast::<Box<dyn Fn() -> bool + Send + Sync>>() })()
+        }
+        unsafe fn drop_boxed(p: *mut u8) {
+            // SAFETY: exclusive access; `p` holds a valid Box<dyn Fn...>.
+            unsafe { std::ptr::drop_in_place(p.cast::<Box<dyn Fn() -> bool + Send + Sync>>()) }
+        }
+
+        if std::mem::size_of::<F>() <= INLINE_BYTES && std::mem::align_of::<F>() <= 8 {
+            // SAFETY: size/align checked; buf is exclusively ours.
+            unsafe {
+                std::ptr::write(self.buf.as_mut_ptr().cast::<F>(), f);
+            }
+            self.call = Some(call_inline::<F>);
+            self.drop_fn = Some(drop_inline::<F>);
+        } else {
+            let boxed: Box<dyn Fn() -> bool + Send + Sync> = Box::new(f);
+            // SAFETY: Box<dyn _> is two words, fits the 11-word buffer.
+            unsafe {
+                std::ptr::write(
+                    self.buf.as_mut_ptr().cast::<Box<dyn Fn() -> bool + Send + Sync>>(),
+                    boxed,
+                );
+            }
+            self.call = Some(call_boxed);
+            self.drop_fn = Some(drop_boxed);
+        }
+    }
+
+    /// Invoke the stored closure. May be called concurrently by many threads
+    /// (the closure is `Fn + Sync`).
+    #[inline]
+    fn call(&self) -> bool {
+        let call = self.call.expect("descriptor thunk called before set");
+        // SAFETY: `call` was installed together with a valid closure in
+        // `buf`, and publication of the descriptor pointer (SeqCst CAS)
+        // happens-after `set`.
+        unsafe { call(self.buf.as_ptr().cast::<u8>()) }
+    }
+
+    /// Drop the stored closure, if any. Requires exclusive access.
+    fn clear(&mut self) {
+        if let Some(d) = self.drop_fn.take() {
+            // SAFETY: exclusive access, closure valid, dropped once.
+            unsafe { d(self.buf.as_mut_ptr().cast::<u8>()) };
+        }
+        self.call = None;
+    }
+}
+
+impl Drop for ThunkSlot {
+    fn drop(&mut self) {
+        self.clear();
+    }
+}
+
+/// A helping descriptor (paper Algorithm 2's `descriptor` struct, plus the
+/// implementation fields from §6).
+pub struct Descriptor {
+    thunk: ThunkSlot,
+    first_block: LogBlock,
+    /// Set (sticky) once any run of the thunk completes.
+    done: AtomicBool,
+    /// Set by any thread that intends to help this descriptor; an unhelped
+    /// top-level descriptor can be reused without a grace period.
+    helped: AtomicBool,
+    /// Epoch reserved by the creating operation; helpers adopt it.
+    birth_epoch: AtomicU64,
+    /// True when the descriptor was created while running another thunk.
+    nested: bool,
+}
+
+// SAFETY: descriptors are shared across helper threads by design. The thunk
+// is `Send + Sync`; flags and log are atomics; `thunk`/`nested` are written
+// only before publication or with exclusive access (pool reuse / drop).
+unsafe impl Send for Descriptor {}
+unsafe impl Sync for Descriptor {}
+
+impl Descriptor {
+    fn new() -> Self {
+        Self {
+            thunk: ThunkSlot::empty(),
+            first_block: LogBlock::new(),
+            done: AtomicBool::new(false),
+            helped: AtomicBool::new(false),
+            birth_epoch: AtomicU64::new(0),
+            nested: false,
+        }
+    }
+
+    pub(crate) fn first_block(&self) -> &LogBlock {
+        &self.first_block
+    }
+
+    pub(crate) fn call_thunk(&self) -> bool {
+        self.thunk.call()
+    }
+
+    pub(crate) fn is_done(&self) -> bool {
+        self.done.load(Ordering::SeqCst)
+    }
+
+    pub(crate) fn set_done(&self) {
+        // Update-once location: a plain store is idempotent (paper §6,
+        // "Constants and Update-once Locations").
+        self.done.store(true, Ordering::SeqCst);
+    }
+
+    pub(crate) fn was_helped(&self) -> bool {
+        self.helped.load(Ordering::SeqCst)
+    }
+
+    pub(crate) fn mark_helped(&self) {
+        self.helped.store(true, Ordering::SeqCst);
+    }
+
+    pub(crate) fn birth_epoch(&self) -> u64 {
+        self.birth_epoch.load(Ordering::SeqCst)
+    }
+
+    #[allow(dead_code)] // diagnostic accessor, used by tests
+    pub(crate) fn is_nested(&self) -> bool {
+        self.nested
+    }
+}
+
+/// Per-thread pool of top-level descriptors (paper §6: "if a descriptor is
+/// never helped, which is the common case, then it can be reused immediately
+/// instead of being retired").
+const POOL_CAP: usize = 32;
+
+/// Global switch for the reuse-if-unhelped optimization (ablation hook):
+/// when disabled, every top-level descriptor is retired through the epoch
+/// collector. Not meant to be toggled while operations run.
+static REUSE_ENABLED: std::sync::atomic::AtomicBool = std::sync::atomic::AtomicBool::new(true);
+
+/// Enable/disable descriptor reuse (ablation hook).
+pub fn set_descriptor_reuse(enabled: bool) {
+    REUSE_ENABLED.store(enabled, Ordering::SeqCst);
+}
+
+fn reuse_enabled() -> bool {
+    REUSE_ENABLED.load(Ordering::Relaxed)
+}
+
+/// Once a descriptor has been published (installed on a lock word), a stale
+/// helper that read the old lock word may still write its `helped` flag at
+/// any later time, even after the descriptor was recycled. Such writes are
+/// harmless on *live* memory (they at worst force the next incarnation down
+/// the conservative retire path), so published descriptors may be pooled —
+/// but they must never be immediately *freed*: when they leave the pool
+/// (overflow or thread exit) they go through the epoch collector.
+struct Pool {
+    items: RefCell<Vec<Box<Descriptor>>>,
+}
+
+impl Drop for Pool {
+    fn drop(&mut self) {
+        for d in self.items.borrow_mut().drain(..) {
+            let raw = Box::into_raw(d);
+            flock_epoch::debug_track_alloc(raw);
+            // SAFETY: pool entries were fully reset and are reachable only
+            // via possible stale-helper pointers; the orphan retire defers
+            // the free past any pinned helper. TLS-destructor-safe variant.
+            unsafe { flock_epoch::retire_orphan(raw) };
+        }
+    }
+}
+
+thread_local! {
+    static POOL: Pool = const {
+        Pool {
+            items: RefCell::new(Vec::new()),
+        }
+    };
+}
+
+/// Create (or recycle) a descriptor holding `f`.
+///
+/// The returned pointer is fully initialized but not yet published; the
+/// caller publishes it by CASing it into a lock word or committing it to a
+/// log, both of which order the initialization before any helper's reads.
+pub(crate) fn create_descriptor<F: Fn() -> bool + Send + Sync + 'static>(
+    f: F,
+    birth_epoch: u64,
+    nested: bool,
+) -> *mut Descriptor {
+    let mut d = POOL
+        .with(|p| p.items.borrow_mut().pop())
+        .unwrap_or_else(|| Box::new(Descriptor::new()));
+    // A stale helper of a previous incarnation may have marked the pooled
+    // descriptor `helped` after its reset; clear both flags here, *before*
+    // publication, so the marks cannot leak into this incarnation's checks.
+    d.done.store(false, Ordering::Relaxed);
+    d.helped.store(false, Ordering::Relaxed);
+    d.thunk.set(f);
+    d.birth_epoch.store(birth_epoch, Ordering::SeqCst);
+    d.nested = nested;
+    let raw = Box::into_raw(d);
+    flock_epoch::debug_track_alloc(raw);
+    raw
+}
+
+/// Return an **unshared** descriptor to the pool (install CAM failed at top
+/// level, or the idempotent-create race was lost): no other thread has seen
+/// it, so it can be reset and reused with no grace period.
+///
+/// # Safety
+///
+/// `d` must come from [`create_descriptor`] and must never have been
+/// published (not CASed into a lock word, not committed to a log).
+pub(crate) unsafe fn recycle_unshared(d: *mut Descriptor) {
+    flock_epoch::debug_track_dealloc(d, "descriptor-recycle");
+    // SAFETY: unshared per contract, so we have exclusive access.
+    let mut boxed = unsafe { Box::from_raw(d) };
+    boxed.thunk.clear();
+    // SAFETY: exclusive access.
+    unsafe { boxed.first_block.reset() };
+    boxed.done.store(false, Ordering::Relaxed);
+    boxed.helped.store(false, Ordering::Relaxed);
+    POOL.with(|p| {
+        let mut pool = p.items.borrow_mut();
+        if pool.len() < POOL_CAP {
+            pool.push(boxed);
+        }
+        // else: drop — safe to free immediately since never published
+        // (frees log extensions + closure).
+    });
+}
+
+/// Dispose of a finished **top-level** descriptor after its `try_lock`
+/// completed: reuse immediately if never helped, otherwise retire through the
+/// epoch collector.
+///
+/// # Safety
+///
+/// Caller must be the unique owner thread of this top-level descriptor, the
+/// lock word must no longer reference it, and the calling thread must be
+/// pinned (for the retire path).
+pub(crate) unsafe fn dispose_top_level(d: *mut Descriptor) {
+    // SAFETY: `d` is valid; owner-only call.
+    let helped = unsafe { (*d).was_helped() };
+    if !helped && reuse_enabled() {
+        // No helper committed to running this descriptor before the lock
+        // word stopped referencing it (the helped→revalidate protocol
+        // guarantees any running helper's mark is visible by now), so it
+        // can be reused. A *stale* helper may still mark `helped` later;
+        // that is why published descriptors never leave the pool through a
+        // plain free (see `Pool`).
+        flock_epoch::debug_track_dealloc(d, "descriptor-recycle");
+        // SAFETY: ownership argument above; see DESIGN.md §3.
+        let mut boxed = unsafe { Box::from_raw(d) };
+        boxed.thunk.clear();
+        // SAFETY: no running helper (argument above); stale helpers never
+        // touch the log.
+        unsafe { boxed.first_block.reset() };
+        boxed.done.store(false, Ordering::Relaxed);
+        boxed.helped.store(false, Ordering::Relaxed);
+        POOL.with(|p| {
+            let mut pool = p.items.borrow_mut();
+            if pool.len() < POOL_CAP {
+                pool.push(boxed);
+            } else {
+                // Pool full: must not free immediately (stale helpers), so
+                // hand the memory to the collector instead.
+                let raw = Box::into_raw(boxed);
+                flock_epoch::debug_track_alloc(raw);
+                // SAFETY: unreferenced by the lock word; retired once.
+                unsafe { flock_epoch::retire(raw) };
+            }
+        });
+    } else {
+        // SAFETY: pinned per contract; descriptor unreachable from the lock
+        // word; stray helpers hold epoch protection.
+        unsafe { flock_epoch::retire(d) };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+    use std::sync::Arc;
+
+    #[test]
+    fn inline_thunk_roundtrip() {
+        let x = 41u64;
+        let d = create_descriptor(move || x + 1 == 42, 0, false);
+        // SAFETY: d is live and unshared.
+        unsafe {
+            assert!((*d).call_thunk());
+            assert!(!(*d).is_done());
+            recycle_unshared(d);
+        }
+    }
+
+    #[test]
+    fn big_thunk_spills_to_box() {
+        let big = [7u64; 64]; // 512 bytes of captures
+        let d = create_descriptor(move || big.iter().sum::<u64>() == 7 * 64, 0, false);
+        // SAFETY: d is live and unshared.
+        unsafe {
+            assert!((*d).call_thunk());
+            recycle_unshared(d);
+        }
+    }
+
+    #[test]
+    fn closure_dropped_on_recycle() {
+        struct Probe(Arc<AtomicUsize>);
+        impl Drop for Probe {
+            fn drop(&mut self) {
+                self.0.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        let drops = Arc::new(AtomicUsize::new(0));
+        let probe = Probe(Arc::clone(&drops));
+        let d = create_descriptor(move || !std::ptr::eq(&probe.0, std::ptr::null()), 0, false);
+        // SAFETY: d is live and unshared.
+        unsafe { recycle_unshared(d) };
+        assert_eq!(drops.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn pool_reuses_descriptors() {
+        let d1 = create_descriptor(|| true, 0, false);
+        let addr1 = d1 as usize;
+        // SAFETY: unshared.
+        unsafe { recycle_unshared(d1) };
+        let d2 = create_descriptor(|| false, 0, false);
+        assert_eq!(d2 as usize, addr1, "pool should hand back the same slab");
+        // SAFETY: unshared.
+        unsafe { recycle_unshared(d2) };
+    }
+
+    #[test]
+    fn flags_roundtrip() {
+        let d = create_descriptor(|| true, 5, true);
+        // SAFETY: d is live and unshared.
+        unsafe {
+            assert_eq!((*d).birth_epoch(), 5);
+            assert!((*d).is_nested());
+            assert!(!(*d).was_helped());
+            (*d).mark_helped();
+            assert!((*d).was_helped());
+            (*d).set_done();
+            assert!((*d).is_done());
+            // nested descriptors are never pool-recycled in production, but
+            // the unshared path is fine for a test teardown since nothing
+            // else saw it. Reset flags manually to satisfy the debug assert.
+            (*d).done.store(false, Ordering::SeqCst);
+            (*d).helped.store(false, Ordering::SeqCst);
+            recycle_unshared(d);
+        }
+    }
+}

@@ -1,0 +1,554 @@
+//! Lock-free locks (paper §4, Algorithm 3) plus the blocking mode.
+//!
+//! A [`Lock`] is a single `Mutable` word holding a descriptor pointer and a
+//! locked bit. `try_lock` in lock-free mode:
+//!
+//! 1. Load the lock word (idempotently — this nests).
+//! 2. If unlocked: create a descriptor for the thunk, CAM it in, re-load.
+//!    If we got in (or got helped to completion), run-and-unlock ourselves
+//!    and return the thunk's result. Otherwise help whoever is there and
+//!    report failure.
+//! 3. If locked: help the installed descriptor, then report failure.
+//!
+//! Helping wraps `run` in the *adopt → revalidate → run* protocol: mark the
+//! descriptor helped, adopt its epoch, re-read the lock word raw, and only
+//! run if the descriptor is still installed. The unlock CAM is executed
+//! unconditionally through the idempotent path so that replayers of an
+//! enclosing thunk consume identical log positions regardless of which
+//! branch they take (DESIGN.md §3).
+//!
+//! In blocking mode the same lock word acts as a test-and-test-and-set bit
+//! (with the descriptor pointer left null), no descriptor is created, and
+//! nothing is logged — the paper's runtime-switchable blocking mode.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+
+use flock_sync::pack::{next_tag, pack, unpack_tag, unpack_val, PackedValue};
+use flock_sync::Backoff;
+
+use crate::ctx;
+use crate::descriptor::{self, Descriptor};
+use crate::idemp;
+
+/// Which implementation [`Lock`] operations use, switchable at runtime.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LockMode {
+    /// Descriptor-based lock-free locks with helping and logging.
+    LockFree,
+    /// Plain test-and-test-and-set spinning; no helping, no logging.
+    Blocking,
+}
+
+static MODE: AtomicU8 = AtomicU8::new(0);
+
+/// Global switch for helping (ablation hook): when disabled, a lock-free
+/// `try_lock` that finds the lock taken simply fails without running the
+/// holder's thunk. This forfeits lock-freedom and exists only to measure
+/// what helping costs/buys. Not meant to be toggled while operations run.
+static HELPING: std::sync::atomic::AtomicBool = std::sync::atomic::AtomicBool::new(true);
+
+/// Enable/disable helping (ablation hook).
+pub fn set_helping(enabled: bool) {
+    HELPING.store(enabled, Ordering::SeqCst);
+}
+
+fn helping_enabled() -> bool {
+    HELPING.load(Ordering::Relaxed)
+}
+
+/// Select the global lock mode.
+///
+/// Must only be changed while no Flock operations are in flight (e.g.
+/// between benchmark phases); mixing modes on a live lock is not supported,
+/// matching the C++ library's runtime flag.
+pub fn set_lock_mode(mode: LockMode) {
+    MODE.store(mode as u8, Ordering::SeqCst);
+}
+
+/// The current global lock mode.
+#[inline]
+pub fn lock_mode() -> LockMode {
+    if MODE.load(Ordering::Relaxed) == 0 {
+        LockMode::LockFree
+    } else {
+        LockMode::Blocking
+    }
+}
+
+impl From<LockMode> for u8 {
+    fn from(m: LockMode) -> u8 {
+        match m {
+            LockMode::LockFree => 0,
+            LockMode::Blocking => 1,
+        }
+    }
+}
+
+/// The lock word: a descriptor pointer with the low bit as the locked flag
+/// (descriptors are at least 8-byte aligned, so the bit is free).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub(crate) struct LockWord {
+    bits: u64,
+}
+
+const LOCKED_BIT: u64 = 1;
+
+impl LockWord {
+    pub(crate) const UNLOCKED_EMPTY: LockWord = LockWord { bits: 0 };
+
+    pub(crate) fn locked(d: *const Descriptor) -> Self {
+        debug_assert_eq!(d as usize & 1, 0);
+        LockWord {
+            bits: d as u64 | LOCKED_BIT,
+        }
+    }
+
+    pub(crate) fn is_locked(self) -> bool {
+        self.bits & LOCKED_BIT != 0
+    }
+
+    pub(crate) fn descriptor(self) -> *const Descriptor {
+        (self.bits & !LOCKED_BIT) as usize as *const Descriptor
+    }
+}
+
+// SAFETY: bits is a pointer (≤48 bits on supported platforms, debug-checked
+// by the pointer PackedValue impls) plus one flag bit; round-trips exactly.
+unsafe impl PackedValue for LockWord {
+    #[inline(always)]
+    fn to_bits(self) -> u64 {
+        debug_assert!(self.bits <= flock_sync::VAL_MASK);
+        self.bits
+    }
+    #[inline(always)]
+    fn from_bits(bits: u64) -> Self {
+        LockWord { bits }
+    }
+}
+
+/// A Flock lock.
+///
+/// One word; create with [`Lock::new`] and protect critical sections with
+/// [`Lock::try_lock`] (preferred for optimistic fine-grained locking) or
+/// [`Lock::lock`] (a strict lock that waits). Critical sections are *thunks*:
+/// `Fn() -> bool` closures capturing their environment by value.
+pub struct Lock {
+    word: crate::mutable::Mutable<LockWord>,
+}
+
+impl Default for Lock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for Lock {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Lock")
+            .field("locked", &self.is_locked())
+            .finish()
+    }
+}
+
+impl Lock {
+    /// A new, unlocked lock.
+    pub fn new() -> Self {
+        Self {
+            word: crate::mutable::Mutable::new(LockWord::UNLOCKED_EMPTY),
+        }
+    }
+
+    /// Is the lock currently held? (Racy observation, for diagnostics.)
+    pub fn is_locked(&self) -> bool {
+        LockWord::from_bits(unpack_val(self.word.raw_packed())).is_locked()
+    }
+
+    /// Attempt to acquire the lock and run `thunk` under it.
+    ///
+    /// Returns `thunk`'s result if the lock was acquired, and `false` if the
+    /// lock was busy (after helping the current holder in lock-free mode).
+    /// Thunks capture by value (`move`) and may nest `try_lock` calls on
+    /// locks that are smaller in the locking order.
+    pub fn try_lock<F>(&self, thunk: F) -> bool
+    where
+        F: Fn() -> bool + Send + Sync + 'static,
+    {
+        match lock_mode() {
+            LockMode::Blocking => self.blocking_try_lock(thunk),
+            LockMode::LockFree => self.lock_free_try_lock(thunk),
+        }
+    }
+
+    /// Acquire the lock, waiting (and helping, in lock-free mode) until it is
+    /// available, then run `thunk` and return its result — the paper's
+    /// *strict lock*.
+    pub fn lock<F>(&self, thunk: F) -> bool
+    where
+        F: Fn() -> bool + Send + Sync + 'static,
+    {
+        match lock_mode() {
+            LockMode::Blocking => {
+                let mut backoff = Backoff::new();
+                loop {
+                    let w = self.word.raw_packed();
+                    if LockWord::from_bits(unpack_val(w)).is_locked() {
+                        backoff.snooze();
+                        continue;
+                    }
+                    if self
+                        .word
+                        .raw_cell()
+                        .ccas(w, pack(next_tag(unpack_tag(w)), LockWord::locked(std::ptr::null()).to_bits()))
+                    {
+                        let r = thunk();
+                        self.blocking_release();
+                        return r;
+                    }
+                    backoff.spin();
+                }
+            }
+            LockMode::LockFree => {
+                // Create the descriptor once, then loop attempting to
+                // install it, helping whoever is in the way.
+                let guard = flock_epoch::pin();
+                let nested = ctx::in_thunk();
+                let d = if nested {
+                    idemp::create_descriptor_idempotent(thunk, &guard)
+                } else {
+                    descriptor::create_descriptor(thunk, guard.epoch(), false)
+                };
+                let mine = LockWord::locked(d);
+                let mut backoff = Backoff::new();
+                loop {
+                    let cur = self.word.load();
+                    if !cur.is_locked() {
+                        self.word.cam(cur, mine);
+                        let cur2 = self.word.load();
+                        // SAFETY: `d` is ours (or the committed nested
+                        // descriptor), live until disposed below.
+                        let done = unsafe { (*d).is_done() };
+                        if done || cur2 == mine {
+                            let result = self.run_and_unlock_self(d, mine);
+                            // SAFETY: lock word no longer references `d`
+                            // (unlock CAMs it to null); pinned.
+                            unsafe { self.dispose_after_run(d, nested) };
+                            return result;
+                        }
+                        if cur2.is_locked() {
+                            self.help(cur2, &guard);
+                        }
+                    } else {
+                        self.help(cur, &guard);
+                    }
+                    backoff.spin();
+                }
+            }
+        }
+    }
+
+    /// Release a lock **currently held by the running thunk** before the
+    /// thunk finishes — for hand-over-hand locking (paper §4, `unlock`).
+    ///
+    /// Behavior is undefined (though memory-safe) if the calling thunk does
+    /// not hold the lock.
+    pub fn unlock_early(&self) {
+        match lock_mode() {
+            LockMode::Blocking => self.blocking_release(),
+            LockMode::LockFree => {
+                let cur = self.word.load();
+                if cur.is_locked() {
+                    self.word.cam(cur, LockWord::UNLOCKED_EMPTY);
+                }
+            }
+        }
+    }
+
+    // ---------------------------------------------------------- lock-free
+
+    fn lock_free_try_lock<F>(&self, thunk: F) -> bool
+    where
+        F: Fn() -> bool + Send + Sync + 'static,
+    {
+        let guard = flock_epoch::pin();
+        let nested = ctx::in_thunk();
+
+        // Line 14: read the lock (idempotently when nested).
+        let cur = self.word.load();
+        if cur.is_locked() {
+            // Line 26 of the paper (locked on first read): help and fail.
+            self.help(cur, &guard);
+            return false;
+        }
+
+        // Lines 16-18: make a descriptor and try to install it.
+        let d = if nested {
+            idemp::create_descriptor_idempotent(thunk, &guard)
+        } else {
+            descriptor::create_descriptor(thunk, guard.epoch(), false)
+        };
+        let mine = LockWord::locked(d);
+        self.word.cam(cur, mine);
+
+        // Line 19: did we get in?
+        let cur2 = self.word.load();
+        // SAFETY: `d` is live: top-level descriptors are owner-held until
+        // disposed; nested ones are epoch-protected after commit.
+        let done = unsafe { (*d).is_done() };
+        if done || cur2 == mine {
+            // Line 22: run self (replays are no-ops if we were helped).
+            let result = self.run_and_unlock_self(d, mine);
+            // SAFETY: unlock removed the lock word's reference; pinned.
+            unsafe { self.dispose_after_run(d, nested) };
+            result
+        } else {
+            // Lines 23-26: someone else is (or was) in; help if locked.
+            if cur2.is_locked() {
+                self.help(cur2, &guard);
+            }
+            // Our descriptor never ran. Top level: it was never published,
+            // recycle it directly. Nested: its pointer is in the outer log,
+            // so it must go through the idempotent retire.
+            if nested {
+                idemp::retire_descriptor_idempotent(d);
+            } else {
+                // SAFETY: never published (install CAM failed).
+                unsafe { descriptor::recycle_unshared(d) };
+            }
+            false
+        }
+    }
+
+    /// Run our own installed (or already completed) descriptor and release
+    /// the lock: the paper's `runAndUnlock` for the self path.
+    fn run_and_unlock_self(&self, d: *const Descriptor, mine: LockWord) -> bool {
+        // SAFETY: `d` live (see callers); running a thunk is idempotent.
+        let result = unsafe { ctx::run(d) };
+        // SAFETY: as above.
+        unsafe { (*d).set_done() };
+        // Unlock by clearing the descriptor pointer so the descriptor
+        // becomes unreachable from the lock word (enables safe reuse).
+        self.word.cam(mine, LockWord::UNLOCKED_EMPTY);
+        result
+    }
+
+    /// Help the descriptor installed on this lock (observed as `cur`):
+    /// mark helped → adopt epoch → revalidate → run; then always replay the
+    /// unlock CAM so nested replayers stay log-position-synchronized.
+    fn help(&self, cur: LockWord, guard: &flock_epoch::EpochGuard) {
+        debug_assert!(cur.is_locked());
+        if !helping_enabled() {
+            return; // ablation mode: no helping, busy locks just fail
+        }
+        let d = cur.descriptor();
+        if d.is_null() {
+            // A locked word with no descriptor is a blocking-mode hold;
+            // nothing can be helped. Reachable only if the global mode is
+            // switched while operations are in flight, which the API
+            // documents as unsupported — degrade gracefully rather than
+            // crash.
+            return;
+        }
+        // SAFETY: `d` was read from the lock word while pinned; descriptors
+        // are freed only through the epoch collector (or reused when
+        // provably unreachable — which the protocol below excludes).
+        unsafe { (*d).mark_helped() };
+        // Adopt the helped thunk's epoch (paper §6) — publishes with a
+        // SeqCst fence before the revalidation read below.
+        // SAFETY: as above.
+        let _adopt = guard.adopt(unsafe { (*d).birth_epoch() });
+        // Revalidate: only run while the descriptor is still installed. The
+        // mark_helped above happened before this read, so the owner cannot
+        // have recycled the descriptor if the read still sees it installed.
+        let raw = self.word.raw_packed();
+        if LockWord::from_bits(unpack_val(raw)) == cur {
+            // SAFETY: revalidated + epoch-adopted: `d` is live and its
+            // owner will observe `helped` before any reuse decision.
+            unsafe {
+                if !(*d).is_done() {
+                    let _ = ctx::run(d);
+                    (*d).set_done();
+                }
+            }
+        }
+        // Idempotent unlock attempt — executed unconditionally so that every
+        // runner of an enclosing thunk commits the same two log entries.
+        self.word.cam(cur, LockWord::UNLOCKED_EMPTY);
+    }
+
+    /// Dispose of our descriptor after a completed self-run.
+    ///
+    /// # Safety
+    ///
+    /// The lock word must no longer reference `d`; the thread must be pinned.
+    unsafe fn dispose_after_run(&self, d: *const Descriptor, nested: bool) {
+        if nested {
+            idemp::retire_descriptor_idempotent(d);
+        } else {
+            // SAFETY: owner-only, unreferenced, pinned — forwarded contract.
+            unsafe { descriptor::dispose_top_level(d as *mut Descriptor) };
+        }
+    }
+
+    // ----------------------------------------------------------- blocking
+
+    fn blocking_try_lock<F: Fn() -> bool>(&self, thunk: F) -> bool {
+        let w = self.word.raw_packed();
+        if LockWord::from_bits(unpack_val(w)).is_locked() {
+            return false;
+        }
+        if !self.word.raw_cell().ccas(
+            w,
+            pack(
+                next_tag(unpack_tag(w)),
+                LockWord::locked(std::ptr::null()).to_bits(),
+            ),
+        ) {
+            return false;
+        }
+        let r = thunk();
+        self.blocking_release();
+        r
+    }
+
+    fn blocking_release(&self) {
+        // Only the holder releases; acquire attempts CAS on unlocked words
+        // only, so a single CAS from the current (locked) word suffices.
+        let w = self.word.raw_packed();
+        debug_assert!(LockWord::from_bits(unpack_val(w)).is_locked());
+        self.word.raw_cell().ccas(
+            w,
+            pack(next_tag(unpack_tag(w)), LockWord::UNLOCKED_EMPTY.to_bits()),
+        );
+    }
+}
+
+/// Serializes tests that touch the global lock mode; switching modes with
+/// operations in flight is unsupported, so mode-sensitive tests must not
+/// overlap within the test process.
+#[cfg(test)]
+pub(crate) static TEST_MODE_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    fn both_modes(test: impl Fn()) {
+        let _guard = TEST_MODE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        for mode in [LockMode::LockFree, LockMode::Blocking] {
+            set_lock_mode(mode);
+            test();
+        }
+        set_lock_mode(LockMode::LockFree);
+    }
+
+    #[test]
+    fn try_lock_runs_thunk_and_returns_result() {
+        both_modes(|| {
+            let l = Lock::new();
+            assert!(l.try_lock(|| true));
+            assert!(!l.try_lock(|| false));
+            assert!(!l.is_locked(), "lock released after thunk");
+        });
+    }
+
+    #[test]
+    fn strict_lock_runs() {
+        both_modes(|| {
+            let l = Lock::new();
+            assert!(l.lock(|| true));
+            assert!(!l.is_locked());
+        });
+    }
+
+    #[test]
+    fn critical_sections_are_atomic() {
+        both_modes(|| {
+            let l = Arc::new(Lock::new());
+            // Shared state inside thunks must be `Mutable`: helped thunks
+            // can be replayed, and only logged operations are idempotent.
+            let n = Arc::new(crate::Mutable::new(0u64));
+            const PER_THREAD: u64 = 2_000;
+            std::thread::scope(|s| {
+                for _ in 0..4 {
+                    let l = Arc::clone(&l);
+                    let n = Arc::clone(&n);
+                    s.spawn(move || {
+                        let mut acquired = 0;
+                        while acquired < PER_THREAD {
+                            let n2 = Arc::clone(&n);
+                            if l.try_lock(move || {
+                                n2.store(n2.load() + 1);
+                                true
+                            }) {
+                                acquired += 1;
+                            }
+                        }
+                    });
+                }
+            });
+            assert_eq!(n.load(), 4 * PER_THREAD);
+        });
+    }
+
+    #[test]
+    fn strict_lock_counter_exact() {
+        both_modes(|| {
+            let l = Arc::new(Lock::new());
+            let n = Arc::new(crate::Mutable::new(0u64));
+            const PER_THREAD: u64 = 2_000;
+            std::thread::scope(|s| {
+                for _ in 0..4 {
+                    let l = Arc::clone(&l);
+                    let n = Arc::clone(&n);
+                    s.spawn(move || {
+                        for _ in 0..PER_THREAD {
+                            let n2 = Arc::clone(&n);
+                            assert!(l.lock(move || {
+                                n2.store(n2.load() + 1);
+                                true
+                            }));
+                        }
+                    });
+                }
+            });
+            assert_eq!(n.load(), 4 * PER_THREAD);
+        });
+    }
+
+    #[test]
+    fn nested_locks_work() {
+        both_modes(|| {
+            let outer = Arc::new(Lock::new());
+            let inner = Arc::new(Lock::new());
+            let inner2 = Arc::clone(&inner);
+            let ok = outer.try_lock(move || {
+                let i = Arc::clone(&inner2);
+                i.try_lock(|| true)
+            });
+            assert!(ok);
+            assert!(!outer.is_locked());
+            assert!(!inner.is_locked());
+        });
+    }
+
+    #[test]
+    fn lock_word_packing() {
+        let d = 0x7f_f000_1230usize as *const Descriptor;
+        let w = LockWord::locked(d);
+        assert!(w.is_locked());
+        assert_eq!(w.descriptor(), d);
+        let u = LockWord::UNLOCKED_EMPTY;
+        assert!(!u.is_locked());
+        assert!(u.descriptor().is_null());
+        assert_eq!(LockWord::from_bits(w.to_bits()), w);
+    }
+
+    #[test]
+    fn mode_switch_roundtrip() {
+        set_lock_mode(LockMode::Blocking);
+        assert_eq!(lock_mode(), LockMode::Blocking);
+        set_lock_mode(LockMode::LockFree);
+        assert_eq!(lock_mode(), LockMode::LockFree);
+    }
+}

@@ -1,0 +1,318 @@
+//! Idempotent shared mutable cells: `Mutable<V>` and `UpdateOnce<V>`.
+//!
+//! `Mutable<V>` is the Rust rendition of the paper's `mutable_` wrapper
+//! (Algorithm 2): a shared location whose `load`, `store` and `cam` are
+//! idempotent when executed inside a thunk. Values are at most 48 bits
+//! (see `flock_sync::pack::PackedValue`), stored alongside a 16-bit ABA tag
+//! in one atomic word — the representation all of the paper's experiments
+//! use (§6 "ABA").
+//!
+//! Operation sketch (inside a thunk; outside, the log steps vanish):
+//!
+//! * `load` — read the packed word, commit it to the thunk log, return the
+//!   payload of whatever got committed first.
+//! * `store(v)` — `load` to agree on the old packed word; pick the next tag
+//!   not announced for this location and commit the choice to the log (so all
+//!   helpers build the identical new word); announce the expected tag; check
+//!   the running descriptor is not already done; single CAS; clear the
+//!   announcement. ABA-freedom of tagged words means only the first CAS
+//!   succeeds.
+//! * `cam(old, new)` — like `store` but aborts (idempotently, after the log
+//!   commit) when the committed old value differs from `old`. CAM returns
+//!   nothing: returning the CAS outcome would externalize a value that can
+//!   differ between runs.
+//!
+//! `UpdateOnce<V>` covers the paper's *update-once* locations (§6): written
+//! at most once after initialization, hence naturally ABA-free — loads log,
+//! stores are plain writes.
+
+use std::marker::PhantomData;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use flock_sync::announce;
+use flock_sync::pack::{next_tag, pack, unpack_tag, unpack_val, PackedValue};
+use flock_sync::tagged::TaggedAtomicU64;
+use flock_sync::tid;
+
+use crate::ctx;
+
+/// A shared mutable location with idempotent operations.
+///
+/// Wrap any shared value that is modified inside a lock in a `Mutable`, as
+/// the paper's examples do (`mutable_<link*> next;`). Reads and writes of
+/// values that are *not* shared-and-mutated-under-locks don't need this —
+/// plain fields are fine for constants.
+#[repr(transparent)]
+pub struct Mutable<V: PackedValue> {
+    cell: TaggedAtomicU64,
+    _pd: PhantomData<V>,
+}
+
+// SAFETY: all access goes through atomic operations; V is a Copy bit-pattern.
+unsafe impl<V: PackedValue> Send for Mutable<V> {}
+unsafe impl<V: PackedValue> Sync for Mutable<V> {}
+
+impl<V: PackedValue> Mutable<V> {
+    /// A new cell holding `v` (tag 0).
+    pub fn new(v: V) -> Self {
+        Self {
+            cell: TaggedAtomicU64::new(v.to_bits()),
+            _pd: PhantomData,
+        }
+    }
+
+    #[inline(always)]
+    fn addr(&self) -> usize {
+        &self.cell as *const TaggedAtomicU64 as usize
+    }
+
+    /// Raw packed word, bypassing the log. Used by the lock machinery for
+    /// helper revalidation; not part of the public idempotent API.
+    #[inline(always)]
+    pub(crate) fn raw_packed(&self) -> u64 {
+        self.cell.load_packed(Ordering::SeqCst)
+    }
+
+    /// Direct access to the underlying tagged cell, for the blocking-mode
+    /// lock paths that bypass the idempotence machinery entirely.
+    #[inline(always)]
+    pub(crate) fn raw_cell(&self) -> &TaggedAtomicU64 {
+        &self.cell
+    }
+
+    /// Idempotent load.
+    ///
+    /// Inside a thunk, commits the observed packed word to the thunk log so
+    /// every run of the thunk returns the same value. Outside, a plain
+    /// atomic read.
+    #[inline]
+    pub fn load(&self) -> V {
+        let w = self.cell.load_packed(Ordering::SeqCst);
+        let (committed, _) = ctx::commit_raw(w);
+        V::from_bits(unpack_val(committed))
+    }
+
+    /// Idempotent load returning the full packed word (tag + payload).
+    #[inline]
+    fn load_packed_committed(&self) -> u64 {
+        let w = self.cell.load_packed(Ordering::SeqCst);
+        let (committed, _) = ctx::commit_raw(w);
+        committed
+    }
+
+    /// Idempotent store.
+    ///
+    /// Stores and CAMs to the same location must not race (they should be
+    /// protected by the location's lock), per the paper's model; concurrent
+    /// loads are fine.
+    #[inline]
+    pub fn store(&self, new: V) {
+        let old = self.load_packed_committed();
+        self.tagged_cas_after_load(old, new);
+    }
+
+    /// Idempotent compare-and-modify: store `new` only if the current value
+    /// equals `old`. Returns nothing by design (see module docs).
+    #[inline]
+    pub fn cam(&self, old: V, new: V) {
+        let committed_old = self.load_packed_committed();
+        if unpack_val(committed_old) != old.to_bits() {
+            return;
+        }
+        self.tagged_cas_after_load(committed_old, new);
+    }
+
+    /// Shared tail of `store`/`cam`: given the committed old packed word,
+    /// agree on a new tag, run the announcement protocol, CAS once.
+    #[inline]
+    fn tagged_cas_after_load(&self, committed_old: u64, new: V) {
+        let old_tag = unpack_tag(committed_old);
+        if !ctx::in_thunk() {
+            // Top level (or blocking mode): no helpers, no replay. A single
+            // tag-bumping CAS; a CAS loop would mask racing stores, which
+            // the model forbids anyway, so one attempt keeps semantics
+            // identical to the logged path.
+            self.cell
+                .ccas(committed_old, pack(next_tag(old_tag), new.to_bits()));
+            return;
+        }
+
+        // Agree on the tag for the new word. The first committer's choice —
+        // made while scanning announcements — wins; everyone uses it.
+        let table = announce::global();
+        let candidate = table.next_free_tag(self.addr(), next_tag(old_tag));
+        let (chosen, _) = ctx::commit_raw(candidate as u64);
+        let new_word = pack(chosen as u16, new.to_bits());
+
+        // Hazard-style announcement of the expected (location, tag) pair:
+        // announce, fence (inside announce), then re-check that the thunk is
+        // not finished. If it is finished every effect is already applied
+        // and a stale CAS here could only do harm (tag reuse), so skip.
+        let me = tid::current();
+        table.announce(me, self.addr(), old_tag);
+        let d = ctx::current_descriptor();
+        // SAFETY: we are inside this descriptor's run (ctx invariant), so it
+        // is live: owner-held or epoch-protected by the helping protocol.
+        let done = unsafe { (*d).is_done() };
+        if !done {
+            self.cell.ccas(committed_old, new_word);
+        }
+        table.clear(me);
+    }
+}
+
+impl<V: PackedValue + std::fmt::Debug> std::fmt::Debug for Mutable<V> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let w = self.cell.load_packed(Ordering::SeqCst);
+        f.debug_struct("Mutable")
+            .field("value", &V::from_bits(unpack_val(w)))
+            .field("tag", &unpack_tag(w))
+            .finish()
+    }
+}
+
+/// A shared location written at most once after initialization.
+///
+/// Naturally ABA-free, so it needs no tag, and its `store` can be a plain
+/// write: every run of the thunk writes the same value, so only the first
+/// has an effect (paper §6, "Constants and Update-once Locations"). Loads
+/// inside a thunk still go through the log.
+#[repr(transparent)]
+pub struct UpdateOnce<V: PackedValue> {
+    cell: AtomicU64,
+    _pd: PhantomData<V>,
+}
+
+// SAFETY: atomic access only; V is a Copy bit-pattern.
+unsafe impl<V: PackedValue> Send for UpdateOnce<V> {}
+unsafe impl<V: PackedValue> Sync for UpdateOnce<V> {}
+
+impl<V: PackedValue> UpdateOnce<V> {
+    /// New cell with initial value `v`.
+    pub fn new(v: V) -> Self {
+        Self {
+            cell: AtomicU64::new(v.to_bits()),
+            _pd: PhantomData,
+        }
+    }
+
+    /// Idempotent load (logged inside a thunk).
+    #[inline]
+    pub fn load(&self) -> V {
+        let w = self.cell.load(Ordering::SeqCst);
+        let (committed, _) = ctx::commit_raw(w | UPDATE_ONCE_PRESENT);
+        V::from_bits(committed & !UPDATE_ONCE_PRESENT)
+    }
+
+    /// Store the location's single update. Caller contract: all writers
+    /// write equal values (e.g. a `removed = true` flag), which is what
+    /// *update-once* means.
+    #[inline]
+    pub fn store(&self, v: V) {
+        self.cell.store(v.to_bits(), Ordering::SeqCst);
+    }
+}
+
+impl<V: PackedValue + std::fmt::Debug> std::fmt::Debug for UpdateOnce<V> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_tuple("UpdateOnce")
+            .field(&V::from_bits(self.cell.load(Ordering::SeqCst)))
+            .finish()
+    }
+}
+
+/// Bit 63 marker so a logged `UpdateOnce` word (48-bit payload) can never
+/// collide with the `EMPTY` log sentinel while staying distinguishable.
+const UPDATE_ONCE_PRESENT: u64 = 1 << 62;
+
+/// Commit an arbitrary value to the current thunk log (paper: the public
+/// `commitValue`). Use it to make any non-deterministic choice — a random
+/// number, a timestamp — agree across all runs of a thunk.
+///
+/// Outside a thunk the input value is returned unchanged.
+#[inline]
+pub fn commit_value<V: PackedValue>(v: V) -> V {
+    let (committed, _) = ctx::commit_raw(v.to_bits() | UPDATE_ONCE_PRESENT);
+    V::from_bits(committed & !UPDATE_ONCE_PRESENT)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn load_store_top_level() {
+        let m = Mutable::new(5u32);
+        assert_eq!(m.load(), 5);
+        m.store(7);
+        assert_eq!(m.load(), 7);
+    }
+
+    #[test]
+    fn store_bumps_tag() {
+        let m = Mutable::new(false);
+        let t0 = unpack_tag(m.raw_packed());
+        m.store(true);
+        let t1 = unpack_tag(m.raw_packed());
+        assert_eq!(t1, next_tag(t0));
+        assert!(m.load());
+    }
+
+    #[test]
+    fn cam_only_fires_on_match() {
+        let m = Mutable::new(10u32);
+        m.cam(11, 99);
+        assert_eq!(m.load(), 10, "mismatched cam must be a no-op");
+        m.cam(10, 99);
+        assert_eq!(m.load(), 99);
+    }
+
+    #[test]
+    fn pointer_mutable() {
+        let a = Box::into_raw(Box::new(1u64));
+        let b = Box::into_raw(Box::new(2u64));
+        let m: Mutable<*mut u64> = Mutable::new(a);
+        m.cam(a, b);
+        assert_eq!(m.load(), b);
+        // SAFETY: both allocated above, freed once.
+        unsafe {
+            drop(Box::from_raw(a));
+            drop(Box::from_raw(b));
+        }
+    }
+
+    #[test]
+    fn update_once_roundtrip() {
+        let u = UpdateOnce::new(false);
+        assert!(!u.load());
+        u.store(true);
+        assert!(u.load());
+    }
+
+    #[test]
+    fn commit_value_top_level_identity() {
+        assert_eq!(commit_value(1234u32), 1234);
+        assert_eq!(commit_value(false), false);
+        assert_eq!(commit_value(0u32), 0, "zero must survive the marker bit");
+    }
+
+    #[test]
+    fn tag_survives_many_stores() {
+        let m = Mutable::new(0u32);
+        for i in 1..100u32 {
+            m.store(i);
+            assert_eq!(m.load(), i);
+        }
+        assert_eq!(unpack_tag(m.raw_packed()), 99);
+    }
+
+    #[test]
+    fn tag_wraps_cleanly() {
+        let m = Mutable::new(0u32);
+        // Drive the tag space all the way around (2^16 - 1 usable tags).
+        for i in 0..(flock_sync::pack::TAG_LIMIT as u32 + 10) {
+            m.store(i);
+        }
+        assert_eq!(m.load(), flock_sync::pack::TAG_LIMIT as u32 + 9);
+    }
+}

@@ -1,0 +1,697 @@
+//! (a,b)-tree with optimistic fine-grained locking — the paper's `abtree`
+//! (§7), in the style of Srivastava-Brown optimistic B-trees.
+//!
+//! Design rules that keep readers consistent without locks:
+//!
+//! * A node's **key/value arrays and arity are immutable** after
+//!   construction; any change to a node's key set *replaces* the node
+//!   (copy-on-write) by swinging its parent's child pointer — a single
+//!   idempotent store.
+//! * **Child pointers are mutable in place** (they change when a child is
+//!   replaced), guarded by the owning node's lock; holding a node's lock
+//!   therefore stabilizes all of its child cells.
+//! * A **split of child `c` under parent `p`** inserts a separator into `p`
+//!   and so replaces `p` itself — done under `p`'s parent's lock, then `p`'s,
+//!   then `c`'s (ancestor-first order). Inserts split full nodes on the way
+//!   down and restart, so when the leaf is reached its parent has room.
+//! * Deletes are **relaxed**: batches shrink by copy; an emptied leaf is
+//!   spliced together with its separator; internal nodes collapse only when
+//!   reduced to a single child. No proactive merging/borrowing — the classic
+//!   relaxed-(a,b)-tree trade-off (documented in DESIGN.md).
+//!
+//! A pseudo-root *anchor* (an internal node with zero keys and one child)
+//! removes all root special cases.
+
+use flock_core::{Lock, Mutable, Sp, UpdateOnce};
+
+use crate::ConcurrentMap;
+
+/// Maximum keys per leaf and separators per internal node ("b").
+pub const B: usize = 12;
+
+struct Node {
+    lock: Lock,
+    removed: UpdateOnce<bool>,
+    is_leaf: bool,
+    /// Number of keys (leaf: entries; internal: separators, children=len+1).
+    len: usize,
+    keys: [u64; B],
+    vals: [u64; B],
+    children: [Mutable<*mut Node>; B + 1],
+}
+
+impl Node {
+    fn empty_children() -> [Mutable<*mut Node>; B + 1] {
+        std::array::from_fn(|_| Mutable::new(std::ptr::null_mut()))
+    }
+
+    fn leaf(entries: &[(u64, u64)]) -> Self {
+        debug_assert!(entries.len() <= B);
+        let mut keys = [0; B];
+        let mut vals = [0; B];
+        for (i, (k, v)) in entries.iter().enumerate() {
+            keys[i] = *k;
+            vals[i] = *v;
+        }
+        Self {
+            lock: Lock::new(),
+            removed: UpdateOnce::new(false),
+            is_leaf: true,
+            len: entries.len(),
+            keys,
+            vals,
+            children: Self::empty_children(),
+        }
+    }
+
+    fn internal(seps: &[u64], kids: &[*mut Node]) -> Self {
+        debug_assert_eq!(kids.len(), seps.len() + 1);
+        debug_assert!(seps.len() <= B);
+        let mut keys = [0; B];
+        for (i, s) in seps.iter().enumerate() {
+            keys[i] = *s;
+        }
+        let children = std::array::from_fn(|i| {
+            Mutable::new(if i < kids.len() {
+                kids[i]
+            } else {
+                std::ptr::null_mut()
+            })
+        });
+        Self {
+            lock: Lock::new(),
+            removed: UpdateOnce::new(false),
+            is_leaf: false,
+            len: seps.len(),
+            keys,
+            vals: [0; B],
+            children,
+        }
+    }
+
+    /// Index of the child subtree that covers `k`
+    /// (left of the first separator `> k`... routing: child `i` covers keys
+    /// `< keys[i]`; the last child covers the rest; equal keys go right).
+    #[inline]
+    fn route(&self, k: u64) -> usize {
+        self.keys[..self.len].partition_point(|&s| s <= k)
+    }
+
+    /// Position of `k` in a leaf, if present.
+    #[inline]
+    fn find(&self, k: u64) -> Option<usize> {
+        debug_assert!(self.is_leaf);
+        self.keys[..self.len].iter().position(|&x| x == k)
+    }
+
+    fn leaf_entries(&self) -> Vec<(u64, u64)> {
+        (0..self.len).map(|i| (self.keys[i], self.vals[i])).collect()
+    }
+
+    fn separators(&self) -> Vec<u64> {
+        self.keys[..self.len].to_vec()
+    }
+
+    fn child_ptrs(&self) -> Vec<*mut Node> {
+        (0..=self.len).map(|i| self.children[i].load()).collect()
+    }
+
+    #[inline]
+    fn is_full(&self) -> bool {
+        self.len == B
+    }
+}
+
+/// Concurrent (a,b)-tree map.
+pub struct ABTree {
+    /// Pseudo-root: zero keys, single child = the real root.
+    anchor: *mut Node,
+    label: &'static str,
+}
+
+// SAFETY: mutation via Flock locks + epoch reclamation; anchor immutable.
+unsafe impl Send for ABTree {}
+unsafe impl Sync for ABTree {}
+
+impl Default for ABTree {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ABTree {
+    /// An empty tree.
+    pub fn new() -> Self {
+        Self::with_label("abtree")
+    }
+
+    pub(crate) fn with_label(label: &'static str) -> Self {
+        let root = flock_epoch::alloc(Node::leaf(&[]));
+        let anchor = flock_epoch::alloc(Node::internal(&[], &[root]));
+        Self { anchor, label }
+    }
+
+    /// Walk to the leaf covering `k`, recording the path
+    /// (`anchor` first, leaf last).
+    fn path_to(&self, k: u64) -> Vec<*mut Node> {
+        let mut path = vec![self.anchor];
+        // SAFETY: caller pinned; nodes epoch-reclaimed.
+        let mut cur = unsafe { (*self.anchor).children[0].load() };
+        loop {
+            path.push(cur);
+            // SAFETY: pinned.
+            let n = unsafe { &*cur };
+            if n.is_leaf {
+                return path;
+            }
+            cur = n.children[n.route(k)].load();
+        }
+    }
+
+    /// Split full node `c` (child of `p`, grandchild of `g`): replaces `p`
+    /// with a copy containing the new separator and the two halves of `c`.
+    /// Returns whether the split was applied.
+    fn split_child(&self, g: *mut Node, p: *mut Node, c: *mut Node, k: u64) -> bool {
+        let (sp_g, sp_p, sp_c) = (Sp(g), Sp(p), Sp(c));
+        // SAFETY: pinned caller.
+        unsafe { &*g }.lock.try_lock(move || {
+            // SAFETY: thunk runners hold epoch protection.
+            let p_ref = unsafe { sp_p.as_ref() };
+            p_ref.lock.try_lock(move || {
+                // SAFETY: as above.
+                let c_ref = unsafe { sp_c.as_ref() };
+                c_ref.lock.try_lock(move || {
+                    // SAFETY: as above.
+                    let g = unsafe { sp_g.as_ref() };
+                    let p = unsafe { sp_p.as_ref() };
+                    let c = unsafe { sp_c.as_ref() };
+                    if g.removed.load() || p.removed.load() || c.removed.load() {
+                        return false;
+                    }
+                    if !c.is_full() || p.is_full() {
+                        return false; // stale plan; caller restarts
+                    }
+                    // Validate links (find c's slot in p, p's slot in g).
+                    let gi = g.route(k);
+                    if g.children[gi].load() != sp_p.ptr() {
+                        return false;
+                    }
+                    let pi = p.route(k);
+                    if p.children[pi].load() != sp_c.ptr() {
+                        return false;
+                    }
+                    // Build the two halves of c. c's child cells are stable
+                    // because we hold c's lock.
+                    let mid = c.len / 2;
+                    let (sep, left_ptr, right_ptr);
+                    if c.is_leaf {
+                        let entries = c.leaf_entries();
+                        sep = entries[mid].0;
+                        let lo = entries[..mid].to_vec();
+                        let hi = entries[mid..].to_vec();
+                        left_ptr = flock_core::alloc(move || Node::leaf(&lo));
+                        right_ptr = flock_core::alloc(move || Node::leaf(&hi));
+                    } else {
+                        let seps = c.separators();
+                        let kids = c.child_ptrs();
+                        sep = seps[mid];
+                        let lsep = seps[..mid].to_vec();
+                        let lkid = kids[..=mid].to_vec();
+                        let rsep = seps[mid + 1..].to_vec();
+                        let rkid = kids[mid + 1..].to_vec();
+                        let (lk, rk) = (SendPtrs(lkid), SendPtrs(rkid));
+                        left_ptr = flock_core::alloc(move || Node::internal(&lsep, &lk.0));
+                        right_ptr = flock_core::alloc(move || Node::internal(&rsep, &rk.0));
+                    }
+                    // New p with the separator spliced in at position pi.
+                    let mut nseps = p.separators();
+                    let mut nkids = p.child_ptrs();
+                    nseps.insert(pi, sep);
+                    nkids[pi] = left_ptr;
+                    nkids.insert(pi + 1, right_ptr);
+                    let nk = SendPtrs(nkids);
+                    let new_p = flock_core::alloc(move || Node::internal(&nseps, &nk.0));
+                    p.removed.store(true);
+                    c.removed.store(true);
+                    g.children[gi].store(new_p);
+                    // SAFETY: p and c are replaced/unlinked; idempotent
+                    // retires fire once each.
+                    unsafe {
+                        flock_core::retire(sp_p.ptr());
+                        flock_core::retire(sp_c.ptr());
+                    }
+                    true
+                })
+            })
+        })
+    }
+
+    /// Insert; `false` if present.
+    pub fn insert(&self, k: u64, v: u64) -> bool {
+        let _g = flock_epoch::pin();
+        'restart: loop {
+            let path = self.path_to(k);
+            let leaf = *path.last().expect("path includes leaf");
+            // SAFETY: epoch-pinned.
+            let leaf_ref = unsafe { &*leaf };
+            if leaf_ref.find(k).is_some() {
+                return false;
+            }
+            // Grow the tree when the root itself is full: it splits into two
+            // halves under a fresh one-separator root, under the anchor's
+            // lock. Handling the root first establishes the invariant that
+            // when the loop below splits path[w], path[w-1] has room.
+            // SAFETY: pinned path nodes.
+            if unsafe { &*path[1] }.is_full() {
+                let _ = self.split_root(path[1]);
+                continue 'restart;
+            }
+            // Preemptively split the shallowest full node along the path and
+            // restart; by induction its parent always has separator room.
+            for w in 2..path.len() {
+                // SAFETY: pinned path nodes.
+                if unsafe { &*path[w] }.is_full() {
+                    let (g, p, c) = (path[w - 2], path[w - 1], path[w]);
+                    let _ = self.split_child(g, p, c, k);
+                    continue 'restart;
+                }
+            }
+            let parent = path[path.len() - 2];
+            let (sp_p, sp_l) = (Sp(parent), Sp(leaf));
+            // SAFETY: epoch-pinned.
+            let ok = unsafe { &*parent }.lock.try_lock(move || {
+                // SAFETY: thunk runners hold epoch protection.
+                let p = unsafe { sp_p.as_ref() };
+                let l = unsafe { sp_l.as_ref() };
+                if p.removed.load() {
+                    return false;
+                }
+                let slot = p.route(k);
+                if p.children[slot].load() != sp_l.ptr() {
+                    return false;
+                }
+                if l.find(k).is_some() || l.is_full() {
+                    return false; // re-examine from the top
+                }
+                let mut entries = l.leaf_entries();
+                let pos = entries.partition_point(|&(ek, _)| ek < k);
+                entries.insert(pos, (k, v));
+                let newl = flock_core::alloc(move || Node::leaf(&entries));
+                p.children[slot].store(newl);
+                // SAFETY: replaced above; idempotent retire.
+                unsafe { flock_core::retire(sp_l.ptr()) };
+                true
+            });
+            if ok {
+                return true;
+            }
+            // Validation/lock failure, or the leaf was full/duplicated:
+            // re-check for presence then retry.
+            // SAFETY: pinned.
+            let path2 = self.path_to(k);
+            let leaf2 = *path2.last().expect("leaf");
+            if unsafe { &*leaf2 }.find(k).is_some() {
+                return false;
+            }
+        }
+    }
+
+    /// Split a full root (leaf or internal) into two halves under a fresh
+    /// one-separator root, under anchor → root locks.
+    fn split_root(&self, root: *mut Node) -> bool {
+        let (sp_a, sp_r) = (Sp(self.anchor), Sp(root));
+        // SAFETY: pinned caller; anchor immutable.
+        unsafe { &*self.anchor }.lock.try_lock(move || {
+            // SAFETY: thunk runners hold epoch protection.
+            let r_ref = unsafe { sp_r.as_ref() };
+            r_ref.lock.try_lock(move || {
+                // SAFETY: as above.
+                let a = unsafe { sp_a.as_ref() };
+                let r = unsafe { sp_r.as_ref() };
+                if a.children[0].load() != sp_r.ptr() || !r.is_full() || r.removed.load() {
+                    return false;
+                }
+                let mid = r.len / 2;
+                let (sep, left_ptr, right_ptr);
+                if r.is_leaf {
+                    let entries = r.leaf_entries();
+                    sep = entries[mid].0;
+                    let lo = entries[..mid].to_vec();
+                    let hi = entries[mid..].to_vec();
+                    left_ptr = flock_core::alloc(move || Node::leaf(&lo));
+                    right_ptr = flock_core::alloc(move || Node::leaf(&hi));
+                } else {
+                    // Child cells stable: we hold the root's lock.
+                    let seps = r.separators();
+                    let kids = r.child_ptrs();
+                    sep = seps[mid];
+                    let lsep = seps[..mid].to_vec();
+                    let lkid = SendPtrs(kids[..=mid].to_vec());
+                    let rsep = seps[mid + 1..].to_vec();
+                    let rkid = SendPtrs(kids[mid + 1..].to_vec());
+                    left_ptr = flock_core::alloc(move || Node::internal(&lsep, &lkid.0));
+                    right_ptr = flock_core::alloc(move || Node::internal(&rsep, &rkid.0));
+                }
+                let new_root =
+                    flock_core::alloc(move || Node::internal(&[sep], &[left_ptr, right_ptr]));
+                r.removed.store(true);
+                a.children[0].store(new_root);
+                // SAFETY: replaced above; idempotent retire.
+                unsafe { flock_core::retire(sp_r.ptr()) };
+                true
+            })
+        })
+    }
+
+    /// Remove; `false` if absent.
+    pub fn remove(&self, k: u64) -> bool {
+        let _g = flock_epoch::pin();
+        loop {
+            let path = self.path_to(k);
+            let leaf = *path.last().expect("leaf");
+            // SAFETY: epoch-pinned.
+            let leaf_ref = unsafe { &*leaf };
+            if leaf_ref.find(k).is_none() {
+                return false;
+            }
+            let parent = path[path.len() - 2];
+            // SAFETY: pinned.
+            let parent_ref = unsafe { &*parent };
+            let ok = if leaf_ref.len > 1 || parent_ref.len == 0 {
+                // Shrink by copy. (A root leaf may become empty.)
+                let (sp_p, sp_l) = (Sp(parent), Sp(leaf));
+                parent_ref.lock.try_lock(move || {
+                    // SAFETY: thunk runners hold epoch protection.
+                    let p = unsafe { sp_p.as_ref() };
+                    let l = unsafe { sp_l.as_ref() };
+                    if p.removed.load() {
+                        return false;
+                    }
+                    let slot = p.route(k);
+                    if p.children[slot].load() != sp_l.ptr() {
+                        return false;
+                    }
+                    let Some(pos) = l.find(k) else { return false };
+                    let mut entries = l.leaf_entries();
+                    entries.remove(pos);
+                    let newl = flock_core::alloc(move || Node::leaf(&entries));
+                    p.children[slot].store(newl);
+                    // SAFETY: replaced above; idempotent retire.
+                    unsafe { flock_core::retire(sp_l.ptr()) };
+                    true
+                })
+            } else {
+                // Leaf will become empty: splice it and its separator out of
+                // the parent (replace the parent), under g → p locks. If the
+                // parent would be left with a single child, hoist that child.
+                let g = path[path.len() - 3];
+                let (sp_g, sp_p, sp_l) = (Sp(g), Sp(parent), Sp(leaf));
+                // SAFETY: pinned.
+                unsafe { &*g }.lock.try_lock(move || {
+                    // SAFETY: thunk runners hold epoch protection.
+                    let p = unsafe { sp_p.as_ref() };
+                    p.lock.try_lock(move || {
+                        // SAFETY: as above.
+                        let g = unsafe { sp_g.as_ref() };
+                        let p = unsafe { sp_p.as_ref() };
+                        let l = unsafe { sp_l.as_ref() };
+                        if g.removed.load() || p.removed.load() {
+                            return false;
+                        }
+                        let gi = g.route(k);
+                        if g.children[gi].load() != sp_p.ptr() {
+                            return false;
+                        }
+                        let pi = p.route(k);
+                        if p.children[pi].load() != sp_l.ptr() {
+                            return false;
+                        }
+                        if l.find(k).is_none() || l.len != 1 {
+                            return false;
+                        }
+                        let mut seps = p.separators();
+                        let mut kids = p.child_ptrs();
+                        kids.remove(pi);
+                        seps.remove(if pi == 0 { 0 } else { pi - 1 });
+                        let replacement = if seps.is_empty() {
+                            kids[0] // hoist the single remaining child
+                        } else {
+                            let nk = SendPtrs(kids);
+                            flock_core::alloc(move || Node::internal(&seps, &nk.0))
+                        };
+                        p.removed.store(true);
+                        g.children[gi].store(replacement);
+                        // SAFETY: p and l unlinked; idempotent retires.
+                        unsafe {
+                            flock_core::retire(sp_p.ptr());
+                            flock_core::retire(sp_l.ptr());
+                        }
+                        true
+                    })
+                })
+            };
+            if ok {
+                return true;
+            }
+        }
+    }
+
+    /// Wait-free lookup.
+    pub fn get(&self, k: u64) -> Option<u64> {
+        let _g = flock_epoch::pin();
+        // SAFETY: pinned descent.
+        let mut cur = unsafe { (*self.anchor).children[0].load() };
+        loop {
+            // SAFETY: pinned.
+            let n = unsafe { &*cur };
+            if n.is_leaf {
+                return n.find(k).map(|i| n.vals[i]);
+            }
+            cur = n.children[n.route(k)].load();
+        }
+    }
+
+    /// Element count (O(n) walk; tests/diagnostics).
+    pub fn len(&self) -> usize {
+        let _g = flock_epoch::pin();
+        // SAFETY: pinned walk.
+        unsafe { Self::count((*self.anchor).children[0].load()) }
+    }
+
+    /// Is the tree empty?
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    unsafe fn count(n: *mut Node) -> usize {
+        // SAFETY: pinned per caller.
+        let node = unsafe { &*n };
+        if node.is_leaf {
+            node.len
+        } else {
+            (0..=node.len)
+                .map(|i| unsafe { Self::count(node.children[i].load()) })
+                .sum()
+        }
+    }
+
+    /// Ordered snapshot — single-threaded use.
+    pub fn collect(&self) -> Vec<(u64, u64)> {
+        let _g = flock_epoch::pin();
+        let mut out = Vec::new();
+        // SAFETY: pinned walk.
+        unsafe { Self::walk((*self.anchor).children[0].load(), &mut out) };
+        out
+    }
+
+    unsafe fn walk(n: *mut Node, out: &mut Vec<(u64, u64)>) {
+        // SAFETY: pinned per caller.
+        let node = unsafe { &*n };
+        if node.is_leaf {
+            out.extend(node.leaf_entries());
+        } else {
+            for i in 0..=node.len {
+                unsafe { Self::walk(node.children[i].load(), out) };
+            }
+        }
+    }
+
+    /// Quiescent invariant check: separator routing, sorted leaves, arity.
+    pub fn check_invariants(&self) {
+        // SAFETY: quiescent per contract.
+        unsafe {
+            Self::check((*self.anchor).children[0].load(), None, None);
+        }
+    }
+
+    unsafe fn check(n: *mut Node, lo: Option<u64>, hi: Option<u64>) {
+        // SAFETY: quiescent per caller.
+        let node = unsafe { &*n };
+        assert!(!node.removed.load(), "removed node reachable");
+        assert!(node.len <= B);
+        let in_bounds = |k: u64| {
+            if let Some(lo) = lo {
+                assert!(k >= lo, "key below bound");
+            }
+            if let Some(hi) = hi {
+                assert!(k < hi, "key above bound");
+            }
+        };
+        if node.is_leaf {
+            let e = node.leaf_entries();
+            assert!(e.windows(2).all(|w| w[0].0 < w[1].0), "unsorted leaf");
+            for (k, _) in e {
+                in_bounds(k);
+            }
+        } else {
+            assert!(node.len >= 1, "internal node without separators");
+            let seps = node.separators();
+            assert!(seps.windows(2).all(|w| w[0] < w[1]), "unsorted separators");
+            for &s in &seps {
+                in_bounds(s);
+            }
+            for i in 0..=node.len {
+                let clo = if i == 0 { lo } else { Some(seps[i - 1]) };
+                let chi = if i == node.len { hi } else { Some(seps[i]) };
+                unsafe { Self::check(node.children[i].load(), clo, chi) };
+            }
+        }
+    }
+}
+
+/// Send+Sync wrapper for a vector of node pointers captured by thunks
+/// (pointer payloads are epoch-protected; see `flock_core::Sp`).
+struct SendPtrs(Vec<*mut Node>);
+// SAFETY: plain addresses; validity via the epoch collector.
+unsafe impl Send for SendPtrs {}
+unsafe impl Sync for SendPtrs {}
+
+impl Drop for ABTree {
+    fn drop(&mut self) {
+        // SAFETY: exclusive access; retired nodes belong to the collector.
+        unsafe fn free(n: *mut Node) {
+            if n.is_null() {
+                return;
+            }
+            // SAFETY: exclusive teardown.
+            unsafe {
+                if !(*n).is_leaf {
+                    for i in 0..=(*n).len {
+                        free((*n).children[i].load());
+                    }
+                }
+                flock_epoch::free_now(n);
+            }
+        }
+        // SAFETY: exclusive access.
+        unsafe {
+            free((*self.anchor).children[0].load());
+            flock_epoch::free_now(self.anchor);
+        }
+    }
+}
+
+impl ConcurrentMap for ABTree {
+    fn insert(&self, key: u64, value: u64) -> bool {
+        ABTree::insert(self, key, value)
+    }
+    fn remove(&self, key: u64) -> bool {
+        ABTree::remove(self, key)
+    }
+    fn get(&self, key: u64) -> Option<u64> {
+        ABTree::get(self, key)
+    }
+    fn name(&self) -> &'static str {
+        self.label
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil;
+
+    #[test]
+    fn basic_ops() {
+        testutil::both_modes(|| {
+            let t = ABTree::new();
+            assert!(t.insert(5, 50));
+            assert!(!t.insert(5, 51));
+            assert!(t.insert(3, 30));
+            assert!(t.insert(8, 80));
+            assert_eq!(t.collect(), vec![(3, 30), (5, 50), (8, 80)]);
+            assert!(t.remove(5));
+            assert!(!t.remove(5));
+            assert_eq!(t.get(8), Some(80));
+            t.check_invariants();
+        });
+    }
+
+    #[test]
+    fn grows_past_many_splits() {
+        testutil::both_modes(|| {
+            let t = ABTree::new();
+            for k in 0..2_000 {
+                assert!(t.insert(k, k * 3), "insert {k}");
+            }
+            assert_eq!(t.len(), 2_000);
+            for k in 0..2_000 {
+                assert_eq!(t.get(k), Some(k * 3), "get {k}");
+            }
+            t.check_invariants();
+        });
+    }
+
+    #[test]
+    fn reverse_and_shuffled_inserts() {
+        testutil::both_modes(|| {
+            let t = ABTree::new();
+            for k in (0..1_000).rev() {
+                assert!(t.insert(k, k));
+            }
+            // Interleave removes and re-inserts.
+            for k in (0..1_000).step_by(3) {
+                assert!(t.remove(k));
+            }
+            for k in (0..1_000).step_by(3) {
+                assert!(t.insert(k, k + 7));
+            }
+            assert_eq!(t.len(), 1_000);
+            t.check_invariants();
+        });
+    }
+
+    #[test]
+    fn drain_to_empty() {
+        testutil::both_modes(|| {
+            let t = ABTree::new();
+            for k in 0..500 {
+                assert!(t.insert(k, k));
+            }
+            for k in 0..500 {
+                assert!(t.remove(k), "remove {k}");
+            }
+            assert!(t.is_empty());
+            assert!(t.insert(1, 2));
+            assert_eq!(t.get(1), Some(2));
+        });
+    }
+
+    #[test]
+    fn oracle() {
+        testutil::both_modes(|| {
+            let t = ABTree::new();
+            testutil::oracle_check(&t, 4_000, 512, 21);
+            t.check_invariants();
+        });
+    }
+
+    #[test]
+    fn concurrent_partitioned() {
+        testutil::both_modes(|| {
+            let t = ABTree::new();
+            testutil::partition_stress(&t, 4, 1_500);
+            t.check_invariants();
+        });
+    }
+}

@@ -1,0 +1,743 @@
+//! Adaptive radix tree (ART) over 8-byte keys with optimistic fine-grained
+//! locking — the paper's `arttree` (§7), which it reports as **the first
+//! lock-free ART** when run in lock-free mode.
+//!
+//! Follows Leis et al.'s design: four adaptive node widths (Node4 / Node16 /
+//! Node48 / Node256) chosen by fanout, with *lazy expansion* (a leaf is
+//! installed at the shallowest depth where its key prefix is unique).
+//! Simplifications relative to the original ART, documented in DESIGN.md:
+//! no path compression (the paper's benchmark sparsifies keys by hashing, so
+//! long shared prefixes are rare) and no node shrinking on deletes.
+//!
+//! Concurrency design:
+//!
+//! * **Key slots are write-once.** In Node4/16 a slot's byte label never
+//!   changes after assignment; deletion clears only the child cell (a
+//!   tombstone). This makes unlocked reads race-free: a matched label is
+//!   stable, and the child cell is a single atomic [`Mutable`]. Tombstones
+//!   are compacted away when the node is upgraded/rebuilt.
+//! * **Mutations** (adding a child, clearing one, splitting a leaf into a
+//!   chain, upgrading a full node) take the owning node's lock — plus the
+//!   parent's when the node itself is replaced — validate, then apply.
+
+use flock_core::{Lock, Mutable, Sp, UpdateOnce};
+
+use crate::ConcurrentMap;
+
+const KEY_BYTES: usize = 8;
+
+#[inline]
+fn byte_at(k: u64, depth: usize) -> u8 {
+    debug_assert!(depth < KEY_BYTES);
+    (k >> (56 - 8 * depth)) as u8
+}
+
+/// Tagged child cell: 0 = empty, bit0 = leaf, else internal node.
+const LEAF_TAG: usize = 1;
+
+#[inline]
+fn tag_leaf(l: *mut ArtLeaf) -> usize {
+    l as usize | LEAF_TAG
+}
+
+#[inline]
+fn tag_node(n: *mut ArtNode) -> usize {
+    n as usize
+}
+
+#[inline]
+fn is_leaf(c: usize) -> bool {
+    c & LEAF_TAG != 0
+}
+
+#[inline]
+fn as_leaf(c: usize) -> *mut ArtLeaf {
+    (c & !LEAF_TAG) as *mut ArtLeaf
+}
+
+#[inline]
+fn as_node(c: usize) -> *mut ArtNode {
+    c as *mut ArtNode
+}
+
+struct ArtLeaf {
+    key: u64,
+    value: u64,
+}
+
+/// Node widths. `kind` selects the layout of `keys`/`index`/`children`.
+const N4: u8 = 0;
+const N16: u8 = 1;
+const N48: u8 = 2;
+const N256: u8 = 3;
+
+struct ArtNode {
+    lock: Lock,
+    removed: UpdateOnce<bool>,
+    kind: u8,
+    /// N4/N16: slot labels, `0` unassigned else `byte+1` (write-once).
+    keys: Box<[UpdateOnce<u32>]>,
+    /// N48 only: byte → slot mapping, `0` unassigned else `slot+1`
+    /// (write-once).
+    index: Box<[UpdateOnce<u32>]>,
+    /// Child cells (see tagging helpers above).
+    children: Box<[Mutable<usize>]>,
+    /// N48 only: next unassigned child slot.
+    alloc: Mutable<u32>,
+}
+
+impl ArtNode {
+    fn new(kind: u8) -> Self {
+        let (nkeys, nindex, nchildren) = match kind {
+            N4 => (4, 0, 4),
+            N16 => (16, 0, 16),
+            N48 => (0, 256, 48),
+            _ => (0, 0, 256),
+        };
+        Self {
+            lock: Lock::new(),
+            removed: UpdateOnce::new(false),
+            kind,
+            keys: (0..nkeys).map(|_| UpdateOnce::new(0u32)).collect(),
+            index: (0..nindex).map(|_| UpdateOnce::new(0u32)).collect(),
+            children: (0..nchildren).map(|_| Mutable::new(0usize)).collect(),
+            alloc: Mutable::new(0u32),
+        }
+    }
+
+    /// Current child for byte `b`, or 0. Unlocked-read safe (see module
+    /// docs: labels are write-once, child cells are single atomics).
+    fn lookup(&self, b: u8) -> usize {
+        match self.kind {
+            N4 | N16 => {
+                let want = b as u32 + 1;
+                for (i, kslot) in self.keys.iter().enumerate() {
+                    if kslot.load() == want {
+                        return self.children[i].load();
+                    }
+                }
+                0
+            }
+            N48 => {
+                let slot = self.index[b as usize].load();
+                if slot == 0 {
+                    return 0;
+                }
+                self.children[(slot - 1) as usize].load()
+            }
+            _ => self.children[b as usize].load(),
+        }
+    }
+
+    /// The slot that holds byte `b`'s child cell, if `b` has been assigned.
+    fn slot_of(&self, b: u8) -> Option<usize> {
+        match self.kind {
+            N4 | N16 => {
+                let want = b as u32 + 1;
+                self.keys.iter().position(|k| k.load() == want)
+            }
+            N48 => {
+                let slot = self.index[b as usize].load();
+                (slot != 0).then(|| (slot - 1) as usize)
+            }
+            _ => Some(b as usize),
+        }
+    }
+
+    /// Try to assign a slot for a new byte `b` and store `child` in it.
+    /// Must run under this node's lock. Returns false when the node has no
+    /// free slot (caller upgrades the node).
+    fn try_add(&self, b: u8, child: usize) -> bool {
+        match self.kind {
+            N4 | N16 => {
+                for (i, kslot) in self.keys.iter().enumerate() {
+                    if kslot.load() == 0 {
+                        // Publish order: child first, then the label, so a
+                        // matched label always reads a valid cell.
+                        self.children[i].store(child);
+                        kslot.store(b as u32 + 1);
+                        return true;
+                    }
+                }
+                false
+            }
+            N48 => {
+                let next = self.alloc.load();
+                if next as usize >= self.children.len() {
+                    return false;
+                }
+                self.alloc.store(next + 1);
+                self.children[next as usize].store(child);
+                self.index[b as usize].store(next + 1);
+                true
+            }
+            _ => {
+                self.children[b as usize].store(child);
+                true
+            }
+        }
+    }
+
+    /// Live (byte, child) pairs.
+    fn live_entries(&self) -> Vec<(u8, usize)> {
+        let mut out = Vec::new();
+        match self.kind {
+            N4 | N16 => {
+                for (i, kslot) in self.keys.iter().enumerate() {
+                    let kv = kslot.load();
+                    if kv != 0 {
+                        let c = self.children[i].load();
+                        if c != 0 {
+                            out.push(((kv - 1) as u8, c));
+                        }
+                    }
+                }
+            }
+            N48 => {
+                for b in 0..256usize {
+                    let slot = self.index[b].load();
+                    if slot != 0 {
+                        let c = self.children[(slot - 1) as usize].load();
+                        if c != 0 {
+                            out.push((b as u8, c));
+                        }
+                    }
+                }
+            }
+            _ => {
+                for b in 0..256usize {
+                    let c = self.children[b].load();
+                    if c != 0 {
+                        out.push((b as u8, c));
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Is there a slot available for a byte not yet assigned here?
+    fn has_free_slot(&self) -> bool {
+        match self.kind {
+            N4 | N16 => self.keys.iter().any(|kslot| kslot.load() == 0),
+            N48 => (self.alloc.load() as usize) < self.children.len(),
+            _ => true,
+        }
+    }
+
+    /// Smallest kind that fits `n` children.
+    fn kind_for(n: usize) -> u8 {
+        match n {
+            0..=4 => N4,
+            5..=16 => N16,
+            17..=48 => N48,
+            _ => N256,
+        }
+    }
+}
+
+/// Adaptive radix tree map over `u64` keys.
+pub struct ArtTree {
+    /// Depth-0 node; fixed Node256 so it is never upgraded or removed.
+    root: *mut ArtNode,
+}
+
+// SAFETY: mutation via Flock locks + epoch reclamation; root immutable.
+unsafe impl Send for ArtTree {}
+unsafe impl Sync for ArtTree {}
+
+impl Default for ArtTree {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ArtTree {
+    /// An empty tree.
+    pub fn new() -> Self {
+        Self {
+            root: flock_epoch::alloc(ArtNode::new(N256)),
+        }
+    }
+
+    /// Wait-free lookup.
+    pub fn get(&self, k: u64) -> Option<u64> {
+        let _g = flock_epoch::pin();
+        let mut cur = self.root;
+        for d in 0..KEY_BYTES {
+            // SAFETY: pinned; nodes epoch-reclaimed.
+            let c = unsafe { &*cur }.lookup(byte_at(k, d));
+            if c == 0 {
+                return None;
+            }
+            if is_leaf(c) {
+                // SAFETY: leaf pointers epoch-protected.
+                let l = unsafe { &*as_leaf(c) };
+                return (l.key == k).then_some(l.value);
+            }
+            cur = as_node(c);
+        }
+        unreachable!("leaves appear within {KEY_BYTES} levels");
+    }
+
+    /// Insert; `false` if present.
+    pub fn insert(&self, k: u64, v: u64) -> bool {
+        let _g = flock_epoch::pin();
+        'restart: loop {
+            let mut parent: *mut ArtNode = std::ptr::null_mut();
+            let mut cur = self.root;
+            let mut d = 0;
+            loop {
+                let b = byte_at(k, d);
+                // SAFETY: pinned.
+                let c = unsafe { &*cur }.lookup(b);
+                if c == 0 {
+                    // Empty slot: add a leaf here (possibly upgrading).
+                    match self.add_leaf(parent, cur, d, k, v) {
+                        AddOutcome::Done => return true,
+                        AddOutcome::Retry => continue 'restart,
+                    }
+                }
+                if is_leaf(c) {
+                    // SAFETY: pinned.
+                    let l = unsafe { &*as_leaf(c) };
+                    if l.key == k {
+                        return false;
+                    }
+                    // Split: replace the leaf with a chain diverging at the
+                    // first differing byte.
+                    if self.split_leaf(cur, d, c, k, v) {
+                        return true;
+                    }
+                    continue 'restart;
+                }
+                parent = cur;
+                cur = as_node(c);
+                d += 1;
+            }
+        }
+    }
+
+    /// Remove; `false` if absent.
+    pub fn remove(&self, k: u64) -> bool {
+        let _g = flock_epoch::pin();
+        'restart: loop {
+            let mut cur = self.root;
+            let mut d = 0;
+            loop {
+                let b = byte_at(k, d);
+                // SAFETY: pinned.
+                let c = unsafe { &*cur }.lookup(b);
+                if c == 0 {
+                    return false;
+                }
+                if is_leaf(c) {
+                    // SAFETY: pinned.
+                    if unsafe { &*as_leaf(c) }.key != k {
+                        return false;
+                    }
+                    let sp_n = Sp(cur);
+                    // SAFETY: pinned.
+                    let ok = unsafe { &*cur }.lock.try_lock(move || {
+                        // SAFETY: thunk runners hold epoch protection.
+                        let n = unsafe { sp_n.as_ref() };
+                        if n.removed.load() {
+                            return false;
+                        }
+                        let Some(slot) = n.slot_of(b) else { return false };
+                        let cell = &n.children[slot];
+                        if cell.load() != c {
+                            return false; // validate
+                        }
+                        cell.store(0); // tombstone the child cell
+                        // SAFETY: unlinked above; idempotent retire.
+                        unsafe { flock_core::retire(as_leaf(c)) };
+                        true
+                    });
+                    if ok {
+                        return true;
+                    }
+                    continue 'restart;
+                }
+                cur = as_node(c);
+                d += 1;
+            }
+        }
+    }
+
+    /// Add a fresh leaf for `k` into `node` (whose slot for `k`'s byte at
+    /// `depth` was observed empty), upgrading the node if it is out of
+    /// slots.
+    fn add_leaf(
+        &self,
+        parent: *mut ArtNode,
+        node: *mut ArtNode,
+        depth: usize,
+        k: u64,
+        v: u64,
+    ) -> AddOutcome {
+        let b = byte_at(k, depth);
+        let sp_n = Sp(node);
+        // First try the common path: free slot under the node's own lock.
+        // SAFETY: pinned caller.
+        let ok = unsafe { &*node }.lock.try_lock(move || {
+            // SAFETY: thunk runners hold epoch protection.
+            let n = unsafe { sp_n.as_ref() };
+            if n.removed.load() || n.lookup(b) != 0 {
+                return false; // validate: slot got taken (or node replaced)
+            }
+            // Reuse a tombstoned slot for the same byte if present.
+            if let Some(slot) = n.slot_of(b) {
+                let leaf = flock_core::alloc(|| ArtLeaf { key: k, value: v });
+                n.children[slot].store(tag_leaf(leaf));
+                return true;
+            }
+            // Allocate only once a slot is known to exist, so a full node
+            // cannot leak the fresh leaf.
+            if !n.has_free_slot() {
+                return false;
+            }
+            let leaf = flock_core::alloc(|| ArtLeaf { key: k, value: v });
+            let added = n.try_add(b, tag_leaf(leaf));
+            debug_assert!(added, "free slot vanished under the node lock");
+            added
+        });
+        if ok {
+            return AddOutcome::Done;
+        }
+        // Slow path: the node may be full — upgrade under parent + node
+        // locks. The root is Node256 and never full. A successful upgrade
+        // already contains the new leaf, so it completes the insert.
+        // SAFETY: pinned.
+        let full = unsafe { &*node }.slot_of(b).is_none()
+            && unsafe { &*node }.kind != N256
+            && self.node_is_full(node);
+        if full && !parent.is_null() && self.upgrade_node(parent, node, depth, k, v) {
+            return AddOutcome::Done;
+        }
+        AddOutcome::Retry
+    }
+
+    fn node_is_full(&self, node: *mut ArtNode) -> bool {
+        // SAFETY: pinned caller.
+        let n = unsafe { &*node };
+        match n.kind {
+            N4 | N16 => n.keys.iter().all(|kslot| kslot.load() != 0),
+            N48 => n.alloc.load() as usize >= n.children.len(),
+            _ => false,
+        }
+    }
+
+    /// Replace a full `node` with a larger copy that also contains a new
+    /// leaf for `k`. Locks parent → node (ancestor-first).
+    fn upgrade_node(
+        &self,
+        parent: *mut ArtNode,
+        node: *mut ArtNode,
+        depth: usize,
+        k: u64,
+        v: u64,
+    ) -> bool {
+        debug_assert!(depth >= 1);
+        let pb = byte_at(k, depth - 1);
+        let b = byte_at(k, depth);
+        let (sp_p, sp_n) = (Sp(parent), Sp(node));
+        // SAFETY: pinned caller.
+        unsafe { &*parent }.lock.try_lock(move || {
+            // SAFETY: thunk runners hold epoch protection.
+            let n_ref = unsafe { sp_n.as_ref() };
+            n_ref.lock.try_lock(move || {
+                // SAFETY: as above.
+                let p = unsafe { sp_p.as_ref() };
+                let n = unsafe { sp_n.as_ref() };
+                if p.removed.load() || n.removed.load() {
+                    return false;
+                }
+                let Some(pslot) = p.slot_of(pb) else { return false };
+                if p.children[pslot].load() != tag_node(sp_n.ptr()) {
+                    return false; // validate the link
+                }
+                if n.lookup(b) != 0 || n.slot_of(b).is_some() || !matches!(n.kind, N4 | N16 | N48)
+                {
+                    return false; // stale plan
+                }
+                // Build the compacted, larger copy with the new leaf.
+                let entries = n.live_entries();
+                let new_kind = ArtNode::kind_for(entries.len() + 1);
+                let entries2 = entries.clone();
+                let bigger = flock_core::alloc(move || {
+                    let fresh = ArtNode::new(new_kind);
+                    for (eb, ec) in &entries2 {
+                        let added = fresh.try_add(*eb, *ec);
+                        debug_assert!(added);
+                    }
+                    let leaf = flock_epoch::alloc(ArtLeaf { key: k, value: v });
+                    let added = fresh.try_add(b, tag_leaf(leaf));
+                    debug_assert!(added);
+                    fresh
+                });
+                n.removed.store(true);
+                p.children[pslot].store(tag_node(bigger));
+                // SAFETY: replaced above; idempotent retire.
+                unsafe { flock_core::retire(sp_n.ptr()) };
+                true
+            })
+        })
+    }
+
+    /// Replace existing leaf `c` (child of `node` at `depth`) with a chain
+    /// of nodes covering the shared prefix of the two keys, ending in a
+    /// Node4 holding both leaves.
+    fn split_leaf(&self, node: *mut ArtNode, depth: usize, c: usize, k: u64, v: u64) -> bool {
+        let b = byte_at(k, depth);
+        let sp_n = Sp(node);
+        // SAFETY: pinned caller.
+        unsafe { &*node }.lock.try_lock(move || {
+            // SAFETY: thunk runners hold epoch protection.
+            let n = unsafe { sp_n.as_ref() };
+            if n.removed.load() {
+                return false;
+            }
+            let Some(slot) = n.slot_of(b) else { return false };
+            if n.children[slot].load() != c {
+                return false; // validate
+            }
+            // SAFETY: c validated in place; epoch-protected.
+            let old_key = unsafe { &*as_leaf(c) }.key;
+            debug_assert_ne!(old_key, k);
+            // First divergent byte strictly below `depth`.
+            let mut j = depth + 1;
+            while byte_at(old_key, j) == byte_at(k, j) {
+                j += 1;
+            }
+            let chain = flock_core::alloc(move || {
+                // Innermost node: both leaves.
+                let bottom = ArtNode::new(N4);
+                let new_leaf = flock_epoch::alloc(ArtLeaf { key: k, value: v });
+                let added = bottom.try_add(byte_at(old_key, j), c);
+                debug_assert!(added);
+                let added = bottom.try_add(byte_at(k, j), tag_leaf(new_leaf));
+                debug_assert!(added);
+                // Wrap in single-child nodes up to depth+1.
+                let mut head = bottom;
+                for d in (depth + 1..j).rev() {
+                    let wrap = ArtNode::new(N4);
+                    let added = wrap.try_add(byte_at(k, d), tag_node(flock_epoch::alloc(head)));
+                    debug_assert!(added);
+                    head = wrap;
+                }
+                head
+            });
+            n.children[slot].store(tag_node(chain));
+            true
+        })
+    }
+
+    /// Element count (O(n) walk; tests/diagnostics).
+    pub fn len(&self) -> usize {
+        let _g = flock_epoch::pin();
+        // SAFETY: pinned walk.
+        unsafe { Self::count(self.root) }
+    }
+
+    /// Is the tree empty?
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    unsafe fn count(n: *mut ArtNode) -> usize {
+        // SAFETY: pinned per caller.
+        let node = unsafe { &*n };
+        node.live_entries()
+            .into_iter()
+            .map(|(_, c)| {
+                if is_leaf(c) {
+                    1
+                } else {
+                    unsafe { Self::count(as_node(c)) }
+                }
+            })
+            .sum()
+    }
+
+    /// Snapshot of all pairs in key order — single-threaded use.
+    pub fn collect(&self) -> Vec<(u64, u64)> {
+        let _g = flock_epoch::pin();
+        let mut out = Vec::new();
+        // SAFETY: pinned walk.
+        unsafe { Self::walk(self.root, &mut out) };
+        out.sort_unstable();
+        out
+    }
+
+    unsafe fn walk(n: *mut ArtNode, out: &mut Vec<(u64, u64)>) {
+        // SAFETY: pinned per caller.
+        let node = unsafe { &*n };
+        for (_, c) in node.live_entries() {
+            if is_leaf(c) {
+                // SAFETY: live child pointer.
+                let l = unsafe { &*as_leaf(c) };
+                out.push((l.key, l.value));
+            } else {
+                unsafe { Self::walk(as_node(c), out) };
+            }
+        }
+    }
+
+    /// Quiescent invariant check: every stored leaf is reachable by its own
+    /// key bytes, and depth bounds hold.
+    pub fn check_invariants(&self) {
+        let pairs = self.collect();
+        for (k, v) in pairs {
+            assert_eq!(self.get(k), Some(v), "leaf unreachable by its key bytes");
+        }
+    }
+}
+
+enum AddOutcome {
+    Done,
+    Retry,
+}
+
+impl Drop for ArtTree {
+    fn drop(&mut self) {
+        // SAFETY: exclusive access; retired nodes belong to the collector.
+        unsafe fn free(n: *mut ArtNode) {
+            // SAFETY: exclusive teardown.
+            unsafe {
+                for (_, c) in (*n).live_entries() {
+                    if is_leaf(c) {
+                        flock_epoch::free_now(as_leaf(c));
+                    } else {
+                        free(as_node(c));
+                    }
+                }
+                flock_epoch::free_now(n);
+            }
+        }
+        // SAFETY: exclusive access.
+        unsafe { free(self.root) };
+    }
+}
+
+impl ConcurrentMap for ArtTree {
+    fn insert(&self, key: u64, value: u64) -> bool {
+        ArtTree::insert(self, key, value)
+    }
+    fn remove(&self, key: u64) -> bool {
+        ArtTree::remove(self, key)
+    }
+    fn get(&self, key: u64) -> Option<u64> {
+        ArtTree::get(self, key)
+    }
+    fn name(&self) -> &'static str {
+        "arttree"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil;
+
+    #[test]
+    fn basic_ops() {
+        testutil::both_modes(|| {
+            let t = ArtTree::new();
+            assert!(t.insert(5, 50));
+            assert!(!t.insert(5, 51));
+            assert!(t.insert(3, 30));
+            assert_eq!(t.get(5), Some(50));
+            assert!(t.remove(5));
+            assert!(!t.remove(5));
+            assert_eq!(t.get(5), None);
+            assert_eq!(t.get(3), Some(30));
+            t.check_invariants();
+        });
+    }
+
+    #[test]
+    fn shared_prefix_keys_split_into_chains() {
+        testutil::both_modes(|| {
+            let t = ArtTree::new();
+            // Keys differing only in the last byte share 7 prefix bytes:
+            // exercises the chain-building split path.
+            let base = 0xAABB_CCDD_EEFF_1100u64;
+            for i in 0..200u64 {
+                assert!(t.insert(base + i, i), "insert {i}");
+            }
+            for i in 0..200u64 {
+                assert_eq!(t.get(base + i), Some(i), "get {i}");
+            }
+            assert_eq!(t.len(), 200);
+            t.check_invariants();
+        });
+    }
+
+    #[test]
+    fn node_upgrades_n4_to_n256() {
+        testutil::both_modes(|| {
+            let t = ArtTree::new();
+            // 256 keys sharing 7 bytes force one node through every width.
+            let base = 0x0102_0304_0506_0700u64;
+            for i in 0..256u64 {
+                assert!(t.insert(base | i, i * 7));
+            }
+            for i in 0..256u64 {
+                assert_eq!(t.get(base | i), Some(i * 7));
+            }
+            t.check_invariants();
+        });
+    }
+
+    #[test]
+    fn tombstone_reuse_same_byte() {
+        testutil::both_modes(|| {
+            let t = ArtTree::new();
+            let k = 0xDEAD_BEEF_0000_0042u64;
+            for round in 0..50 {
+                assert!(t.insert(k, round));
+                assert_eq!(t.get(k), Some(round));
+                assert!(t.remove(k));
+            }
+            assert!(t.is_empty());
+        });
+    }
+
+    #[test]
+    fn oracle_dense_and_sparse() {
+        testutil::both_modes(|| {
+            let t = ArtTree::new();
+            testutil::oracle_check(&t, 3_000, 512, 17);
+        });
+        testutil::both_modes(|| {
+            let t = ArtTree::new();
+            // Sparse (hashed) keys, like the paper's benchmark keys.
+            let mut oracle = std::collections::BTreeMap::new();
+            for i in 0..2_000u64 {
+                let k = crate::mix64(i % 600);
+                let expect = !oracle.contains_key(&k);
+                if expect {
+                    oracle.insert(k, i);
+                }
+                assert_eq!(t.insert(k, i), expect);
+                if i % 3 == 0 {
+                    let rk = crate::mix64((i / 2) % 600);
+                    assert_eq!(t.remove(rk), oracle.remove(&rk).is_some());
+                }
+            }
+            for (k, v) in &oracle {
+                assert_eq!(t.get(*k), Some(*v));
+            }
+        });
+    }
+
+    #[test]
+    fn concurrent_partitioned() {
+        testutil::both_modes(|| {
+            let t = ArtTree::new();
+            testutil::partition_stress(&t, 4, 1_500);
+            t.check_invariants();
+        });
+    }
+}

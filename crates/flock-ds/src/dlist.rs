@@ -1,0 +1,359 @@
+//! Sorted doubly-linked list with optimistic fine-grained try-locks —
+//! the paper's running example (Algorithm 1).
+//!
+//! Each link carries a key, a value, `next`/`prev` mutable pointers, a
+//! `removed` update-once flag, and a lock. Traversal takes no locks; an
+//! update locks only the predecessor (insert) or predecessor + victim
+//! (remove), validates that the neighborhood is unchanged, and splices. The
+//! doubly-linked splice (`prev.next = n; next.prev = n`) is the two-word
+//! update that is painful to make lock-free by hand and trivial here.
+
+use flock_core::{Lock, Mutable, Sp, UpdateOnce};
+
+use crate::ConcurrentMap;
+
+/// Sentinel markers so head/tail need no special key values.
+const KIND_NORMAL: u8 = 0;
+const KIND_HEAD: u8 = 1;
+const KIND_TAIL: u8 = 2;
+
+struct Link {
+    next: Mutable<*mut Link>,
+    prev: Mutable<*mut Link>,
+    removed: UpdateOnce<bool>,
+    key: u64,
+    value: u64,
+    lock: Lock,
+    kind: u8,
+}
+
+impl Link {
+    fn new(key: u64, value: u64, next: *mut Link, prev: *mut Link, kind: u8) -> Self {
+        Self {
+            next: Mutable::new(next),
+            prev: Mutable::new(prev),
+            removed: UpdateOnce::new(false),
+            key,
+            value,
+            lock: Lock::new(),
+            kind,
+        }
+    }
+
+    /// Does this link's key order at-or-after `k`? Tail orders after
+    /// everything, head before everything.
+    #[inline]
+    fn at_or_after(&self, k: u64) -> bool {
+        match self.kind {
+            KIND_TAIL => true,
+            KIND_HEAD => false,
+            _ => self.key >= k,
+        }
+    }
+}
+
+/// Sorted doubly-linked list map (paper Algorithm 1).
+///
+/// ```
+/// use flock_ds::dlist::DList;
+/// use flock_ds::ConcurrentMap;
+/// let l = DList::new();
+/// assert!(l.insert(2, 20));
+/// assert!(l.insert(1, 10));
+/// assert_eq!(l.get(2), Some(20));
+/// assert!(l.remove(1));
+/// assert_eq!(l.get(1), None);
+/// ```
+pub struct DList {
+    head: *mut Link,
+    tail: *mut Link,
+}
+
+// SAFETY: all mutation is via Flock locks + epoch reclamation; the raw head
+// and tail pointers are immutable after construction.
+unsafe impl Send for DList {}
+unsafe impl Sync for DList {}
+
+impl Default for DList {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl DList {
+    /// An empty list.
+    pub fn new() -> Self {
+        let head = flock_epoch::alloc(Link::new(
+            0,
+            0,
+            std::ptr::null_mut(),
+            std::ptr::null_mut(),
+            KIND_HEAD,
+        ));
+        let tail = flock_epoch::alloc(Link::new(0, 0, std::ptr::null_mut(), head, KIND_TAIL));
+        // SAFETY: fresh, unshared.
+        unsafe { (*head).next.store(tail) };
+        Self { head, tail }
+    }
+
+    /// First link whose key orders at-or-after `k` (paper's `find_link`).
+    /// Lock-free traversal; loads are unlogged because we are outside locks.
+    fn find_link(&self, k: u64) -> *mut Link {
+        // SAFETY: head is immutable; links are epoch-protected (caller pins).
+        let mut lnk = unsafe { (*self.head).next.load() };
+        // SAFETY: as above — every loaded link is protected by the pin.
+        while !unsafe { &*lnk }.at_or_after(k) {
+            lnk = unsafe { &*lnk }.next.load();
+        }
+        lnk
+    }
+
+    /// Insert; `false` if the key is already present.
+    pub fn insert(&self, k: u64, v: u64) -> bool {
+        let _g = flock_epoch::pin();
+        loop {
+            let next = self.find_link(k);
+            // SAFETY: epoch-pinned traversal result.
+            let next_ref = unsafe { &*next };
+            if next_ref.kind == KIND_NORMAL && next_ref.key == k {
+                return false; // already there
+            }
+            let prev = next_ref.prev.load();
+            // SAFETY: prev read from a live link; epoch-pinned.
+            let prev_ref = unsafe { &*prev };
+            let prev_ok = prev_ref.kind == KIND_HEAD || (prev_ref.kind == KIND_NORMAL && prev_ref.key < k);
+            if prev_ok {
+                let (sp_prev, sp_next) = (Sp(prev), Sp(next));
+                let locked = prev_ref.lock.try_lock(move || {
+                    // SAFETY: thunk runs under epoch protection (owner's pin
+                    // or helper's adopted epoch); links are retired through
+                    // the collector, so these derefs are valid.
+                    let (p, n) = unsafe { (sp_prev.as_ref(), sp_next.as_ref()) };
+                    if p.removed.load() || p.next.load() != sp_next.ptr() {
+                        return false; // validate
+                    }
+                    let newl = flock_core::alloc(|| {
+                        Link::new(k, v, sp_next.ptr(), sp_prev.ptr(), KIND_NORMAL)
+                    });
+                    p.next.store(newl); // splice in
+                    n.prev.store(newl);
+                    true
+                });
+                if locked {
+                    return true;
+                }
+            }
+        }
+    }
+
+    /// Remove; `false` if the key was not present.
+    pub fn remove(&self, k: u64) -> bool {
+        let _g = flock_epoch::pin();
+        loop {
+            let lnk = self.find_link(k);
+            // SAFETY: epoch-pinned traversal result.
+            let lnk_ref = unsafe { &*lnk };
+            if lnk_ref.kind != KIND_NORMAL || lnk_ref.key != k {
+                return false; // not found
+            }
+            let prev = lnk_ref.prev.load();
+            // SAFETY: epoch-pinned.
+            let prev_ref = unsafe { &*prev };
+            let (sp_prev, sp_lnk) = (Sp(prev), Sp(lnk));
+            let done = prev_ref.lock.try_lock(move || {
+                // SAFETY: see insert's thunk.
+                let l = unsafe { sp_lnk.as_ref() };
+                l.lock.try_lock(move || {
+                    // SAFETY: as above.
+                    let p = unsafe { sp_prev.as_ref() };
+                    let l = unsafe { sp_lnk.as_ref() };
+                    if p.removed.load() || p.next.load() != sp_lnk.ptr() {
+                        return false; // validate
+                    }
+                    let next = l.next.load();
+                    l.removed.store(true);
+                    p.next.store(next); // splice out
+                    // SAFETY: next is a live link (reachable until now).
+                    unsafe { (*next).prev.store(sp_prev.ptr()) };
+                    // SAFETY: l is unlinked above; retired exactly once
+                    // thanks to the idempotent retire.
+                    unsafe { flock_core::retire(sp_lnk.ptr()) };
+                    true
+                })
+            });
+            if done {
+                return true;
+            }
+        }
+    }
+
+    /// Lookup (wait-free traversal, no locks — paper's `find`).
+    pub fn get(&self, k: u64) -> Option<u64> {
+        let _g = flock_epoch::pin();
+        let lnk = self.find_link(k);
+        // SAFETY: epoch-pinned traversal result.
+        let l = unsafe { &*lnk };
+        (l.kind == KIND_NORMAL && l.key == k).then_some(l.value)
+    }
+
+    /// Number of elements (O(n) walk; for tests and diagnostics).
+    pub fn len(&self) -> usize {
+        let _g = flock_epoch::pin();
+        let mut n = 0;
+        // SAFETY: epoch-pinned walk over live links.
+        let mut p = unsafe { (*self.head).next.load() };
+        while unsafe { &*p }.kind == KIND_NORMAL {
+            n += 1;
+            p = unsafe { &*p }.next.load();
+        }
+        n
+    }
+
+    /// Is the list empty?
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Snapshot of the (key, value) pairs in order — single-threaded use.
+    pub fn collect(&self) -> Vec<(u64, u64)> {
+        let _g = flock_epoch::pin();
+        let mut out = Vec::new();
+        // SAFETY: epoch-pinned walk.
+        let mut p = unsafe { (*self.head).next.load() };
+        while unsafe { &*p }.kind == KIND_NORMAL {
+            let l = unsafe { &*p };
+            out.push((l.key, l.value));
+            p = l.next.load();
+        }
+        out
+    }
+
+    /// Check structural invariants: sorted keys, consistent back-pointers.
+    /// Call only while quiescent.
+    pub fn check_invariants(&self) {
+        let _g = flock_epoch::pin();
+        // SAFETY: quiescent per contract.
+        unsafe {
+            let mut p = self.head;
+            let mut last_key: Option<u64> = None;
+            loop {
+                let next = (*p).next.load();
+                assert_eq!((*next).prev.load(), p, "broken back-pointer");
+                if (*next).kind == KIND_TAIL {
+                    break;
+                }
+                assert!(!(*next).removed.load(), "removed link still reachable");
+                if let Some(lk) = last_key {
+                    assert!(lk < (*next).key, "keys out of order");
+                }
+                last_key = Some((*next).key);
+                p = next;
+            }
+        }
+    }
+}
+
+impl Drop for DList {
+    fn drop(&mut self) {
+        // Exclusive access: free all still-linked nodes directly. Retired
+        // (unlinked) nodes are owned by the epoch collector.
+        // SAFETY: &mut self implies no concurrent users.
+        unsafe {
+            let mut p = self.head;
+            while !p.is_null() {
+                let next = (*p).next.load();
+                flock_epoch::free_now(p);
+                if p == self.tail {
+                    break;
+                }
+                p = next;
+            }
+        }
+    }
+}
+
+impl ConcurrentMap for DList {
+    fn insert(&self, key: u64, value: u64) -> bool {
+        DList::insert(self, key, value)
+    }
+    fn remove(&self, key: u64) -> bool {
+        DList::remove(self, key)
+    }
+    fn get(&self, key: u64) -> Option<u64> {
+        DList::get(self, key)
+    }
+    fn name(&self) -> &'static str {
+        "dlist"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil;
+
+    #[test]
+    fn basic_ops() {
+        testutil::both_modes(|| {
+            let l = DList::new();
+            assert_eq!(l.get(5), None);
+            assert!(l.insert(5, 50));
+            assert!(!l.insert(5, 51), "duplicate insert must fail");
+            assert_eq!(l.get(5), Some(50));
+            assert!(l.insert(3, 30));
+            assert!(l.insert(7, 70));
+            assert_eq!(l.collect(), vec![(3, 30), (5, 50), (7, 70)]);
+            assert!(l.remove(5));
+            assert!(!l.remove(5));
+            assert_eq!(l.collect(), vec![(3, 30), (7, 70)]);
+            l.check_invariants();
+        });
+    }
+
+    #[test]
+    fn boundary_keys() {
+        testutil::both_modes(|| {
+            let l = DList::new();
+            assert!(l.insert(0, 1));
+            assert!(l.insert(u64::MAX, 2));
+            assert_eq!(l.get(0), Some(1));
+            assert_eq!(l.get(u64::MAX), Some(2));
+            assert!(l.remove(0));
+            assert!(l.remove(u64::MAX));
+            assert!(l.is_empty());
+        });
+    }
+
+    #[test]
+    fn oracle() {
+        testutil::both_modes(|| {
+            let l = DList::new();
+            testutil::oracle_check(&l, 3_000, 64, 42);
+            l.check_invariants();
+        });
+    }
+
+    #[test]
+    fn concurrent_partitioned() {
+        testutil::both_modes(|| {
+            let l = DList::new();
+            testutil::partition_stress(&l, 4, 1_500);
+            l.check_invariants();
+        });
+    }
+
+    #[test]
+    fn drop_reclaims_without_crash() {
+        testutil::exclusive(|| {
+            let l = DList::new();
+            for i in 0..100 {
+                l.insert(i, i);
+            }
+            for i in 0..50 {
+                l.remove(i * 2);
+            }
+            drop(l);
+            flock_epoch::flush_all();
+        });
+    }
+}

@@ -1,0 +1,295 @@
+//! Sorted singly-linked *lazy list* with optimistic try-locks.
+//!
+//! The classic lazy-list design (Heller et al., OPODIS 2006), written with
+//! Flock locks as in the paper's `lazylist` (§7): traversal takes no locks;
+//! `insert` locks the predecessor; `remove` locks predecessor and victim,
+//! marks the victim `removed` (logical delete) and splices it out (physical
+//! delete). `get` is wait-free: it walks the list and checks the `removed`
+//! flag of the matching node.
+
+use flock_core::{Lock, Mutable, Sp, UpdateOnce};
+
+use crate::ConcurrentMap;
+
+const KIND_NORMAL: u8 = 0;
+const KIND_HEAD: u8 = 1;
+const KIND_TAIL: u8 = 2;
+
+struct Node {
+    next: Mutable<*mut Node>,
+    removed: UpdateOnce<bool>,
+    key: u64,
+    value: u64,
+    lock: Lock,
+    kind: u8,
+}
+
+impl Node {
+    fn new(key: u64, value: u64, next: *mut Node, kind: u8) -> Self {
+        Self {
+            next: Mutable::new(next),
+            removed: UpdateOnce::new(false),
+            key,
+            value,
+            lock: Lock::new(),
+            kind,
+        }
+    }
+
+    #[inline]
+    fn at_or_after(&self, k: u64) -> bool {
+        match self.kind {
+            KIND_TAIL => true,
+            KIND_HEAD => false,
+            _ => self.key >= k,
+        }
+    }
+}
+
+/// Sorted singly-linked lazy list map.
+pub struct LazyList {
+    head: *mut Node,
+    tail: *mut Node,
+}
+
+// SAFETY: mutation via Flock locks + epoch reclamation; head/tail immutable.
+unsafe impl Send for LazyList {}
+unsafe impl Sync for LazyList {}
+
+impl Default for LazyList {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LazyList {
+    /// An empty list.
+    pub fn new() -> Self {
+        let tail = flock_epoch::alloc(Node::new(0, 0, std::ptr::null_mut(), KIND_TAIL));
+        let head = flock_epoch::alloc(Node::new(0, 0, tail, KIND_HEAD));
+        Self { head, tail }
+    }
+
+    /// Unlocked traversal: returns `(pred, curr)` with
+    /// `pred.key < k <= curr.key` (sentinels at the ends).
+    fn search(&self, k: u64) -> (*mut Node, *mut Node) {
+        let mut pred = self.head;
+        // SAFETY: epoch-pinned caller; nodes reclaimed via collector.
+        let mut curr = unsafe { (*pred).next.load() };
+        while !unsafe { &*curr }.at_or_after(k) {
+            pred = curr;
+            curr = unsafe { &*curr }.next.load();
+        }
+        (pred, curr)
+    }
+
+    /// Insert; `false` if present.
+    pub fn insert(&self, k: u64, v: u64) -> bool {
+        let _g = flock_epoch::pin();
+        loop {
+            let (pred, curr) = self.search(k);
+            // SAFETY: epoch-pinned.
+            let curr_ref = unsafe { &*curr };
+            if curr_ref.kind == KIND_NORMAL && curr_ref.key == k && !curr_ref.removed.load() {
+                return false;
+            }
+            let (sp_pred, sp_curr) = (Sp(pred), Sp(curr));
+            // SAFETY: epoch-pinned.
+            let locked = unsafe { &*pred }.lock.try_lock(move || {
+                // SAFETY: epoch protection via owner pin / helper adoption.
+                let p = unsafe { sp_pred.as_ref() };
+                if p.removed.load() || p.next.load() != sp_curr.ptr() {
+                    return false; // validate
+                }
+                let newn = flock_core::alloc(|| Node::new(k, v, sp_curr.ptr(), KIND_NORMAL));
+                p.next.store(newn);
+                true
+            });
+            if locked {
+                return true;
+            }
+        }
+    }
+
+    /// Remove; `false` if absent.
+    pub fn remove(&self, k: u64) -> bool {
+        let _g = flock_epoch::pin();
+        loop {
+            let (pred, curr) = self.search(k);
+            // SAFETY: epoch-pinned.
+            let curr_ref = unsafe { &*curr };
+            if curr_ref.kind != KIND_NORMAL || curr_ref.key != k || curr_ref.removed.load() {
+                return false;
+            }
+            let (sp_pred, sp_curr) = (Sp(pred), Sp(curr));
+            // SAFETY: epoch-pinned.
+            let done = unsafe { &*pred }.lock.try_lock(move || {
+                // SAFETY: see insert.
+                let c = unsafe { sp_curr.as_ref() };
+                c.lock.try_lock(move || {
+                    // SAFETY: as above.
+                    let p = unsafe { sp_pred.as_ref() };
+                    let c = unsafe { sp_curr.as_ref() };
+                    if p.removed.load() || p.next.load() != sp_curr.ptr() || c.removed.load() {
+                        return false; // validate
+                    }
+                    c.removed.store(true); // logical delete
+                    p.next.store(c.next.load()); // physical delete
+                    // SAFETY: unlinked above; idempotent retire fires once.
+                    unsafe { flock_core::retire(sp_curr.ptr()) };
+                    true
+                })
+            });
+            if done {
+                return true;
+            }
+        }
+    }
+
+    /// Wait-free lookup.
+    pub fn get(&self, k: u64) -> Option<u64> {
+        let _g = flock_epoch::pin();
+        let (_, curr) = self.search(k);
+        // SAFETY: epoch-pinned.
+        let c = unsafe { &*curr };
+        (c.kind == KIND_NORMAL && c.key == k && !c.removed.load()).then_some(c.value)
+    }
+
+    /// Element count (O(n); tests/diagnostics).
+    pub fn len(&self) -> usize {
+        let _g = flock_epoch::pin();
+        let mut n = 0;
+        // SAFETY: epoch-pinned walk.
+        let mut p = unsafe { (*self.head).next.load() };
+        while unsafe { &*p }.kind == KIND_NORMAL {
+            n += 1;
+            p = unsafe { &*p }.next.load();
+        }
+        n
+    }
+
+    /// Is the list empty?
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Ordered snapshot — single-threaded use.
+    pub fn collect(&self) -> Vec<(u64, u64)> {
+        let _g = flock_epoch::pin();
+        let mut out = Vec::new();
+        // SAFETY: epoch-pinned walk.
+        let mut p = unsafe { (*self.head).next.load() };
+        while unsafe { &*p }.kind == KIND_NORMAL {
+            let n = unsafe { &*p };
+            out.push((n.key, n.value));
+            p = n.next.load();
+        }
+        out
+    }
+
+    /// Quiescent invariant check: strictly sorted, no removed nodes linked.
+    pub fn check_invariants(&self) {
+        // SAFETY: quiescent per contract.
+        unsafe {
+            let mut p = (*self.head).next.load();
+            let mut last: Option<u64> = None;
+            while (*p).kind == KIND_NORMAL {
+                assert!(!(*p).removed.load(), "removed node reachable");
+                if let Some(lk) = last {
+                    assert!(lk < (*p).key, "keys out of order");
+                }
+                last = Some((*p).key);
+                p = (*p).next.load();
+            }
+            assert_eq!(p, self.tail);
+        }
+    }
+}
+
+impl Drop for LazyList {
+    fn drop(&mut self) {
+        // SAFETY: exclusive access; retired nodes belong to the collector.
+        unsafe {
+            let mut p = self.head;
+            while !p.is_null() {
+                let next = (*p).next.load();
+                let is_tail = p == self.tail;
+                flock_epoch::free_now(p);
+                if is_tail {
+                    break;
+                }
+                p = next;
+            }
+        }
+    }
+}
+
+impl ConcurrentMap for LazyList {
+    fn insert(&self, key: u64, value: u64) -> bool {
+        LazyList::insert(self, key, value)
+    }
+    fn remove(&self, key: u64) -> bool {
+        LazyList::remove(self, key)
+    }
+    fn get(&self, key: u64) -> Option<u64> {
+        LazyList::get(self, key)
+    }
+    fn name(&self) -> &'static str {
+        "lazylist"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil;
+
+    #[test]
+    fn basic_ops() {
+        testutil::both_modes(|| {
+            let l = LazyList::new();
+            assert!(l.insert(5, 50));
+            assert!(!l.insert(5, 51));
+            assert!(l.insert(1, 10));
+            assert!(l.insert(9, 90));
+            assert_eq!(l.collect(), vec![(1, 10), (5, 50), (9, 90)]);
+            assert!(l.remove(5));
+            assert!(!l.remove(5));
+            assert_eq!(l.get(5), None);
+            assert_eq!(l.get(9), Some(90));
+            l.check_invariants();
+        });
+    }
+
+    #[test]
+    fn reinsert_after_remove() {
+        testutil::both_modes(|| {
+            let l = LazyList::new();
+            for round in 0..10u64 {
+                assert!(l.insert(42, round));
+                assert_eq!(l.get(42), Some(round));
+                assert!(l.remove(42));
+                assert_eq!(l.get(42), None);
+            }
+            assert!(l.is_empty());
+        });
+    }
+
+    #[test]
+    fn oracle() {
+        testutil::both_modes(|| {
+            let l = LazyList::new();
+            testutil::oracle_check(&l, 3_000, 64, 7);
+            l.check_invariants();
+        });
+    }
+
+    #[test]
+    fn concurrent_partitioned() {
+        testutil::both_modes(|| {
+            let l = LazyList::new();
+            testutil::partition_stress(&l, 4, 1_500);
+            l.check_invariants();
+        });
+    }
+}

@@ -1,0 +1,614 @@
+//! Leaf-oriented balanced BST (treap) with multi-entry leaves — the paper's
+//! `leaftreap` (§7): "a leaf-oriented balanced BST with an optimization that
+//! stores a batch of key-value pairs (up to 2 cachelines worth) in each leaf
+//! to minimize height".
+//!
+//! * **Leaves** hold up to [`LEAF_CAP`] sorted key-value pairs and are
+//!   immutable: every modification copies the leaf and swings the parent's
+//!   child pointer (one idempotent store) — so readers always see a
+//!   consistent batch.
+//! * **Internal (routing) nodes** carry a routing key and a *priority*
+//!   (a hash of the key). Max-heap order on priorities makes the tree a
+//!   treap: expected `O(log n)` height regardless of insertion order.
+//! * **Rebalancing**: when a leaf split introduces a routing node whose
+//!   priority beats its parent's, a separate fix-up loop rotates it upward,
+//!   one rotation at a time, each under grandparent→parent→child locks
+//!   (ancestor-first, so the simply-nested decreasing-order discipline the
+//!   lock-freedom theorem needs is respected). Rotations are copy-on-write:
+//!   fresh nodes replace the rotated pair, old ones are retired.
+
+use flock_core::{Lock, Mutable, Sp, UpdateOnce};
+
+use crate::{mix64, ConcurrentMap};
+
+/// Entries per leaf: 2 cachelines of 8-byte keys / 8-byte values.
+pub const LEAF_CAP: usize = 8;
+
+const KIND_INTERNAL: u8 = 0;
+const KIND_LEAF: u8 = 1;
+
+struct Node {
+    left: Mutable<*mut Node>,
+    right: Mutable<*mut Node>,
+    removed: UpdateOnce<bool>,
+    lock: Lock,
+    /// Routing key (internal) — leaves route by their first key.
+    key: u64,
+    /// Treap priority (internal only).
+    prio: u64,
+    kind: u8,
+    is_root: bool,
+    /// Sorted batch (leaves only); immutable after construction.
+    len: usize,
+    keys: [u64; LEAF_CAP],
+    vals: [u64; LEAF_CAP],
+}
+
+impl Node {
+    fn internal(key: u64, left: *mut Node, right: *mut Node) -> Self {
+        Self {
+            left: Mutable::new(left),
+            right: Mutable::new(right),
+            removed: UpdateOnce::new(false),
+            lock: Lock::new(),
+            key,
+            prio: mix64(key),
+            kind: KIND_INTERNAL,
+            is_root: false,
+            len: 0,
+            keys: [0; LEAF_CAP],
+            vals: [0; LEAF_CAP],
+        }
+    }
+
+    fn leaf(entries: &[(u64, u64)]) -> Self {
+        debug_assert!(entries.len() <= LEAF_CAP);
+        let mut keys = [0; LEAF_CAP];
+        let mut vals = [0; LEAF_CAP];
+        for (i, (k, v)) in entries.iter().enumerate() {
+            keys[i] = *k;
+            vals[i] = *v;
+        }
+        Self {
+            left: Mutable::new(std::ptr::null_mut()),
+            right: Mutable::new(std::ptr::null_mut()),
+            removed: UpdateOnce::new(false),
+            lock: Lock::new(),
+            key: 0,
+            prio: 0,
+            kind: KIND_LEAF,
+            is_root: false,
+            len: entries.len(),
+            keys,
+            vals,
+        }
+    }
+
+    #[inline]
+    fn child_for(&self, k: u64) -> &Mutable<*mut Node> {
+        if self.is_root || k < self.key {
+            &self.left
+        } else {
+            &self.right
+        }
+    }
+
+    /// Position of `k` in this leaf's batch, if present.
+    #[inline]
+    fn find(&self, k: u64) -> Option<usize> {
+        self.keys[..self.len].iter().position(|&x| x == k)
+    }
+
+    /// The batch as a vector of pairs.
+    fn entries(&self) -> Vec<(u64, u64)> {
+        (0..self.len).map(|i| (self.keys[i], self.vals[i])).collect()
+    }
+}
+
+/// Leaf-oriented treap map with batched leaves.
+pub struct LeafTreap {
+    root: *mut Node,
+}
+
+// SAFETY: mutation via Flock locks + epoch reclamation; root immutable.
+unsafe impl Send for LeafTreap {}
+unsafe impl Sync for LeafTreap {}
+
+impl Default for LeafTreap {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LeafTreap {
+    /// An empty treap.
+    pub fn new() -> Self {
+        let empty = flock_epoch::alloc(Node::leaf(&[]));
+        let mut root = Node::internal(0, empty, std::ptr::null_mut());
+        root.is_root = true;
+        root.prio = u64::MAX; // root never loses a priority comparison
+        Self {
+            root: flock_epoch::alloc(root),
+        }
+    }
+
+    /// Lock-free search: `(grandparent, parent, leaf)`; grandparent is null
+    /// when the parent is the root.
+    fn search(&self, k: u64) -> (*mut Node, *mut Node, *mut Node) {
+        let mut g = std::ptr::null_mut();
+        let mut p = self.root;
+        // SAFETY: caller pinned; nodes epoch-reclaimed.
+        let mut c = unsafe { (*p).child_for(k).load() };
+        while unsafe { &*c }.kind == KIND_INTERNAL {
+            g = p;
+            p = c;
+            c = unsafe { &*c }.child_for(k).load();
+        }
+        (g, p, c)
+    }
+
+    /// Insert; `false` if present.
+    pub fn insert(&self, k: u64, v: u64) -> bool {
+        let _g = flock_epoch::pin();
+        loop {
+            let (_, parent, leaf) = self.search(k);
+            // SAFETY: epoch-pinned.
+            let leaf_ref = unsafe { &*leaf };
+            if leaf_ref.find(k).is_some() {
+                return false;
+            }
+            let (sp_p, sp_l) = (Sp(parent), Sp(leaf));
+            // SAFETY: epoch-pinned.
+            let ok = unsafe { &*parent }.lock.try_lock(move || {
+                // SAFETY: thunk runners hold epoch protection.
+                let p = unsafe { sp_p.as_ref() };
+                let l = unsafe { sp_l.as_ref() };
+                let cell = p.child_for(k);
+                if p.removed.load() || cell.load() != sp_l.ptr() {
+                    return false; // validate
+                }
+                let mut entries = l.entries();
+                let pos = entries.partition_point(|&(ek, _)| ek < k);
+                entries.insert(pos, (k, v));
+                if entries.len() <= LEAF_CAP {
+                    let newl = flock_core::alloc(move || Node::leaf(&entries));
+                    cell.store(newl);
+                } else {
+                    // Split into two half-leaves under a new routing node.
+                    let mid = entries.len() / 2;
+                    let split_key = entries[mid].0;
+                    let lo = entries[..mid].to_vec();
+                    let hi = entries[mid..].to_vec();
+                    let newi = flock_core::alloc(move || {
+                        let left = flock_epoch::alloc(Node::leaf(&lo));
+                        let right = flock_epoch::alloc(Node::leaf(&hi));
+                        Node::internal(split_key, left, right)
+                    });
+                    cell.store(newi);
+                }
+                // SAFETY: old leaf unlinked above; idempotent retire.
+                unsafe { flock_core::retire(sp_l.ptr()) };
+                true
+            });
+            if ok {
+                // A split may have violated heap order; bubble the new
+                // routing node up. Balance repair is separate from the
+                // insert's linearization point.
+                self.fix_priorities(k);
+                return true;
+            }
+        }
+    }
+
+    /// Restore the treap's max-heap priority order along `k`'s search path
+    /// by rotating violating nodes upward, one COW rotation at a time.
+    fn fix_priorities(&self, k: u64) {
+        'outer: loop {
+            // Find the first violation (child.prio > parent.prio) on the
+            // path; the root's +inf priority stops the bubble at the top.
+            let mut g = self.root;
+            // SAFETY: pinned by callers of insert; nodes epoch-reclaimed.
+            let mut p = unsafe { (*g).child_for(k).load() };
+            if unsafe { &*p }.kind != KIND_INTERNAL {
+                return;
+            }
+            loop {
+                let c = unsafe { &*p }.child_for(k).load();
+                // SAFETY: pinned.
+                let c_ref = unsafe { &*c };
+                if c_ref.kind != KIND_INTERNAL {
+                    return; // reached the leaf: no violations on this path
+                }
+                if c_ref.prio > unsafe { &*p }.prio {
+                    // Whether or not the rotation succeeds, re-walk: the
+                    // neighborhood may have changed under us.
+                    let _ = self.rotate_up(g, p, c);
+                    continue 'outer;
+                }
+                g = p;
+                p = c;
+            }
+        }
+    }
+
+    /// One COW rotation lifting `c` above `p` under `g` (all validated under
+    /// g → p → c locks). Returns whether the rotation happened.
+    fn rotate_up(&self, g: *mut Node, p: *mut Node, c: *mut Node) -> bool {
+        let (sp_g, sp_p, sp_c) = (Sp(g), Sp(p), Sp(c));
+        // SAFETY: pinned by fix_priorities' caller.
+        unsafe { &*g }.lock.try_lock(move || {
+            // SAFETY: thunk runners hold epoch protection.
+            let p_ref = unsafe { sp_p.as_ref() };
+            p_ref.lock.try_lock(move || {
+                // SAFETY: as above.
+                let c_ref2 = unsafe { sp_c.as_ref() };
+                c_ref2.lock.try_lock(move || {
+                    // SAFETY: as above.
+                    let g = unsafe { sp_g.as_ref() };
+                    let p = unsafe { sp_p.as_ref() };
+                    let c = unsafe { sp_c.as_ref() };
+                    if g.removed.load() || p.removed.load() || c.removed.load() {
+                        return false;
+                    }
+                    let gcell = if g.left.load() == sp_p.ptr() {
+                        &g.left
+                    } else if g.right.load() == sp_p.ptr() {
+                        &g.right
+                    } else {
+                        return false;
+                    };
+                    let c_is_left = if p.left.load() == sp_c.ptr() {
+                        true
+                    } else if p.right.load() == sp_c.ptr() {
+                        false
+                    } else {
+                        return false;
+                    };
+                    if c.prio <= p.prio {
+                        return false; // already fixed by someone else
+                    }
+                    let (pk, ck) = (p.key, c.key);
+                    let (cl, cr) = (c.left.load(), c.right.load());
+                    let p_other = if c_is_left { p.right.load() } else { p.left.load() };
+                    let new_top = flock_core::alloc(move || {
+                        if c_is_left {
+                            // Right rotation: c' = (ck, c.left, p'),
+                            // p' = (pk, c.right, p.right).
+                            let new_p = flock_epoch::alloc(Node::internal(pk, cr, p_other));
+                            Node::internal(ck, cl, new_p)
+                        } else {
+                            // Left rotation: c' = (ck, p', c.right),
+                            // p' = (pk, p.left, c.left).
+                            let new_p = flock_epoch::alloc(Node::internal(pk, p_other, cl));
+                            Node::internal(ck, new_p, cr)
+                        }
+                    });
+                    p.removed.store(true);
+                    c.removed.store(true);
+                    gcell.store(new_top);
+                    // SAFETY: both replaced above; idempotent retires.
+                    unsafe {
+                        flock_core::retire(sp_p.ptr());
+                        flock_core::retire(sp_c.ptr());
+                    }
+                    true
+                })
+            })
+        })
+    }
+
+    /// Remove; `false` if absent.
+    pub fn remove(&self, k: u64) -> bool {
+        let _g = flock_epoch::pin();
+        loop {
+            let (gparent, parent, leaf) = self.search(k);
+            // SAFETY: epoch-pinned.
+            let leaf_ref = unsafe { &*leaf };
+            if leaf_ref.find(k).is_none() {
+                return false;
+            }
+            let ok = if leaf_ref.len > 1 || gparent.is_null() {
+                // Shrink the batch (COW); also covers the directly-under-root
+                // case, where an empty leaf may remain.
+                let (sp_p, sp_l) = (Sp(parent), Sp(leaf));
+                // SAFETY: epoch-pinned.
+                unsafe { &*parent }.lock.try_lock(move || {
+                    // SAFETY: thunk runners hold epoch protection.
+                    let p = unsafe { sp_p.as_ref() };
+                    let l = unsafe { sp_l.as_ref() };
+                    let cell = p.child_for(k);
+                    if p.removed.load() || cell.load() != sp_l.ptr() {
+                        return false;
+                    }
+                    let Some(pos) = l.find(k) else { return false };
+                    let mut entries = l.entries();
+                    entries.remove(pos);
+                    let newl = flock_core::alloc(move || Node::leaf(&entries));
+                    cell.store(newl);
+                    // SAFETY: unlinked above; idempotent retire.
+                    unsafe { flock_core::retire(sp_l.ptr()) };
+                    true
+                })
+            } else {
+                // Last entry of a non-root leaf: splice leaf + parent out.
+                let (sp_g, sp_p, sp_l) = (Sp(gparent), Sp(parent), Sp(leaf));
+                // SAFETY: epoch-pinned.
+                unsafe { &*gparent }.lock.try_lock(move || {
+                    // SAFETY: thunk runners hold epoch protection.
+                    let p = unsafe { sp_p.as_ref() };
+                    p.lock.try_lock(move || {
+                        // SAFETY: as above.
+                        let g = unsafe { sp_g.as_ref() };
+                        let p = unsafe { sp_p.as_ref() };
+                        let l = unsafe { sp_l.as_ref() };
+                        if g.removed.load() || p.removed.load() {
+                            return false;
+                        }
+                        if l.find(k).is_none() {
+                            return false;
+                        }
+                        let gcell = if g.left.load() == sp_p.ptr() {
+                            &g.left
+                        } else if g.right.load() == sp_p.ptr() {
+                            &g.right
+                        } else {
+                            return false;
+                        };
+                        let sibling = if p.left.load() == sp_l.ptr() {
+                            p.right.load()
+                        } else if p.right.load() == sp_l.ptr() {
+                            p.left.load()
+                        } else {
+                            return false;
+                        };
+                        p.removed.store(true);
+                        gcell.store(sibling);
+                        // SAFETY: both unlinked above; idempotent retires.
+                        unsafe {
+                            flock_core::retire(sp_p.ptr());
+                            flock_core::retire(sp_l.ptr());
+                        }
+                        true
+                    })
+                })
+            };
+            if ok {
+                return true;
+            }
+        }
+    }
+
+    /// Wait-free lookup.
+    pub fn get(&self, k: u64) -> Option<u64> {
+        let _g = flock_epoch::pin();
+        let (_, _, leaf) = self.search(k);
+        // SAFETY: epoch-pinned.
+        let l = unsafe { &*leaf };
+        l.find(k).map(|i| l.vals[i])
+    }
+
+    /// Element count (O(n) walk; tests/diagnostics).
+    pub fn len(&self) -> usize {
+        let _g = flock_epoch::pin();
+        // SAFETY: pinned walk.
+        unsafe { Self::count((*self.root).left.load()) }
+    }
+
+    /// Is the treap empty?
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    unsafe fn count(n: *mut Node) -> usize {
+        // SAFETY: pinned per caller.
+        let node = unsafe { &*n };
+        if node.kind == KIND_LEAF {
+            node.len
+        } else {
+            unsafe { Self::count(node.left.load()) + Self::count(node.right.load()) }
+        }
+    }
+
+    /// Ordered snapshot — single-threaded use.
+    pub fn collect(&self) -> Vec<(u64, u64)> {
+        let _g = flock_epoch::pin();
+        let mut out = Vec::new();
+        // SAFETY: pinned walk.
+        unsafe { Self::walk((*self.root).left.load(), &mut out) };
+        out
+    }
+
+    unsafe fn walk(n: *mut Node, out: &mut Vec<(u64, u64)>) {
+        // SAFETY: pinned per caller.
+        let node = unsafe { &*n };
+        if node.kind == KIND_LEAF {
+            out.extend(node.entries());
+        } else {
+            unsafe {
+                Self::walk(node.left.load(), out);
+                Self::walk(node.right.load(), out);
+            }
+        }
+    }
+
+    /// Quiescent invariant check: BST routing, heap priority order, sorted
+    /// leaf batches within routing bounds.
+    pub fn check_invariants(&self) {
+        // SAFETY: quiescent per contract.
+        unsafe {
+            Self::check((*self.root).left.load(), None, None, u64::MAX);
+        }
+    }
+
+    unsafe fn check(n: *mut Node, lo: Option<u64>, hi: Option<u64>, max_prio: u64) {
+        // SAFETY: quiescent per caller.
+        let node = unsafe { &*n };
+        if node.kind == KIND_LEAF {
+            let e = node.entries();
+            assert!(e.windows(2).all(|w| w[0].0 < w[1].0), "unsorted leaf batch");
+            for (k, _) in e {
+                if let Some(lo) = lo {
+                    assert!(k >= lo, "leaf key below bound");
+                }
+                if let Some(hi) = hi {
+                    assert!(k < hi, "leaf key above bound");
+                }
+            }
+        } else {
+            assert!(!node.removed.load(), "removed routing node reachable");
+            assert!(node.prio <= max_prio, "treap heap order violated");
+            if let Some(lo) = lo {
+                assert!(node.key >= lo);
+            }
+            if let Some(hi) = hi {
+                assert!(node.key <= hi);
+            }
+            unsafe {
+                Self::check(node.left.load(), lo, Some(node.key), node.prio);
+                Self::check(node.right.load(), Some(node.key), hi, node.prio);
+            }
+        }
+    }
+}
+
+impl Drop for LeafTreap {
+    fn drop(&mut self) {
+        // SAFETY: exclusive access; retired nodes belong to the collector.
+        unsafe fn free(n: *mut Node) {
+            if n.is_null() {
+                return;
+            }
+            // SAFETY: exclusive teardown.
+            unsafe {
+                if (*n).kind == KIND_INTERNAL {
+                    free((*n).left.load());
+                    free((*n).right.load());
+                }
+                flock_epoch::free_now(n);
+            }
+        }
+        // SAFETY: exclusive access.
+        unsafe {
+            free((*self.root).left.load());
+            flock_epoch::free_now(self.root);
+        }
+    }
+}
+
+impl ConcurrentMap for LeafTreap {
+    fn insert(&self, key: u64, value: u64) -> bool {
+        LeafTreap::insert(self, key, value)
+    }
+    fn remove(&self, key: u64) -> bool {
+        LeafTreap::remove(self, key)
+    }
+    fn get(&self, key: u64) -> Option<u64> {
+        LeafTreap::get(self, key)
+    }
+    fn name(&self) -> &'static str {
+        "leaftreap"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil;
+
+    #[test]
+    fn basic_ops() {
+        testutil::both_modes(|| {
+            let t = LeafTreap::new();
+            assert!(t.insert(5, 50));
+            assert!(!t.insert(5, 51));
+            assert!(t.insert(3, 30));
+            assert!(t.insert(8, 80));
+            assert_eq!(t.collect(), vec![(3, 30), (5, 50), (8, 80)]);
+            assert!(t.remove(5));
+            assert_eq!(t.get(5), None);
+            assert_eq!(t.get(8), Some(80));
+            t.check_invariants();
+        });
+    }
+
+    #[test]
+    fn splits_and_heap_order() {
+        testutil::both_modes(|| {
+            let t = LeafTreap::new();
+            // Sequential keys are the adversarial case for an unbalanced
+            // tree; the treap must stay heap-ordered and balanced.
+            for k in 0..512 {
+                assert!(t.insert(k, k * 2));
+            }
+            assert_eq!(t.len(), 512);
+            for k in 0..512 {
+                assert_eq!(t.get(k), Some(k * 2));
+            }
+            t.check_invariants();
+        });
+    }
+
+    #[test]
+    fn expected_logarithmic_depth() {
+        testutil::exclusive(|| expected_logarithmic_depth_body());
+    }
+
+    fn expected_logarithmic_depth_body() {
+        let t = LeafTreap::new();
+        for k in 0..4096 {
+            t.insert(k, k);
+        }
+        unsafe fn depth(n: *mut Node) -> usize {
+            // SAFETY: quiescent per caller.
+            let node = unsafe { &*n };
+            if node.kind == KIND_LEAF {
+                1
+            } else {
+                1 + unsafe { depth(node.left.load()).max(depth(node.right.load())) }
+            }
+        }
+        // SAFETY: quiescent single-threaded test.
+        let d = unsafe { depth((*t.root).left.load()) };
+        // 4096/8 = 512+ leaves; a treap's expected depth is ~2·ln(512) ≈ 13.
+        // A sorted-insert degenerate tree would be ~512. Allow generous slack.
+        assert!(d < 64, "treap degenerated: depth {d}");
+        t.check_invariants();
+    }
+
+    #[test]
+    fn drain_and_refill() {
+        testutil::both_modes(|| {
+            let t = LeafTreap::new();
+            for k in 0..256 {
+                assert!(t.insert(k, k));
+            }
+            for k in 0..256 {
+                assert!(t.remove(k), "remove {k}");
+            }
+            assert!(t.is_empty());
+            for k in (0..256).rev() {
+                assert!(t.insert(k, k + 1));
+            }
+            assert_eq!(t.len(), 256);
+            t.check_invariants();
+        });
+    }
+
+    #[test]
+    fn oracle() {
+        testutil::both_modes(|| {
+            let t = LeafTreap::new();
+            testutil::oracle_check(&t, 4_000, 256, 11);
+            t.check_invariants();
+        });
+    }
+
+    #[test]
+    fn concurrent_partitioned() {
+        testutil::both_modes(|| {
+            let t = LeafTreap::new();
+            testutil::partition_stress(&t, 4, 1_500);
+            t.check_invariants();
+        });
+    }
+}

@@ -1,0 +1,486 @@
+//! Leaf-oriented (external) unbalanced binary search tree with optimistic
+//! fine-grained locking — the paper's `leaftree` (§7) and the subject of its
+//! Figure 4 try-lock vs strict-lock comparison.
+//!
+//! All keys live in leaves; internal nodes carry routing keys (left subtree
+//! `< key`, right subtree `>= key`). Searches are lock-free. An insert locks
+//! the leaf's parent, validates, and swings the child pointer to a fresh
+//! internal node with two leaves. A remove locks grandparent then parent
+//! (ancestor-first, satisfying the decreasing-lock-order requirement for
+//! lock-freedom), validates, and splices the parent out, replacing it with
+//! the leaf's sibling.
+//!
+//! Both locking disciplines of the paper are provided: [`LeafTree::new`]
+//! uses try-locks (restart on busy), [`LeafTree::new_strict`] uses strict
+//! locks (wait for the holder — helping it first in lock-free mode).
+
+use flock_core::{Lock, Mutable, Sp, UpdateOnce};
+
+use crate::ConcurrentMap;
+
+const KIND_INTERNAL: u8 = 0;
+const KIND_LEAF: u8 = 1;
+/// Placeholder leaf for an empty tree (no key).
+const KIND_EMPTY: u8 = 2;
+
+struct Node {
+    // Internal-node fields (unused in leaves).
+    left: Mutable<*mut Node>,
+    right: Mutable<*mut Node>,
+    removed: UpdateOnce<bool>,
+    lock: Lock,
+    /// Routing key for internals; element key for leaves.
+    key: u64,
+    /// Element value (leaves only).
+    value: u64,
+    kind: u8,
+    /// The root internal node routes everything left (acts as +inf).
+    is_root: bool,
+}
+
+impl Node {
+    fn internal(key: u64, left: *mut Node, right: *mut Node) -> Self {
+        Self {
+            left: Mutable::new(left),
+            right: Mutable::new(right),
+            removed: UpdateOnce::new(false),
+            lock: Lock::new(),
+            key,
+            value: 0,
+            kind: KIND_INTERNAL,
+            is_root: false,
+        }
+    }
+
+    fn leaf(key: u64, value: u64) -> Self {
+        Self {
+            left: Mutable::new(std::ptr::null_mut()),
+            right: Mutable::new(std::ptr::null_mut()),
+            removed: UpdateOnce::new(false),
+            lock: Lock::new(),
+            key,
+            value,
+            kind: KIND_LEAF,
+            is_root: false,
+        }
+    }
+
+    fn empty_leaf() -> Self {
+        let mut n = Self::leaf(0, 0);
+        n.kind = KIND_EMPTY;
+        n
+    }
+
+    /// Which child does `k` route to?
+    #[inline]
+    fn child_for(&self, k: u64) -> &Mutable<*mut Node> {
+        if self.is_root || k < self.key {
+            &self.left
+        } else {
+            &self.right
+        }
+    }
+}
+
+/// Leaf-oriented unbalanced BST map.
+pub struct LeafTree {
+    root: *mut Node,
+    strict: bool,
+    label: &'static str,
+}
+
+// SAFETY: mutation via Flock locks + epoch reclamation; root immutable.
+unsafe impl Send for LeafTree {}
+unsafe impl Sync for LeafTree {}
+
+impl Default for LeafTree {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Acquire `lock` with the structure's discipline and run `f`.
+#[inline]
+fn acquire<F>(lock: &Lock, strict: bool, f: F) -> bool
+where
+    F: Fn() -> bool + Send + Sync + 'static,
+{
+    if strict {
+        lock.lock(f)
+    } else {
+        lock.try_lock(f)
+    }
+}
+
+impl LeafTree {
+    /// An empty tree using try-locks (the paper's preferred discipline).
+    pub fn new() -> Self {
+        Self::build(false, "leaftree")
+    }
+
+    /// An empty tree using strict locks (waits instead of restarting).
+    pub fn new_strict() -> Self {
+        Self::build(true, "leaftree-strict")
+    }
+
+    fn build(strict: bool, label: &'static str) -> Self {
+        let empty = flock_epoch::alloc(Node::empty_leaf());
+        let mut root = Node::internal(0, empty, std::ptr::null_mut());
+        root.is_root = true;
+        Self {
+            root: flock_epoch::alloc(root),
+            strict,
+            label,
+        }
+    }
+
+    /// Lock-free search: returns `(grandparent, parent, leaf)` for `k`.
+    /// `grandparent` is null when `parent` is the root.
+    fn search(&self, k: u64) -> (*mut Node, *mut Node, *mut Node) {
+        let mut gparent = std::ptr::null_mut();
+        let mut parent = self.root;
+        // SAFETY: caller pinned; nodes epoch-reclaimed.
+        let mut cur = unsafe { (*parent).child_for(k).load() };
+        while unsafe { &*cur }.kind == KIND_INTERNAL {
+            gparent = parent;
+            parent = cur;
+            cur = unsafe { &*cur }.child_for(k).load();
+        }
+        (gparent, parent, cur)
+    }
+
+    /// Insert; `false` if present.
+    pub fn insert(&self, k: u64, v: u64) -> bool {
+        let _g = flock_epoch::pin();
+        loop {
+            let (_, parent, leaf) = self.search(k);
+            // SAFETY: epoch-pinned.
+            let leaf_ref = unsafe { &*leaf };
+            if leaf_ref.kind == KIND_LEAF && leaf_ref.key == k {
+                return false;
+            }
+            let (sp_parent, sp_leaf) = (Sp(parent), Sp(leaf));
+            // SAFETY: epoch-pinned.
+            let ok = acquire(&unsafe { &*parent }.lock, self.strict, move || {
+                // SAFETY: thunk runners hold epoch protection.
+                let p = unsafe { sp_parent.as_ref() };
+                let l = unsafe { sp_leaf.as_ref() };
+                let cell = p.child_for(k);
+                if p.removed.load() || cell.load() != sp_leaf.ptr() {
+                    return false; // validate
+                }
+                if l.kind == KIND_EMPTY {
+                    // Empty slot: replace placeholder with the new leaf.
+                    let newl = flock_core::alloc(|| Node::leaf(k, v));
+                    cell.store(newl);
+                    // SAFETY: placeholder unlinked above; retired once.
+                    unsafe { flock_core::retire(sp_leaf.ptr()) };
+                    return true;
+                }
+                // Split: new internal with the old leaf and the new leaf.
+                let lk = l.key;
+                let newn = flock_core::alloc(|| {
+                    let new_leaf = flock_epoch::alloc(Node::leaf(k, v));
+                    if k < lk {
+                        Node::internal(lk, new_leaf, sp_leaf.ptr())
+                    } else {
+                        Node::internal(k, sp_leaf.ptr(), new_leaf)
+                    }
+                });
+                cell.store(newn);
+                true
+            });
+            if ok {
+                return true;
+            }
+        }
+    }
+
+    /// Remove; `false` if absent.
+    pub fn remove(&self, k: u64) -> bool {
+        let _g = flock_epoch::pin();
+        loop {
+            let (gparent, parent, leaf) = self.search(k);
+            // SAFETY: epoch-pinned.
+            let leaf_ref = unsafe { &*leaf };
+            if leaf_ref.kind != KIND_LEAF || leaf_ref.key != k {
+                return false;
+            }
+            let ok = if gparent.is_null() {
+                // Leaf hangs directly off the root: swap in a placeholder.
+                let (sp_parent, sp_leaf) = (Sp(parent), Sp(leaf));
+                // SAFETY: epoch-pinned; parent == root.
+                acquire(&unsafe { &*parent }.lock, self.strict, move || {
+                    // SAFETY: thunk runners hold epoch protection.
+                    let p = unsafe { sp_parent.as_ref() };
+                    let cell = p.child_for(k);
+                    if cell.load() != sp_leaf.ptr() {
+                        return false;
+                    }
+                    let empty = flock_core::alloc(Node::empty_leaf);
+                    cell.store(empty);
+                    // SAFETY: unlinked above; idempotent retire.
+                    unsafe { flock_core::retire(sp_leaf.ptr()) };
+                    true
+                })
+            } else {
+                let (sp_g, sp_p, sp_l) = (Sp(gparent), Sp(parent), Sp(leaf));
+                let strict = self.strict;
+                // Ancestor-first lock order: grandparent, then parent.
+                // SAFETY: epoch-pinned.
+                acquire(&unsafe { &*gparent }.lock, strict, move || {
+                    // SAFETY: thunk runners hold epoch protection.
+                    let p = unsafe { sp_p.as_ref() };
+                    acquire(&p.lock, strict, move || {
+                        // SAFETY: as above.
+                        let g = unsafe { sp_g.as_ref() };
+                        let p = unsafe { sp_p.as_ref() };
+                        if g.removed.load() || p.removed.load() {
+                            return false;
+                        }
+                        // Validate the two links and find which side of g
+                        // the parent hangs on.
+                        let gcell = if g.left.load() == sp_p.ptr() {
+                            &g.left
+                        } else if g.right.load() == sp_p.ptr() {
+                            &g.right
+                        } else {
+                            return false;
+                        };
+                        let (pcell, sibling) = if p.left.load() == sp_l.ptr() {
+                            (&p.left, p.right.load())
+                        } else if p.right.load() == sp_l.ptr() {
+                            (&p.right, p.left.load())
+                        } else {
+                            return false;
+                        };
+                        let _ = pcell;
+                        p.removed.store(true);
+                        gcell.store(sibling); // splice parent + leaf out
+                        // SAFETY: both unlinked above; idempotent retires.
+                        unsafe {
+                            flock_core::retire(sp_p.ptr());
+                            flock_core::retire(sp_l.ptr());
+                        }
+                        true
+                    })
+                })
+            };
+            if ok {
+                return true;
+            }
+        }
+    }
+
+    /// Wait-free lookup.
+    pub fn get(&self, k: u64) -> Option<u64> {
+        let _g = flock_epoch::pin();
+        let (_, _, leaf) = self.search(k);
+        // SAFETY: epoch-pinned.
+        let l = unsafe { &*leaf };
+        (l.kind == KIND_LEAF && l.key == k).then_some(l.value)
+    }
+
+    /// Element count (O(n) walk; tests/diagnostics).
+    pub fn len(&self) -> usize {
+        let _g = flock_epoch::pin();
+        // SAFETY: pinned; quiescent callers get exact counts.
+        unsafe { Self::count(( *self.root).left.load()) }
+    }
+
+    /// Is the tree empty?
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    unsafe fn count(n: *mut Node) -> usize {
+        // SAFETY: pinned walk per caller.
+        let node = unsafe { &*n };
+        match node.kind {
+            KIND_LEAF => 1,
+            KIND_EMPTY => 0,
+            _ => unsafe { Self::count(node.left.load()) + Self::count(node.right.load()) },
+        }
+    }
+
+    /// Ordered snapshot — single-threaded use.
+    pub fn collect(&self) -> Vec<(u64, u64)> {
+        let _g = flock_epoch::pin();
+        let mut out = Vec::new();
+        // SAFETY: pinned walk.
+        unsafe { Self::walk((*self.root).left.load(), &mut out) };
+        out
+    }
+
+    unsafe fn walk(n: *mut Node, out: &mut Vec<(u64, u64)>) {
+        // SAFETY: pinned walk per caller.
+        let node = unsafe { &*n };
+        match node.kind {
+            KIND_LEAF => out.push((node.key, node.value)),
+            KIND_EMPTY => {}
+            _ => unsafe {
+                Self::walk(node.left.load(), out);
+                Self::walk(node.right.load(), out);
+            },
+        }
+    }
+
+    /// Quiescent invariant check: BST routing holds, all leaves reachable on
+    /// the correct side, no removed internals linked.
+    pub fn check_invariants(&self) {
+        // SAFETY: quiescent per contract.
+        unsafe {
+            Self::check(( *self.root).left.load(), None, None);
+        }
+    }
+
+    unsafe fn check(n: *mut Node, lo: Option<u64>, hi: Option<u64>) {
+        // SAFETY: quiescent per caller.
+        let node = unsafe { &*n };
+        match node.kind {
+            KIND_EMPTY => {}
+            KIND_LEAF => {
+                if let Some(lo) = lo {
+                    assert!(node.key >= lo, "leaf key below routing bound");
+                }
+                if let Some(hi) = hi {
+                    assert!(node.key < hi, "leaf key above routing bound");
+                }
+            }
+            _ => {
+                assert!(!node.removed.load(), "removed internal reachable");
+                if let Some(lo) = lo {
+                    assert!(node.key >= lo);
+                }
+                if let Some(hi) = hi {
+                    assert!(node.key <= hi);
+                }
+                unsafe {
+                    Self::check(node.left.load(), lo, Some(node.key));
+                    Self::check(node.right.load(), Some(node.key), hi);
+                }
+            }
+        }
+    }
+}
+
+impl Drop for LeafTree {
+    fn drop(&mut self) {
+        // SAFETY: exclusive access; retired nodes belong to the collector.
+        unsafe fn free(n: *mut Node) {
+            if n.is_null() {
+                return;
+            }
+            // SAFETY: exclusive teardown.
+            unsafe {
+                let node = &*n;
+                if node.kind == KIND_INTERNAL {
+                    free(node.left.load());
+                    free(node.right.load());
+                }
+                flock_epoch::free_now(n);
+            }
+        }
+        // SAFETY: exclusive access.
+        unsafe {
+            free((*self.root).left.load());
+            flock_epoch::free_now(self.root);
+        }
+    }
+}
+
+impl ConcurrentMap for LeafTree {
+    fn insert(&self, key: u64, value: u64) -> bool {
+        LeafTree::insert(self, key, value)
+    }
+    fn remove(&self, key: u64) -> bool {
+        LeafTree::remove(self, key)
+    }
+    fn get(&self, key: u64) -> Option<u64> {
+        LeafTree::get(self, key)
+    }
+    fn name(&self) -> &'static str {
+        self.label
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil;
+
+    #[test]
+    fn basic_ops() {
+        testutil::both_modes(|| {
+            for t in [LeafTree::new(), LeafTree::new_strict()] {
+                assert!(t.is_empty());
+                assert!(t.insert(5, 50));
+                assert!(!t.insert(5, 51));
+                assert!(t.insert(3, 30));
+                assert!(t.insert(8, 80));
+                assert!(t.insert(1, 10));
+                assert_eq!(t.collect(), vec![(1, 10), (3, 30), (5, 50), (8, 80)]);
+                assert!(t.remove(3));
+                assert!(!t.remove(3));
+                assert_eq!(t.get(3), None);
+                assert_eq!(t.get(8), Some(80));
+                t.check_invariants();
+            }
+        });
+    }
+
+    #[test]
+    fn remove_down_to_empty_and_refill() {
+        testutil::both_modes(|| {
+            let t = LeafTree::new();
+            for k in 0..32 {
+                assert!(t.insert(k, k));
+            }
+            for k in 0..32 {
+                assert!(t.remove(k));
+            }
+            assert!(t.is_empty());
+            for k in 0..32 {
+                assert!(t.insert(k, k + 100));
+            }
+            assert_eq!(t.len(), 32);
+            t.check_invariants();
+        });
+    }
+
+    #[test]
+    fn oracle() {
+        testutil::both_modes(|| {
+            let t = LeafTree::new();
+            testutil::oracle_check(&t, 4_000, 256, 5);
+            t.check_invariants();
+        });
+    }
+
+    #[test]
+    fn oracle_strict() {
+        testutil::both_modes(|| {
+            let t = LeafTree::new_strict();
+            testutil::oracle_check(&t, 4_000, 256, 6);
+            t.check_invariants();
+        });
+    }
+
+    #[test]
+    fn concurrent_partitioned() {
+        testutil::both_modes(|| {
+            let t = LeafTree::new();
+            testutil::partition_stress(&t, 4, 1_500);
+            t.check_invariants();
+        });
+    }
+
+    #[test]
+    fn concurrent_partitioned_strict() {
+        testutil::both_modes(|| {
+            let t = LeafTree::new_strict();
+            testutil::partition_stress(&t, 4, 1_000);
+            t.check_invariants();
+        });
+    }
+}

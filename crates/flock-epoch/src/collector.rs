@@ -1,0 +1,272 @@
+//! The global collector: epoch counter, reservations, retire bags.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use flock_sync::{tid, CachePadded, MAX_THREADS};
+
+/// Reservation value meaning "thread not inside any operation".
+pub const QUIESCENT: u64 = u64::MAX;
+
+/// A retired allocation awaiting reclamation.
+pub(crate) struct Retired {
+    pub(crate) ptr: *mut u8,
+    pub(crate) drop_fn: unsafe fn(*mut u8),
+    /// Global epoch at retire time.
+    pub(crate) stamp: u64,
+}
+
+// SAFETY: a Retired is an owned, unlinked allocation; the collector is the
+// only holder, and drop_fn is called exactly once on whichever thread frees.
+unsafe impl Send for Retired {}
+
+/// Collect (attempt free) once the local bag exceeds this many items.
+const BAG_COLLECT_THRESHOLD: usize = 64;
+/// Attempt a global epoch advance every this many retires.
+const ADVANCE_PERIOD: usize = 32;
+
+pub(crate) struct Global {
+    epoch: CachePadded<AtomicU64>,
+    reservations: [CachePadded<AtomicU64>; MAX_THREADS],
+    /// Bags abandoned by exiting threads, reclaimed by anyone.
+    orphans: Mutex<Vec<Retired>>,
+    retired_count: AtomicUsize,
+    freed_count: AtomicUsize,
+}
+
+#[allow(clippy::declare_interior_mutable_const)]
+const QUIESCENT_CELL: CachePadded<AtomicU64> = CachePadded::new(AtomicU64::new(QUIESCENT));
+
+static GLOBAL: Global = Global {
+    epoch: CachePadded::new(AtomicU64::new(2)), // start > 0 so stamp-2 never underflows semantics
+    reservations: [QUIESCENT_CELL; MAX_THREADS],
+    orphans: Mutex::new(Vec::new()),
+    retired_count: AtomicUsize::new(0),
+    freed_count: AtomicUsize::new(0),
+};
+
+pub(crate) fn global_epoch() -> &'static AtomicU64 {
+    &GLOBAL.epoch
+}
+
+pub(crate) fn reservation_of(tid: tid::ThreadId) -> &'static AtomicU64 {
+    &GLOBAL.reservations[tid.0]
+}
+
+/// Smallest active reservation, or the current global epoch if none.
+fn min_active_reservation() -> u64 {
+    let hwm = tid::high_water_mark().min(MAX_THREADS);
+    let mut min = GLOBAL.epoch.load(Ordering::SeqCst);
+    for r in &GLOBAL.reservations[..hwm] {
+        let v = r.load(Ordering::SeqCst);
+        if v != QUIESCENT && v < min {
+            min = v;
+        }
+    }
+    min
+}
+
+/// Advance the global epoch if every active reservation has caught up with it.
+///
+/// Returns the (possibly advanced) global epoch.
+pub fn try_advance() -> u64 {
+    let e = GLOBAL.epoch.load(Ordering::SeqCst);
+    let hwm = tid::high_water_mark().min(MAX_THREADS);
+    for r in &GLOBAL.reservations[..hwm] {
+        let v = r.load(Ordering::SeqCst);
+        if v != QUIESCENT && v < e {
+            return e; // someone is still in an older epoch
+        }
+    }
+    // Single step; losing the race is fine (someone else advanced).
+    let _ = GLOBAL
+        .epoch
+        .compare_exchange(e, e + 1, Ordering::SeqCst, Ordering::SeqCst);
+    GLOBAL.epoch.load(Ordering::SeqCst)
+}
+
+thread_local! {
+    static LOCAL_BAG: LocalBag = const { LocalBag { items: std::cell::RefCell::new(Vec::new()) } };
+}
+
+struct LocalBag {
+    items: std::cell::RefCell<Vec<Retired>>,
+}
+
+impl Drop for LocalBag {
+    fn drop(&mut self) {
+        // Thread exiting: orphan whatever is left so other threads free it.
+        let mut items = self.items.borrow_mut();
+        if !items.is_empty() {
+            if let Ok(mut orphans) = GLOBAL.orphans.lock() {
+                orphans.append(&mut items);
+            }
+        }
+    }
+}
+
+#[cfg(debug_assertions)]
+pub(crate) mod debug_track {
+    use std::collections::HashSet;
+    use std::sync::Mutex;
+    pub(crate) static LIVE_RETIRED: Mutex<Option<HashSet<usize>>> = Mutex::new(None);
+    pub(crate) static LIVE_ALLOCS: Mutex<Option<HashSet<usize>>> = Mutex::new(None);
+
+    pub(crate) fn on_retire(ptr: usize) {
+        let mut g = LIVE_RETIRED.lock().unwrap_or_else(|e| e.into_inner());
+        let set = g.get_or_insert_with(HashSet::new);
+        assert!(
+            set.insert(ptr),
+            "flock-epoch: double retire of {ptr:#x} detected"
+        );
+    }
+
+    pub(crate) fn on_free(ptr: usize) {
+        if let Some(set) = LIVE_RETIRED.lock().unwrap_or_else(|e| e.into_inner()).as_mut() {
+            set.remove(&ptr);
+        }
+        on_dealloc(ptr, "collector");
+    }
+
+    pub(crate) fn on_alloc(ptr: usize) {
+        let mut g = LIVE_ALLOCS.lock().unwrap_or_else(|e| e.into_inner());
+        g.get_or_insert_with(HashSet::new).insert(ptr);
+    }
+
+    pub(crate) fn on_dealloc(ptr: usize, who: &str) {
+        let mut g = LIVE_ALLOCS.lock().unwrap_or_else(|e| e.into_inner());
+        let set = g.get_or_insert_with(HashSet::new);
+        assert!(
+            set.remove(&ptr),
+            "flock-epoch: {who} freeing {ptr:#x} which is not a live epoch allocation (double free or foreign pointer)"
+        );
+    }
+}
+
+/// Retire without thread-local involvement (TLS-destructor-safe).
+pub(crate) fn bag_retired_global(item: Retired) {
+    #[cfg(debug_assertions)]
+    debug_track::on_retire(item.ptr as usize);
+    GLOBAL.retired_count.fetch_add(1, Ordering::Relaxed);
+    if let Ok(mut orphans) = GLOBAL.orphans.lock() {
+        orphans.push(item);
+    }
+}
+
+pub(crate) fn bag_retired(item: Retired) {
+    #[cfg(debug_assertions)]
+    debug_track::on_retire(item.ptr as usize);
+    let count = GLOBAL.retired_count.fetch_add(1, Ordering::Relaxed) + 1;
+    let should_collect = LOCAL_BAG.with(|bag| {
+        let mut items = bag.items.borrow_mut();
+        items.push(item);
+        items.len() >= BAG_COLLECT_THRESHOLD
+    });
+    if count % ADVANCE_PERIOD == 0 {
+        try_advance();
+    }
+    if should_collect {
+        collect_local();
+    }
+}
+
+/// Free everything in the local bag (and a slice of the orphans) that has
+/// fallen at least two epochs behind every active reservation.
+pub(crate) fn collect_local() {
+    let safe_before = min_active_reservation().saturating_sub(1);
+    let mut freed = 0usize;
+    LOCAL_BAG.with(|bag| {
+        let mut items = bag.items.borrow_mut();
+        items.retain(|it| {
+            if it.stamp < safe_before {
+                #[cfg(debug_assertions)]
+                debug_track::on_free(it.ptr as usize);
+                // SAFETY: stamp + 2 <= every active reservation, so no
+                // in-flight operation can still reach this object; the
+                // retire contract says it was unlinked and retired once.
+                unsafe { (it.drop_fn)(it.ptr) };
+                freed += 1;
+                false
+            } else {
+                true
+            }
+        });
+    });
+    // Opportunistically drain orphans too; try_lock so we never spin here.
+    if let Ok(mut orphans) = GLOBAL.orphans.try_lock() {
+        orphans.retain(|it| {
+            if it.stamp < safe_before {
+                #[cfg(debug_assertions)]
+                debug_track::on_free(it.ptr as usize);
+                // SAFETY: as above.
+                unsafe { (it.drop_fn)(it.ptr) };
+                freed += 1;
+                false
+            } else {
+                true
+            }
+        });
+    }
+    if freed > 0 {
+        GLOBAL.freed_count.fetch_add(freed, Ordering::Relaxed);
+    }
+}
+
+/// Drive advancement until local + orphan bags are empty. Requires no pinned
+/// threads (used by tests/teardown); gives up after a bounded number of
+/// rounds to avoid hanging when a thread is stuck pinned.
+pub(crate) fn flush_all() {
+    for _ in 0..8 {
+        try_advance();
+        try_advance();
+        collect_local();
+        let empty_local = LOCAL_BAG.with(|b| b.items.borrow().is_empty());
+        let empty_orphans = GLOBAL.orphans.lock().map(|o| o.is_empty()).unwrap_or(true);
+        if empty_local && empty_orphans {
+            return;
+        }
+    }
+}
+
+/// Monotone counters describing collector activity; for tests and reporting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CollectorStats {
+    /// Objects handed to [`crate::retire`] since process start.
+    pub retired: usize,
+    /// Objects actually dropped since process start.
+    pub freed: usize,
+    /// Current global epoch.
+    pub epoch: u64,
+}
+
+/// Snapshot of the collector counters.
+pub fn collector_stats() -> CollectorStats {
+    CollectorStats {
+        retired: GLOBAL.retired_count.load(Ordering::Relaxed),
+        freed: GLOBAL.freed_count.load(Ordering::Relaxed),
+        epoch: GLOBAL.epoch.load(Ordering::Relaxed),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epoch_starts_at_two_and_advances() {
+        let e0 = GLOBAL.epoch.load(Ordering::SeqCst);
+        assert!(e0 >= 2);
+        let e1 = try_advance();
+        assert!(e1 >= e0);
+    }
+
+    #[test]
+    fn reservation_blocks_advance() {
+        let me = tid::current();
+        let e = GLOBAL.epoch.load(Ordering::SeqCst);
+        reservation_of(me).store(e.saturating_sub(1), Ordering::SeqCst);
+        let after = try_advance();
+        assert_eq!(after, e, "advance must not pass an older reservation");
+        reservation_of(me).store(QUIESCENT, Ordering::SeqCst);
+    }
+}

@@ -1,0 +1,220 @@
+//! # flock-epoch — epoch-based memory reclamation for Flock
+//!
+//! Flock retires memory through an epoch-based collector (paper §6,
+//! "Epoch-based collection"): every operation runs inside an *epoch*; retired
+//! objects are stamped with the epoch at retire time and freed only once every
+//! in-flight operation has moved past that epoch.
+//!
+//! Two Flock-specific requirements shape this implementation:
+//!
+//! 1. **Epoch adoption while helping.** When a thread helps another thread's
+//!    critical section it takes on the helped thunk's responsibilities, so it
+//!    must also take on its epoch: the helper lowers its reservation to
+//!    `min(own, thunk's birth epoch)` for the duration of the help and
+//!    restores it afterwards ([`EpochGuard::adopt`]). The adopt publishes the
+//!    lowered reservation with a `SeqCst` fence *before* the caller
+//!    revalidates that the descriptor is still installed, which is what makes
+//!    the hand-off sound (see DESIGN.md §3).
+//! 2. **Reservation-aware retire/alloc from inside idempotent code.** The
+//!    thunk-log machinery in `flock-core` guarantees each logical retire
+//!    reaches [`retire`] at most once; this crate only has to stamp, bag and
+//!    eventually drop.
+//!
+//! The collector is the classic three-epoch scheme: a global epoch counter,
+//! one published reservation per thread, per-thread retire bags, and the rule
+//! that an object stamped `e` is dropped once every active reservation is at
+//! least `e + 2`.
+
+#![warn(missing_docs)]
+
+mod collector;
+mod guard;
+
+pub use collector::{collector_stats, try_advance, CollectorStats, QUIESCENT};
+pub use guard::{pin, pinned_epoch, AdoptGuard, EpochGuard};
+
+use std::sync::atomic::Ordering;
+
+/// Allocate `value` on the heap for use with [`retire`].
+///
+/// Plain `Box` allocation today; kept as the single choke point so a pooled
+/// allocator can be swapped in without touching call sites.
+#[inline]
+pub fn alloc<T>(value: T) -> *mut T {
+    let p = Box::into_raw(Box::new(value));
+    #[cfg(debug_assertions)]
+    collector::debug_track::on_alloc(p as usize);
+    p
+}
+
+/// Immediately free an object allocated with [`alloc`] that was **never
+/// shared** with other threads (e.g. the loser of an idempotent-allocate
+/// race, which was never published to the log).
+///
+/// # Safety
+///
+/// `ptr` must come from [`alloc`], must not have been freed or retired, and
+/// no other thread may hold a reference to it.
+#[inline]
+pub unsafe fn free_now<T>(ptr: *mut T) {
+    #[cfg(debug_assertions)]
+    collector::debug_track::on_dealloc(ptr as usize, "free_now");
+    // SAFETY: forwarded caller contract.
+    drop(unsafe { Box::from_raw(ptr) });
+}
+
+/// Retire an object: it will be dropped once no in-flight operation can still
+/// hold a reference.
+///
+/// Must be called while pinned (inside an [`EpochGuard`]); debug builds
+/// assert this.
+///
+/// # Safety
+///
+/// `ptr` must come from [`alloc`], be retired at most once, and be
+/// unreachable for new readers (unlinked from all shared structures) at call
+/// time.
+#[inline]
+pub unsafe fn retire<T>(ptr: *mut T) {
+    debug_assert!(
+        guard::is_pinned(),
+        "flock-epoch: retire called outside an epoch guard"
+    );
+    unsafe fn drop_box<T>(p: *mut u8) {
+        // SAFETY: `p` was produced by `alloc::<T>` per `retire`'s contract.
+        drop(unsafe { Box::from_raw(p.cast::<T>()) });
+    }
+    let stamp = collector::global_epoch().load(Ordering::SeqCst);
+    collector::bag_retired(collector::Retired {
+        ptr: ptr.cast::<u8>(),
+        drop_fn: drop_box::<T>,
+        stamp,
+    });
+}
+
+/// Retire an object without touching any thread-local state: the item goes
+/// straight to the global orphan bag. For use from TLS destructors (e.g. a
+/// per-thread pool draining at thread exit), where ordinary [`retire`] could
+/// trip over already-destroyed thread-locals.
+///
+/// # Safety
+///
+/// Same contract as [`retire`], minus the pinning requirement: `ptr` must
+/// come from [`alloc`] (or a compatible `Box` allocation), be retired at
+/// most once, and be unreachable for new readers.
+pub unsafe fn retire_orphan<T>(ptr: *mut T) {
+    unsafe fn drop_box<T>(p: *mut u8) {
+        // SAFETY: `p` was produced by a Box allocation of `T` per contract.
+        drop(unsafe { Box::from_raw(p.cast::<T>()) });
+    }
+    let stamp = collector::global_epoch().load(Ordering::SeqCst);
+    collector::bag_retired_global(collector::Retired {
+        ptr: ptr.cast::<u8>(),
+        drop_fn: drop_box::<T>,
+        stamp,
+    });
+}
+
+/// Drive the collector until every already-retired object has been freed.
+///
+/// Requires that no thread is pinned; intended for tests and teardown.
+pub fn flush_all() {
+    collector::flush_all();
+}
+
+/// Debug-build bookkeeping hook: record a heap allocation that will later be
+/// handed to [`retire`] without having come from [`alloc`] (e.g. pooled
+/// descriptors). No-op in release builds.
+#[inline]
+pub fn debug_track_alloc<T>(ptr: *mut T) {
+    #[cfg(debug_assertions)]
+    collector::debug_track::on_alloc(ptr as usize);
+    #[cfg(not(debug_assertions))]
+    let _ = ptr;
+}
+
+/// Debug-build bookkeeping hook: record that a tracked allocation is being
+/// freed outside the collector (e.g. returned to a pool). Panics on double
+/// free in debug builds; no-op in release builds.
+#[inline]
+pub fn debug_track_dealloc<T>(ptr: *mut T, who: &str) {
+    #[cfg(debug_assertions)]
+    collector::debug_track::on_dealloc(ptr as usize, who);
+    #[cfg(not(debug_assertions))]
+    let _ = (ptr, who);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering::Relaxed};
+    use std::sync::Arc;
+
+    struct DropCounter(Arc<AtomicUsize>);
+    impl Drop for DropCounter {
+        fn drop(&mut self) {
+            self.0.fetch_add(1, Relaxed);
+        }
+    }
+
+    #[test]
+    fn retired_object_is_not_freed_while_pinned_elsewhere() {
+        let drops = Arc::new(AtomicUsize::new(0));
+        let obj = alloc(DropCounter(Arc::clone(&drops)));
+
+        let g_other = pin(); // a second guard on this thread keeps epoch pinned
+        {
+            let _g = pin();
+            // SAFETY: obj from alloc, never shared, retired once.
+            unsafe { retire(obj) };
+        }
+        // Still pinned by g_other: hammering advance must not drop it.
+        for _ in 0..64 {
+            try_advance();
+        }
+        assert_eq!(drops.load(Relaxed), 0, "freed under an active reservation");
+        drop(g_other);
+        flush_all();
+        assert_eq!(drops.load(Relaxed), 1);
+    }
+
+    #[test]
+    fn flush_drops_everything() {
+        let drops = Arc::new(AtomicUsize::new(0));
+        const N: usize = 100;
+        {
+            let _g = pin();
+            for _ in 0..N {
+                let p = alloc(DropCounter(Arc::clone(&drops)));
+                // SAFETY: fresh private allocation, retired once.
+                unsafe { retire(p) };
+            }
+        }
+        flush_all();
+        assert_eq!(drops.load(Relaxed), N);
+    }
+
+    #[test]
+    fn free_now_drops_immediately() {
+        let drops = Arc::new(AtomicUsize::new(0));
+        let p = alloc(DropCounter(Arc::clone(&drops)));
+        // SAFETY: fresh private allocation.
+        unsafe { free_now(p) };
+        assert_eq!(drops.load(Relaxed), 1);
+    }
+
+    #[test]
+    fn stats_count_retires_and_frees() {
+        let before = collector_stats();
+        {
+            let _g = pin();
+            let p = alloc(17u64);
+            // SAFETY: fresh private allocation, retired once.
+            unsafe { retire(p) };
+        }
+        flush_all();
+        let after = collector_stats();
+        assert!(after.retired > before.retired);
+        assert!(after.freed > before.freed);
+    }
+}

@@ -1,0 +1,179 @@
+//! Tag announcement table: makes 16-bit ABA-tag wraparound safe.
+//!
+//! A `Mutable`'s tag space has only 2^16 values, so a tag eventually repeats.
+//! A helper that read a packed word long ago could then perform a stale CAS
+//! that wrongly succeeds. The paper sketches Flock's fix (§6 "ABA"): an
+//! announcement array ensures a tag that is *announced* is never re-issued
+//! for that location.
+//!
+//! Our concrete protocol (documented in DESIGN.md §3.2):
+//!
+//! 1. A helper about to use packed word `(t, v)` at location `L` as a
+//!    CAS-expected value first **announces** `(L, t)` in its slot, then issues
+//!    a `SeqCst` fence, then re-validates that the thunk it is helping is not
+//!    yet done. If done, it skips the CAS entirely.
+//! 2. A store choosing the *next* tag for `L` scans the table and skips any
+//!    announced tag for `L`; the chosen tag is committed to the thunk log so
+//!    every helper of the same store uses the identical new word.
+//!
+//! The hazard-pointer-style argument: if the scanner misses an announcement,
+//! the announcing helper's subsequent done-check must observe `done = true`
+//! (the scan happens under a lock acquired after the helped thunk completed),
+//! so the stale CAS is skipped. If the scan sees the announcement, the tag is
+//! not re-issued. Either way no stale CAS can succeed.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+use crate::padded::CachePadded;
+use crate::tid::{self, ThreadId};
+use crate::MAX_THREADS;
+
+/// Sentinel for "no announcement" in a slot's location field.
+const NONE: usize = 0;
+
+struct Slot {
+    /// Address of the announced location (`TaggedAtomicU64`), or [`NONE`].
+    loc: AtomicUsize,
+    /// Announced tag, valid only while `loc` is non-zero.
+    tag: AtomicU64,
+}
+
+/// Global table of per-thread tag announcements.
+///
+/// A process-wide singleton is available via [`global`]; separate instances
+/// exist to make unit testing possible.
+pub struct TagAnnouncements {
+    slots: Box<[CachePadded<Slot>]>,
+}
+
+impl TagAnnouncements {
+    /// Create a table sized for [`MAX_THREADS`] threads.
+    pub fn new() -> Self {
+        let slots = (0..MAX_THREADS)
+            .map(|_| {
+                CachePadded::new(Slot {
+                    loc: AtomicUsize::new(NONE),
+                    tag: AtomicU64::new(0),
+                })
+            })
+            .collect();
+        Self { slots }
+    }
+
+    /// Announce that the calling thread may CAS `loc_addr` expecting `tag`.
+    ///
+    /// Must be followed by a `SeqCst` fence (performed here) and a
+    /// re-validation read by the caller before the CAS, and cleared with
+    /// [`TagAnnouncements::clear`] afterwards.
+    #[inline]
+    pub fn announce(&self, tid: ThreadId, loc_addr: usize, tag: u16) {
+        debug_assert_ne!(loc_addr, NONE);
+        let slot = &self.slots[tid.0];
+        slot.tag.store(tag as u64, Ordering::Relaxed);
+        slot.loc.store(loc_addr, Ordering::SeqCst);
+        std::sync::atomic::fence(Ordering::SeqCst);
+    }
+
+    /// Clear the calling thread's announcement.
+    #[inline]
+    pub fn clear(&self, tid: ThreadId) {
+        self.slots[tid.0].loc.store(NONE, Ordering::Release);
+    }
+
+    /// Is `(loc_addr, tag)` currently announced by any thread?
+    #[inline]
+    pub fn is_announced(&self, loc_addr: usize, tag: u16) -> bool {
+        let hwm = tid::high_water_mark().min(self.slots.len());
+        for slot in &self.slots[..hwm] {
+            if slot.loc.load(Ordering::SeqCst) == loc_addr
+                && slot.tag.load(Ordering::Relaxed) == tag as u64
+            {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// First tag starting from `start` (cyclically, skipping the reserved
+    /// value) that is not announced for `loc_addr`.
+    ///
+    /// At most [`MAX_THREADS`] tags can be announced at once, so this
+    /// terminates within `MAX_THREADS + 1` probes.
+    #[inline]
+    pub fn next_free_tag(&self, loc_addr: usize, start: u16) -> u16 {
+        let mut t = start;
+        if t == crate::pack::TAG_LIMIT {
+            t = 0;
+        }
+        loop {
+            if !self.is_announced(loc_addr, t) {
+                return t;
+            }
+            t = crate::pack::next_tag(t);
+        }
+    }
+}
+
+impl Default for TagAnnouncements {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// The process-wide announcement table used by `flock-core`.
+pub fn global() -> &'static TagAnnouncements {
+    use std::sync::OnceLock;
+    static GLOBAL: OnceLock<TagAnnouncements> = OnceLock::new();
+    GLOBAL.get_or_init(TagAnnouncements::new)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn announce_then_clear() {
+        let t = TagAnnouncements::new();
+        let me = tid::current();
+        t.announce(me, 0x1000, 7);
+        assert!(t.is_announced(0x1000, 7));
+        assert!(!t.is_announced(0x1000, 8));
+        assert!(!t.is_announced(0x2000, 7));
+        t.clear(me);
+        assert!(!t.is_announced(0x1000, 7));
+    }
+
+    #[test]
+    fn next_free_tag_skips_announced() {
+        let t = TagAnnouncements::new();
+        let me = tid::current();
+        t.announce(me, 0x1000, 5);
+        assert_eq!(t.next_free_tag(0x1000, 5), 6);
+        assert_eq!(t.next_free_tag(0x1000, 4), 4);
+        assert_eq!(t.next_free_tag(0x2000, 5), 5, "other locations unaffected");
+        t.clear(me);
+    }
+
+    #[test]
+    fn next_free_tag_wraps_past_reserved() {
+        let t = TagAnnouncements::new();
+        // TAG_LIMIT - 1 is the last usable tag; starting there with it
+        // announced must wrap to 0, never yielding TAG_LIMIT.
+        let me = tid::current();
+        let last = crate::pack::TAG_LIMIT - 1;
+        t.announce(me, 0x3000, last);
+        assert_eq!(t.next_free_tag(0x3000, last), 0);
+        t.clear(me);
+    }
+
+    #[test]
+    fn reannounce_overwrites() {
+        let t = TagAnnouncements::new();
+        let me = tid::current();
+        t.announce(me, 0x1000, 1);
+        t.announce(me, 0x1000, 2);
+        assert!(!t.is_announced(0x1000, 1), "slot holds one announcement");
+        assert!(t.is_announced(0x1000, 2));
+        t.clear(me);
+    }
+}

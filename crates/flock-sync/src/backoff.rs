@@ -1,0 +1,94 @@
+//! Truncated exponential backoff for contended retry loops.
+
+use crate::cpu_relax;
+
+/// Exponential backoff with a spin phase followed by a yield phase.
+///
+/// Modeled on the usual pattern from concurrent-programming practice: spin
+/// `2^k` times while `k` is small, then start yielding the CPU so that an
+/// oversubscribed scheduler can run the thread that holds the resource.
+#[derive(Debug, Default)]
+pub struct Backoff {
+    step: u32,
+}
+
+impl Backoff {
+    /// Spins before yielding; `2^SPIN_LIMIT` is the longest pure-spin wait.
+    const SPIN_LIMIT: u32 = 6;
+    /// Cap on the backoff exponent.
+    const YIELD_LIMIT: u32 = 10;
+
+    /// Fresh backoff state.
+    #[inline]
+    pub fn new() -> Self {
+        Self { step: 0 }
+    }
+
+    /// Back off once, escalating the wait each call.
+    #[inline]
+    pub fn snooze(&mut self) {
+        if self.step <= Self::SPIN_LIMIT {
+            for _ in 0..(1u32 << self.step) {
+                cpu_relax();
+            }
+        } else {
+            std::thread::yield_now();
+        }
+        if self.step < Self::YIELD_LIMIT {
+            self.step += 1;
+        }
+    }
+
+    /// Spin-only backoff for very short critical sections; never yields.
+    #[inline]
+    pub fn spin(&mut self) {
+        for _ in 0..(1u32 << self.step.min(Self::SPIN_LIMIT)) {
+            cpu_relax();
+        }
+        if self.step < Self::SPIN_LIMIT {
+            self.step += 1;
+        }
+    }
+
+    /// True once the backoff has escalated past pure spinning, a hint that the
+    /// caller may want to take a slow path (e.g. help, or park).
+    #[inline]
+    pub fn is_yielding(&self) -> bool {
+        self.step > Self::SPIN_LIMIT
+    }
+
+    /// Reset to the initial (shortest) wait.
+    #[inline]
+    pub fn reset(&mut self) {
+        self.step = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escalates_then_saturates() {
+        let mut b = Backoff::new();
+        assert!(!b.is_yielding());
+        for _ in 0..Backoff::SPIN_LIMIT + 1 {
+            b.snooze();
+        }
+        assert!(b.is_yielding());
+        for _ in 0..100 {
+            b.snooze(); // must not overflow or panic
+        }
+        b.reset();
+        assert!(!b.is_yielding());
+    }
+
+    #[test]
+    fn spin_never_yields() {
+        let mut b = Backoff::new();
+        for _ in 0..100 {
+            b.spin();
+        }
+        assert!(!b.is_yielding());
+    }
+}

