@@ -1,0 +1,404 @@
+//! # flock-api — the one public map interface of the Flock workspace
+//!
+//! Every concurrent map in this workspace — the seven Flock structures in
+//! `flock-ds` and the five hand-crafted comparators in `flock-baselines` —
+//! implements the single [`Map`] trait defined here. The benchmark driver
+//! (`flock-workload`), the figure harness (`flock-bench`), the examples and
+//! the integration tests are all written against this trait, so adding a
+//! structure means implementing one interface, once.
+//!
+//! The trait is generic over [`Key`] and [`Value`] (marker bounds with
+//! blanket impls); the paper's evaluation shape is `Map<u64, u64>` — 8-byte
+//! keys and values — and that is what the conformance harness instantiates.
+//!
+//! ## Conformance harness
+//!
+//! [`map_conformance!`] stamps out the shared test suite — a sequential
+//! differential check against [`std::collections::BTreeMap`] and a
+//! partitioned multi-thread stress — for one structure, in **both** lock
+//! modes (lock-free and blocking). Structures that ignore the mode (the
+//! baselines) simply run the same suite twice:
+//!
+//! ```ignore
+//! flock_api::map_conformance!(dlist, flock_ds::dlist::DList::new());
+//! ```
+
+#![warn(missing_docs)]
+
+use std::fmt::Debug;
+use std::hash::Hash;
+
+/// Marker bound for map keys: cheap to copy, totally ordered, hashable,
+/// printable in assertions, and shareable across helper threads.
+pub trait Key: Copy + Ord + Hash + Debug + Send + Sync + 'static {}
+impl<T: Copy + Ord + Hash + Debug + Send + Sync + 'static> Key for T {}
+
+/// Marker bound for map values: cheap to copy, comparable for differential
+/// checks, printable in assertions, and shareable across helper threads.
+pub trait Value: Copy + PartialEq + Debug + Send + Sync + 'static {}
+impl<T: Copy + PartialEq + Debug + Send + Sync + 'static> Value for T {}
+
+/// A linearizable concurrent map.
+///
+/// All operations take `&self` and are safe to call from any number of
+/// threads. The trait is object-safe: the harness moves structures around
+/// as `Box<dyn Map<u64, u64>>`.
+pub trait Map<K: Key, V: Value>: Send + Sync {
+    /// Insert `(key, value)`. Returns `false` (leaving the map unchanged)
+    /// if `key` was already present.
+    fn insert(&self, key: K, value: V) -> bool;
+
+    /// Remove `key`. Returns `false` if it was not present.
+    fn remove(&self, key: K) -> bool;
+
+    /// Look up `key`.
+    fn get(&self, key: K) -> Option<V>;
+
+    /// A short name for reports (e.g. `"dlist"`).
+    fn name(&self) -> &'static str;
+
+    /// Is `key` present?
+    ///
+    /// Provided in terms of [`Map::get`]; structures with a cheaper
+    /// existence check may override.
+    fn contains(&self, key: K) -> bool {
+        self.get(key).is_some()
+    }
+
+    /// Replace the value stored under an existing `key`. Returns `false`
+    /// (inserting nothing) if `key` was absent.
+    ///
+    /// The default is the remove-then-insert composite, which is **not
+    /// atomic**: a concurrent reader can observe the key absent mid-update,
+    /// and a concurrent insert of the same key can win the re-insert race
+    /// (in which case the update is dropped, matching a linearization where
+    /// the remove and the concurrent insert both took effect). Structures
+    /// should override this with a native in-place update where they can.
+    fn update(&self, key: K, value: V) -> bool {
+        if self.remove(key) {
+            let _ = self.insert(key, value);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Approximate element count, if the structure offers one.
+    ///
+    /// `None` (the default) means "not supported"; implementations that keep
+    /// or can compute a count return `Some`. Concurrent mutations make any
+    /// returned number a snapshot approximation.
+    fn len_approx(&self) -> Option<usize> {
+        None
+    }
+}
+
+impl<K: Key, V: Value, M: Map<K, V> + ?Sized> Map<K, V> for &M {
+    fn insert(&self, key: K, value: V) -> bool {
+        (**self).insert(key, value)
+    }
+    fn remove(&self, key: K) -> bool {
+        (**self).remove(key)
+    }
+    fn get(&self, key: K) -> Option<V> {
+        (**self).get(key)
+    }
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+    fn contains(&self, key: K) -> bool {
+        (**self).contains(key)
+    }
+    fn update(&self, key: K, value: V) -> bool {
+        (**self).update(key, value)
+    }
+    fn len_approx(&self) -> Option<usize> {
+        (**self).len_approx()
+    }
+}
+
+impl<K: Key, V: Value, M: Map<K, V> + ?Sized> Map<K, V> for Box<M> {
+    fn insert(&self, key: K, value: V) -> bool {
+        (**self).insert(key, value)
+    }
+    fn remove(&self, key: K) -> bool {
+        (**self).remove(key)
+    }
+    fn get(&self, key: K) -> Option<V> {
+        (**self).get(key)
+    }
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+    fn contains(&self, key: K) -> bool {
+        (**self).contains(key)
+    }
+    fn update(&self, key: K, value: V) -> bool {
+        (**self).update(key, value)
+    }
+    fn len_approx(&self) -> Option<usize> {
+        (**self).len_approx()
+    }
+}
+
+pub mod testing {
+    //! The shared conformance-test harness behind [`map_conformance!`]
+    //! (also usable directly from hand-written tests).
+    //!
+    //! This module is compiled into the crate (not `#[cfg(test)]`) because
+    //! downstream crates invoke it from *their* test builds.
+
+    use super::Map;
+    use std::collections::BTreeMap;
+
+    /// Process-wide lock serializing tests that touch the global lock mode:
+    /// switching modes while another test's operations are in flight is
+    /// unsupported (as in the paper's library), so mode-sensitive tests must
+    /// not overlap within one test process.
+    static MODE_TEST_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+    /// Run `test` under both lock modes (lock-free first), restoring
+    /// lock-free afterwards. Serialized against every other mode-touching
+    /// test in the process.
+    pub fn both_modes(test: impl Fn()) {
+        use flock_core::{LockMode, set_lock_mode};
+        let _guard = MODE_TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        for mode in [LockMode::LockFree, LockMode::Blocking] {
+            set_lock_mode(mode);
+            test();
+        }
+        set_lock_mode(LockMode::LockFree);
+    }
+
+    /// Run `test` in the (default) lock-free mode while holding the same
+    /// exclusion as [`both_modes`].
+    pub fn exclusive(test: impl Fn()) {
+        let _guard = MODE_TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        flock_core::set_lock_mode(flock_core::LockMode::LockFree);
+        test();
+    }
+
+    /// A tiny xorshift generator so the harness needs no external crates.
+    fn xorshift(state: &mut u64) -> u64 {
+        *state ^= *state << 13;
+        *state ^= *state >> 7;
+        *state ^= *state << 17;
+        *state
+    }
+
+    /// Single-threaded differential test against a `BTreeMap` oracle.
+    pub fn oracle_check<M: Map<u64, u64> + ?Sized>(map: &M, ops: usize, key_range: u64, seed: u64) {
+        let mut oracle = BTreeMap::new();
+        let mut state = seed | 1;
+        for i in 0..ops {
+            let k = xorshift(&mut state) % key_range;
+            let v = i as u64;
+            match xorshift(&mut state) % 3 {
+                0 => {
+                    let expect = !oracle.contains_key(&k);
+                    if expect {
+                        oracle.insert(k, v);
+                    }
+                    assert_eq!(
+                        map.insert(k, v),
+                        expect,
+                        "insert({k}) disagreed with oracle at op {i}"
+                    );
+                }
+                1 => {
+                    let expect = oracle.remove(&k).is_some();
+                    assert_eq!(
+                        map.remove(k),
+                        expect,
+                        "remove({k}) disagreed with oracle at op {i}"
+                    );
+                }
+                _ => {
+                    assert_eq!(
+                        map.get(k),
+                        oracle.get(&k).copied(),
+                        "get({k}) disagreed with oracle at op {i}"
+                    );
+                }
+            }
+        }
+        // Final sweep: every oracle key must be present with the right value.
+        for (k, v) in &oracle {
+            assert_eq!(map.get(*k), Some(*v), "final sweep mismatch at key {k}");
+        }
+    }
+
+    /// Multi-threaded stress test: per-key-partition determinism.
+    ///
+    /// Each thread owns a disjoint key partition (`key % threads == tid`),
+    /// so per-thread sequential semantics must hold exactly even under full
+    /// concurrency.
+    pub fn partition_stress<M: Map<u64, u64> + ?Sized>(map: &M, threads: u64, ops: usize) {
+        std::thread::scope(|s| {
+            for t in 0..threads {
+                let map = &map;
+                s.spawn(move || {
+                    let mut present = BTreeMap::new();
+                    let mut state = (t + 1) * 0x9E37_79B9;
+                    for i in 0..ops {
+                        let k = (xorshift(&mut state) % 512) * threads + t;
+                        let v = i as u64;
+                        match xorshift(&mut state) % 3 {
+                            0 => {
+                                let expect = !present.contains_key(&k);
+                                if expect {
+                                    present.insert(k, v);
+                                }
+                                assert_eq!(map.insert(k, v), expect, "t{t} insert({k}) op {i}");
+                            }
+                            1 => {
+                                let expect = present.remove(&k).is_some();
+                                assert_eq!(map.remove(k), expect, "t{t} remove({k}) op {i}");
+                            }
+                            _ => {
+                                assert_eq!(
+                                    map.get(k),
+                                    present.get(&k).copied(),
+                                    "t{t} get({k}) op {i}"
+                                );
+                            }
+                        }
+                    }
+                    for (k, v) in &present {
+                        assert_eq!(map.get(*k), Some(*v), "t{t} final sweep key {k}");
+                    }
+                });
+            }
+        });
+    }
+
+    /// Exercise the provided-method surface (`contains`, `update`,
+    /// `len_approx`) against the primary operations.
+    pub fn default_methods_check<M: Map<u64, u64> + ?Sized>(map: &M) {
+        assert!(!map.contains(7));
+        assert!(
+            !map.update(7, 70),
+            "update of an absent key must be a no-op"
+        );
+        assert!(!map.contains(7), "failed update must not insert");
+        assert!(map.insert(7, 70));
+        assert!(map.contains(7));
+        assert!(map.update(7, 71));
+        assert_eq!(map.get(7), Some(71));
+        assert!(map.insert(8, 80));
+        if let Some(n) = map.len_approx() {
+            assert_eq!(n, 2, "quiescent len_approx must be exact");
+        }
+        assert!(map.remove(7));
+        assert!(map.remove(8));
+        assert!(!map.contains(7));
+        assert!(!map.name().is_empty());
+    }
+}
+
+/// Stamp out the shared conformance suite for one map structure.
+///
+/// `$name` becomes a test module; `$make` is an expression building a fresh
+/// instance (evaluated once per test). The suite runs the differential
+/// oracle check, the partitioned multi-thread stress, and the
+/// provided-method check — each in both lock modes.
+///
+/// ```ignore
+/// flock_api::map_conformance!(dlist, flock_ds::dlist::DList::new());
+/// ```
+#[macro_export]
+macro_rules! map_conformance {
+    ($name:ident, $make:expr) => {
+        mod $name {
+            #[allow(unused_imports)]
+            use super::*;
+
+            #[test]
+            fn oracle() {
+                $crate::testing::both_modes(|| {
+                    let m = $make;
+                    $crate::testing::oracle_check(&m, 3_000, 128, 42);
+                });
+            }
+
+            #[test]
+            fn partition_stress() {
+                $crate::testing::both_modes(|| {
+                    let m = $make;
+                    $crate::testing::partition_stress(&m, 4, 1_200);
+                });
+            }
+
+            #[test]
+            fn default_methods() {
+                $crate::testing::both_modes(|| {
+                    let m = $make;
+                    $crate::testing::default_methods_check(&m);
+                });
+            }
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+    use std::sync::Mutex;
+
+    /// Minimal reference implementation to validate the harness itself.
+    struct MutexMap(Mutex<HashMap<u64, u64>>);
+
+    impl MutexMap {
+        fn new() -> Self {
+            Self(Mutex::new(HashMap::new()))
+        }
+    }
+
+    impl Map<u64, u64> for MutexMap {
+        fn insert(&self, key: u64, value: u64) -> bool {
+            let mut m = self.0.lock().unwrap();
+            if let std::collections::hash_map::Entry::Vacant(e) = m.entry(key) {
+                e.insert(value);
+                true
+            } else {
+                false
+            }
+        }
+        fn remove(&self, key: u64) -> bool {
+            self.0.lock().unwrap().remove(&key).is_some()
+        }
+        fn get(&self, key: u64) -> Option<u64> {
+            self.0.lock().unwrap().get(&key).copied()
+        }
+        fn name(&self) -> &'static str {
+            "mutex_hashmap"
+        }
+        fn len_approx(&self) -> Option<usize> {
+            Some(self.0.lock().unwrap().len())
+        }
+    }
+
+    map_conformance!(mutex_hashmap, MutexMap::new());
+
+    #[test]
+    fn trait_is_object_safe() {
+        let boxed: Box<dyn Map<u64, u64>> = Box::new(MutexMap::new());
+        assert!(boxed.insert(1, 2));
+        assert_eq!(boxed.get(1), Some(2));
+        assert!(boxed.contains(1));
+        assert!(boxed.update(1, 3));
+        assert_eq!(boxed.get(1), Some(3));
+        assert_eq!(boxed.len_approx(), Some(1));
+        assert!(boxed.remove(1));
+        assert_eq!(boxed.name(), "mutex_hashmap");
+    }
+
+    #[test]
+    fn references_and_boxes_forward() {
+        let m = MutexMap::new();
+        let r: &dyn Map<u64, u64> = &m;
+        assert!((&r).insert(5, 6));
+        assert_eq!(Map::get(&r, 5), Some(6));
+    }
+}

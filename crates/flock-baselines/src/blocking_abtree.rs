@@ -13,7 +13,7 @@ use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 
 use flock_sync::TtasLock;
 
-use crate::BaselineMap;
+use flock_api::Map;
 
 /// Maximum keys per node.
 pub const B: usize = 12;
@@ -83,7 +83,9 @@ impl Node {
     }
 
     fn leaf_entries(&self) -> Vec<(u64, u64)> {
-        (0..self.len).map(|i| (self.keys[i], self.vals[i])).collect()
+        (0..self.len)
+            .map(|i| (self.keys[i], self.vals[i]))
+            .collect()
     }
 
     fn separators(&self) -> Vec<u64> {
@@ -163,8 +165,7 @@ impl BlockingABTree {
                 let kids = r.child_ptrs();
                 sep = seps[mid];
                 left_ptr = flock_epoch::alloc(Node::internal(&seps[..mid], &kids[..=mid]));
-                right_ptr =
-                    flock_epoch::alloc(Node::internal(&seps[mid + 1..], &kids[mid + 1..]));
+                right_ptr = flock_epoch::alloc(Node::internal(&seps[mid + 1..], &kids[mid + 1..]));
             }
             let new_root = flock_epoch::alloc(Node::internal(&[sep], &[left_ptr, right_ptr]));
             r.removed.store(true, Ordering::SeqCst);
@@ -206,8 +207,7 @@ impl BlockingABTree {
                 let kids = c.child_ptrs();
                 sep = seps[mid];
                 left_ptr = flock_epoch::alloc(Node::internal(&seps[..mid], &kids[..=mid]));
-                right_ptr =
-                    flock_epoch::alloc(Node::internal(&seps[mid + 1..], &kids[mid + 1..]));
+                right_ptr = flock_epoch::alloc(Node::internal(&seps[mid + 1..], &kids[mid + 1..]));
             }
             let mut nseps = p.separators();
             let mut nkids = p.child_ptrs();
@@ -424,7 +424,7 @@ impl Drop for BlockingABTree {
     }
 }
 
-impl BaselineMap for BlockingABTree {
+impl Map<u64, u64> for BlockingABTree {
     fn insert(&self, key: u64, value: u64) -> bool {
         BlockingABTree::insert(self, key, value)
     }
@@ -442,7 +442,7 @@ impl BaselineMap for BlockingABTree {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::testutil;
+    use flock_api::testing as testutil;
 
     #[test]
     fn basic_ops() {

@@ -19,7 +19,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 
 use flock_sync::TtasLock;
 
-use crate::BaselineMap;
+use flock_api::Map;
 
 struct Node {
     key: u64,
@@ -91,7 +91,9 @@ impl BlockingBst {
     fn search(&self, k: u64) -> (*mut Node, *mut Node) {
         let mut parent = self.root;
         // SAFETY: caller pinned; nodes epoch-reclaimed.
-        let mut cur = self.root_child(unsafe { &*parent }, k).load(Ordering::SeqCst) as *mut Node;
+        let mut cur = self
+            .root_child(unsafe { &*parent }, k)
+            .load(Ordering::SeqCst) as *mut Node;
         while !cur.is_null() {
             // SAFETY: pinned.
             let c = unsafe { &*cur };
@@ -262,7 +264,7 @@ impl Drop for BlockingBst {
     }
 }
 
-impl BaselineMap for BlockingBst {
+impl Map<u64, u64> for BlockingBst {
     fn insert(&self, key: u64, value: u64) -> bool {
         BlockingBst::insert(self, key, value)
     }
@@ -280,7 +282,7 @@ impl BaselineMap for BlockingBst {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::testutil;
+    use flock_api::testing as testutil;
 
     #[test]
     fn basic_ops() {

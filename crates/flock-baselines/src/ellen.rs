@@ -21,7 +21,7 @@
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 
-use crate::BaselineMap;
+use flock_api::Map;
 
 const CLEAN: usize = 0;
 const IFLAG: usize = 1;
@@ -277,17 +277,21 @@ impl EllenBst {
         } else {
             None
         };
-        if let Some(cell) = cell {
-            if cell
-                .compare_exchange(*parent as usize, sibling, Ordering::SeqCst, Ordering::SeqCst)
+        if let Some(cell) = cell
+            && cell
+                .compare_exchange(
+                    *parent as usize,
+                    sibling,
+                    Ordering::SeqCst,
+                    Ordering::SeqCst,
+                )
                 .is_ok()
-            {
-                // Unique winner: retire the spliced pair.
-                // SAFETY: both now unreachable; retired once.
-                unsafe {
-                    flock_epoch::retire(*parent);
-                    flock_epoch::retire(*leaf);
-                }
+        {
+            // Unique winner: retire the spliced pair.
+            // SAFETY: both now unreachable; retired once.
+            unsafe {
+                flock_epoch::retire(*parent);
+                flock_epoch::retire(*leaf);
             }
         }
         // Unflag the grandparent: (op, DFLAG) -> (op, CLEAN), seq bumped.
@@ -541,7 +545,7 @@ impl Drop for EllenBst {
     }
 }
 
-impl BaselineMap for EllenBst {
+impl Map<u64, u64> for EllenBst {
     fn insert(&self, key: u64, value: u64) -> bool {
         EllenBst::insert(self, key, value)
     }
@@ -559,7 +563,7 @@ impl BaselineMap for EllenBst {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::testutil;
+    use flock_api::testing as testutil;
 
     #[test]
     fn basic_ops() {

@@ -11,7 +11,7 @@
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 
-use crate::BaselineMap;
+use flock_api::Map;
 
 const MARK: usize = 1;
 
@@ -284,7 +284,7 @@ impl Drop for HarrisList {
     }
 }
 
-impl BaselineMap for HarrisList {
+impl Map<u64, u64> for HarrisList {
     fn insert(&self, key: u64, value: u64) -> bool {
         HarrisList::insert(self, key, value)
     }
@@ -302,7 +302,7 @@ impl BaselineMap for HarrisList {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::testutil;
+    use flock_api::testing as testutil;
 
     #[test]
     fn basic_ops_both_variants() {

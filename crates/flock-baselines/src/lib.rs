@@ -17,6 +17,10 @@
 //! their own flag/mark bits, and the blocking ones use raw
 //! test-and-test-and-set spin locks.
 //!
+//! Every baseline implements [`flock_api::Map`] — the same single interface
+//! the Flock structures implement — so the bench harness needs no adapter
+//! layer to mix the two families.
+//!
 //! Divergences from the original systems are documented per-module and in
 //! DESIGN.md §4 (notably: `blocking_bst` does not rebalance, so it matches
 //! Bronson's locking discipline but not its AVL shape).
@@ -35,101 +39,4 @@ pub use ellen::EllenBst;
 pub use harris::HarrisList;
 pub use natarajan::NatarajanBst;
 
-/// The same map interface as `flock_ds::ConcurrentMap`, duplicated here so
-/// the baselines crate does not depend on `flock-ds` (the bench crate
-/// unifies them via adapters).
-pub trait BaselineMap: Send + Sync {
-    /// Insert `(key, value)`; `false` if the key was present.
-    fn insert(&self, key: u64, value: u64) -> bool;
-    /// Remove `key`; `false` if absent.
-    fn remove(&self, key: u64) -> bool;
-    /// Look up `key`.
-    fn get(&self, key: u64) -> Option<u64>;
-    /// Short display name.
-    fn name(&self) -> &'static str;
-}
-
-#[cfg(test)]
-pub(crate) mod testutil {
-    use super::BaselineMap;
-    use std::collections::BTreeMap;
-
-    pub fn oracle_check<M: BaselineMap>(map: &M, ops: usize, key_range: u64, seed: u64) {
-        let mut oracle = BTreeMap::new();
-        let mut state = seed | 1;
-        let mut rng = move || {
-            state ^= state << 13;
-            state ^= state >> 7;
-            state ^= state << 17;
-            state
-        };
-        for i in 0..ops {
-            let k = rng() % key_range;
-            let v = i as u64;
-            match rng() % 3 {
-                0 => {
-                    let expect = !oracle.contains_key(&k);
-                    if expect {
-                        oracle.insert(k, v);
-                    }
-                    assert_eq!(map.insert(k, v), expect, "insert({k}) at op {i}");
-                }
-                1 => {
-                    let expect = oracle.remove(&k).is_some();
-                    assert_eq!(map.remove(k), expect, "remove({k}) at op {i}");
-                }
-                _ => {
-                    assert_eq!(map.get(k), oracle.get(&k).copied(), "get({k}) at op {i}");
-                }
-            }
-        }
-        for (k, v) in &oracle {
-            assert_eq!(map.get(*k), Some(*v), "final sweep at {k}");
-        }
-    }
-
-    pub fn partition_stress<M: BaselineMap>(map: &M, threads: u64, ops: usize) {
-        std::thread::scope(|s| {
-            for t in 0..threads {
-                let map = &*map;
-                s.spawn(move || {
-                    let mut present = std::collections::BTreeMap::new();
-                    let mut state = (t + 1) * 0x9E37_79B9;
-                    let mut rng = move || {
-                        state ^= state << 13;
-                        state ^= state >> 7;
-                        state ^= state << 17;
-                        state
-                    };
-                    for i in 0..ops {
-                        let k = (rng() % 512) * threads + t;
-                        let v = i as u64;
-                        match rng() % 3 {
-                            0 => {
-                                let expect = !present.contains_key(&k);
-                                if expect {
-                                    present.insert(k, v);
-                                }
-                                assert_eq!(map.insert(k, v), expect, "t{t} insert({k}) op {i}");
-                            }
-                            1 => {
-                                let expect = present.remove(&k).is_some();
-                                assert_eq!(map.remove(k), expect, "t{t} remove({k}) op {i}");
-                            }
-                            _ => {
-                                assert_eq!(
-                                    map.get(k),
-                                    present.get(&k).copied(),
-                                    "t{t} get({k}) op {i}"
-                                );
-                            }
-                        }
-                    }
-                    for (k, v) in &present {
-                        assert_eq!(map.get(*k), Some(*v), "t{t} final sweep {k}");
-                    }
-                });
-            }
-        });
-    }
-}
+pub use flock_api::Map;

@@ -19,7 +19,7 @@
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 
-use crate::BaselineMap;
+use flock_api::Map;
 
 const FLAG: usize = 1;
 const TAG: usize = 2;
@@ -134,12 +134,7 @@ impl NatarajanBst {
     ///
     /// `gp_edge` is the edge of `gparent` that currently points (cleanly) to
     /// `parent`.
-    fn help_delete(
-        &self,
-        gp_edge: &AtomicUsize,
-        parent: *mut Node,
-        victim_is_left: bool,
-    ) -> bool {
+    fn help_delete(&self, gp_edge: &AtomicUsize, parent: *mut Node, victim_is_left: bool) -> bool {
         // SAFETY: caller pinned; parent reached through a live edge.
         let p = unsafe { &*parent };
         let (victim_edge, sibling_edge) = if victim_is_left {
@@ -223,12 +218,12 @@ impl NatarajanBst {
                 }
                 // Internal child: a tagged edge to an internal node means
                 // `parent` is mid-splice — help and restart.
-                if tagged(w) {
-                    if let Some(pe) = parent_edge {
-                        let vil = !std::ptr::eq(edge, &p.left);
-                        self.help_delete(pe, parent, vil);
-                        continue 'restart;
-                    }
+                if tagged(w)
+                    && let Some(pe) = parent_edge
+                {
+                    let vil = !std::ptr::eq(edge, &p.left);
+                    self.help_delete(pe, parent, vil);
+                    continue 'restart;
                 }
                 gparent = parent;
                 parent = child;
@@ -402,7 +397,7 @@ impl Drop for NatarajanBst {
     }
 }
 
-impl BaselineMap for NatarajanBst {
+impl Map<u64, u64> for NatarajanBst {
     fn insert(&self, key: u64, value: u64) -> bool {
         NatarajanBst::insert(self, key, value)
     }
@@ -420,7 +415,7 @@ impl BaselineMap for NatarajanBst {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::testutil;
+    use flock_api::testing as testutil;
 
     #[test]
     fn basic_ops() {

@@ -1,0 +1,13 @@
+//! One `map_conformance!` instantiation per baseline structure. The
+//! baselines ignore the Flock lock mode, so running the suite in both modes
+//! simply runs it twice — keeping the instantiation identical to the Flock
+//! structures' is the point of the shared macro.
+
+use flock_baselines::{BlockingABTree, BlockingBst, EllenBst, HarrisList, NatarajanBst};
+
+flock_api::map_conformance!(harris_list, HarrisList::new());
+flock_api::map_conformance!(harris_list_opt, HarrisList::new_opt());
+flock_api::map_conformance!(natarajan, NatarajanBst::new());
+flock_api::map_conformance!(ellen, EllenBst::new());
+flock_api::map_conformance!(bronson_style_bst, BlockingBst::new());
+flock_api::map_conformance!(srivastava_abtree, BlockingABTree::new());

@@ -12,7 +12,7 @@
 //! Workload: leaftree, small range, 50% updates, α = 0.99 (the paper's
 //! highest-contention point), at the full and oversubscribed thread counts.
 
-use flock_bench::{run_point, Report, Scale, Series};
+use flock_bench::{Report, Scale, Series, run_point};
 use flock_workload::Config;
 
 fn main() {

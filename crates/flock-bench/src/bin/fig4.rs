@@ -5,7 +5,7 @@
 //! lock-free. Expected shape: try-lock ≥ strict lock everywhere, the gap
 //! growing with α, in both modes.
 
-use flock_bench::{run_point, Report, Scale, Series, ALPHAS};
+use flock_bench::{ALPHAS, Report, Scale, Series, run_point};
 use flock_workload::Config;
 
 fn main() {
@@ -32,5 +32,7 @@ fn main() {
             report.push(run_point(s, &cfg));
         }
     }
-    report.write().expect("write results/fig4_try_vs_strict.csv");
+    report
+        .write()
+        .expect("write results/fig4_try_vs_strict.csv");
 }

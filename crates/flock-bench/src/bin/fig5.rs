@@ -14,7 +14,7 @@
 //!
 //! Run a single panel with `--panel <a..h>`; default runs all.
 
-use flock_bench::{run_point, Report, Scale, Series, ALPHAS, UPDATE_SWEEP};
+use flock_bench::{ALPHAS, Report, Scale, Series, UPDATE_SWEEP, run_point};
 use flock_workload::Config;
 
 fn tree_series() -> Vec<Series> {
@@ -53,7 +53,13 @@ fn main() {
         let mut r = Report::new("fig5a_large_thread_sweep");
         for &t in &scale.thread_sweep {
             for s in tree_series() {
-                r.push(run_point(s, &Config { threads: t, ..base_cfg.clone() }));
+                r.push(run_point(
+                    s,
+                    &Config {
+                        threads: t,
+                        ..base_cfg.clone()
+                    },
+                ));
             }
         }
         r.write().expect("write fig5a");
@@ -62,7 +68,13 @@ fn main() {
         let mut r = Report::new("fig5b_large_update_sweep");
         for u in UPDATE_SWEEP {
             for s in tree_series() {
-                r.push(run_point(s, &Config { update_percent: u, ..base_cfg.clone() }));
+                r.push(run_point(
+                    s,
+                    &Config {
+                        update_percent: u,
+                        ..base_cfg.clone()
+                    },
+                ));
             }
         }
         r.write().expect("write fig5b");
@@ -71,7 +83,13 @@ fn main() {
         let mut r = Report::new("fig5c_large_zipf_sweep");
         for a in ALPHAS {
             for s in tree_series() {
-                r.push(run_point(s, &Config { zipf_alpha: a, ..base_cfg.clone() }));
+                r.push(run_point(
+                    s,
+                    &Config {
+                        zipf_alpha: a,
+                        ..base_cfg.clone()
+                    },
+                ));
             }
         }
         r.write().expect("write fig5c");

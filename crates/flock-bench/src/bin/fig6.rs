@@ -7,7 +7,7 @@
 //!
 //! The arttree runs with sparsified (hashed) keys, as in the paper.
 
-use flock_bench::{run_point, Report, Scale, Series, ALPHAS};
+use flock_bench::{ALPHAS, Report, Scale, Series, run_point};
 use flock_workload::Config;
 
 fn series() -> Vec<Series> {

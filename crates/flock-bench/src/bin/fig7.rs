@@ -6,7 +6,7 @@
 //! * a: full threads, 5% upd, α=.75, size sweep (paper: 10²–10⁴)
 //! * b: 100 keys, 5% upd, α=.75, thread sweep
 
-use flock_bench::{run_point, Report, Scale, Series};
+use flock_bench::{Report, Scale, Series, run_point};
 use flock_workload::Config;
 
 fn series() -> Vec<Series> {
@@ -44,7 +44,13 @@ fn main() {
         let mut r = Report::new("fig7a_list_size_sweep");
         for range in [100u64, 1_000, 10_000] {
             for s in series() {
-                r.push(run_point(s, &Config { key_range: range, ..base_cfg.clone() }));
+                r.push(run_point(
+                    s,
+                    &Config {
+                        key_range: range,
+                        ..base_cfg.clone()
+                    },
+                ));
             }
         }
         r.write().expect("write fig7a");
@@ -53,7 +59,13 @@ fn main() {
         let mut r = Report::new("fig7b_list_thread_sweep");
         for &t in &scale.thread_sweep {
             for s in series() {
-                r.push(run_point(s, &Config { threads: t, ..base_cfg.clone() }));
+                r.push(run_point(
+                    s,
+                    &Config {
+                        threads: t,
+                        ..base_cfg.clone()
+                    },
+                ));
             }
         }
         r.write().expect("write fig7b");

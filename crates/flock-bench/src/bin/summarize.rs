@@ -51,11 +51,12 @@ fn ratio(rows: &[Row], a: &str, b: &str, pred: impl Fn(&Row) -> bool) -> Option<
     let mut log_sum = 0.0;
     let mut n = 0;
     for (k, va) in &ia {
-        if let Some(vb) = ib.get(k) {
-            if *vb > 0.0 && *va > 0.0 {
-                log_sum += (va / vb).ln();
-                n += 1;
-            }
+        if let Some(vb) = ib.get(k)
+            && *vb > 0.0
+            && *va > 0.0
+        {
+            log_sum += (va / vb).ln();
+            n += 1;
         }
     }
     (n > 0).then(|| (log_sum / n as f64).exp())
@@ -69,7 +70,9 @@ fn show(label: &str, r: Option<f64>) {
 }
 
 fn main() {
-    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(2);
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(2);
 
     println!("== Figure 4 (try vs strict, leaftree, small range, 50% upd) ==");
     let f4 = load("fig4_try_vs_strict");

@@ -17,49 +17,13 @@
 
 use std::time::Duration;
 
-use flock_baselines::BaselineMap;
+use flock_api::Map;
 use flock_core::LockMode;
 use flock_ds::{
     abtree::ABTree, arttree::ArtTree, dlist::DList, hashtable::HashTable, lazylist::LazyList,
-    leaftree::LeafTree, leaftreap::LeafTreap, ConcurrentMap,
+    leaftreap::LeafTreap, leaftree::LeafTree,
 };
-use flock_workload::{BenchMap, Config, Measurement};
-
-/// Adapter: any Flock `ConcurrentMap` is a `BenchMap`.
-pub struct Flock<M: ConcurrentMap>(pub M);
-
-impl<M: ConcurrentMap> BenchMap for Flock<M> {
-    fn insert(&self, key: u64, value: u64) -> bool {
-        self.0.insert(key, value)
-    }
-    fn remove(&self, key: u64) -> bool {
-        self.0.remove(key)
-    }
-    fn get(&self, key: u64) -> Option<u64> {
-        self.0.get(key)
-    }
-    fn name(&self) -> &'static str {
-        self.0.name()
-    }
-}
-
-/// Adapter: any baseline is a `BenchMap`.
-pub struct Base<M: BaselineMap>(pub M);
-
-impl<M: BaselineMap> BenchMap for Base<M> {
-    fn insert(&self, key: u64, value: u64) -> bool {
-        self.0.insert(key, value)
-    }
-    fn remove(&self, key: u64) -> bool {
-        self.0.remove(key)
-    }
-    fn get(&self, key: u64) -> Option<u64> {
-        self.0.get(key)
-    }
-    fn name(&self) -> &'static str {
-        self.0.name()
-    }
-}
+use flock_workload::{Config, Measurement};
 
 /// A benchmarkable series: a structure plus the lock mode it runs under
 /// (baselines ignore the mode).
@@ -107,22 +71,25 @@ impl Series {
 }
 
 /// Instantiate a structure by registry name, sized for `key_range`.
-pub fn make_map(structure: &str, key_range: u64) -> Box<dyn BenchMap> {
+///
+/// Every structure — Flock or baseline — implements `flock_api::Map`
+/// directly, so the registry is a plain boxing of the trait object.
+pub fn make_map(structure: &str, key_range: u64) -> Box<dyn Map<u64, u64>> {
     match structure {
-        "dlist" => Box::new(Flock(DList::new())),
-        "lazylist" => Box::new(Flock(LazyList::new())),
-        "hashtable" => Box::new(Flock(HashTable::with_capacity(key_range as usize))),
-        "leaftree" => Box::new(Flock(LeafTree::new())),
-        "leaftree-strict" => Box::new(Flock(LeafTree::new_strict())),
-        "leaftreap" => Box::new(Flock(LeafTreap::new())),
-        "abtree" => Box::new(Flock(ABTree::new())),
-        "arttree" => Box::new(Flock(ArtTree::new())),
-        "harris_list" => Box::new(Base(flock_baselines::HarrisList::new())),
-        "harris_list_opt" => Box::new(Base(flock_baselines::HarrisList::new_opt())),
-        "natarajan" => Box::new(Base(flock_baselines::NatarajanBst::new())),
-        "ellen" => Box::new(Base(flock_baselines::EllenBst::new())),
-        "bronson_style_bst" => Box::new(Base(flock_baselines::BlockingBst::new())),
-        "srivastava_abtree" => Box::new(Base(flock_baselines::BlockingABTree::new())),
+        "dlist" => Box::new(DList::new()),
+        "lazylist" => Box::new(LazyList::new()),
+        "hashtable" => Box::new(HashTable::with_capacity(key_range as usize)),
+        "leaftree" => Box::new(LeafTree::new()),
+        "leaftree-strict" => Box::new(LeafTree::new_strict()),
+        "leaftreap" => Box::new(LeafTreap::new()),
+        "abtree" => Box::new(ABTree::new()),
+        "arttree" => Box::new(ArtTree::new()),
+        "harris_list" => Box::new(flock_baselines::HarrisList::new()),
+        "harris_list_opt" => Box::new(flock_baselines::HarrisList::new_opt()),
+        "natarajan" => Box::new(flock_baselines::NatarajanBst::new()),
+        "ellen" => Box::new(flock_baselines::EllenBst::new()),
+        "bronson_style_bst" => Box::new(flock_baselines::BlockingBst::new()),
+        "srivastava_abtree" => Box::new(flock_baselines::BlockingABTree::new()),
         other => panic!("unknown structure {other:?}"),
     }
 }

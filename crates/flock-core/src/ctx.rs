@@ -8,7 +8,7 @@
 use std::cell::Cell;
 
 use crate::descriptor::Descriptor;
-use crate::log::{LogBlock, EMPTY, LOG_BLOCK_ENTRIES};
+use crate::log::{EMPTY, LOG_BLOCK_ENTRIES, LogBlock};
 
 #[derive(Clone, Copy)]
 struct CtxState {
@@ -80,12 +80,19 @@ pub fn commit_raw(val: u64) -> (u64, bool) {
 /// thunk, and restores the caller's context — even on unwind, so a panicking
 /// thunk does not poison the thread for unrelated operations.
 ///
+/// The thunk's result is written to `out` when non-null and dropped
+/// otherwise (the helper path: helpers replay thunks for their logged
+/// effects only). Because every load inside a thunk is committed to the
+/// shared log, replays compute the identical result, so the owner can
+/// recover the value by re-running even after being helped to completion.
+///
 /// # Safety
 ///
 /// `d` must point to a live, initialized descriptor whose thunk and log stay
 /// valid for the duration of the call (owner-held, or epoch-protected after
-/// the helping protocol's revalidation).
-pub(crate) unsafe fn run(d: *const Descriptor) -> bool {
+/// the helping protocol's revalidation). `out` must be null or point at an
+/// uninitialized slot of the thunk's exact return type.
+pub(crate) unsafe fn run(d: *const Descriptor, out: *mut u8) {
     struct Restore(CtxState);
     impl Drop for Restore {
         fn drop(&mut self) {
@@ -104,7 +111,8 @@ pub(crate) unsafe fn run(d: *const Descriptor) -> bool {
             descr: d,
         })
     });
-    dref.call_thunk()
+    // SAFETY: `out` per forwarded contract.
+    unsafe { dref.call_thunk(out) }
 }
 
 #[cfg(test)]

@@ -30,11 +30,19 @@ use crate::log::LogBlock;
 const INLINE_BYTES: usize = 88;
 const INLINE_WORDS: usize = INLINE_BYTES / 8;
 
-/// Type-erased storage for a `Fn() -> bool + Send + Sync + 'static` closure.
+/// Type-erased storage for a `Fn() -> R + Send + Sync + 'static` closure.
+///
+/// The result type `R` is erased together with the closure: the stored
+/// `call` thunk either writes the computed `R` into a caller-provided slot
+/// (owner path — the caller must know the matching `R`) or drops it in
+/// place (helper path — helpers run thunks only for their logged side
+/// effects and discard the value, which is why `R: Send` is required).
 struct ThunkSlot {
     buf: [std::mem::MaybeUninit<u64>; INLINE_WORDS],
     /// Invokes the closure stored in `buf` (inline) or behind it (boxed).
-    call: Option<unsafe fn(*const u8) -> bool>,
+    /// Writes the result to the second argument (a `*mut R`) when non-null,
+    /// drops it otherwise.
+    call: Option<unsafe fn(*const u8, *mut u8)>,
     /// Drops the closure in place.
     drop_fn: Option<unsafe fn(*mut u8)>,
 }
@@ -50,23 +58,40 @@ impl ThunkSlot {
 
     /// Store `f`, dropping any previous closure. Requires exclusive access
     /// (descriptor not yet published, or past its grace period).
-    fn set<F: Fn() -> bool + Send + Sync + 'static>(&mut self, f: F) {
+    fn set<R, F>(&mut self, f: F)
+    where
+        R: Send + 'static,
+        F: Fn() -> R + Send + Sync + 'static,
+    {
         self.clear();
-        unsafe fn call_inline<F: Fn() -> bool>(p: *const u8) -> bool {
+        unsafe fn call_inline<R, F: Fn() -> R>(p: *const u8, out: *mut u8) {
             // SAFETY: `p` points at a valid `F` written by `set`.
-            (unsafe { &*p.cast::<F>() })()
+            let r = (unsafe { &*p.cast::<F>() })();
+            if out.is_null() {
+                drop(r);
+            } else {
+                // SAFETY: caller passes a slot of the `R` this closure was
+                // stored with (ThunkSlot::call contract).
+                unsafe { out.cast::<R>().write(r) };
+            }
         }
         unsafe fn drop_inline<F>(p: *mut u8) {
             // SAFETY: exclusive access; `p` holds a valid `F`.
             unsafe { std::ptr::drop_in_place(p.cast::<F>()) }
         }
-        unsafe fn call_boxed(p: *const u8) -> bool {
-            // SAFETY: `p` points at the Box<dyn Fn...> written by `set`.
-            (unsafe { &*p.cast::<Box<dyn Fn() -> bool + Send + Sync>>() })()
+        unsafe fn call_boxed<R, F: Fn() -> R>(p: *const u8, out: *mut u8) {
+            // SAFETY: `p` points at the Box<F> written by `set`.
+            let r = (unsafe { &**p.cast::<Box<F>>() })();
+            if out.is_null() {
+                drop(r);
+            } else {
+                // SAFETY: as in `call_inline`.
+                unsafe { out.cast::<R>().write(r) };
+            }
         }
-        unsafe fn drop_boxed(p: *mut u8) {
-            // SAFETY: exclusive access; `p` holds a valid Box<dyn Fn...>.
-            unsafe { std::ptr::drop_in_place(p.cast::<Box<dyn Fn() -> bool + Send + Sync>>()) }
+        unsafe fn drop_boxed<F>(p: *mut u8) {
+            // SAFETY: exclusive access; `p` holds a valid Box<F>.
+            unsafe { std::ptr::drop_in_place(p.cast::<Box<F>>()) }
         }
 
         if std::mem::size_of::<F>() <= INLINE_BYTES && std::mem::align_of::<F>() <= 8 {
@@ -74,31 +99,34 @@ impl ThunkSlot {
             unsafe {
                 std::ptr::write(self.buf.as_mut_ptr().cast::<F>(), f);
             }
-            self.call = Some(call_inline::<F>);
+            self.call = Some(call_inline::<R, F>);
             self.drop_fn = Some(drop_inline::<F>);
         } else {
-            let boxed: Box<dyn Fn() -> bool + Send + Sync> = Box::new(f);
-            // SAFETY: Box<dyn _> is two words, fits the 11-word buffer.
+            let boxed: Box<F> = Box::new(f);
+            // SAFETY: a Box is one word, fits the 11-word buffer.
             unsafe {
-                std::ptr::write(
-                    self.buf.as_mut_ptr().cast::<Box<dyn Fn() -> bool + Send + Sync>>(),
-                    boxed,
-                );
+                std::ptr::write(self.buf.as_mut_ptr().cast::<Box<F>>(), boxed);
             }
-            self.call = Some(call_boxed);
-            self.drop_fn = Some(drop_boxed);
+            self.call = Some(call_boxed::<R, F>);
+            self.drop_fn = Some(drop_boxed::<F>);
         }
     }
 
     /// Invoke the stored closure. May be called concurrently by many threads
     /// (the closure is `Fn + Sync`).
+    ///
+    /// # Safety
+    ///
+    /// `out` is either null (the result is dropped) or a pointer to an
+    /// uninitialized `R` slot, where `R` is the exact return type the
+    /// closure was stored with via [`ThunkSlot::set`].
     #[inline]
-    fn call(&self) -> bool {
+    unsafe fn call(&self, out: *mut u8) {
         let call = self.call.expect("descriptor thunk called before set");
         // SAFETY: `call` was installed together with a valid closure in
         // `buf`, and publication of the descriptor pointer (SeqCst CAS)
-        // happens-after `set`.
-        unsafe { call(self.buf.as_ptr().cast::<u8>()) }
+        // happens-after `set`; `out` per forwarded contract.
+        unsafe { call(self.buf.as_ptr().cast::<u8>(), out) }
     }
 
     /// Drop the stored closure, if any. Requires exclusive access.
@@ -155,8 +183,16 @@ impl Descriptor {
         &self.first_block
     }
 
-    pub(crate) fn call_thunk(&self) -> bool {
-        self.thunk.call()
+    /// Run the stored thunk, writing its result to `out` (or dropping it
+    /// when `out` is null).
+    ///
+    /// # Safety
+    ///
+    /// See [`ThunkSlot::call`]: `out` must be null or point at an
+    /// uninitialized slot of the thunk's exact return type.
+    pub(crate) unsafe fn call_thunk(&self, out: *mut u8) {
+        // SAFETY: forwarded contract.
+        unsafe { self.thunk.call(out) }
     }
 
     pub(crate) fn is_done(&self) -> bool {
@@ -214,6 +250,9 @@ fn reuse_enabled() -> bool {
 /// but they must never be immediately *freed*: when they leave the pool
 /// (overflow or thread exit) they go through the epoch collector.
 struct Pool {
+    // Boxes (not inline values): pool entries round-trip through
+    // `Box::into_raw`/`from_raw` as stable published pointers.
+    #[allow(clippy::vec_box)]
     items: RefCell<Vec<Box<Descriptor>>>,
 }
 
@@ -243,11 +282,11 @@ thread_local! {
 /// The returned pointer is fully initialized but not yet published; the
 /// caller publishes it by CASing it into a lock word or committing it to a
 /// log, both of which order the initialization before any helper's reads.
-pub(crate) fn create_descriptor<F: Fn() -> bool + Send + Sync + 'static>(
-    f: F,
-    birth_epoch: u64,
-    nested: bool,
-) -> *mut Descriptor {
+pub(crate) fn create_descriptor<R, F>(f: F, birth_epoch: u64, nested: bool) -> *mut Descriptor
+where
+    R: Send + 'static,
+    F: Fn() -> R + Send + Sync + 'static,
+{
     let mut d = POOL
         .with(|p| p.items.borrow_mut().pop())
         .unwrap_or_else(|| Box::new(Descriptor::new()));
@@ -342,8 +381,21 @@ pub(crate) unsafe fn dispose_top_level(d: *mut Descriptor) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::atomic::AtomicUsize;
     use std::sync::Arc;
+    use std::sync::atomic::AtomicUsize;
+
+    /// Run `d`'s thunk and read back its typed result.
+    ///
+    /// # Safety
+    ///
+    /// `R` must be the exact return type `d`'s closure was created with.
+    unsafe fn call_for<R: Send + 'static>(d: *const Descriptor) -> R {
+        let mut out = std::mem::MaybeUninit::<R>::uninit();
+        // SAFETY: d live per caller; out slot matches R per caller.
+        unsafe { (*d).call_thunk(out.as_mut_ptr().cast()) };
+        // SAFETY: call_thunk wrote the slot.
+        unsafe { out.assume_init() }
+    }
 
     #[test]
     fn inline_thunk_roundtrip() {
@@ -351,7 +403,7 @@ mod tests {
         let d = create_descriptor(move || x + 1 == 42, 0, false);
         // SAFETY: d is live and unshared.
         unsafe {
-            assert!((*d).call_thunk());
+            assert!(call_for::<bool>(d));
             assert!(!(*d).is_done());
             recycle_unshared(d);
         }
@@ -363,7 +415,38 @@ mod tests {
         let d = create_descriptor(move || big.iter().sum::<u64>() == 7 * 64, 0, false);
         // SAFETY: d is live and unshared.
         unsafe {
-            assert!((*d).call_thunk());
+            assert!(call_for::<bool>(d));
+            recycle_unshared(d);
+        }
+    }
+
+    #[test]
+    fn non_bool_results_roundtrip() {
+        let d = create_descriptor(|| Some(17u64), 0, false);
+        // SAFETY: d is live and unshared; R matches.
+        unsafe {
+            assert_eq!(call_for::<Option<u64>>(d), Some(17));
+            // Helper-style discard run: result dropped in place.
+            (*d).call_thunk(std::ptr::null_mut());
+            recycle_unshared(d);
+        }
+    }
+
+    #[test]
+    fn discarded_result_is_dropped() {
+        struct Probe(Arc<AtomicUsize>);
+        impl Drop for Probe {
+            fn drop(&mut self) {
+                self.0.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        let drops = Arc::new(AtomicUsize::new(0));
+        let d2 = Arc::clone(&drops);
+        let d = create_descriptor(move || Probe(Arc::clone(&d2)), 0, false);
+        // SAFETY: d is live and unshared.
+        unsafe {
+            (*d).call_thunk(std::ptr::null_mut());
+            assert_eq!(drops.load(Ordering::Relaxed), 1, "discarded result dropped");
             recycle_unshared(d);
         }
     }

@@ -10,8 +10,8 @@ use std::sync::{Arc, Barrier, Mutex};
 
 use crate::ctx;
 use crate::descriptor::{create_descriptor, recycle_unshared};
-use crate::mutable::{commit_value, Mutable};
-use crate::{set_lock_mode, LockMode};
+use crate::mutable::{Mutable, commit_value};
+use crate::{LockMode, set_lock_mode};
 
 static MODE: Mutex<()> = Mutex::new(());
 
@@ -19,6 +19,20 @@ fn locked_lf() -> std::sync::MutexGuard<'static, ()> {
     let g = MODE.lock().unwrap_or_else(|e| e.into_inner());
     set_lock_mode(LockMode::LockFree);
     g
+}
+
+/// Run `d` and read back its `bool` result (all descriptors in this file
+/// are created from bool-returning thunks).
+///
+/// # Safety
+///
+/// `d` must be live and created from a `Fn() -> bool` thunk.
+unsafe fn run_bool(d: *const crate::descriptor::Descriptor) -> bool {
+    let mut out = std::mem::MaybeUninit::<bool>::uninit();
+    // SAFETY: forwarded contract; out slot matches the thunk's return type.
+    unsafe { ctx::run(d, out.as_mut_ptr().cast()) };
+    // SAFETY: run wrote the slot.
+    unsafe { out.assume_init() }
 }
 
 #[test]
@@ -37,7 +51,7 @@ fn sequential_reruns_apply_once() {
     // Five runs of the same descriptor: one effect.
     for _ in 0..5 {
         // SAFETY: descriptor is live and owned by this test.
-        assert!(unsafe { ctx::run(d) });
+        assert!(unsafe { run_bool(d) });
     }
     assert_eq!(counter.load(), 1, "increment must apply exactly once");
     // SAFETY: never published to a lock word or log.
@@ -64,7 +78,7 @@ fn reruns_agree_on_committed_nondeterminism() {
     );
     for _ in 0..4 {
         // SAFETY: live, test-owned descriptor.
-        assert!(unsafe { ctx::run(d) });
+        assert!(unsafe { run_bool(d) });
     }
     let seen = observed.lock().unwrap().clone();
     assert_eq!(seen.len(), 4);
@@ -106,7 +120,7 @@ fn racing_runs_apply_once() {
                     start.wait();
                     // SAFETY: the descriptor outlives the scope; runs of a
                     // thunk are exactly what idempotence makes safe.
-                    assert!(unsafe { ctx::run(dp.ptr()) });
+                    assert!(unsafe { run_bool(dp.ptr()) });
                 });
             }
         });
@@ -141,7 +155,7 @@ fn racing_alloc_and_retire_exactly_once() {
                     let _g = flock_epoch::pin();
                     start.wait();
                     // SAFETY: as in racing_runs_apply_once.
-                    unsafe { ctx::run(dp.ptr()) };
+                    unsafe { run_bool(dp.ptr()) };
                 });
             }
         });
@@ -178,7 +192,7 @@ fn long_thunk_spans_many_log_blocks() {
     );
     for _ in 0..3 {
         // SAFETY: live, test-owned.
-        assert!(unsafe { ctx::run(d) });
+        assert!(unsafe { run_bool(d) });
     }
     for (i, m) in cells.iter().enumerate() {
         assert_eq!(m.load(), i as u32 + 1, "cell {i} bumped exactly once");
@@ -212,8 +226,8 @@ fn interleaved_runs_of_two_descriptors_stay_isolated() {
     for _ in 0..2 {
         // SAFETY: live, test-owned descriptors.
         unsafe {
-            ctx::run(d1);
-            ctx::run(d2);
+            run_bool(d1);
+            run_bool(d2);
         }
     }
     assert_eq!(x.load(), 11);

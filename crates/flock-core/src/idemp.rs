@@ -55,12 +55,13 @@ pub unsafe fn retire<T>(ptr: *mut T) {
 /// Idempotently create a descriptor while running an outer thunk: all
 /// runners allocate, one pointer wins via the log, losers recycle their
 /// private copy.
-pub(crate) fn create_descriptor_idempotent<F>(
+pub(crate) fn create_descriptor_idempotent<R, F>(
     thunk: F,
     guard: &flock_epoch::EpochGuard,
 ) -> *mut Descriptor
 where
-    F: Fn() -> bool + Send + Sync + 'static,
+    R: Send + 'static,
+    F: Fn() -> R + Send + Sync + 'static,
 {
     debug_assert!(ctx::in_thunk());
     let fresh = descriptor::create_descriptor(thunk, guard.epoch(), true);

@@ -15,32 +15,37 @@
 //!    observe identical values, so the thunk's effects apply exactly once.
 //!    All the user must do is wrap shared mutable locations in [`Mutable`]
 //!    and allocate/retire through this module.
-//! 2. **Locks** ([`Lock::try_lock`], [`Lock::lock`], [`Lock::unlock_early`]):
-//!    ~20 lines over idempotent operations (paper Algorithm 3). Locks nest;
-//!    try-locks return `false` instead of waiting, which is what optimistic
-//!    fine-grained data structures want.
+//! 2. **Locks** ([`Lock::try_lock`], [`Lock::lock`], [`Lock::unlock_early`],
+//!    and the packaged [`Locked<T>`] cell): ~20 lines over idempotent
+//!    operations (paper Algorithm 3). Locks nest; thunks are generic over
+//!    their result type, and try-locks return `None` instead of waiting —
+//!    which is what optimistic fine-grained data structures want, without
+//!    conflating "lock busy" with the thunk's own result.
 //! 3. **Memory reclamation** (re-exported from [`flock_epoch`]): epoch-based,
 //!    with helpers adopting the epoch of the thunk they help.
 //!
-//! ## Example: a shared counter with atomic transfer
+//! ## Example: a guarded account with a typed result
 //!
 //! ```
-//! use flock_core::{Lock, Mutable};
-//! use std::sync::Arc;
+//! use flock_core::{Locked, Mutable};
 //!
-//! struct Account { lock: Lock, balance: Mutable<u32> }
-//! let a = Arc::new(Account { lock: Lock::new(), balance: Mutable::new(100) });
+//! let account = Locked::new(Mutable::new(100u32));
 //!
-//! let a2 = Arc::clone(&a);
-//! let withdrew = a.lock.try_lock(move || {
-//!     let b = a2.balance.load();
+//! // `None` would mean "lock busy"; the withdrawal outcome is the
+//! // closure's own, separately typed result.
+//! let withdrew = account.try_with(|balance| {
+//!     let b = balance.load();
 //!     if b < 30 { return false; }
-//!     a2.balance.store(b - 30);
+//!     balance.store(b - 30);
 //!     true
 //! });
-//! assert!(withdrew);
-//! assert_eq!(a.balance.load(), 70);
+//! assert_eq!(withdrew, Some(true));
+//! assert_eq!(account.load(), 70);
 //! ```
+//!
+//! For structures that weave locks through their own nodes, the bare
+//! [`Lock`] + [`Mutable`] layer is the right altitude; `Locked<T>` is the
+//! packaged form of the common "one lock, one record" pattern.
 
 #![warn(missing_docs)]
 
@@ -50,19 +55,21 @@ mod descriptor;
 mod idem_tests;
 mod idemp;
 mod lock;
+mod locked;
 mod log;
 mod mutable;
 
 pub use ctx::in_thunk;
 pub use descriptor::set_descriptor_reuse;
 pub use idemp::{alloc, retire};
-pub use lock::{lock_mode, set_helping, set_lock_mode, Lock, LockMode};
+pub use lock::{Lock, LockMode, lock_mode, set_helping, set_lock_mode};
+pub use locked::Locked;
 pub use log::{EMPTY, LOG_BLOCK_ENTRIES};
-pub use mutable::{commit_value, Mutable, UpdateOnce};
+pub use mutable::{Mutable, UpdateOnce, commit_value};
 
 // Re-export the reclamation entry points so data-structure code needs only
 // this crate.
-pub use flock_epoch::{pin, EpochGuard};
+pub use flock_epoch::{EpochGuard, pin};
 
 /// A `Copy + Send + Sync` wrapper for raw pointers captured by thunks.
 ///
@@ -122,8 +129,8 @@ unsafe impl<T> Sync for Sp<T> {}
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::atomic::{AtomicUsize, Ordering};
     use std::sync::Arc;
+    use std::sync::atomic::{AtomicUsize, Ordering};
 
     /// The headline property: if a lock holder stalls forever, others
     /// complete its critical section (lock-free mode only).
@@ -156,7 +163,6 @@ mod tests {
                     // Stall long enough that progress must come from helping.
                     std::thread::park_timeout(std::time::Duration::from_secs(600));
                 }
-                true
             })
         });
 
@@ -168,10 +174,7 @@ mod tests {
         let mut acquired = false;
         while std::time::Instant::now() < deadline {
             let v3 = Arc::clone(&v2);
-            if lock.try_lock(move || {
-                v3.store(v3.load() + 10);
-                true
-            }) {
+            if lock.try_lock(move || v3.store(v3.load() + 10)).is_some() {
                 acquired = true;
                 break;
             }
@@ -180,7 +183,11 @@ mod tests {
             acquired,
             "helper failed to make progress past a stalled lock holder"
         );
-        assert_eq!(value.load(), 11, "stalled thunk's store applied exactly once");
+        assert_eq!(
+            value.load(),
+            11,
+            "stalled thunk's store applied exactly once"
+        );
         stalled.thread().unpark();
         let _ = stalled.join();
     }
@@ -205,10 +212,7 @@ mod tests {
                     let mut done = 0;
                     while done < 500 {
                         let c = Arc::clone(&counter);
-                        if lock.try_lock(move || {
-                            c.store(c.load() + 1);
-                            true
-                        }) {
+                        if lock.try_lock(move || c.store(c.load() + 1)).is_some() {
                             done += 1;
                             hits.fetch_add(1, Ordering::Relaxed);
                         }
@@ -246,7 +250,7 @@ mod tests {
                 s.spawn(move || {
                     for _ in 0..200 {
                         let (a2, b2) = (Arc::clone(&a), Arc::clone(&b));
-                        a.lock.try_lock(move || {
+                        let _ = a.lock.try_lock(move || {
                             let (a3, b3) = (Arc::clone(&a2), Arc::clone(&b2));
                             b2.lock.try_lock(move || {
                                 let ab = a3.bal.load();
@@ -254,12 +258,11 @@ mod tests {
                                     a3.bal.store(ab - 1);
                                     b3.bal.store(b3.bal.load() + 1);
                                 }
-                                true
                             })
                         });
                         // Move some back the other way too (same order).
                         let (a2, b2) = (Arc::clone(&a), Arc::clone(&b));
-                        a.lock.try_lock(move || {
+                        let _ = a.lock.try_lock(move || {
                             let (a3, b3) = (Arc::clone(&a2), Arc::clone(&b2));
                             b2.lock.try_lock(move || {
                                 let bb = b3.bal.load();
@@ -267,7 +270,6 @@ mod tests {
                                     b3.bal.store(bb - 1);
                                     a3.bal.store(a3.bal.load() + 1);
                                 }
-                                true
                             })
                         });
                     }
@@ -292,7 +294,7 @@ mod tests {
                 s.spawn(move || {
                     for i in 0..200 {
                         let slot2 = Arc::clone(&slot);
-                        lock.try_lock(move || {
+                        let _ = lock.try_lock(move || {
                             let old = slot2.load();
                             let fresh = alloc(move || t * 1000 + i);
                             slot2.store(fresh);
@@ -301,7 +303,6 @@ mod tests {
                                 // above, under the lock; retired once.
                                 unsafe { retire(old) };
                             }
-                            true
                         });
                     }
                 });

@@ -23,8 +23,8 @@
 
 use std::sync::atomic::{AtomicU8, Ordering};
 
-use flock_sync::pack::{next_tag, pack, unpack_tag, unpack_val, PackedValue};
 use flock_sync::Backoff;
+use flock_sync::pack::{PackedValue, next_tag, pack, unpack_tag, unpack_val};
 
 use crate::ctx;
 use crate::descriptor::{self, Descriptor};
@@ -131,7 +131,10 @@ unsafe impl PackedValue for LockWord {
 /// One word; create with [`Lock::new`] and protect critical sections with
 /// [`Lock::try_lock`] (preferred for optimistic fine-grained locking) or
 /// [`Lock::lock`] (a strict lock that waits). Critical sections are *thunks*:
-/// `Fn() -> bool` closures capturing their environment by value.
+/// `Fn() -> R` closures capturing their environment by value. The result
+/// type `R` is yours to choose — a validation `bool`, a looked-up value, or
+/// `()` — and `try_lock` wraps it in an `Option` so "the lock was busy"
+/// (`None`) is never conflated with whatever the thunk returned.
 pub struct Lock {
     word: crate::mutable::Mutable<LockWord>,
 }
@@ -165,13 +168,19 @@ impl Lock {
 
     /// Attempt to acquire the lock and run `thunk` under it.
     ///
-    /// Returns `thunk`'s result if the lock was acquired, and `false` if the
-    /// lock was busy (after helping the current holder in lock-free mode).
+    /// Returns `Some(r)` with the thunk's result `r` if the lock was
+    /// acquired, and `None` if the lock was busy (after helping the current
+    /// holder in lock-free mode) — so "lock busy, back off" is distinguishable
+    /// from whatever the thunk itself computed (e.g. a validation failure).
     /// Thunks capture by value (`move`) and may nest `try_lock` calls on
     /// locks that are smaller in the locking order.
-    pub fn try_lock<F>(&self, thunk: F) -> bool
+    ///
+    /// `R: Send` because in lock-free mode helper threads replay the thunk
+    /// and drop their locally computed copy of the result.
+    pub fn try_lock<R, F>(&self, thunk: F) -> Option<R>
     where
-        F: Fn() -> bool + Send + Sync + 'static,
+        R: Send + 'static,
+        F: Fn() -> R + Send + Sync + 'static,
     {
         match lock_mode() {
             LockMode::Blocking => self.blocking_try_lock(thunk),
@@ -182,9 +191,10 @@ impl Lock {
     /// Acquire the lock, waiting (and helping, in lock-free mode) until it is
     /// available, then run `thunk` and return its result — the paper's
     /// *strict lock*.
-    pub fn lock<F>(&self, thunk: F) -> bool
+    pub fn lock<R, F>(&self, thunk: F) -> R
     where
-        F: Fn() -> bool + Send + Sync + 'static,
+        R: Send + 'static,
+        F: Fn() -> R + Send + Sync + 'static,
     {
         match lock_mode() {
             LockMode::Blocking => {
@@ -195,11 +205,13 @@ impl Lock {
                         backoff.snooze();
                         continue;
                     }
-                    if self
-                        .word
-                        .raw_cell()
-                        .ccas(w, pack(next_tag(unpack_tag(w)), LockWord::locked(std::ptr::null()).to_bits()))
-                    {
+                    if self.word.raw_cell().ccas(
+                        w,
+                        pack(
+                            next_tag(unpack_tag(w)),
+                            LockWord::locked(std::ptr::null()).to_bits(),
+                        ),
+                    ) {
                         let r = thunk();
                         self.blocking_release();
                         return r;
@@ -228,9 +240,10 @@ impl Lock {
                         // descriptor), live until disposed below.
                         let done = unsafe { (*d).is_done() };
                         if done || cur2 == mine {
-                            let result = self.run_and_unlock_self(d, mine);
+                            let result = self.run_and_unlock_self::<R>(d, mine);
                             // SAFETY: lock word no longer references `d`
-                            // (unlock CAMs it to null); pinned.
+                            // (unlock CAMs it to null); pinned; `d` was
+                            // created from a thunk returning `R`.
                             unsafe { self.dispose_after_run(d, nested) };
                             return result;
                         }
@@ -265,9 +278,10 @@ impl Lock {
 
     // ---------------------------------------------------------- lock-free
 
-    fn lock_free_try_lock<F>(&self, thunk: F) -> bool
+    fn lock_free_try_lock<R, F>(&self, thunk: F) -> Option<R>
     where
-        F: Fn() -> bool + Send + Sync + 'static,
+        R: Send + 'static,
+        F: Fn() -> R + Send + Sync + 'static,
     {
         let guard = flock_epoch::pin();
         let nested = ctx::in_thunk();
@@ -277,7 +291,7 @@ impl Lock {
         if cur.is_locked() {
             // Line 26 of the paper (locked on first read): help and fail.
             self.help(cur, &guard);
-            return false;
+            return None;
         }
 
         // Lines 16-18: make a descriptor and try to install it.
@@ -295,11 +309,13 @@ impl Lock {
         // disposed; nested ones are epoch-protected after commit.
         let done = unsafe { (*d).is_done() };
         if done || cur2 == mine {
-            // Line 22: run self (replays are no-ops if we were helped).
-            let result = self.run_and_unlock_self(d, mine);
+            // Line 22: run self. If we were helped to completion, this is a
+            // replay: the log makes it recompute the identical result
+            // without re-applying effects.
+            let result = self.run_and_unlock_self::<R>(d, mine);
             // SAFETY: unlock removed the lock word's reference; pinned.
             unsafe { self.dispose_after_run(d, nested) };
-            result
+            Some(result)
         } else {
             // Lines 23-26: someone else is (or was) in; help if locked.
             if cur2.is_locked() {
@@ -314,21 +330,27 @@ impl Lock {
                 // SAFETY: never published (install CAM failed).
                 unsafe { descriptor::recycle_unshared(d) };
             }
-            false
+            None
         }
     }
 
     /// Run our own installed (or already completed) descriptor and release
     /// the lock: the paper's `runAndUnlock` for the self path.
-    fn run_and_unlock_self(&self, d: *const Descriptor, mine: LockWord) -> bool {
-        // SAFETY: `d` live (see callers); running a thunk is idempotent.
-        let result = unsafe { ctx::run(d) };
+    ///
+    /// Callers guarantee `d` was created from a thunk returning `R`; the run
+    /// writes the (replay-deterministic) result into a local slot.
+    fn run_and_unlock_self<R: Send + 'static>(&self, d: *const Descriptor, mine: LockWord) -> R {
+        let mut out = std::mem::MaybeUninit::<R>::uninit();
+        // SAFETY: `d` live (see callers); running a thunk is idempotent;
+        // `out` is an uninitialized slot of the thunk's return type.
+        unsafe { ctx::run(d, out.as_mut_ptr().cast()) };
         // SAFETY: as above.
         unsafe { (*d).set_done() };
         // Unlock by clearing the descriptor pointer so the descriptor
         // becomes unreachable from the lock word (enables safe reuse).
         self.word.cam(mine, LockWord::UNLOCKED_EMPTY);
-        result
+        // SAFETY: `ctx::run` returned without unwinding, so it wrote `out`.
+        unsafe { out.assume_init() }
     }
 
     /// Help the descriptor installed on this lock (observed as `cur`):
@@ -362,10 +384,11 @@ impl Lock {
         let raw = self.word.raw_packed();
         if LockWord::from_bits(unpack_val(raw)) == cur {
             // SAFETY: revalidated + epoch-adopted: `d` is live and its
-            // owner will observe `helped` before any reuse decision.
+            // owner will observe `helped` before any reuse decision. The
+            // null out-slot discards the helper's copy of the result.
             unsafe {
                 if !(*d).is_done() {
-                    let _ = ctx::run(d);
+                    ctx::run(d, std::ptr::null_mut());
                     (*d).set_done();
                 }
             }
@@ -391,10 +414,10 @@ impl Lock {
 
     // ----------------------------------------------------------- blocking
 
-    fn blocking_try_lock<F: Fn() -> bool>(&self, thunk: F) -> bool {
+    fn blocking_try_lock<R, F: Fn() -> R>(&self, thunk: F) -> Option<R> {
         let w = self.word.raw_packed();
         if LockWord::from_bits(unpack_val(w)).is_locked() {
-            return false;
+            return None;
         }
         if !self.word.raw_cell().ccas(
             w,
@@ -403,11 +426,11 @@ impl Lock {
                 LockWord::locked(std::ptr::null()).to_bits(),
             ),
         ) {
-            return false;
+            return None;
         }
         let r = thunk();
         self.blocking_release();
-        r
+        Some(r)
     }
 
     fn blocking_release(&self) {
@@ -446,9 +469,25 @@ mod tests {
     fn try_lock_runs_thunk_and_returns_result() {
         both_modes(|| {
             let l = Lock::new();
-            assert!(l.try_lock(|| true));
-            assert!(!l.try_lock(|| false));
+            assert_eq!(l.try_lock(|| true), Some(true));
+            assert_eq!(
+                l.try_lock(|| false),
+                Some(false),
+                "thunk result is distinct from lock-busy"
+            );
             assert!(!l.is_locked(), "lock released after thunk");
+        });
+    }
+
+    #[test]
+    fn try_lock_returns_arbitrary_types() {
+        both_modes(|| {
+            let l = Lock::new();
+            assert_eq!(l.try_lock(|| 41u64 + 1), Some(42));
+            assert_eq!(l.try_lock(|| Some("hit")), Some(Some("hit")));
+            assert_eq!(l.try_lock(|| ()), Some(()));
+            let v = l.try_lock(|| vec![1u8, 2, 3]);
+            assert_eq!(v, Some(vec![1, 2, 3]), "non-Copy results work");
         });
     }
 
@@ -457,6 +496,7 @@ mod tests {
         both_modes(|| {
             let l = Lock::new();
             assert!(l.lock(|| true));
+            assert_eq!(l.lock(|| 7u32), 7);
             assert!(!l.is_locked());
         });
     }
@@ -477,10 +517,7 @@ mod tests {
                         let mut acquired = 0;
                         while acquired < PER_THREAD {
                             let n2 = Arc::clone(&n);
-                            if l.try_lock(move || {
-                                n2.store(n2.load() + 1);
-                                true
-                            }) {
+                            if l.try_lock(move || n2.store(n2.load() + 1)).is_some() {
                                 acquired += 1;
                             }
                         }
@@ -504,10 +541,12 @@ mod tests {
                     s.spawn(move || {
                         for _ in 0..PER_THREAD {
                             let n2 = Arc::clone(&n);
-                            assert!(l.lock(move || {
-                                n2.store(n2.load() + 1);
-                                true
-                            }));
+                            let served = l.lock(move || {
+                                let before = n2.load();
+                                n2.store(before + 1);
+                                before
+                            });
+                            assert!(served < 4 * PER_THREAD);
                         }
                     });
                 }
@@ -522,11 +561,13 @@ mod tests {
             let outer = Arc::new(Lock::new());
             let inner = Arc::new(Lock::new());
             let inner2 = Arc::clone(&inner);
+            // The nested Option layers keep "outer busy" (None), "inner
+            // busy" (Some(None)) and "both acquired" (Some(Some(_))) apart.
             let ok = outer.try_lock(move || {
                 let i = Arc::clone(&inner2);
                 i.try_lock(|| true)
             });
-            assert!(ok);
+            assert_eq!(ok, Some(Some(true)));
             assert!(!outer.is_locked());
             assert!(!inner.is_locked());
         });

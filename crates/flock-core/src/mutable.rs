@@ -30,7 +30,7 @@ use std::marker::PhantomData;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use flock_sync::announce;
-use flock_sync::pack::{next_tag, pack, unpack_tag, unpack_val, PackedValue};
+use flock_sync::pack::{PackedValue, next_tag, pack, unpack_tag, unpack_val};
 use flock_sync::tagged::TaggedAtomicU64;
 use flock_sync::tid;
 
@@ -292,7 +292,7 @@ mod tests {
     #[test]
     fn commit_value_top_level_identity() {
         assert_eq!(commit_value(1234u32), 1234);
-        assert_eq!(commit_value(false), false);
+        assert!(!commit_value(false));
         assert_eq!(commit_value(0u32), 0, "zero must survive the marker bit");
     }
 

@@ -22,9 +22,9 @@
 //! A pseudo-root *anchor* (an internal node with zero keys and one child)
 //! removes all root special cases.
 
+use flock_api::Map;
 use flock_core::{Lock, Mutable, Sp, UpdateOnce};
-
-use crate::ConcurrentMap;
+use flock_sync::Backoff;
 
 /// Maximum keys per leaf and separators per internal node ("b").
 pub const B: usize = 12;
@@ -105,7 +105,9 @@ impl Node {
     }
 
     fn leaf_entries(&self) -> Vec<(u64, u64)> {
-        (0..self.len).map(|i| (self.keys[i], self.vals[i])).collect()
+        (0..self.len)
+            .map(|i| (self.keys[i], self.vals[i]))
+            .collect()
     }
 
     fn separators(&self) -> Vec<u64> {
@@ -171,10 +173,13 @@ impl ABTree {
     /// Split full node `c` (child of `p`, grandchild of `g`): replaces `p`
     /// with a copy containing the new separator and the two halves of `c`.
     /// Returns whether the split was applied.
-    fn split_child(&self, g: *mut Node, p: *mut Node, c: *mut Node, k: u64) -> bool {
+    /// `None` = a lock on the g → p → c path was busy (caller should back
+    /// off); `Some(applied)` = all three locks were taken and the plan
+    /// either applied or had gone stale.
+    fn split_child(&self, g: *mut Node, p: *mut Node, c: *mut Node, k: u64) -> Option<bool> {
         let (sp_g, sp_p, sp_c) = (Sp(g), Sp(p), Sp(c));
         // SAFETY: pinned caller.
-        unsafe { &*g }.lock.try_lock(move || {
+        let outcome = unsafe { &*g }.lock.try_lock(move || {
             // SAFETY: thunk runners hold epoch protection.
             let p_ref = unsafe { sp_p.as_ref() };
             p_ref.lock.try_lock(move || {
@@ -243,12 +248,18 @@ impl ABTree {
                     true
                 })
             })
-        })
+        });
+        // Flatten the three lock layers: any missing layer is "busy".
+        match outcome {
+            Some(Some(Some(applied))) => Some(applied),
+            _ => None,
+        }
     }
 
     /// Insert; `false` if present.
     pub fn insert(&self, k: u64, v: u64) -> bool {
         let _g = flock_epoch::pin();
+        let mut backoff = Backoff::new();
         'restart: loop {
             let path = self.path_to(k);
             let leaf = *path.last().expect("path includes leaf");
@@ -263,7 +274,9 @@ impl ABTree {
             // when the loop below splits path[w], path[w-1] has room.
             // SAFETY: pinned path nodes.
             if unsafe { &*path[1] }.is_full() {
-                let _ = self.split_root(path[1]);
+                if self.split_root(path[1]).is_none() {
+                    backoff.snooze(); // anchor/root lock busy
+                }
                 continue 'restart;
             }
             // Preemptively split the shallowest full node along the path and
@@ -272,14 +285,16 @@ impl ABTree {
                 // SAFETY: pinned path nodes.
                 if unsafe { &*path[w] }.is_full() {
                     let (g, p, c) = (path[w - 2], path[w - 1], path[w]);
-                    let _ = self.split_child(g, p, c, k);
+                    if self.split_child(g, p, c, k).is_none() {
+                        backoff.snooze(); // a lock on the split path was busy
+                    }
                     continue 'restart;
                 }
             }
             let parent = path[path.len() - 2];
             let (sp_p, sp_l) = (Sp(parent), Sp(leaf));
             // SAFETY: epoch-pinned.
-            let ok = unsafe { &*parent }.lock.try_lock(move || {
+            let outcome = unsafe { &*parent }.lock.try_lock(move || {
                 // SAFETY: thunk runners hold epoch protection.
                 let p = unsafe { sp_p.as_ref() };
                 let l = unsafe { sp_l.as_ref() };
@@ -302,11 +317,12 @@ impl ABTree {
                 unsafe { flock_core::retire(sp_l.ptr()) };
                 true
             });
-            if ok {
-                return true;
+            match outcome {
+                Some(true) => return true,
+                Some(false) => {}         // validation failed / leaf full: replan
+                None => backoff.snooze(), // parent lock busy
             }
-            // Validation/lock failure, or the leaf was full/duplicated:
-            // re-check for presence then retry.
+            // Re-check for presence then retry.
             // SAFETY: pinned.
             let path2 = self.path_to(k);
             let leaf2 = *path2.last().expect("leaf");
@@ -318,10 +334,12 @@ impl ABTree {
 
     /// Split a full root (leaf or internal) into two halves under a fresh
     /// one-separator root, under anchor → root locks.
-    fn split_root(&self, root: *mut Node) -> bool {
+    /// `None` = the anchor's or root's lock was busy; `Some(applied)`
+    /// otherwise.
+    fn split_root(&self, root: *mut Node) -> Option<bool> {
         let (sp_a, sp_r) = (Sp(self.anchor), Sp(root));
         // SAFETY: pinned caller; anchor immutable.
-        unsafe { &*self.anchor }.lock.try_lock(move || {
+        let outcome = unsafe { &*self.anchor }.lock.try_lock(move || {
             // SAFETY: thunk runners hold epoch protection.
             let r_ref = unsafe { sp_r.as_ref() };
             r_ref.lock.try_lock(move || {
@@ -360,12 +378,17 @@ impl ABTree {
                 unsafe { flock_core::retire(sp_r.ptr()) };
                 true
             })
-        })
+        });
+        match outcome {
+            Some(Some(applied)) => Some(applied),
+            _ => None,
+        }
     }
 
     /// Remove; `false` if absent.
     pub fn remove(&self, k: u64) -> bool {
         let _g = flock_epoch::pin();
+        let mut backoff = Backoff::new();
         loop {
             let path = self.path_to(k);
             let leaf = *path.last().expect("leaf");
@@ -377,29 +400,32 @@ impl ABTree {
             let parent = path[path.len() - 2];
             // SAFETY: pinned.
             let parent_ref = unsafe { &*parent };
-            let ok = if leaf_ref.len > 1 || parent_ref.len == 0 {
+            let outcome = if leaf_ref.len > 1 || parent_ref.len == 0 {
                 // Shrink by copy. (A root leaf may become empty.)
                 let (sp_p, sp_l) = (Sp(parent), Sp(leaf));
-                parent_ref.lock.try_lock(move || {
-                    // SAFETY: thunk runners hold epoch protection.
-                    let p = unsafe { sp_p.as_ref() };
-                    let l = unsafe { sp_l.as_ref() };
-                    if p.removed.load() {
-                        return false;
-                    }
-                    let slot = p.route(k);
-                    if p.children[slot].load() != sp_l.ptr() {
-                        return false;
-                    }
-                    let Some(pos) = l.find(k) else { return false };
-                    let mut entries = l.leaf_entries();
-                    entries.remove(pos);
-                    let newl = flock_core::alloc(move || Node::leaf(&entries));
-                    p.children[slot].store(newl);
-                    // SAFETY: replaced above; idempotent retire.
-                    unsafe { flock_core::retire(sp_l.ptr()) };
-                    true
-                })
+                parent_ref
+                    .lock
+                    .try_lock(move || {
+                        // SAFETY: thunk runners hold epoch protection.
+                        let p = unsafe { sp_p.as_ref() };
+                        let l = unsafe { sp_l.as_ref() };
+                        if p.removed.load() {
+                            return false;
+                        }
+                        let slot = p.route(k);
+                        if p.children[slot].load() != sp_l.ptr() {
+                            return false;
+                        }
+                        let Some(pos) = l.find(k) else { return false };
+                        let mut entries = l.leaf_entries();
+                        entries.remove(pos);
+                        let newl = flock_core::alloc(move || Node::leaf(&entries));
+                        p.children[slot].store(newl);
+                        // SAFETY: replaced above; idempotent retire.
+                        unsafe { flock_core::retire(sp_l.ptr()) };
+                        true
+                    })
+                    .map(Some)
             } else {
                 // Leaf will become empty: splice it and its separator out of
                 // the parent (replace the parent), under g → p locks. If the
@@ -450,8 +476,10 @@ impl ABTree {
                     })
                 })
             };
-            if ok {
-                return true;
+            match outcome {
+                Some(Some(true)) => return true,
+                Some(Some(false)) => {} // validation failed: replan now
+                _ => backoff.snooze(),  // a lock on the path was busy
             }
         }
     }
@@ -591,7 +619,7 @@ impl Drop for ABTree {
     }
 }
 
-impl ConcurrentMap for ABTree {
+impl Map<u64, u64> for ABTree {
     fn insert(&self, key: u64, value: u64) -> bool {
         ABTree::insert(self, key, value)
     }
@@ -604,12 +632,15 @@ impl ConcurrentMap for ABTree {
     fn name(&self) -> &'static str {
         self.label
     }
+    fn len_approx(&self) -> Option<usize> {
+        Some(self.len())
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::testutil;
+    use flock_api::testing as testutil;
 
     #[test]
     fn basic_ops() {

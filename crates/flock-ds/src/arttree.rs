@@ -20,9 +20,9 @@
 //!   chain, upgrading a full node) take the owning node's lock — plus the
 //!   parent's when the node itself is replaced — validate, then apply.
 
+use flock_api::Map;
 use flock_core::{Lock, Mutable, Sp, UpdateOnce};
-
-use crate::ConcurrentMap;
+use flock_sync::Backoff;
 
 const KEY_BYTES: usize = 8;
 
@@ -283,6 +283,7 @@ impl ArtTree {
     /// Insert; `false` if present.
     pub fn insert(&self, k: u64, v: u64) -> bool {
         let _g = flock_epoch::pin();
+        let mut backoff = Backoff::new();
         'restart: loop {
             let mut parent: *mut ArtNode = std::ptr::null_mut();
             let mut cur = self.root;
@@ -295,6 +296,10 @@ impl ArtTree {
                     // Empty slot: add a leaf here (possibly upgrading).
                     match self.add_leaf(parent, cur, d, k, v) {
                         AddOutcome::Done => return true,
+                        AddOutcome::Busy => {
+                            backoff.snooze();
+                            continue 'restart;
+                        }
                         AddOutcome::Retry => continue 'restart,
                     }
                 }
@@ -306,10 +311,14 @@ impl ArtTree {
                     }
                     // Split: replace the leaf with a chain diverging at the
                     // first differing byte.
-                    if self.split_leaf(cur, d, c, k, v) {
-                        return true;
+                    match self.split_leaf(cur, d, c, k, v) {
+                        Some(true) => return true,
+                        Some(false) => continue 'restart, // validation failed
+                        None => {
+                            backoff.snooze(); // node lock busy
+                            continue 'restart;
+                        }
                     }
-                    continue 'restart;
                 }
                 parent = cur;
                 cur = as_node(c);
@@ -321,6 +330,7 @@ impl ArtTree {
     /// Remove; `false` if absent.
     pub fn remove(&self, k: u64) -> bool {
         let _g = flock_epoch::pin();
+        let mut backoff = Backoff::new();
         'restart: loop {
             let mut cur = self.root;
             let mut d = 0;
@@ -338,13 +348,15 @@ impl ArtTree {
                     }
                     let sp_n = Sp(cur);
                     // SAFETY: pinned.
-                    let ok = unsafe { &*cur }.lock.try_lock(move || {
+                    match unsafe { &*cur }.lock.try_lock(move || {
                         // SAFETY: thunk runners hold epoch protection.
                         let n = unsafe { sp_n.as_ref() };
                         if n.removed.load() {
                             return false;
                         }
-                        let Some(slot) = n.slot_of(b) else { return false };
+                        let Some(slot) = n.slot_of(b) else {
+                            return false;
+                        };
                         let cell = &n.children[slot];
                         if cell.load() != c {
                             return false; // validate
@@ -353,11 +365,14 @@ impl ArtTree {
                         // SAFETY: unlinked above; idempotent retire.
                         unsafe { flock_core::retire(as_leaf(c)) };
                         true
-                    });
-                    if ok {
-                        return true;
+                    }) {
+                        Some(true) => return true,
+                        Some(false) => continue 'restart, // validation failed
+                        None => {
+                            backoff.snooze(); // node lock busy
+                            continue 'restart;
+                        }
                     }
-                    continue 'restart;
                 }
                 cur = as_node(c);
                 d += 1;
@@ -380,7 +395,7 @@ impl ArtTree {
         let sp_n = Sp(node);
         // First try the common path: free slot under the node's own lock.
         // SAFETY: pinned caller.
-        let ok = unsafe { &*node }.lock.try_lock(move || {
+        let fast = unsafe { &*node }.lock.try_lock(move || {
             // SAFETY: thunk runners hold epoch protection.
             let n = unsafe { sp_n.as_ref() };
             if n.removed.load() || n.lookup(b) != 0 {
@@ -402,8 +417,10 @@ impl ArtTree {
             debug_assert!(added, "free slot vanished under the node lock");
             added
         });
-        if ok {
-            return AddOutcome::Done;
+        match fast {
+            Some(true) => return AddOutcome::Done,
+            Some(false) => {} // validation failed or node full: slow path
+            None => return AddOutcome::Busy,
         }
         // Slow path: the node may be full — upgrade under parent + node
         // locks. The root is Node256 and never full. A successful upgrade
@@ -412,8 +429,12 @@ impl ArtTree {
         let full = unsafe { &*node }.slot_of(b).is_none()
             && unsafe { &*node }.kind != N256
             && self.node_is_full(node);
-        if full && !parent.is_null() && self.upgrade_node(parent, node, depth, k, v) {
-            return AddOutcome::Done;
+        if full && !parent.is_null() {
+            return match self.upgrade_node(parent, node, depth, k, v) {
+                Some(true) => AddOutcome::Done,
+                Some(false) => AddOutcome::Retry,
+                None => AddOutcome::Busy, // parent or node lock busy
+            };
         }
         AddOutcome::Retry
     }
@@ -430,6 +451,8 @@ impl ArtTree {
 
     /// Replace a full `node` with a larger copy that also contains a new
     /// leaf for `k`. Locks parent → node (ancestor-first).
+    ///
+    /// `None` = a lock was busy; `Some(applied)` otherwise.
     fn upgrade_node(
         &self,
         parent: *mut ArtNode,
@@ -437,13 +460,13 @@ impl ArtTree {
         depth: usize,
         k: u64,
         v: u64,
-    ) -> bool {
+    ) -> Option<bool> {
         debug_assert!(depth >= 1);
         let pb = byte_at(k, depth - 1);
         let b = byte_at(k, depth);
         let (sp_p, sp_n) = (Sp(parent), Sp(node));
         // SAFETY: pinned caller.
-        unsafe { &*parent }.lock.try_lock(move || {
+        let outcome = unsafe { &*parent }.lock.try_lock(move || {
             // SAFETY: thunk runners hold epoch protection.
             let n_ref = unsafe { sp_n.as_ref() };
             n_ref.lock.try_lock(move || {
@@ -453,12 +476,13 @@ impl ArtTree {
                 if p.removed.load() || n.removed.load() {
                     return false;
                 }
-                let Some(pslot) = p.slot_of(pb) else { return false };
+                let Some(pslot) = p.slot_of(pb) else {
+                    return false;
+                };
                 if p.children[pslot].load() != tag_node(sp_n.ptr()) {
                     return false; // validate the link
                 }
-                if n.lookup(b) != 0 || n.slot_of(b).is_some() || !matches!(n.kind, N4 | N16 | N48)
-                {
+                if n.lookup(b) != 0 || n.slot_of(b).is_some() || !matches!(n.kind, N4 | N16 | N48) {
                     return false; // stale plan
                 }
                 // Build the compacted, larger copy with the new leaf.
@@ -482,13 +506,27 @@ impl ArtTree {
                 unsafe { flock_core::retire(sp_n.ptr()) };
                 true
             })
-        })
+        });
+        // Flatten the two lock layers: any missing layer is "busy".
+        match outcome {
+            Some(Some(applied)) => Some(applied),
+            _ => None,
+        }
     }
 
     /// Replace existing leaf `c` (child of `node` at `depth`) with a chain
     /// of nodes covering the shared prefix of the two keys, ending in a
     /// Node4 holding both leaves.
-    fn split_leaf(&self, node: *mut ArtNode, depth: usize, c: usize, k: u64, v: u64) -> bool {
+    ///
+    /// `None` = the node's lock was busy; `Some(false)` = validation failed.
+    fn split_leaf(
+        &self,
+        node: *mut ArtNode,
+        depth: usize,
+        c: usize,
+        k: u64,
+        v: u64,
+    ) -> Option<bool> {
         let b = byte_at(k, depth);
         let sp_n = Sp(node);
         // SAFETY: pinned caller.
@@ -498,7 +536,9 @@ impl ArtTree {
             if n.removed.load() {
                 return false;
             }
-            let Some(slot) = n.slot_of(b) else { return false };
+            let Some(slot) = n.slot_of(b) else {
+                return false;
+            };
             if n.children[slot].load() != c {
                 return false; // validate
             }
@@ -595,8 +635,12 @@ impl ArtTree {
 }
 
 enum AddOutcome {
+    /// The leaf is in (fast-path add or a node upgrade that included it).
     Done,
+    /// The plan went stale (slot taken, node replaced): re-descend now.
     Retry,
+    /// The node's lock was busy: back off before re-descending.
+    Busy,
 }
 
 impl Drop for ArtTree {
@@ -620,7 +664,7 @@ impl Drop for ArtTree {
     }
 }
 
-impl ConcurrentMap for ArtTree {
+impl Map<u64, u64> for ArtTree {
     fn insert(&self, key: u64, value: u64) -> bool {
         ArtTree::insert(self, key, value)
     }
@@ -633,12 +677,15 @@ impl ConcurrentMap for ArtTree {
     fn name(&self) -> &'static str {
         "arttree"
     }
+    fn len_approx(&self) -> Option<usize> {
+        Some(self.len())
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::testutil;
+    use flock_api::testing as testutil;
 
     #[test]
     fn basic_ops() {

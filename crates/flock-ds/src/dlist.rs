@@ -8,9 +8,9 @@
 //! doubly-linked splice (`prev.next = n; next.prev = n`) is the two-word
 //! update that is painful to make lock-free by hand and trivial here.
 
+use flock_api::Map;
 use flock_core::{Lock, Mutable, Sp, UpdateOnce};
-
-use crate::ConcurrentMap;
+use flock_sync::Backoff;
 
 /// Sentinel markers so head/tail need no special key values.
 const KIND_NORMAL: u8 = 0;
@@ -56,7 +56,7 @@ impl Link {
 ///
 /// ```
 /// use flock_ds::dlist::DList;
-/// use flock_ds::ConcurrentMap;
+/// use flock_api::Map;
 /// let l = DList::new();
 /// assert!(l.insert(2, 20));
 /// assert!(l.insert(1, 10));
@@ -111,6 +111,7 @@ impl DList {
     /// Insert; `false` if the key is already present.
     pub fn insert(&self, k: u64, v: u64) -> bool {
         let _g = flock_epoch::pin();
+        let mut backoff = Backoff::new();
         loop {
             let next = self.find_link(k);
             // SAFETY: epoch-pinned traversal result.
@@ -121,10 +122,11 @@ impl DList {
             let prev = next_ref.prev.load();
             // SAFETY: prev read from a live link; epoch-pinned.
             let prev_ref = unsafe { &*prev };
-            let prev_ok = prev_ref.kind == KIND_HEAD || (prev_ref.kind == KIND_NORMAL && prev_ref.key < k);
+            let prev_ok =
+                prev_ref.kind == KIND_HEAD || (prev_ref.kind == KIND_NORMAL && prev_ref.key < k);
             if prev_ok {
                 let (sp_prev, sp_next) = (Sp(prev), Sp(next));
-                let locked = prev_ref.lock.try_lock(move || {
+                match prev_ref.lock.try_lock(move || {
                     // SAFETY: thunk runs under epoch protection (owner's pin
                     // or helper's adopted epoch); links are retired through
                     // the collector, so these derefs are valid.
@@ -138,9 +140,14 @@ impl DList {
                     p.next.store(newl); // splice in
                     n.prev.store(newl);
                     true
-                });
-                if locked {
-                    return true;
+                }) {
+                    Some(true) => return true,
+                    // Validation failed: the neighborhood changed under us —
+                    // a fresh traversal has new information, retry at once.
+                    Some(false) => {}
+                    // Lock busy (holder already helped in lock-free mode):
+                    // ease off before contending again.
+                    None => backoff.snooze(),
                 }
             }
         }
@@ -149,6 +156,7 @@ impl DList {
     /// Remove; `false` if the key was not present.
     pub fn remove(&self, k: u64) -> bool {
         let _g = flock_epoch::pin();
+        let mut backoff = Backoff::new();
         loop {
             let lnk = self.find_link(k);
             // SAFETY: epoch-pinned traversal result.
@@ -160,7 +168,7 @@ impl DList {
             // SAFETY: epoch-pinned.
             let prev_ref = unsafe { &*prev };
             let (sp_prev, sp_lnk) = (Sp(prev), Sp(lnk));
-            let done = prev_ref.lock.try_lock(move || {
+            match prev_ref.lock.try_lock(move || {
                 // SAFETY: see insert's thunk.
                 let l = unsafe { sp_lnk.as_ref() };
                 l.lock.try_lock(move || {
@@ -180,9 +188,10 @@ impl DList {
                     unsafe { flock_core::retire(sp_lnk.ptr()) };
                     true
                 })
-            });
-            if done {
-                return true;
+            }) {
+                Some(Some(true)) => return true,
+                Some(Some(false)) => {} // validation failed: re-traverse now
+                _ => backoff.snooze(),  // predecessor or victim lock busy
             }
         }
     }
@@ -272,7 +281,7 @@ impl Drop for DList {
     }
 }
 
-impl ConcurrentMap for DList {
+impl Map<u64, u64> for DList {
     fn insert(&self, key: u64, value: u64) -> bool {
         DList::insert(self, key, value)
     }
@@ -285,12 +294,15 @@ impl ConcurrentMap for DList {
     fn name(&self) -> &'static str {
         "dlist"
     }
+    fn len_approx(&self) -> Option<usize> {
+        Some(self.len())
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::testutil;
+    use flock_api::testing as testutil;
 
     #[test]
     fn basic_ops() {

@@ -15,9 +15,11 @@
 //! still be replaying the thunk after the owner's call has returned — the
 //! same reason the paper's C++ lambdas must capture by value.
 
+use flock_api::Map;
 use flock_core::{Lock, Mutable, Sp};
+use flock_sync::Backoff;
 
-use crate::{mix64, ConcurrentMap};
+use crate::mix64;
 
 struct Node {
     next: Mutable<*mut Node>,
@@ -85,6 +87,7 @@ impl HashTable {
     pub fn insert(&self, k: u64, v: u64) -> bool {
         let _g = flock_epoch::pin();
         let b = self.bucket(k);
+        let mut backoff = Backoff::new();
         loop {
             // Check outside the lock; also the loop's termination path when
             // the thunk observes the key under the lock.
@@ -93,7 +96,7 @@ impl HashTable {
                 return false;
             }
             let head = Sp(&b.head as *const Mutable<*mut Node> as *mut Mutable<*mut Node>);
-            if b.lock.try_lock(move || {
+            match b.lock.try_lock(move || {
                 // SAFETY: the bucket array lives as long as the table; every
                 // runner of this thunk is epoch-protected.
                 let head = unsafe { head.as_ref() };
@@ -111,7 +114,9 @@ impl HashTable {
                 head.store(newn);
                 true
             }) {
-                return true;
+                Some(true) => return true,
+                Some(false) => {}         // key appeared under the lock: re-check
+                None => backoff.snooze(), // bucket lock busy
             }
         }
     }
@@ -120,13 +125,14 @@ impl HashTable {
     pub fn remove(&self, k: u64) -> bool {
         let _g = flock_epoch::pin();
         let b = self.bucket(k);
+        let mut backoff = Backoff::new();
         loop {
             // SAFETY: pinned above.
             if unsafe { Self::chain_find(&b.head, k) }.is_null() {
                 return false;
             }
             let head = Sp(&b.head as *const Mutable<*mut Node> as *mut Mutable<*mut Node>);
-            if b.lock.try_lock(move || {
+            match b.lock.try_lock(move || {
                 // SAFETY: see insert.
                 let head = unsafe { head.as_ref() };
                 // Walk with the current "previous pointer cell" in hand so
@@ -147,7 +153,9 @@ impl HashTable {
                 }
                 false // vanished between check and lock: retry loop re-checks
             }) {
-                return true;
+                Some(true) => return true,
+                Some(false) => {}         // key vanished under the lock: re-check
+                None => backoff.snooze(), // bucket lock busy
             }
         }
     }
@@ -199,7 +207,7 @@ impl Drop for HashTable {
     }
 }
 
-impl ConcurrentMap for HashTable {
+impl Map<u64, u64> for HashTable {
     fn insert(&self, key: u64, value: u64) -> bool {
         HashTable::insert(self, key, value)
     }
@@ -212,12 +220,15 @@ impl ConcurrentMap for HashTable {
     fn name(&self) -> &'static str {
         "hashtable"
     }
+    fn len_approx(&self) -> Option<usize> {
+        Some(self.len())
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::testutil;
+    use flock_api::testing as testutil;
 
     #[test]
     fn basic_ops() {

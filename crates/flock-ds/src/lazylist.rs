@@ -7,9 +7,9 @@
 //! delete). `get` is wait-free: it walks the list and checks the `removed`
 //! flag of the matching node.
 
+use flock_api::Map;
 use flock_core::{Lock, Mutable, Sp, UpdateOnce};
-
-use crate::ConcurrentMap;
+use flock_sync::Backoff;
 
 const KIND_NORMAL: u8 = 0;
 const KIND_HEAD: u8 = 1;
@@ -86,6 +86,7 @@ impl LazyList {
     /// Insert; `false` if present.
     pub fn insert(&self, k: u64, v: u64) -> bool {
         let _g = flock_epoch::pin();
+        let mut backoff = Backoff::new();
         loop {
             let (pred, curr) = self.search(k);
             // SAFETY: epoch-pinned.
@@ -95,7 +96,7 @@ impl LazyList {
             }
             let (sp_pred, sp_curr) = (Sp(pred), Sp(curr));
             // SAFETY: epoch-pinned.
-            let locked = unsafe { &*pred }.lock.try_lock(move || {
+            match unsafe { &*pred }.lock.try_lock(move || {
                 // SAFETY: epoch protection via owner pin / helper adoption.
                 let p = unsafe { sp_pred.as_ref() };
                 if p.removed.load() || p.next.load() != sp_curr.ptr() {
@@ -104,9 +105,10 @@ impl LazyList {
                 let newn = flock_core::alloc(|| Node::new(k, v, sp_curr.ptr(), KIND_NORMAL));
                 p.next.store(newn);
                 true
-            });
-            if locked {
-                return true;
+            }) {
+                Some(true) => return true,
+                Some(false) => {}         // validation failed: re-search now
+                None => backoff.snooze(), // predecessor lock busy
             }
         }
     }
@@ -114,6 +116,7 @@ impl LazyList {
     /// Remove; `false` if absent.
     pub fn remove(&self, k: u64) -> bool {
         let _g = flock_epoch::pin();
+        let mut backoff = Backoff::new();
         loop {
             let (pred, curr) = self.search(k);
             // SAFETY: epoch-pinned.
@@ -123,7 +126,7 @@ impl LazyList {
             }
             let (sp_pred, sp_curr) = (Sp(pred), Sp(curr));
             // SAFETY: epoch-pinned.
-            let done = unsafe { &*pred }.lock.try_lock(move || {
+            match unsafe { &*pred }.lock.try_lock(move || {
                 // SAFETY: see insert.
                 let c = unsafe { sp_curr.as_ref() };
                 c.lock.try_lock(move || {
@@ -139,9 +142,10 @@ impl LazyList {
                     unsafe { flock_core::retire(sp_curr.ptr()) };
                     true
                 })
-            });
-            if done {
-                return true;
+            }) {
+                Some(Some(true)) => return true,
+                Some(Some(false)) => {} // validation failed: re-search now
+                _ => backoff.snooze(),  // predecessor or victim lock busy
             }
         }
     }
@@ -224,7 +228,7 @@ impl Drop for LazyList {
     }
 }
 
-impl ConcurrentMap for LazyList {
+impl Map<u64, u64> for LazyList {
     fn insert(&self, key: u64, value: u64) -> bool {
         LazyList::insert(self, key, value)
     }
@@ -237,12 +241,15 @@ impl ConcurrentMap for LazyList {
     fn name(&self) -> &'static str {
         "lazylist"
     }
+    fn len_approx(&self) -> Option<usize> {
+        Some(self.len())
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::testutil;
+    use flock_api::testing as testutil;
 
     #[test]
     fn basic_ops() {

@@ -17,9 +17,11 @@
 //!   lock-freedom theorem needs is respected). Rotations are copy-on-write:
 //!   fresh nodes replace the rotated pair, old ones are retired.
 
+use flock_api::Map;
 use flock_core::{Lock, Mutable, Sp, UpdateOnce};
+use flock_sync::Backoff;
 
-use crate::{mix64, ConcurrentMap};
+use crate::mix64;
 
 /// Entries per leaf: 2 cachelines of 8-byte keys / 8-byte values.
 pub const LEAF_CAP: usize = 8;
@@ -101,7 +103,9 @@ impl Node {
 
     /// The batch as a vector of pairs.
     fn entries(&self) -> Vec<(u64, u64)> {
-        (0..self.len).map(|i| (self.keys[i], self.vals[i])).collect()
+        (0..self.len)
+            .map(|i| (self.keys[i], self.vals[i]))
+            .collect()
     }
 }
 
@@ -150,6 +154,7 @@ impl LeafTreap {
     /// Insert; `false` if present.
     pub fn insert(&self, k: u64, v: u64) -> bool {
         let _g = flock_epoch::pin();
+        let mut backoff = Backoff::new();
         loop {
             let (_, parent, leaf) = self.search(k);
             // SAFETY: epoch-pinned.
@@ -159,7 +164,7 @@ impl LeafTreap {
             }
             let (sp_p, sp_l) = (Sp(parent), Sp(leaf));
             // SAFETY: epoch-pinned.
-            let ok = unsafe { &*parent }.lock.try_lock(move || {
+            let outcome = unsafe { &*parent }.lock.try_lock(move || {
                 // SAFETY: thunk runners hold epoch protection.
                 let p = unsafe { sp_p.as_ref() };
                 let l = unsafe { sp_l.as_ref() };
@@ -190,12 +195,16 @@ impl LeafTreap {
                 unsafe { flock_core::retire(sp_l.ptr()) };
                 true
             });
-            if ok {
-                // A split may have violated heap order; bubble the new
-                // routing node up. Balance repair is separate from the
-                // insert's linearization point.
-                self.fix_priorities(k);
-                return true;
+            match outcome {
+                Some(true) => {
+                    // A split may have violated heap order; bubble the new
+                    // routing node up. Balance repair is separate from the
+                    // insert's linearization point.
+                    self.fix_priorities(k);
+                    return true;
+                }
+                Some(false) => {}         // validation failed: re-search now
+                None => backoff.snooze(), // parent lock busy
             }
         }
     }
@@ -203,6 +212,7 @@ impl LeafTreap {
     /// Restore the treap's max-heap priority order along `k`'s search path
     /// by rotating violating nodes upward, one COW rotation at a time.
     fn fix_priorities(&self, k: u64) {
+        let mut backoff = Backoff::new();
         'outer: loop {
             // Find the first violation (child.prio > parent.prio) on the
             // path; the root's +inf priority stops the bubble at the top.
@@ -221,8 +231,11 @@ impl LeafTreap {
                 }
                 if c_ref.prio > unsafe { &*p }.prio {
                     // Whether or not the rotation succeeds, re-walk: the
-                    // neighborhood may have changed under us.
-                    let _ = self.rotate_up(g, p, c);
+                    // neighborhood may have changed under us. Busy locks
+                    // mean another repairer is in there — ease off first.
+                    if self.rotate_up(g, p, c).is_none() {
+                        backoff.snooze();
+                    }
                     continue 'outer;
                 }
                 g = p;
@@ -232,11 +245,12 @@ impl LeafTreap {
     }
 
     /// One COW rotation lifting `c` above `p` under `g` (all validated under
-    /// g → p → c locks). Returns whether the rotation happened.
-    fn rotate_up(&self, g: *mut Node, p: *mut Node, c: *mut Node) -> bool {
+    /// g → p → c locks). `None` = a lock on the path was busy;
+    /// `Some(rotated)` otherwise.
+    fn rotate_up(&self, g: *mut Node, p: *mut Node, c: *mut Node) -> Option<bool> {
         let (sp_g, sp_p, sp_c) = (Sp(g), Sp(p), Sp(c));
         // SAFETY: pinned by fix_priorities' caller.
-        unsafe { &*g }.lock.try_lock(move || {
+        let outcome = unsafe { &*g }.lock.try_lock(move || {
             // SAFETY: thunk runners hold epoch protection.
             let p_ref = unsafe { sp_p.as_ref() };
             p_ref.lock.try_lock(move || {
@@ -269,7 +283,11 @@ impl LeafTreap {
                     }
                     let (pk, ck) = (p.key, c.key);
                     let (cl, cr) = (c.left.load(), c.right.load());
-                    let p_other = if c_is_left { p.right.load() } else { p.left.load() };
+                    let p_other = if c_is_left {
+                        p.right.load()
+                    } else {
+                        p.left.load()
+                    };
                     let new_top = flock_core::alloc(move || {
                         if c_is_left {
                             // Right rotation: c' = (ck, c.left, p'),
@@ -294,12 +312,18 @@ impl LeafTreap {
                     true
                 })
             })
-        })
+        });
+        // Flatten the three lock layers: any missing layer is "busy".
+        match outcome {
+            Some(Some(Some(rotated))) => Some(rotated),
+            _ => None,
+        }
     }
 
     /// Remove; `false` if absent.
     pub fn remove(&self, k: u64) -> bool {
         let _g = flock_epoch::pin();
+        let mut backoff = Backoff::new();
         loop {
             let (gparent, parent, leaf) = self.search(k);
             // SAFETY: epoch-pinned.
@@ -307,28 +331,31 @@ impl LeafTreap {
             if leaf_ref.find(k).is_none() {
                 return false;
             }
-            let ok = if leaf_ref.len > 1 || gparent.is_null() {
+            let outcome = if leaf_ref.len > 1 || gparent.is_null() {
                 // Shrink the batch (COW); also covers the directly-under-root
                 // case, where an empty leaf may remain.
                 let (sp_p, sp_l) = (Sp(parent), Sp(leaf));
                 // SAFETY: epoch-pinned.
-                unsafe { &*parent }.lock.try_lock(move || {
-                    // SAFETY: thunk runners hold epoch protection.
-                    let p = unsafe { sp_p.as_ref() };
-                    let l = unsafe { sp_l.as_ref() };
-                    let cell = p.child_for(k);
-                    if p.removed.load() || cell.load() != sp_l.ptr() {
-                        return false;
-                    }
-                    let Some(pos) = l.find(k) else { return false };
-                    let mut entries = l.entries();
-                    entries.remove(pos);
-                    let newl = flock_core::alloc(move || Node::leaf(&entries));
-                    cell.store(newl);
-                    // SAFETY: unlinked above; idempotent retire.
-                    unsafe { flock_core::retire(sp_l.ptr()) };
-                    true
-                })
+                unsafe { &*parent }
+                    .lock
+                    .try_lock(move || {
+                        // SAFETY: thunk runners hold epoch protection.
+                        let p = unsafe { sp_p.as_ref() };
+                        let l = unsafe { sp_l.as_ref() };
+                        let cell = p.child_for(k);
+                        if p.removed.load() || cell.load() != sp_l.ptr() {
+                            return false;
+                        }
+                        let Some(pos) = l.find(k) else { return false };
+                        let mut entries = l.entries();
+                        entries.remove(pos);
+                        let newl = flock_core::alloc(move || Node::leaf(&entries));
+                        cell.store(newl);
+                        // SAFETY: unlinked above; idempotent retire.
+                        unsafe { flock_core::retire(sp_l.ptr()) };
+                        true
+                    })
+                    .map(Some)
             } else {
                 // Last entry of a non-root leaf: splice leaf + parent out.
                 let (sp_g, sp_p, sp_l) = (Sp(gparent), Sp(parent), Sp(leaf));
@@ -372,8 +399,10 @@ impl LeafTreap {
                     })
                 })
             };
-            if ok {
-                return true;
+            match outcome {
+                Some(Some(true)) => return true,
+                Some(Some(false)) => {} // validation failed: re-search now
+                _ => backoff.snooze(),  // a lock on the path was busy
             }
         }
     }
@@ -495,7 +524,7 @@ impl Drop for LeafTreap {
     }
 }
 
-impl ConcurrentMap for LeafTreap {
+impl Map<u64, u64> for LeafTreap {
     fn insert(&self, key: u64, value: u64) -> bool {
         LeafTreap::insert(self, key, value)
     }
@@ -508,12 +537,15 @@ impl ConcurrentMap for LeafTreap {
     fn name(&self) -> &'static str {
         "leaftreap"
     }
+    fn len_approx(&self) -> Option<usize> {
+        Some(self.len())
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::testutil;
+    use flock_api::testing as testutil;
 
     #[test]
     fn basic_ops() {
@@ -550,7 +582,7 @@ mod tests {
 
     #[test]
     fn expected_logarithmic_depth() {
-        testutil::exclusive(|| expected_logarithmic_depth_body());
+        testutil::exclusive(expected_logarithmic_depth_body);
     }
 
     fn expected_logarithmic_depth_body() {

@@ -14,9 +14,9 @@
 //! uses try-locks (restart on busy), [`LeafTree::new_strict`] uses strict
 //! locks (wait for the holder — helping it first in lock-free mode).
 
+use flock_api::Map;
 use flock_core::{Lock, Mutable, Sp, UpdateOnce};
-
-use crate::ConcurrentMap;
+use flock_sync::Backoff;
 
 const KIND_INTERNAL: u8 = 0;
 const KIND_LEAF: u8 = 1;
@@ -100,13 +100,17 @@ impl Default for LeafTree {
 }
 
 /// Acquire `lock` with the structure's discipline and run `f`.
+///
+/// Strict locks always acquire (waiting/helping), so they can never report
+/// busy; the try-lock discipline surfaces busy as `None`.
 #[inline]
-fn acquire<F>(lock: &Lock, strict: bool, f: F) -> bool
+fn acquire<R, F>(lock: &Lock, strict: bool, f: F) -> Option<R>
 where
-    F: Fn() -> bool + Send + Sync + 'static,
+    R: Send + 'static,
+    F: Fn() -> R + Send + Sync + 'static,
 {
     if strict {
-        lock.lock(f)
+        Some(lock.lock(f))
     } else {
         lock.try_lock(f)
     }
@@ -152,6 +156,7 @@ impl LeafTree {
     /// Insert; `false` if present.
     pub fn insert(&self, k: u64, v: u64) -> bool {
         let _g = flock_epoch::pin();
+        let mut backoff = Backoff::new();
         loop {
             let (_, parent, leaf) = self.search(k);
             // SAFETY: epoch-pinned.
@@ -161,7 +166,7 @@ impl LeafTree {
             }
             let (sp_parent, sp_leaf) = (Sp(parent), Sp(leaf));
             // SAFETY: epoch-pinned.
-            let ok = acquire(&unsafe { &*parent }.lock, self.strict, move || {
+            let outcome = acquire(&unsafe { &*parent }.lock, self.strict, move || {
                 // SAFETY: thunk runners hold epoch protection.
                 let p = unsafe { sp_parent.as_ref() };
                 let l = unsafe { sp_leaf.as_ref() };
@@ -190,8 +195,10 @@ impl LeafTree {
                 cell.store(newn);
                 true
             });
-            if ok {
-                return true;
+            match outcome {
+                Some(true) => return true,
+                Some(false) => {}         // validation failed: re-search now
+                None => backoff.snooze(), // parent lock busy (try-lock mode)
             }
         }
     }
@@ -199,6 +206,7 @@ impl LeafTree {
     /// Remove; `false` if absent.
     pub fn remove(&self, k: u64) -> bool {
         let _g = flock_epoch::pin();
+        let mut backoff = Backoff::new();
         loop {
             let (gparent, parent, leaf) = self.search(k);
             // SAFETY: epoch-pinned.
@@ -206,7 +214,7 @@ impl LeafTree {
             if leaf_ref.kind != KIND_LEAF || leaf_ref.key != k {
                 return false;
             }
-            let ok = if gparent.is_null() {
+            let outcome = if gparent.is_null() {
                 // Leaf hangs directly off the root: swap in a placeholder.
                 let (sp_parent, sp_leaf) = (Sp(parent), Sp(leaf));
                 // SAFETY: epoch-pinned; parent == root.
@@ -223,6 +231,7 @@ impl LeafTree {
                     unsafe { flock_core::retire(sp_leaf.ptr()) };
                     true
                 })
+                .map(Some)
             } else {
                 let (sp_g, sp_p, sp_l) = (Sp(gparent), Sp(parent), Sp(leaf));
                 let strict = self.strict;
@@ -266,8 +275,10 @@ impl LeafTree {
                     })
                 })
             };
-            if ok {
-                return true;
+            match outcome {
+                Some(Some(true)) => return true,
+                Some(Some(false)) => {} // validation failed: re-search now
+                _ => backoff.snooze(),  // an ancestor lock was busy
             }
         }
     }
@@ -285,7 +296,7 @@ impl LeafTree {
     pub fn len(&self) -> usize {
         let _g = flock_epoch::pin();
         // SAFETY: pinned; quiescent callers get exact counts.
-        unsafe { Self::count(( *self.root).left.load()) }
+        unsafe { Self::count((*self.root).left.load()) }
     }
 
     /// Is the tree empty?
@@ -330,7 +341,7 @@ impl LeafTree {
     pub fn check_invariants(&self) {
         // SAFETY: quiescent per contract.
         unsafe {
-            Self::check(( *self.root).left.load(), None, None);
+            Self::check((*self.root).left.load(), None, None);
         }
     }
 
@@ -389,7 +400,7 @@ impl Drop for LeafTree {
     }
 }
 
-impl ConcurrentMap for LeafTree {
+impl Map<u64, u64> for LeafTree {
     fn insert(&self, key: u64, value: u64) -> bool {
         LeafTree::insert(self, key, value)
     }
@@ -402,12 +413,15 @@ impl ConcurrentMap for LeafTree {
     fn name(&self) -> &'static str {
         self.label
     }
+    fn len_approx(&self) -> Option<usize> {
+        Some(self.len())
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::testutil;
+    use flock_api::testing as testutil;
 
     #[test]
     fn basic_ops() {

@@ -16,9 +16,13 @@
 //! | [`abtree`] | (a,b)-tree | `abtree` |
 //! | [`arttree`] | adaptive radix tree | `arttree` |
 //!
-//! All implement the [`ConcurrentMap`] trait (insert / remove / get) over
-//! `u64` keys and values, the shape the paper's evaluation uses (8-byte keys
-//! and values).
+//! All implement [`flock_api::Map`] over `u64` keys and values, the shape
+//! the paper's evaluation uses (8-byte keys and values) — the same trait the
+//! baselines implement, so benchmarks and tests treat them uniformly.
+//!
+//! Update operations use `try_lock`'s typed result to separate their retry
+//! reasons: `None` (lock busy) backs off before retrying, `Some(false)`
+//! (neighborhood validation failed) re-traverses immediately.
 
 #![warn(missing_docs)]
 
@@ -27,25 +31,10 @@ pub mod arttree;
 pub mod dlist;
 pub mod hashtable;
 pub mod lazylist;
-pub mod leaftree;
 pub mod leaftreap;
+pub mod leaftree;
 
-/// Common interface for the benchmarkable set data structures.
-///
-/// Keys and values are `u64`, as in the paper's evaluation (8-byte keys and
-/// values). Implementations are safe to share across threads (`Sync`) and
-/// all operations are linearizable.
-pub trait ConcurrentMap: Send + Sync {
-    /// Insert `(key, value)`. Returns `false` if `key` was already present
-    /// (the map is unchanged in that case).
-    fn insert(&self, key: u64, value: u64) -> bool;
-    /// Remove `key`. Returns `false` if it was not present.
-    fn remove(&self, key: u64) -> bool;
-    /// Look up `key`.
-    fn get(&self, key: u64) -> Option<u64>;
-    /// A short name for reports (e.g. `"dlist"`).
-    fn name(&self) -> &'static str;
-}
+pub use flock_api::Map;
 
 /// Mix a key into a pseudo-random u64 (splitmix64 finalizer). Used for treap
 /// priorities and hash-table bucket selection.
@@ -55,133 +44,4 @@ pub(crate) fn mix64(mut x: u64) -> u64 {
     x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
     x ^ (x >> 31)
-}
-
-#[cfg(test)]
-pub(crate) mod testutil {
-    use super::ConcurrentMap;
-    use std::collections::BTreeMap;
-
-    /// Single-threaded differential test against a BTreeMap oracle.
-    pub fn oracle_check<M: ConcurrentMap>(map: &M, ops: usize, key_range: u64, seed: u64) {
-        let mut oracle = BTreeMap::new();
-        let mut state = seed | 1;
-        let mut rng = move || {
-            state ^= state << 13;
-            state ^= state >> 7;
-            state ^= state << 17;
-            state
-        };
-        for i in 0..ops {
-            let k = rng() % key_range;
-            let v = i as u64;
-            match rng() % 3 {
-                0 => {
-                    let expect = !oracle.contains_key(&k);
-                    if expect {
-                        oracle.insert(k, v);
-                    }
-                    assert_eq!(
-                        map.insert(k, v),
-                        expect,
-                        "insert({k}) disagreed with oracle at op {i}"
-                    );
-                }
-                1 => {
-                    let expect = oracle.remove(&k).is_some();
-                    assert_eq!(
-                        map.remove(k),
-                        expect,
-                        "remove({k}) disagreed with oracle at op {i}"
-                    );
-                }
-                _ => {
-                    assert_eq!(
-                        map.get(k),
-                        oracle.get(&k).copied(),
-                        "get({k}) disagreed with oracle at op {i}"
-                    );
-                }
-            }
-        }
-        // Final sweep: every oracle key must be present with the right value.
-        for (k, v) in &oracle {
-            assert_eq!(map.get(*k), Some(*v), "final sweep mismatch at key {k}");
-        }
-    }
-
-    /// Multi-threaded smoke test: per-key-partition determinism.
-    ///
-    /// Each thread owns a disjoint key partition (key % threads == tid), so
-    /// per-thread sequential semantics must hold exactly even under full
-    /// concurrency.
-    pub fn partition_stress<M: ConcurrentMap>(map: &M, threads: u64, ops: usize) {
-        std::thread::scope(|s| {
-            for t in 0..threads {
-                let map = &*map;
-                s.spawn(move || {
-                    let mut present = std::collections::BTreeMap::new();
-                    let mut state = (t + 1) * 0x9E37_79B9;
-                    let mut rng = move || {
-                        state ^= state << 13;
-                        state ^= state >> 7;
-                        state ^= state << 17;
-                        state
-                    };
-                    for i in 0..ops {
-                        let k = (rng() % 512) * threads + t;
-                        let v = i as u64;
-                        match rng() % 3 {
-                            0 => {
-                                let expect = !present.contains_key(&k);
-                                if expect {
-                                    present.insert(k, v);
-                                }
-                                assert_eq!(map.insert(k, v), expect, "t{t} insert({k}) op {i}");
-                            }
-                            1 => {
-                                let expect = present.remove(&k).is_some();
-                                assert_eq!(map.remove(k), expect, "t{t} remove({k}) op {i}");
-                            }
-                            _ => {
-                                assert_eq!(
-                                    map.get(k),
-                                    present.get(&k).copied(),
-                                    "t{t} get({k}) op {i}"
-                                );
-                            }
-                        }
-                    }
-                    for (k, v) in &present {
-                        assert_eq!(map.get(*k), Some(*v), "t{t} final sweep key {k}");
-                    }
-                });
-            }
-        });
-    }
-
-    /// Process-wide lock serializing tests that touch the global lock mode:
-    /// switching modes while another test's operations are in flight is
-    /// unsupported (as in the paper's library), so mode-sensitive tests must
-    /// not overlap.
-    static MODE_TEST_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
-
-    /// Run a closure in both lock modes, restoring lock-free afterwards.
-    pub fn both_modes(test: impl Fn()) {
-        use flock_core::{set_lock_mode, LockMode};
-        let _guard = MODE_TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
-        for mode in [LockMode::LockFree, LockMode::Blocking] {
-            set_lock_mode(mode);
-            test();
-        }
-        set_lock_mode(LockMode::LockFree);
-    }
-
-    /// Run a closure that relies on the (default) lock-free mode while
-    /// holding the same exclusion as [`both_modes`].
-    pub fn exclusive(test: impl Fn()) {
-        let _guard = MODE_TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
-        flock_core::set_lock_mode(flock_core::LockMode::LockFree);
-        test();
-    }
 }

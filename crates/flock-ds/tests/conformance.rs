@@ -1,0 +1,20 @@
+//! One `map_conformance!` instantiation per Flock structure (both lock
+//! disciplines of the leaftree included): the shared differential-oracle +
+//! partitioned-stress + provided-method suite, run in both lock modes.
+
+use flock_ds::abtree::ABTree;
+use flock_ds::arttree::ArtTree;
+use flock_ds::dlist::DList;
+use flock_ds::hashtable::HashTable;
+use flock_ds::lazylist::LazyList;
+use flock_ds::leaftreap::LeafTreap;
+use flock_ds::leaftree::LeafTree;
+
+flock_api::map_conformance!(dlist, DList::new());
+flock_api::map_conformance!(lazylist, LazyList::new());
+flock_api::map_conformance!(hashtable, HashTable::with_capacity(512));
+flock_api::map_conformance!(leaftree, LeafTree::new());
+flock_api::map_conformance!(leaftree_strict, LeafTree::new_strict());
+flock_api::map_conformance!(leaftreap, LeafTreap::new());
+flock_api::map_conformance!(abtree, ABTree::new());
+flock_api::map_conformance!(arttree, ArtTree::new());

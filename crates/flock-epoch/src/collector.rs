@@ -1,9 +1,9 @@
 //! The global collector: epoch counter, reservations, retire bags.
 
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
-use flock_sync::{tid, CachePadded, MAX_THREADS};
+use flock_sync::{CachePadded, MAX_THREADS, tid};
 
 /// Reservation value meaning "thread not inside any operation".
 pub const QUIESCENT: u64 = u64::MAX;
@@ -97,10 +97,10 @@ impl Drop for LocalBag {
     fn drop(&mut self) {
         // Thread exiting: orphan whatever is left so other threads free it.
         let mut items = self.items.borrow_mut();
-        if !items.is_empty() {
-            if let Ok(mut orphans) = GLOBAL.orphans.lock() {
-                orphans.append(&mut items);
-            }
+        if !items.is_empty()
+            && let Ok(mut orphans) = GLOBAL.orphans.lock()
+        {
+            orphans.append(&mut items);
         }
     }
 }
@@ -122,7 +122,11 @@ pub(crate) mod debug_track {
     }
 
     pub(crate) fn on_free(ptr: usize) {
-        if let Some(set) = LIVE_RETIRED.lock().unwrap_or_else(|e| e.into_inner()).as_mut() {
+        if let Some(set) = LIVE_RETIRED
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .as_mut()
+        {
             set.remove(&ptr);
         }
         on_dealloc(ptr, "collector");
@@ -162,7 +166,7 @@ pub(crate) fn bag_retired(item: Retired) {
         items.push(item);
         items.len() >= BAG_COLLECT_THRESHOLD
     });
-    if count % ADVANCE_PERIOD == 0 {
+    if count.is_multiple_of(ADVANCE_PERIOD) {
         try_advance();
     }
     if should_collect {

@@ -1,7 +1,7 @@
 //! RAII epoch pinning and helper epoch adoption.
 
 use std::cell::Cell;
-use std::sync::atomic::{fence, Ordering};
+use std::sync::atomic::{Ordering, fence};
 
 use flock_sync::tid;
 

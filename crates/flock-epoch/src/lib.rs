@@ -30,8 +30,8 @@
 mod collector;
 mod guard;
 
-pub use collector::{collector_stats, try_advance, CollectorStats, QUIESCENT};
-pub use guard::{pin, pinned_epoch, AdoptGuard, EpochGuard};
+pub use collector::{CollectorStats, QUIESCENT, collector_stats, try_advance};
+pub use guard::{AdoptGuard, EpochGuard, pin, pinned_epoch};
 
 use std::sync::atomic::Ordering;
 
@@ -147,8 +147,8 @@ pub fn debug_track_dealloc<T>(ptr: *mut T, who: &str) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::atomic::{AtomicUsize, Ordering::Relaxed};
     use std::sync::Arc;
+    use std::sync::atomic::{AtomicUsize, Ordering::Relaxed};
 
     struct DropCounter(Arc<AtomicUsize>);
     impl Drop for DropCounter {

@@ -24,9 +24,9 @@
 
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
+use crate::MAX_THREADS;
 use crate::padded::CachePadded;
 use crate::tid::{self, ThreadId};
-use crate::MAX_THREADS;
 
 /// Sentinel for "no announcement" in a slot's location field.
 const NONE: usize = 0;

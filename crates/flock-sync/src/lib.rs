@@ -36,9 +36,9 @@ pub mod ttas;
 
 pub use announce::TagAnnouncements;
 pub use backoff::Backoff;
-pub use pack::{pack, unpack_tag, unpack_val, PackedValue, TAG_LIMIT, VAL_MASK};
+pub use pack::{PackedValue, TAG_LIMIT, VAL_MASK, pack, unpack_tag, unpack_val};
 pub use padded::CachePadded;
-pub use tagged::{ccas_enabled, set_ccas_enabled, TaggedAtomicU64};
+pub use tagged::{TaggedAtomicU64, ccas_enabled, set_ccas_enabled};
 pub use tid::ThreadId;
 pub use ttas::TtasLock;
 

@@ -46,11 +46,7 @@ pub fn unpack_val(word: u64) -> u64 {
 #[inline(always)]
 pub fn next_tag(tag: u16) -> u16 {
     let next = tag.wrapping_add(1);
-    if next == TAG_LIMIT {
-        0
-    } else {
-        next
-    }
+    if next == TAG_LIMIT { 0 } else { next }
 }
 
 /// Types that can be stored in the 48-bit payload of a `Mutable`.

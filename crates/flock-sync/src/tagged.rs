@@ -109,8 +109,8 @@ impl TaggedAtomicU64 {
 mod tests {
     use super::*;
     use crate::pack::VAL_MASK;
-    use std::sync::atomic::Ordering::SeqCst;
     use std::sync::Arc;
+    use std::sync::atomic::Ordering::SeqCst;
 
     #[test]
     fn new_has_tag_zero() {

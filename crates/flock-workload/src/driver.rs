@@ -4,8 +4,9 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
 use crate::rng::SplitMix64;
+use crate::sparsify;
 use crate::zipf::Zipfian;
-use crate::{sparsify, BenchMap};
+use flock_api::Map;
 
 /// One experiment configuration (one point on a paper graph).
 #[derive(Debug, Clone)]
@@ -98,7 +99,7 @@ pub fn shuffle_allocator(blocks: usize) {
 /// inserted in **random order** — sorted insertion would degenerate the
 /// unbalanced trees into chains, whereas the paper's structures are
 /// "balanced in expectation due to random inserts".
-fn prefill<M: BenchMap + ?Sized>(map: &M, cfg: &Config) {
+fn prefill<M: Map<u64, u64> + ?Sized>(map: &M, cfg: &Config) {
     // Parallel prefill: partition the key space over available cores; each
     // worker shuffles its own slice, and workers interleave, so the global
     // insertion order is effectively random.
@@ -115,7 +116,7 @@ fn prefill<M: BenchMap + ?Sized>(map: &M, cfg: &Config) {
             s.spawn(move || {
                 // A key is "in" the initial set if its hash is even.
                 let mut keys: Vec<u64> = (lo..hi).filter(|&k| sparsify(k) & 1 == 0).collect();
-                let mut rng = SplitMix64::new(cfg.seed ^ (w as u64 + 1) * 0xF11);
+                let mut rng = SplitMix64::new(cfg.seed ^ ((w as u64 + 1) * 0xF11));
                 for i in (1..keys.len()).rev() {
                     keys.swap(i, rng.below(i as u64 + 1) as usize);
                 }
@@ -129,7 +130,7 @@ fn prefill<M: BenchMap + ?Sized>(map: &M, cfg: &Config) {
 }
 
 /// One timed run; returns total completed operations.
-fn timed_run<M: BenchMap + ?Sized>(map: &M, cfg: &Config, run_idx: usize) -> u64 {
+fn timed_run<M: Map<u64, u64> + ?Sized>(map: &M, cfg: &Config, run_idx: usize) -> u64 {
     let stop = AtomicBool::new(false);
     let total = AtomicU64::new(0);
     let zipf = Zipfian::new(cfg.key_range, cfg.zipf_alpha);
@@ -140,15 +141,16 @@ fn timed_run<M: BenchMap + ?Sized>(map: &M, cfg: &Config, run_idx: usize) -> u64
             let zipf = &zipf;
             let map = &*map;
             s.spawn(move || {
-                let mut rng =
-                    SplitMix64::new(cfg.seed ^ (run_idx as u64) << 32 ^ (t as u64 + 1) * 0x1234_5678);
+                let mut rng = SplitMix64::new(
+                    cfg.seed ^ (run_idx as u64) << 32 ^ ((t as u64 + 1) * 0x1234_5678),
+                );
                 let mut ops = 0u64;
                 let mut check = 0u32;
                 while {
                     check += 1;
                     // Poll the stop flag every 64 ops to keep it off the
                     // hot path.
-                    check % 64 != 0 || !stop.load(Ordering::Relaxed)
+                    !check.is_multiple_of(64) || !stop.load(Ordering::Relaxed)
                 } {
                     let rank = zipf.next(&mut rng);
                     let key = if cfg.sparsify_keys {
@@ -159,7 +161,7 @@ fn timed_run<M: BenchMap + ?Sized>(map: &M, cfg: &Config, run_idx: usize) -> u64
                     let dice = rng.below(100) as u32;
                     if dice < cfg.update_percent {
                         // Updates split evenly between insert and delete.
-                        if dice % 2 == 0 {
+                        if dice.is_multiple_of(2) {
                             map.insert(key, rank);
                         } else {
                             map.remove(key);
@@ -181,7 +183,7 @@ fn timed_run<M: BenchMap + ?Sized>(map: &M, cfg: &Config, run_idx: usize) -> u64
 
 /// Run the full experiment protocol on `map`: prefill, one warm-up run,
 /// `cfg.repeats` timed runs; returns mean ± σ throughput.
-pub fn run_experiment<M: BenchMap + ?Sized>(map: &M, cfg: &Config) -> Measurement {
+pub fn run_experiment<M: Map<u64, u64> + ?Sized>(map: &M, cfg: &Config) -> Measurement {
     prefill(map, cfg);
     // Warm-up run (discarded), as in the paper.
     let _ = timed_run(map, cfg, 0);
@@ -228,7 +230,7 @@ mod tests {
         }
     }
 
-    impl BenchMap for LockedMap {
+    impl Map<u64, u64> for LockedMap {
         fn insert(&self, key: u64, value: u64) -> bool {
             self.inner.lock().unwrap().insert(key, value).is_none()
         }

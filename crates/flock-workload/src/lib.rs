@@ -11,8 +11,9 @@
 //!   remaining runs reported;
 //! * oversubscription simply by requesting more threads than cores.
 //!
-//! The driver is generic over [`BenchMap`]; adapters in `flock-bench` hook
-//! up both the Flock structures and the baselines.
+//! The driver runs anything implementing [`flock_api::Map`] — the one map
+//! interface of the workspace — so the Flock structures and the baselines
+//! plug in directly, with no adapter layer.
 
 #![warn(missing_docs)]
 
@@ -20,21 +21,10 @@ pub mod driver;
 pub mod rng;
 pub mod zipf;
 
-pub use driver::{run_experiment, shuffle_allocator, Config, Measurement};
+pub use driver::{Config, Measurement, run_experiment, shuffle_allocator};
+pub use flock_api::Map;
 pub use rng::SplitMix64;
 pub use zipf::Zipfian;
-
-/// Minimal map interface the driver needs.
-pub trait BenchMap: Send + Sync {
-    /// Insert; `false` if present.
-    fn insert(&self, key: u64, value: u64) -> bool;
-    /// Remove; `false` if absent.
-    fn remove(&self, key: u64) -> bool;
-    /// Lookup.
-    fn get(&self, key: u64) -> Option<u64>;
-    /// Display name for reports.
-    fn name(&self) -> &'static str;
-}
 
 /// splitmix64 finalizer; used to sparsify keys (the paper hashes keys for
 /// the ART benchmark so the trie does not benefit from dense packing).

@@ -81,7 +81,10 @@ mod tests {
             counts[r.below(8) as usize] += 1;
         }
         for c in counts {
-            assert!((8_000..12_000).contains(&c), "bucket count {c} far from 10k");
+            assert!(
+                (8_000..12_000).contains(&c),
+                "bucket count {c} far from 10k"
+            );
         }
     }
 }

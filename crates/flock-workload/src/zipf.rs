@@ -27,10 +27,10 @@ pub struct Zipfian {
 fn zeta(n: u64, alpha: f64) -> f64 {
     static CACHE: Mutex<Option<HashMap<(u64, u64), f64>>> = Mutex::new(None);
     let key = (n, alpha.to_bits());
-    if let Some(cache) = CACHE.lock().unwrap_or_else(|e| e.into_inner()).as_ref() {
-        if let Some(&z) = cache.get(&key) {
-            return z;
-        }
+    if let Some(cache) = CACHE.lock().unwrap_or_else(|e| e.into_inner()).as_ref()
+        && let Some(&z) = cache.get(&key)
+    {
+        return z;
     }
     let mut sum = 0.0;
     for i in 1..=n {
@@ -91,9 +91,8 @@ impl Zipfian {
         if uz < 1.0 + self.theta_half_pow {
             return 1;
         }
-        let rank = (self.n as f64
-            * (self.eta * u - self.eta + 1.0).powf(self.inv_one_minus_alpha))
-            as u64;
+        let rank =
+            (self.n as f64 * (self.eta * u - self.eta + 1.0).powf(self.inv_one_minus_alpha)) as u64;
         rank.min(self.n - 1)
     }
 }

@@ -1,4 +1,4 @@
-//! Atomic transfers between accounts with nested try-locks.
+//! Atomic transfers between accounts with nested `Locked<T>` cells.
 //!
 //! The paper's motivation for general lock-free locks: "if one needs to
 //! atomically move data among structures, lock-free algorithms become
@@ -8,61 +8,62 @@
 //! transferring thread is descheduled mid-way (another contender finishes
 //! its critical section).
 //!
+//! The nested `Option` result keeps the failure modes apart: `None` = the
+//! first lock was busy, `Some(None)` = the second lock was busy,
+//! `Some(Some(false))` = insufficient funds, `Some(Some(true))` = moved.
+//!
 //! ```sh
 //! cargo run --release --example bank_transfer
 //! ```
 
-use flock::core::{set_lock_mode, Lock, LockMode, Mutable};
+use flock::core::{LockMode, Locked, Mutable, set_lock_mode};
 use std::sync::Arc;
 
-struct Account {
-    lock: Lock,
-    balance: Mutable<u32>,
-}
+/// One account: its balance, guarded by the cell's lock.
+type Account = Locked<Mutable<u32>>;
 
 struct Bank {
-    accounts: Vec<Account>,
+    accounts: Vec<Arc<Account>>,
 }
 
 impl Bank {
     fn new(n: usize, initial: u32) -> Self {
         Self {
             accounts: (0..n)
-                .map(|_| Account {
-                    lock: Lock::new(),
-                    balance: Mutable::new(initial),
-                })
+                .map(|_| Arc::new(Locked::new(Mutable::new(initial))))
                 .collect(),
         }
     }
 
-    /// Try to move `amount` from account `a` to account `b`; returns false
-    /// if either lock is busy or funds are insufficient.
-    fn try_transfer(self: &Arc<Self>, a: usize, b: usize, amount: u32) -> bool {
-        assert_ne!(a, b);
+    /// Try to move `amount` from account `from` to account `to`; returns
+    /// false if either lock is busy or funds are insufficient.
+    fn try_transfer(&self, from: usize, to: usize, amount: u32) -> bool {
+        assert_ne!(from, to);
         // Lock ordering: lower index first (the "simply nested" discipline
         // the paper's lock-freedom theorem requires).
-        let (first, second) = (a.min(b), a.max(b));
-        let (src, dst) = (a, b);
-        let bank = Arc::clone(self);
-        self.accounts[first].lock.try_lock(move || {
-            let bank2 = Arc::clone(&bank);
-            bank.accounts[second].lock.try_lock(move || {
-                let from = &bank2.accounts[src].balance;
-                let to = &bank2.accounts[dst].balance;
-                let f = from.load();
+        let second = Arc::clone(&self.accounts[from.max(to)]);
+        let src = Arc::clone(&self.accounts[from]);
+        let dst = Arc::clone(&self.accounts[to]);
+        let outcome = self.accounts[from.min(to)].try_with(move |_| {
+            let (src, dst) = (Arc::clone(&src), Arc::clone(&dst));
+            second.try_with(move |_| {
+                // Both locks held; reach each balance through its cell's
+                // Deref (the `_` closure args are whichever of the two
+                // balances the lock order happened to pick first/second).
+                let f = src.load();
                 if f < amount {
                     return false;
                 }
-                from.store(f - amount);
-                to.store(to.load() + amount);
+                src.store(f - amount);
+                dst.store(dst.load() + amount);
                 true
             })
-        })
+        });
+        matches!(outcome, Some(Some(true)))
     }
 
     fn total(&self) -> u64 {
-        self.accounts.iter().map(|a| a.balance.load() as u64).sum()
+        self.accounts.iter().map(|a| a.load() as u64).sum()
     }
 }
 

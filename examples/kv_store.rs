@@ -2,35 +2,22 @@
 //! YCSB-style zipfian workload — the OLTP-index scenario the paper's
 //! evaluation mimics.
 //!
+//! The tree implements `flock_api::Map` directly, so it plugs into the
+//! workload driver with no adapter.
+//!
 //! ```sh
 //! cargo run --release --example kv_store
 //! ```
 
-use flock::core::{set_lock_mode, LockMode};
+use flock::core::{LockMode, set_lock_mode};
 use flock::ds::abtree::ABTree;
-use flock::workload::{run_experiment, Config, SplitMix64, Zipfian};
+use flock::workload::{Config, SplitMix64, Zipfian, run_experiment};
 use std::time::Duration;
 
-/// Adapter wiring the tree into the workload driver.
-struct Store(ABTree);
-
-impl flock::workload::BenchMap for Store {
-    fn insert(&self, key: u64, value: u64) -> bool {
-        self.0.insert(key, value)
-    }
-    fn remove(&self, key: u64) -> bool {
-        self.0.remove(key)
-    }
-    fn get(&self, key: u64) -> Option<u64> {
-        self.0.get(key)
-    }
-    fn name(&self) -> &'static str {
-        "abtree-kv"
-    }
-}
-
 fn main() {
-    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(2);
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(2);
 
     // Show what zipfian skew means concretely.
     let z = Zipfian::new(1000, 0.99);
@@ -41,14 +28,17 @@ fn main() {
             head += 1;
         }
     }
-    println!("zipf(0.99): the hottest 1% of keys receive {}% of accesses", head / 100);
+    println!(
+        "zipf(0.99): the hottest 1% of keys receive {}% of accesses",
+        head / 100
+    );
 
     // YCSB workload A (50% updates) and B (5% updates) on the store,
     // in both lock modes.
     for (workload, update_pct) in [("YCSB-A (50% upd)", 50), ("YCSB-B (5% upd)", 5)] {
         for mode in [LockMode::LockFree, LockMode::Blocking] {
             set_lock_mode(mode);
-            let store = Store(ABTree::new());
+            let store = ABTree::new();
             let cfg = Config {
                 threads,
                 key_range: 100_000,
@@ -62,7 +52,11 @@ fn main() {
             let m = run_experiment(&store, &cfg);
             println!(
                 "{workload} | {:9} | {:6.2} ± {:4.2} Mop/s",
-                if mode == LockMode::LockFree { "lock-free" } else { "blocking" },
+                if mode == LockMode::LockFree {
+                    "lock-free"
+                } else {
+                    "blocking"
+                },
                 m.mops_mean,
                 m.mops_stddev
             );

@@ -12,10 +12,10 @@
 //! cargo run --release --example oversubscribed
 //! ```
 
-use flock::core::{set_lock_mode, Lock, LockMode, Mutable};
+use flock::core::{Lock, LockMode, Mutable, set_lock_mode};
 use flock::ds::hashtable::HashTable;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
 fn throughput(mode: LockMode, threads: usize, secs: f64) -> f64 {
@@ -71,7 +71,6 @@ fn stalled_holder_demo() -> Duration {
                 e2.wait();
                 std::thread::park_timeout(Duration::from_secs(300));
             }
-            true
         })
     });
 
@@ -79,14 +78,12 @@ fn stalled_holder_demo() -> Duration {
     // The holder is now parked *inside* its critical section. Time how
     // long another thread needs to acquire the lock: in lock-free mode it
     // helps the stalled thunk to completion and proceeds immediately.
+    // (`Some(())` = acquired; `None` = busy, i.e. helping hasn't finished.)
     let t0 = Instant::now();
     let mut waited = Duration::ZERO;
     loop {
         let v2 = Arc::clone(&value);
-        if lock.try_lock(move || {
-            v2.store(v2.load() + 10);
-            true
-        }) {
+        if lock.try_lock(move || v2.store(v2.load() + 10)).is_some() {
             waited = t0.elapsed();
             break;
         }
@@ -101,13 +98,19 @@ fn stalled_holder_demo() -> Duration {
 }
 
 fn main() {
-    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(2);
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(2);
     println!("host parallelism: {cores}");
 
     for threads in [cores, 8 * cores] {
         let lf = throughput(LockMode::LockFree, threads, 0.5);
         let bl = throughput(LockMode::Blocking, threads, 0.5);
-        let tag = if threads > cores { "oversubscribed" } else { "1x cores" };
+        let tag = if threads > cores {
+            "oversubscribed"
+        } else {
+            "1x cores"
+        };
         println!(
             "{threads:>4} threads ({tag:>14}): lock-free {lf:8.2} Mop/s | blocking {bl:8.2} Mop/s | lf/bl = {:.2}x",
             lf / bl

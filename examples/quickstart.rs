@@ -1,19 +1,36 @@
 //! Quickstart: write lock-based code once, run it lock-free or blocking.
 //!
+//! Two layers are shown: the packaged `Locked<T>` cell for your own
+//! critical sections, and a ready-made map structure driven through the
+//! workspace-wide `flock::api::Map` interface.
+//!
 //! ```sh
 //! cargo run --release --example quickstart
 //! ```
 
-use flock::core::{set_lock_mode, LockMode};
+use flock::api::Map;
+use flock::core::{LockMode, Locked, Mutable, set_lock_mode};
 use flock::ds::dlist::DList;
 use std::sync::Arc;
 use std::time::Instant;
 
-fn hammer(list: &Arc<DList>, threads: usize, ops_per_thread: u64) -> std::time::Duration {
+/// A tiny stats record guarded by one lock — the `Locked<T>` pattern.
+struct Stats {
+    ops: Mutable<u64>,
+    max_key: Mutable<u64>,
+}
+
+fn hammer(
+    list: &Arc<DList>,
+    stats: &Arc<Locked<Stats>>,
+    threads: usize,
+    ops_per_thread: u64,
+) -> std::time::Duration {
     let t0 = Instant::now();
     std::thread::scope(|s| {
         for t in 0..threads as u64 {
             let list = Arc::clone(list);
+            let stats = Arc::clone(stats);
             s.spawn(move || {
                 let mut state = t + 1;
                 for _ in 0..ops_per_thread {
@@ -24,7 +41,17 @@ fn hammer(list: &Arc<DList>, threads: usize, ops_per_thread: u64) -> std::time::
                     let k = state % 512;
                     match state % 3 {
                         0 => {
-                            list.insert(k, k);
+                            if list.insert(k, k) {
+                                // `with` waits for the lock (helping the
+                                // holder in lock-free mode), then runs the
+                                // closure over the protected record.
+                                stats.with(move |st| {
+                                    st.ops.store(st.ops.load() + 1);
+                                    if k > st.max_key.load() {
+                                        st.max_key.store(k);
+                                    }
+                                });
+                            }
                         }
                         1 => {
                             list.remove(k);
@@ -49,23 +76,32 @@ fn main() {
     ] {
         set_lock_mode(mode);
         let list = Arc::new(DList::new());
+        let stats = Arc::new(Locked::new(Stats {
+            ops: Mutable::new(0),
+            max_key: Mutable::new(0),
+        }));
 
-        // Basic single-threaded usage.
+        // Basic single-threaded usage through the one map interface.
         assert!(list.insert(10, 100));
         assert!(list.insert(20, 200));
         assert_eq!(list.get(10), Some(100));
+        assert!(list.contains(20));
+        assert!(list.update(20, 201), "in-place value replacement");
+        assert_eq!(list.get(20), Some(201));
         assert!(list.remove(10));
-        assert_eq!(list.get(10), None);
+        assert!(list.remove(20));
 
         // Concurrent usage.
         let threads = std::thread::available_parallelism()
             .map(|n| n.get() * 2) // deliberately oversubscribed
             .unwrap_or(4);
-        let elapsed = hammer(&list, threads, 50_000);
+        let elapsed = hammer(&list, &stats, threads, 50_000);
         list.check_invariants();
         println!(
-            "{label:>20}: {threads} threads x 50k ops in {elapsed:?} — final size {}",
-            list.len()
+            "{label:>20}: {threads} threads x 50k ops in {elapsed:?} — final size {:?}, {} tracked inserts (max key {})",
+            list.len_approx(),
+            stats.ops.load(),
+            stats.max_key.load(),
         );
     }
     set_lock_mode(LockMode::LockFree);

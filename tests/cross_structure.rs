@@ -1,14 +1,13 @@
 //! Cross-crate integration tests: every Flock structure and every baseline
-//! hammered through a common interface, in both lock modes, against a
-//! sequential oracle (per-thread key partitions make per-thread sequential
-//! semantics exact even under full concurrency).
+//! hammered through the one `flock_api::Map` interface, in both lock modes,
+//! against a sequential oracle (per-thread key partitions make per-thread
+//! sequential semantics exact even under full concurrency).
 
-use std::collections::BTreeMap;
 use std::sync::Mutex;
 
-use flock::baselines::BaselineMap;
-use flock::core::{set_lock_mode, LockMode};
-use flock::ds::ConcurrentMap;
+use flock::api::Map;
+use flock::api::testing::{default_methods_check, partition_stress};
+use flock::core::{LockMode, set_lock_mode};
 
 /// Serialize tests that flip the global lock mode.
 static MODE_LOCK: Mutex<()> = Mutex::new(());
@@ -20,128 +19,35 @@ fn with_mode(mode: LockMode, f: impl FnOnce()) {
     set_lock_mode(LockMode::LockFree);
 }
 
-trait AnyMap: Send + Sync {
-    fn insert(&self, k: u64, v: u64) -> bool;
-    fn remove(&self, k: u64) -> bool;
-    fn get(&self, k: u64) -> Option<u64>;
-}
-
-struct Ds<M: ConcurrentMap>(M);
-impl<M: ConcurrentMap> AnyMap for Ds<M> {
-    fn insert(&self, k: u64, v: u64) -> bool {
-        self.0.insert(k, v)
-    }
-    fn remove(&self, k: u64) -> bool {
-        self.0.remove(k)
-    }
-    fn get(&self, k: u64) -> Option<u64> {
-        self.0.get(k)
-    }
-}
-
-struct Bl<M: BaselineMap>(M);
-impl<M: BaselineMap> AnyMap for Bl<M> {
-    fn insert(&self, k: u64, v: u64) -> bool {
-        self.0.insert(k, v)
-    }
-    fn remove(&self, k: u64) -> bool {
-        self.0.remove(k)
-    }
-    fn get(&self, k: u64) -> Option<u64> {
-        self.0.get(k)
-    }
-}
-
-fn flock_structures() -> Vec<(&'static str, Box<dyn AnyMap>)> {
+fn flock_structures() -> Vec<Box<dyn Map<u64, u64>>> {
     vec![
-        ("dlist", Box::new(Ds(flock::ds::dlist::DList::new()))),
-        ("lazylist", Box::new(Ds(flock::ds::lazylist::LazyList::new()))),
-        (
-            "hashtable",
-            Box::new(Ds(flock::ds::hashtable::HashTable::with_capacity(1024))),
-        ),
-        ("leaftree", Box::new(Ds(flock::ds::leaftree::LeafTree::new()))),
-        (
-            "leaftree-strict",
-            Box::new(Ds(flock::ds::leaftree::LeafTree::new_strict())),
-        ),
-        ("leaftreap", Box::new(Ds(flock::ds::leaftreap::LeafTreap::new()))),
-        ("abtree", Box::new(Ds(flock::ds::abtree::ABTree::new()))),
-        ("arttree", Box::new(Ds(flock::ds::arttree::ArtTree::new()))),
+        Box::new(flock::ds::dlist::DList::new()),
+        Box::new(flock::ds::lazylist::LazyList::new()),
+        Box::new(flock::ds::hashtable::HashTable::with_capacity(1024)),
+        Box::new(flock::ds::leaftree::LeafTree::new()),
+        Box::new(flock::ds::leaftree::LeafTree::new_strict()),
+        Box::new(flock::ds::leaftreap::LeafTreap::new()),
+        Box::new(flock::ds::abtree::ABTree::new()),
+        Box::new(flock::ds::arttree::ArtTree::new()),
     ]
 }
 
-fn baseline_structures() -> Vec<(&'static str, Box<dyn AnyMap>)> {
+fn baseline_structures() -> Vec<Box<dyn Map<u64, u64>>> {
     vec![
-        ("harris_list", Box::new(Bl(flock::baselines::HarrisList::new()))),
-        (
-            "harris_list_opt",
-            Box::new(Bl(flock::baselines::HarrisList::new_opt())),
-        ),
-        ("natarajan", Box::new(Bl(flock::baselines::NatarajanBst::new()))),
-        ("ellen", Box::new(Bl(flock::baselines::EllenBst::new()))),
-        (
-            "bronson_style_bst",
-            Box::new(Bl(flock::baselines::BlockingBst::new())),
-        ),
-        (
-            "srivastava_abtree",
-            Box::new(Bl(flock::baselines::BlockingABTree::new())),
-        ),
+        Box::new(flock::baselines::HarrisList::new()),
+        Box::new(flock::baselines::HarrisList::new_opt()),
+        Box::new(flock::baselines::NatarajanBst::new()),
+        Box::new(flock::baselines::EllenBst::new()),
+        Box::new(flock::baselines::BlockingBst::new()),
+        Box::new(flock::baselines::BlockingABTree::new()),
     ]
-}
-
-fn stress(map: &dyn AnyMap, name: &str, threads: u64, ops: usize) {
-    std::thread::scope(|s| {
-        for t in 0..threads {
-            let map = &*map;
-            let name = &*name;
-            s.spawn(move || {
-                let mut present = BTreeMap::new();
-                let mut state = (t + 1) * 0x1234_5677;
-                let mut rng = move || {
-                    state ^= state << 13;
-                    state ^= state >> 7;
-                    state ^= state << 17;
-                    state
-                };
-                for i in 0..ops {
-                    let k = (rng() % 256) * threads + t;
-                    let v = i as u64;
-                    match rng() % 3 {
-                        0 => {
-                            let expect = !present.contains_key(&k);
-                            if expect {
-                                present.insert(k, v);
-                            }
-                            assert_eq!(map.insert(k, v), expect, "{name} t{t} insert({k}) op{i}");
-                        }
-                        1 => {
-                            let expect = present.remove(&k).is_some();
-                            assert_eq!(map.remove(k), expect, "{name} t{t} remove({k}) op{i}");
-                        }
-                        _ => {
-                            assert_eq!(
-                                map.get(k),
-                                present.get(&k).copied(),
-                                "{name} t{t} get({k}) op{i}"
-                            );
-                        }
-                    }
-                }
-                for (k, v) in &present {
-                    assert_eq!(map.get(*k), Some(*v), "{name} t{t} sweep {k}");
-                }
-            });
-        }
-    });
 }
 
 #[test]
 fn all_flock_structures_lock_free() {
     with_mode(LockMode::LockFree, || {
-        for (name, map) in flock_structures() {
-            stress(&*map, name, 4, 800);
+        for map in flock_structures() {
+            partition_stress(&*map, 4, 800);
         }
     });
 }
@@ -149,8 +55,8 @@ fn all_flock_structures_lock_free() {
 #[test]
 fn all_flock_structures_blocking() {
     with_mode(LockMode::Blocking, || {
-        for (name, map) in flock_structures() {
-            stress(&*map, name, 4, 800);
+        for map in flock_structures() {
+            partition_stress(&*map, 4, 800);
         }
     });
 }
@@ -158,19 +64,31 @@ fn all_flock_structures_blocking() {
 #[test]
 fn all_baselines() {
     let _g = MODE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
-    for (name, map) in baseline_structures() {
-        stress(&*map, name, 4, 800);
+    for map in baseline_structures() {
+        partition_stress(&*map, 4, 800);
     }
+}
+
+/// The provided-method surface works uniformly across all 14 registry
+/// entries (12 distinct structures + 2 variants).
+#[test]
+fn default_methods_across_all_structures() {
+    with_mode(LockMode::LockFree, || {
+        for map in flock_structures().into_iter().chain(baseline_structures()) {
+            default_methods_check(&*map);
+        }
+    });
 }
 
 /// High-contention smoke test: every structure, all threads on 16 keys.
 #[test]
 fn contention_smoke_all_structures() {
     with_mode(LockMode::LockFree, || {
-        for (name, map) in flock_structures().into_iter().chain(baseline_structures()) {
+        for map in flock_structures().into_iter().chain(baseline_structures()) {
+            let name = map.name();
             std::thread::scope(|s| {
                 for t in 0..4u64 {
-                    let map = &*map;
+                    let map = &map;
                     s.spawn(move || {
                         let mut state = t + 1;
                         for _ in 0..2_000 {

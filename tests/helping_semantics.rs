@@ -5,10 +5,12 @@
 //!   helping);
 //! * helped thunks apply exactly once (idempotence), including their
 //!   allocations and retires;
+//! * thunk results are typed, replay-deterministic, and distinct from the
+//!   lock-busy signal;
 //! * nested locks compose (atomic multi-structure moves);
 //! * early unlock (hand-over-hand) works.
 
-use flock::core::{set_lock_mode, Lock, LockMode, Mutable};
+use flock::core::{Lock, LockMode, Locked, Mutable, set_lock_mode};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Barrier, Mutex};
 use std::time::{Duration, Instant};
@@ -36,7 +38,6 @@ fn system_progresses_past_stalled_holders_repeatedly() {
                     e2.wait();
                     std::thread::park_timeout(Duration::from_secs(120));
                 }
-                true
             })
         });
         entered.wait();
@@ -45,10 +46,7 @@ fn system_progresses_past_stalled_holders_repeatedly() {
         let mut acquired = false;
         while Instant::now() < deadline {
             let v2 = Arc::clone(&value);
-            if lock.try_lock(move || {
-                v2.store(v2.load() + 100);
-                true
-            }) {
+            if lock.try_lock(move || v2.store(v2.load() + 100)).is_some() {
                 acquired = true;
                 break;
             }
@@ -58,6 +56,55 @@ fn system_progresses_past_stalled_holders_repeatedly() {
         holder.thread().unpark();
         let _ = holder.join();
     }
+}
+
+/// The headline API property of the redesign: a helped owner still gets its
+/// thunk's typed result back. The owner's thunk computes a value derived
+/// from logged loads; even when a helper completed the section first, the
+/// owner's replay returns the identical value.
+#[test]
+fn helped_owner_recovers_typed_result() {
+    let _g = MODE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    set_lock_mode(LockMode::LockFree);
+    let lock = Arc::new(Lock::new());
+    let value = Arc::new(Mutable::new(7u32));
+    let entered = Arc::new(Barrier::new(2));
+
+    let (l, v, e) = (Arc::clone(&lock), Arc::clone(&value), Arc::clone(&entered));
+    let holder = std::thread::spawn(move || {
+        let me = std::thread::current().id();
+        let (v2, e2) = (Arc::clone(&v), Arc::clone(&e));
+        l.try_lock(move || {
+            let before = v2.load();
+            v2.store(before + 1);
+            if std::thread::current().id() == me {
+                e2.wait();
+                std::thread::park_timeout(Duration::from_secs(120));
+            }
+            before * 10 // typed result, derived from a logged load
+        })
+    });
+    entered.wait();
+
+    // Help the parked holder through, then take the lock ourselves.
+    let deadline = Instant::now() + Duration::from_secs(20);
+    let mut ours = None;
+    while Instant::now() < deadline {
+        let v2 = Arc::clone(&value);
+        ours = lock.try_lock(move || v2.load());
+        if ours.is_some() {
+            break;
+        }
+    }
+    assert_eq!(
+        ours,
+        Some(8),
+        "helper observed the holder's committed store"
+    );
+    holder.thread().unpark();
+    // The stalled owner replays its own thunk: same logged loads, same
+    // result — even though a helper ran the section to completion first.
+    assert_eq!(holder.join().unwrap(), Some(70));
 }
 
 #[test]
@@ -79,7 +126,7 @@ fn helped_allocation_is_not_leaked_or_doubled() {
                 while !stop.load(Ordering::Relaxed) {
                     let slot2 = Arc::clone(&slot);
                     let val = t * 1_000_000 + i;
-                    lock.try_lock(move || {
+                    let _ = lock.try_lock(move || {
                         let old = slot2.load();
                         let fresh = flock::core::alloc(move || val);
                         slot2.store(fresh);
@@ -87,7 +134,6 @@ fn helped_allocation_is_not_leaked_or_doubled() {
                             // SAFETY: unlinked by the store, under the lock.
                             unsafe { flock::core::retire(old) };
                         }
-                        true
                     });
                     i += 1;
                 }
@@ -136,7 +182,7 @@ fn atomic_move_between_two_structures() {
                     let (a2, b2) = (Arc::clone(&a), Arc::clone(&b));
                     // Direction depends on where the key currently is;
                     // decided inside the critical section.
-                    locks[k as usize].try_lock(move || {
+                    let _ = locks[k as usize].try_lock(move || {
                         if let Some(v) = a2.get(k) {
                             a2.remove(k);
                             b2.insert(k, v);
@@ -144,7 +190,6 @@ fn atomic_move_between_two_structures() {
                             b2.remove(k);
                             a2.insert(k, v);
                         }
-                        true
                     });
                 }
             });
@@ -158,6 +203,48 @@ fn atomic_move_between_two_structures() {
             (x, y) => panic!("key {k} in both/neither table: {x:?} {y:?}"),
         }
     }
+}
+
+/// The same move scenario through `Locked<T>` cells: a work queue of one
+/// slot per key, demonstrating the packaged pattern end to end.
+#[test]
+fn locked_cells_move_values_atomically() {
+    let _g = MODE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    set_lock_mode(LockMode::LockFree);
+    struct Pair {
+        left: Mutable<u32>,
+        right: Mutable<u32>,
+    }
+    let cell = Arc::new(Locked::new(Pair {
+        left: Mutable::new(1_000),
+        right: Mutable::new(0),
+    }));
+
+    std::thread::scope(|s| {
+        for _ in 0..4 {
+            let cell = Arc::clone(&cell);
+            s.spawn(move || {
+                let mut moved = 0;
+                while moved < 250 {
+                    let r = cell.try_with(|p| {
+                        let l = p.left.load();
+                        if l == 0 {
+                            return false;
+                        }
+                        p.left.store(l - 1);
+                        p.right.store(p.right.load() + 1);
+                        true
+                    });
+                    // Some(false) would mean drained; None means busy.
+                    if r == Some(true) {
+                        moved += 1;
+                    }
+                }
+            });
+        }
+    });
+    assert_eq!(cell.left.load(), 0);
+    assert_eq!(cell.right.load(), 1_000);
 }
 
 #[test]
@@ -179,7 +266,7 @@ fn early_unlock_hand_over_hand() {
             true
         })
     });
-    assert!(ok);
+    assert_eq!(ok, Some(Some(true)));
     assert!(!l1.is_locked());
     assert!(!l2.is_locked());
     assert_eq!(log.load(), 11);
@@ -193,7 +280,11 @@ fn blocking_mode_excludes_but_does_not_help() {
     let entered = Arc::new(Barrier::new(2));
     let release = Arc::new(Barrier::new(2));
 
-    let (l, e, r) = (Arc::clone(&lock), Arc::clone(&entered), Arc::clone(&release));
+    let (l, e, r) = (
+        Arc::clone(&lock),
+        Arc::clone(&entered),
+        Arc::clone(&release),
+    );
     let holder = std::thread::spawn(move || {
         l.try_lock(move || {
             e.wait();
@@ -204,10 +295,10 @@ fn blocking_mode_excludes_but_does_not_help() {
     entered.wait();
     // While held, try_lock must fail immediately (no helping to steal).
     for _ in 0..100 {
-        assert!(!lock.try_lock(|| true));
+        assert_eq!(lock.try_lock(|| true), None);
     }
     release.wait();
-    assert!(holder.join().unwrap());
+    assert_eq!(holder.join().unwrap(), Some(true));
     assert!(!lock.is_locked());
     set_lock_mode(LockMode::LockFree);
 }

@@ -1,78 +1,69 @@
-//! Property-based tests (proptest) on the core invariants:
+//! Randomized property tests on the core invariants (self-contained: the
+//! container has no third-party crates, so the generator is a seeded
+//! splitmix64 sweep rather than proptest — many seeds, deterministic
+//! replay by seed):
 //!
 //! * arbitrary op sequences on every structure match a `BTreeMap` oracle;
 //! * packed-word encodings round-trip;
-//! * the zipfian generator stays in range and orders head mass by α;
+//! * the zipfian generator stays in range;
+//! * `Mutable` agrees with a plain variable under arbitrary histories;
 //! * structure-specific shape invariants hold after arbitrary histories.
 
-use proptest::prelude::*;
 use std::collections::BTreeMap;
 use std::sync::Mutex;
 
-use flock::core::{set_lock_mode, LockMode};
+use flock::api::Map;
+use flock::core::{LockMode, set_lock_mode};
+use flock::workload::SplitMix64;
 
 static MODE_LOCK: Mutex<()> = Mutex::new(());
 
-#[derive(Debug, Clone)]
-enum Op {
-    Insert(u64, u64),
-    Remove(u64),
-    Get(u64),
-}
-
-fn op_strategy(key_range: u64) -> impl Strategy<Value = Op> {
-    prop_oneof![
-        (0..key_range, any::<u64>()).prop_map(|(k, v)| Op::Insert(k, v)),
-        (0..key_range).prop_map(Op::Remove),
-        (0..key_range).prop_map(Op::Get),
-    ]
-}
-
-fn check_against_oracle(
-    ops: &[Op],
-    insert: impl Fn(u64, u64) -> bool,
-    remove: impl Fn(u64) -> bool,
-    get: impl Fn(u64) -> Option<u64>,
-) {
+/// Apply a random op sequence to `map` and a `BTreeMap` oracle, asserting
+/// identical observable behavior, then sweep the oracle.
+fn oracle_case<M: Map<u64, u64>>(map: &M, seed: u64, ops: usize, key_range: u64) {
+    let mut rng = SplitMix64::new(seed);
     let mut oracle = BTreeMap::new();
-    for op in ops {
-        match *op {
-            Op::Insert(k, v) => {
+    for i in 0..ops {
+        let k = rng.below(key_range);
+        let v = rng.next_u64();
+        match rng.below(3) {
+            0 => {
                 let expect = !oracle.contains_key(&k);
                 if expect {
                     oracle.insert(k, v);
                 }
-                assert_eq!(insert(k, v), expect, "insert({k})");
+                assert_eq!(map.insert(k, v), expect, "seed {seed} insert({k}) op {i}");
             }
-            Op::Remove(k) => {
+            1 => {
                 let expect = oracle.remove(&k).is_some();
-                assert_eq!(remove(k), expect, "remove({k})");
+                assert_eq!(map.remove(k), expect, "seed {seed} remove({k}) op {i}");
             }
-            Op::Get(k) => {
-                assert_eq!(get(k), oracle.get(&k).copied(), "get({k})");
+            _ => {
+                assert_eq!(
+                    map.get(k),
+                    oracle.get(&k).copied(),
+                    "seed {seed} get({k}) op {i}"
+                );
             }
         }
     }
     for (k, v) in &oracle {
-        assert_eq!(get(*k), Some(*v), "sweep {k}");
+        assert_eq!(map.get(*k), Some(*v), "seed {seed} sweep {k}");
     }
 }
 
 macro_rules! oracle_prop {
     ($name:ident, $make:expr, $check:expr) => {
-        proptest! {
-            #![proptest_config(ProptestConfig { cases: 24, .. ProptestConfig::default() })]
-            #[test]
-            fn $name(ops in proptest::collection::vec(op_strategy(48), 1..300)) {
-                let _g = MODE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
-                set_lock_mode(LockMode::LockFree);
+        #[test]
+        fn $name() {
+            let _g = MODE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+            set_lock_mode(LockMode::LockFree);
+            for seed in 0..24u64 {
                 let m = $make;
-                check_against_oracle(
-                    &ops,
-                    |k, v| m.insert(k, v),
-                    |k| m.remove(k),
-                    |k| m.get(k),
-                );
+                // Vary the history length with the seed, like a shrinking
+                // property-test would explore short and long sequences.
+                let ops = 40 + (seed as usize * 37) % 260;
+                oracle_case(&m, seed, ops, 48);
                 #[allow(clippy::redundant_closure_call)]
                 ($check)(&m);
             }
@@ -116,70 +107,78 @@ oracle_prop!(
     |m: &flock::ds::arttree::ArtTree| m.check_invariants()
 );
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 16, .. ProptestConfig::default() })]
-    #[test]
-    fn baselines_match_oracle(ops in proptest::collection::vec(op_strategy(48), 1..200)) {
-        let _g = MODE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
-        set_lock_mode(LockMode::LockFree);
-        {
-            let m = flock::baselines::HarrisList::new();
-            check_against_oracle(&ops, |k, v| m.insert(k, v), |k| m.remove(k), |k| m.get(k));
-        }
-        {
-            let m = flock::baselines::NatarajanBst::new();
-            check_against_oracle(&ops, |k, v| m.insert(k, v), |k| m.remove(k), |k| m.get(k));
-        }
-        {
-            let m = flock::baselines::EllenBst::new();
-            check_against_oracle(&ops, |k, v| m.insert(k, v), |k| m.remove(k), |k| m.get(k));
-        }
-        {
-            let m = flock::baselines::BlockingBst::new();
-            check_against_oracle(&ops, |k, v| m.insert(k, v), |k| m.remove(k), |k| m.get(k));
-        }
-        {
-            let m = flock::baselines::BlockingABTree::new();
-            check_against_oracle(&ops, |k, v| m.insert(k, v), |k| m.remove(k), |k| m.get(k));
-        }
+#[test]
+fn baselines_match_oracle() {
+    let _g = MODE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    set_lock_mode(LockMode::LockFree);
+    for seed in 0..16u64 {
+        let ops = 40 + (seed as usize * 29) % 160;
+        oracle_case(&flock::baselines::HarrisList::new(), seed, ops, 48);
+        oracle_case(&flock::baselines::HarrisList::new_opt(), seed, ops, 48);
+        oracle_case(&flock::baselines::NatarajanBst::new(), seed, ops, 48);
+        oracle_case(&flock::baselines::EllenBst::new(), seed, ops, 48);
+        oracle_case(&flock::baselines::BlockingBst::new(), seed, ops, 48);
+        oracle_case(&flock::baselines::BlockingABTree::new(), seed, ops, 48);
     }
+}
 
-    #[test]
-    fn packed_value_roundtrip(tag in 0u16..u16::MAX, val in 0u64..(1u64 << 48)) {
-        use flock::sync::{pack, unpack_tag, unpack_val};
+#[test]
+fn packed_value_roundtrip() {
+    use flock::sync::{pack, unpack_tag, unpack_val};
+    let mut rng = SplitMix64::new(0xBEEF);
+    for _ in 0..10_000 {
+        // TAG_LIMIT (0xFFFF) is reserved so u64::MAX can stay the empty-log
+        // sentinel; pack() debug-asserts it is never used.
+        let tag = (rng.next_u64() % u64::from(flock::sync::TAG_LIMIT)) as u16;
+        let val = rng.next_u64() & ((1u64 << 48) - 1);
         let w = pack(tag, val);
-        prop_assert_eq!(unpack_tag(w), tag);
-        prop_assert_eq!(unpack_val(w), val);
+        assert_eq!(unpack_tag(w), tag);
+        assert_eq!(unpack_val(w), val);
     }
+}
 
-    #[test]
-    fn zipfian_in_range(n in 1u64..100_000, alpha in 0.0f64..0.999, seed in any::<u64>()) {
+#[test]
+fn zipfian_in_range() {
+    let mut rng = SplitMix64::new(0xCAFE);
+    for _ in 0..64 {
+        let n = 1 + rng.below(100_000);
+        let alpha = (rng.below(999) as f64) / 1000.0;
         let z = flock::workload::Zipfian::new(n, alpha);
-        let mut rng = flock::workload::SplitMix64::new(seed);
+        let mut zrng = flock::workload::SplitMix64::new(rng.next_u64());
         for _ in 0..64 {
-            prop_assert!(z.next(&mut rng) < n);
+            assert!(z.next(&mut zrng) < n, "n={n} alpha={alpha}");
         }
     }
+}
 
-    #[test]
-    fn sparsify_is_injective_on_small_ranges(a in 0u64..1_000_000, b in 0u64..1_000_000) {
-        // splitmix64's finalizer is a bijection on u64, so distinct keys
-        // must stay distinct.
+#[test]
+fn sparsify_is_injective_on_small_ranges() {
+    // splitmix64's finalizer is a bijection on u64, so distinct keys must
+    // stay distinct.
+    let mut rng = SplitMix64::new(7);
+    for _ in 0..10_000 {
+        let a = rng.below(1_000_000);
+        let b = rng.below(1_000_000);
         if a != b {
-            prop_assert_ne!(flock::workload::sparsify(a), flock::workload::sparsify(b));
+            assert_ne!(flock::workload::sparsify(a), flock::workload::sparsify(b));
         }
     }
+}
 
-    /// Mutables agree with a plain variable under arbitrary single-threaded
-    /// operation sequences (load/store/cam).
-    #[test]
-    fn mutable_matches_reference(ops in proptest::collection::vec((0u8..3, any::<u32>(), any::<u32>()), 1..100)) {
-        let _g = MODE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
-        set_lock_mode(LockMode::LockFree);
+/// Mutables agree with a plain variable under arbitrary single-threaded
+/// operation sequences (load/store/cam).
+#[test]
+fn mutable_matches_reference() {
+    let _g = MODE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    set_lock_mode(LockMode::LockFree);
+    for seed in 0..32u64 {
+        let mut rng = SplitMix64::new(seed);
         let m = flock::core::Mutable::new(0u32);
         let mut reference = 0u32;
-        for (op, a, b) in ops {
-            match op {
+        for _ in 0..100 {
+            let a = rng.next_u64() as u32;
+            let b = rng.next_u64() as u32;
+            match rng.below(3) {
                 0 => {
                     m.store(a);
                     reference = a;
@@ -190,9 +189,9 @@ proptest! {
                         reference = b;
                     }
                 }
-                _ => prop_assert_eq!(m.load(), reference),
+                _ => assert_eq!(m.load(), reference, "seed {seed}"),
             }
         }
-        prop_assert_eq!(m.load(), reference);
+        assert_eq!(m.load(), reference, "seed {seed}");
     }
 }
