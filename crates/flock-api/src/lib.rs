@@ -226,6 +226,14 @@ pub mod testing {
         for (k, v) in &oracle {
             assert_eq!(map.get(*k), Some(*v), "final sweep mismatch at key {k}");
         }
+        // Maintained/computed counters must be exact when quiescent.
+        if let Some(n) = map.len_approx() {
+            assert_eq!(
+                n,
+                oracle.len(),
+                "quiescent len_approx disagrees with the oracle size"
+            );
+        }
     }
 
     /// Multi-threaded stress test: per-key-partition determinism.

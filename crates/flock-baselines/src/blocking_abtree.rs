@@ -11,6 +11,8 @@
 
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 
+use crate::counter::ApproxLen;
+
 use flock_sync::TtasLock;
 
 use flock_api::Map;
@@ -106,6 +108,8 @@ impl Node {
 
 /// Blocking optimistic (a,b)-tree map.
 pub struct BlockingABTree {
+    /// Maintained element count backing `len_approx`.
+    len: ApproxLen,
     anchor: *mut Node,
 }
 
@@ -124,7 +128,10 @@ impl BlockingABTree {
     pub fn new() -> Self {
         let root = flock_epoch::alloc(Node::leaf(&[]));
         let anchor = flock_epoch::alloc(Node::internal(&[], &[root]));
-        Self { anchor }
+        Self {
+            anchor,
+            len: ApproxLen::new(),
+        }
     }
 
     fn path_to(&self, k: u64) -> Vec<*mut Node> {
@@ -232,6 +239,14 @@ impl BlockingABTree {
 
     /// Insert; `false` if present.
     pub fn insert(&self, k: u64, v: u64) -> bool {
+        let ok = self.insert_impl(k, v);
+        if ok {
+            self.len.inc();
+        }
+        ok
+    }
+
+    fn insert_impl(&self, k: u64, v: u64) -> bool {
         let _g = flock_epoch::pin();
         'restart: loop {
             let path = self.path_to(k);
@@ -286,6 +301,14 @@ impl BlockingABTree {
 
     /// Remove; `false` if absent.
     pub fn remove(&self, k: u64) -> bool {
+        let ok = self.remove_impl(k);
+        if ok {
+            self.len.dec();
+        }
+        ok
+    }
+
+    fn remove_impl(&self, k: u64) -> bool {
         let _g = flock_epoch::pin();
         loop {
             let path = self.path_to(k);
@@ -436,6 +459,9 @@ impl Map<u64, u64> for BlockingABTree {
     }
     fn name(&self) -> &'static str {
         "srivastava_abtree"
+    }
+    fn len_approx(&self) -> Option<usize> {
+        Some(self.len.get())
     }
 }
 

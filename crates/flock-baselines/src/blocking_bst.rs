@@ -17,6 +17,8 @@
 
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 
+use crate::counter::ApproxLen;
+
 use flock_sync::TtasLock;
 
 use flock_api::Map;
@@ -58,6 +60,8 @@ impl Node {
 
 /// Blocking optimistic internal BST map.
 pub struct BlockingBst {
+    /// Maintained element count backing `len_approx`.
+    len: ApproxLen,
     /// Sentinel root; real tree hangs off `left` (sentinel key is +inf in
     /// spirit: every key routes left).
     root: *mut Node,
@@ -78,6 +82,7 @@ impl BlockingBst {
     pub fn new() -> Self {
         Self {
             root: flock_epoch::alloc(Node::new(u64::MAX, 0)),
+            len: ApproxLen::new(),
         }
     }
 
@@ -108,6 +113,14 @@ impl BlockingBst {
 
     /// Insert; `false` if present.
     pub fn insert(&self, k: u64, v: u64) -> bool {
+        let ok = self.insert_impl(k, v);
+        if ok {
+            self.len.inc();
+        }
+        ok
+    }
+
+    fn insert_impl(&self, k: u64, v: u64) -> bool {
         let _g = flock_epoch::pin();
         loop {
             let (parent, node) = self.search(k);
@@ -155,6 +168,14 @@ impl BlockingBst {
 
     /// Remove; `false` if absent.
     pub fn remove(&self, k: u64) -> bool {
+        let ok = self.remove_impl(k);
+        if ok {
+            self.len.dec();
+        }
+        ok
+    }
+
+    fn remove_impl(&self, k: u64) -> bool {
         let _g = flock_epoch::pin();
         loop {
             let (parent, node) = self.search(k);
@@ -276,6 +297,9 @@ impl Map<u64, u64> for BlockingBst {
     }
     fn name(&self) -> &'static str {
         "bronson_style_bst"
+    }
+    fn len_approx(&self) -> Option<usize> {
+        Some(self.len.get())
     }
 }
 

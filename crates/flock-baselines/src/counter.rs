@@ -1,0 +1,94 @@
+//! A striped, maintained element counter backing `Map::len_approx`.
+//!
+//! The ROADMAP asked for maintained counters instead of the O(n) walks the
+//! Flock structures use. A single shared atomic would put one hot cache
+//! line under every update of every thread — exactly the coherence traffic
+//! this workspace spends so much effort avoiding — so the count is striped:
+//! each thread bumps the (cache-padded) stripe picked by its dense thread
+//! id, and readers sum the stripes.
+//!
+//! The sum is a *snapshot approximation* under concurrency (stripes are
+//! read one by one), which is precisely the `len_approx` contract; when
+//! the structure is quiescent the sum is exact, because every successful
+//! insert/remove bumped exactly one stripe.
+
+use std::sync::atomic::{AtomicIsize, Ordering};
+
+use flock_sync::{CachePadded, tid};
+
+/// Stripes in the counter. A power of two so the tid fold is a mask; 16
+/// cache lines is plenty to keep typical thread counts from colliding.
+const STRIPES: usize = 16;
+
+/// Striped approximate element counter. See the module docs.
+pub(crate) struct ApproxLen {
+    stripes: [CachePadded<AtomicIsize>; STRIPES],
+}
+
+impl ApproxLen {
+    pub(crate) fn new() -> Self {
+        Self {
+            stripes: std::array::from_fn(|_| CachePadded::new(AtomicIsize::new(0))),
+        }
+    }
+
+    #[inline]
+    fn stripe(&self) -> &AtomicIsize {
+        &self.stripes[tid::current().0 & (STRIPES - 1)]
+    }
+
+    /// Record one successful insert.
+    #[inline]
+    pub(crate) fn inc(&self) {
+        // Ordering: Relaxed — the count carries no synchronization; only
+        // the total matters, and RMWs never lose increments.
+        self.stripe().fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record one successful remove.
+    #[inline]
+    pub(crate) fn dec(&self) {
+        self.stripe().fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Snapshot sum of the stripes (exact when quiescent). Clamped at zero:
+    /// a mid-flight reader can catch a decrement's stripe before the
+    /// matching increment's stripe.
+    pub(crate) fn get(&self) -> usize {
+        let sum: isize = self.stripes.iter().map(|s| s.load(Ordering::Relaxed)).sum();
+        sum.max(0) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_up_and_down() {
+        let c = ApproxLen::new();
+        assert_eq!(c.get(), 0);
+        c.inc();
+        c.inc();
+        c.dec();
+        assert_eq!(c.get(), 1);
+    }
+
+    #[test]
+    fn concurrent_counting_is_exact_when_quiescent() {
+        let c = ApproxLen::new();
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| {
+                    for _ in 0..1_000 {
+                        c.inc();
+                    }
+                    for _ in 0..400 {
+                        c.dec();
+                    }
+                });
+            }
+        });
+        assert_eq!(c.get(), 8 * 600);
+    }
+}

@@ -21,6 +21,8 @@
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 
+use crate::counter::ApproxLen;
+
 use flock_api::Map;
 
 const CLEAN: usize = 0;
@@ -131,6 +133,8 @@ enum Info {
 
 /// Non-blocking external BST map (Ellen et al. style).
 pub struct EllenBst {
+    /// Maintained element count backing `len_approx`.
+    len: ApproxLen,
     root: *mut Node,
     /// Replaced Info records, freed only at drop. Deferring all Info
     /// reclamation to teardown removes every use-after-free/ABA window on
@@ -168,6 +172,7 @@ impl EllenBst {
         Self {
             root,
             info_garbage: std::sync::Mutex::new(Vec::new()),
+            len: ApproxLen::new(),
         }
     }
 
@@ -387,6 +392,14 @@ impl EllenBst {
 
     /// Insert; `false` if present.
     pub fn insert(&self, k: u64, v: u64) -> bool {
+        let ok = self.insert_impl(k, v);
+        if ok {
+            self.len.inc();
+        }
+        ok
+    }
+
+    fn insert_impl(&self, k: u64, v: u64) -> bool {
         let kc = KeyClass::Finite(k);
         let _g = flock_epoch::pin();
         loop {
@@ -429,6 +442,14 @@ impl EllenBst {
 
     /// Remove; `false` if absent.
     pub fn remove(&self, k: u64) -> bool {
+        let ok = self.remove_impl(k);
+        if ok {
+            self.len.dec();
+        }
+        ok
+    }
+
+    fn remove_impl(&self, k: u64) -> bool {
         let kc = KeyClass::Finite(k);
         let _g = flock_epoch::pin();
         loop {
@@ -557,6 +578,9 @@ impl Map<u64, u64> for EllenBst {
     }
     fn name(&self) -> &'static str {
         "ellen"
+    }
+    fn len_approx(&self) -> Option<usize> {
+        Some(self.len.get())
     }
 }
 

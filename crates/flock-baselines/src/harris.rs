@@ -11,6 +11,8 @@
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 
+use crate::counter::ApproxLen;
+
 use flock_api::Map;
 
 const MARK: usize = 1;
@@ -59,6 +61,8 @@ impl Node {
 
 /// Harris's lock-free sorted linked-list map.
 pub struct HarrisList {
+    /// Maintained element count backing `len_approx`.
+    len: ApproxLen,
     head: *mut Node,
     tail: *mut Node,
     /// `true` = optimized finds (no helping during `get`).
@@ -89,6 +93,7 @@ impl HarrisList {
             tail,
             opt_find,
             label,
+            len: ApproxLen::new(),
         }
     }
 
@@ -146,6 +151,14 @@ impl HarrisList {
 
     /// Insert; `false` if present.
     pub fn insert(&self, k: u64, v: u64) -> bool {
+        let ok = self.insert_impl(k, v);
+        if ok {
+            self.len.inc();
+        }
+        ok
+    }
+
+    fn insert_impl(&self, k: u64, v: u64) -> bool {
         let _g = flock_epoch::pin();
         loop {
             let (pred, curr) = self.search(k);
@@ -175,6 +188,14 @@ impl HarrisList {
 
     /// Remove; `false` if absent.
     pub fn remove(&self, k: u64) -> bool {
+        let ok = self.remove_impl(k);
+        if ok {
+            self.len.dec();
+        }
+        ok
+    }
+
+    fn remove_impl(&self, k: u64) -> bool {
         let _g = flock_epoch::pin();
         loop {
             let (pred, curr) = self.search(k);
@@ -296,6 +317,9 @@ impl Map<u64, u64> for HarrisList {
     }
     fn name(&self) -> &'static str {
         self.label
+    }
+    fn len_approx(&self) -> Option<usize> {
+        Some(self.len.get())
     }
 }
 

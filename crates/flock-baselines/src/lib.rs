@@ -27,6 +27,8 @@
 
 #![warn(missing_docs)]
 
+mod counter;
+
 pub mod blocking_abtree;
 pub mod blocking_bst;
 pub mod ellen;

@@ -19,6 +19,8 @@
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 
+use crate::counter::ApproxLen;
+
 use flock_api::Map;
 
 const FLAG: usize = 1;
@@ -92,6 +94,8 @@ impl Node {
 
 /// Lock-free external BST map (Natarajan–Mittal style).
 pub struct NatarajanBst {
+    /// Maintained element count backing `len_approx`.
+    len: ApproxLen,
     /// Root sentinel structure: R(INF2) → { S(INF1) → {leaf INF0, leaf INF1},
     /// leaf INF2 }. All finite keys live under S.
     root: *mut Node,
@@ -124,7 +128,10 @@ impl NatarajanBst {
         let l2 = flock_epoch::alloc(Node::leaf(KeyClass::Inf2, 0));
         let s = flock_epoch::alloc(Node::internal(KeyClass::Inf1, l0, l1));
         let r = flock_epoch::alloc(Node::internal(KeyClass::Inf2, s, l2));
-        Self { root: r }
+        Self {
+            root: r,
+            len: ApproxLen::new(),
+        }
     }
 
     /// Complete a pending deletion: `parent`'s `victim_side` edge is flagged
@@ -234,6 +241,14 @@ impl NatarajanBst {
 
     /// Insert; `false` if present.
     pub fn insert(&self, k: u64, v: u64) -> bool {
+        let ok = self.insert_impl(k, v);
+        if ok {
+            self.len.inc();
+        }
+        ok
+    }
+
+    fn insert_impl(&self, k: u64, v: u64) -> bool {
         let kc = KeyClass::Finite(k);
         let _g = flock_epoch::pin();
         loop {
@@ -278,6 +293,14 @@ impl NatarajanBst {
 
     /// Remove; `false` if absent. Linearizes at the FLAG injection.
     pub fn remove(&self, k: u64) -> bool {
+        let ok = self.remove_impl(k);
+        if ok {
+            self.len.dec();
+        }
+        ok
+    }
+
+    fn remove_impl(&self, k: u64) -> bool {
         let kc = KeyClass::Finite(k);
         let _g = flock_epoch::pin();
         loop {
@@ -409,6 +432,9 @@ impl Map<u64, u64> for NatarajanBst {
     }
     fn name(&self) -> &'static str {
         "natarajan"
+    }
+    fn len_approx(&self) -> Option<usize> {
+        Some(self.len.get())
     }
 }
 

@@ -11,3 +11,56 @@ flock_api::map_conformance!(natarajan, NatarajanBst::new());
 flock_api::map_conformance!(ellen, EllenBst::new());
 flock_api::map_conformance!(bronson_style_bst, BlockingBst::new());
 flock_api::map_conformance!(srivastava_abtree, BlockingABTree::new());
+
+/// Every baseline maintains a striped counter now: `len_approx` must be
+/// `Some`, track mixed trait-level ops exactly when quiescent, and stay
+/// exact after a concurrent partitioned workload.
+#[test]
+fn maintained_len_approx_is_exact_when_quiescent() {
+    use flock_api::Map;
+    let maps: Vec<Box<dyn Map<u64, u64>>> = vec![
+        Box::new(HarrisList::new()),
+        Box::new(HarrisList::new_opt()),
+        Box::new(NatarajanBst::new()),
+        Box::new(EllenBst::new()),
+        Box::new(BlockingBst::new()),
+        Box::new(BlockingABTree::new()),
+    ];
+    for map in maps {
+        let name = map.name();
+        assert_eq!(map.len_approx(), Some(0), "{name}: empty map");
+        for k in 0..100 {
+            assert!(map.insert(k, k * 10), "{name}");
+        }
+        assert!(!map.insert(7, 0), "{name}: duplicate insert not counted");
+        assert_eq!(map.len_approx(), Some(100), "{name}");
+        for k in 0..40 {
+            assert!(map.remove(k), "{name}");
+        }
+        assert!(!map.remove(7), "{name}: double remove not counted");
+        assert_eq!(map.len_approx(), Some(60), "{name}");
+        assert!(map.update(50, 1), "{name}");
+        assert_eq!(
+            map.len_approx(),
+            Some(60),
+            "{name}: update must not change the count"
+        );
+        // Concurrent churn over disjoint partitions; exact once quiescent.
+        std::thread::scope(|s| {
+            for t in 0..4u64 {
+                let map = &map;
+                s.spawn(move || {
+                    for i in 0..250u64 {
+                        let k = 1_000 + i * 4 + t;
+                        assert!(map.insert(k, i));
+                        if i % 2 == 0 {
+                            assert!(map.remove(k));
+                        }
+                    }
+                });
+            }
+        });
+        // 60 + 4 threads * 125 surviving odd-i keys.
+        assert_eq!(map.len_approx(), Some(60 + 4 * 125), "{name} after churn");
+    }
+}

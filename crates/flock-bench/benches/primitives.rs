@@ -1,8 +1,11 @@
 //! Microbenchmarks of the Flock primitives: lock acquire/release in both
-//! modes, idempotent load/store, nested locks, epoch pin, and the
-//! idempotent alloc/retire cycle. These quantify the per-operation
-//! overheads the paper attributes to lock-free mode (descriptor allocation
-//! + log commits).
+//! modes, idempotent load/store (top-level and in-thunk), nested locks,
+//! epoch pin, and the idempotent alloc/retire cycle. These quantify the
+//! per-operation overheads the paper attributes to lock-free mode
+//! (descriptor allocation + log commits).
+//!
+//! The suite itself lives in `flock_bench::bench_json::run_primitive_suite`
+//! so the `perf_trajectory` binary reports the identical cases.
 //!
 //! Dependency-free custom harness (`harness = false`): each case is run in
 //! batches until a time budget is spent, and the best (lowest) per-op time
@@ -10,106 +13,23 @@
 //!
 //! ```sh
 //! cargo bench -p flock-bench
+//! # machine-readable output too:
+//! FLOCK_BENCH_JSON=bench.json cargo bench -p flock-bench
 //! ```
 
-use std::hint::black_box;
-use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
-use flock_core::{Lock, LockMode, Mutable, set_lock_mode};
-
-/// Run `op` in batches for ~`budget`, reporting the best ns/op observed.
-fn bench(name: &str, mut op: impl FnMut()) {
-    const BATCH: u32 = 10_000;
-    let budget = Duration::from_millis(200);
-    // Warm-up batch.
-    for _ in 0..BATCH {
-        op();
-    }
-    let mut best = f64::INFINITY;
-    let t0 = Instant::now();
-    while t0.elapsed() < budget {
-        let b0 = Instant::now();
-        for _ in 0..BATCH {
-            op();
-        }
-        let ns = b0.elapsed().as_nanos() as f64 / BATCH as f64;
-        if ns < best {
-            best = ns;
-        }
-    }
-    println!("{name:<36} {best:>10.1} ns/op");
-}
-
-fn bench_mutable() {
-    set_lock_mode(LockMode::LockFree);
-    let m = Mutable::new(0u64);
-    bench("mutable_load_top_level", || {
-        black_box(m.load());
-    });
-    let mut i = 0u64;
-    bench("mutable_store_top_level", || {
-        i = (i + 1) & 0xFFFF_FFFF;
-        m.store(black_box(i));
-    });
-}
-
-fn bench_lock_modes() {
-    for (label, mode) in [
-        ("lock_free", LockMode::LockFree),
-        ("blocking", LockMode::Blocking),
-    ] {
-        set_lock_mode(mode);
-        let l = Arc::new(Lock::new());
-        let v = Arc::new(Mutable::new(0u64));
-        bench(&format!("uncontended_try_lock_{label}"), || {
-            let v2 = Arc::clone(&v);
-            black_box(l.try_lock(move || v2.store(v2.load() + 1)));
-        });
-    }
-    set_lock_mode(LockMode::LockFree);
-}
-
-fn bench_nested_lock() {
-    set_lock_mode(LockMode::LockFree);
-    let outer = Arc::new(Lock::new());
-    let inner = Arc::new(Lock::new());
-    bench("nested_try_lock_lock_free", || {
-        let i = Arc::clone(&inner);
-        black_box(outer.try_lock(move || i.try_lock(|| true)));
-    });
-}
-
-fn bench_epoch_pin() {
-    bench("epoch_pin_unpin", || {
-        let g = flock_epoch::pin();
-        black_box(g.epoch());
-    });
-}
-
-fn bench_idempotent_alloc() {
-    set_lock_mode(LockMode::LockFree);
-    let l = Arc::new(Lock::new());
-    let slot: Arc<Mutable<*mut u64>> = Arc::new(Mutable::new(std::ptr::null_mut()));
-    bench("locked_alloc_retire_cycle", || {
-        let s = Arc::clone(&slot);
-        let _ = l.try_lock(move || {
-            let old = s.load();
-            let fresh = flock_core::alloc(|| 1u64);
-            s.store(fresh);
-            if !old.is_null() {
-                // SAFETY: old was unlinked by the store, under the lock.
-                unsafe { flock_core::retire(old) };
-            }
-        });
-    });
-}
+use flock_bench::bench_json::{BenchReport, run_primitive_suite};
 
 fn main() {
     println!("flock primitive microbenchmarks (best of batches, lower is better)");
-    bench_mutable();
-    bench_lock_modes();
-    bench_nested_lock();
-    bench_epoch_pin();
-    bench_idempotent_alloc();
+    let primitives = run_primitive_suite(Duration::from_millis(200));
+    if let Ok(path) = std::env::var("FLOCK_BENCH_JSON") {
+        let report = BenchReport {
+            primitives,
+            throughput: Vec::new(),
+        };
+        std::fs::write(&path, report.to_json()).expect("write FLOCK_BENCH_JSON");
+        println!("wrote {path}");
+    }
 }

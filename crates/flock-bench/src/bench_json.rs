@@ -1,0 +1,397 @@
+//! JSON benchmark reports: the recorded perf trajectory (`BENCH_<pr>.json`).
+//!
+//! Every perf-relevant PR commits one `BENCH_<n>.json` at the repo root so
+//! the trajectory of the hot paths is recorded, machine-readable, and
+//! CI-checkable (the quick bench job fails on a >2x primitive regression
+//! against the committed baseline). The schema is documented in
+//! EXPERIMENTS.md; everything here is dependency-free — the writer emits
+//! one entry per line, and the reader is a minimal scanner over exactly
+//! that shape (it is a baseline checker, not a general JSON parser).
+
+use std::time::{Duration, Instant};
+
+/// One primitive microbenchmark result (lower is better).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PrimitiveSample {
+    /// Case name, e.g. `uncontended_try_lock_lock_free`.
+    pub name: String,
+    /// Best observed nanoseconds per operation.
+    pub ns_per_op: f64,
+}
+
+/// One multi-thread throughput result (higher is better).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ThroughputSample {
+    /// Series label, e.g. `hashtable-lf`.
+    pub series: String,
+    /// Worker thread count.
+    pub threads: usize,
+    /// Mean throughput in Mop/s.
+    pub mops: f64,
+}
+
+/// A full benchmark report: primitives plus structure throughput.
+#[derive(Debug, Clone, Default)]
+pub struct BenchReport {
+    /// Primitive suite results.
+    pub primitives: Vec<PrimitiveSample>,
+    /// Structure throughput results.
+    pub throughput: Vec<ThroughputSample>,
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+impl BenchReport {
+    /// Serialize to the `flock-bench-v1` JSON shape (one entry per line).
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str("  \"schema\": \"flock-bench-v1\",\n");
+        out.push_str(&format!(
+            "  \"host_cores\": {},\n",
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(0)
+        ));
+        out.push_str("  \"primitives\": [\n");
+        for (i, p) in self.primitives.iter().enumerate() {
+            let comma = if i + 1 == self.primitives.len() {
+                ""
+            } else {
+                ","
+            };
+            out.push_str(&format!(
+                "    {{\"name\": \"{}\", \"ns_per_op\": {:.2}}}{}\n",
+                json_escape(&p.name),
+                p.ns_per_op,
+                comma
+            ));
+        }
+        out.push_str("  ],\n");
+        out.push_str("  \"throughput\": [\n");
+        for (i, t) in self.throughput.iter().enumerate() {
+            let comma = if i + 1 == self.throughput.len() {
+                ""
+            } else {
+                ","
+            };
+            out.push_str(&format!(
+                "    {{\"series\": \"{}\", \"threads\": {}, \"mops\": {:.4}}}{}\n",
+                json_escape(&t.series),
+                t.threads,
+                t.mops,
+                comma
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Parse a report previously written by [`BenchReport::to_json`].
+    ///
+    /// Scans for the one-object-per-line entries the writer emits; unknown
+    /// lines are ignored, so the format can grow fields without breaking
+    /// older checkers.
+    pub fn parse_json(text: &str) -> Self {
+        let mut report = BenchReport::default();
+        for line in text.lines() {
+            let line = line.trim().trim_end_matches(',');
+            if let (Some(name), Some(ns)) =
+                (extract_str(line, "name"), extract_num(line, "ns_per_op"))
+            {
+                report.primitives.push(PrimitiveSample {
+                    name,
+                    ns_per_op: ns,
+                });
+            } else if let (Some(series), Some(threads), Some(mops)) = (
+                extract_str(line, "series"),
+                extract_num(line, "threads"),
+                extract_num(line, "mops"),
+            ) {
+                report.throughput.push(ThroughputSample {
+                    series,
+                    threads: threads as usize,
+                    mops,
+                });
+            }
+        }
+        report
+    }
+
+    /// Compare this (new) report's primitives against `baseline`, returning
+    /// every case whose ns/op regressed by more than `factor` (e.g. 2.0).
+    ///
+    /// Cases present in only one report are skipped: the suite may grow.
+    pub fn primitive_regressions(&self, baseline: &BenchReport, factor: f64) -> Vec<String> {
+        let mut bad = Vec::new();
+        for new in &self.primitives {
+            if let Some(old) = baseline.primitives.iter().find(|p| p.name == new.name) {
+                // Guard tiny denominators: sub-ns cases are noise-dominated.
+                let floor = old.ns_per_op.max(1.0);
+                if new.ns_per_op > floor * factor {
+                    bad.push(format!(
+                        "{}: {:.1} ns/op vs baseline {:.1} ns/op (>{:.1}x)",
+                        new.name, new.ns_per_op, old.ns_per_op, factor
+                    ));
+                }
+            }
+        }
+        bad
+    }
+}
+
+/// Extract `"key": "value"` from a single-line JSON object.
+fn extract_str(line: &str, key: &str) -> Option<String> {
+    let pat = format!("\"{key}\": \"");
+    let start = line.find(&pat)? + pat.len();
+    let end = line[start..].find('"')? + start;
+    Some(line[start..end].to_string())
+}
+
+/// Extract `"key": <number>` from a single-line JSON object.
+fn extract_num(line: &str, key: &str) -> Option<f64> {
+    let pat = format!("\"{key}\": ");
+    let start = line.find(&pat)? + pat.len();
+    let rest = &line[start..];
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Run `op` in batches for ~`budget`, returning the best (lowest) ns/op —
+/// the usual defense against scheduler noise.
+pub fn measure_best(budget: Duration, mut op: impl FnMut()) -> f64 {
+    const BATCH: u32 = 10_000;
+    for _ in 0..BATCH {
+        op(); // warm-up batch
+    }
+    let mut best = f64::INFINITY;
+    let t0 = Instant::now();
+    while t0.elapsed() < budget {
+        let b0 = Instant::now();
+        for _ in 0..BATCH {
+            op();
+        }
+        let ns = b0.elapsed().as_nanos() as f64 / BATCH as f64;
+        if ns < best {
+            best = ns;
+        }
+    }
+    best
+}
+
+/// The primitive microbenchmark suite, shared by `cargo bench -p
+/// flock-bench` and the `perf_trajectory` binary so both report identical
+/// cases. Prints each case as it completes and returns all samples.
+pub fn run_primitive_suite(budget: Duration) -> Vec<PrimitiveSample> {
+    use flock_core::{Lock, LockMode, Mutable, set_lock_mode};
+    use std::hint::black_box;
+    use std::sync::Arc;
+
+    let mut samples = Vec::new();
+    let mut case = |name: &str, ns: f64| {
+        println!("{name:<36} {ns:>10.1} ns/op");
+        samples.push(PrimitiveSample {
+            name: name.to_string(),
+            ns_per_op: ns,
+        });
+    };
+
+    set_lock_mode(LockMode::LockFree);
+    let m = Mutable::new(0u64);
+    case(
+        "mutable_load_top_level",
+        measure_best(budget, || {
+            black_box(m.load());
+        }),
+    );
+    let mut i = 0u64;
+    case(
+        "mutable_store_top_level",
+        measure_best(budget, || {
+            i = (i + 1) & 0xFFFF_FFFF;
+            m.store(black_box(i));
+        }),
+    );
+
+    for (label, mode) in [
+        ("lock_free", LockMode::LockFree),
+        ("blocking", LockMode::Blocking),
+    ] {
+        set_lock_mode(mode);
+        let l = Arc::new(Lock::new());
+        let v = Arc::new(Mutable::new(0u64));
+        case(
+            &format!("uncontended_try_lock_{label}"),
+            measure_best(budget, || {
+                let v2 = Arc::clone(&v);
+                black_box(l.try_lock(move || v2.store(v2.load() + 1)));
+            }),
+        );
+    }
+    set_lock_mode(LockMode::LockFree);
+
+    // In-thunk store cost: one thunk doing 1 store vs 33 stores; the
+    // difference isolates 32 idempotent stores (log commit + tag scan +
+    // announce + CAS) from the fixed try_lock machinery around them. The
+    // wide spread keeps the derived per-store number out of the noise of
+    // the two absolute measurements.
+    {
+        let l = Arc::new(Lock::new());
+        let v = Arc::new(Mutable::new(0u64));
+        let one = {
+            let v = Arc::clone(&v);
+            measure_best(budget, || {
+                let v2 = Arc::clone(&v);
+                black_box(l.try_lock(move || v2.store(v2.load() + 1)));
+            })
+        };
+        let many = {
+            let v = Arc::clone(&v);
+            measure_best(budget, || {
+                let v2 = Arc::clone(&v);
+                black_box(l.try_lock(move || {
+                    for _ in 0..33 {
+                        v2.store(v2.load() + 1);
+                    }
+                }));
+            })
+        };
+        case("mutable_store_in_thunk", ((many - one) / 32.0).max(0.0));
+    }
+
+    let outer = Arc::new(Lock::new());
+    let inner = Arc::new(Lock::new());
+    case(
+        "nested_try_lock_lock_free",
+        measure_best(budget, || {
+            let i = Arc::clone(&inner);
+            black_box(outer.try_lock(move || i.try_lock(|| true)));
+        }),
+    );
+
+    case(
+        "epoch_pin_unpin",
+        measure_best(budget, || {
+            let g = flock_epoch::pin();
+            black_box(g.epoch());
+        }),
+    );
+
+    let l = Arc::new(Lock::new());
+    let slot: Arc<Mutable<*mut u64>> = Arc::new(Mutable::new(std::ptr::null_mut()));
+    case(
+        "locked_alloc_retire_cycle",
+        measure_best(budget, || {
+            let s = Arc::clone(&slot);
+            let _ = l.try_lock(move || {
+                let old = s.load();
+                let fresh = flock_core::alloc(|| 1u64);
+                s.store(fresh);
+                if !old.is_null() {
+                    // SAFETY: old was unlinked by the store, under the lock.
+                    unsafe { flock_core::retire(old) };
+                }
+            });
+        }),
+    );
+
+    samples
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_roundtrip() {
+        let report = BenchReport {
+            primitives: vec![
+                PrimitiveSample {
+                    name: "a".into(),
+                    ns_per_op: 12.5,
+                },
+                PrimitiveSample {
+                    name: "b".into(),
+                    ns_per_op: 0.4,
+                },
+            ],
+            throughput: vec![ThroughputSample {
+                series: "hashtable-lf".into(),
+                threads: 4,
+                mops: 1.2345,
+            }],
+        };
+        let parsed = BenchReport::parse_json(&report.to_json());
+        assert_eq!(parsed.primitives.len(), 2);
+        assert_eq!(parsed.primitives[0].name, "a");
+        assert!((parsed.primitives[0].ns_per_op - 12.5).abs() < 1e-9);
+        assert_eq!(parsed.throughput.len(), 1);
+        assert_eq!(parsed.throughput[0].series, "hashtable-lf");
+        assert_eq!(parsed.throughput[0].threads, 4);
+        assert!((parsed.throughput[0].mops - 1.2345).abs() < 1e-9);
+    }
+
+    #[test]
+    fn regression_check_flags_only_big_regressions() {
+        let old = BenchReport {
+            primitives: vec![
+                PrimitiveSample {
+                    name: "x".into(),
+                    ns_per_op: 10.0,
+                },
+                PrimitiveSample {
+                    name: "y".into(),
+                    ns_per_op: 10.0,
+                },
+                PrimitiveSample {
+                    name: "gone".into(),
+                    ns_per_op: 1.0,
+                },
+            ],
+            throughput: vec![],
+        };
+        let new = BenchReport {
+            primitives: vec![
+                PrimitiveSample {
+                    name: "x".into(),
+                    ns_per_op: 19.0, // < 2x: fine
+                },
+                PrimitiveSample {
+                    name: "y".into(),
+                    ns_per_op: 21.0, // > 2x: regression
+                },
+                PrimitiveSample {
+                    name: "new_case".into(),
+                    ns_per_op: 100.0, // no baseline: skipped
+                },
+            ],
+            throughput: vec![],
+        };
+        let bad = new.primitive_regressions(&old, 2.0);
+        assert_eq!(bad.len(), 1);
+        assert!(bad[0].starts_with("y:"));
+    }
+
+    #[test]
+    fn subnanosecond_cases_use_noise_floor() {
+        let old = BenchReport {
+            primitives: vec![PrimitiveSample {
+                name: "tiny".into(),
+                ns_per_op: 0.3,
+            }],
+            throughput: vec![],
+        };
+        let new = BenchReport {
+            primitives: vec![PrimitiveSample {
+                name: "tiny".into(),
+                ns_per_op: 1.5, // 5x of 0.3, but under the 1ns floor * 2
+            }],
+            throughput: vec![],
+        };
+        assert!(new.primitive_regressions(&old, 2.0).is_empty());
+    }
+}

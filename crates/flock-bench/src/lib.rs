@@ -15,6 +15,8 @@
 //! series — who wins, where the blocking lines collapse — is what
 //! EXPERIMENTS.md records against the paper's figures.
 
+pub mod bench_json;
+
 use std::time::Duration;
 
 use flock_api::Map;

@@ -1,45 +1,26 @@
 //! Ambient per-thread execution context: current log, position, descriptor.
 //!
 //! Mirrors the paper's process-local `log` and `position` variables
-//! (Algorithm 2, lines 4–6). `run` installs a descriptor's log, runs its
+//! (Algorithm 2, lines 4–6). `run_in` installs a descriptor's log, runs its
 //! thunk, and restores the previous context, which is what makes nested
 //! thunks work.
+//!
+//! The state itself lives in the workspace-wide single thread-local,
+//! [`flock_sync::ThreadCtx`] (`log_block` / `log_pos` / `descriptor`, all
+//! null/zero at top level). Hot paths fetch the context **once** via
+//! `thread_ctx::with` and pass it down by reference; the `*_in` functions
+//! here are those reference-taking forms, and the public wrappers exist for
+//! call sites outside an operation.
 
-use std::cell::Cell;
+use flock_sync::{ThreadCtx, thread_ctx};
 
 use crate::descriptor::Descriptor;
 use crate::log::{EMPTY, LOG_BLOCK_ENTRIES, LogBlock};
 
-#[derive(Clone, Copy)]
-struct CtxState {
-    /// Current log block, null when not running a thunk.
-    block: *const LogBlock,
-    /// Position within the current block.
-    pos: usize,
-    /// Descriptor being run, null at top level.
-    descr: *const Descriptor,
-}
-
-const TOP_LEVEL: CtxState = CtxState {
-    block: std::ptr::null(),
-    pos: 0,
-    descr: std::ptr::null(),
-};
-
-thread_local! {
-    static CTX: Cell<CtxState> = const { Cell::new(TOP_LEVEL) };
-}
-
 /// Is the calling thread currently running a thunk (logging enabled)?
 #[inline]
 pub fn in_thunk() -> bool {
-    CTX.with(|c| !c.get().block.is_null())
-}
-
-/// The descriptor currently being run by this thread, if any.
-#[inline]
-pub(crate) fn current_descriptor() -> *const Descriptor {
-    CTX.with(|c| c.get().descr)
+    thread_ctx::with(|tc| tc.in_thunk())
 }
 
 /// Commit `val` to the current thunk log, advancing the position.
@@ -49,29 +30,33 @@ pub(crate) fn current_descriptor() -> *const Descriptor {
 /// `was_first = true` and nothing is logged.
 #[inline]
 pub fn commit_raw(val: u64) -> (u64, bool) {
+    thread_ctx::with(|tc| commit_raw_in(tc, val))
+}
+
+/// [`commit_raw`] against an already-fetched thread context.
+#[inline]
+pub(crate) fn commit_raw_in(tc: &ThreadCtx, val: u64) -> (u64, bool) {
     debug_assert_ne!(val, EMPTY, "cannot commit the EMPTY sentinel");
-    CTX.with(|c| {
-        let mut s = c.get();
-        if s.block.is_null() {
-            return (val, true);
-        }
-        // SAFETY: `s.block` points to the running descriptor's log, which is
-        // kept alive for at least as long as any thread can be running the
-        // thunk (epoch-protected or owner-held).
-        let mut block = unsafe { &*s.block };
-        if s.pos == LOG_BLOCK_ENTRIES {
-            let next = block.next_or_extend();
-            s.block = next;
-            s.pos = 0;
-            // SAFETY: `next_or_extend` returns a valid block in the same
-            // chain, protected by the same lifetime argument.
-            block = unsafe { &*next };
-        }
-        let (committed, first) = block.commit_at(s.pos, val);
-        s.pos += 1;
-        c.set(s);
-        (committed, first)
-    })
+    let block = tc.log_block.get() as *const LogBlock;
+    if block.is_null() {
+        return (val, true);
+    }
+    // SAFETY: `log_block` points to the running descriptor's log, which is
+    // kept alive for at least as long as any thread can be running the
+    // thunk (epoch-protected or owner-held).
+    let mut block_ref = unsafe { &*block };
+    let mut pos = tc.log_pos.get();
+    if pos == LOG_BLOCK_ENTRIES {
+        let next = block_ref.next_or_extend();
+        tc.log_block.set(next as *const ());
+        pos = 0;
+        // SAFETY: `next_or_extend` returns a valid block in the same
+        // chain, protected by the same lifetime argument.
+        block_ref = unsafe { &*next };
+    }
+    let (committed, first) = block_ref.commit_at(pos, val);
+    tc.log_pos.set(pos + 1);
+    (committed, first)
 }
 
 /// Run descriptor `d`'s thunk under its log (paper Algorithm 2, `run`).
@@ -91,26 +76,35 @@ pub fn commit_raw(val: u64) -> (u64, bool) {
 /// `d` must point to a live, initialized descriptor whose thunk and log stay
 /// valid for the duration of the call (owner-held, or epoch-protected after
 /// the helping protocol's revalidation). `out` must be null or point at an
-/// uninitialized slot of the thunk's exact return type.
-pub(crate) unsafe fn run(d: *const Descriptor, out: *mut u8) {
-    struct Restore(CtxState);
-    impl Drop for Restore {
+/// uninitialized slot of the thunk's exact return type. `tc` must be the
+/// calling thread's context.
+pub(crate) unsafe fn run_in(tc: &ThreadCtx, d: *const Descriptor, out: *mut u8) {
+    struct Restore<'a> {
+        tc: &'a ThreadCtx,
+        block: *const (),
+        pos: usize,
+        descr: *const (),
+    }
+    impl Drop for Restore<'_> {
         fn drop(&mut self) {
-            CTX.with(|c| c.set(self.0));
+            self.tc.log_block.set(self.block);
+            self.tc.log_pos.set(self.pos);
+            self.tc.descriptor.set(self.descr);
         }
     }
 
-    let saved = CTX.with(|c| c.get());
-    let _restore = Restore(saved);
+    let _restore = Restore {
+        tc,
+        block: tc.log_block.get(),
+        pos: tc.log_pos.get(),
+        descr: tc.descriptor.get(),
+    };
     // SAFETY: caller guarantees `d` is live and initialized.
     let dref = unsafe { &*d };
-    CTX.with(|c| {
-        c.set(CtxState {
-            block: dref.first_block() as *const LogBlock,
-            pos: 0,
-            descr: d,
-        })
-    });
+    tc.log_block
+        .set(dref.first_block() as *const LogBlock as *const ());
+    tc.log_pos.set(0);
+    tc.descriptor.set(d as *const ());
     // SAFETY: `out` per forwarded contract.
     unsafe { dref.call_thunk(out) }
 }
@@ -129,6 +123,6 @@ mod tests {
 
     #[test]
     fn top_level_has_no_descriptor() {
-        assert!(current_descriptor().is_null());
+        thread_ctx::with(|tc| assert!(tc.descriptor.get().is_null()));
     }
 }

@@ -196,25 +196,79 @@ impl Descriptor {
     }
 
     pub(crate) fn is_done(&self) -> bool {
-        self.done.load(Ordering::SeqCst)
+        // Ordering: Acquire. Callers on the lock paths get the store–load
+        // ordering this check needs from a preceding lock-word load that
+        // read past the completing helper's release CAM (the try_lock fast
+        // path); a stale `false` elsewhere only causes a redundant,
+        // idempotent replay. Acquire (not Relaxed) so that a `true` also
+        // carries the completed run's log writes for the replay read-back.
+        // The announcement protocol uses `is_done_announced` instead.
+        self.done.load(Ordering::Acquire)
+    }
+
+    /// The done-check of the announce-then-revalidate protocol
+    /// (`Mutable::store`'s ABA defense).
+    ///
+    /// Ordering: on TSO this load is `SeqCst` — it is the announcer's side
+    /// of a Dekker pair whose barrier is the `SeqCst` announcement swap
+    /// (see `flock_sync::announce`, "Memory ordering"), and a `SeqCst`
+    /// load is a plain `mov` there. On weakly-ordered targets Acquire
+    /// suffices: the `SeqCst` fence inside `announce` is the barrier.
+    pub(crate) fn is_done_announced(&self) -> bool {
+        const ORDER: Ordering = if cfg!(target_arch = "x86_64") {
+            Ordering::SeqCst
+        } else {
+            Ordering::Acquire
+        };
+        self.done.load(ORDER)
     }
 
     pub(crate) fn set_done(&self) {
         // Update-once location: a plain store is idempotent (paper §6,
         // "Constants and Update-once Locations").
-        self.done.store(true, Ordering::SeqCst);
+        //
+        // Ordering: on TSO, SeqCst — the flag participates in the
+        // SC-total-order argument of the announcement protocol (a scanner
+        // that misses an announcement must have its lock acquisition, and
+        // therefore this earlier flag write, SC-ordered before the
+        // announcer's done-read; see `flock_sync::announce`). On
+        // weakly-ordered targets Release suffices: there the announcer is
+        // anchored by announce's SeqCst fence, and the flag reaches the
+        // scanner through the release unlock CAM it already follows. Both
+        // choices keep the thunk's effects ordered before the flag. (The
+        // seed used SeqCst store + a separate announce fence — one more
+        // full barrier per in-thunk store than this split pays.)
+        const ORDER: Ordering = if cfg!(target_arch = "x86_64") {
+            Ordering::SeqCst
+        } else {
+            Ordering::Release
+        };
+        self.done.store(true, ORDER);
     }
 
     pub(crate) fn was_helped(&self) -> bool {
+        // Ordering: SeqCst — the read side of the Dekker pair with the
+        // unlock CAM: the owner unlocks (SeqCst RMW), then reads `helped`;
+        // a helper marks `helped`, fences (epoch adoption), then reads the
+        // lock word. SeqCst on both flag accesses keeps the "owner misses
+        // the mark AND helper misses the unlock" interleaving impossible.
+        // This is the reuse-decision path, once per completed op — not
+        // worth weakening.
         self.helped.load(Ordering::SeqCst)
     }
 
     pub(crate) fn mark_helped(&self) {
+        // Ordering: SeqCst — write side of the Dekker pair, see
+        // `was_helped`. Help paths only run under contention.
         self.helped.store(true, Ordering::SeqCst);
     }
 
     pub(crate) fn birth_epoch(&self) -> u64 {
-        self.birth_epoch.load(Ordering::SeqCst)
+        // Ordering: Relaxed. The epoch is written before the descriptor is
+        // published (install CAS / log commit, both release writes) and
+        // read only by threads that acquired the descriptor pointer from
+        // one of those locations, so it is covered by that happens-before.
+        self.birth_epoch.load(Ordering::Relaxed)
     }
 
     #[allow(dead_code)] // diagnostic accessor, used by tests
@@ -296,7 +350,10 @@ where
     d.done.store(false, Ordering::Relaxed);
     d.helped.store(false, Ordering::Relaxed);
     d.thunk.set(f);
-    d.birth_epoch.store(birth_epoch, Ordering::SeqCst);
+    // Ordering: Relaxed — pre-publication write, ordered by the install
+    // CAS / log commit that later publishes the descriptor (see
+    // `birth_epoch`).
+    d.birth_epoch.store(birth_epoch, Ordering::Relaxed);
     d.nested = nested;
     let raw = Box::into_raw(d);
     flock_epoch::debug_track_alloc(raw);

@@ -30,7 +30,7 @@ fn locked_lf() -> std::sync::MutexGuard<'static, ()> {
 unsafe fn run_bool(d: *const crate::descriptor::Descriptor) -> bool {
     let mut out = std::mem::MaybeUninit::<bool>::uninit();
     // SAFETY: forwarded contract; out slot matches the thunk's return type.
-    unsafe { ctx::run(d, out.as_mut_ptr().cast()) };
+    flock_sync::thread_ctx::with(|tc| unsafe { ctx::run_in(tc, d, out.as_mut_ptr().cast()) });
     // SAFETY: run wrote the slot.
     unsafe { out.assume_init() }
 }

@@ -11,6 +11,8 @@
 //!
 //! Outside a thunk, these degrade to plain allocate / epoch-retire.
 
+use flock_sync::ThreadCtx;
+
 use crate::ctx;
 use crate::descriptor::{self, Descriptor};
 
@@ -56,6 +58,7 @@ pub unsafe fn retire<T>(ptr: *mut T) {
 /// runners allocate, one pointer wins via the log, losers recycle their
 /// private copy.
 pub(crate) fn create_descriptor_idempotent<R, F>(
+    tc: &ThreadCtx,
     thunk: F,
     guard: &flock_epoch::EpochGuard,
 ) -> *mut Descriptor
@@ -63,9 +66,9 @@ where
     R: Send + 'static,
     F: Fn() -> R + Send + Sync + 'static,
 {
-    debug_assert!(ctx::in_thunk());
+    debug_assert!(tc.in_thunk());
     let fresh = descriptor::create_descriptor(thunk, guard.epoch(), true);
-    let (committed, first) = ctx::commit_raw(fresh as u64);
+    let (committed, first) = ctx::commit_raw_in(tc, fresh as u64);
     if !first && committed != fresh as u64 {
         // SAFETY: `fresh` lost the race and was never published anywhere.
         unsafe { descriptor::recycle_unshared(fresh) };
@@ -76,8 +79,8 @@ where
 /// Idempotently retire a nested descriptor: the first run performs the epoch
 /// retire; flags stay sticky until the memory is actually reclaimed, which
 /// keeps raw `done` reads divergence-free for late replayers.
-pub(crate) fn retire_descriptor_idempotent(d: *const Descriptor) {
-    let (_, first) = ctx::commit_raw(RETIRE_MARKER);
+pub(crate) fn retire_descriptor_idempotent(tc: &ThreadCtx, d: *const Descriptor) {
+    let (_, first) = ctx::commit_raw_in(tc, RETIRE_MARKER);
     if first {
         // SAFETY: `d` came from `create_descriptor_idempotent`, the lock
         // word no longer references it, and callers hold an epoch guard.

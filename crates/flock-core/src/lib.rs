@@ -69,7 +69,7 @@ pub use mutable::{Mutable, UpdateOnce, commit_value};
 
 // Re-export the reclamation entry points so data-structure code needs only
 // this crate.
-pub use flock_epoch::{EpochGuard, pin};
+pub use flock_epoch::{EpochGuard, pin, pin_with};
 
 /// A `Copy + Send + Sync` wrapper for raw pointers captured by thunks.
 ///

@@ -23,8 +23,8 @@
 
 use std::sync::atomic::{AtomicU8, Ordering};
 
-use flock_sync::Backoff;
 use flock_sync::pack::{PackedValue, next_tag, pack, unpack_tag, unpack_val};
+use flock_sync::{Backoff, ThreadCtx, thread_ctx};
 
 use crate::ctx;
 use crate::descriptor::{self, Descriptor};
@@ -219,43 +219,47 @@ impl Lock {
                     backoff.spin();
                 }
             }
-            LockMode::LockFree => {
+            LockMode::LockFree => thread_ctx::with(|tc| {
                 // Create the descriptor once, then loop attempting to
                 // install it, helping whoever is in the way.
-                let guard = flock_epoch::pin();
-                let nested = ctx::in_thunk();
+                let guard = flock_epoch::pin_with(tc);
+                let nested = tc.in_thunk();
                 let d = if nested {
-                    idemp::create_descriptor_idempotent(thunk, &guard)
+                    idemp::create_descriptor_idempotent(tc, thunk, &guard)
                 } else {
                     descriptor::create_descriptor(thunk, guard.epoch(), false)
                 };
                 let mine = LockWord::locked(d);
                 let mut backoff = Backoff::new();
                 loop {
-                    let cur = self.word.load();
+                    let cur = self.word.load_in(tc);
                     if !cur.is_locked() {
-                        self.word.cam(cur, mine);
-                        let cur2 = self.word.load();
+                        self.word.cam_in(tc, cur, mine);
+                        let cur2 = self.word.load_in(tc);
                         // SAFETY: `d` is ours (or the committed nested
-                        // descriptor), live until disposed below.
+                        // descriptor), live until disposed below. The done
+                        // read is ordered after the cur2 load: if a helper
+                        // finished and unlocked us, cur2 read a value past
+                        // its release CAM, so the helper's set_done is
+                        // visible here (see lock_free_try_lock).
                         let done = unsafe { (*d).is_done() };
                         if done || cur2 == mine {
-                            let result = self.run_and_unlock_self::<R>(d, mine);
+                            let result = self.run_and_unlock_self::<R>(tc, d, mine);
                             // SAFETY: lock word no longer references `d`
                             // (unlock CAMs it to null); pinned; `d` was
                             // created from a thunk returning `R`.
-                            unsafe { self.dispose_after_run(d, nested) };
+                            unsafe { self.dispose_after_run(tc, d, nested) };
                             return result;
                         }
                         if cur2.is_locked() {
-                            self.help(cur2, &guard);
+                            self.help(tc, cur2, &guard);
                         }
                     } else {
-                        self.help(cur, &guard);
+                        self.help(tc, cur, &guard);
                     }
                     backoff.spin();
                 }
-            }
+            }),
         }
     }
 
@@ -267,12 +271,12 @@ impl Lock {
     pub fn unlock_early(&self) {
         match lock_mode() {
             LockMode::Blocking => self.blocking_release(),
-            LockMode::LockFree => {
-                let cur = self.word.load();
+            LockMode::LockFree => thread_ctx::with(|tc| {
+                let cur = self.word.load_in(tc);
                 if cur.is_locked() {
-                    self.word.cam(cur, LockWord::UNLOCKED_EMPTY);
+                    self.word.cam_in(tc, cur, LockWord::UNLOCKED_EMPTY);
                 }
-            }
+            }),
         }
     }
 
@@ -283,55 +287,68 @@ impl Lock {
         R: Send + 'static,
         F: Fn() -> R + Send + Sync + 'static,
     {
-        let guard = flock_epoch::pin();
-        let nested = ctx::in_thunk();
+        // The whole operation — pin, nested check, loads, commits, announce
+        // — works off one thread-context fetch; this `with` is the only TLS
+        // access on the uncontended path (the descriptor pool aside).
+        thread_ctx::with(|tc| {
+            let guard = flock_epoch::pin_with(tc);
+            let nested = tc.in_thunk();
 
-        // Line 14: read the lock (idempotently when nested).
-        let cur = self.word.load();
-        if cur.is_locked() {
-            // Line 26 of the paper (locked on first read): help and fail.
-            self.help(cur, &guard);
-            return None;
-        }
-
-        // Lines 16-18: make a descriptor and try to install it.
-        let d = if nested {
-            idemp::create_descriptor_idempotent(thunk, &guard)
-        } else {
-            descriptor::create_descriptor(thunk, guard.epoch(), false)
-        };
-        let mine = LockWord::locked(d);
-        self.word.cam(cur, mine);
-
-        // Line 19: did we get in?
-        let cur2 = self.word.load();
-        // SAFETY: `d` is live: top-level descriptors are owner-held until
-        // disposed; nested ones are epoch-protected after commit.
-        let done = unsafe { (*d).is_done() };
-        if done || cur2 == mine {
-            // Line 22: run self. If we were helped to completion, this is a
-            // replay: the log makes it recompute the identical result
-            // without re-applying effects.
-            let result = self.run_and_unlock_self::<R>(d, mine);
-            // SAFETY: unlock removed the lock word's reference; pinned.
-            unsafe { self.dispose_after_run(d, nested) };
-            Some(result)
-        } else {
-            // Lines 23-26: someone else is (or was) in; help if locked.
-            if cur2.is_locked() {
-                self.help(cur2, &guard);
+            // Line 14: read the lock (idempotently when nested).
+            let cur = self.word.load_in(tc);
+            if cur.is_locked() {
+                // Line 26 of the paper (locked on first read): help and fail.
+                self.help(tc, cur, &guard);
+                return None;
             }
-            // Our descriptor never ran. Top level: it was never published,
-            // recycle it directly. Nested: its pointer is in the outer log,
-            // so it must go through the idempotent retire.
-            if nested {
-                idemp::retire_descriptor_idempotent(d);
+
+            // Lines 16-18: make a descriptor and try to install it.
+            let d = if nested {
+                idemp::create_descriptor_idempotent(tc, thunk, &guard)
             } else {
-                // SAFETY: never published (install CAM failed).
-                unsafe { descriptor::recycle_unshared(d) };
+                descriptor::create_descriptor(thunk, guard.epoch(), false)
+            };
+            let mine = LockWord::locked(d);
+            self.word.cam_in(tc, cur, mine);
+
+            // Line 19: did we get in?
+            let cur2 = self.word.load_in(tc);
+            // SAFETY: `d` is live: top-level descriptors are owner-held until
+            // disposed; nested ones are epoch-protected after commit.
+            //
+            // Ordering of the done read (Relaxed-class, see Descriptor):
+            // it is sequenced after the cur2 load. If a helper completed us
+            // and released the lock, cur2 observed a word at or past the
+            // helper's release CAM, so everything sequenced before that CAM
+            // — including its set_done — is visible here. If the helper has
+            // not released yet, cur2 == mine and we run regardless of done.
+            let done = unsafe { (*d).is_done() };
+            if done || cur2 == mine {
+                // Line 22: run self. If we were helped to completion, this
+                // is a replay: the log makes it recompute the identical
+                // result without re-applying effects.
+                let result = self.run_and_unlock_self::<R>(tc, d, mine);
+                // SAFETY: unlock removed the lock word's reference; pinned.
+                unsafe { self.dispose_after_run(tc, d, nested) };
+                Some(result)
+            } else {
+                // Lines 23-26: someone else is (or was) in; help if locked.
+                if cur2.is_locked() {
+                    self.help(tc, cur2, &guard);
+                }
+                // Our descriptor never ran. Top level: it was never
+                // published, recycle it directly. Nested: its pointer is in
+                // the outer log, so it must go through the idempotent
+                // retire.
+                if nested {
+                    idemp::retire_descriptor_idempotent(tc, d);
+                } else {
+                    // SAFETY: never published (install CAM failed).
+                    unsafe { descriptor::recycle_unshared(d) };
+                }
+                None
             }
-            None
-        }
+        })
     }
 
     /// Run our own installed (or already completed) descriptor and release
@@ -339,24 +356,30 @@ impl Lock {
     ///
     /// Callers guarantee `d` was created from a thunk returning `R`; the run
     /// writes the (replay-deterministic) result into a local slot.
-    fn run_and_unlock_self<R: Send + 'static>(&self, d: *const Descriptor, mine: LockWord) -> R {
+    fn run_and_unlock_self<R: Send + 'static>(
+        &self,
+        tc: &ThreadCtx,
+        d: *const Descriptor,
+        mine: LockWord,
+    ) -> R {
         let mut out = std::mem::MaybeUninit::<R>::uninit();
         // SAFETY: `d` live (see callers); running a thunk is idempotent;
         // `out` is an uninitialized slot of the thunk's return type.
-        unsafe { ctx::run(d, out.as_mut_ptr().cast()) };
+        unsafe { ctx::run_in(tc, d, out.as_mut_ptr().cast()) };
         // SAFETY: as above.
         unsafe { (*d).set_done() };
         // Unlock by clearing the descriptor pointer so the descriptor
         // becomes unreachable from the lock word (enables safe reuse).
-        self.word.cam(mine, LockWord::UNLOCKED_EMPTY);
-        // SAFETY: `ctx::run` returned without unwinding, so it wrote `out`.
+        self.word.cam_in(tc, mine, LockWord::UNLOCKED_EMPTY);
+        // SAFETY: `ctx::run_in` returned without unwinding, so it wrote
+        // `out`.
         unsafe { out.assume_init() }
     }
 
     /// Help the descriptor installed on this lock (observed as `cur`):
     /// mark helped → adopt epoch → revalidate → run; then always replay the
     /// unlock CAM so nested replayers stay log-position-synchronized.
-    fn help(&self, cur: LockWord, guard: &flock_epoch::EpochGuard) {
+    fn help(&self, tc: &ThreadCtx, cur: LockWord, guard: &flock_epoch::EpochGuard) {
         debug_assert!(cur.is_locked());
         if !helping_enabled() {
             return; // ablation mode: no helping, busy locks just fail
@@ -375,27 +398,33 @@ impl Lock {
         // provably unreachable — which the protocol below excludes).
         unsafe { (*d).mark_helped() };
         // Adopt the helped thunk's epoch (paper §6) — publishes with a
-        // SeqCst fence before the revalidation read below.
+        // SeqCst fence before the revalidation read below. That fence also
+        // anchors the mark_helped/unlock-CAM Dekker pair: the mark is
+        // sequenced before it, the owner's reuse check is sequenced after
+        // its own SeqCst unlock CAM.
         // SAFETY: as above.
         let _adopt = guard.adopt(unsafe { (*d).birth_epoch() });
         // Revalidate: only run while the descriptor is still installed. The
         // mark_helped above happened before this read, so the owner cannot
         // have recycled the descriptor if the read still sees it installed.
+        // (Acquire read; ordered by the adopt fence just issued.)
         let raw = self.word.raw_packed();
         if LockWord::from_bits(unpack_val(raw)) == cur {
             // SAFETY: revalidated + epoch-adopted: `d` is live and its
             // owner will observe `helped` before any reuse decision. The
             // null out-slot discards the helper's copy of the result.
+            // A stale-false done read only causes a redundant (idempotent)
+            // replay.
             unsafe {
                 if !(*d).is_done() {
-                    ctx::run(d, std::ptr::null_mut());
+                    ctx::run_in(tc, d, std::ptr::null_mut());
                     (*d).set_done();
                 }
             }
         }
         // Idempotent unlock attempt — executed unconditionally so that every
         // runner of an enclosing thunk commits the same two log entries.
-        self.word.cam(cur, LockWord::UNLOCKED_EMPTY);
+        self.word.cam_in(tc, cur, LockWord::UNLOCKED_EMPTY);
     }
 
     /// Dispose of our descriptor after a completed self-run.
@@ -403,9 +432,11 @@ impl Lock {
     /// # Safety
     ///
     /// The lock word must no longer reference `d`; the thread must be pinned.
-    unsafe fn dispose_after_run(&self, d: *const Descriptor, nested: bool) {
+    unsafe fn dispose_after_run(&self, tc: &ThreadCtx, d: *const Descriptor, nested: bool) {
         if nested {
-            idemp::retire_descriptor_idempotent(d);
+            // Back in the *outer* thunk's context (run_in restored it): the
+            // retire marker is committed to the enclosing log.
+            idemp::retire_descriptor_idempotent(tc, d);
         } else {
             // SAFETY: owner-only, unreferenced, pinned — forwarded contract.
             unsafe { descriptor::dispose_top_level(d as *mut Descriptor) };

@@ -122,6 +122,51 @@ impl<T: Send + Sync + 'static> Locked<T> {
         let data = Arc::clone(&self.data);
         self.lock.lock(move || f(&data))
     }
+
+    /// Try to lock **two** cells and run `f` over both protected values.
+    ///
+    /// The locks are always acquired in address order (the "simply nested"
+    /// discipline the paper's lock-freedom theorem requires), regardless of
+    /// argument order, so any set of `try_with2` callers is deadlock-free
+    /// without callers choosing an order themselves; `f` still receives the
+    /// data in the order the *arguments* were passed. Returns `None` when
+    /// either lock was busy (after helping the holder in lock-free mode),
+    /// `Some(r)` once `f` ran under both locks.
+    ///
+    /// The cells are taken as `&Arc<Self>` because the second acquisition
+    /// happens inside the first critical section, which may outlive this
+    /// call in lock-free mode (helpers can replay it) — the thunk keeps its
+    /// own handles alive.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a` and `b` are the same cell.
+    pub fn try_with2<R, F>(a: &Arc<Self>, b: &Arc<Self>, f: F) -> Option<R>
+    where
+        R: Send + 'static,
+        F: Fn(&T, &T) -> R + Send + Sync + 'static,
+    {
+        assert!(
+            !Arc::ptr_eq(a, b),
+            "Locked::try_with2 requires two distinct cells"
+        );
+        let (first, second) = if Arc::as_ptr(a) < Arc::as_ptr(b) {
+            (a, b)
+        } else {
+            (b, a)
+        };
+        let f = Arc::new(f);
+        let (ad, bd) = (Arc::clone(&a.data), Arc::clone(&b.data));
+        let second = Arc::clone(second);
+        first
+            .lock
+            .try_lock(move || {
+                let f = Arc::clone(&f);
+                let (ad, bd) = (Arc::clone(&ad), Arc::clone(&bd));
+                second.lock.try_lock(move || f(&ad, &bd))
+            })
+            .flatten()
+    }
 }
 
 /// Unlocked read access to the protected data.
@@ -234,6 +279,85 @@ mod tests {
             assert_eq!(b.bal.load(), 30);
             assert_eq!(a.bal.load() + b.bal.load(), 100, "money conserved");
         });
+    }
+
+    #[test]
+    fn try_with2_transfers_atomically() {
+        both_modes(|| {
+            let a = Arc::new(Locked::new(Mutable::new(100u32)));
+            let b = Arc::new(Locked::new(Mutable::new(0u32)));
+            // Argument order, not address order, decides which &T is which.
+            let moved = Locked::try_with2(&a, &b, |src, dst| {
+                let bal = src.load();
+                if bal < 30 {
+                    return false;
+                }
+                src.store(bal - 30);
+                dst.store(dst.load() + 30);
+                true
+            });
+            assert_eq!(moved, Some(true));
+            assert_eq!(a.load(), 70);
+            assert_eq!(b.load(), 30);
+            // Swapped argument order still works (locks reorder internally).
+            let back = Locked::try_with2(&b, &a, |src, dst| {
+                let bal = src.load();
+                src.store(bal - 30);
+                dst.store(dst.load() + 30);
+                true
+            });
+            assert_eq!(back, Some(true));
+            assert_eq!(a.load(), 100);
+            assert_eq!(b.load(), 0);
+        });
+    }
+
+    #[test]
+    fn try_with2_concurrent_conserves_total() {
+        both_modes(|| {
+            const CELLS: usize = 8;
+            const INITIAL: u64 = 1_000;
+            let cells: Vec<Arc<Locked<Mutable<u64>>>> = (0..CELLS)
+                .map(|_| Arc::new(Locked::new(Mutable::new(INITIAL))))
+                .collect();
+            std::thread::scope(|s| {
+                for t in 0..4u64 {
+                    let cells = &cells;
+                    s.spawn(move || {
+                        let mut state = t * 31 + 7;
+                        for _ in 0..2_000 {
+                            state ^= state << 13;
+                            state ^= state >> 7;
+                            state ^= state << 17;
+                            let i = (state as usize) % CELLS;
+                            let j = ((state >> 8) as usize) % CELLS;
+                            if i == j {
+                                continue;
+                            }
+                            let _ = Locked::try_with2(&cells[i], &cells[j], |a, b| {
+                                let av = a.load();
+                                if av == 0 {
+                                    return false;
+                                }
+                                a.store(av - 1);
+                                b.store(b.load() + 1);
+                                true
+                            });
+                        }
+                    });
+                }
+            });
+            let total: u64 = cells.iter().map(|c| c.load()).sum();
+            assert_eq!(total, CELLS as u64 * INITIAL, "money conserved");
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct cells")]
+    fn try_with2_rejects_same_cell() {
+        let a = Arc::new(Locked::new(Mutable::new(0u32)));
+        let b = Arc::clone(&a);
+        let _ = Locked::try_with2(&a, &b, |_, _| ());
     }
 
     #[test]

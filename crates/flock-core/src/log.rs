@@ -42,15 +42,23 @@ impl LogBlock {
     /// Uses compare-and-compare-and-swap: under helping most commits lose, so
     /// the read-first check avoids the bus traffic of a doomed CAS (§6
     /// "Avoiding CASes").
+    /// Ordering: log entries are write-once *agreement* cells, not part of
+    /// any cross-location total-order argument — but the committed value is
+    /// often a pointer (an idempotent allocation, a nested descriptor)
+    /// whose pointee the adopting loser dereferences, so Acquire/Release
+    /// edges are required: Release on the winning CAS publishes the
+    /// pointee's initialization, Acquire on the pre-read and the failure
+    /// path lets every adopter see it. `SeqCst` buys nothing here and costs
+    /// a fence per commit on weakly-ordered targets.
     #[inline]
     pub fn commit_at(&self, idx: usize, val: u64) -> (u64, bool) {
         debug_assert!(val != EMPTY, "EMPTY is reserved as the log sentinel");
         let entry = &self.entries[idx];
-        let cur = entry.load(Ordering::SeqCst);
+        let cur = entry.load(Ordering::Acquire);
         if cur != EMPTY {
             return (cur, false);
         }
-        match entry.compare_exchange(EMPTY, val, Ordering::SeqCst, Ordering::SeqCst) {
+        match entry.compare_exchange(EMPTY, val, Ordering::AcqRel, Ordering::Acquire) {
             Ok(_) => (val, true),
             Err(winner) => (winner, false),
         }
@@ -60,7 +68,9 @@ impl LogBlock {
     #[allow(dead_code)]
     #[inline]
     pub fn read_at(&self, idx: usize) -> u64 {
-        self.entries[idx].load(Ordering::SeqCst)
+        // Ordering: Acquire — committed pointers may be dereferenced (see
+        // commit_at).
+        self.entries[idx].load(Ordering::Acquire)
     }
 
     /// The block following this one, allocating it idempotently if absent.
@@ -69,7 +79,9 @@ impl LogBlock {
     /// and CASes it into `next`; losers free their block and adopt the winner
     /// (paper §6, "Arbitrary Length Logs").
     pub fn next_or_extend(&self) -> *const LogBlock {
-        let cur = self.next.load(Ordering::SeqCst);
+        // Ordering: Acquire/Release pointer publication, same reasoning as
+        // commit_at — the block behind the pointer is dereferenced.
+        let cur = self.next.load(Ordering::Acquire);
         if !cur.is_null() {
             return cur;
         }
@@ -77,8 +89,8 @@ impl LogBlock {
         match self.next.compare_exchange(
             std::ptr::null_mut(),
             fresh,
-            Ordering::SeqCst,
-            Ordering::SeqCst,
+            Ordering::AcqRel,
+            Ordering::Acquire,
         ) {
             Ok(_) => fresh,
             Err(winner) => {
@@ -97,14 +109,17 @@ impl LogBlock {
     /// (either the descriptor was never shared, or a reclamation grace period
     /// has passed).
     pub unsafe fn free_extensions(&self) {
-        let mut p = self.next.swap(std::ptr::null_mut(), Ordering::SeqCst);
+        // Ordering: Acquire swaps — exclusive access per the caller
+        // contract, but the chain pointers were published by other threads'
+        // release CASes, so acquire them before dereferencing.
+        let mut p = self.next.swap(std::ptr::null_mut(), Ordering::Acquire);
         while !p.is_null() {
             // Detach the tail before dropping: LogBlock's Drop would
             // otherwise free the rest of the chain while this loop still
             // walks it.
             // SAFETY: blocks come from Box::into_raw in next_or_extend and
             // the chain is exclusively ours per the caller contract.
-            let next = unsafe { (*p).next.swap(std::ptr::null_mut(), Ordering::SeqCst) };
+            let next = unsafe { (*p).next.swap(std::ptr::null_mut(), Ordering::Acquire) };
             // SAFETY: as above; freed exactly once.
             drop(unsafe { Box::from_raw(p) });
             p = next;
@@ -120,7 +135,10 @@ impl LogBlock {
         // SAFETY: forwarded contract.
         unsafe { self.free_extensions() };
         for e in &self.entries {
-            e.store(EMPTY, Ordering::SeqCst);
+            // Ordering: Relaxed — exclusive access per contract; the next
+            // publication of this block (descriptor install CAS) carries
+            // the ordering.
+            e.store(EMPTY, Ordering::Relaxed);
         }
     }
 }

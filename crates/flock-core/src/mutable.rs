@@ -22,6 +22,10 @@
 //!   nothing: returning the CAS outcome would externalize a value that can
 //!   differ between runs.
 //!
+//! Each public operation fetches the thread context **once** and threads it
+//! through the log commit, tag scan and announcement — the `*_in` methods
+//! are the reference-taking forms the lock hot path calls directly.
+//!
 //! `UpdateOnce<V>` covers the paper's *update-once* locations (§6): written
 //! at most once after initialization, hence naturally ABA-free — loads log,
 //! stores are plain writes.
@@ -32,9 +36,10 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use flock_sync::announce;
 use flock_sync::pack::{PackedValue, next_tag, pack, unpack_tag, unpack_val};
 use flock_sync::tagged::TaggedAtomicU64;
-use flock_sync::tid;
+use flock_sync::{ThreadCtx, thread_ctx};
 
-use crate::ctx;
+use crate::ctx::commit_raw_in;
+use crate::descriptor::Descriptor;
 
 /// A shared mutable location with idempotent operations.
 ///
@@ -68,9 +73,15 @@ impl<V: PackedValue> Mutable<V> {
 
     /// Raw packed word, bypassing the log. Used by the lock machinery for
     /// helper revalidation; not part of the public idempotent API.
+    ///
+    /// Ordering: Acquire. The helping protocol issues a `SeqCst` fence
+    /// (epoch adoption) before this revalidation read, which anchors the
+    /// required total-order reasoning; Acquire on the load itself is what
+    /// makes the descriptor the word points to dereferenceable (its
+    /// publication CAS is `SeqCst`, hence a release store).
     #[inline(always)]
     pub(crate) fn raw_packed(&self) -> u64 {
-        self.cell.load_packed(Ordering::SeqCst)
+        self.cell.load_packed(Ordering::Acquire)
     }
 
     /// Direct access to the underlying tagged cell, for the blocking-mode
@@ -87,16 +98,24 @@ impl<V: PackedValue> Mutable<V> {
     /// atomic read.
     #[inline]
     pub fn load(&self) -> V {
-        let w = self.cell.load_packed(Ordering::SeqCst);
-        let (committed, _) = ctx::commit_raw(w);
-        V::from_bits(unpack_val(committed))
+        thread_ctx::with(|tc| self.load_in(tc))
+    }
+
+    /// [`Mutable::load`] against an already-fetched thread context.
+    #[inline]
+    pub(crate) fn load_in(&self, tc: &ThreadCtx) -> V {
+        V::from_bits(unpack_val(self.load_packed_committed_in(tc)))
     }
 
     /// Idempotent load returning the full packed word (tag + payload).
     #[inline]
-    fn load_packed_committed(&self) -> u64 {
+    fn load_packed_committed_in(&self, tc: &ThreadCtx) -> u64 {
+        // Ordering: SeqCst — loads are the read linearization points of the
+        // optimistic data-structure traversals built on this cell, and the
+        // lock algorithm's "read the lock word" steps; on x86-TSO a SeqCst
+        // load is a plain mov, so there is nothing to shave here anyway.
         let w = self.cell.load_packed(Ordering::SeqCst);
-        let (committed, _) = ctx::commit_raw(w);
+        let (committed, _) = commit_raw_in(tc, w);
         committed
     }
 
@@ -107,27 +126,35 @@ impl<V: PackedValue> Mutable<V> {
     /// loads are fine.
     #[inline]
     pub fn store(&self, new: V) {
-        let old = self.load_packed_committed();
-        self.tagged_cas_after_load(old, new);
+        thread_ctx::with(|tc| {
+            let old = self.load_packed_committed_in(tc);
+            self.tagged_cas_after_load_in(tc, old, new);
+        })
     }
 
     /// Idempotent compare-and-modify: store `new` only if the current value
     /// equals `old`. Returns nothing by design (see module docs).
     #[inline]
     pub fn cam(&self, old: V, new: V) {
-        let committed_old = self.load_packed_committed();
+        thread_ctx::with(|tc| self.cam_in(tc, old, new))
+    }
+
+    /// [`Mutable::cam`] against an already-fetched thread context.
+    #[inline]
+    pub(crate) fn cam_in(&self, tc: &ThreadCtx, old: V, new: V) {
+        let committed_old = self.load_packed_committed_in(tc);
         if unpack_val(committed_old) != old.to_bits() {
             return;
         }
-        self.tagged_cas_after_load(committed_old, new);
+        self.tagged_cas_after_load_in(tc, committed_old, new);
     }
 
     /// Shared tail of `store`/`cam`: given the committed old packed word,
     /// agree on a new tag, run the announcement protocol, CAS once.
     #[inline]
-    fn tagged_cas_after_load(&self, committed_old: u64, new: V) {
+    fn tagged_cas_after_load_in(&self, tc: &ThreadCtx, committed_old: u64, new: V) {
         let old_tag = unpack_tag(committed_old);
-        if !ctx::in_thunk() {
+        if !tc.in_thunk() {
             // Top level (or blocking mode): no helpers, no replay. A single
             // tag-bumping CAS; a CAS loop would mask racing stores, which
             // the model forbids anyway, so one attempt keeps semantics
@@ -141,19 +168,22 @@ impl<V: PackedValue> Mutable<V> {
         // made while scanning announcements — wins; everyone uses it.
         let table = announce::global();
         let candidate = table.next_free_tag(self.addr(), next_tag(old_tag));
-        let (chosen, _) = ctx::commit_raw(candidate as u64);
+        let (chosen, _) = commit_raw_in(tc, candidate as u64);
         let new_word = pack(chosen as u16, new.to_bits());
 
         // Hazard-style announcement of the expected (location, tag) pair:
         // announce, fence (inside announce), then re-check that the thunk is
         // not finished. If it is finished every effect is already applied
         // and a stale CAS here could only do harm (tag reuse), so skip.
-        let me = tid::current();
+        let me = tc.tid();
         table.announce(me, self.addr(), old_tag);
-        let d = ctx::current_descriptor();
+        let d = tc.descriptor.get() as *const Descriptor;
         // SAFETY: we are inside this descriptor's run (ctx invariant), so it
         // is live: owner-held or epoch-protected by the helping protocol.
-        let done = unsafe { (*d).is_done() };
+        // The done read is the revalidation half of announce-then-
+        // revalidate; `announce` just issued the announcer-side barrier it
+        // pairs with (SeqCst swap on TSO, SeqCst fence elsewhere).
+        let done = unsafe { (*d).is_done_announced() };
         if !done {
             self.cell.ccas(committed_old, new_word);
         }
@@ -163,7 +193,7 @@ impl<V: PackedValue> Mutable<V> {
 
 impl<V: PackedValue + std::fmt::Debug> std::fmt::Debug for Mutable<V> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        let w = self.cell.load_packed(Ordering::SeqCst);
+        let w = self.cell.load_packed(Ordering::Acquire);
         f.debug_struct("Mutable")
             .field("value", &V::from_bits(unpack_val(w)))
             .field("tag", &unpack_tag(w))
@@ -199,8 +229,11 @@ impl<V: PackedValue> UpdateOnce<V> {
     /// Idempotent load (logged inside a thunk).
     #[inline]
     pub fn load(&self) -> V {
-        let w = self.cell.load(Ordering::SeqCst);
-        let (committed, _) = ctx::commit_raw(w | UPDATE_ONCE_PRESENT);
+        // Ordering: Acquire pairs with the Release store below — an
+        // update-once location is pure publication (all writers write the
+        // same value), so no total-order reasoning ever involves it.
+        let w = self.cell.load(Ordering::Acquire);
+        let (committed, _) = crate::ctx::commit_raw(w | UPDATE_ONCE_PRESENT);
         V::from_bits(committed & !UPDATE_ONCE_PRESENT)
     }
 
@@ -209,21 +242,39 @@ impl<V: PackedValue> UpdateOnce<V> {
     /// *update-once* means.
     #[inline]
     pub fn store(&self, v: V) {
-        self.cell.store(v.to_bits(), Ordering::SeqCst);
+        // Ordering: Release (see load). Idempotence, not ordering, is what
+        // makes concurrent equal stores safe.
+        self.cell.store(v.to_bits(), Ordering::Release);
     }
 }
 
 impl<V: PackedValue + std::fmt::Debug> std::fmt::Debug for UpdateOnce<V> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_tuple("UpdateOnce")
-            .field(&V::from_bits(self.cell.load(Ordering::SeqCst)))
+            .field(&V::from_bits(self.cell.load(Ordering::Acquire)))
             .finish()
     }
 }
 
-/// Bit 63 marker so a logged `UpdateOnce` word (48-bit payload) can never
+/// Bit 62 marker so a logged `UpdateOnce` word (48-bit payload) can never
 /// collide with the `EMPTY` log sentinel while staying distinguishable.
+/// (`EMPTY` is `u64::MAX`, i.e. *all* bits set — a marked payload has bits
+/// 48..62 clear, so the two can never be confused; bit 63 is deliberately
+/// left clear too.)
 const UPDATE_ONCE_PRESENT: u64 = 1 << 62;
+
+// The marker must live outside the 48-bit payload (or it would corrupt
+// values) and a marked word must be distinguishable from the log's EMPTY
+// sentinel (or a committed UpdateOnce load could read as "no entry").
+const _: () = assert!(
+    UPDATE_ONCE_PRESENT & flock_sync::VAL_MASK == 0,
+    "UPDATE_ONCE_PRESENT must be outside the 48-bit payload mask"
+);
+const _: () = assert!(
+    UPDATE_ONCE_PRESENT != crate::log::EMPTY
+        && (flock_sync::VAL_MASK | UPDATE_ONCE_PRESENT) != crate::log::EMPTY,
+    "a marked UpdateOnce word must never equal the EMPTY log sentinel"
+);
 
 /// Commit an arbitrary value to the current thunk log (paper: the public
 /// `commitValue`). Use it to make any non-deterministic choice — a random
@@ -232,7 +283,7 @@ const UPDATE_ONCE_PRESENT: u64 = 1 << 62;
 /// Outside a thunk the input value is returned unchanged.
 #[inline]
 pub fn commit_value<V: PackedValue>(v: V) -> V {
-    let (committed, _) = ctx::commit_raw(v.to_bits() | UPDATE_ONCE_PRESENT);
+    let (committed, _) = crate::ctx::commit_raw(v.to_bits() | UPDATE_ONCE_PRESENT);
     V::from_bits(committed & !UPDATE_ONCE_PRESENT)
 }
 
@@ -294,6 +345,17 @@ mod tests {
         assert_eq!(commit_value(1234u32), 1234);
         assert!(!commit_value(false));
         assert_eq!(commit_value(0u32), 0, "zero must survive the marker bit");
+    }
+
+    #[test]
+    fn marker_bit_is_outside_payload_and_not_empty() {
+        // Runtime mirror of the compile-time asserts, for visibility.
+        assert_eq!(UPDATE_ONCE_PRESENT, 1 << 62);
+        assert_eq!(UPDATE_ONCE_PRESENT & flock_sync::VAL_MASK, 0);
+        assert_ne!(
+            flock_sync::VAL_MASK | UPDATE_ONCE_PRESENT,
+            crate::log::EMPTY
+        );
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! The global collector: epoch counter, reservations, retire bags.
 
 use std::sync::Mutex;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering, fence};
 
 use flock_sync::{CachePadded, MAX_THREADS, tid};
 
@@ -54,35 +54,62 @@ pub(crate) fn reservation_of(tid: tid::ThreadId) -> &'static AtomicU64 {
 }
 
 /// Smallest active reservation, or the current global epoch if none.
+///
+/// ## Scan ordering
+///
+/// Reservation scans are bracketed by two fences instead of paying an
+/// ordered load per slot:
+///
+/// * A leading `SeqCst` fence pairs with the `SeqCst` fence every pin /
+///   adopt issues after publishing its reservation: whichever fence comes
+///   first in the `SeqCst` total order decides — either our relaxed loads
+///   must observe the published reservation, or the pinner's post-fence
+///   re-validation observes our epoch state (see `guard::pin_with`).
+/// * A trailing `Acquire` fence pairs with the `Release` stores that raise
+///   or clear reservations on unpin: once a relaxed load here has seen a
+///   thread leave an epoch, the fence makes that thread's preceding object
+///   accesses happen-before anything we free afterwards.
+///
+/// Scans cover only `tid::scan_bound()` slots — the live bound of the
+/// active-thread registry. A slot above the bound has no claimed thread; a
+/// thread claiming it concurrently raises the bound (`SeqCst`) before its
+/// pin fence, so the leading-fence case analysis covers the bound read too.
 fn min_active_reservation() -> u64 {
-    let hwm = tid::high_water_mark().min(MAX_THREADS);
-    let mut min = GLOBAL.epoch.load(Ordering::SeqCst);
-    for r in &GLOBAL.reservations[..hwm] {
-        let v = r.load(Ordering::SeqCst);
+    fence(Ordering::SeqCst);
+    let bound = tid::scan_bound().min(MAX_THREADS);
+    let mut min = GLOBAL.epoch.load(Ordering::Relaxed);
+    for r in &GLOBAL.reservations[..bound] {
+        let v = r.load(Ordering::Relaxed);
         if v != QUIESCENT && v < min {
             min = v;
         }
     }
+    fence(Ordering::Acquire);
     min
 }
 
 /// Advance the global epoch if every active reservation has caught up with it.
 ///
-/// Returns the (possibly advanced) global epoch.
+/// Returns the (possibly advanced) global epoch. Scan ordering: see
+/// [`min_active_reservation`].
 pub fn try_advance() -> u64 {
-    let e = GLOBAL.epoch.load(Ordering::SeqCst);
-    let hwm = tid::high_water_mark().min(MAX_THREADS);
-    for r in &GLOBAL.reservations[..hwm] {
-        let v = r.load(Ordering::SeqCst);
+    fence(Ordering::SeqCst);
+    let e = GLOBAL.epoch.load(Ordering::Relaxed);
+    let bound = tid::scan_bound().min(MAX_THREADS);
+    for r in &GLOBAL.reservations[..bound] {
+        let v = r.load(Ordering::Relaxed);
         if v != QUIESCENT && v < e {
             return e; // someone is still in an older epoch
         }
     }
-    // Single step; losing the race is fine (someone else advanced).
+    fence(Ordering::Acquire);
+    // Single step; losing the race is fine (someone else advanced). The
+    // SeqCst CAS keeps epoch advances in the total order the pin/adopt
+    // re-validation reads rely on.
     let _ = GLOBAL
         .epoch
         .compare_exchange(e, e + 1, Ordering::SeqCst, Ordering::SeqCst);
-    GLOBAL.epoch.load(Ordering::SeqCst)
+    GLOBAL.epoch.load(Ordering::Relaxed)
 }
 
 thread_local! {

@@ -1,24 +1,21 @@
 //! RAII epoch pinning and helper epoch adoption.
+//!
+//! The per-thread pin state (`pin_depth`, `ops_since_collect`) lives in
+//! [`flock_sync::ThreadCtx`] — the workspace-wide single thread-local — so
+//! a caller that already holds the context can pin with [`pin_with`]
+//! without another TLS access.
 
-use std::cell::Cell;
 use std::sync::atomic::{Ordering, fence};
 
-use flock_sync::tid;
+use flock_sync::{ThreadCtx, thread_ctx, tid};
 
 use crate::collector::{self, QUIESCENT};
-
-thread_local! {
-    /// Nesting depth of `pin()` on this thread.
-    static PIN_DEPTH: Cell<usize> = const { Cell::new(0) };
-    /// Operations completed since the last collection attempt.
-    static OPS_SINCE_COLLECT: Cell<usize> = const { Cell::new(0) };
-}
 
 /// Collect this thread's bag every N outermost unpins.
 const COLLECT_PERIOD: usize = 128;
 
 pub(crate) fn is_pinned() -> bool {
-    PIN_DEPTH.with(|d| d.get() > 0)
+    thread_ctx::with(|tc| tc.pin_depth.get() > 0)
 }
 
 /// RAII guard marking the calling thread as *inside an operation*.
@@ -26,29 +23,51 @@ pub(crate) fn is_pinned() -> bool {
 /// While any guard lives, objects that were reachable when the outermost
 /// guard was created will not be freed. Guards nest; only the outermost one
 /// publishes and clears the reservation.
+///
+/// `!Send`/`!Sync` (the raw-pointer marker): the guard owns a slice of the
+/// *creating* thread's state — its `ThreadCtx` pin depth and its
+/// reservation slot — so dropping it from another thread would decrement
+/// the wrong thread's pin depth and clear a reservation that still
+/// protects the first thread's accesses.
 #[derive(Debug)]
 pub struct EpochGuard {
     tid: tid::ThreadId,
     outermost: bool,
+    _not_send: std::marker::PhantomData<*mut ()>,
 }
 
 /// Pin the current thread: enter the current global epoch.
 pub fn pin() -> EpochGuard {
-    let me = tid::current();
-    let depth = PIN_DEPTH.with(|d| {
-        let v = d.get();
-        d.set(v + 1);
-        v
-    });
+    thread_ctx::with(pin_with)
+}
+
+/// [`pin`] for callers that already fetched the thread context (the lock
+/// hot path does exactly one TLS access per operation and passes the
+/// context down by reference).
+pub fn pin_with(tc: &ThreadCtx) -> EpochGuard {
+    let depth = tc.pin_depth.get();
+    tc.pin_depth.set(depth + 1);
+    let me = tc.tid();
     if depth == 0 {
         let res = collector::reservation_of(me);
         // Publish a reservation equal to the epoch we observe; re-read to
         // make sure the published value was current when published.
+        //
+        // Ordering: the store can be Relaxed because the SeqCst fence is
+        // the linearization point of pin publication — a collector scan
+        // whose own SeqCst fence follows ours must observe the reservation
+        // (store is sequenced before our fence), and a scan that precedes
+        // ours may miss it but then its epoch-advance CAS (SeqCst) is
+        // observed by the post-fence re-read below, which retries. Either
+        // way no advance can outrun a returned pin by more than the one
+        // epoch the two-epoch reclamation slack already budgets for.
         loop {
-            let e = collector::global_epoch().load(Ordering::SeqCst);
-            res.store(e, Ordering::SeqCst);
+            let e = collector::global_epoch().load(Ordering::Relaxed);
+            res.store(e, Ordering::Relaxed);
             fence(Ordering::SeqCst);
-            if collector::global_epoch().load(Ordering::SeqCst) == e {
+            // Post-fence re-read: sees every epoch-advance CAS that is
+            // SeqCst-ordered before our fence (C++20 fence rule).
+            if collector::global_epoch().load(Ordering::Relaxed) == e {
                 break;
             }
         }
@@ -56,6 +75,7 @@ pub fn pin() -> EpochGuard {
     EpochGuard {
         tid: me,
         outermost: depth == 0,
+        _not_send: std::marker::PhantomData,
     }
 }
 
@@ -64,7 +84,9 @@ pub fn pinned_epoch() -> Option<u64> {
     if !is_pinned() {
         return None;
     }
-    let v = collector::reservation_of(tid::current()).load(Ordering::SeqCst);
+    // Ordering: Relaxed — reading our own thread's reservation (coherence
+    // guarantees we see our own latest store).
+    let v = collector::reservation_of(tid::current()).load(Ordering::Relaxed);
     (v != QUIESCENT).then_some(v)
 }
 
@@ -72,7 +94,8 @@ impl EpochGuard {
     /// The epoch this thread has reserved.
     #[inline]
     pub fn epoch(&self) -> u64 {
-        collector::reservation_of(self.tid).load(Ordering::SeqCst)
+        // Ordering: Relaxed — own-thread reservation (see pinned_epoch).
+        collector::reservation_of(self.tid).load(Ordering::Relaxed)
     }
 
     /// Temporarily lower this thread's reservation to
@@ -86,52 +109,71 @@ impl EpochGuard {
     #[inline]
     pub fn adopt(&self, target_epoch: u64) -> AdoptGuard {
         let res = collector::reservation_of(self.tid);
-        let prev = res.load(Ordering::SeqCst);
+        // Ordering: Relaxed load (own reservation) and Relaxed store — the
+        // SeqCst fence below is the publication point, exactly as in
+        // `pin_with`: any collector scan that must not miss the lowered
+        // reservation has a fence ordered after ours; one that precedes
+        // ours is answered by the caller's mandatory revalidation read.
+        let prev = res.load(Ordering::Relaxed);
         let lowered = prev.min(target_epoch);
         if lowered != prev {
-            res.store(lowered, Ordering::SeqCst);
+            res.store(lowered, Ordering::Relaxed);
         }
         fence(Ordering::SeqCst);
         AdoptGuard {
             tid: self.tid,
             prev,
+            _not_send: std::marker::PhantomData,
         }
     }
 }
 
 impl Drop for EpochGuard {
     fn drop(&mut self) {
-        PIN_DEPTH.with(|d| d.set(d.get() - 1));
-        if self.outermost {
-            collector::reservation_of(self.tid).store(QUIESCENT, Ordering::SeqCst);
-            let due = OPS_SINCE_COLLECT.with(|c| {
-                let v = c.get() + 1;
-                if v >= COLLECT_PERIOD {
-                    c.set(0);
-                    true
-                } else {
-                    c.set(v);
-                    false
-                }
-            });
-            if due {
-                collector::try_advance();
-                collector::collect_local();
+        let due = thread_ctx::with(|tc| {
+            tc.pin_depth.set(tc.pin_depth.get() - 1);
+            if !self.outermost {
+                return false;
             }
+            // Ordering: Release — the operation's reads and writes of
+            // protected objects are sequenced before this clear; a
+            // collector that observes QUIESCENT acquires them (via the
+            // trailing acquire fence of its scan) before freeing, so no
+            // free can race an in-flight access from this section.
+            collector::reservation_of(self.tid).store(QUIESCENT, Ordering::Release);
+            let v = tc.ops_since_collect.get() + 1;
+            if v >= COLLECT_PERIOD {
+                tc.ops_since_collect.set(0);
+                true
+            } else {
+                tc.ops_since_collect.set(v);
+                false
+            }
+        });
+        if due {
+            collector::try_advance();
+            collector::collect_local();
         }
     }
 }
 
 /// Restores the pre-adoption reservation on drop. See [`EpochGuard::adopt`].
+///
+/// `!Send`/`!Sync` for the same reason as [`EpochGuard`]: its drop writes
+/// the creating thread's reservation slot.
 #[derive(Debug)]
 pub struct AdoptGuard {
     tid: tid::ThreadId,
     prev: u64,
+    _not_send: std::marker::PhantomData<*mut ()>,
 }
 
 impl Drop for AdoptGuard {
     fn drop(&mut self) {
-        collector::reservation_of(self.tid).store(self.prev, Ordering::SeqCst);
+        // Ordering: Release — raising the reservation back must not become
+        // visible before the helping section's accesses are done, same
+        // argument as the EpochGuard unpin store.
+        collector::reservation_of(self.tid).store(self.prev, Ordering::Release);
     }
 }
 
@@ -160,6 +202,15 @@ mod tests {
         }
         assert!(is_pinned());
         drop(g1);
+        assert!(!is_pinned());
+    }
+
+    #[test]
+    fn pin_with_context_matches_pin() {
+        let g = flock_sync::thread_ctx::with(pin_with);
+        assert!(is_pinned());
+        assert_eq!(pinned_epoch(), Some(g.epoch()));
+        drop(g);
         assert!(!is_pinned());
     }
 

@@ -31,7 +31,7 @@ mod collector;
 mod guard;
 
 pub use collector::{CollectorStats, QUIESCENT, collector_stats, try_advance};
-pub use guard::{AdoptGuard, EpochGuard, pin, pinned_epoch};
+pub use guard::{AdoptGuard, EpochGuard, pin, pin_with, pinned_epoch};
 
 use std::sync::atomic::Ordering;
 
@@ -84,7 +84,15 @@ pub unsafe fn retire<T>(ptr: *mut T) {
         // SAFETY: `p` was produced by `alloc::<T>` per `retire`'s contract.
         drop(unsafe { Box::from_raw(p.cast::<T>()) });
     }
-    let stamp = collector::global_epoch().load(Ordering::SeqCst);
+    // Ordering: Relaxed is enough for the stamp *because the caller is
+    // pinned*: read-read coherence means this load returns at least the
+    // epoch this thread re-validated at pin time, and our own reservation
+    // blocks the global epoch from advancing more than one past it — so the
+    // stamp is stale by at most one epoch, which the two-epoch reclamation
+    // slack absorbs (an object is freed only once every active reservation
+    // exceeds `stamp + 1`, and any thread still holding a reference is
+    // reserved at `true retire epoch - 1` or older).
+    let stamp = collector::global_epoch().load(Ordering::Relaxed);
     collector::bag_retired(collector::Retired {
         ptr: ptr.cast::<u8>(),
         drop_fn: drop_box::<T>,
@@ -107,6 +115,9 @@ pub unsafe fn retire_orphan<T>(ptr: *mut T) {
         // SAFETY: `p` was produced by a Box allocation of `T` per contract.
         drop(unsafe { Box::from_raw(p.cast::<T>()) });
     }
+    // Ordering: SeqCst — unlike `retire`, the caller is *not* pinned, so
+    // the coherence argument bounding stamp staleness does not apply; keep
+    // the strongest order on this cold (thread-exit) path.
     let stamp = collector::global_epoch().load(Ordering::SeqCst);
     collector::bag_retired_global(collector::Retired {
         ptr: ptr.cast::<u8>(),

@@ -21,8 +21,68 @@
 //! (the scan happens under a lock acquired after the helped thunk completed),
 //! so the stale CAS is skipped. If the scan sees the announcement, the tag is
 //! not re-issued. Either way no stale CAS can succeed.
+//!
+//! ## Memory ordering
+//!
+//! The protocol needs a store–load (Dekker) barrier on both sides: the
+//! announcer between its announcement store and its done-check load, and
+//! the scanner between its lock acquisition and its slot loads. How that
+//! barrier is cheapest is target-dependent, so there are two audited
+//! variants:
+//!
+//! * **TSO targets (`x86_64`)** put the whole Dekker pair in the `SeqCst`
+//!   total order: the announcement write is a `SeqCst` swap (one `xchg` —
+//!   the seed paid an `xchg` *and* an `mfence` here), the done flag is
+//!   written and checked `SeqCst` (plain `mov`s on TSO reads), and the
+//!   per-slot scan loads are `SeqCst` (also plain `mov`s). Soundness in S:
+//!   `set_done <_S unlock CAM <_S scanner's lock CAS <_S scan load`; if the
+//!   scan load misses the announcement swap it precedes it in S, so the
+//!   announcer's `SeqCst` done-read (which follows its swap in S) must
+//!   observe `set_done` — the announcer skips its CAS. If the scan load
+//!   follows the swap in S it sees the announcement — the tag is not
+//!   re-issued.
+//! * **Weakly-ordered targets** anchor on two `SeqCst` fences — the
+//!   announcer's (already required for its done-check) and one at the start
+//!   of each scan — and make the slot accesses `Relaxed`: one `dmb` beats a
+//!   chain of `ldar`s. With `F_a` the announcer's fence and `F_s` the
+//!   scanner's, the `SeqCst` total order leaves exactly two cases:
+//!
+//!   * `F_a < F_s`: the scanner's post-fence loads must observe the
+//!     announcer's pre-fence `(tag, loc)` stores (or later values) — the
+//!     announcement is seen and the tag is not re-issued.
+//!   * `F_s < F_a`: the scanner may miss the announcement, but then the
+//!     announcer's post-fence done-load observes `done = true` — `set_done`
+//!     happens-before the unlock CAM, which happens-before the scanner's
+//!     lock acquisition (both `SeqCst` RMWs), which is sequenced before
+//!     `F_s` — and the stale CAS is skipped.
+//!
+//!   A torn read (stale `loc` with a newer `tag`, possible under `Relaxed`)
+//!   can only produce a false *positive*, which merely skips a usable tag.
+//!
+//! Scans iterate only up to [`tid::scan_bound`] — the live upper bound of
+//! the active-thread registry. A slot above the bound cannot hold a live
+//! announcement: the bound is raised (with `SeqCst` order) when a thread
+//! claims its id, before that thread can announce anything, so the same
+//! case analysis that makes an announcement visible makes the raised bound
+//! visible to any scan that must see it.
 
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+/// Per-slot scan-load ordering: free-strong on TSO, fence-anchored Relaxed
+/// elsewhere (module docs, "Memory ordering").
+const SCAN_LOAD: Ordering = if cfg!(target_arch = "x86_64") {
+    Ordering::SeqCst
+} else {
+    Ordering::Relaxed
+};
+
+/// The scanner-side barrier for the non-TSO variant; a no-op on `x86_64`,
+/// where the `SeqCst` scan loads carry the ordering themselves.
+#[inline(always)]
+fn scan_fence() {
+    #[cfg(not(target_arch = "x86_64"))]
+    std::sync::atomic::fence(Ordering::SeqCst);
+}
 
 use crate::MAX_THREADS;
 use crate::padded::CachePadded;
@@ -62,30 +122,72 @@ impl TagAnnouncements {
 
     /// Announce that the calling thread may CAS `loc_addr` expecting `tag`.
     ///
-    /// Must be followed by a `SeqCst` fence (performed here) and a
-    /// re-validation read by the caller before the CAS, and cleared with
-    /// [`TagAnnouncements::clear`] afterwards.
+    /// Includes the announcer-side store–load barrier (a `SeqCst` swap on
+    /// TSO, a `SeqCst` fence elsewhere); the caller must follow with its
+    /// re-validation read (the descriptor done-check, `SeqCst` on TSO)
+    /// before the CAS, and clear with [`TagAnnouncements::clear`]
+    /// afterwards.
     #[inline]
     pub fn announce(&self, tid: ThreadId, loc_addr: usize, tag: u16) {
         debug_assert_ne!(loc_addr, NONE);
         let slot = &self.slots[tid.0];
+        // Ordering: tag is published by the `loc` write, which keeps the
+        // tag store ordered before it on both variants.
+        //
+        // * x86_64: the loc write is a `SeqCst` *swap* — one `xchg`, which
+        //   is both the publication and the announcer's store–load barrier
+        //   (the caller's done-check is a `SeqCst` load, and `set_done` is
+        //   `SeqCst` there too, so the whole Dekker pair lives in the SC
+        //   total order; see `is_announced_ordering` in DESIGN notes and
+        //   the module docs). This replaces the seed's `SeqCst` store +
+        //   `SeqCst` fence — two full barriers — with one.
+        // * elsewhere: a Release store; the `SeqCst` fence is the
+        //   linearization point, pairing with the scanner's fence.
         slot.tag.store(tag as u64, Ordering::Relaxed);
-        slot.loc.store(loc_addr, Ordering::SeqCst);
-        std::sync::atomic::fence(Ordering::SeqCst);
+        #[cfg(target_arch = "x86_64")]
+        slot.loc.swap(loc_addr, Ordering::SeqCst);
+        #[cfg(not(target_arch = "x86_64"))]
+        {
+            slot.loc.store(loc_addr, Ordering::Release);
+            std::sync::atomic::fence(Ordering::SeqCst);
+        }
     }
 
     /// Clear the calling thread's announcement.
     #[inline]
     pub fn clear(&self, tid: ThreadId) {
+        // Ordering: Release so the preceding CAS cannot sink below the
+        // clear. A scanner that still sees the stale announcement only
+        // skips a tag — conservative, never unsafe.
         self.slots[tid.0].loc.store(NONE, Ordering::Release);
     }
 
     /// Is `(loc_addr, tag)` currently announced by any thread?
+    ///
+    /// Issues its own scanner-side barrier;
+    /// [`TagAnnouncements::next_free_tag`] amortizes one over all its
+    /// probes instead.
     #[inline]
     pub fn is_announced(&self, loc_addr: usize, tag: u16) -> bool {
-        let hwm = tid::high_water_mark().min(self.slots.len());
-        for slot in &self.slots[..hwm] {
-            if slot.loc.load(Ordering::SeqCst) == loc_addr
+        scan_fence();
+        self.scan_slots(loc_addr, tag)
+    }
+
+    /// Scan for `(loc_addr, tag)`. Caller must have issued the scanner-side
+    /// barrier ([`scan_fence`]) after acquiring the location's lock (module
+    /// docs, "Memory ordering").
+    #[inline]
+    fn scan_slots(&self, loc_addr: usize, tag: u16) -> bool {
+        // Live-thread bound: slots above it hold no live announcement (the
+        // registry raises the bound SeqCst-before a claimer can announce).
+        let bound = tid::scan_bound().min(self.slots.len());
+        for slot in &self.slots[..bound] {
+            // Ordering: SCAN_LOAD (per-target, see module docs); the tag
+            // read can always be Relaxed — a torn (loc, tag) pair is only
+            // ever a false positive, and when the loc read is SeqCst its
+            // release/acquire pairing with the announce store orders the
+            // tag store before it.
+            if slot.loc.load(SCAN_LOAD) == loc_addr
                 && slot.tag.load(Ordering::Relaxed) == tag as u64
             {
                 return true;
@@ -101,12 +203,16 @@ impl TagAnnouncements {
     /// terminates within `MAX_THREADS + 1` probes.
     #[inline]
     pub fn next_free_tag(&self, loc_addr: usize, start: u16) -> u16 {
+        // One scanner-side barrier for all probes (see module docs): each
+        // probe's loads are sequenced after it, which is all the case
+        // analysis needs.
+        scan_fence();
         let mut t = start;
         if t == crate::pack::TAG_LIMIT {
             t = 0;
         }
         loop {
-            if !self.is_announced(loc_addr, t) {
+            if !self.scan_slots(loc_addr, t) {
                 return t;
             }
             t = crate::pack::next_tag(t);

@@ -13,8 +13,12 @@
 //! * [`announce`] — the per-thread *tag announcement table* that makes 16-bit
 //!   tag wraparound safe: a tag that is announced for a location is never
 //!   re-issued for that location while the announcement stands.
-//! * [`tid`] — small dense per-thread integer ids (reused on thread exit),
-//!   required by the announcement table and by `flock-epoch`'s reservations.
+//! * [`tid`] — small dense per-thread integer ids (reused on thread exit) and
+//!   the active-thread registry ([`tid::scan_bound`]) that keeps per-thread
+//!   array scans proportional to the number of live threads.
+//! * [`thread_ctx`] — the single `thread_local!` consolidating every
+//!   hot-path per-thread variable (id, epoch pin state, thunk-log cursor),
+//!   fetched once per operation.
 //! * [`backoff`] — truncated exponential backoff for contended retry loops.
 //! * [`ttas`] — a test-and-test-and-set spin lock; this is exactly the lock the
 //!   paper uses for the *blocking* mode of Flock locks.
@@ -31,6 +35,7 @@ pub mod backoff;
 pub mod pack;
 pub mod padded;
 pub mod tagged;
+pub mod thread_ctx;
 pub mod tid;
 pub mod ttas;
 
@@ -39,6 +44,7 @@ pub use backoff::Backoff;
 pub use pack::{PackedValue, TAG_LIMIT, VAL_MASK, pack, unpack_tag, unpack_val};
 pub use padded::CachePadded;
 pub use tagged::{TaggedAtomicU64, ccas_enabled, set_ccas_enabled};
+pub use thread_ctx::ThreadCtx;
 pub use tid::ThreadId;
 pub use ttas::TtasLock;
 

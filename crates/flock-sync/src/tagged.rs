@@ -87,7 +87,19 @@ impl TaggedAtomicU64 {
     /// whether this call installed `new`.
     #[inline(always)]
     pub fn ccas(&self, expected: u64, new: u64) -> bool {
-        if ccas_enabled() && self.word.load(Ordering::SeqCst) != expected {
+        // Ordering: Relaxed pre-read. A mismatch SKIPS the CAS, so the
+        // downgrade is sound only because the read can never be stale
+        // enough to mis-skip: every caller obtained `expected` either from
+        // its own read of this cell (read-read coherence forbids going
+        // backwards) or from a thunk-log commit, whose Acquire read
+        // happens-after the committer's read of this cell — so this read is
+        // coherence-ordered at or after the read that produced `expected`.
+        // If it differs, the cell has genuinely moved past `expected`
+        // (tagged words never repeat a value while it could be expected —
+        // that is the announcement table's job) and the CAS must fail
+        // anyway. The SeqCst compare_exchange below is the linearization
+        // point when the pre-read matches.
+        if ccas_enabled() && self.word.load(Ordering::Relaxed) != expected {
             return false;
         }
         self.word

@@ -1,0 +1,142 @@
+//! The one per-thread context: every hot-path thread-local in one struct.
+//!
+//! Before this module existed, one uncontended lock-free `try_lock` touched
+//! four separate `thread_local!` statics spread over three crates — the
+//! thread id (`flock-sync`), the epoch pin depth and collect counter
+//! (`flock-epoch`), and the running-thunk log cursor (`flock-core`) — each
+//! access paying its own lazy-init check and TLS addressing. [`ThreadCtx`]
+//! packs them into a single cache-line-sized struct behind a single
+//! `thread_local!`; an operation fetches it **once** with [`with`] and
+//! threads the reference through its internals.
+//!
+//! Layering: this crate cannot name the upper layers' types, so the fields
+//! are layer-agnostic primitives. The epoch layer owns `pin_depth` and
+//! `ops_since_collect`; the log layer owns the `log_*` and `descriptor`
+//! cells, storing type-erased pointers it alone writes and reads (the cells
+//! are `null` outside a running thunk). This is the same contract the old
+//! per-crate statics had — it just lives in one place now.
+//!
+//! The context is `Cell`-based and never aliased across threads, so nested
+//! [`with`] calls (e.g. a `Mutable::store` inside a thunk that is already
+//! running under a `with`) are fine.
+
+use std::cell::Cell;
+
+use crate::tid::{self, ThreadId};
+
+/// Sentinel for "thread id not claimed yet".
+const TID_UNCLAIMED: usize = usize::MAX;
+
+/// All of a thread's hot mutable state: id, epoch pinning, log cursor.
+pub struct ThreadCtx {
+    /// Claimed thread id, or [`TID_UNCLAIMED`]. Claimed lazily by
+    /// [`ThreadCtx::tid`]; released by `Drop` at thread exit.
+    tid: Cell<usize>,
+    /// Epoch layer: nesting depth of `pin()` on this thread.
+    pub pin_depth: Cell<usize>,
+    /// Epoch layer: outermost unpins since the last collection attempt.
+    pub ops_since_collect: Cell<usize>,
+    /// Log layer: current log block (`*const LogBlock`), null when the
+    /// thread is not running a thunk.
+    pub log_block: Cell<*const ()>,
+    /// Log layer: position within the current log block.
+    pub log_pos: Cell<usize>,
+    /// Log layer: descriptor being run (`*const Descriptor`), null at top
+    /// level.
+    pub descriptor: Cell<*const ()>,
+}
+
+impl ThreadCtx {
+    const fn new() -> Self {
+        Self {
+            tid: Cell::new(TID_UNCLAIMED),
+            pin_depth: Cell::new(0),
+            ops_since_collect: Cell::new(0),
+            log_block: Cell::new(std::ptr::null()),
+            log_pos: Cell::new(0),
+            descriptor: Cell::new(std::ptr::null()),
+        }
+    }
+
+    /// This thread's id, claiming one from the registry on first use.
+    #[inline]
+    pub fn tid(&self) -> ThreadId {
+        let t = self.tid.get();
+        if t != TID_UNCLAIMED {
+            ThreadId(t)
+        } else {
+            self.claim_slow()
+        }
+    }
+
+    #[cold]
+    fn claim_slow(&self) -> ThreadId {
+        let id = tid::claim_id();
+        self.tid.set(id.0);
+        id
+    }
+
+    /// Is the thread currently running a thunk (logging enabled)?
+    #[inline]
+    pub fn in_thunk(&self) -> bool {
+        !self.log_block.get().is_null()
+    }
+}
+
+impl Drop for ThreadCtx {
+    fn drop(&mut self) {
+        let t = self.tid.get();
+        if t != TID_UNCLAIMED {
+            tid::release_id(ThreadId(t));
+        }
+    }
+}
+
+thread_local! {
+    static CTX: ThreadCtx = const { ThreadCtx::new() };
+}
+
+/// Run `f` with the calling thread's context — the **single** TLS access of
+/// a Flock operation. Nesting is allowed (and happens: thunk-internal
+/// `Mutable` operations re-enter while `try_lock` holds the outer access).
+#[inline]
+pub fn with<R>(f: impl FnOnce(&ThreadCtx) -> R) -> R {
+    CTX.with(|tc| f(tc))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tid_is_claimed_lazily_and_stable() {
+        let a = with(|tc| tc.tid());
+        let b = with(|tc| tc.tid());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn nested_with_accesses_same_context() {
+        with(|outer| {
+            outer.log_pos.set(41);
+            with(|inner| {
+                assert_eq!(inner.log_pos.get(), 41);
+                inner.log_pos.set(0);
+            });
+        });
+    }
+
+    #[test]
+    fn fresh_thread_starts_clean() {
+        std::thread::spawn(|| {
+            with(|tc| {
+                assert!(!tc.in_thunk());
+                assert_eq!(tc.pin_depth.get(), 0);
+                assert_eq!(tc.log_pos.get(), 0);
+                assert!(tc.descriptor.get().is_null());
+            });
+        })
+        .join()
+        .unwrap();
+    }
+}

@@ -1,13 +1,41 @@
-//! Dense, recycled per-thread integer ids.
+//! Dense, recycled per-thread integer ids, plus the **active-thread
+//! registry**: a live upper bound on claimed ids that keeps every
+//! per-thread-array scan proportional to the number of threads actually
+//! running, not [`crate::MAX_THREADS`].
 //!
 //! The announcement table ([`crate::announce`]) and the epoch manager
 //! (`flock-epoch`) both keep fixed arrays indexed by a small thread id.
 //! Ids are claimed lazily on first use by a thread and returned to the pool
 //! when the thread exits, so any number of threads can be created over the
-//! lifetime of a process as long as at most [`crate::MAX_THREADS`] are live at
-//! a time.
+//! lifetime of a process as long as at most [`crate::MAX_THREADS`] are live
+//! at a time.
+//!
+//! ## The scan bound
+//!
+//! [`scan_bound`] is one past the highest *currently claimed* id. Unlike the
+//! monotone [`high_water_mark`], it shrinks again when high-id threads exit,
+//! so a long-lived process that once burst to hundreds of threads goes back
+//! to cheap scans afterwards.
+//!
+//! Claim and release mutate the id pool under a mutex — they run once per
+//! thread *lifetime*, so this is nowhere near any hot path — which makes the
+//! published bound exact at every instant: it can never exclude a live id,
+//! because both the `used` flags and the bound are updated atomically with
+//! respect to each other. A lock-free lower-on-release was considered and
+//! rejected: its downward re-scan can miss a concurrent claim and publish a
+//! transiently-too-low bound, which for the announcement table means a
+//! live announcement could be skipped — an ABA safety hazard, not a
+//! performance bug.
+//!
+//! Scanners read the bound with a single `SeqCst` load. The safety argument
+//! for scans (see `announce.rs` and the epoch collector) requires that a
+//! thread's id-claim is ordered before everything the thread later
+//! announces or reserves; the claim's `SeqCst` bound-store, the claimer's
+//! later `SeqCst` publication fences, and the scanner's `SeqCst` bound-load
+//! make that a single-total-order argument.
 
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 use crate::MAX_THREADS;
 
@@ -15,64 +43,96 @@ use crate::MAX_THREADS;
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct ThreadId(pub usize);
 
-struct IdPool {
-    used: [AtomicBool; MAX_THREADS],
-    /// One past the highest id ever claimed; lets scans stop early.
-    high_water: AtomicUsize,
+struct PoolInner {
+    used: [bool; MAX_THREADS],
+    live: usize,
 }
 
-#[allow(clippy::declare_interior_mutable_const)]
-const UNUSED: AtomicBool = AtomicBool::new(false);
+static POOL: Mutex<PoolInner> = Mutex::new(PoolInner {
+    used: [false; MAX_THREADS],
+    live: 0,
+});
 
-static POOL: IdPool = IdPool {
-    used: [UNUSED; MAX_THREADS],
-    high_water: AtomicUsize::new(0),
-};
+/// One past the highest currently-claimed id. Written only under the `POOL`
+/// mutex; read lock-free by scanners. `SeqCst` on both sides — see the
+/// module docs for why the bound participates in the announcement/epoch
+/// total-order arguments.
+static SCAN_BOUND: AtomicUsize = AtomicUsize::new(0);
 
-fn claim_id() -> ThreadId {
-    for i in 0..MAX_THREADS {
-        if !POOL.used[i].load(Ordering::Relaxed)
-            && POOL.used[i]
-                .compare_exchange(false, true, Ordering::AcqRel, Ordering::Relaxed)
-                .is_ok()
-        {
-            POOL.high_water.fetch_max(i + 1, Ordering::Release);
-            return ThreadId(i);
-        }
+/// One past the highest id ever claimed (monotone).
+static HIGH_WATER: AtomicUsize = AtomicUsize::new(0);
+
+/// Number of currently live (claimed) thread ids.
+static LIVE_COUNT: AtomicUsize = AtomicUsize::new(0);
+
+pub(crate) fn claim_id() -> ThreadId {
+    let mut pool = POOL.lock().unwrap_or_else(|e| e.into_inner());
+    let i = pool.used.iter().position(|u| !u).unwrap_or_else(|| {
+        panic!("flock: more than MAX_THREADS ({MAX_THREADS}) threads are live at once")
+    });
+    pool.used[i] = true;
+    pool.live += 1;
+    LIVE_COUNT.store(pool.live, Ordering::Relaxed);
+    // The bound is raised *before* the claimer can possibly announce or
+    // reserve anything under this id (program order), so a scanner that is
+    // ordered after any such publication also sees the raised bound.
+    if i + 1 > SCAN_BOUND.load(Ordering::Relaxed) {
+        SCAN_BOUND.store(i + 1, Ordering::SeqCst);
     }
-    panic!("flock: more than MAX_THREADS ({MAX_THREADS}) threads are live at once");
+    HIGH_WATER.fetch_max(i + 1, Ordering::Relaxed);
+    ThreadId(i)
 }
 
-fn release_id(id: ThreadId) {
-    POOL.used[id.0].store(false, Ordering::Release);
+pub(crate) fn release_id(id: ThreadId) {
+    let mut pool = POOL.lock().unwrap_or_else(|e| e.into_inner());
+    debug_assert!(pool.used[id.0], "releasing an unclaimed thread id");
+    pool.used[id.0] = false;
+    pool.live -= 1;
+    LIVE_COUNT.store(pool.live, Ordering::Relaxed);
+    if id.0 + 1 == SCAN_BOUND.load(Ordering::Relaxed) {
+        // This was the top id: shrink the bound to the new top. Exact
+        // because `used` can only change under the mutex we hold.
+        let new_bound = pool.used[..id.0]
+            .iter()
+            .rposition(|&u| u)
+            .map_or(0, |top| top + 1);
+        SCAN_BOUND.store(new_bound, Ordering::SeqCst);
+    }
 }
 
-/// One past the highest thread id ever claimed.
+/// One past the highest **currently claimed** thread id.
 ///
 /// Scans over per-thread arrays (announcements, epoch reservations) iterate
-/// only up to this bound, so their cost is proportional to the number of
-/// threads actually used rather than `MAX_THREADS`.
+/// only up to this bound, so their cost tracks the number of live threads —
+/// and drops back down when threads exit, unlike [`high_water_mark`].
+///
+/// The bound is exact at the instant it is read: it can never exclude a
+/// live id (claims and releases update the pool and the bound together,
+/// under a mutex). By the time the `SeqCst` load returns, new threads may of
+/// course have claimed higher ids; every scan-based protocol in this
+/// workspace tolerates that the same way it always has — via its own
+/// publication fences (see `announce.rs`) or epoch re-validation.
+#[inline]
+pub fn scan_bound() -> usize {
+    SCAN_BOUND.load(Ordering::SeqCst)
+}
+
+/// One past the highest thread id ever claimed (monotone).
 #[inline]
 pub fn high_water_mark() -> usize {
-    POOL.high_water.load(Ordering::Acquire)
+    HIGH_WATER.load(Ordering::Relaxed)
 }
 
-struct TidGuard(ThreadId);
-
-impl Drop for TidGuard {
-    fn drop(&mut self) {
-        release_id(self.0);
-    }
-}
-
-thread_local! {
-    static TID: TidGuard = TidGuard(claim_id());
+/// Number of thread ids currently claimed (diagnostics/reporting).
+#[inline]
+pub fn live_thread_count() -> usize {
+    LIVE_COUNT.load(Ordering::Relaxed)
 }
 
 /// The calling thread's id, claiming one on first use.
 #[inline]
 pub fn current() -> ThreadId {
-    TID.with(|g| g.0)
+    crate::thread_ctx::with(|tc| tc.tid())
 }
 
 #[cfg(test)]
@@ -93,6 +153,12 @@ mod tests {
                 s.spawn(|| {
                     let id = current();
                     assert!(seen.lock().unwrap().insert(id.0), "duplicate id {}", id.0);
+                    assert!(
+                        scan_bound() > id.0,
+                        "scan bound {} excludes live id {}",
+                        scan_bound(),
+                        id.0
+                    );
                     barrier.wait();
                 });
             }
@@ -113,5 +179,58 @@ mod tests {
         let id2 = std::thread::spawn(|| current().0).join().unwrap();
         assert!(id2 <= id1.max(id2));
         assert!(high_water_mark() > 0);
+    }
+
+    #[test]
+    fn scan_bound_shrinks_after_burst() {
+        // Claim this thread's id first so the floor is stable.
+        let me = current().0;
+        let barrier = std::sync::Barrier::new(33);
+        let max_id = std::sync::atomic::AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..32 {
+                s.spawn(|| {
+                    let id = current().0;
+                    max_id.fetch_max(id, Ordering::Relaxed);
+                    barrier.wait(); // all 32 alive at once
+                });
+            }
+            barrier.wait();
+            assert!(scan_bound() > max_id.load(Ordering::Relaxed));
+        });
+        // All 32 exited: the bound must drop back below the burst's top id.
+        // Concurrent tests may briefly hold high ids of their own, so poll
+        // rather than assert the very first read.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+        let target = max_id.load(Ordering::Relaxed);
+        let mut bound = scan_bound();
+        while bound > target && std::time::Instant::now() < deadline {
+            std::thread::sleep(std::time::Duration::from_millis(10));
+            bound = scan_bound();
+        }
+        assert!(
+            bound <= target,
+            "bound {bound} did not shrink after 32-thread burst (me={me})"
+        );
+        assert!(bound > me, "bound must still cover this live thread");
+        // The monotone mark, by contrast, remembers the burst.
+        assert!(high_water_mark() > max_id.load(Ordering::Relaxed));
+    }
+
+    #[test]
+    fn live_count_tracks_claims() {
+        // Claim this thread's id: from here on the count includes us, so a
+        // child thread that has just claimed its own id must observe >= 2.
+        // (Other tests' threads may claim/release concurrently — they can
+        // only add to what the child sees, never subtract below these two.)
+        let _ = current();
+        assert!(live_thread_count() >= 1);
+        let seen_inside_child = std::thread::spawn(|| {
+            let _ = current();
+            live_thread_count()
+        })
+        .join()
+        .unwrap();
+        assert!(seen_inside_child >= 2, "child saw {seen_inside_child}");
     }
 }

@@ -1,0 +1,184 @@
+//! Stress test for the bounded announcement scan (ISSUE 2 satellite):
+//! threads register and exit (exercising thread-id recycling and the
+//! shrinking/growing [`flock_sync::tid::scan_bound`]) while scanners hammer
+//! `next_free_tag`. Safety properties under churn:
+//!
+//! 1. **No announced tag is ever issued** — `next_free_tag` must never
+//!    return a tag that a live announcer holds for the same location.
+//! 2. **The scan bound never excludes a live announcer** — every announcer
+//!    continuously re-verifies `is_announced` for its own standing
+//!    announcement while the bound moves under it.
+//! 3. **Re-announce/clear churn is scan-coherent** — a thread cycling
+//!    announce → scan → clear on a second location always sees its own
+//!    standing announcement skipped and its cleared tag reissued.
+
+use std::sync::Barrier;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
+use flock_sync::TagAnnouncements;
+use flock_sync::tid;
+
+/// Announcer tids, recorded for diagnostics in scanner assertion messages.
+static ANNOUNCER_TIDS: [AtomicUsize; 4] = [const { AtomicUsize::new(usize::MAX) }; 4];
+
+const LOC: usize = 0xF10C_4000;
+const OTHER_LOC: usize = 0xF10C_8000;
+const ANNOUNCED_TAGS: [u16; 4] = [10, 20, 30, 40];
+/// Tag cycled by the re-announce churner on [`OTHER_LOC`].
+const CHURN_TAG: u16 = 50;
+const RUN: Duration = Duration::from_millis(1_500);
+
+#[test]
+fn bounded_scan_is_safe_under_tid_churn() {
+    let table = TagAnnouncements::new();
+    let stop = AtomicBool::new(false);
+    // Everyone (4 announcers + 2 scanners + 1 re-announcer + 2 tid
+    // churners + timer) starts together so the churn overlaps the whole
+    // measured window.
+    let start = Barrier::new(10);
+    // Announcers must keep their announcements standing until every
+    // scanner has finished its last scan — clearing as soon as `stop` is
+    // observed would let a mid-scan scanner legitimately pick up a
+    // just-cleared tag and fail property 1 spuriously. 4 announcers + 2
+    // scanners + the re-announcer rendezvous here before any clear.
+    let drain = Barrier::new(7);
+
+    std::thread::scope(|s| {
+        // Announcers: hold one standing announcement each and keep checking
+        // the scan still sees it (property 2).
+        for (slot, &tag) in ANNOUNCED_TAGS.iter().enumerate() {
+            let (table, stop, start, drain) = (&table, &stop, &start, &drain);
+            s.spawn(move || {
+                let me = tid::current();
+                ANNOUNCER_TIDS[slot].store(me.0, Ordering::SeqCst);
+                table.announce(me, LOC, tag);
+                start.wait();
+                while !stop.load(Ordering::Relaxed) {
+                    assert!(
+                        table.is_announced(LOC, tag),
+                        "live announcement (loc, {tag}) vanished: scan bound {} excludes a \
+                         live announcer (my tid {})",
+                        tid::scan_bound(),
+                        me.0
+                    );
+                    assert!(
+                        tid::scan_bound() > me.0,
+                        "scan bound {} dropped below live tid {}",
+                        tid::scan_bound(),
+                        me.0
+                    );
+                }
+                drain.wait(); // scanners are done: clearing is now safe
+                table.clear(me);
+            });
+        }
+
+        // Scanners: pick next tags from starts around the announced ones and
+        // assert none of the held tags is ever issued (property 1).
+        for scanner in 0..2u16 {
+            let (table, stop, start, drain) = (&table, &stop, &start, &drain);
+            s.spawn(move || {
+                start.wait();
+                let mut t = scanner; // different phase per scanner
+                while !stop.load(Ordering::Relaxed) {
+                    let issued = table.next_free_tag(LOC, t % 64);
+                    assert!(
+                        !ANNOUNCED_TAGS.contains(&issued),
+                        "next_free_tag issued announced tag {issued}; scan_bound={}, \
+                         announcer tids={:?}, live={}",
+                        tid::scan_bound(),
+                        ANNOUNCER_TIDS
+                            .iter()
+                            .map(|a| a.load(Ordering::SeqCst))
+                            .collect::<Vec<_>>(),
+                        tid::live_thread_count()
+                    );
+                    // LOC announcements never leak onto the other location:
+                    // only the re-announcer's tag can be held there.
+                    let elsewhere = table.next_free_tag(OTHER_LOC, CHURN_TAG);
+                    assert!(
+                        elsewhere == CHURN_TAG || elsewhere == CHURN_TAG + 1,
+                        "unexpected tag {elsewhere} issued on OTHER_LOC"
+                    );
+                    t = t.wrapping_add(1);
+                }
+                drain.wait(); // unblock the announcers' clears
+            });
+        }
+
+        // Re-announcer (property 3): cycle announce → scan → clear on the
+        // second location, racing the scanners above. Its own scans are
+        // same-thread, so the expectations are exact: a standing own
+        // announcement is always skipped, a cleared one always reissued.
+        {
+            let (table, stop, start, drain) = (&table, &stop, &start, &drain);
+            s.spawn(move || {
+                let me = tid::current();
+                start.wait();
+                while !stop.load(Ordering::Relaxed) {
+                    table.announce(me, OTHER_LOC, CHURN_TAG);
+                    assert!(table.is_announced(OTHER_LOC, CHURN_TAG));
+                    assert_eq!(
+                        table.next_free_tag(OTHER_LOC, CHURN_TAG),
+                        CHURN_TAG + 1,
+                        "own standing announcement must be skipped"
+                    );
+                    table.clear(me);
+                    assert_eq!(
+                        table.next_free_tag(OTHER_LOC, CHURN_TAG),
+                        CHURN_TAG,
+                        "cleared tag must be issuable again"
+                    );
+                }
+                // Leave the slot standing-clear before scanners drain (the
+                // loop's last action was either a clear or an announce; make
+                // it deterministically clear).
+                table.clear(me);
+                drain.wait();
+            });
+        }
+
+        // Tid churners: a stream of short-lived threads claiming and
+        // releasing ids, so the registry recycles slots and the scan bound
+        // moves up and down — including above and back below the
+        // announcers' ids.
+        for _ in 0..2 {
+            let (stop, start) = (&stop, &start);
+            s.spawn(move || {
+                start.wait();
+                while !stop.load(Ordering::Relaxed) {
+                    std::thread::scope(|inner| {
+                        for _ in 0..8 {
+                            inner.spawn(|| {
+                                // Claim an id (first use) and do a token
+                                // amount of work so lifetimes overlap.
+                                let _ = tid::current();
+                                std::hint::black_box(tid::scan_bound());
+                            });
+                        }
+                    });
+                }
+            });
+        }
+
+        // Timer.
+        let stop = &stop;
+        let start = &start;
+        s.spawn(move || {
+            start.wait();
+            let t0 = Instant::now();
+            while t0.elapsed() < RUN {
+                std::thread::sleep(Duration::from_millis(25));
+            }
+            stop.store(true, Ordering::Relaxed);
+        });
+    });
+
+    // Quiescent: announcements cleared, tags issuable again.
+    for &tag in &ANNOUNCED_TAGS {
+        assert!(!table.is_announced(LOC, tag));
+        assert_eq!(table.next_free_tag(LOC, tag), tag);
+    }
+    assert_eq!(table.next_free_tag(OTHER_LOC, CHURN_TAG), CHURN_TAG);
+}

@@ -1,16 +1,15 @@
-//! Atomic transfers between accounts with nested `Locked<T>` cells.
+//! Atomic transfers between accounts with two-cell `Locked<T>` sections.
 //!
 //! The paper's motivation for general lock-free locks: "if one needs to
 //! atomically move data among structures, lock-free algorithms become
-//! particularly tricky" — with Flock it is just two nested locks. Every
-//! transfer locks the source and destination accounts in a global order
-//! (account index), debits, and credits, atomically even when the
-//! transferring thread is descheduled mid-way (another contender finishes
-//! its critical section).
+//! particularly tricky" — with Flock it is one `Locked::try_with2` call.
+//! The cell picks the lock order itself (by address — the "simply nested"
+//! discipline the paper's lock-freedom theorem requires), debits, and
+//! credits, atomically even when the transferring thread is descheduled
+//! mid-way (another contender finishes its critical section).
 //!
-//! The nested `Option` result keeps the failure modes apart: `None` = the
-//! first lock was busy, `Some(None)` = the second lock was busy,
-//! `Some(Some(false))` = insufficient funds, `Some(Some(true))` = moved.
+//! `None` means a lock was busy; `Some(false)` means insufficient funds;
+//! `Some(true)` means the money moved.
 //!
 //! ```sh
 //! cargo run --release --example bank_transfer
@@ -39,17 +38,10 @@ impl Bank {
     /// false if either lock is busy or funds are insufficient.
     fn try_transfer(&self, from: usize, to: usize, amount: u32) -> bool {
         assert_ne!(from, to);
-        // Lock ordering: lower index first (the "simply nested" discipline
-        // the paper's lock-freedom theorem requires).
-        let second = Arc::clone(&self.accounts[from.max(to)]);
-        let src = Arc::clone(&self.accounts[from]);
-        let dst = Arc::clone(&self.accounts[to]);
-        let outcome = self.accounts[from.min(to)].try_with(move |_| {
-            let (src, dst) = (Arc::clone(&src), Arc::clone(&dst));
-            second.try_with(move |_| {
-                // Both locks held; reach each balance through its cell's
-                // Deref (the `_` closure args are whichever of the two
-                // balances the lock order happened to pick first/second).
+        // try_with2 acquires both locks in address order internally, so
+        // callers no longer hand-write the nested locking.
+        let outcome =
+            Locked::try_with2(&self.accounts[from], &self.accounts[to], move |src, dst| {
                 let f = src.load();
                 if f < amount {
                     return false;
@@ -57,9 +49,8 @@ impl Bank {
                 src.store(f - amount);
                 dst.store(dst.load() + amount);
                 true
-            })
-        });
-        matches!(outcome, Some(Some(true)))
+            });
+        outcome == Some(true)
     }
 
     fn total(&self) -> u64 {
