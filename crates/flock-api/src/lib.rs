@@ -280,6 +280,88 @@ pub mod testing {
         });
     }
 
+    /// Oversubscribed stress: more threads than cores, so lock holders get
+    /// descheduled mid-critical-section and (in lock-free mode) contenders
+    /// must *help* them — the paper's headline path, exercised here by the
+    /// tier-1 conformance suite rather than only by an example binary.
+    ///
+    /// Two phases per thread: a partitioned phase with exact per-partition
+    /// oracle semantics, and a shared-hot-key phase (every thread hammers
+    /// the same few keys, maximizing lock collisions) checked by invariant
+    /// rather than oracle. Caller should run this in lock-free mode; it is
+    /// also valid (just less interesting) under blocking locks.
+    pub fn oversubscribed_stress<M: Map<u64, u64> + ?Sized>(map: &M, ops: usize) {
+        let cores = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(2);
+        // At least 4x oversubscription on small CI boxes, bounded so giant
+        // dev machines do not turn the test into a thread-spawn benchmark.
+        let threads = (2 * cores).clamp(8, 24) as u64;
+        const HOT_KEYS: u64 = 4;
+        std::thread::scope(|s| {
+            for t in 0..threads {
+                let map = &map;
+                s.spawn(move || {
+                    let mut present = BTreeMap::new();
+                    let mut state = (t + 1) * 0x9E37_79B9;
+                    for i in 0..ops {
+                        // Shared phase: all threads fight over HOT_KEYS
+                        // keys; return values are racy but every op must
+                        // complete (helping keeps the system moving past
+                        // descheduled holders).
+                        let hot = xorshift(&mut state) % HOT_KEYS;
+                        match xorshift(&mut state) % 3 {
+                            0 => {
+                                let _ = map.insert(hot, t);
+                            }
+                            1 => {
+                                let _ = map.remove(hot);
+                            }
+                            _ => {
+                                let _ = map.get(hot);
+                            }
+                        }
+                        // Partitioned phase: exact sequential semantics on
+                        // this thread's own keys, concurrently with the
+                        // contention above.
+                        let k = HOT_KEYS + (xorshift(&mut state) % 64) * threads + t;
+                        let v = i as u64;
+                        match xorshift(&mut state) % 3 {
+                            0 => {
+                                let expect = !present.contains_key(&k);
+                                if expect {
+                                    present.insert(k, v);
+                                }
+                                assert_eq!(map.insert(k, v), expect, "t{t} insert({k}) op {i}");
+                            }
+                            1 => {
+                                let expect = present.remove(&k).is_some();
+                                assert_eq!(map.remove(k), expect, "t{t} remove({k}) op {i}");
+                            }
+                            _ => {
+                                assert_eq!(
+                                    map.get(k),
+                                    present.get(&k).copied(),
+                                    "t{t} get({k}) op {i}"
+                                );
+                            }
+                        }
+                    }
+                    for (k, v) in &present {
+                        assert_eq!(map.get(*k), Some(*v), "t{t} final sweep key {k}");
+                    }
+                });
+            }
+        });
+        // Quiescent cleanup of the contended keys: they must be in a
+        // coherent present-or-absent state.
+        for k in 0..HOT_KEYS {
+            let present = map.contains(k);
+            assert_eq!(map.remove(k), present, "hot key {k} in incoherent state");
+            assert!(!map.contains(k), "hot key {k} still present after removal");
+        }
+    }
+
     /// Exercise the provided-method surface (`contains`, `update`,
     /// `len_approx`) against the primary operations.
     pub fn default_methods_check<M: Map<u64, u64> + ?Sized>(map: &M) {
@@ -344,6 +426,18 @@ macro_rules! map_conformance {
                     $crate::testing::default_methods_check(&m);
                 });
             }
+
+            #[test]
+            fn oversubscribed_helping() {
+                // Lock-free mode only: oversubscription is exactly the
+                // regime where helping carries the system past descheduled
+                // lock holders; under blocking locks the same schedule
+                // merely spins, which the partition stress already covers.
+                $crate::testing::exclusive(|| {
+                    let m = $make;
+                    $crate::testing::oversubscribed_stress(&m, 150);
+                });
+            }
         }
     };
 }
@@ -388,6 +482,67 @@ mod tests {
     }
 
     map_conformance!(mutex_hashmap, MutexMap::new());
+
+    /// Delegating wrapper that observes the underlying map at the moment
+    /// the default `update` composite calls back into `insert`: the window
+    /// between its `remove` and `insert` halves, made deterministic.
+    struct UpdateWindowProbe {
+        inner: MutexMap,
+        absent_during_reinsert: std::sync::atomic::AtomicBool,
+    }
+
+    impl Map<u64, u64> for UpdateWindowProbe {
+        fn insert(&self, key: u64, value: u64) -> bool {
+            // The default composite reaches here after its remove half: the
+            // key's absence is observable at this instant — this is the
+            // documented non-atomicity window.
+            if self.inner.get(key).is_none() {
+                self.absent_during_reinsert
+                    .store(true, std::sync::atomic::Ordering::SeqCst);
+            }
+            self.inner.insert(key, value)
+        }
+        fn remove(&self, key: u64) -> bool {
+            self.inner.remove(key)
+        }
+        fn get(&self, key: u64) -> Option<u64> {
+            self.inner.get(key)
+        }
+        fn name(&self) -> &'static str {
+            "update_window_probe"
+        }
+    }
+
+    /// Pin the documented behavior of the **default** `Map::update`: it is
+    /// the non-atomic remove-then-insert composite, so the key is
+    /// observably absent in between. This is the behavioral baseline the
+    /// planned native (atomic, in-place) per-structure overrides (ROADMAP)
+    /// must flip: when a structure overrides `update` atomically, this
+    /// exact observation becomes impossible and its version of this test
+    /// must assert the negation.
+    #[test]
+    fn default_update_composite_exposes_absence_window() {
+        use std::sync::atomic::Ordering::SeqCst;
+        let probe = UpdateWindowProbe {
+            inner: MutexMap::new(),
+            absent_during_reinsert: std::sync::atomic::AtomicBool::new(false),
+        };
+        assert!(probe.insert(9, 90));
+        probe.absent_during_reinsert.store(false, SeqCst); // ignore the initial insert
+
+        assert!(Map::update(&probe, 9, 91), "update of a present key");
+        assert!(
+            probe.absent_during_reinsert.load(SeqCst),
+            "the default update composite must pass through an observable \
+             absent state between its remove and insert halves"
+        );
+        assert_eq!(probe.get(9), Some(91), "update result intact");
+
+        // The absent-key contract of the composite: no phantom insert.
+        probe.absent_during_reinsert.store(false, SeqCst);
+        assert!(!Map::update(&probe, 555, 1), "absent key: update refused");
+        assert_eq!(probe.get(555), None, "refused update must not insert");
+    }
 
     #[test]
     fn trait_is_object_safe() {

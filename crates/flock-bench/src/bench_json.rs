@@ -10,6 +10,14 @@
 
 use std::time::{Duration, Instant};
 
+/// Gate widening for `contended_*` cases (see
+/// [`BenchReport::primitive_regressions`]): 2–3x single-run spreads were
+/// measured for contended locks on the 2-core container, so their
+/// regression gate is `factor * this` (2.0 → 4.0). Catches "contention made
+/// an order of magnitude worse", not micro-deltas — the uncontended cases
+/// keep the tight gate.
+pub const CONTENDED_FACTOR_SCALE: f64 = 2.0;
+
 /// One primitive microbenchmark result (lower is better).
 #[derive(Debug, Clone, PartialEq)]
 pub struct PrimitiveSample {
@@ -121,19 +129,29 @@ impl BenchReport {
     }
 
     /// Compare this (new) report's primitives against `baseline`, returning
-    /// every case whose ns/op regressed by more than `factor` (e.g. 2.0).
+    /// every case whose ns/op regressed by more than its gate factor —
+    /// `factor` (e.g. 2.0) for uncontended cases, widened by
+    /// [`CONTENDED_FACTOR_SCALE`] for `contended_*` cases, whose run-to-run
+    /// spread on small oversubscribed runners exceeds a 2x gate even with
+    /// best-of-window measurement (the host-speed calibration cannot absorb
+    /// case-specific scheduler noise).
     ///
     /// Cases present in only one report are skipped: the suite may grow.
     pub fn primitive_regressions(&self, baseline: &BenchReport, factor: f64) -> Vec<String> {
         let mut bad = Vec::new();
         for new in &self.primitives {
             if let Some(old) = baseline.primitives.iter().find(|p| p.name == new.name) {
+                let case_factor = if new.name.starts_with("contended_") {
+                    factor * CONTENDED_FACTOR_SCALE
+                } else {
+                    factor
+                };
                 // Guard tiny denominators: sub-ns cases are noise-dominated.
                 let floor = old.ns_per_op.max(1.0);
-                if new.ns_per_op > floor * factor {
+                if new.ns_per_op > floor * case_factor {
                     bad.push(format!(
                         "{}: {:.1} ns/op vs baseline {:.1} ns/op (>{:.1}x)",
-                        new.name, new.ns_per_op, old.ns_per_op, factor
+                        new.name, new.ns_per_op, old.ns_per_op, case_factor
                     ));
                 }
             }
@@ -176,6 +194,51 @@ pub fn measure_best(budget: Duration, mut op: impl FnMut()) -> f64 {
             op();
         }
         let ns = b0.elapsed().as_nanos() as f64 / BATCH as f64;
+        if ns < best {
+            best = ns;
+        }
+    }
+    best
+}
+
+/// Contended measurement: `threads` workers hammer `op` (with their worker
+/// index); returns wall-clock nanoseconds per completed operation across
+/// all workers (lower is better — a saturated single lock approaches
+/// serial cost plus contention overhead). Best of three rounds, matching
+/// the rest of the suite: contended runs are scheduler-noise-dominated
+/// (spreads of 2–3x per single window were observed on the 2-core
+/// container), and the fastest window is the reproducible one.
+pub fn measure_contended(budget: Duration, threads: usize, op: impl Fn(usize) + Sync) -> f64 {
+    use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+    const ROUNDS: u32 = 3;
+    let mut best = f64::INFINITY;
+    for _ in 0..ROUNDS {
+        let stop = AtomicBool::new(false);
+        let total = AtomicU64::new(0);
+        let start = std::sync::Barrier::new(threads + 1);
+        let elapsed = std::thread::scope(|s| {
+            for t in 0..threads {
+                let (op, stop, total, start) = (&op, &stop, &total, &start);
+                s.spawn(move || {
+                    start.wait();
+                    let mut n = 0u64;
+                    while !stop.load(Ordering::Relaxed) {
+                        for _ in 0..64 {
+                            op(t);
+                        }
+                        n += 64;
+                    }
+                    total.fetch_add(n, Ordering::Relaxed);
+                });
+            }
+            start.wait();
+            let t0 = Instant::now();
+            std::thread::sleep(budget / ROUNDS);
+            stop.store(true, Ordering::Relaxed);
+            t0.elapsed()
+        });
+        let ns = elapsed.as_nanos() as f64
+            / total.load(std::sync::atomic::Ordering::Relaxed).max(1) as f64;
         if ns < best {
             best = ns;
         }
@@ -280,6 +343,42 @@ pub fn run_primitive_suite(budget: Duration) -> Vec<PrimitiveSample> {
             black_box(g.epoch());
         }),
     );
+
+    // Contended lock paths (ROADMAP: the trajectory should cover contention,
+    // not just uncontended ops): N threads hammer ONE lock. 2 threads =
+    // handoff/helping cost with a core each; 8 threads oversubscribes the
+    // usual CI container, so descheduled holders and helping are exercised.
+    // try_lock counts failed attempts as work too (that is the real cost
+    // profile of optimistic retry loops); lock() measures full acquire.
+    for (label, mode) in [
+        ("lock_free", LockMode::LockFree),
+        ("blocking", LockMode::Blocking),
+    ] {
+        set_lock_mode(mode);
+        for threads in [2usize, 8] {
+            let l = Arc::new(Lock::new());
+            let v = Arc::new(Mutable::new(0u64));
+            case(
+                &format!("contended_try_lock_{label}_{threads}t"),
+                measure_contended(budget, threads, |_| {
+                    let v2 = Arc::clone(&v);
+                    black_box(l.try_lock(move || v2.store(v2.load() + 1)));
+                }),
+            );
+        }
+        for threads in [2usize, 8] {
+            let l = Arc::new(Lock::new());
+            let v = Arc::new(Mutable::new(0u64));
+            case(
+                &format!("contended_lock_{label}_{threads}t"),
+                measure_contended(budget, threads, |_| {
+                    let v2 = Arc::clone(&v);
+                    l.lock(move || v2.store(v2.load() + 1));
+                }),
+            );
+        }
+    }
+    set_lock_mode(LockMode::LockFree);
 
     let l = Arc::new(Lock::new());
     let slot: Arc<Mutable<*mut u64>> = Arc::new(Mutable::new(std::ptr::null_mut()));

@@ -47,6 +47,15 @@ fn calibration(current: &BenchReport, baseline: &BenchReport) -> f64 {
         .primitives
         .iter()
         .filter_map(|new| {
+            // Contended cases are excluded from calibration: their own
+            // run-to-run spread (2-3x, see CONTENDED_FACTOR_SCALE) exceeds
+            // the gate margin, so a lucky-fast contended window could drag
+            // the low-quantile ratio down and rescale the baseline under
+            // unchanged uncontended cases. They keep their widened gate;
+            // only the stable uncontended cases estimate host speed.
+            if new.name.starts_with("contended_") {
+                return None;
+            }
             let old = baseline.primitives.iter().find(|p| p.name == new.name)?;
             // Sub-ns cases are noise-dominated; floor like the gate does.
             (old.ns_per_op >= 1.0 && new.ns_per_op > 0.0).then(|| new.ns_per_op / old.ns_per_op)

@@ -20,7 +20,8 @@
 //!   in the lock algorithm divergence-free for replayers.
 
 use std::cell::RefCell;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+use flock_sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
 use crate::log::LogBlock;
 
@@ -215,7 +216,9 @@ impl Descriptor {
     /// load is a plain `mov` there. On weakly-ordered targets Acquire
     /// suffices: the `SeqCst` fence inside `announce` is the barrier.
     pub(crate) fn is_done_announced(&self) -> bool {
-        const ORDER: Ordering = if cfg!(target_arch = "x86_64") {
+        // `model` builds always take the weak-target arm (the variant x86
+        // CI cannot falsify natively), matching `flock_sync::announce`.
+        const ORDER: Ordering = if cfg!(all(target_arch = "x86_64", not(feature = "model"))) {
             Ordering::SeqCst
         } else {
             Ordering::Acquire
@@ -238,7 +241,7 @@ impl Descriptor {
         // choices keep the thunk's effects ordered before the flag. (The
         // seed used SeqCst store + a separate announce fence — one more
         // full barrier per in-thunk store than this split pays.)
-        const ORDER: Ordering = if cfg!(target_arch = "x86_64") {
+        const ORDER: Ordering = if cfg!(all(target_arch = "x86_64", not(feature = "model"))) {
             Ordering::SeqCst
         } else {
             Ordering::Release
@@ -329,6 +332,26 @@ thread_local! {
             items: RefCell::new(Vec::new()),
         }
     };
+}
+
+/// Model-engine worker reset: drain the calling thread's descriptor pool
+/// (as its TLS destructor would), so pooled model workers start every
+/// execution with the same (empty) pool a fresh thread has. The drained
+/// descriptors may have been published, so they go through the orphan
+/// retire, exactly like `Pool::drop`; the model engine frees orphans
+/// between executions.
+#[cfg(feature = "model")]
+pub fn model_drain_descriptor_pool() {
+    POOL.with(|p| {
+        for d in p.items.borrow_mut().drain(..) {
+            let raw = Box::into_raw(d);
+            flock_epoch::debug_track_alloc(raw);
+            // SAFETY: pool entries are fully reset and unreachable except
+            // via possible stale-helper pointers; orphan retire defers the
+            // free past any pinned helper (none live between executions).
+            unsafe { flock_epoch::retire_orphan(raw) };
+        }
+    });
 }
 
 /// Create (or recycle) a descriptor holding `f`.

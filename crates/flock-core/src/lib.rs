@@ -58,8 +58,14 @@ mod lock;
 mod locked;
 mod log;
 mod mutable;
+/// Model-only sanity mutants (see the `flock-model` crate). Compiled out of
+/// every non-`model` build.
+#[cfg(feature = "model")]
+pub mod mutants;
 
 pub use ctx::in_thunk;
+#[cfg(feature = "model")]
+pub use descriptor::model_drain_descriptor_pool;
 pub use descriptor::set_descriptor_reuse;
 pub use idemp::{alloc, retire};
 pub use lock::{Lock, LockMode, lock_mode, set_helping, set_lock_mode};
@@ -135,6 +141,7 @@ mod tests {
     /// The headline property: if a lock holder stalls forever, others
     /// complete its critical section (lock-free mode only).
     #[test]
+    #[cfg_attr(miri, ignore)] // wall-clock park/deadline logic
     fn stalled_holder_is_helped() {
         let _guard = crate::lock::TEST_MODE_LOCK
             .lock()
@@ -195,6 +202,7 @@ mod tests {
     /// A thunk helped to completion and then re-run by its owner must not
     /// double-apply effects.
     #[test]
+    #[cfg_attr(miri, ignore)] // 2k-op concurrency stress, too slow under miri
     fn helped_thunk_applies_once() {
         let _guard = crate::lock::TEST_MODE_LOCK
             .lock()
@@ -224,6 +232,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore)] // 800-op nested-lock stress, slow under miri
     fn nested_trylock_transfer() {
         let _guard = crate::lock::TEST_MODE_LOCK
             .lock()
@@ -280,6 +289,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore)] // 800-op reclamation stress, slow under miri
     fn idempotent_alloc_retire_under_lock() {
         let _guard = crate::lock::TEST_MODE_LOCK
             .lock()

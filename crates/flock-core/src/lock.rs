@@ -21,6 +21,11 @@
 //! (with the descriptor pointer left null), no descriptor is created, and
 //! nothing is logged — the paper's runtime-switchable blocking mode.
 
+// MODE/HELPING below are runtime configuration ("not meant to be toggled
+// while operations run"), not protocol state: they deliberately stay plain
+// std atomics so the model checker does not turn every mode read into a
+// scheduling point. All protocol state on this path lives in `Mutable` /
+// `Descriptor`, which route through `flock_sync::atomic`.
 use std::sync::atomic::{AtomicU8, Ordering};
 
 use flock_sync::pack::{PackedValue, next_tag, pack, unpack_tag, unpack_val};
@@ -232,10 +237,12 @@ impl Lock {
                 let mine = LockWord::locked(d);
                 let mut backoff = Backoff::new();
                 loop {
-                    let cur = self.word.load_in(tc);
+                    let cur_packed = self.word.load_packed_in(tc);
+                    let cur = LockWord::from_bits(unpack_val(cur_packed));
                     if !cur.is_locked() {
                         self.word.cam_in(tc, cur, mine);
-                        let cur2 = self.word.load_in(tc);
+                        let cur2_packed = self.word.load_packed_in(tc);
+                        let cur2 = LockWord::from_bits(unpack_val(cur2_packed));
                         // SAFETY: `d` is ours (or the committed nested
                         // descriptor), live until disposed below. The done
                         // read is ordered after the cur2 load: if a helper
@@ -252,10 +259,10 @@ impl Lock {
                             return result;
                         }
                         if cur2.is_locked() {
-                            self.help(tc, cur2, &guard);
+                            self.help(tc, cur2_packed, &guard);
                         }
                     } else {
-                        self.help(tc, cur, &guard);
+                        self.help(tc, cur_packed, &guard);
                     }
                     backoff.spin();
                 }
@@ -294,11 +301,14 @@ impl Lock {
             let guard = flock_epoch::pin_with(tc);
             let nested = tc.in_thunk();
 
-            // Line 14: read the lock (idempotently when nested).
-            let cur = self.word.load_in(tc);
+            // Line 14: read the lock (idempotently when nested). The full
+            // packed word (tag included) is kept: helping keys on the exact
+            // incarnation of the lock word, not just its value (see `help`).
+            let cur_packed = self.word.load_packed_in(tc);
+            let cur = LockWord::from_bits(unpack_val(cur_packed));
             if cur.is_locked() {
                 // Line 26 of the paper (locked on first read): help and fail.
-                self.help(tc, cur, &guard);
+                self.help(tc, cur_packed, &guard);
                 return None;
             }
 
@@ -312,7 +322,8 @@ impl Lock {
             self.word.cam_in(tc, cur, mine);
 
             // Line 19: did we get in?
-            let cur2 = self.word.load_in(tc);
+            let cur2_packed = self.word.load_packed_in(tc);
+            let cur2 = LockWord::from_bits(unpack_val(cur2_packed));
             // SAFETY: `d` is live: top-level descriptors are owner-held until
             // disposed; nested ones are epoch-protected after commit.
             //
@@ -334,7 +345,7 @@ impl Lock {
             } else {
                 // Lines 23-26: someone else is (or was) in; help if locked.
                 if cur2.is_locked() {
-                    self.help(tc, cur2, &guard);
+                    self.help(tc, cur2_packed, &guard);
                 }
                 // Our descriptor never ran. Top level: it was never
                 // published, recycle it directly. Nested: its pointer is in
@@ -376,10 +387,28 @@ impl Lock {
         unsafe { out.assume_init() }
     }
 
-    /// Help the descriptor installed on this lock (observed as `cur`):
-    /// mark helped → adopt epoch → revalidate → run; then always replay the
-    /// unlock CAM so nested replayers stay log-position-synchronized.
-    fn help(&self, tc: &ThreadCtx, cur: LockWord, guard: &flock_epoch::EpochGuard) {
+    /// Help the descriptor installed on this lock (observed as the full
+    /// packed word `cur_packed`): mark helped → adopt epoch → revalidate →
+    /// run; then always replay the unlock CAM so nested replayers stay
+    /// log-position-synchronized.
+    ///
+    /// Both the revalidation and the unlock guard compare the **full packed
+    /// word — tag included**. Comparing only the value bits is unsound: an
+    /// unhelped descriptor is pool-recycled by its owner and can be
+    /// reinstalled on the same lock at the same address, and the pool reset
+    /// erases any *stale* `helped` mark. A helper whose mark was erased
+    /// would then pass a value-only revalidation against the new
+    /// incarnation — invisible to that incarnation's owner — and race the
+    /// owner's next recycle (observed in practice as a contended-lock
+    /// crash: "descriptor thunk called before set"); a value-only unlock
+    /// guard would likewise let the trailing CAM unlock the new incarnation
+    /// mid-run. The install CAM bumps the lock word's tag, so full-word
+    /// comparison rejects every reincarnation. (Residual window: a stalled
+    /// helper surviving an exact 2^16-install tag wraparound of this one
+    /// lock word; ignored as unreachable in practice, like the paper's own
+    /// single-word-tag bound.)
+    fn help(&self, tc: &ThreadCtx, cur_packed: u64, guard: &flock_epoch::EpochGuard) {
+        let cur = LockWord::from_bits(unpack_val(cur_packed));
         debug_assert!(cur.is_locked());
         if !helping_enabled() {
             return; // ablation mode: no helping, busy locks just fail
@@ -404,12 +433,13 @@ impl Lock {
         // its own SeqCst unlock CAM.
         // SAFETY: as above.
         let _adopt = guard.adopt(unsafe { (*d).birth_epoch() });
-        // Revalidate: only run while the descriptor is still installed. The
-        // mark_helped above happened before this read, so the owner cannot
-        // have recycled the descriptor if the read still sees it installed.
-        // (Acquire read; ordered by the adopt fence just issued.)
+        // Revalidate: only run while the lock word still holds the exact
+        // incarnation we observed (full packed comparison, see above). The
+        // mark_helped above happened before this read, so this incarnation's
+        // owner cannot have recycled the descriptor if the read still sees
+        // it installed. (Acquire read; ordered by the adopt fence.)
         let raw = self.word.raw_packed();
-        if LockWord::from_bits(unpack_val(raw)) == cur {
+        if raw == cur_packed {
             // SAFETY: revalidated + epoch-adopted: `d` is live and its
             // owner will observe `helped` before any reuse decision. The
             // null out-slot discards the helper's copy of the result.
@@ -424,7 +454,8 @@ impl Lock {
         }
         // Idempotent unlock attempt — executed unconditionally so that every
         // runner of an enclosing thunk commits the same two log entries.
-        self.word.cam_in(tc, cur, LockWord::UNLOCKED_EMPTY);
+        self.word
+            .cam_packed_in(tc, cur_packed, LockWord::UNLOCKED_EMPTY);
     }
 
     /// Dispose of our descriptor after a completed self-run.
@@ -533,6 +564,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore)] // 8k-op concurrency stress, too slow under miri
     fn critical_sections_are_atomic() {
         both_modes(|| {
             let l = Arc::new(Lock::new());
@@ -560,6 +592,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore)] // 8k-op concurrency stress, too slow under miri
     fn strict_lock_counter_exact() {
         both_modes(|| {
             let l = Arc::new(Lock::new());
@@ -584,6 +617,39 @@ mod tests {
             });
             assert_eq!(n.load(), 4 * PER_THREAD);
         });
+    }
+
+    /// Regression stress for the help-path incarnation bug: `help()` used
+    /// to compare only the lock word's *value* bits when revalidating and
+    /// unlocking, so a pool-recycled descriptor reinstalled at the same
+    /// address could be run/unlocked by a stale helper whose `helped` mark
+    /// the pool reset had erased (crashing with "descriptor thunk called
+    /// before set" under contention). Oversubscribed strict-lock hammering
+    /// on one lock is the reproducer shape: holders get descheduled
+    /// mid-section, helpers race owners through reuse cycles.
+    #[test]
+    #[cfg_attr(miri, ignore)] // oversubscribed timing stress, pointless under miri
+    fn contended_strict_lock_descriptor_reuse() {
+        let _guard = TEST_MODE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        set_lock_mode(LockMode::LockFree);
+        let l = Arc::new(Lock::new());
+        let n = Arc::new(crate::Mutable::new(0u64));
+        let threads = 8u64; // deliberately above typical CI core counts
+        const PER_THREAD: u64 = 1_500;
+        std::thread::scope(|s| {
+            for _ in 0..threads {
+                let l = Arc::clone(&l);
+                let n = Arc::clone(&n);
+                s.spawn(move || {
+                    for _ in 0..PER_THREAD {
+                        let n2 = Arc::clone(&n);
+                        l.lock(move || n2.store(n2.load() + 1));
+                    }
+                });
+            }
+        });
+        assert_eq!(n.load(), threads * PER_THREAD);
+        assert!(!l.is_locked());
     }
 
     #[test]

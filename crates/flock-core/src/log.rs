@@ -8,7 +8,7 @@
 //! thunk observes the same committed values, all runs take the same branches
 //! and stay position-synchronized.
 
-use std::sync::atomic::{AtomicPtr, AtomicU64, Ordering};
+use flock_sync::atomic::{AtomicPtr, AtomicU64, Ordering};
 
 /// Entries per log block. The paper's Flock uses 7 by default so that a block
 /// plus its next pointer fill one 64-byte cache line.
@@ -53,6 +53,10 @@ impl LogBlock {
     #[inline]
     pub fn commit_at(&self, idx: usize, val: u64) -> (u64, bool) {
         debug_assert!(val != EMPTY, "EMPTY is reserved as the log sentinel");
+        #[cfg(feature = "model")]
+        if crate::mutants::log_no_agreement() {
+            return (val, true);
+        }
         let entry = &self.entries[idx];
         let cur = entry.load(Ordering::Acquire);
         if cur != EMPTY {

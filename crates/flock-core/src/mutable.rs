@@ -31,9 +31,9 @@
 //! stores are plain writes.
 
 use std::marker::PhantomData;
-use std::sync::atomic::{AtomicU64, Ordering};
 
 use flock_sync::announce;
+use flock_sync::atomic::{AtomicU64, Ordering};
 use flock_sync::pack::{PackedValue, next_tag, pack, unpack_tag, unpack_val};
 use flock_sync::tagged::TaggedAtomicU64;
 use flock_sync::{ThreadCtx, thread_ctx};
@@ -107,6 +107,16 @@ impl<V: PackedValue> Mutable<V> {
         V::from_bits(unpack_val(self.load_packed_committed_in(tc)))
     }
 
+    /// Idempotent load returning the full packed word (tag + payload), for
+    /// callers that must later compare *incarnations* of this location, not
+    /// just values — the lock help path keeps the tag so a recycled
+    /// descriptor reinstalled at the same address cannot masquerade as the
+    /// observed one (see `Lock::help`).
+    #[inline]
+    pub(crate) fn load_packed_in(&self, tc: &ThreadCtx) -> u64 {
+        self.load_packed_committed_in(tc)
+    }
+
     /// Idempotent load returning the full packed word (tag + payload).
     #[inline]
     fn load_packed_committed_in(&self, tc: &ThreadCtx) -> u64 {
@@ -115,6 +125,10 @@ impl<V: PackedValue> Mutable<V> {
         // lock algorithm's "read the lock word" steps; on x86-TSO a SeqCst
         // load is a plain mov, so there is nothing to shave here anyway.
         let w = self.cell.load_packed(Ordering::SeqCst);
+        #[cfg(feature = "model")]
+        if crate::mutants::skip_load_commit() {
+            return w;
+        }
         let (committed, _) = commit_raw_in(tc, w);
         committed
     }
@@ -144,6 +158,20 @@ impl<V: PackedValue> Mutable<V> {
     pub(crate) fn cam_in(&self, tc: &ThreadCtx, old: V, new: V) {
         let committed_old = self.load_packed_committed_in(tc);
         if unpack_val(committed_old) != old.to_bits() {
+            return;
+        }
+        self.tagged_cas_after_load_in(tc, committed_old, new);
+    }
+
+    /// CAM guarded by a **full packed word** (tag included): fires only
+    /// while the location still holds the exact incarnation `expected_packed`
+    /// was read from. The help path's unlock uses this — a value-only guard
+    /// would let a stale helper unlock a *later* reuse of the same
+    /// descriptor address (same payload bits, newer tag).
+    #[inline]
+    pub(crate) fn cam_packed_in(&self, tc: &ThreadCtx, expected_packed: u64, new: V) {
+        let committed_old = self.load_packed_committed_in(tc);
+        if committed_old != expected_packed {
             return;
         }
         self.tagged_cas_after_load_in(tc, committed_old, new);
@@ -369,6 +397,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore)] // 2^16 stores, too slow under miri
     fn tag_wraps_cleanly() {
         let m = Mutable::new(0u32);
         // Drive the tag space all the way around (2^16 - 1 usable tags).

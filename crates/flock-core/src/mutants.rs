@@ -1,0 +1,28 @@
+//! Deliberate protocol weakenings for validating the model checker.
+//!
+//! Each knob re-creates a bug class the `flock-model` test suite claims to
+//! catch; a model test flips the knob and asserts the checker **finds** a
+//! failing schedule. Everything here is `cfg(feature = "model")`-gated and
+//! absent from production builds; the knobs are plain std atomics (test
+//! configuration, not modeled protocol state).
+
+use core::sync::atomic::{AtomicBool, Ordering};
+
+/// Skip committing `Mutable` loads to the thunk log: runs of the same thunk
+/// may observe different values and diverge — the exact replay-divergence
+/// (double-applied effects) the log-based idempotence scheme exists to
+/// prevent.
+pub static SKIP_LOAD_COMMIT: AtomicBool = AtomicBool::new(false);
+
+pub(crate) fn skip_load_commit() -> bool {
+    SKIP_LOAD_COMMIT.load(Ordering::Relaxed)
+}
+
+/// Break log-commit agreement: `commit_at` reports every commit as the
+/// winner with the caller's own value instead of CAS-adjudicating. Helpers
+/// stop adopting the first committer's values, so replays diverge.
+pub static LOG_NO_AGREEMENT: AtomicBool = AtomicBool::new(false);
+
+pub(crate) fn log_no_agreement() -> bool {
+    LOG_NO_AGREEMENT.load(Ordering::Relaxed)
+}

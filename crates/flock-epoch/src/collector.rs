@@ -1,8 +1,12 @@
 //! The global collector: epoch counter, reservations, retire bags.
 
 use std::sync::Mutex;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering, fence};
+// The retired/freed statistics counters stay plain std atomics: they are
+// reporting state plus a cadence heuristic, not part of any reclamation
+// safety argument, so the model checker does not schedule around them.
+use std::sync::atomic::AtomicUsize;
 
+use flock_sync::atomic::{AtomicU64, Ordering, fence};
 use flock_sync::{CachePadded, MAX_THREADS, tid};
 
 /// Reservation value meaning "thread not inside any operation".
@@ -257,6 +261,59 @@ pub(crate) fn flush_all() {
             return;
         }
     }
+}
+
+/// Model-checker support: reset the collector to a deterministic state
+/// between executions.
+///
+/// The DFS scheduler replays schedule prefixes and requires every execution
+/// to start from identical collector state; the retire-count cadence
+/// (`ADVANCE_PERIOD`) would otherwise fire `try_advance` at different
+/// points across executions. Caller contract (upheld by `flock-model`): no
+/// thread is pinned and no model threads exist when this runs, so every
+/// bagged object is force-freeable regardless of stamp.
+/// Model-engine worker reset: move the calling thread's local retire bag to
+/// the orphans (as its TLS destructor would), so pooled model workers start
+/// every execution with an empty bag. The engine's `model_reset` then frees
+/// the orphans.
+#[cfg(feature = "model")]
+pub(crate) fn model_drain_local_bag() {
+    LOCAL_BAG.with(|bag| {
+        let mut items = bag.items.borrow_mut();
+        if !items.is_empty()
+            && let Ok(mut orphans) = GLOBAL.orphans.lock()
+        {
+            orphans.append(&mut items);
+        }
+    });
+}
+
+#[cfg(feature = "model")]
+pub(crate) fn model_reset() {
+    fn free_all(items: &mut Vec<Retired>) {
+        for it in items.drain(..) {
+            #[cfg(debug_assertions)]
+            debug_track::on_free(it.ptr as usize);
+            // SAFETY: nothing is pinned (caller contract), so no in-flight
+            // operation can reach a retired object; retired exactly once.
+            unsafe { (it.drop_fn)(it.ptr) };
+        }
+    }
+    LOCAL_BAG.with(|bag| free_all(&mut bag.items.borrow_mut()));
+    if let Ok(mut orphans) = GLOBAL.orphans.lock() {
+        free_all(&mut orphans);
+    }
+    // A model thread that died mid-unwind may have left a reservation set;
+    // clear them all (no model threads are live — caller contract).
+    for r in GLOBAL.reservations.iter() {
+        r.store(QUIESCENT, Ordering::SeqCst);
+    }
+    GLOBAL
+        .retired_count
+        .store(0, std::sync::atomic::Ordering::SeqCst);
+    GLOBAL
+        .freed_count
+        .store(0, std::sync::atomic::Ordering::SeqCst);
 }
 
 /// Monotone counters describing collector activity; for tests and reporting.

@@ -5,11 +5,28 @@
 //! a caller that already holds the context can pin with [`pin_with`]
 //! without another TLS access.
 
-use std::sync::atomic::{Ordering, fence};
-
+use flock_sync::atomic::{Ordering, fence};
 use flock_sync::{ThreadCtx, thread_ctx, tid};
 
 use crate::collector::{self, QUIESCENT};
+
+/// Model-only sanity mutants (see `flock-model`). Compiled out of every
+/// non-`model` build.
+#[cfg(feature = "model")]
+pub mod mutants {
+    use core::sync::atomic::{AtomicBool, Ordering};
+
+    /// Skip the pin-publication `SeqCst` fence (and its post-fence
+    /// re-validation): the reservation store stays in the pinning thread's
+    /// store buffer, a concurrent collector scan misses it, and an object
+    /// the pinned thread still references gets freed — the exact
+    /// use-after-free the fence pairing exists to exclude.
+    pub static SKIP_PIN_FENCE: AtomicBool = AtomicBool::new(false);
+
+    pub(crate) fn skip_pin_fence() -> bool {
+        SKIP_PIN_FENCE.load(Ordering::Relaxed)
+    }
+}
 
 /// Collect this thread's bag every N outermost unpins.
 const COLLECT_PERIOD: usize = 128;
@@ -64,6 +81,10 @@ pub fn pin_with(tc: &ThreadCtx) -> EpochGuard {
         loop {
             let e = collector::global_epoch().load(Ordering::Relaxed);
             res.store(e, Ordering::Relaxed);
+            #[cfg(feature = "model")]
+            if mutants::skip_pin_fence() {
+                break;
+            }
             fence(Ordering::SeqCst);
             // Post-fence re-read: sees every epoch-advance CAS that is
             // SeqCst-ordered before our fence (C++20 fence rule).

@@ -31,9 +31,34 @@ mod collector;
 mod guard;
 
 pub use collector::{CollectorStats, QUIESCENT, collector_stats, try_advance};
+#[cfg(feature = "model")]
+pub use guard::mutants;
 pub use guard::{AdoptGuard, EpochGuard, pin, pin_with, pinned_epoch};
 
-use std::sync::atomic::Ordering;
+use flock_sync::atomic::Ordering;
+
+/// Model-checker support (see `flock-model`): reset the collector to a
+/// deterministic state between executions. Caller contract: no thread is
+/// pinned and no model threads are live.
+#[cfg(feature = "model")]
+pub fn model_reset() {
+    collector::model_reset();
+}
+
+/// Model-checker support: run one local collection pass now (the cadence
+/// heuristics that normally trigger it are too coarse for model scope).
+/// Must be called with the calling thread unpinned or about to re-validate.
+#[cfg(feature = "model")]
+pub fn collect_now() {
+    collector::collect_local();
+}
+
+/// Model-engine worker reset: drain the calling thread's retire bag to the
+/// orphans, as its TLS destructor would. See `model_reset`.
+#[cfg(feature = "model")]
+pub fn model_drain_local_bag() {
+    collector::model_drain_local_bag();
+}
 
 /// Allocate `value` on the heap for use with [`retire`].
 ///

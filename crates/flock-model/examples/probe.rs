@@ -1,0 +1,122 @@
+//! Scratch probe for sizing model-test schedule spaces (dev tool).
+//! `cargo run --release -p flock-model --example probe -- <case> [budget]`
+
+use std::sync::Arc;
+
+use flock_model::{Config, explore};
+use flock_sync::atomic::{AtomicU64, Ordering};
+
+fn epoch_body() {
+    struct Canary(Arc<core::sync::atomic::AtomicBool>);
+    impl Drop for Canary {
+        fn drop(&mut self) {
+            self.0.store(true, core::sync::atomic::Ordering::SeqCst);
+        }
+    }
+    let freed = Arc::new(core::sync::atomic::AtomicBool::new(false));
+    let slot = Arc::new(AtomicU64::new(0));
+    let ptr = flock_epoch::alloc(Canary(Arc::clone(&freed)));
+    slot.store(ptr as usize as u64, Ordering::SeqCst);
+
+    let (s2, f2) = (Arc::clone(&slot), Arc::clone(&freed));
+    let reader = flock_model::spawn(move || {
+        let guard = flock_epoch::pin();
+        let p = s2.load(Ordering::Acquire);
+        if p != 0 {
+            assert!(!f2.load(core::sync::atomic::Ordering::SeqCst), "freed!");
+            let _ = s2.load(Ordering::Acquire);
+            assert!(!f2.load(core::sync::atomic::Ordering::SeqCst), "freed!");
+        }
+        drop(guard);
+        flock_sync::atomic::fence(Ordering::SeqCst);
+    });
+
+    let s2 = Arc::clone(&slot);
+    let reclaimer = flock_model::spawn(move || {
+        let p = s2.swap(0, Ordering::SeqCst);
+        if p != 0 {
+            let g = flock_epoch::pin();
+            // SAFETY: unlinked above, retired once, pinned.
+            unsafe { flock_epoch::retire(p as usize as *mut Canary) };
+            drop(g);
+            flock_epoch::try_advance();
+            flock_epoch::try_advance();
+            flock_epoch::collect_now();
+        }
+        flock_sync::atomic::fence(Ordering::SeqCst);
+    });
+    reader.join();
+    reclaimer.join();
+}
+
+fn trivial_body() {
+    let c = Arc::new(AtomicU64::new(0));
+    let c2 = Arc::clone(&c);
+    let t = flock_model::spawn(move || {
+        c2.fetch_add(1, Ordering::SeqCst);
+    });
+    c.fetch_add(1, Ordering::SeqCst);
+    t.join();
+}
+
+fn solo_body() {
+    let c = AtomicU64::new(0);
+    for _ in 0..10 {
+        c.fetch_add(1, Ordering::SeqCst);
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    if args.get(1).map(|s| s.as_str()) == Some("overhead") {
+        return bench_overhead();
+    }
+    let budget: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(20_000);
+    let t0 = std::time::Instant::now();
+    let report = explore(
+        Config {
+            max_schedules: budget,
+            tso: true,
+            max_preemptions: 1,
+            ..Config::default()
+        },
+        match args.get(1).map(|s| s.as_str()) {
+            Some("trivial") => trivial_body as fn(),
+            Some("solo") => solo_body as fn(),
+            _ => epoch_body as fn(),
+        },
+    );
+    let dt = t0.elapsed();
+    println!(
+        "steps={} tier2_sleeps={}",
+        flock_model::STAT_STEPS.load(std::sync::atomic::Ordering::Relaxed),
+        flock_model::STAT_SLEEPS.load(std::sync::atomic::Ordering::Relaxed)
+    );
+    println!(
+        "schedules={} complete={} pruned={} failure={} in {:.2?} ({:.0}/s)",
+        report.schedules_run,
+        report.complete,
+        report.pruned,
+        report.failure.is_some(),
+        dt,
+        report.schedules_run as f64 / dt.as_secs_f64()
+    );
+}
+
+#[allow(dead_code)]
+fn bench_overhead() {
+    // 100 replays of the single-schedule solo body: isolates fixed cost.
+    let t0 = std::time::Instant::now();
+    for _ in 0..100 {
+        let r = flock_model::replay(Config::sc(), &[], solo_body);
+        assert!(r.failure.is_none());
+    }
+    println!("100 solo replays: {:.2?}", t0.elapsed());
+    // Same but with one spawned thread.
+    let t0 = std::time::Instant::now();
+    for _ in 0..100 {
+        let r = flock_model::replay(Config::sc(), &[], trivial_body);
+        assert!(r.failure.is_none());
+    }
+    println!("100 trivial replays: {:.2?}", t0.elapsed());
+}

@@ -1,0 +1,369 @@
+//! # flock-model — deterministic model checking for the Flock protocols
+//!
+//! The protocol crates (`flock-sync`, `flock-core`, `flock-epoch`) route
+//! every atomic and fence through `flock_sync::atomic`; with their `model`
+//! feature on, this crate supplies the runtime behind that shim and turns
+//! each access into a scheduling point of a systematic concurrency
+//! checker — the *real implementation* runs under the model, not a
+//! transliteration. The container this repo builds in is offline (no loom,
+//! no shuttle), so the checker is built in-repo and dependency-free.
+//!
+//! * **Exploration**: depth-first search over schedules with bounded
+//!   preemptions (Musuvathi–Qadeer-style context bounding). A schedule is a
+//!   list of choice indices; the DFS replays a prefix and diverges at the
+//!   last branch, so the same seed state always explores in the same order
+//!   and a reported schedule can be replayed verbatim with [`replay`].
+//! * **Memory model**: TSO store buffers (see `exec.rs` docs) — the
+//!   store–load reordering fragment that the announce/Dekker pair and the
+//!   epoch fences defend against. `tso: false` selects plain sequential
+//!   consistency for tests about interleaving logic only.
+//! * **Scope bounding**: model builds shrink the ABA tag space
+//!   (`flock_sync::pack::TAG_LIMIT` = 8) so tag wraparound is reachable,
+//!   and tests keep thread/op counts small enough that the DFS *completes*
+//!   ([`Report::complete`]); every claim a model test makes is exhaustive
+//!   at its stated bounds.
+//! * **Sanity mutants**: the protocol crates expose `cfg(model)`-gated
+//!   weakenings (`mutants` modules: a dropped announce fence, a dropped pin
+//!   fence, log commits that stop agreeing, the rejected lock-free
+//!   scan-bound release). The test suite flips each one and asserts the
+//!   checker **finds** a failing schedule — proving the harness catches the
+//!   bug class it exists for, not just that green runs stay green.
+//!
+//! ```ignore
+//! let report = flock_model::explore(Config::tso(), || {
+//!     let t = flock_model::spawn(|| { /* thread body */ });
+//!     /* main-thread body */
+//!     t.join();
+//!     /* assert invariants */
+//! });
+//! report.assert_exhaustive_ok();
+//! ```
+
+mod exec;
+
+pub use exec::{STAT_SLEEPS, STAT_STEPS};
+
+use std::sync::{Arc, Mutex};
+
+use exec::{Runtime, WorkerPool};
+
+/// Exploration parameters. Defaults are deliberately small: model tests are
+/// about exhaustiveness at tiny scope, not coverage at large scope.
+#[derive(Clone, Debug)]
+pub struct Config {
+    /// Maximum preemptions per schedule (context switches away from a
+    /// still-runnable thread). Switches at blocking/finish points are free.
+    pub max_preemptions: usize,
+    /// Hard cap on explored schedules; exceeding it ends exploration with
+    /// `complete = false`.
+    pub max_schedules: usize,
+    /// Hard cap on scheduling points in one execution; exceeding it prunes
+    /// that schedule (counted in [`Report::pruned`], never silent).
+    pub max_steps: usize,
+    /// Model TSO store buffers (true) or sequential consistency (false).
+    pub tso: bool,
+    /// `Some(seed)`: random sampling of [`Config::samples`] schedules
+    /// instead of exhaustive DFS (same seed → same schedules). `None`:
+    /// exhaustive DFS.
+    pub seed: Option<u64>,
+    /// Number of schedules to sample in seeded-random mode.
+    pub samples: usize,
+    /// Keep at most this many trace lines per execution (failure reports).
+    pub trace_cap: usize,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Self {
+            max_preemptions: 2,
+            max_schedules: 200_000,
+            max_steps: 20_000,
+            tso: false,
+            seed: None,
+            samples: 2_000,
+            trace_cap: 400,
+        }
+    }
+}
+
+impl Config {
+    /// Default exhaustive config with sequential consistency.
+    pub fn sc() -> Self {
+        Self::default()
+    }
+
+    /// Default exhaustive config with TSO store buffers.
+    pub fn tso() -> Self {
+        Self {
+            tso: true,
+            ..Self::default()
+        }
+    }
+}
+
+/// A failing schedule, replayable with [`replay`].
+#[derive(Clone, Debug)]
+pub struct Failure {
+    /// The choice-index schedule that produced the failure.
+    pub schedule: Vec<usize>,
+    /// The first panic message observed.
+    pub message: String,
+    /// Per-step trace of the failing execution (possibly truncated).
+    pub trace: Vec<String>,
+}
+
+impl std::fmt::Display for Failure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "model failure: {}", self.message)?;
+        writeln!(f, "replay schedule: {:?}", self.schedule)?;
+        writeln!(f, "trace ({} steps):", self.trace.len())?;
+        for line in &self.trace {
+            writeln!(f, "  {line}")?;
+        }
+        Ok(())
+    }
+}
+
+/// The result of an exploration.
+#[derive(Clone, Debug)]
+pub struct Report {
+    /// Schedules executed.
+    pub schedules_run: usize,
+    /// True iff the DFS exhausted the whole (bounded-preemption) schedule
+    /// space within `max_schedules`. Always false in seeded-random mode.
+    pub complete: bool,
+    /// Executions cut off by `max_steps` (should be 0 for exhaustive
+    /// claims; never silently ignored).
+    pub pruned: usize,
+    /// The first failure found, if any (exploration stops at the first).
+    pub failure: Option<Failure>,
+}
+
+impl Report {
+    /// Assert no failure was found, the space was fully explored, and
+    /// nothing was pruned — the contract of an exhaustive model test.
+    #[track_caller]
+    pub fn assert_exhaustive_ok(&self) {
+        if let Some(f) = &self.failure {
+            panic!("{f}");
+        }
+        assert!(
+            self.complete,
+            "schedule space not exhausted within budget ({} schedules run)",
+            self.schedules_run
+        );
+        assert_eq!(self.pruned, 0, "schedules were pruned by max_steps");
+    }
+
+    /// Assert a failure **was** found (sanity-mutant tests: the checker
+    /// must catch the planted bug).
+    #[track_caller]
+    pub fn assert_finds_bug(&self) -> &Failure {
+        self.failure.as_ref().unwrap_or_else(|| {
+            panic!(
+                "mutant not caught: {} schedules (complete = {}, pruned = {})",
+                self.schedules_run, self.complete, self.pruned
+            )
+        })
+    }
+}
+
+/// Handle to a spawned model thread.
+pub struct JoinHandle<T> {
+    id: usize,
+    result: Arc<Mutex<Option<T>>>,
+}
+
+impl<T> JoinHandle<T> {
+    /// Wait (as a scheduling point) for the thread to finish; returns its
+    /// result.
+    pub fn join(self) -> T {
+        let rt = exec::current_runtime();
+        rt.join_vthread(self.id);
+        self.result
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .take()
+            .expect("model thread finished without a result")
+    }
+}
+
+/// Spawn a model thread. Must be called from inside a model execution (the
+/// body passed to [`explore`], or another spawned thread).
+pub fn spawn<T, F>(f: F) -> JoinHandle<T>
+where
+    T: Send + 'static,
+    F: FnOnce() -> T + Send + 'static,
+{
+    let rt = exec::current_runtime();
+    let id = rt.register_thread();
+    let result = Arc::new(Mutex::new(None));
+    let slot = Arc::clone(&result);
+    rt.start_vthread(
+        id,
+        Box::new(move || {
+            let v = f();
+            *slot.lock().unwrap_or_else(|e| e.into_inner()) = Some(v);
+        }),
+    );
+    JoinHandle { id, result }
+}
+
+enum ExecResult {
+    Ok,
+    Pruned,
+    Failed(Failure),
+}
+
+struct ExecRecord {
+    /// (chosen index, number of alternatives) at each decision point.
+    decisions: Vec<(usize, usize)>,
+    result: ExecResult,
+}
+
+/// Run one execution following `prefix` (then always choosing index 0 /
+/// rng), recording every decision. Scheduling decisions are made inline by
+/// the vthreads themselves (see `exec.rs`); this function only sets the
+/// execution up, kicks off the first decision, and collects the outcome.
+fn run_execution(
+    cfg: &Config,
+    prefix: &[usize],
+    rng: Option<u64>,
+    body: &Arc<dyn Fn() + Send + Sync>,
+    pool: &Arc<WorkerPool>,
+) -> (ExecRecord, Option<u64>) {
+    // Identical start state for every execution: every worker back to
+    // fresh-thread thread-local state, nothing retired, cadence counters
+    // zeroed, no reservations, no stale announcements.
+    pool.reset_all_workers();
+
+    let rt = Runtime::new(
+        pool,
+        cfg.tso,
+        cfg.trace_cap,
+        prefix.to_vec(),
+        cfg.max_preemptions,
+        cfg.max_steps,
+        rng,
+    );
+    let id0 = rt.register_thread();
+    debug_assert_eq!(id0, 0);
+    let body2 = Arc::clone(body);
+    rt.start_vthread(0, Box::new(move || body2()));
+    rt.schedule_first();
+
+    let rec = rt.wait_outcome();
+    let rng_out = rt.state.lock().unwrap_or_else(|e| e.into_inner()).rng;
+    let result = match rec.outcome {
+        exec::Outcome::Success => ExecResult::Ok,
+        exec::Outcome::Pruned => ExecResult::Pruned,
+        exec::Outcome::Failed => ExecResult::Failed(Failure {
+            schedule: rec.decisions.iter().map(|&(c, _)| c).collect(),
+            message: rec.failure.unwrap_or_else(|| "unknown failure".into()),
+            trace: rec.trace,
+        }),
+    };
+    (
+        ExecRecord {
+            decisions: rec.decisions,
+            result,
+        },
+        rng_out,
+    )
+}
+
+/// Explore the schedule space of `body` under `cfg`.
+///
+/// `body` runs once per schedule as model thread 0; it may [`spawn`] more
+/// threads and must re-create all test state itself (executions share the
+/// process-global registries, which the engine resets between runs).
+/// Exploration stops at the first failure.
+pub fn explore(cfg: Config, body: impl Fn() + Send + Sync + 'static) -> Report {
+    let body: Arc<dyn Fn() + Send + Sync> = Arc::new(body);
+    let pool = WorkerPool::new();
+    let mut report = Report {
+        schedules_run: 0,
+        complete: false,
+        pruned: 0,
+        failure: None,
+    };
+
+    if let Some(seed) = cfg.seed {
+        // Seeded-random sampling: never "complete", same seed → same runs.
+        let mut s = seed | 1;
+        for _ in 0..cfg.samples {
+            let (rec, rng_out) = run_execution(&cfg, &[], Some(s), &body, &pool);
+            s = rng_out.unwrap_or(s);
+            report.schedules_run += 1;
+            match rec.result {
+                ExecResult::Ok => {}
+                ExecResult::Pruned => report.pruned += 1,
+                ExecResult::Failed(f) => {
+                    report.failure = Some(f);
+                    return report;
+                }
+            }
+        }
+        return report;
+    }
+
+    // Exhaustive DFS: replay a prefix, extend with first choices, then
+    // backtrack at the deepest decision with an unexplored alternative.
+    let mut prefix: Vec<usize> = Vec::new();
+    loop {
+        let (rec, _) = run_execution(&cfg, &prefix, None, &body, &pool);
+        report.schedules_run += 1;
+        match rec.result {
+            ExecResult::Ok => {}
+            ExecResult::Pruned => report.pruned += 1,
+            ExecResult::Failed(f) => {
+                report.failure = Some(f);
+                return report;
+            }
+        }
+        // Backtrack.
+        let mut k = rec.decisions.len();
+        let next = loop {
+            if k == 0 {
+                break None;
+            }
+            k -= 1;
+            let (chosen, alts) = rec.decisions[k];
+            if chosen + 1 < alts {
+                let mut p: Vec<usize> = rec.decisions[..k].iter().map(|&(c, _)| c).collect();
+                p.push(chosen + 1);
+                break Some(p);
+            }
+        };
+        match next {
+            Some(p) => prefix = p,
+            None => {
+                report.complete = true;
+                return report;
+            }
+        }
+        if report.schedules_run >= cfg.max_schedules {
+            return report; // complete stays false
+        }
+    }
+}
+
+/// Re-run `body` under exactly one `schedule` (from a [`Failure`] report),
+/// returning that execution's outcome. For debugging failing schedules.
+pub fn replay(cfg: Config, schedule: &[usize], body: impl Fn() + Send + Sync + 'static) -> Report {
+    let body: Arc<dyn Fn() + Send + Sync> = Arc::new(body);
+    let pool = WorkerPool::new();
+    let (rec, _) = run_execution(&cfg, schedule, None, &body, &pool);
+    let mut report = Report {
+        schedules_run: 1,
+        complete: false,
+        pruned: 0,
+        failure: None,
+    };
+    match rec.result {
+        ExecResult::Ok => {}
+        ExecResult::Pruned => report.pruned = 1,
+        ExecResult::Failed(f) => report.failure = Some(f),
+    }
+    report
+}

@@ -1,0 +1,163 @@
+//! Self-tests of the model-checking engine: the checker must (a) find
+//! classic interleaving and store-buffering bugs in small synthetic
+//! programs, and (b) report green, complete explorations for their correct
+//! counterparts. These validate the harness itself before the protocol
+//! suite (`model_tests.rs`) leans on it.
+
+use std::sync::Arc;
+use std::sync::Mutex;
+
+use flock_model::{Config, explore};
+use flock_sync::atomic::{AtomicU64, Ordering};
+
+/// Model tests share process-global registries (thread ids, the epoch
+/// collector) and the mutant knobs; serialize them.
+static SERIAL: Mutex<()> = Mutex::new(());
+
+fn serial() -> std::sync::MutexGuard<'static, ()> {
+    SERIAL.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// A non-atomic increment (load; store) from two threads must lose an
+/// update in some interleaving — the checker has to find it.
+#[test]
+fn finds_lost_update() {
+    let _g = serial();
+    let report = explore(Config::sc(), || {
+        let c = Arc::new(AtomicU64::new(0));
+        let c2 = Arc::clone(&c);
+        let t = flock_model::spawn(move || {
+            let v = c2.load(Ordering::SeqCst);
+            c2.store(v + 1, Ordering::SeqCst);
+        });
+        let v = c.load(Ordering::SeqCst);
+        c.store(v + 1, Ordering::SeqCst);
+        t.join();
+        assert_eq!(c.load(Ordering::SeqCst), 2, "lost update");
+    });
+    let f = report.assert_finds_bug();
+    assert!(f.message.contains("lost update"), "{}", f.message);
+}
+
+/// The same increments made atomic (fetch_add) are correct under every
+/// schedule, and the space is small enough to exhaust.
+#[test]
+fn atomic_increments_verify() {
+    let _g = serial();
+    let report = explore(Config::sc(), || {
+        let c = Arc::new(AtomicU64::new(0));
+        let c2 = Arc::clone(&c);
+        let t = flock_model::spawn(move || {
+            c2.fetch_add(1, Ordering::SeqCst);
+        });
+        c.fetch_add(1, Ordering::SeqCst);
+        t.join();
+        assert_eq!(c.load(Ordering::SeqCst), 2);
+    });
+    report.assert_exhaustive_ok();
+    assert!(report.schedules_run > 1, "must explore > 1 interleaving");
+}
+
+/// Dekker store-buffering litmus (x = 1; read y || y = 1; read x): under
+/// TSO with only `Release` stores, both threads can read 0 — the checker
+/// must exhibit it. This is the exact reordering the announce fence
+/// defends against.
+#[test]
+fn tso_exhibits_store_buffering() {
+    let _g = serial();
+    let report = explore(Config::tso(), || {
+        let x = Arc::new(AtomicU64::new(0));
+        let y = Arc::new(AtomicU64::new(0));
+        let (x2, y2) = (Arc::clone(&x), Arc::clone(&y));
+        let t = flock_model::spawn(move || {
+            x2.store(1, Ordering::Release);
+            y2.load(Ordering::Acquire)
+        });
+        y.store(1, Ordering::Release);
+        let rx = x.load(Ordering::Acquire);
+        let ry = t.join();
+        assert!(
+            rx == 1 || ry == 1,
+            "both loads returned 0: store-buffering observed"
+        );
+    });
+    let f = report.assert_finds_bug();
+    assert!(f.message.contains("store-buffering"), "{}", f.message);
+}
+
+/// The same litmus with `SeqCst` fences after the stores is correct under
+/// TSO — and the checker must prove it exhaustively, flush choices
+/// included.
+#[test]
+fn tso_fences_forbid_store_buffering() {
+    let _g = serial();
+    let report = explore(Config::tso(), || {
+        let x = Arc::new(AtomicU64::new(0));
+        let y = Arc::new(AtomicU64::new(0));
+        let (x2, y2) = (Arc::clone(&x), Arc::clone(&y));
+        let t = flock_model::spawn(move || {
+            x2.store(1, Ordering::Release);
+            flock_sync::atomic::fence(Ordering::SeqCst);
+            y2.load(Ordering::Acquire)
+        });
+        y.store(1, Ordering::Release);
+        flock_sync::atomic::fence(Ordering::SeqCst);
+        let rx = x.load(Ordering::Acquire);
+        let ry = t.join();
+        assert!(rx == 1 || ry == 1, "SB appeared despite SeqCst fences");
+    });
+    report.assert_exhaustive_ok();
+}
+
+/// Same seed → same schedules → same (first) counterexample; the failure
+/// must also replay deterministically.
+#[test]
+fn deterministic_and_replayable() {
+    let _g = serial();
+    let body = || {
+        let c = Arc::new(AtomicU64::new(0));
+        let c2 = Arc::clone(&c);
+        let t = flock_model::spawn(move || {
+            let v = c2.load(Ordering::SeqCst);
+            c2.store(v + 1, Ordering::SeqCst);
+        });
+        let v = c.load(Ordering::SeqCst);
+        c.store(v + 1, Ordering::SeqCst);
+        t.join();
+        assert_eq!(c.load(Ordering::SeqCst), 2, "lost update");
+    };
+    let cfg = Config {
+        seed: Some(42),
+        samples: 500,
+        ..Config::sc()
+    };
+    let r1 = explore(cfg.clone(), body);
+    let r2 = explore(cfg, body);
+    let f1 = r1.assert_finds_bug();
+    let f2 = r2.assert_finds_bug();
+    assert_eq!(f1.schedule, f2.schedule, "same seed, same counterexample");
+    assert_eq!(r1.schedules_run, r2.schedules_run);
+
+    // Replaying the reported schedule reproduces the failure 1:1.
+    let replayed = flock_model::replay(Config::sc(), &f1.schedule, body);
+    let rf = replayed
+        .failure
+        .expect("replay of a failing schedule must fail");
+    assert!(rf.message.contains("lost update"), "{}", rf.message);
+}
+
+/// A join cycle… cannot be written with this API, but a thread joining a
+/// never-scheduled sibling while holding the only runnable slot cannot
+/// deadlock either: join is a scheduling point and the sibling runs.
+/// What *can* deadlock is helping-disabled spinning etc.; here we just pin
+/// the baseline: sequential spawn/join chains complete and explore fully.
+#[test]
+fn spawn_join_chain_completes() {
+    let _g = serial();
+    let report = explore(Config::sc(), || {
+        let a = flock_model::spawn(|| 1u64);
+        let b = flock_model::spawn(|| 2u64);
+        assert_eq!(a.join() + b.join(), 3);
+    });
+    report.assert_exhaustive_ok();
+}

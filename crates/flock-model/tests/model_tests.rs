@@ -1,0 +1,477 @@
+//! The protocol model-checking suite: the load-bearing invariants of
+//! "Lock-free locks revisited", checked exhaustively at small scope against
+//! the **real implementation** (the protocol crates compiled with their
+//! `model` feature route every atomic through the checker).
+//!
+//! Every invariant test states its scope (threads / ops / preemption
+//! bound / memory model) and asserts `complete && pruned == 0` — the claim
+//! is "no violation in the *entire* bounded schedule space", not "no
+//! violation in the schedules we happened to try". Every invariant test is
+//! paired with at least one **sanity mutant**: a deliberate weakening of
+//! the real code (`mutants` knobs in the protocol crates) that the checker
+//! must catch, proving the harness detects the bug class it exists for.
+//!
+//! Scope bounds shared by the suite: model builds shrink the ABA tag space
+//! to `TAG_LIMIT = 8` (wraparound reachable), `tso` configs model store
+//! buffers (the store–load reordering class; see `flock_sync::atomic`),
+//! and thread counts stay ≤ 3 plus the test driver.
+
+use std::sync::Arc;
+use std::sync::Mutex;
+
+use flock_core::{Lock, Mutable};
+use flock_model::{Config, explore};
+use flock_sync::atomic::{AtomicU64, Ordering};
+use flock_sync::{TagAnnouncements, tid};
+
+/// Model tests share process-global registries (thread ids, the epoch
+/// collector, the announcement table) and the mutant knobs; serialize them.
+static SERIAL: Mutex<()> = Mutex::new(());
+
+fn serial() -> std::sync::MutexGuard<'static, ()> {
+    SERIAL.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// RAII setter for a mutant knob: never leaks an enabled mutant into the
+/// next test, even if an assertion unwinds.
+struct Knob(&'static core::sync::atomic::AtomicBool);
+
+impl Knob {
+    fn set(b: &'static core::sync::atomic::AtomicBool) -> Self {
+        b.store(true, core::sync::atomic::Ordering::SeqCst);
+        Knob(b)
+    }
+}
+
+impl Drop for Knob {
+    fn drop(&mut self) {
+        self.0.store(false, core::sync::atomic::Ordering::SeqCst);
+    }
+}
+
+// ---------------------------------------------------------------- announce
+
+/// The announce/Dekker pair, component level, against the real
+/// `TagAnnouncements` (fence-anchored weak-target variant — the one x86 CI
+/// cannot falsify) with the descriptor's weak-side done orderings mirrored
+/// on a flag cell.
+///
+/// Protocol: the helper announces `(L, tag)` and then reads `done`
+/// (Acquire, as `is_done_announced`); it may CAS only if `done` was false.
+/// The owner sets `done` (Release, as `set_done`), releases the lock
+/// (SeqCst RMW, as the unlock CAM), re-acquires it (SeqCst RMW), and scans
+/// for a reissuable tag. **Invariant (no lost announcement):** it is never
+/// the case that the scan reissues the tag *and* the helper proceeds to
+/// CAS — one side of the Dekker pair must see the other.
+///
+/// Scope: 2 threads, 1 announcement, TSO, ≤2 preemptions, exhaustive.
+fn dekker_body() {
+    let table = Arc::new(TagAnnouncements::new());
+    let done = Arc::new(AtomicU64::new(0));
+    let lock_word = Arc::new(AtomicU64::new(1)); // 1 = held by the thunk's owner
+    const L: usize = 0x1000;
+    const TAG: u16 = 5;
+
+    let (t2, d2) = (Arc::clone(&table), Arc::clone(&done));
+    let helper = flock_model::spawn(move || {
+        let me = tid::current();
+        // The helper is mid-`Mutable::store`: announce, then revalidate.
+        t2.announce(me, L, TAG);
+        // `is_done_announced`, weak-target variant: Acquire load anchored
+        // by the fence inside `announce`.
+        let done_seen = d2.load(Ordering::Acquire) == 1;
+        !done_seen // true = helper would issue its CAS
+    });
+
+    // Owner: finish the thunk, set done, unlock; then (as the next lock
+    // holder) pick the next tag for the location.
+    done.store(1, Ordering::Release); // set_done (weak variant)
+    lock_word.swap(0, Ordering::SeqCst); // unlock CAM (SeqCst RMW)
+    lock_word.swap(1, Ordering::SeqCst); // next holder's acquire (SeqCst RMW)
+    let reissued = table.next_free_tag(L, TAG) == TAG;
+
+    let would_cas = helper.join();
+    assert!(
+        !(would_cas && reissued),
+        "lost announcement: tag reissued while the announcing helper \
+         proceeds with its stale CAS"
+    );
+}
+
+#[test]
+fn announce_dekker_no_lost_announcement() {
+    let _g = serial();
+    let report = explore(Config::tso(), dekker_body);
+    report.assert_exhaustive_ok();
+    assert!(report.schedules_run > 10, "space suspiciously small");
+}
+
+/// Sanity mutant: drop the announcer-side fence — the announcement parks in
+/// the helper's store buffer past its done-check, the scan misses it, and
+/// the checker must surface the lost announcement.
+#[test]
+fn announce_dekker_mutant_skip_fence_is_caught() {
+    let _g = serial();
+    let _k = Knob::set(&flock_sync::announce::mutants::SKIP_ANNOUNCE_FENCE);
+    let report = explore(Config::tso(), dekker_body);
+    let f = report.assert_finds_bug();
+    assert!(f.message.contains("lost announcement"), "{}", f.message);
+}
+
+// ---------------------------------------------------------------- try_lock
+
+/// Full-stack `try_lock`: two threads, one lock, each runs one
+/// increment-thunk through the real lock-free path (pin, descriptor,
+/// install CAM, helping, thunk log, announcement, unlock CAM, dispose).
+///
+/// **Invariants:** (a) thunk effects apply exactly once each — the counter
+/// equals the number of successful acquisitions; (b) at least one thread
+/// acquires; (c) the lock ends released.
+///
+/// Scope: 2 threads, 1 op each, SC, ≤2 preemptions, exhaustive.
+fn try_lock_body() {
+    let lock = Arc::new(Lock::new());
+    let counter = Arc::new(Mutable::new(0u64));
+
+    let (l2, c2) = (Arc::clone(&lock), Arc::clone(&counter));
+    let t = flock_model::spawn(move || {
+        let c3 = Arc::clone(&c2);
+        l2.try_lock(move || c3.store(c3.load() + 1)).is_some()
+    });
+    let c3 = Arc::clone(&counter);
+    let mine = lock.try_lock(move || c3.store(c3.load() + 1)).is_some();
+    let theirs = t.join();
+
+    let acquired = mine as u64 + theirs as u64;
+    assert!(acquired >= 1, "both try_locks failed on a free lock");
+    assert_eq!(
+        counter.load(),
+        acquired,
+        "thunk effects not exactly-once (helping replay diverged?)"
+    );
+    assert!(!lock.is_locked(), "lock leaked a hold");
+}
+
+#[test]
+fn try_lock_effects_exactly_once_under_helping() {
+    let _g = serial();
+    let report = explore(Config::sc(), try_lock_body);
+    report.assert_exhaustive_ok();
+    assert!(report.schedules_run > 100, "space suspiciously small");
+}
+
+/// Sanity mutant: log commits stop agreeing (every committer "wins" with
+/// its own value), so a helper's replay diverges from the owner's run and
+/// effects double-apply. The checker must catch it.
+#[test]
+fn try_lock_mutant_log_no_agreement_is_caught() {
+    let _g = serial();
+    let _k = Knob::set(&flock_core::mutants::LOG_NO_AGREEMENT);
+    let report = explore(Config::sc(), try_lock_body);
+    let f = report.assert_finds_bug();
+    assert!(f.message.contains("exactly-once"), "{}", f.message);
+}
+
+// -------------------------------------------------------------------- ccas
+
+/// ccas idempotence with helpers racing the owner through a multi-store
+/// thunk: the owner's critical section performs two dependent stores; every
+/// contender that finds the lock busy replays the same thunk via helping.
+/// The tagged-word ccas plus log agreement must make each logical store hit
+/// memory exactly once no matter how runs interleave.
+///
+/// `n_helpers` spawns that many racing threads (their own try_locks also
+/// count when they acquire).
+fn ccas_body(n_helpers: usize) {
+    let lock = Arc::new(Lock::new());
+    let counter = Arc::new(Mutable::new(0u64));
+
+    let mut handles = Vec::new();
+    for _ in 0..n_helpers {
+        let (l2, c2) = (Arc::clone(&lock), Arc::clone(&counter));
+        handles.push(flock_model::spawn(move || {
+            let c3 = Arc::clone(&c2);
+            l2.try_lock(move || {
+                // Two dependent stores: replay divergence on either the
+                // loads or the tag agreement shows up as a wrong total.
+                c3.store(c3.load() + 1);
+                c3.store(c3.load() + 1);
+            })
+            .is_some()
+        }));
+    }
+    let c3 = Arc::clone(&counter);
+    let mine = lock
+        .try_lock(move || {
+            c3.store(c3.load() + 1);
+            c3.store(c3.load() + 1);
+        })
+        .is_some();
+
+    let mut acquired = mine as u64;
+    for h in handles {
+        acquired += h.join() as u64;
+    }
+    assert!(acquired >= 1);
+    assert_eq!(
+        counter.load(),
+        2 * acquired,
+        "a store applied more or less than once per acquisition"
+    );
+}
+
+/// Scope: owner + 1 helper, SC, ≤2 preemptions, exhaustive.
+#[test]
+fn ccas_owner_one_helper_exhaustive() {
+    let _g = serial();
+    let report = explore(Config::sc(), || ccas_body(1));
+    report.assert_exhaustive_ok();
+}
+
+/// Scope: owner + 2 helpers ("two helpers race an owner"), SC, ≤1
+/// preemption, exhaustive. One preemption suffices for the canonical race:
+/// the owner is preempted mid-thunk, then both helpers run the same
+/// descriptor back to back (the second observing `done`/log state of the
+/// first) before the owner resumes and replays.
+#[test]
+fn ccas_two_helpers_race_owner_exhaustive() {
+    let _g = serial();
+    let report = explore(
+        Config {
+            max_preemptions: 1,
+            ..Config::sc()
+        },
+        || ccas_body(2),
+    );
+    report.assert_exhaustive_ok();
+}
+
+/// Deeper (non-exhaustive, seeded) sweep of the 3-thread space at 3
+/// preemptions: same invariant, fixed seed → fully reproducible.
+#[test]
+fn ccas_two_helpers_seeded_sweep() {
+    let _g = serial();
+    let report = explore(
+        Config {
+            max_preemptions: 3,
+            seed: Some(0xF10C4),
+            samples: 400,
+            ..Config::sc()
+        },
+        || ccas_body(2),
+    );
+    assert!(report.failure.is_none(), "{}", report.failure.unwrap());
+    assert_eq!(report.pruned, 0);
+}
+
+/// Sanity mutant: loads stop committing to the thunk log, so replays read
+/// whatever is current instead of what the first run saw — the classic
+/// double-increment. The checker must catch it at the smallest scope.
+#[test]
+fn ccas_mutant_uncommitted_loads_is_caught() {
+    let _g = serial();
+    let _k = Knob::set(&flock_core::mutants::SKIP_LOAD_COMMIT);
+    let report = explore(Config::sc(), || ccas_body(1));
+    let f = report.assert_finds_bug();
+    assert!(
+        f.message.contains("more or less than once"),
+        "{}",
+        f.message
+    );
+}
+
+// ------------------------------------------------------------------- epoch
+
+/// Epoch reclamation: a retirement can never be freed while a thread that
+/// observed the object under an epoch guard is still pinned.
+///
+/// The **driver** plays the reader: it pins, reads a shared slot, and —
+/// having seen a non-null pointer — asserts (twice, across scheduling
+/// points) that the object has not been dropped. The spawned thread is the
+/// reclaimer: it unlinks the object, retires it, drives the epoch forward
+/// and collects. The canary's `Drop` records the free. (Roles matter for
+/// the preemption budget: with the reader driving, the mutant's
+/// use-after-free schedule needs a single preemption — pause the reader
+/// between its two observations, run the reclaimer to completion, switch
+/// back free.)
+///
+/// Scope: 2 threads, 1 object, TSO, preemption bound per caller,
+/// exhaustive at bound 1 plus a seeded bound-3 sweep.
+fn epoch_body() {
+    struct Canary(Arc<core::sync::atomic::AtomicBool>);
+    impl Drop for Canary {
+        fn drop(&mut self) {
+            self.0.store(true, core::sync::atomic::Ordering::SeqCst);
+        }
+    }
+
+    let freed = Arc::new(core::sync::atomic::AtomicBool::new(false));
+    let slot = Arc::new(AtomicU64::new(0));
+    let ptr = flock_epoch::alloc(Canary(Arc::clone(&freed)));
+    slot.store(ptr as usize as u64, Ordering::SeqCst);
+
+    let s2 = Arc::clone(&slot);
+    let reclaimer = flock_model::spawn(move || {
+        let p = s2.swap(0, Ordering::SeqCst); // unlink
+        if p != 0 {
+            let g = flock_epoch::pin();
+            // SAFETY: unlinked above; retired exactly once; pinned.
+            unsafe { flock_epoch::retire(p as usize as *mut Canary) };
+            drop(g);
+            // Two advances put the epoch two past the retire stamp — the
+            // minimum for the collector to free it absent a reservation.
+            flock_epoch::try_advance();
+            flock_epoch::try_advance();
+            flock_epoch::collect_now();
+        }
+        // Drain this thread's buffer (the unpin store) so it does not
+        // linger as a flush choice at every remaining decision point: a
+        // pure state-space bound — the hazard under test (the *reader's*
+        // reservation store delayed past its reads) is elsewhere.
+        flock_sync::atomic::fence(Ordering::SeqCst);
+    });
+
+    // The driver is the reader (two vthreads total — keeps the exhaustive
+    // space tractable without losing reader-vs-reclaimer interleavings).
+    let guard = flock_epoch::pin();
+    let p = slot.load(Ordering::Acquire);
+    if p != 0 {
+        assert!(
+            !freed.load(core::sync::atomic::Ordering::SeqCst),
+            "retired object freed while a pinned reader holds it"
+        );
+        // A second observation across another scheduling point widens the
+        // window in which an early free would be caught.
+        let _ = slot.load(Ordering::Acquire);
+        assert!(
+            !freed.load(core::sync::atomic::Ordering::SeqCst),
+            "retired object freed while a pinned reader holds it"
+        );
+    }
+    drop(guard);
+    reclaimer.join();
+}
+
+#[test]
+fn epoch_pin_blocks_reclaim() {
+    let _g = serial();
+    let report = explore(
+        Config {
+            max_preemptions: 1,
+            ..Config::tso()
+        },
+        epoch_body,
+    );
+    report.assert_exhaustive_ok();
+    assert!(report.schedules_run > 100, "space suspiciously small");
+}
+
+/// Deeper (non-exhaustive, seeded) sweep at 3 preemptions: same invariant,
+/// fixed seed → fully reproducible.
+#[test]
+fn epoch_pin_blocks_reclaim_seeded_sweep() {
+    let _g = serial();
+    let report = explore(
+        Config {
+            max_preemptions: 3,
+            seed: Some(0xEB0C4),
+            samples: 400,
+            ..Config::tso()
+        },
+        epoch_body,
+    );
+    assert!(report.failure.is_none(), "{}", report.failure.unwrap());
+    assert_eq!(report.pruned, 0);
+}
+
+/// Sanity mutant: skip the pin-publication fence. The reservation parks in
+/// the reader's store buffer, the collector's scan misses it, and the
+/// object is freed under the reader — the checker must catch the
+/// use-after-free window.
+#[test]
+fn epoch_mutant_skip_pin_fence_is_caught() {
+    let _g = serial();
+    let _k = Knob::set(&flock_epoch::mutants::SKIP_PIN_FENCE);
+    let report = explore(
+        Config {
+            max_preemptions: 1,
+            ..Config::tso()
+        },
+        epoch_body,
+    );
+    let f = report.assert_finds_bug();
+    assert!(
+        f.message.contains("freed while a pinned reader"),
+        "{}",
+        f.message
+    );
+}
+
+// --------------------------------------------------------------------- tid
+
+/// The active-thread registry: a scan bounded by `scan_bound()` must never
+/// miss a live thread's announcement, across concurrent id claims and
+/// releases.
+///
+/// Thread C claims an id and releases it again (the thread-exit transition,
+/// made schedulable). Thread A claims an id — possibly recycling C's — and
+/// announces under it, then raises a flag. The driver, on seeing the flag,
+/// scans: the announcement must be visible below `scan_bound()`.
+///
+/// Scope: 3 threads + driver's claim, SC, ≤2 preemptions, exhaustive.
+fn tid_body() {
+    let table = Arc::new(TagAnnouncements::new());
+    let flag = Arc::new(AtomicU64::new(0));
+    const L: usize = 0x2000;
+    const TAG: u16 = 3;
+
+    // The driver claims its own id first so the slot-0 floor is stable.
+    let _ = tid::current();
+
+    let churner = flock_model::spawn(move || {
+        let _ = tid::current();
+        // Release immediately: the exit-time transition, schedulable.
+        tid::model_release_current();
+    });
+
+    let (t2, f2) = (Arc::clone(&table), Arc::clone(&flag));
+    let announcer = flock_model::spawn(move || {
+        let me = tid::current();
+        t2.announce(me, L, TAG);
+        f2.store(1, Ordering::SeqCst);
+    });
+
+    if flag.load(Ordering::SeqCst) == 1 {
+        assert!(
+            table.is_announced(L, TAG),
+            "scan under scan_bound() missed a live thread's announcement"
+        );
+    }
+    churner.join();
+    announcer.join();
+}
+
+#[test]
+fn tid_scan_bound_covers_live_claims() {
+    let _g = serial();
+    let report = explore(Config::sc(), tid_body);
+    report.assert_exhaustive_ok();
+    assert!(report.schedules_run > 10, "space suspiciously small");
+}
+
+/// Sanity mutant: the rejected lock-free lower-on-release design (PR 2's
+/// module docs record why it was rejected; this machine-checks that
+/// rationale). A claim racing the two-step release ends up above the
+/// published bound, and the scan misses its announcement.
+#[test]
+fn tid_mutant_lockfree_release_is_caught() {
+    let _g = serial();
+    let _k = Knob::set(&flock_sync::tid::mutants::LOCKFREE_RELEASE);
+    let report = explore(Config::sc(), tid_body);
+    let f = report.assert_finds_bug();
+    assert!(
+        f.message.contains("missed a live thread's announcement"),
+        "{}",
+        f.message
+    );
+}

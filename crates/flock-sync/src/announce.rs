@@ -66,11 +66,17 @@
 //! case analysis that makes an announcement visible makes the raised bound
 //! visible to any scan that must see it.
 
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use crate::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+/// Is the swap-based TSO variant compiled in? Under the `model` feature the
+/// fence-anchored weak-target variant is always used, *even on x86_64*:
+/// that is the variant native x86 CI can never falsify, so it is the one
+/// the model checker must exercise (see `flock-model`).
+const TSO_VARIANT: bool = cfg!(all(target_arch = "x86_64", not(feature = "model")));
 
 /// Per-slot scan-load ordering: free-strong on TSO, fence-anchored Relaxed
 /// elsewhere (module docs, "Memory ordering").
-const SCAN_LOAD: Ordering = if cfg!(target_arch = "x86_64") {
+const SCAN_LOAD: Ordering = if TSO_VARIANT {
     Ordering::SeqCst
 } else {
     Ordering::Relaxed
@@ -80,8 +86,26 @@ const SCAN_LOAD: Ordering = if cfg!(target_arch = "x86_64") {
 /// where the `SeqCst` scan loads carry the ordering themselves.
 #[inline(always)]
 fn scan_fence() {
-    #[cfg(not(target_arch = "x86_64"))]
-    std::sync::atomic::fence(Ordering::SeqCst);
+    if !TSO_VARIANT {
+        crate::atomic::fence(Ordering::SeqCst);
+    }
+}
+
+/// Model-only sanity mutants: deliberate protocol weakenings the model
+/// checker must be able to catch (see `flock-model`'s test suite). Compiled
+/// out of every non-`model` build.
+#[cfg(feature = "model")]
+pub mod mutants {
+    use core::sync::atomic::{AtomicBool, Ordering};
+
+    /// Drop the announcer-side `SeqCst` fence: the announcement store stays
+    /// in the announcer's store buffer past its done-check — the exact lost-
+    /// announcement Dekker failure the fence exists to prevent.
+    pub static SKIP_ANNOUNCE_FENCE: AtomicBool = AtomicBool::new(false);
+
+    pub(crate) fn skip_announce_fence() -> bool {
+        SKIP_ANNOUNCE_FENCE.load(Ordering::Relaxed)
+    }
 }
 
 use crate::MAX_THREADS;
@@ -144,12 +168,15 @@ impl TagAnnouncements {
         // * elsewhere: a Release store; the `SeqCst` fence is the
         //   linearization point, pairing with the scanner's fence.
         slot.tag.store(tag as u64, Ordering::Relaxed);
-        #[cfg(target_arch = "x86_64")]
-        slot.loc.swap(loc_addr, Ordering::SeqCst);
-        #[cfg(not(target_arch = "x86_64"))]
-        {
+        if TSO_VARIANT {
+            slot.loc.swap(loc_addr, Ordering::SeqCst);
+        } else {
             slot.loc.store(loc_addr, Ordering::Release);
-            std::sync::atomic::fence(Ordering::SeqCst);
+            #[cfg(feature = "model")]
+            if mutants::skip_announce_fence() {
+                return;
+            }
+            crate::atomic::fence(Ordering::SeqCst);
         }
     }
 
@@ -231,6 +258,20 @@ pub fn global() -> &'static TagAnnouncements {
     use std::sync::OnceLock;
     static GLOBAL: OnceLock<TagAnnouncements> = OnceLock::new();
     GLOBAL.get_or_init(TagAnnouncements::new)
+}
+
+/// Model-checker support: clear every slot of the global table.
+///
+/// A pruned/aborted model execution can leave a thread's announcement
+/// standing (the thread was unwound between announce and clear); the next
+/// execution's scans would then see it and diverge from the recorded
+/// schedule. The model engine calls this between executions, when no model
+/// threads are live.
+#[cfg(feature = "model")]
+pub fn model_reset_global() {
+    for slot in global().slots.iter() {
+        slot.loc.store(NONE, Ordering::SeqCst);
+    }
 }
 
 #[cfg(test)]

@@ -31,6 +31,7 @@
 #![warn(missing_docs)]
 
 pub mod announce;
+pub mod atomic;
 pub mod backoff;
 pub mod pack;
 pub mod padded;

@@ -17,7 +17,17 @@ pub const VAL_BITS: u32 = 48;
 pub const VAL_MASK: u64 = (1u64 << VAL_BITS) - 1;
 /// Tags range over `0..TAG_LIMIT`; `TAG_LIMIT` itself is reserved so that the
 /// all-ones word can never be a legitimate packed value.
+#[cfg(not(feature = "model"))]
 pub const TAG_LIMIT: u16 = u16::MAX;
+
+/// Model builds shrink the tag space (scope bounding, not a protocol
+/// change): wraparound — the event the announcement table exists for —
+/// becomes reachable within a model-checkable number of stores. The bit
+/// layout is untouched; only where `next_tag` wraps moves. Must stay above
+/// the number of threads a model test runs (each live thread announces at
+/// most one tag per location, and `next_free_tag` needs a free tag).
+#[cfg(feature = "model")]
+pub const TAG_LIMIT: u16 = 8;
 
 /// Pack `tag` and a 48-bit `val` into one word.
 ///

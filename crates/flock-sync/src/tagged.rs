@@ -1,7 +1,12 @@
 //! Atomic cell over tag-packed 64-bit words.
 
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+// The CCAS_ENABLED ablation knob stays a plain std atomic: it is test/bench
+// configuration ("not meant to be toggled while operations run"), not
+// protocol state, so the model checker does not turn its reads into
+// scheduling points. The data-carrying cell below uses the shim.
+use std::sync::atomic::AtomicBool;
 
+use crate::atomic::{AtomicU64, Ordering};
 use crate::pack::{pack, unpack_tag, unpack_val};
 
 /// Global switch for the compare-and-compare-and-swap optimization (§6

@@ -81,6 +81,32 @@ impl ThreadCtx {
     pub fn in_thunk(&self) -> bool {
         !self.log_block.get().is_null()
     }
+
+    /// Model tests only: release this thread's claimed id now (the thread-
+    /// exit transition, made schedulable) and forget it, so the `Drop` at
+    /// real thread exit does not double-release.
+    #[cfg(feature = "model")]
+    pub fn model_release_tid(&self) {
+        let t = self.tid.get();
+        if t != TID_UNCLAIMED {
+            self.tid.set(TID_UNCLAIMED);
+            tid::release_id(ThreadId(t));
+        }
+    }
+
+    /// Model-engine worker reset: return this pooled worker thread's
+    /// context to the pristine state a *fresh* thread would have, so every
+    /// model execution starts identically (the DFS replays schedule
+    /// prefixes and requires it). Called between executions only.
+    #[cfg(feature = "model")]
+    pub fn model_reset_thread_state(&self) {
+        self.model_release_tid();
+        self.pin_depth.set(0);
+        self.ops_since_collect.set(0);
+        self.log_block.set(std::ptr::null());
+        self.log_pos.set(0);
+        self.descriptor.set(std::ptr::null());
+    }
 }
 
 impl Drop for ThreadCtx {

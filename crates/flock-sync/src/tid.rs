@@ -35,9 +35,28 @@
 //! make that a single-total-order argument.
 
 use std::sync::Mutex;
-use std::sync::atomic::{AtomicUsize, Ordering};
 
 use crate::MAX_THREADS;
+use crate::atomic::{AtomicUsize, Ordering, critical};
+
+/// Model-only sanity mutants (see `flock-model`). Compiled out of every
+/// non-`model` build.
+#[cfg(feature = "model")]
+pub mod mutants {
+    use core::sync::atomic::{AtomicBool, Ordering};
+
+    /// Reintroduce the **rejected** lock-free lower-on-release design (see
+    /// the module docs): the released slot is cleared and the new bound
+    /// computed in one step, but the bound is *published* in a separate,
+    /// preemptible step. A claim landing in the window makes the published
+    /// bound transiently too low — the exact live-announcement-skipping ABA
+    /// hazard the mutex design exists to exclude.
+    pub static LOCKFREE_RELEASE: AtomicBool = AtomicBool::new(false);
+
+    pub(crate) fn lockfree_release() -> bool {
+        LOCKFREE_RELEASE.load(Ordering::Relaxed)
+    }
+}
 
 /// A claimed slot in the global thread-id space.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -66,38 +85,84 @@ static HIGH_WATER: AtomicUsize = AtomicUsize::new(0);
 static LIVE_COUNT: AtomicUsize = AtomicUsize::new(0);
 
 pub(crate) fn claim_id() -> ThreadId {
-    let mut pool = POOL.lock().unwrap_or_else(|e| e.into_inner());
-    let i = pool.used.iter().position(|u| !u).unwrap_or_else(|| {
-        panic!("flock: more than MAX_THREADS ({MAX_THREADS}) threads are live at once")
-    });
-    pool.used[i] = true;
-    pool.live += 1;
-    LIVE_COUNT.store(pool.live, Ordering::Relaxed);
-    // The bound is raised *before* the claimer can possibly announce or
-    // reserve anything under this id (program order), so a scanner that is
-    // ordered after any such publication also sees the raised bound.
-    if i + 1 > SCAN_BOUND.load(Ordering::Relaxed) {
-        SCAN_BOUND.store(i + 1, Ordering::SeqCst);
-    }
-    HIGH_WATER.fetch_max(i + 1, Ordering::Relaxed);
-    ThreadId(i)
+    // `critical`: the mutex already makes claim/release one indivisible
+    // mutation in real builds; under the model the same section runs as one
+    // SC step so the cooperative scheduler cannot park a mutex holder.
+    critical(|| {
+        let mut pool = POOL.lock().unwrap_or_else(|e| e.into_inner());
+        let i = pool.used.iter().position(|u| !u).unwrap_or_else(|| {
+            panic!("flock: more than MAX_THREADS ({MAX_THREADS}) threads are live at once")
+        });
+        pool.used[i] = true;
+        pool.live += 1;
+        LIVE_COUNT.store(pool.live, Ordering::Relaxed);
+        // The bound is raised *before* the claimer can possibly announce or
+        // reserve anything under this id (program order), so a scanner that
+        // is ordered after any such publication also sees the raised bound.
+        if i + 1 > SCAN_BOUND.load(Ordering::Relaxed) {
+            SCAN_BOUND.store(i + 1, Ordering::SeqCst);
+        }
+        HIGH_WATER.fetch_max(i + 1, Ordering::Relaxed);
+        ThreadId(i)
+    })
 }
 
 pub(crate) fn release_id(id: ThreadId) {
-    let mut pool = POOL.lock().unwrap_or_else(|e| e.into_inner());
-    debug_assert!(pool.used[id.0], "releasing an unclaimed thread id");
-    pool.used[id.0] = false;
-    pool.live -= 1;
-    LIVE_COUNT.store(pool.live, Ordering::Relaxed);
-    if id.0 + 1 == SCAN_BOUND.load(Ordering::Relaxed) {
-        // This was the top id: shrink the bound to the new top. Exact
-        // because `used` can only change under the mutex we hold.
-        let new_bound = pool.used[..id.0]
-            .iter()
-            .rposition(|&u| u)
-            .map_or(0, |top| top + 1);
-        SCAN_BOUND.store(new_bound, Ordering::SeqCst);
+    #[cfg(feature = "model")]
+    if mutants::lockfree_release() {
+        return release_id_lockfree_mutant(id);
     }
+    critical(|| {
+        let mut pool = POOL.lock().unwrap_or_else(|e| e.into_inner());
+        debug_assert!(pool.used[id.0], "releasing an unclaimed thread id");
+        pool.used[id.0] = false;
+        pool.live -= 1;
+        LIVE_COUNT.store(pool.live, Ordering::Relaxed);
+        if id.0 + 1 == SCAN_BOUND.load(Ordering::Relaxed) {
+            // This was the top id: shrink the bound to the new top. Exact
+            // because `used` can only change under the mutex we hold.
+            let new_bound = pool.used[..id.0]
+                .iter()
+                .rposition(|&u| u)
+                .map_or(0, |top| top + 1);
+            SCAN_BOUND.store(new_bound, Ordering::SeqCst);
+        }
+    })
+}
+
+/// The rejected lock-free release (see [`mutants::LOCKFREE_RELEASE`]): the
+/// bound publication is split out of the atomic release, opening the
+/// claim-vs-release window the mutex design closes.
+#[cfg(feature = "model")]
+fn release_id_lockfree_mutant(id: ThreadId) {
+    let new_bound = critical(|| {
+        let mut pool = POOL.lock().unwrap_or_else(|e| e.into_inner());
+        debug_assert!(pool.used[id.0], "releasing an unclaimed thread id");
+        pool.used[id.0] = false;
+        pool.live -= 1;
+        LIVE_COUNT.store(pool.live, Ordering::Relaxed);
+        (id.0 + 1 == SCAN_BOUND.load(Ordering::Relaxed)).then(|| {
+            pool.used[..id.0]
+                .iter()
+                .rposition(|&u| u)
+                .map_or(0, |top| top + 1)
+        })
+    });
+    // Preemptible publication: a claim interleaving here sees a bound that
+    // still covers it (3 above) and skips its own raise, after which this
+    // stale store lowers the bound below the live claim.
+    if let Some(b) = new_bound {
+        SCAN_BOUND.store(b, Ordering::SeqCst);
+    }
+}
+
+/// Release the calling thread's claimed id immediately (model tests only):
+/// the same transition a thread exit performs, exposed so the model checker
+/// can schedule it *against* concurrent claims and scans instead of waiting
+/// for uncontrollable TLS-destructor timing.
+#[cfg(feature = "model")]
+pub fn model_release_current() {
+    crate::thread_ctx::with(|tc| tc.model_release_tid());
 }
 
 /// One past the highest **currently claimed** thread id.
@@ -182,6 +247,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore)] // 32-thread burst with wall-clock polling
     fn scan_bound_shrinks_after_burst() {
         // Claim this thread's id first so the floor is stable.
         let me = current().0;
