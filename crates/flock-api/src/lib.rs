@@ -7,42 +7,81 @@
 //! the integration tests are all written against this trait, so adding a
 //! structure means implementing one interface, once.
 //!
-//! The trait is generic over [`Key`] and [`Value`] (marker bounds with
-//! blanket impls); the paper's evaluation shape is `Map<u64, u64>` — 8-byte
-//! keys and values — and that is what the conformance harness instantiates.
+//! The trait is generic over [`Key`] and [`Value`], and — since the
+//! `ValueRepr` refactor — so is **every structure in the registry**: the
+//! paper's evaluation shape `Map<u64, u64>` is just one instantiation.
+//! Keys need `Clone + Ord + Hash`; values need the
+//! [`ValueRepr`](flock_sync::ValueRepr) representation layer — satisfied
+//! directly by anything that fits a 48-bit payload (integers, flags), and
+//! by [`Indirect<T>`](flock_epoch::Indirect) for *fat* values (structs,
+//! strings, vectors), which ride behind an epoch-managed pointer. The
+//! bench registry hands out `Box<dyn Map<u64, u64>>` for the paper's
+//! workloads and `Box<dyn Map<u64, Indirect<[u64; 4]>>>` for the fat-value
+//! workload; user code can instantiate any structure at any conforming
+//! `(K, V)` pair.
 //!
 //! ## Conformance harness
 //!
-//! [`map_conformance!`] stamps out the shared test suite — a sequential
-//! differential check against [`std::collections::BTreeMap`] and a
-//! partitioned multi-thread stress — for one structure, in **both** lock
-//! modes (lock-free and blocking). Structures that ignore the mode (the
-//! baselines) simply run the same suite twice:
+//! [`map_conformance!`] stamps out the shared test suite for one structure:
+//! a sequential differential check against [`std::collections::BTreeMap`],
+//! a partitioned multi-thread stress and an oversubscribed helping stress —
+//! each in **both** lock modes where applicable — at three `(K, V)`
+//! instantiations (`(u64, u64)`, a small-inline combo `(u32, u16)`, and a
+//! heap-indirected fat combo `(u64, Indirect<[u64; 4]>)`), plus a
+//! drop-exactly-once reclamation check for the indirect path and a native
+//! `update` atomicity check gated on [`Map::has_atomic_update`].
+//! Structures that ignore the lock mode (the baselines) simply run the
+//! mode-sensitive suites twice:
 //!
 //! ```ignore
 //! flock_api::map_conformance!(dlist, flock_ds::dlist::DList::new());
 //! ```
+//!
+//! The `$make` expression must therefore be instantiable at every `(K, V)`
+//! combination above — true for every registry structure since they are
+//! generic.
 
 #![warn(missing_docs)]
 
 use std::fmt::Debug;
 use std::hash::Hash;
 
-/// Marker bound for map keys: cheap to copy, totally ordered, hashable,
-/// printable in assertions, and shareable across helper threads.
-pub trait Key: Copy + Ord + Hash + Debug + Send + Sync + 'static {}
-impl<T: Copy + Ord + Hash + Debug + Send + Sync + 'static> Key for T {}
+pub use flock_epoch::Indirect;
+pub use flock_sync::ValueRepr;
 
-/// Marker bound for map values: cheap to copy, comparable for differential
-/// checks, printable in assertions, and shareable across helper threads.
-pub trait Value: Copy + PartialEq + Debug + Send + Sync + 'static {}
-impl<T: Copy + PartialEq + Debug + Send + Sync + 'static> Value for T {}
+/// Marker bound for map keys: cheap to clone, totally ordered, hashable,
+/// printable in assertions, and shareable across helper threads.
+///
+/// `Clone` (not `Copy`): fat keys — heap-owning types included — are
+/// allowed wherever a structure's traversal only needs comparisons.
+/// Structures clone keys into their nodes and into thunk captures.
+pub trait Key: Clone + Ord + Hash + Debug + Send + Sync + 'static {}
+impl<T: Clone + Ord + Hash + Debug + Send + Sync + 'static> Key for T {}
+
+/// Marker bound for map values: anything with a 48-bit slot representation
+/// ([`ValueRepr`], which implies `Clone + PartialEq`), printable in
+/// assertions, and shareable across helper threads.
+///
+/// Inline types (integers, flags, anything ≤ 48 bits) qualify directly;
+/// wrap anything bigger in [`Indirect<T>`] to store it behind an
+/// epoch-managed pointer.
+///
+/// **48-bit contract for inline `u64`/`usize`:** the inline strategies for
+/// the word-sized integers keep the long-standing packed-slot contract —
+/// payloads must fit 48 bits (debug builds assert, release builds mask).
+/// Structures that place values in packed slots (`hashtable`'s mutable
+/// value slot, `blocking_bst`'s revive word) inherit it; use
+/// `Indirect<u64>` when you need the full 64-bit range.
+pub trait Value: ValueRepr + Debug + Send + Sync + 'static {}
+impl<T: ValueRepr + Debug + Send + Sync + 'static> Value for T {}
 
 /// A linearizable concurrent map.
 ///
 /// All operations take `&self` and are safe to call from any number of
-/// threads. The trait is object-safe: the harness moves structures around
-/// as `Box<dyn Map<u64, u64>>`.
+/// threads. The trait is object-safe at each instantiation: the bench
+/// registry moves structures around as `Box<dyn Map<u64, u64>>` (paper
+/// workloads) and `Box<dyn Map<u64, Indirect<[u64; 4]>>>` (fat-value
+/// workload).
 pub trait Map<K: Key, V: Value>: Send + Sync {
     /// Insert `(key, value)`. Returns `false` (leaving the map unchanged)
     /// if `key` was already present.
@@ -73,14 +112,28 @@ pub trait Map<K: Key, V: Value>: Send + Sync {
     /// and a concurrent insert of the same key can win the re-insert race
     /// (in which case the update is dropped, matching a linearization where
     /// the remove and the concurrent insert both took effect). Structures
-    /// should override this with a native in-place update where they can.
+    /// should override this with a native in-place update where they can —
+    /// and report the stronger contract through
+    /// [`Map::has_atomic_update`].
     fn update(&self, key: K, value: V) -> bool {
-        if self.remove(key) {
+        if self.remove(key.clone()) {
             let _ = self.insert(key, value);
             true
         } else {
             false
         }
+    }
+
+    /// Capability probe: does [`Map::update`] linearize as a single atomic
+    /// in-place replacement (no observable absence window, no lost-update
+    /// race with concurrent inserts)?
+    ///
+    /// `false` (the default) means the composite contract documented on
+    /// [`Map::update`] applies. Structures overriding `update` with a
+    /// native read-modify-write must override this too; the conformance
+    /// harness verifies the claim under concurrency.
+    fn has_atomic_update(&self) -> bool {
+        false
     }
 
     /// Approximate element count, if the structure offers one.
@@ -112,6 +165,9 @@ impl<K: Key, V: Value, M: Map<K, V> + ?Sized> Map<K, V> for &M {
     fn update(&self, key: K, value: V) -> bool {
         (**self).update(key, value)
     }
+    fn has_atomic_update(&self) -> bool {
+        (**self).has_atomic_update()
+    }
     fn len_approx(&self) -> Option<usize> {
         (**self).len_approx()
     }
@@ -136,6 +192,9 @@ impl<K: Key, V: Value, M: Map<K, V> + ?Sized> Map<K, V> for Box<M> {
     fn update(&self, key: K, value: V) -> bool {
         (**self).update(key, value)
     }
+    fn has_atomic_update(&self) -> bool {
+        (**self).has_atomic_update()
+    }
     fn len_approx(&self) -> Option<usize> {
         (**self).len_approx()
     }
@@ -148,8 +207,9 @@ pub mod testing {
     //! This module is compiled into the crate (not `#[cfg(test)]`) because
     //! downstream crates invoke it from *their* test builds.
 
-    use super::Map;
+    use super::{Indirect, Key, Map, Value};
     use std::collections::BTreeMap;
+    use std::sync::atomic::{AtomicIsize, Ordering::Relaxed};
 
     /// Process-wide lock serializing tests that touch the global lock mode:
     /// switching modes while another test's operations are in flight is
@@ -186,8 +246,32 @@ pub mod testing {
         *state
     }
 
-    /// Single-threaded differential test against a `BTreeMap` oracle.
-    pub fn oracle_check<M: Map<u64, u64> + ?Sized>(map: &M, ops: usize, key_range: u64, seed: u64) {
+    /// The harness's fat value constructor: four words derived from `x`, so
+    /// a decode of the wrong allocation (or a torn snapshot) cannot pass
+    /// the equality checks. Cannot fit a 48-bit payload — it exercises the
+    /// heap-indirected representation end to end.
+    pub fn fat_value(x: u64) -> Indirect<[u64; 4]> {
+        Indirect([x, x ^ 0xA5A5_A5A5_A5A5_A5A5, !x, x.rotate_left(17)])
+    }
+
+    /// Single-threaded differential test against a `BTreeMap` oracle, at an
+    /// arbitrary `(K, V)` instantiation: `kf`/`vf` map the oracle's dense
+    /// `u64` key ids and value stamps into the map's domain (`kf` must be
+    /// injective on `0..key_range`).
+    pub fn oracle_check_as<K, V, M, KF, VF>(
+        map: &M,
+        ops: usize,
+        key_range: u64,
+        seed: u64,
+        kf: KF,
+        vf: VF,
+    ) where
+        K: Key,
+        V: Value,
+        M: Map<K, V> + ?Sized,
+        KF: Fn(u64) -> K,
+        VF: Fn(u64) -> V,
+    {
         let mut oracle = BTreeMap::new();
         let mut state = seed | 1;
         for i in 0..ops {
@@ -200,7 +284,7 @@ pub mod testing {
                         oracle.insert(k, v);
                     }
                     assert_eq!(
-                        map.insert(k, v),
+                        map.insert(kf(k), vf(v)),
                         expect,
                         "insert({k}) disagreed with oracle at op {i}"
                     );
@@ -208,15 +292,15 @@ pub mod testing {
                 1 => {
                     let expect = oracle.remove(&k).is_some();
                     assert_eq!(
-                        map.remove(k),
+                        map.remove(kf(k)),
                         expect,
                         "remove({k}) disagreed with oracle at op {i}"
                     );
                 }
                 _ => {
                     assert_eq!(
-                        map.get(k),
-                        oracle.get(&k).copied(),
+                        map.get(kf(k)),
+                        oracle.get(&k).map(|&x| vf(x)),
                         "get({k}) disagreed with oracle at op {i}"
                     );
                 }
@@ -224,7 +308,11 @@ pub mod testing {
         }
         // Final sweep: every oracle key must be present with the right value.
         for (k, v) in &oracle {
-            assert_eq!(map.get(*k), Some(*v), "final sweep mismatch at key {k}");
+            assert_eq!(
+                map.get(kf(*k)),
+                Some(vf(*v)),
+                "final sweep mismatch at key {k}"
+            );
         }
         // Maintained/computed counters must be exact when quiescent.
         if let Some(n) = map.len_approx() {
@@ -236,15 +324,31 @@ pub mod testing {
         }
     }
 
-    /// Multi-threaded stress test: per-key-partition determinism.
+    /// Single-threaded differential test at the paper's `(u64, u64)` shape.
+    pub fn oracle_check<M: Map<u64, u64> + ?Sized>(map: &M, ops: usize, key_range: u64, seed: u64) {
+        oracle_check_as(map, ops, key_range, seed, |k| k, |v| v);
+    }
+
+    /// Multi-threaded stress test: per-key-partition determinism, at an
+    /// arbitrary `(K, V)` instantiation (see [`oracle_check_as`] for the
+    /// `kf`/`vf` contract; `kf` must be injective on the generated ids).
     ///
-    /// Each thread owns a disjoint key partition (`key % threads == tid`),
+    /// Each thread owns a disjoint key partition (`id % threads == tid`),
     /// so per-thread sequential semantics must hold exactly even under full
     /// concurrency.
-    pub fn partition_stress<M: Map<u64, u64> + ?Sized>(map: &M, threads: u64, ops: usize) {
+    pub fn partition_stress_as<K, V, M, KF, VF>(map: &M, threads: u64, ops: usize, kf: KF, vf: VF)
+    where
+        K: Key,
+        V: Value,
+        M: Map<K, V> + ?Sized,
+        KF: Fn(u64) -> K + Sync,
+        VF: Fn(u64) -> V + Sync,
+    {
         std::thread::scope(|s| {
             for t in 0..threads {
                 let map = &map;
+                let kf = &kf;
+                let vf = &vf;
                 s.spawn(move || {
                     let mut present = BTreeMap::new();
                     let mut state = (t + 1) * 0x9E37_79B9;
@@ -257,27 +361,36 @@ pub mod testing {
                                 if expect {
                                     present.insert(k, v);
                                 }
-                                assert_eq!(map.insert(k, v), expect, "t{t} insert({k}) op {i}");
+                                assert_eq!(
+                                    map.insert(kf(k), vf(v)),
+                                    expect,
+                                    "t{t} insert({k}) op {i}"
+                                );
                             }
                             1 => {
                                 let expect = present.remove(&k).is_some();
-                                assert_eq!(map.remove(k), expect, "t{t} remove({k}) op {i}");
+                                assert_eq!(map.remove(kf(k)), expect, "t{t} remove({k}) op {i}");
                             }
                             _ => {
                                 assert_eq!(
-                                    map.get(k),
-                                    present.get(&k).copied(),
+                                    map.get(kf(k)),
+                                    present.get(&k).map(|&x| vf(x)),
                                     "t{t} get({k}) op {i}"
                                 );
                             }
                         }
                     }
                     for (k, v) in &present {
-                        assert_eq!(map.get(*k), Some(*v), "t{t} final sweep key {k}");
+                        assert_eq!(map.get(kf(*k)), Some(vf(*v)), "t{t} final sweep key {k}");
                     }
                 });
             }
         });
+    }
+
+    /// Multi-threaded partitioned stress at the paper's `(u64, u64)` shape.
+    pub fn partition_stress<M: Map<u64, u64> + ?Sized>(map: &M, threads: u64, ops: usize) {
+        partition_stress_as(map, threads, ops, |k| k, |v| v);
     }
 
     /// Oversubscribed stress: more threads than cores, so lock holders get
@@ -384,14 +497,168 @@ pub mod testing {
         assert!(!map.contains(7));
         assert!(!map.name().is_empty());
     }
+
+    /// Verify a structure's [`Map::has_atomic_update`] claim under
+    /// concurrency: while one thread flips a key's value through `update`,
+    /// readers must never observe the key absent nor any value outside the
+    /// two being written. Structures on the composite default are skipped —
+    /// their (non-atomic) contract is pinned by flock-api's own
+    /// `default_update_composite_exposes_absence_window` test.
+    pub fn update_atomicity_check<M: Map<u64, u64> + ?Sized>(map: &M) {
+        use std::sync::atomic::AtomicUsize;
+        if !map.has_atomic_update() {
+            return;
+        }
+        const KEY: u64 = 7;
+        assert!(map.insert(KEY, 1));
+        const READERS: usize = 3;
+        let readers_done = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..READERS {
+                let map = &map;
+                let readers_done = &readers_done;
+                s.spawn(move || {
+                    for i in 0..3_000 {
+                        let got = map.get(KEY);
+                        assert!(
+                            matches!(got, Some(1) | Some(2)),
+                            "atomic update exposed {got:?} at read {i}"
+                        );
+                    }
+                    readers_done.fetch_add(1, Relaxed);
+                });
+            }
+            // Writer: flip 1 <-> 2 until every reader has finished.
+            let mut v = 1u64;
+            while readers_done.load(Relaxed) < READERS {
+                v = 3 - v;
+                assert!(map.update(KEY, v), "native update of a present key");
+            }
+        });
+        assert!(map.remove(KEY));
+        assert!(!map.update(KEY, 9), "update of an absent key stays a no-op");
+        assert!(!map.contains(KEY), "failed update must not insert");
+    }
+
+    /// Net count of live [`DropTracked`] instances (creations minus drops).
+    static TRACKED_LIVE: AtomicIsize = AtomicIsize::new(0);
+
+    /// A drop-counting payload for the indirect-path reclamation check:
+    /// every construction (including clones) bumps a process-global
+    /// counter, every drop decrements it, so leaks and double drops show up
+    /// as a non-zero balance. Use only inside [`exclusive`]-serialized
+    /// tests — the counter is global.
+    #[derive(Debug)]
+    pub struct DropTracked(pub u64);
+
+    impl DropTracked {
+        /// A new tracked instance carrying `v`.
+        pub fn new(v: u64) -> Self {
+            TRACKED_LIVE.fetch_add(1, Relaxed);
+            DropTracked(v)
+        }
+    }
+
+    impl Clone for DropTracked {
+        fn clone(&self) -> Self {
+            DropTracked::new(self.0)
+        }
+    }
+
+    impl PartialEq for DropTracked {
+        fn eq(&self, other: &Self) -> bool {
+            self.0 == other.0
+        }
+    }
+
+    impl Drop for DropTracked {
+        fn drop(&mut self) {
+            TRACKED_LIVE.fetch_sub(1, Relaxed);
+        }
+    }
+
+    /// Reclamation check for the indirect (fat value) path: hammer a map of
+    /// `Indirect<DropTracked>` values with contended inserts, removes,
+    /// updates and reads, drain it, drop it, flush the collector — and
+    /// assert every tracked instance was dropped exactly once (a positive
+    /// balance is a leak, a negative one a double drop).
+    ///
+    /// Takes a builder (not a reference) because the map itself must be
+    /// dropped before the balance is taken. Call under [`exclusive`]: the
+    /// drop counter is process-global.
+    pub fn indirect_drop_check<M>(make: impl FnOnce() -> M)
+    where
+        M: Map<u64, Indirect<DropTracked>>,
+    {
+        let before = TRACKED_LIVE.load(Relaxed);
+        {
+            let map = make();
+            std::thread::scope(|s| {
+                for t in 0..4u64 {
+                    let map = &map;
+                    s.spawn(move || {
+                        let mut state = (t + 1) * 0x9E37_79B9;
+                        for i in 0..400u64 {
+                            let hot = xorshift(&mut state) % 16;
+                            match xorshift(&mut state) % 4 {
+                                0 => {
+                                    let _ = map.insert(hot, Indirect(DropTracked::new(i)));
+                                }
+                                1 => {
+                                    let _ = map.remove(hot);
+                                }
+                                2 => {
+                                    let _ = map.update(hot, Indirect(DropTracked::new(i + 1_000)));
+                                }
+                                _ => {
+                                    let _ = map.get(hot);
+                                }
+                            }
+                        }
+                    });
+                }
+            });
+            for k in 0..16 {
+                let _ = map.remove(k);
+            }
+            drop(map);
+        }
+        // The worker threads above were scope-joined, which waits for their
+        // closures but NOT for their TLS destructors — and the destructor
+        // is what hands a thread's epoch retire bag to the global orphan
+        // list. Retry the flush until the stragglers have landed (bounded,
+        // so a genuine leak still fails fast).
+        for _ in 0..400 {
+            flock_epoch::flush_all();
+            if TRACKED_LIVE.load(Relaxed) == before {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(5));
+        }
+        assert_eq!(
+            TRACKED_LIVE.load(Relaxed),
+            before,
+            "indirect reclamation imbalance: every retired fat value must be \
+             dropped exactly once (positive = leak, negative = double drop)"
+        );
+    }
 }
 
 /// Stamp out the shared conformance suite for one map structure.
 ///
 /// `$name` becomes a test module; `$make` is an expression building a fresh
-/// instance (evaluated once per test). The suite runs the differential
-/// oracle check, the partitioned multi-thread stress, and the
-/// provided-method check — each in both lock modes.
+/// instance (evaluated once per test) and must be *polymorphic in `(K, V)`*
+/// — each generated test instantiates it at its own type pair:
+///
+/// * `(u64, u64)` — the paper's evaluation shape: differential oracle,
+///   partitioned stress, provided-method check (each in both lock modes),
+///   oversubscribed helping stress (lock-free), and the `update` atomicity
+///   capability check.
+/// * `(u32, u16)` — a small-inline combo exercising the non-`u64` inline
+///   encodings.
+/// * `(u64, Indirect<[u64; 4]>)` — a fat, heap-indirected value combo.
+/// * `(u64, Indirect<DropTracked>)` — the drop-exactly-once reclamation
+///   check for the indirect path.
 ///
 /// ```ignore
 /// flock_api::map_conformance!(dlist, flock_ds::dlist::DList::new());
@@ -438,6 +705,65 @@ macro_rules! map_conformance {
                     $crate::testing::oversubscribed_stress(&m, 150);
                 });
             }
+
+            #[test]
+            fn oracle_small_types() {
+                $crate::testing::both_modes(|| {
+                    let m = $make;
+                    $crate::testing::oracle_check_as(
+                        &m,
+                        2_000,
+                        128,
+                        43,
+                        |k| k as u32,
+                        |v| v as u16,
+                    );
+                });
+            }
+
+            #[test]
+            fn oracle_fat_values() {
+                $crate::testing::both_modes(|| {
+                    let m = $make;
+                    $crate::testing::oracle_check_as(
+                        &m,
+                        2_000,
+                        128,
+                        44,
+                        |k| k,
+                        $crate::testing::fat_value,
+                    );
+                });
+            }
+
+            #[test]
+            fn stress_fat_values() {
+                $crate::testing::both_modes(|| {
+                    let m = $make;
+                    $crate::testing::partition_stress_as(
+                        &m,
+                        4,
+                        600,
+                        |k| k,
+                        $crate::testing::fat_value,
+                    );
+                });
+            }
+
+            #[test]
+            fn indirect_drops() {
+                $crate::testing::exclusive(|| {
+                    $crate::testing::indirect_drop_check(|| $make);
+                });
+            }
+
+            #[test]
+            fn update_atomicity() {
+                $crate::testing::both_modes(|| {
+                    let m = $make;
+                    $crate::testing::update_atomicity_check(&m);
+                });
+            }
         }
     };
 }
@@ -448,17 +774,19 @@ mod tests {
     use std::collections::HashMap;
     use std::sync::Mutex;
 
-    /// Minimal reference implementation to validate the harness itself.
-    struct MutexMap(Mutex<HashMap<u64, u64>>);
+    /// Minimal reference implementation to validate the harness itself —
+    /// generic like the real structures, with a *native* (mutex-atomic)
+    /// `update` so the capability path of the harness is exercised here.
+    struct MutexMap<K, V>(Mutex<HashMap<K, V>>);
 
-    impl MutexMap {
+    impl<K, V> MutexMap<K, V> {
         fn new() -> Self {
             Self(Mutex::new(HashMap::new()))
         }
     }
 
-    impl Map<u64, u64> for MutexMap {
-        fn insert(&self, key: u64, value: u64) -> bool {
+    impl<K: Key, V: Value> Map<K, V> for MutexMap<K, V> {
+        fn insert(&self, key: K, value: V) -> bool {
             let mut m = self.0.lock().unwrap();
             if let std::collections::hash_map::Entry::Vacant(e) = m.entry(key) {
                 e.insert(value);
@@ -467,14 +795,27 @@ mod tests {
                 false
             }
         }
-        fn remove(&self, key: u64) -> bool {
+        fn remove(&self, key: K) -> bool {
             self.0.lock().unwrap().remove(&key).is_some()
         }
-        fn get(&self, key: u64) -> Option<u64> {
-            self.0.lock().unwrap().get(&key).copied()
+        fn get(&self, key: K) -> Option<V> {
+            self.0.lock().unwrap().get(&key).cloned()
         }
         fn name(&self) -> &'static str {
             "mutex_hashmap"
+        }
+        fn update(&self, key: K, value: V) -> bool {
+            // Native atomic update: the whole map is one critical section.
+            match self.0.lock().unwrap().get_mut(&key) {
+                Some(slot) => {
+                    *slot = value;
+                    true
+                }
+                None => false,
+            }
+        }
+        fn has_atomic_update(&self) -> bool {
+            true
         }
         fn len_approx(&self) -> Option<usize> {
             Some(self.0.lock().unwrap().len())
@@ -487,7 +828,7 @@ mod tests {
     /// the default `update` composite calls back into `insert`: the window
     /// between its `remove` and `insert` halves, made deterministic.
     struct UpdateWindowProbe {
-        inner: MutexMap,
+        inner: MutexMap<u64, u64>,
         absent_during_reinsert: std::sync::atomic::AtomicBool,
     }
 
@@ -515,11 +856,11 @@ mod tests {
 
     /// Pin the documented behavior of the **default** `Map::update`: it is
     /// the non-atomic remove-then-insert composite, so the key is
-    /// observably absent in between. This is the behavioral baseline the
-    /// planned native (atomic, in-place) per-structure overrides (ROADMAP)
-    /// must flip: when a structure overrides `update` atomically, this
-    /// exact observation becomes impossible and its version of this test
-    /// must assert the negation.
+    /// observably absent in between. This remains the baseline contract
+    /// for every structure whose `has_atomic_update()` is false; a
+    /// structure that overrides `update` natively flips the capability bit
+    /// and the conformance harness's `update_atomicity` test asserts the
+    /// negation (no observable absence) instead.
     #[test]
     fn default_update_composite_exposes_absence_window() {
         use std::sync::atomic::Ordering::SeqCst;
@@ -527,6 +868,7 @@ mod tests {
             inner: MutexMap::new(),
             absent_during_reinsert: std::sync::atomic::AtomicBool::new(false),
         };
+        assert!(!probe.has_atomic_update(), "probe uses the composite");
         assert!(probe.insert(9, 90));
         probe.absent_during_reinsert.store(false, SeqCst); // ignore the initial insert
 
@@ -558,10 +900,19 @@ mod tests {
     }
 
     #[test]
+    fn trait_is_object_safe_at_fat_values() {
+        let boxed: Box<dyn Map<u64, Indirect<String>>> = Box::new(MutexMap::new());
+        assert!(boxed.insert(1, Indirect("fat".to_string())));
+        assert_eq!(boxed.get(1), Some(Indirect("fat".to_string())));
+        assert!(boxed.remove(1));
+    }
+
+    #[test]
     fn references_and_boxes_forward() {
-        let m = MutexMap::new();
+        let m: MutexMap<u64, u64> = MutexMap::new();
         let r: &dyn Map<u64, u64> = &m;
         assert!((&r).insert(5, 6));
         assert_eq!(Map::get(&r, 5), Some(6));
+        assert!((&r).has_atomic_update(), "capability forwards through refs");
     }
 }

@@ -1,5 +1,5 @@
 //! Srivastava-style *blocking* optimistic (a,b)-tree — the paper's
-//! `srivastava_abtree` comparator (Figure 6).
+//! `srivastava_abtree` comparator (Figure 6). Generic over `(K, V)`.
 //!
 //! Same structural rules as `flock_ds::abtree` (immutable key arrays,
 //! in-place child cells, copy-on-write node replacement, preemptive splits,
@@ -11,55 +11,43 @@
 
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 
-use crate::counter::ApproxLen;
+use flock_sync::{ApproxLen, TtasLock};
 
-use flock_sync::TtasLock;
-
-use flock_api::Map;
+use flock_api::{Key, Map, Value};
 
 /// Maximum keys per node.
 pub const B: usize = 12;
 
-struct Node {
+struct Node<K, V> {
     lock: TtasLock,
     removed: AtomicBool,
     is_leaf: bool,
-    len: usize,
-    keys: [u64; B],
-    vals: [u64; B],
+    /// Leaf: element keys. Internal: separators (children = len + 1).
+    keys: Vec<K>,
+    /// Element values (leaves only).
+    vals: Vec<V>,
     children: [AtomicUsize; B + 1],
 }
 
-impl Node {
+impl<K: Key, V: Value> Node<K, V> {
     fn empty_children() -> [AtomicUsize; B + 1] {
         std::array::from_fn(|_| AtomicUsize::new(0))
     }
 
-    fn leaf(entries: &[(u64, u64)]) -> Self {
+    fn leaf(entries: &[(K, V)]) -> Self {
         debug_assert!(entries.len() <= B);
-        let mut keys = [0; B];
-        let mut vals = [0; B];
-        for (i, (k, v)) in entries.iter().enumerate() {
-            keys[i] = *k;
-            vals[i] = *v;
-        }
         Self {
             lock: TtasLock::new(),
             removed: AtomicBool::new(false),
             is_leaf: true,
-            len: entries.len(),
-            keys,
-            vals,
+            keys: entries.iter().map(|(k, _)| k.clone()).collect(),
+            vals: entries.iter().map(|(_, v)| v.clone()).collect(),
             children: Self::empty_children(),
         }
     }
 
-    fn internal(seps: &[u64], kids: &[*mut Node]) -> Self {
+    fn internal(seps: &[K], kids: &[*mut Node<K, V>]) -> Self {
         debug_assert_eq!(kids.len(), seps.len() + 1);
-        let mut keys = [0; B];
-        for (i, s) in seps.iter().enumerate() {
-            keys[i] = *s;
-        }
         let children = std::array::from_fn(|i| {
             AtomicUsize::new(if i < kids.len() { kids[i] as usize } else { 0 })
         });
@@ -67,63 +55,64 @@ impl Node {
             lock: TtasLock::new(),
             removed: AtomicBool::new(false),
             is_leaf: false,
-            len: seps.len(),
-            keys,
-            vals: [0; B],
+            keys: seps.to_vec(),
+            vals: Vec::new(),
             children,
         }
     }
 
     #[inline]
-    fn route(&self, k: u64) -> usize {
-        self.keys[..self.len].partition_point(|&s| s <= k)
+    fn route(&self, k: &K) -> usize {
+        self.keys.partition_point(|s| s <= k)
     }
 
     #[inline]
-    fn find(&self, k: u64) -> Option<usize> {
-        self.keys[..self.len].iter().position(|&x| x == k)
+    fn find(&self, k: &K) -> Option<usize> {
+        self.keys.iter().position(|x| x == k)
     }
 
-    fn leaf_entries(&self) -> Vec<(u64, u64)> {
-        (0..self.len)
-            .map(|i| (self.keys[i], self.vals[i]))
+    fn leaf_entries(&self) -> Vec<(K, V)> {
+        self.keys
+            .iter()
+            .cloned()
+            .zip(self.vals.iter().cloned())
             .collect()
     }
 
-    fn separators(&self) -> Vec<u64> {
-        self.keys[..self.len].to_vec()
+    fn separators(&self) -> Vec<K> {
+        self.keys.clone()
     }
 
-    fn child_ptrs(&self) -> Vec<*mut Node> {
-        (0..=self.len)
-            .map(|i| self.children[i].load(Ordering::SeqCst) as *mut Node)
+    fn child_ptrs(&self) -> Vec<*mut Node<K, V>> {
+        (0..=self.keys.len())
+            .map(|i| self.children[i].load(Ordering::SeqCst) as *mut Node<K, V>)
             .collect()
     }
 
     #[inline]
     fn is_full(&self) -> bool {
-        self.len == B
+        self.keys.len() == B
     }
 }
 
 /// Blocking optimistic (a,b)-tree map.
-pub struct BlockingABTree {
+pub struct BlockingABTree<K: Key, V: Value> {
     /// Maintained element count backing `len_approx`.
     len: ApproxLen,
-    anchor: *mut Node,
+    anchor: *mut Node<K, V>,
 }
 
 // SAFETY: spin locks guard mutation; epoch reclamation.
-unsafe impl Send for BlockingABTree {}
-unsafe impl Sync for BlockingABTree {}
+unsafe impl<K: Key, V: Value> Send for BlockingABTree<K, V> {}
+unsafe impl<K: Key, V: Value> Sync for BlockingABTree<K, V> {}
 
-impl Default for BlockingABTree {
+impl<K: Key, V: Value> Default for BlockingABTree<K, V> {
     fn default() -> Self {
         Self::new()
     }
 }
 
-impl BlockingABTree {
+impl<K: Key, V: Value> BlockingABTree<K, V> {
     /// An empty tree.
     pub fn new() -> Self {
         let root = flock_epoch::alloc(Node::leaf(&[]));
@@ -134,10 +123,11 @@ impl BlockingABTree {
         }
     }
 
-    fn path_to(&self, k: u64) -> Vec<*mut Node> {
+    fn path_to(&self, k: &K) -> Vec<*mut Node<K, V>> {
         let mut path = vec![self.anchor];
         // SAFETY: caller pinned.
-        let mut cur = unsafe { (*self.anchor).children[0].load(Ordering::SeqCst) } as *mut Node;
+        let mut cur =
+            unsafe { (*self.anchor).children[0].load(Ordering::SeqCst) } as *mut Node<K, V>;
         loop {
             path.push(cur);
             // SAFETY: pinned.
@@ -145,12 +135,12 @@ impl BlockingABTree {
             if n.is_leaf {
                 return path;
             }
-            cur = n.children[n.route(k)].load(Ordering::SeqCst) as *mut Node;
+            cur = n.children[n.route(k)].load(Ordering::SeqCst) as *mut Node<K, V>;
         }
     }
 
     /// Split full root under the anchor lock. Returns success.
-    fn split_root(&self, root: *mut Node) -> bool {
+    fn split_root(&self, root: *mut Node<K, V>) -> bool {
         // SAFETY: pinned caller.
         let a = unsafe { &*self.anchor };
         let r = unsafe { &*root };
@@ -160,17 +150,17 @@ impl BlockingABTree {
             && r.is_full()
             && !r.removed.load(Ordering::SeqCst);
         if ok {
-            let mid = r.len / 2;
+            let mid = r.keys.len() / 2;
             let (sep, left_ptr, right_ptr);
             if r.is_leaf {
                 let e = r.leaf_entries();
-                sep = e[mid].0;
+                sep = e[mid].0.clone();
                 left_ptr = flock_epoch::alloc(Node::leaf(&e[..mid]));
                 right_ptr = flock_epoch::alloc(Node::leaf(&e[mid..]));
             } else {
                 let seps = r.separators();
                 let kids = r.child_ptrs();
-                sep = seps[mid];
+                sep = seps[mid].clone();
                 left_ptr = flock_epoch::alloc(Node::internal(&seps[..mid], &kids[..=mid]));
                 right_ptr = flock_epoch::alloc(Node::internal(&seps[mid + 1..], &kids[mid + 1..]));
             }
@@ -186,7 +176,13 @@ impl BlockingABTree {
     }
 
     /// Split full child `c` of `p` under `g`; returns success.
-    fn split_child(&self, g: *mut Node, p: *mut Node, c: *mut Node, k: u64) -> bool {
+    fn split_child(
+        &self,
+        g: *mut Node<K, V>,
+        p: *mut Node<K, V>,
+        c: *mut Node<K, V>,
+        k: &K,
+    ) -> bool {
         // SAFETY: pinned caller.
         let (g, p, c) = unsafe { (&*g, &*p, &*c) };
         g.lock.acquire();
@@ -199,20 +195,20 @@ impl BlockingABTree {
             && !c.removed.load(Ordering::SeqCst)
             && c.is_full()
             && !p.is_full()
-            && g.children[gi].load(Ordering::SeqCst) == p as *const Node as usize
-            && p.children[pi].load(Ordering::SeqCst) == c as *const Node as usize;
+            && g.children[gi].load(Ordering::SeqCst) == p as *const Node<K, V> as usize
+            && p.children[pi].load(Ordering::SeqCst) == c as *const Node<K, V> as usize;
         if ok {
-            let mid = c.len / 2;
+            let mid = c.keys.len() / 2;
             let (sep, left_ptr, right_ptr);
             if c.is_leaf {
                 let e = c.leaf_entries();
-                sep = e[mid].0;
+                sep = e[mid].0.clone();
                 left_ptr = flock_epoch::alloc(Node::leaf(&e[..mid]));
                 right_ptr = flock_epoch::alloc(Node::leaf(&e[mid..]));
             } else {
                 let seps = c.separators();
                 let kids = c.child_ptrs();
-                sep = seps[mid];
+                sep = seps[mid].clone();
                 left_ptr = flock_epoch::alloc(Node::internal(&seps[..mid], &kids[..=mid]));
                 right_ptr = flock_epoch::alloc(Node::internal(&seps[mid + 1..], &kids[mid + 1..]));
             }
@@ -227,8 +223,8 @@ impl BlockingABTree {
             g.children[gi].store(new_p as usize, Ordering::SeqCst);
             // SAFETY: both replaced; unique retires under the locks.
             unsafe {
-                flock_epoch::retire(p as *const Node as *mut Node);
-                flock_epoch::retire(c as *const Node as *mut Node);
+                flock_epoch::retire(p as *const Node<K, V> as *mut Node<K, V>);
+                flock_epoch::retire(c as *const Node<K, V> as *mut Node<K, V>);
             }
         }
         c.lock.release();
@@ -238,7 +234,7 @@ impl BlockingABTree {
     }
 
     /// Insert; `false` if present.
-    pub fn insert(&self, k: u64, v: u64) -> bool {
+    pub fn insert(&self, k: K, v: V) -> bool {
         let ok = self.insert_impl(k, v);
         if ok {
             self.len.inc();
@@ -246,13 +242,13 @@ impl BlockingABTree {
         ok
     }
 
-    fn insert_impl(&self, k: u64, v: u64) -> bool {
+    fn insert_impl(&self, k: K, v: V) -> bool {
         let _g = flock_epoch::pin();
         'restart: loop {
-            let path = self.path_to(k);
+            let path = self.path_to(&k);
             let leaf = *path.last().expect("leaf");
             // SAFETY: pinned.
-            if unsafe { &*leaf }.find(k).is_some() {
+            if unsafe { &*leaf }.find(&k).is_some() {
                 return false;
             }
             // SAFETY: pinned.
@@ -263,7 +259,7 @@ impl BlockingABTree {
             for w in 2..path.len() {
                 // SAFETY: pinned.
                 if unsafe { &*path[w] }.is_full() {
-                    self.split_child(path[w - 2], path[w - 1], path[w], k);
+                    self.split_child(path[w - 2], path[w - 1], path[w], &k);
                     continue 'restart;
                 }
             }
@@ -271,16 +267,16 @@ impl BlockingABTree {
             // SAFETY: pinned.
             let p = unsafe { &*parent };
             p.lock.acquire();
-            let slot = p.route(k);
+            let slot = p.route(&k);
             let l = unsafe { &*leaf };
             let ok = !p.removed.load(Ordering::SeqCst)
                 && p.children[slot].load(Ordering::SeqCst) == leaf as usize
-                && l.find(k).is_none()
+                && l.find(&k).is_none()
                 && !l.is_full();
             if ok {
                 let mut entries = l.leaf_entries();
-                let pos = entries.partition_point(|&(ek, _)| ek < k);
-                entries.insert(pos, (k, v));
+                let pos = entries.partition_point(|(ek, _)| ek < &k);
+                entries.insert(pos, (k.clone(), v.clone()));
                 let newl = flock_epoch::alloc(Node::leaf(&entries));
                 p.children[slot].store(newl as usize, Ordering::SeqCst);
                 // SAFETY: replaced above; unique retire under the lock.
@@ -291,24 +287,24 @@ impl BlockingABTree {
                 return true;
             }
             // Re-check for presence before retrying.
-            let path2 = self.path_to(k);
+            let path2 = self.path_to(&k);
             // SAFETY: pinned.
-            if unsafe { &**path2.last().expect("leaf") }.find(k).is_some() {
+            if unsafe { &**path2.last().expect("leaf") }.find(&k).is_some() {
                 return false;
             }
         }
     }
 
     /// Remove; `false` if absent.
-    pub fn remove(&self, k: u64) -> bool {
-        let ok = self.remove_impl(k);
+    pub fn remove(&self, k: K) -> bool {
+        let ok = self.remove_impl(&k);
         if ok {
             self.len.dec();
         }
         ok
     }
 
-    fn remove_impl(&self, k: u64) -> bool {
+    fn remove_impl(&self, k: &K) -> bool {
         let _g = flock_epoch::pin();
         loop {
             let path = self.path_to(k);
@@ -321,7 +317,7 @@ impl BlockingABTree {
             let parent = path[path.len() - 2];
             // SAFETY: pinned.
             let p = unsafe { &*parent };
-            if l.len > 1 || p.len == 0 {
+            if l.keys.len() > 1 || p.keys.is_empty() {
                 p.lock.acquire();
                 let slot = p.route(k);
                 let ok = !p.removed.load(Ordering::SeqCst)
@@ -351,7 +347,7 @@ impl BlockingABTree {
                     && !p.removed.load(Ordering::SeqCst)
                     && g.children[gi].load(Ordering::SeqCst) == parent as usize
                     && p.children[pi].load(Ordering::SeqCst) == leaf as usize
-                    && l.len == 1
+                    && l.keys.len() == 1
                     && l.find(k).is_some();
                 if ok {
                     let mut seps = p.separators();
@@ -381,17 +377,18 @@ impl BlockingABTree {
     }
 
     /// Wait-free lookup.
-    pub fn get(&self, k: u64) -> Option<u64> {
+    pub fn get(&self, k: K) -> Option<V> {
         let _g = flock_epoch::pin();
         // SAFETY: pinned descent.
-        let mut cur = unsafe { (*self.anchor).children[0].load(Ordering::SeqCst) } as *mut Node;
+        let mut cur =
+            unsafe { (*self.anchor).children[0].load(Ordering::SeqCst) } as *mut Node<K, V>;
         loop {
             // SAFETY: pinned.
             let n = unsafe { &*cur };
             if n.is_leaf {
-                return n.find(k).map(|i| n.vals[i]);
+                return n.find(&k).map(|i| n.vals[i].clone());
             }
-            cur = n.children[n.route(k)].load(Ordering::SeqCst) as *mut Node;
+            cur = n.children[n.route(&k)].load(Ordering::SeqCst) as *mut Node<K, V>;
         }
     }
 
@@ -399,7 +396,7 @@ impl BlockingABTree {
     pub fn len(&self) -> usize {
         let _g = flock_epoch::pin();
         // SAFETY: pinned walk.
-        unsafe { Self::count((*self.anchor).children[0].load(Ordering::SeqCst) as *mut Node) }
+        unsafe { Self::count((*self.anchor).children[0].load(Ordering::SeqCst) as *mut Node<K, V>) }
     }
 
     /// Is the tree empty?
@@ -407,33 +404,33 @@ impl BlockingABTree {
         self.len() == 0
     }
 
-    unsafe fn count(n: *mut Node) -> usize {
+    unsafe fn count(n: *mut Node<K, V>) -> usize {
         // SAFETY: pinned per caller.
         let node = unsafe { &*n };
         if node.is_leaf {
-            node.len
+            node.keys.len()
         } else {
-            (0..=node.len)
+            (0..=node.keys.len())
                 .map(|i| unsafe {
-                    Self::count(node.children[i].load(Ordering::SeqCst) as *mut Node)
+                    Self::count(node.children[i].load(Ordering::SeqCst) as *mut Node<K, V>)
                 })
                 .sum()
         }
     }
 }
 
-impl Drop for BlockingABTree {
+impl<K: Key, V: Value> Drop for BlockingABTree<K, V> {
     fn drop(&mut self) {
         // SAFETY: exclusive access.
-        unsafe fn free(n: *mut Node) {
+        unsafe fn free<K: Key, V: Value>(n: *mut Node<K, V>) {
             if n.is_null() {
                 return;
             }
             // SAFETY: exclusive teardown.
             unsafe {
                 if !(*n).is_leaf {
-                    for i in 0..=(*n).len {
-                        free((*n).children[i].load(Ordering::SeqCst) as *mut Node);
+                    for i in 0..=(*n).keys.len() {
+                        free((*n).children[i].load(Ordering::SeqCst) as *mut Node<K, V>);
                     }
                 }
                 flock_epoch::free_now(n);
@@ -441,20 +438,20 @@ impl Drop for BlockingABTree {
         }
         // SAFETY: exclusive access.
         unsafe {
-            free((*self.anchor).children[0].load(Ordering::SeqCst) as *mut Node);
+            free((*self.anchor).children[0].load(Ordering::SeqCst) as *mut Node<K, V>);
             flock_epoch::free_now(self.anchor);
         }
     }
 }
 
-impl Map<u64, u64> for BlockingABTree {
-    fn insert(&self, key: u64, value: u64) -> bool {
+impl<K: Key, V: Value> Map<K, V> for BlockingABTree<K, V> {
+    fn insert(&self, key: K, value: V) -> bool {
         BlockingABTree::insert(self, key, value)
     }
-    fn remove(&self, key: u64) -> bool {
+    fn remove(&self, key: K) -> bool {
         BlockingABTree::remove(self, key)
     }
-    fn get(&self, key: u64) -> Option<u64> {
+    fn get(&self, key: K) -> Option<V> {
         BlockingABTree::get(self, key)
     }
     fn name(&self) -> &'static str {
@@ -472,7 +469,7 @@ mod tests {
 
     #[test]
     fn basic_ops() {
-        let t = BlockingABTree::new();
+        let t: BlockingABTree<u64, u64> = BlockingABTree::new();
         assert!(t.insert(5, 50));
         assert!(!t.insert(5, 51));
         assert!(t.insert(3, 30));
@@ -484,7 +481,7 @@ mod tests {
 
     #[test]
     fn grows_and_drains() {
-        let t = BlockingABTree::new();
+        let t: BlockingABTree<u64, u64> = BlockingABTree::new();
         for k in 0..2_000 {
             assert!(t.insert(k, k * 3));
         }
@@ -498,13 +495,13 @@ mod tests {
 
     #[test]
     fn oracle() {
-        let t = BlockingABTree::new();
+        let t: BlockingABTree<u64, u64> = BlockingABTree::new();
         testutil::oracle_check(&t, 4_000, 512, 51);
     }
 
     #[test]
     fn concurrent_partitioned() {
-        let t = BlockingABTree::new();
+        let t: BlockingABTree<u64, u64> = BlockingABTree::new();
         testutil::partition_stress(&t, 4, 1_500);
     }
 }

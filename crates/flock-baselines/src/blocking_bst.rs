@@ -1,12 +1,21 @@
 //! Bronson-style *blocking* optimistic internal BST with per-node spin
 //! locks — the blocking strict-lock comparator class of the paper's
-//! Figure 5 (`bronson`, `drachsler`).
+//! Figure 5 (`bronson`, `drachsler`). Generic over `(K, V)`.
 //!
 //! Internal (node-holds-key) BST with logical deletion: a node with two
 //! children is deleted by clearing its `has_value` flag (it remains as a
 //! routing node); nodes with at most one child are spliced out under
 //! parent + node locks. Traversals take no locks; updates lock a small
 //! neighborhood and validate.
+//!
+//! Values live in a **raw `ValueRepr` slot** (one atomic word of encoded
+//! payload bits): an internal BST *revives* a routing node in place when
+//! its key is re-inserted, and readers read the value without the node's
+//! lock — so the value must be a single atomic word. Inline values are
+//! stored as their own bits (note: like every 48-bit slot in this
+//! workspace, u64 values must fit 48 bits); fat `Indirect<T>` values are
+//! stored as an epoch-managed pointer, and a revive retires the displaced
+//! encoding so concurrent readers keep a stable snapshot.
 //!
 //! Documented divergence (DESIGN.md §4): no AVL rebalancing — the locking
 //! discipline and optimistic validation match Bronson's practical
@@ -17,15 +26,17 @@
 
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 
-use crate::counter::ApproxLen;
+use flock_sync::{ApproxLen, TtasLock};
 
-use flock_sync::TtasLock;
+use flock_api::{Key, Map, Value};
 
-use flock_api::Map;
-
-struct Node {
-    key: u64,
-    value: AtomicU64,
+struct Node<K, V: Value> {
+    /// `None` only on the root sentinel.
+    key: Option<K>,
+    /// Encoded `ValueRepr` payload bits of the current value. Meaningful
+    /// only while `has_value` is true, but the encoding stays live (and is
+    /// freed at node drop) even while logically deleted.
+    value_bits: AtomicU64,
     /// False = routing node (logically deleted).
     has_value: AtomicBool,
     /// True once spliced out of the tree.
@@ -33,86 +44,130 @@ struct Node {
     left: AtomicUsize,
     right: AtomicUsize,
     lock: TtasLock,
+    _v: std::marker::PhantomData<V>,
 }
 
-impl Node {
-    fn new(key: u64, value: u64) -> Self {
+impl<K: Key, V: Value> Node<K, V> {
+    fn new(key: Option<K>, value: V) -> Self {
         Self {
             key,
-            value: AtomicU64::new(value),
+            value_bits: AtomicU64::new(V::encode(value)),
             has_value: AtomicBool::new(true),
             removed: AtomicBool::new(false),
             left: AtomicUsize::new(0),
             right: AtomicUsize::new(0),
             lock: TtasLock::new(),
+            _v: std::marker::PhantomData,
         }
     }
 
     #[inline]
-    fn child(&self, k: u64) -> &AtomicUsize {
-        if k < self.key {
+    fn child(&self, k: &K) -> &AtomicUsize {
+        if self.key.as_ref().is_some_and(|x| k < x) {
             &self.left
         } else {
             &self.right
         }
     }
+
+    /// Snapshot-decode the current value. Caller must be epoch-pinned.
+    #[inline]
+    fn value(&self) -> V {
+        // SAFETY: `value_bits` always holds a live encoding — revives
+        // retire the displaced one through the collector, and the final one
+        // is freed only at node drop (post-grace for retired nodes); the
+        // caller is pinned.
+        unsafe { V::decode(self.value_bits.load(Ordering::SeqCst)) }
+    }
+
+    /// Replace the value under this node's lock, retiring the displaced
+    /// encoding. Caller must hold `self.lock` and be epoch-pinned.
+    #[inline]
+    fn replace_value(&self, v: V) {
+        let old = self.value_bits.swap(V::encode(v), Ordering::SeqCst);
+        // SAFETY: `old` was displaced by the swap above, under the node
+        // lock (no competing writer), and the caller is pinned; readers
+        // that still decode it are protected by the grace period.
+        unsafe { V::retire_bits(old) };
+    }
+}
+
+impl<K, V: Value> Drop for Node<K, V> {
+    fn drop(&mut self) {
+        // The root sentinel (the only keyless node) carries no encoding —
+        // its slot holds `SENTINEL_BITS`, which must not reach the repr's
+        // dealloc hook.
+        if self.key.is_some() {
+            // SAFETY: exclusive access (drop); the final encoding is freed
+            // exactly once. For nodes that went through the collector this
+            // runs after the grace period.
+            unsafe { V::dealloc_bits(self.value_bits.load(Ordering::Relaxed)) };
+        }
+    }
 }
 
 /// Blocking optimistic internal BST map.
-pub struct BlockingBst {
+pub struct BlockingBst<K: Key, V: Value> {
     /// Maintained element count backing `len_approx`.
     len: ApproxLen,
     /// Sentinel root; real tree hangs off `left` (sentinel key is +inf in
     /// spirit: every key routes left).
-    root: *mut Node,
+    root: *mut Node<K, V>,
 }
 
 // SAFETY: per-node spin locks for mutation; epoch reclamation.
-unsafe impl Send for BlockingBst {}
-unsafe impl Sync for BlockingBst {}
+unsafe impl<K: Key, V: Value> Send for BlockingBst<K, V> {}
+unsafe impl<K: Key, V: Value> Sync for BlockingBst<K, V> {}
 
-impl Default for BlockingBst {
+impl<K: Key, V: Value> Default for BlockingBst<K, V> {
     fn default() -> Self {
         Self::new()
     }
 }
 
-impl BlockingBst {
+impl<K: Key, V: Value> BlockingBst<K, V> {
     /// An empty tree.
     pub fn new() -> Self {
+        // The sentinel's value slot is never read (its key is `None`, so no
+        // lookup ever matches it) and holds no encoding — `Node::drop`
+        // skips the keyless sentinel.
+        let root = flock_epoch::alloc(Node {
+            key: None,
+            value_bits: AtomicU64::new(SENTINEL_BITS),
+            has_value: AtomicBool::new(false),
+            removed: AtomicBool::new(false),
+            left: AtomicUsize::new(0),
+            right: AtomicUsize::new(0),
+            lock: TtasLock::new(),
+            _v: std::marker::PhantomData,
+        });
         Self {
-            root: flock_epoch::alloc(Node::new(u64::MAX, 0)),
+            root,
             len: ApproxLen::new(),
         }
     }
 
-    #[inline]
-    fn root_child<'a>(&self, root: &'a Node, _k: u64) -> &'a AtomicUsize {
-        &root.left // sentinel routes everything left
-    }
-
     /// Unlocked descent to the node with `k` (or its would-be parent).
     /// Returns `(parent, node_or_null)`.
-    fn search(&self, k: u64) -> (*mut Node, *mut Node) {
+    fn search(&self, k: &K) -> (*mut Node<K, V>, *mut Node<K, V>) {
         let mut parent = self.root;
-        // SAFETY: caller pinned; nodes epoch-reclaimed.
-        let mut cur = self
-            .root_child(unsafe { &*parent }, k)
-            .load(Ordering::SeqCst) as *mut Node;
+        // SAFETY: caller pinned; nodes epoch-reclaimed. The sentinel routes
+        // everything left (its key is None).
+        let mut cur = unsafe { &*parent }.left.load(Ordering::SeqCst) as *mut Node<K, V>;
         while !cur.is_null() {
             // SAFETY: pinned.
             let c = unsafe { &*cur };
-            if c.key == k {
+            if c.key.as_ref() == Some(k) {
                 return (parent, cur);
             }
             parent = cur;
-            cur = c.child(k).load(Ordering::SeqCst) as *mut Node;
+            cur = c.child(k).load(Ordering::SeqCst) as *mut Node<K, V>;
         }
         (parent, std::ptr::null_mut())
     }
 
     /// Insert; `false` if present.
-    pub fn insert(&self, k: u64, v: u64) -> bool {
+    pub fn insert(&self, k: K, v: V) -> bool {
         let ok = self.insert_impl(k, v);
         if ok {
             self.len.inc();
@@ -120,10 +175,10 @@ impl BlockingBst {
         ok
     }
 
-    fn insert_impl(&self, k: u64, v: u64) -> bool {
+    fn insert_impl(&self, k: K, v: V) -> bool {
         let _g = flock_epoch::pin();
         loop {
-            let (parent, node) = self.search(k);
+            let (parent, node) = self.search(&k);
             if !node.is_null() {
                 // SAFETY: pinned.
                 let n = unsafe { &*node };
@@ -134,7 +189,7 @@ impl BlockingBst {
                 } else if n.has_value.load(Ordering::SeqCst) {
                     Some(false)
                 } else {
-                    n.value.store(v, Ordering::SeqCst);
+                    n.replace_value(v.clone());
                     n.has_value.store(true, Ordering::SeqCst);
                     Some(true)
                 };
@@ -148,14 +203,14 @@ impl BlockingBst {
             let p = unsafe { &*parent };
             p.lock.acquire();
             let cell = if parent == self.root {
-                self.root_child(p, k)
+                &p.left // sentinel routes everything left
             } else {
-                p.child(k)
+                p.child(&k)
             };
             let ok = if p.removed.load(Ordering::SeqCst) || cell.load(Ordering::SeqCst) != 0 {
                 false // validate: parent gone or slot taken
             } else {
-                let newn = flock_epoch::alloc(Node::new(k, v));
+                let newn = flock_epoch::alloc(Node::new(Some(k.clone()), v.clone()));
                 cell.store(newn as usize, Ordering::SeqCst);
                 true
             };
@@ -167,15 +222,15 @@ impl BlockingBst {
     }
 
     /// Remove; `false` if absent.
-    pub fn remove(&self, k: u64) -> bool {
-        let ok = self.remove_impl(k);
+    pub fn remove(&self, k: K) -> bool {
+        let ok = self.remove_impl(&k);
         if ok {
             self.len.dec();
         }
         ok
     }
 
-    fn remove_impl(&self, k: u64) -> bool {
+    fn remove_impl(&self, k: &K) -> bool {
         let _g = flock_epoch::pin();
         loop {
             let (parent, node) = self.search(k);
@@ -192,7 +247,7 @@ impl BlockingBst {
                 Retry,
             }
             let cell = if parent == self.root {
-                self.root_child(p, k)
+                &p.left
             } else {
                 p.child(k)
             };
@@ -228,23 +283,22 @@ impl BlockingBst {
     }
 
     /// Wait-free lookup.
-    pub fn get(&self, k: u64) -> Option<u64> {
+    pub fn get(&self, k: K) -> Option<V> {
         let _g = flock_epoch::pin();
-        let (_, node) = self.search(k);
+        let (_, node) = self.search(&k);
         if node.is_null() {
             return None;
         }
         // SAFETY: pinned.
         let n = unsafe { &*node };
-        (n.has_value.load(Ordering::SeqCst) && !n.removed.load(Ordering::SeqCst))
-            .then(|| n.value.load(Ordering::SeqCst))
+        (n.has_value.load(Ordering::SeqCst) && !n.removed.load(Ordering::SeqCst)).then(|| n.value())
     }
 
     /// Element count (live keys; O(n)).
     pub fn len(&self) -> usize {
         let _g = flock_epoch::pin();
         // SAFETY: pinned walk.
-        unsafe { Self::count((*self.root).left.load(Ordering::SeqCst) as *mut Node) }
+        unsafe { Self::count((*self.root).left.load(Ordering::SeqCst) as *mut Node<K, V>) }
     }
 
     /// Is the set empty?
@@ -252,7 +306,7 @@ impl BlockingBst {
         self.len() == 0
     }
 
-    unsafe fn count(n: *mut Node) -> usize {
+    unsafe fn count(n: *mut Node<K, V>) -> usize {
         if n.is_null() {
             return 0;
         }
@@ -260,39 +314,42 @@ impl BlockingBst {
         let node = unsafe { &*n };
         node.has_value.load(Ordering::SeqCst) as usize
             + unsafe {
-                Self::count(node.left.load(Ordering::SeqCst) as *mut Node)
-                    + Self::count(node.right.load(Ordering::SeqCst) as *mut Node)
+                Self::count(node.left.load(Ordering::SeqCst) as *mut Node<K, V>)
+                    + Self::count(node.right.load(Ordering::SeqCst) as *mut Node<K, V>)
             }
     }
 }
 
-impl Drop for BlockingBst {
+/// Placeholder bits in the sentinel's never-read, never-freed value slot.
+const SENTINEL_BITS: u64 = 0;
+
+impl<K: Key, V: Value> Drop for BlockingBst<K, V> {
     fn drop(&mut self) {
         // SAFETY: exclusive access; spliced nodes belong to the collector.
-        unsafe fn free(n: *mut Node) {
+        unsafe fn free<K: Key, V: Value>(n: *mut Node<K, V>) {
             if n.is_null() {
                 return;
             }
             // SAFETY: exclusive teardown.
             unsafe {
-                free((*n).left.load(Ordering::SeqCst) as *mut Node);
-                free((*n).right.load(Ordering::SeqCst) as *mut Node);
+                free::<K, V>((*n).left.load(Ordering::SeqCst) as *mut Node<K, V>);
+                free::<K, V>((*n).right.load(Ordering::SeqCst) as *mut Node<K, V>);
                 flock_epoch::free_now(n);
             }
         }
         // SAFETY: exclusive access.
-        unsafe { free(self.root) };
+        unsafe { free::<K, V>(self.root) };
     }
 }
 
-impl Map<u64, u64> for BlockingBst {
-    fn insert(&self, key: u64, value: u64) -> bool {
+impl<K: Key, V: Value> Map<K, V> for BlockingBst<K, V> {
+    fn insert(&self, key: K, value: V) -> bool {
         BlockingBst::insert(self, key, value)
     }
-    fn remove(&self, key: u64) -> bool {
+    fn remove(&self, key: K) -> bool {
         BlockingBst::remove(self, key)
     }
-    fn get(&self, key: u64) -> Option<u64> {
+    fn get(&self, key: K) -> Option<V> {
         BlockingBst::get(self, key)
     }
     fn name(&self) -> &'static str {
@@ -310,7 +367,7 @@ mod tests {
 
     #[test]
     fn basic_ops() {
-        let t = BlockingBst::new();
+        let t: BlockingBst<u64, u64> = BlockingBst::new();
         assert!(t.insert(5, 50));
         assert!(!t.insert(5, 51));
         assert!(t.insert(3, 30));
@@ -325,14 +382,30 @@ mod tests {
     }
 
     #[test]
+    fn revive_with_fat_values_reclaims_displaced_encoding() {
+        testutil::exclusive(|| {
+            use flock_epoch::Indirect;
+            let t: BlockingBst<u64, Indirect<Vec<u64>>> = BlockingBst::new();
+            assert!(t.insert(5, Indirect(vec![5; 8])));
+            assert!(t.insert(3, Indirect(vec![3; 8])));
+            assert!(t.insert(8, Indirect(vec![8; 8])));
+            assert!(t.remove(5)); // logical delete (two children)
+            assert!(t.insert(5, Indirect(vec![55; 8]))); // revive: swaps encodings
+            assert_eq!(t.get(5), Some(Indirect(vec![55; 8])));
+            drop(t);
+            flock_epoch::flush_all();
+        });
+    }
+
+    #[test]
     fn oracle() {
-        let t = BlockingBst::new();
+        let t: BlockingBst<u64, u64> = BlockingBst::new();
         testutil::oracle_check(&t, 4_000, 256, 41);
     }
 
     #[test]
     fn concurrent_partitioned() {
-        let t = BlockingBst::new();
+        let t: BlockingBst<u64, u64> = BlockingBst::new();
         testutil::partition_stress(&t, 4, 1_500);
     }
 }

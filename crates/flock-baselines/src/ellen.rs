@@ -1,5 +1,5 @@
 //! Ellen et al. non-blocking external BST (PODC 2010 design): cooperative
-//! updates through *Info records*.
+//! updates through *Info records*. Generic over `(K, V)`.
 //!
 //! Each internal node carries an `update` word — a pointer to an Info
 //! record plus a 2-bit state (CLEAN / IFLAG / DFLAG / MARK). An insert
@@ -21,9 +21,9 @@
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 
-use crate::counter::ApproxLen;
+use flock_sync::ApproxLen;
 
-use flock_api::Map;
+use flock_api::{Key, Map, Value};
 
 const CLEAN: usize = 0;
 const IFLAG: usize = 1;
@@ -34,10 +34,9 @@ const STATE: usize = 3;
 /// targets; the low 2 bits carry the state).
 const PTR_MASK: usize = 0x0000_FFFF_FFFF_FFFC;
 /// High 16 bits: a sequence number bumped on every update-word transition.
-/// Info records are reclaimed through the epoch collector, so a *stale*
-/// helper can hold an update word whose embedded Info address has been
-/// freed and reused; the sequence stamp makes such a helper's CAS fail
-/// instead of succeeding spuriously (ABA).
+/// A stale helper can hold an update word whose embedded Info address was
+/// replaced; the sequence stamp makes such a helper's CAS fail instead of
+/// succeeding spuriously (ABA).
 const SEQ_SHIFT: u32 = 48;
 
 #[inline]
@@ -46,8 +45,8 @@ fn state(w: usize) -> usize {
 }
 
 #[inline]
-fn info_of(w: usize) -> *mut Info {
-    (w & PTR_MASK) as *mut Info
+fn info_of<K, V>(w: usize) -> *mut Info<K, V> {
+    (w & PTR_MASK) as *mut Info<K, V>
 }
 
 #[inline]
@@ -58,22 +57,23 @@ fn seq_of(w: usize) -> usize {
 /// Build the update word that replaces `prev`: new info + state, sequence
 /// bumped by one (mod 2^16).
 #[inline]
-fn next_word(prev: usize, info: *mut Info, st: usize) -> usize {
+fn next_word<K, V>(prev: usize, info: *mut Info<K, V>, st: usize) -> usize {
     debug_assert_eq!(info as usize & !PTR_MASK, 0);
     info as usize | st | (seq_of(prev).wrapping_add(1) << SEQ_SHIFT)
 }
 
 /// Sentinel-aware key: finite keys order below Inf1 below Inf2.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
-enum KeyClass {
-    Finite(u64),
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord)]
+enum KeyClass<K> {
+    Finite(K),
     Inf1,
     Inf2,
 }
 
-struct Node {
-    key: KeyClass,
-    value: u64,
+struct Node<K, V> {
+    key: KeyClass<K>,
+    /// `None` on sentinel leaves and internals.
+    value: Option<V>,
     is_leaf: bool,
     left: AtomicUsize,
     right: AtomicUsize,
@@ -81,8 +81,8 @@ struct Node {
     update: AtomicUsize,
 }
 
-impl Node {
-    fn leaf(key: KeyClass, value: u64) -> Self {
+impl<K: Key, V: Value> Node<K, V> {
+    fn leaf(key: KeyClass<K>, value: Option<V>) -> Self {
         Self {
             key,
             value,
@@ -93,10 +93,10 @@ impl Node {
         }
     }
 
-    fn internal(key: KeyClass, left: *mut Node, right: *mut Node) -> Self {
+    fn internal(key: KeyClass<K>, left: *mut Node<K, V>, right: *mut Node<K, V>) -> Self {
         Self {
             key,
-            value: 0,
+            value: None,
             is_leaf: false,
             left: AtomicUsize::new(left as usize),
             right: AtomicUsize::new(right as usize),
@@ -105,8 +105,8 @@ impl Node {
     }
 
     #[inline]
-    fn child(&self, k: KeyClass) -> &AtomicUsize {
-        if k < self.key {
+    fn child(&self, k: &KeyClass<K>) -> &AtomicUsize {
+        if k < &self.key {
             &self.left
         } else {
             &self.right
@@ -114,28 +114,28 @@ impl Node {
     }
 }
 
-enum Info {
+enum Info<K, V> {
     /// Swap `leaf` under `parent` for `new_internal`.
     Insert {
-        parent: *mut Node,
-        leaf: *mut Node,
-        new_internal: *mut Node,
+        parent: *mut Node<K, V>,
+        leaf: *mut Node<K, V>,
+        new_internal: *mut Node<K, V>,
     },
     /// Splice `parent` + `leaf` out from under `gparent`.
     Delete {
-        gparent: *mut Node,
-        parent: *mut Node,
-        leaf: *mut Node,
+        gparent: *mut Node<K, V>,
+        parent: *mut Node<K, V>,
+        leaf: *mut Node<K, V>,
         /// Parent's update word observed at flag time.
         pupdate: usize,
     },
 }
 
 /// Non-blocking external BST map (Ellen et al. style).
-pub struct EllenBst {
+pub struct EllenBst<K: Key, V: Value> {
     /// Maintained element count backing `len_approx`.
     len: ApproxLen,
-    root: *mut Node,
+    root: *mut Node<K, V>,
     /// Replaced Info records, freed only at drop. Deferring all Info
     /// reclamation to teardown removes every use-after-free/ABA window on
     /// update words by construction (an Info address is never reused while
@@ -146,28 +146,28 @@ pub struct EllenBst {
 }
 
 // SAFETY: CAS-based mutation; epoch reclamation.
-unsafe impl Send for EllenBst {}
-unsafe impl Sync for EllenBst {}
+unsafe impl<K: Key, V: Value> Send for EllenBst<K, V> {}
+unsafe impl<K: Key, V: Value> Sync for EllenBst<K, V> {}
 
-impl Default for EllenBst {
+impl<K: Key, V: Value> Default for EllenBst<K, V> {
     fn default() -> Self {
         Self::new()
     }
 }
 
-struct Search {
-    gparent: *mut Node,
-    parent: *mut Node,
-    leaf: *mut Node,
+struct Search<K, V> {
+    gparent: *mut Node<K, V>,
+    parent: *mut Node<K, V>,
+    leaf: *mut Node<K, V>,
     pupdate: usize,
     gpupdate: usize,
 }
 
-impl EllenBst {
+impl<K: Key, V: Value> EllenBst<K, V> {
     /// An empty tree.
     pub fn new() -> Self {
-        let l1 = flock_epoch::alloc(Node::leaf(KeyClass::Inf1, 0));
-        let l2 = flock_epoch::alloc(Node::leaf(KeyClass::Inf2, 0));
+        let l1 = flock_epoch::alloc(Node::leaf(KeyClass::Inf1, None));
+        let l2 = flock_epoch::alloc(Node::leaf(KeyClass::Inf2, None));
         let root = flock_epoch::alloc(Node::internal(KeyClass::Inf2, l1, l2));
         Self {
             root,
@@ -176,13 +176,13 @@ impl EllenBst {
         }
     }
 
-    fn search(&self, k: KeyClass) -> Search {
+    fn search(&self, k: &KeyClass<K>) -> Search<K, V> {
         let mut gparent = std::ptr::null_mut();
         let mut gpupdate = 0;
         let mut parent = self.root;
         // SAFETY: caller pinned.
         let mut pupdate = unsafe { &*parent }.update.load(Ordering::SeqCst);
-        let mut leaf = unsafe { &*parent }.child(k).load(Ordering::SeqCst) as *mut Node;
+        let mut leaf = unsafe { &*parent }.child(k).load(Ordering::SeqCst) as *mut Node<K, V>;
         // SAFETY: pinned.
         while !unsafe { &*leaf }.is_leaf {
             gparent = parent;
@@ -190,7 +190,7 @@ impl EllenBst {
             parent = leaf;
             // SAFETY: pinned.
             pupdate = unsafe { &*parent }.update.load(Ordering::SeqCst);
-            leaf = unsafe { &*parent }.child(k).load(Ordering::SeqCst) as *mut Node;
+            leaf = unsafe { &*parent }.child(k).load(Ordering::SeqCst) as *mut Node<K, V>;
         }
         Search {
             gparent,
@@ -204,16 +204,16 @@ impl EllenBst {
     /// Help the operation recorded in update word `w` (non-clean).
     fn help(&self, w: usize) {
         match state(w) {
-            IFLAG => self.help_insert(info_of(w)),
-            MARK => self.help_marked(info_of(w)),
+            IFLAG => self.help_insert(info_of::<K, V>(w)),
+            MARK => self.help_marked(info_of::<K, V>(w)),
             DFLAG => {
-                let _ = self.help_delete(info_of(w));
+                let _ = self.help_delete(info_of::<K, V>(w));
             }
             _ => {}
         }
     }
 
-    fn help_insert(&self, op: *mut Info) {
+    fn help_insert(&self, op: *mut Info<K, V>) {
         // SAFETY: op reachable from a flagged update word; pinned callers.
         let Info::Insert {
             parent,
@@ -243,7 +243,7 @@ impl EllenBst {
         }
         // Unflag: replace (op, IFLAG) with (op, CLEAN), bumping the seq.
         let cur = p.update.load(Ordering::SeqCst);
-        if info_of(cur) == op && state(cur) == IFLAG {
+        if info_of::<K, V>(cur) == op && state(cur) == IFLAG {
             let _ = p.update.compare_exchange(
                 cur,
                 next_word(cur, op, CLEAN),
@@ -254,7 +254,7 @@ impl EllenBst {
     }
 
     /// Second phase of delete: parent is marked; splice it.
-    fn help_marked(&self, op: *mut Info) {
+    fn help_marked(&self, op: *mut Info<K, V>) {
         // SAFETY: as help_insert.
         let Info::Delete {
             gparent,
@@ -301,7 +301,7 @@ impl EllenBst {
         }
         // Unflag the grandparent: (op, DFLAG) -> (op, CLEAN), seq bumped.
         let cur = g.update.load(Ordering::SeqCst);
-        if info_of(cur) == op && state(cur) == DFLAG {
+        if info_of::<K, V>(cur) == op && state(cur) == DFLAG {
             let _ = g.update.compare_exchange(
                 cur,
                 next_word(cur, op, CLEAN),
@@ -313,7 +313,7 @@ impl EllenBst {
 
     /// First phase of delete after DFLAG: mark the parent, then splice.
     /// Returns false if the mark failed and the flag was backtracked.
-    fn help_delete(&self, op: *mut Info) -> bool {
+    fn help_delete(&self, op: *mut Info<K, V>) -> bool {
         // SAFETY: as help_insert.
         let Info::Delete {
             gparent,
@@ -337,7 +337,7 @@ impl EllenBst {
                 self.help_marked(op);
                 true
             }
-            Err(cur) if info_of(cur) == op && state(cur) == MARK => {
+            Err(cur) if info_of::<K, V>(cur) == op && state(cur) == MARK => {
                 // Someone already marked it for this op.
                 self.help_marked(op);
                 true
@@ -349,7 +349,7 @@ impl EllenBst {
                 // SAFETY: pinned.
                 let g = unsafe { &**gparent };
                 let gcur = g.update.load(Ordering::SeqCst);
-                if info_of(gcur) == op && state(gcur) == DFLAG {
+                if info_of::<K, V>(gcur) == op && state(gcur) == DFLAG {
                     let _ = g.update.compare_exchange(
                         gcur,
                         next_word(gcur, op, CLEAN),
@@ -362,9 +362,9 @@ impl EllenBst {
         }
     }
 
-    /// Flag-CAS an update word and retire the replaced (completed) info
-    /// record on success.
-    fn flag(&self, node: &Node, expected: usize, op: *mut Info, st: usize) -> bool {
+    /// Flag-CAS an update word and park the replaced (completed) info
+    /// record on the garbage list on success.
+    fn flag(&self, node: &Node<K, V>, expected: usize, op: *mut Info<K, V>, st: usize) -> bool {
         if node
             .update
             .compare_exchange(
@@ -375,7 +375,7 @@ impl EllenBst {
             )
             .is_ok()
         {
-            let old = info_of(expected);
+            let old = info_of::<K, V>(expected);
             if !old.is_null() {
                 // `old` described a completed (CLEAN) operation; park it on
                 // the garbage list until drop (see `info_garbage`).
@@ -391,7 +391,7 @@ impl EllenBst {
     }
 
     /// Insert; `false` if present.
-    pub fn insert(&self, k: u64, v: u64) -> bool {
+    pub fn insert(&self, k: K, v: V) -> bool {
         let ok = self.insert_impl(k, v);
         if ok {
             self.len.inc();
@@ -399,11 +399,11 @@ impl EllenBst {
         ok
     }
 
-    fn insert_impl(&self, k: u64, v: u64) -> bool {
+    fn insert_impl(&self, k: K, v: V) -> bool {
         let kc = KeyClass::Finite(k);
         let _g = flock_epoch::pin();
         loop {
-            let s = self.search(kc);
+            let s = self.search(&kc);
             // SAFETY: pinned.
             let l = unsafe { &*s.leaf };
             if l.key == kc {
@@ -413,12 +413,12 @@ impl EllenBst {
                 self.help(s.pupdate);
                 continue;
             }
-            let new_leaf = flock_epoch::alloc(Node::leaf(kc, v));
-            let leaf_key = l.key;
+            let new_leaf = flock_epoch::alloc(Node::leaf(kc.clone(), Some(v.clone())));
+            let leaf_key = l.key.clone();
             let new_internal = if kc < leaf_key {
                 flock_epoch::alloc(Node::internal(leaf_key, new_leaf, s.leaf))
             } else {
-                flock_epoch::alloc(Node::internal(kc, s.leaf, new_leaf))
+                flock_epoch::alloc(Node::internal(kc.clone(), s.leaf, new_leaf))
             };
             let op = flock_epoch::alloc(Info::Insert {
                 parent: s.parent,
@@ -441,7 +441,7 @@ impl EllenBst {
     }
 
     /// Remove; `false` if absent.
-    pub fn remove(&self, k: u64) -> bool {
+    pub fn remove(&self, k: K) -> bool {
         let ok = self.remove_impl(k);
         if ok {
             self.len.dec();
@@ -449,11 +449,11 @@ impl EllenBst {
         ok
     }
 
-    fn remove_impl(&self, k: u64) -> bool {
+    fn remove_impl(&self, k: K) -> bool {
         let kc = KeyClass::Finite(k);
         let _g = flock_epoch::pin();
         loop {
-            let s = self.search(kc);
+            let s = self.search(&kc);
             // SAFETY: pinned.
             if unsafe { &*s.leaf }.key != kc {
                 return false;
@@ -490,13 +490,13 @@ impl EllenBst {
     }
 
     /// Lookup.
-    pub fn get(&self, k: u64) -> Option<u64> {
+    pub fn get(&self, k: K) -> Option<V> {
         let kc = KeyClass::Finite(k);
         let _g = flock_epoch::pin();
-        let s = self.search(kc);
+        let s = self.search(&kc);
         // SAFETY: pinned.
         let l = unsafe { &*s.leaf };
-        (l.key == kc).then_some(l.value)
+        if l.key == kc { l.value.clone() } else { None }
     }
 
     /// Element count (O(n)).
@@ -511,42 +511,42 @@ impl EllenBst {
         self.len() == 0
     }
 
-    unsafe fn count(n: *mut Node) -> usize {
+    unsafe fn count(n: *mut Node<K, V>) -> usize {
         // SAFETY: pinned per caller.
         let node = unsafe { &*n };
         if node.is_leaf {
             return matches!(node.key, KeyClass::Finite(_)) as usize;
         }
         unsafe {
-            Self::count(node.left.load(Ordering::SeqCst) as *mut Node)
-                + Self::count(node.right.load(Ordering::SeqCst) as *mut Node)
+            Self::count(node.left.load(Ordering::SeqCst) as *mut Node<K, V>)
+                + Self::count(node.right.load(Ordering::SeqCst) as *mut Node<K, V>)
         }
     }
 }
 
-impl Drop for EllenBst {
+impl<K: Key, V: Value> Drop for EllenBst<K, V> {
     fn drop(&mut self) {
         // SAFETY: exclusive access. An Info record is *owned* by the word
         // it was installed on (the parent for Insert/IFLAG, the grandparent
-        // for Delete/DFLAG) and is retired by the flag-CAS that replaces it
-        // there; a MARK word holds a secondary reference to a Delete info
-        // owned elsewhere. Teardown therefore frees an info only through
-        // CLEAN/IFLAG/DFLAG words — freeing through MARK too would double
-        // free.
-        unsafe fn free(n: *mut Node) {
+        // for Delete/DFLAG) and is parked on the garbage list by the
+        // flag-CAS that replaces it there; a MARK word holds a secondary
+        // reference to a Delete info owned elsewhere. Teardown therefore
+        // frees an info only through CLEAN/IFLAG/DFLAG words — freeing
+        // through MARK too would double free.
+        unsafe fn free<K: Key, V: Value>(n: *mut Node<K, V>) {
             if n.is_null() {
                 return;
             }
             // SAFETY: exclusive teardown.
             unsafe {
                 let u = (*n).update.load(Ordering::SeqCst);
-                let info = info_of(u);
+                let info = info_of::<K, V>(u);
                 if !info.is_null() && state(u) != MARK {
                     flock_epoch::free_now(info);
                 }
                 if !(*n).is_leaf {
-                    free((*n).left.load(Ordering::SeqCst) as *mut Node);
-                    free((*n).right.load(Ordering::SeqCst) as *mut Node);
+                    free((*n).left.load(Ordering::SeqCst) as *mut Node<K, V>);
+                    free((*n).right.load(Ordering::SeqCst) as *mut Node<K, V>);
                 }
                 flock_epoch::free_now(n);
             }
@@ -561,19 +561,19 @@ impl Drop for EllenBst {
         {
             // SAFETY: garbage entries were replaced in their owning update
             // word exactly once and never freed elsewhere.
-            unsafe { flock_epoch::free_now(p as *mut Info) };
+            unsafe { flock_epoch::free_now(p as *mut Info<K, V>) };
         }
     }
 }
 
-impl Map<u64, u64> for EllenBst {
-    fn insert(&self, key: u64, value: u64) -> bool {
+impl<K: Key, V: Value> Map<K, V> for EllenBst<K, V> {
+    fn insert(&self, key: K, value: V) -> bool {
         EllenBst::insert(self, key, value)
     }
-    fn remove(&self, key: u64) -> bool {
+    fn remove(&self, key: K) -> bool {
         EllenBst::remove(self, key)
     }
-    fn get(&self, key: u64) -> Option<u64> {
+    fn get(&self, key: K) -> Option<V> {
         EllenBst::get(self, key)
     }
     fn name(&self) -> &'static str {
@@ -591,7 +591,7 @@ mod tests {
 
     #[test]
     fn basic_ops() {
-        let t = EllenBst::new();
+        let t: EllenBst<u64, u64> = EllenBst::new();
         assert!(t.is_empty());
         assert!(t.insert(5, 50));
         assert!(!t.insert(5, 51));
@@ -606,7 +606,7 @@ mod tests {
 
     #[test]
     fn fill_and_drain() {
-        let t = EllenBst::new();
+        let t: EllenBst<u64, u64> = EllenBst::new();
         for k in 0..1_000 {
             assert!(t.insert(k, k + 7));
         }
@@ -619,19 +619,19 @@ mod tests {
 
     #[test]
     fn oracle() {
-        let t = EllenBst::new();
+        let t: EllenBst<u64, u64> = EllenBst::new();
         testutil::oracle_check(&t, 4_000, 256, 61);
     }
 
     #[test]
     fn concurrent_partitioned() {
-        let t = EllenBst::new();
+        let t: EllenBst<u64, u64> = EllenBst::new();
         testutil::partition_stress(&t, 4, 1_500);
     }
 
     #[test]
     fn contended_tiny_keyspace() {
-        let t = EllenBst::new();
+        let t: EllenBst<u64, u64> = EllenBst::new();
         std::thread::scope(|s| {
             for tid in 0..4u64 {
                 let t = &t;

@@ -1,4 +1,5 @@
 //! Harris's lock-free sorted linked list, plus the optimized-find variant.
+//! Generic over `(K, V)`.
 //!
 //! The classic design (Harris, DISC 2001): each node's `next` pointer
 //! carries a *mark* bit in its low bit. Deletion first marks the victim's
@@ -11,9 +12,9 @@
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 
-use crate::counter::ApproxLen;
+use flock_sync::ApproxLen;
 
-use flock_api::Map;
+use flock_api::{Key, Map, Value};
 
 const MARK: usize = 1;
 
@@ -27,9 +28,10 @@ fn unmark(p: usize) -> usize {
     p & !MARK
 }
 
-struct Node {
-    key: u64,
-    value: u64,
+struct Node<K, V> {
+    /// `None` only on the head/tail sentinels.
+    key: Option<K>,
+    value: Option<V>,
     /// Successor pointer; low bit = this node is logically deleted.
     next: AtomicUsize,
     kind: u8, // 0 normal, 1 head, 2 tail
@@ -39,8 +41,8 @@ const NORMAL: u8 = 0;
 const HEAD: u8 = 1;
 const TAIL: u8 = 2;
 
-impl Node {
-    fn new(key: u64, value: u64, next: usize, kind: u8) -> Self {
+impl<K: Key, V: Value> Node<K, V> {
+    fn new(key: Option<K>, value: Option<V>, next: usize, kind: u8) -> Self {
         Self {
             key,
             value,
@@ -50,31 +52,36 @@ impl Node {
     }
 
     #[inline]
-    fn at_or_after(&self, k: u64) -> bool {
+    fn at_or_after(&self, k: &K) -> bool {
         match self.kind {
             TAIL => true,
             HEAD => false,
-            _ => self.key >= k,
+            _ => self.key.as_ref().is_some_and(|x| x >= k),
         }
+    }
+
+    #[inline]
+    fn holds(&self, k: &K) -> bool {
+        self.kind == NORMAL && self.key.as_ref() == Some(k)
     }
 }
 
 /// Harris's lock-free sorted linked-list map.
-pub struct HarrisList {
+pub struct HarrisList<K: Key, V: Value> {
     /// Maintained element count backing `len_approx`.
     len: ApproxLen,
-    head: *mut Node,
-    tail: *mut Node,
+    head: *mut Node<K, V>,
+    tail: *mut Node<K, V>,
     /// `true` = optimized finds (no helping during `get`).
     opt_find: bool,
     label: &'static str,
 }
 
 // SAFETY: all mutation is CAS-based; reclamation via flock-epoch.
-unsafe impl Send for HarrisList {}
-unsafe impl Sync for HarrisList {}
+unsafe impl<K: Key, V: Value> Send for HarrisList<K, V> {}
+unsafe impl<K: Key, V: Value> Sync for HarrisList<K, V> {}
 
-impl HarrisList {
+impl<K: Key, V: Value> HarrisList<K, V> {
     /// Classic Harris list: finds help unlink marked nodes.
     pub fn new() -> Self {
         Self::build(false, "harris_list")
@@ -86,8 +93,8 @@ impl HarrisList {
     }
 
     fn build(opt_find: bool, label: &'static str) -> Self {
-        let tail = flock_epoch::alloc(Node::new(0, 0, 0, TAIL));
-        let head = flock_epoch::alloc(Node::new(0, 0, tail as usize, HEAD));
+        let tail = flock_epoch::alloc(Node::new(None, None, 0, TAIL));
+        let head = flock_epoch::alloc(Node::new(None, None, tail as usize, HEAD));
         Self {
             head,
             tail,
@@ -100,17 +107,17 @@ impl HarrisList {
     /// Harris search: returns `(pred, curr)` with `pred` unmarked,
     /// `pred.next == curr`, and `curr` the first unmarked node at-or-after
     /// `k`. Unlinks any marked run it encounters (and retires it).
-    fn search(&self, k: u64) -> (*mut Node, *mut Node) {
+    fn search(&self, k: &K) -> (*mut Node<K, V>, *mut Node<K, V>) {
         'retry: loop {
             let mut pred = self.head;
             // SAFETY: caller pinned; nodes retired through the collector.
-            let mut curr = unmark(unsafe { &*pred }.next.load(Ordering::SeqCst)) as *mut Node;
+            let mut curr = unmark(unsafe { &*pred }.next.load(Ordering::SeqCst)) as *mut Node<K, V>;
             loop {
                 // Skip over a run of marked nodes after pred.
                 let mut curr_next = unsafe { &*curr }.next.load(Ordering::SeqCst);
                 let run_start = curr;
                 while marked(curr_next) {
-                    curr = unmark(curr_next) as *mut Node;
+                    curr = unmark(curr_next) as *mut Node<K, V>;
                     curr_next = unsafe { &*curr }.next.load(Ordering::SeqCst);
                 }
                 if run_start != curr {
@@ -134,7 +141,8 @@ impl HarrisList {
                     while p != curr {
                         // SAFETY: unlinked above; each node retired once by
                         // the unique unlink winner.
-                        let nx = unmark(unsafe { &*p }.next.load(Ordering::SeqCst)) as *mut Node;
+                        let nx =
+                            unmark(unsafe { &*p }.next.load(Ordering::SeqCst)) as *mut Node<K, V>;
                         unsafe { flock_epoch::retire(p) };
                         p = nx;
                     }
@@ -144,13 +152,13 @@ impl HarrisList {
                     return (pred, curr);
                 }
                 pred = curr;
-                curr = unmark(unsafe { &*curr }.next.load(Ordering::SeqCst)) as *mut Node;
+                curr = unmark(unsafe { &*curr }.next.load(Ordering::SeqCst)) as *mut Node<K, V>;
             }
         }
     }
 
     /// Insert; `false` if present.
-    pub fn insert(&self, k: u64, v: u64) -> bool {
+    pub fn insert(&self, k: K, v: V) -> bool {
         let ok = self.insert_impl(k, v);
         if ok {
             self.len.inc();
@@ -158,16 +166,21 @@ impl HarrisList {
         ok
     }
 
-    fn insert_impl(&self, k: u64, v: u64) -> bool {
+    fn insert_impl(&self, k: K, v: V) -> bool {
         let _g = flock_epoch::pin();
         loop {
-            let (pred, curr) = self.search(k);
+            let (pred, curr) = self.search(&k);
             // SAFETY: pinned.
             let curr_ref = unsafe { &*curr };
-            if curr_ref.kind == NORMAL && curr_ref.key == k {
+            if curr_ref.holds(&k) {
                 return false;
             }
-            let newn = flock_epoch::alloc(Node::new(k, v, curr as usize, NORMAL));
+            let newn = flock_epoch::alloc(Node::new(
+                Some(k.clone()),
+                Some(v.clone()),
+                curr as usize,
+                NORMAL,
+            ));
             // SAFETY: pinned; pred was unmarked when search returned.
             if unsafe { &*pred }
                 .next
@@ -187,21 +200,21 @@ impl HarrisList {
     }
 
     /// Remove; `false` if absent.
-    pub fn remove(&self, k: u64) -> bool {
-        let ok = self.remove_impl(k);
+    pub fn remove(&self, k: K) -> bool {
+        let ok = self.remove_impl(&k);
         if ok {
             self.len.dec();
         }
         ok
     }
 
-    fn remove_impl(&self, k: u64) -> bool {
+    fn remove_impl(&self, k: &K) -> bool {
         let _g = flock_epoch::pin();
         loop {
             let (pred, curr) = self.search(k);
             // SAFETY: pinned.
             let curr_ref = unsafe { &*curr };
-            if curr_ref.kind != NORMAL || curr_ref.key != k {
+            if !curr_ref.holds(k) {
                 return false;
             }
             let succ = curr_ref.next.load(Ordering::SeqCst);
@@ -234,26 +247,31 @@ impl HarrisList {
 
     /// Lookup. The classic variant helps unlink while searching; the
     /// optimized variant is read-only.
-    pub fn get(&self, k: u64) -> Option<u64> {
+    pub fn get(&self, k: K) -> Option<V> {
         let _g = flock_epoch::pin();
         if self.opt_find {
             // Read-only walk: skip marked nodes logically.
             // SAFETY: pinned.
-            let mut curr = unmark(unsafe { &*self.head }.next.load(Ordering::SeqCst)) as *mut Node;
+            let mut curr =
+                unmark(unsafe { &*self.head }.next.load(Ordering::SeqCst)) as *mut Node<K, V>;
             loop {
                 // SAFETY: pinned.
                 let c = unsafe { &*curr };
-                if c.at_or_after(k) {
+                if c.at_or_after(&k) {
                     let is_marked = marked(c.next.load(Ordering::SeqCst));
-                    return (c.kind == NORMAL && c.key == k && !is_marked).then_some(c.value);
+                    return if c.holds(&k) && !is_marked {
+                        c.value.clone()
+                    } else {
+                        None
+                    };
                 }
-                curr = unmark(c.next.load(Ordering::SeqCst)) as *mut Node;
+                curr = unmark(c.next.load(Ordering::SeqCst)) as *mut Node<K, V>;
             }
         } else {
-            let (_, curr) = self.search(k);
+            let (_, curr) = self.search(&k);
             // SAFETY: pinned.
             let c = unsafe { &*curr };
-            (c.kind == NORMAL && c.key == k).then_some(c.value)
+            if c.holds(&k) { c.value.clone() } else { None }
         }
     }
 
@@ -262,13 +280,13 @@ impl HarrisList {
         let _g = flock_epoch::pin();
         let mut n = 0;
         // SAFETY: pinned walk.
-        let mut p = unmark(unsafe { &*self.head }.next.load(Ordering::SeqCst)) as *mut Node;
+        let mut p = unmark(unsafe { &*self.head }.next.load(Ordering::SeqCst)) as *mut Node<K, V>;
         while unsafe { &*p }.kind == NORMAL {
             let nx = unsafe { &*p }.next.load(Ordering::SeqCst);
             if !marked(nx) {
                 n += 1;
             }
-            p = unmark(nx) as *mut Node;
+            p = unmark(nx) as *mut Node<K, V>;
         }
         n
     }
@@ -279,13 +297,13 @@ impl HarrisList {
     }
 }
 
-impl Default for HarrisList {
+impl<K: Key, V: Value> Default for HarrisList<K, V> {
     fn default() -> Self {
         Self::new()
     }
 }
 
-impl Drop for HarrisList {
+impl<K: Key, V: Value> Drop for HarrisList<K, V> {
     fn drop(&mut self) {
         // SAFETY: exclusive access; marked-but-linked nodes are still
         // reachable here and freed once; retired nodes belong to the
@@ -293,7 +311,7 @@ impl Drop for HarrisList {
         unsafe {
             let mut p = self.head;
             loop {
-                let next = unmark((*p).next.load(Ordering::SeqCst)) as *mut Node;
+                let next = unmark((*p).next.load(Ordering::SeqCst)) as *mut Node<K, V>;
                 let is_tail = p == self.tail;
                 flock_epoch::free_now(p);
                 if is_tail {
@@ -305,14 +323,14 @@ impl Drop for HarrisList {
     }
 }
 
-impl Map<u64, u64> for HarrisList {
-    fn insert(&self, key: u64, value: u64) -> bool {
+impl<K: Key, V: Value> Map<K, V> for HarrisList<K, V> {
+    fn insert(&self, key: K, value: V) -> bool {
         HarrisList::insert(self, key, value)
     }
-    fn remove(&self, key: u64) -> bool {
+    fn remove(&self, key: K) -> bool {
         HarrisList::remove(self, key)
     }
-    fn get(&self, key: u64) -> Option<u64> {
+    fn get(&self, key: K) -> Option<V> {
         HarrisList::get(self, key)
     }
     fn name(&self) -> &'static str {
@@ -330,7 +348,8 @@ mod tests {
 
     #[test]
     fn basic_ops_both_variants() {
-        for l in [HarrisList::new(), HarrisList::new_opt()] {
+        let lists: [HarrisList<u64, u64>; 2] = [HarrisList::new(), HarrisList::new_opt()];
+        for l in lists {
             assert!(l.insert(5, 50));
             assert!(!l.insert(5, 51));
             assert!(l.insert(1, 10));
@@ -345,17 +364,17 @@ mod tests {
 
     #[test]
     fn oracle() {
-        let l = HarrisList::new();
+        let l: HarrisList<u64, u64> = HarrisList::new();
         testutil::oracle_check(&l, 3_000, 64, 3);
-        let l = HarrisList::new_opt();
+        let l: HarrisList<u64, u64> = HarrisList::new_opt();
         testutil::oracle_check(&l, 3_000, 64, 4);
     }
 
     #[test]
     fn concurrent_partitioned() {
-        let l = HarrisList::new();
+        let l: HarrisList<u64, u64> = HarrisList::new();
         testutil::partition_stress(&l, 4, 1_500);
-        let l = HarrisList::new_opt();
+        let l: HarrisList<u64, u64> = HarrisList::new_opt();
         testutil::partition_stress(&l, 4, 1_500);
     }
 
@@ -364,7 +383,7 @@ mod tests {
     /// consistent.
     #[test]
     fn adjacent_removals() {
-        let l = HarrisList::new();
+        let l: HarrisList<u64, u64> = HarrisList::new();
         for k in 0..100 {
             l.insert(k, k);
         }

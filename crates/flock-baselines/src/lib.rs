@@ -18,16 +18,20 @@
 //! test-and-test-and-set spin locks.
 //!
 //! Every baseline implements [`flock_api::Map`] — the same single interface
-//! the Flock structures implement — so the bench harness needs no adapter
-//! layer to mix the two families.
+//! the Flock structures implement, and **generically over `(K, V)`** like
+//! them — so the bench harness needs no adapter layer to mix the two
+//! families. Node keys/values are plain generic fields (the CAS designs
+//! replace whole nodes), except `blocking_bst`, whose in-place revive
+//! stores values as raw `ValueRepr` payload bits in one atomic word (fat
+//! values behind an epoch-retired pointer). All five keep their striped
+//! maintained counters (`flock_sync::ApproxLen`, shared with the Flock
+//! structures since the `ValueRepr` refactor) behind `Map::len_approx`.
 //!
 //! Divergences from the original systems are documented per-module and in
 //! DESIGN.md §4 (notably: `blocking_bst` does not rebalance, so it matches
 //! Bronson's locking discipline but not its AVL shape).
 
 #![warn(missing_docs)]
-
-mod counter;
 
 pub mod blocking_abtree;
 pub mod blocking_bst;

@@ -1,4 +1,5 @@
 //! Natarajan–Mittal-style lock-free external BST (edge flagging/tagging).
+//! Generic over `(K, V)`.
 //!
 //! Follows the design of "Fast Concurrent Lock-Free Binary Search Trees"
 //! (PPoPP 2014): an external BST where *edges* (child pointers) carry two
@@ -19,17 +20,17 @@
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 
-use crate::counter::ApproxLen;
+use flock_sync::ApproxLen;
 
-use flock_api::Map;
+use flock_api::{Key, Map, Value};
 
 const FLAG: usize = 1;
 const TAG: usize = 2;
 const BITS: usize = FLAG | TAG;
 
 #[inline]
-fn ptr_of(w: usize) -> *mut Node {
-    (w & !BITS) as *mut Node
+fn ptr_of<K, V>(w: usize) -> *mut Node<K, V> {
+    (w & !BITS) as *mut Node<K, V>
 }
 
 #[inline]
@@ -42,26 +43,28 @@ fn tagged(w: usize) -> bool {
     w & TAG != 0
 }
 
-/// Key classes order sentinels above every finite key: INF0 < INF1 < INF2.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
-enum KeyClass {
-    Finite(u64),
+/// Key classes order sentinels above every finite key:
+/// `Finite(_) < Inf0 < Inf1 < Inf2` (derived `Ord`, declaration order).
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord)]
+enum KeyClass<K> {
+    Finite(K),
     Inf0,
     Inf1,
     Inf2,
 }
 
-struct Node {
-    key: KeyClass,
-    value: u64,
+struct Node<K, V> {
+    key: KeyClass<K>,
+    /// `None` on sentinel leaves and internals.
+    value: Option<V>,
     /// Child edges (internals only).
     left: AtomicUsize,
     right: AtomicUsize,
     is_leaf: bool,
 }
 
-impl Node {
-    fn leaf(key: KeyClass, value: u64) -> Self {
+impl<K: Key, V: Value> Node<K, V> {
+    fn leaf(key: KeyClass<K>, value: Option<V>) -> Self {
         Self {
             key,
             value,
@@ -71,10 +74,10 @@ impl Node {
         }
     }
 
-    fn internal(key: KeyClass, left: *mut Node, right: *mut Node) -> Self {
+    fn internal(key: KeyClass<K>, left: *mut Node<K, V>, right: *mut Node<K, V>) -> Self {
         Self {
             key,
-            value: 0,
+            value: None,
             left: AtomicUsize::new(left as usize),
             right: AtomicUsize::new(right as usize),
             is_leaf: false,
@@ -83,8 +86,8 @@ impl Node {
 
     /// The edge to follow for `k`, and its sibling.
     #[inline]
-    fn edges_for(&self, k: KeyClass) -> (&AtomicUsize, &AtomicUsize) {
-        if k < self.key {
+    fn edges_for(&self, k: &KeyClass<K>) -> (&AtomicUsize, &AtomicUsize) {
+        if k < &self.key {
             (&self.left, &self.right)
         } else {
             (&self.right, &self.left)
@@ -93,19 +96,19 @@ impl Node {
 }
 
 /// Lock-free external BST map (Natarajan–Mittal style).
-pub struct NatarajanBst {
+pub struct NatarajanBst<K: Key, V: Value> {
     /// Maintained element count backing `len_approx`.
     len: ApproxLen,
     /// Root sentinel structure: R(INF2) → { S(INF1) → {leaf INF0, leaf INF1},
     /// leaf INF2 }. All finite keys live under S.
-    root: *mut Node,
+    root: *mut Node<K, V>,
 }
 
 // SAFETY: CAS-based mutation; epoch reclamation.
-unsafe impl Send for NatarajanBst {}
-unsafe impl Sync for NatarajanBst {}
+unsafe impl<K: Key, V: Value> Send for NatarajanBst<K, V> {}
+unsafe impl<K: Key, V: Value> Sync for NatarajanBst<K, V> {}
 
-impl Default for NatarajanBst {
+impl<K: Key, V: Value> Default for NatarajanBst<K, V> {
     fn default() -> Self {
         Self::new()
     }
@@ -113,19 +116,19 @@ impl Default for NatarajanBst {
 
 /// Result of a descent: the last two internals and the leaf, plus the edge
 /// word through which the leaf was reached.
-struct Seek {
-    gparent: *mut Node,
-    parent: *mut Node,
-    leaf: *mut Node,
+struct Seek<K, V> {
+    gparent: *mut Node<K, V>,
+    parent: *mut Node<K, V>,
+    leaf: *mut Node<K, V>,
     leaf_edge_word: usize,
 }
 
-impl NatarajanBst {
+impl<K: Key, V: Value> NatarajanBst<K, V> {
     /// An empty tree.
     pub fn new() -> Self {
-        let l0 = flock_epoch::alloc(Node::leaf(KeyClass::Inf0, 0));
-        let l1 = flock_epoch::alloc(Node::leaf(KeyClass::Inf1, 0));
-        let l2 = flock_epoch::alloc(Node::leaf(KeyClass::Inf2, 0));
+        let l0 = flock_epoch::alloc(Node::leaf(KeyClass::Inf0, None));
+        let l1 = flock_epoch::alloc(Node::leaf(KeyClass::Inf1, None));
+        let l2 = flock_epoch::alloc(Node::leaf(KeyClass::Inf2, None));
         let s = flock_epoch::alloc(Node::internal(KeyClass::Inf1, l0, l1));
         let r = flock_epoch::alloc(Node::internal(KeyClass::Inf2, s, l2));
         Self {
@@ -141,7 +144,12 @@ impl NatarajanBst {
     ///
     /// `gp_edge` is the edge of `gparent` that currently points (cleanly) to
     /// `parent`.
-    fn help_delete(&self, gp_edge: &AtomicUsize, parent: *mut Node, victim_is_left: bool) -> bool {
+    fn help_delete(
+        &self,
+        gp_edge: &AtomicUsize,
+        parent: *mut Node<K, V>,
+        victim_is_left: bool,
+    ) -> bool {
         // SAFETY: caller pinned; parent reached through a live edge.
         let p = unsafe { &*parent };
         let (victim_edge, sibling_edge) = if victim_is_left {
@@ -172,7 +180,7 @@ impl NatarajanBst {
             // SAFETY: both unreachable now; retired once by the CAS winner.
             unsafe {
                 flock_epoch::retire(parent);
-                flock_epoch::retire(ptr_of(vw));
+                flock_epoch::retire(ptr_of::<K, V>(vw));
             }
             true
         } else {
@@ -182,7 +190,7 @@ impl NatarajanBst {
 
     /// Descend to the leaf for `k`, eagerly helping any flagged or tagged
     /// edge encountered (then restarting).
-    fn seek(&self, k: KeyClass) -> Seek {
+    fn seek(&self, k: &KeyClass<K>) -> Seek<K, V> {
         'restart: loop {
             let mut gparent = std::ptr::null_mut();
             let mut parent = self.root;
@@ -193,28 +201,24 @@ impl NatarajanBst {
                 let p = unsafe { &*parent };
                 let (edge, _) = p.edges_for(k);
                 let w = edge.load(Ordering::SeqCst);
-                let child = ptr_of(w);
+                let child = ptr_of::<K, V>(w);
                 // SAFETY: as above.
                 let c = unsafe { &*child };
                 if c.is_leaf {
-                    if flagged(w) || tagged(w) {
+                    if (flagged(w) || tagged(w))
+                        && let Some(pe) = parent_edge
+                    {
                         // A deletion is pending right here; finish it first
-                        // unless we are at the root sentinel level.
-                        if let Some(pe) = parent_edge {
-                            let victim_is_left = std::ptr::eq(edge, &p.left) == flagged(w)
-                                || (flagged(w) && std::ptr::eq(edge, &p.left));
-                            // If this edge is flagged, its leaf is the
-                            // victim; if only tagged, the victim is on the
-                            // other side.
-                            let vil = if flagged(w) {
-                                std::ptr::eq(edge, &p.left)
-                            } else {
-                                !std::ptr::eq(edge, &p.left)
-                            };
-                            let _ = victim_is_left;
-                            self.help_delete(pe, parent, vil);
-                            continue 'restart;
-                        }
+                        // unless we are at the root sentinel level. If this
+                        // edge is flagged, its leaf is the victim; if only
+                        // tagged, the victim is on the other side.
+                        let vil = if flagged(w) {
+                            std::ptr::eq(edge, &p.left)
+                        } else {
+                            !std::ptr::eq(edge, &p.left)
+                        };
+                        self.help_delete(pe, parent, vil);
+                        continue 'restart;
                     }
                     return Seek {
                         gparent,
@@ -240,7 +244,7 @@ impl NatarajanBst {
     }
 
     /// Insert; `false` if present.
-    pub fn insert(&self, k: u64, v: u64) -> bool {
+    pub fn insert(&self, k: K, v: V) -> bool {
         let ok = self.insert_impl(k, v);
         if ok {
             self.len.inc();
@@ -248,11 +252,11 @@ impl NatarajanBst {
         ok
     }
 
-    fn insert_impl(&self, k: u64, v: u64) -> bool {
+    fn insert_impl(&self, k: K, v: V) -> bool {
         let kc = KeyClass::Finite(k);
         let _g = flock_epoch::pin();
         loop {
-            let s = self.seek(kc);
+            let s = self.seek(&kc);
             // SAFETY: pinned.
             let leaf = unsafe { &*s.leaf };
             if leaf.key == kc {
@@ -260,17 +264,17 @@ impl NatarajanBst {
             }
             // SAFETY: pinned.
             let p = unsafe { &*s.parent };
-            let (edge, _) = p.edges_for(kc);
+            let (edge, _) = p.edges_for(&kc);
             if flagged(s.leaf_edge_word) || tagged(s.leaf_edge_word) {
                 continue; // seek will help next round
             }
             // Build internal(two leaves) routing on the larger key.
-            let leaf_key = leaf.key;
-            let new_leaf = flock_epoch::alloc(Node::leaf(kc, v));
+            let leaf_key = leaf.key.clone();
+            let new_leaf = flock_epoch::alloc(Node::leaf(kc.clone(), Some(v.clone())));
             let new_internal = if kc < leaf_key {
                 flock_epoch::alloc(Node::internal(leaf_key, new_leaf, s.leaf))
             } else {
-                flock_epoch::alloc(Node::internal(kc, s.leaf, new_leaf))
+                flock_epoch::alloc(Node::internal(kc.clone(), s.leaf, new_leaf))
             };
             if edge
                 .compare_exchange(
@@ -292,7 +296,7 @@ impl NatarajanBst {
     }
 
     /// Remove; `false` if absent. Linearizes at the FLAG injection.
-    pub fn remove(&self, k: u64) -> bool {
+    pub fn remove(&self, k: K) -> bool {
         let ok = self.remove_impl(k);
         if ok {
             self.len.dec();
@@ -300,11 +304,11 @@ impl NatarajanBst {
         ok
     }
 
-    fn remove_impl(&self, k: u64) -> bool {
+    fn remove_impl(&self, k: K) -> bool {
         let kc = KeyClass::Finite(k);
         let _g = flock_epoch::pin();
         loop {
-            let s = self.seek(kc);
+            let s = self.seek(&kc);
             // SAFETY: pinned.
             let leaf = unsafe { &*s.leaf };
             if leaf.key != kc {
@@ -312,7 +316,7 @@ impl NatarajanBst {
             }
             // SAFETY: pinned.
             let p = unsafe { &*s.parent };
-            let (edge, _) = p.edges_for(kc);
+            let (edge, _) = p.edges_for(&kc);
             // Injection: flag the edge to the victim leaf.
             if edge
                 .compare_exchange(
@@ -327,14 +331,14 @@ impl NatarajanBst {
                 if !s.gparent.is_null() {
                     // SAFETY: pinned.
                     let g = unsafe { &*s.gparent };
-                    let (gp_edge, _) = g.edges_for(kc);
+                    let (gp_edge, _) = g.edges_for(&kc);
                     let vil = std::ptr::eq(edge, &p.left);
                     if !self.help_delete(gp_edge, s.parent, vil) {
                         // Someone else finished the splice for us (or the
                         // neighborhood changed); a later seek cleans up.
                         // Drive it to completion so the flag never blocks.
                         loop {
-                            let s2 = self.seek(kc);
+                            let s2 = self.seek(&kc);
                             if s2.leaf != s.leaf {
                                 break;
                             }
@@ -350,7 +354,7 @@ impl NatarajanBst {
     }
 
     /// Lookup; absent if the leaf's edge carries a deletion flag.
-    pub fn get(&self, k: u64) -> Option<u64> {
+    pub fn get(&self, k: K) -> Option<V> {
         let kc = KeyClass::Finite(k);
         let _g = flock_epoch::pin();
         let mut cur = self.root;
@@ -358,13 +362,17 @@ impl NatarajanBst {
         loop {
             // SAFETY: pinned descent.
             let n = unsafe { &*cur };
-            let (edge, _) = n.edges_for(kc);
+            let (edge, _) = n.edges_for(&kc);
             w = edge.load(Ordering::SeqCst);
-            let child = ptr_of(w);
+            let child = ptr_of::<K, V>(w);
             // SAFETY: pinned.
             let c = unsafe { &*child };
             if c.is_leaf {
-                return (c.key == kc && !flagged(w)).then_some(c.value);
+                return if c.key == kc && !flagged(w) {
+                    c.value.clone()
+                } else {
+                    None
+                };
             }
             cur = child;
         }
@@ -382,7 +390,7 @@ impl NatarajanBst {
         self.len() == 0
     }
 
-    unsafe fn count(n: *mut Node) -> usize {
+    unsafe fn count(n: *mut Node<K, V>) -> usize {
         // SAFETY: pinned per caller.
         let node = unsafe { &*n };
         if node.is_leaf {
@@ -392,25 +400,25 @@ impl NatarajanBst {
         let rw = node.right.load(Ordering::SeqCst);
         let mut total = 0;
         if !flagged(lw) {
-            total += unsafe { Self::count(ptr_of(lw)) };
+            total += unsafe { Self::count(ptr_of::<K, V>(lw)) };
         }
         if !flagged(rw) {
-            total += unsafe { Self::count(ptr_of(rw)) };
+            total += unsafe { Self::count(ptr_of::<K, V>(rw)) };
         }
         total
     }
 }
 
-impl Drop for NatarajanBst {
+impl<K: Key, V: Value> Drop for NatarajanBst<K, V> {
     fn drop(&mut self) {
         // SAFETY: exclusive access; flagged leaves still linked are freed
         // here exactly once; already-detached nodes belong to the collector.
-        unsafe fn free(n: *mut Node) {
+        unsafe fn free<K: Key, V: Value>(n: *mut Node<K, V>) {
             // SAFETY: exclusive teardown.
             unsafe {
                 if !(*n).is_leaf {
-                    free(ptr_of((*n).left.load(Ordering::SeqCst)));
-                    free(ptr_of((*n).right.load(Ordering::SeqCst)));
+                    free(ptr_of::<K, V>((*n).left.load(Ordering::SeqCst)));
+                    free(ptr_of::<K, V>((*n).right.load(Ordering::SeqCst)));
                 }
                 flock_epoch::free_now(n);
             }
@@ -420,14 +428,14 @@ impl Drop for NatarajanBst {
     }
 }
 
-impl Map<u64, u64> for NatarajanBst {
-    fn insert(&self, key: u64, value: u64) -> bool {
+impl<K: Key, V: Value> Map<K, V> for NatarajanBst<K, V> {
+    fn insert(&self, key: K, value: V) -> bool {
         NatarajanBst::insert(self, key, value)
     }
-    fn remove(&self, key: u64) -> bool {
+    fn remove(&self, key: K) -> bool {
         NatarajanBst::remove(self, key)
     }
-    fn get(&self, key: u64) -> Option<u64> {
+    fn get(&self, key: K) -> Option<V> {
         NatarajanBst::get(self, key)
     }
     fn name(&self) -> &'static str {
@@ -445,7 +453,7 @@ mod tests {
 
     #[test]
     fn basic_ops() {
-        let t = NatarajanBst::new();
+        let t: NatarajanBst<u64, u64> = NatarajanBst::new();
         assert!(t.is_empty());
         assert!(t.insert(5, 50));
         assert!(!t.insert(5, 51));
@@ -461,7 +469,7 @@ mod tests {
 
     #[test]
     fn sequential_fill_and_drain() {
-        let t = NatarajanBst::new();
+        let t: NatarajanBst<u64, u64> = NatarajanBst::new();
         for k in 0..1_000 {
             assert!(t.insert(k, k * 2));
         }
@@ -475,13 +483,13 @@ mod tests {
 
     #[test]
     fn oracle() {
-        let t = NatarajanBst::new();
+        let t: NatarajanBst<u64, u64> = NatarajanBst::new();
         testutil::oracle_check(&t, 4_000, 256, 31);
     }
 
     #[test]
     fn concurrent_partitioned() {
-        let t = NatarajanBst::new();
+        let t: NatarajanBst<u64, u64> = NatarajanBst::new();
         testutil::partition_stress(&t, 4, 1_500);
     }
 
@@ -490,7 +498,7 @@ mod tests {
         // All threads fight over a tiny key space: exercises the
         // flag/tag/help paths heavily. Invariant: ops never crash and the
         // final state is a subset of the key space with coherent gets.
-        let t = NatarajanBst::new();
+        let t: NatarajanBst<u64, u64> = NatarajanBst::new();
         std::thread::scope(|s| {
             for tid in 0..4u64 {
                 let t = &t;

@@ -18,6 +18,13 @@ use std::time::{Duration, Instant};
 /// keep the tight gate.
 pub const CONTENDED_FACTOR_SCALE: f64 = 2.0;
 
+/// Gate widening for `fat_value_*` cases (the indirect `ValueRepr` path):
+/// every operation goes through the global allocator, whose run-to-run
+/// variance (thread-cache state, madvise timing) is far above the
+/// fence-level deltas the tight gate hunts. Widened like the contended
+/// cases; also excluded from host-speed calibration (perf_trajectory).
+pub const FAT_VALUE_FACTOR_SCALE: f64 = 2.0;
+
 /// One primitive microbenchmark result (lower is better).
 #[derive(Debug, Clone, PartialEq)]
 pub struct PrimitiveSample {
@@ -143,6 +150,8 @@ impl BenchReport {
             if let Some(old) = baseline.primitives.iter().find(|p| p.name == new.name) {
                 let case_factor = if new.name.starts_with("contended_") {
                     factor * CONTENDED_FACTOR_SCALE
+                } else if new.name.starts_with("fat_value_") {
+                    factor * FAT_VALUE_FACTOR_SCALE
                 } else {
                     factor
                 };
@@ -324,6 +333,64 @@ pub fn run_primitive_suite(budget: Duration) -> Vec<PrimitiveSample> {
             })
         };
         case("mutable_store_in_thunk", ((many - one) / 32.0).max(0.0));
+    }
+
+    // Fat-value (indirect ValueRepr) primitives: what the representation
+    // layer costs when the value does NOT fit 48 bits — encode allocates a
+    // box, stores epoch-retire the displaced one, loads clone out of the
+    // live one. The matching inline cases above are the "pays nothing"
+    // baseline the trajectory keeps honest.
+    {
+        use flock_epoch::Indirect;
+        type Fat = Indirect<[u64; 4]>;
+        let m: Mutable<Fat> = Mutable::new(Indirect([0; 4]));
+        {
+            // Indirect loads decode under an epoch guard.
+            let _g = flock_epoch::pin();
+            case(
+                "fat_value_load_top_level",
+                measure_best(budget, || {
+                    black_box(m.load());
+                }),
+            );
+        }
+        let mut i = 0u64;
+        case(
+            "fat_value_store_top_level",
+            measure_best(budget, || {
+                i = i.wrapping_add(1);
+                m.store(black_box(Indirect([i, i ^ 7, !i, i << 1])));
+            }),
+        );
+        // In-thunk fat store, isolated with the same 1-vs-33 derivation as
+        // mutable_store_in_thunk: this is the full idempotent
+        // allocate → commit → CAS → retire pipeline per store.
+        let l = Arc::new(Lock::new());
+        let v: Arc<Mutable<Fat>> = Arc::new(Mutable::new(Indirect([0; 4])));
+        let one = {
+            let v = Arc::clone(&v);
+            measure_best(budget, || {
+                let v2 = Arc::clone(&v);
+                black_box(l.try_lock(move || {
+                    let cur = v2.load();
+                    v2.store(Indirect([cur.0[0].wrapping_add(1), 0, 0, 0]));
+                }));
+            })
+        };
+        let many = {
+            let v = Arc::clone(&v);
+            measure_best(budget, || {
+                let v2 = Arc::clone(&v);
+                black_box(l.try_lock(move || {
+                    for _ in 0..33 {
+                        let cur = v2.load();
+                        v2.store(Indirect([cur.0[0].wrapping_add(1), 0, 0, 0]));
+                    }
+                }));
+            })
+        };
+        case("fat_value_store_in_thunk", ((many - one) / 32.0).max(0.0));
+        flock_epoch::flush_all();
     }
 
     let outer = Arc::new(Lock::new());

@@ -14,7 +14,7 @@
 use std::time::Duration;
 
 use flock_bench::bench_json::{BenchReport, ThroughputSample, run_primitive_suite};
-use flock_bench::{Series, run_point};
+use flock_bench::{Series, run_point, run_point_fat};
 use flock_workload::Config;
 
 /// Regression gate for `--check`: fail when a primitive slows down by more
@@ -53,7 +53,10 @@ fn calibration(current: &BenchReport, baseline: &BenchReport) -> f64 {
             // the low-quantile ratio down and rescale the baseline under
             // unchanged uncontended cases. They keep their widened gate;
             // only the stable uncontended cases estimate host speed.
-            if new.name.starts_with("contended_") {
+            // Fat-value cases are excluded for the same reason: they are
+            // allocator-bound, and allocator behavior varies across hosts
+            // independently of the CPU-speed delta the calibration models.
+            if new.name.starts_with("contended_") || new.name.starts_with("fat_value_") {
                 return None;
             }
             let old = baseline.primitives.iter().find(|p| p.name == new.name)?;
@@ -89,6 +92,36 @@ fn throughput_sweep(duration: Duration, repeats: usize) -> Vec<ThroughputSample>
                     seed: 2,
                 };
                 let m = run_point(series, &cfg);
+                println!(
+                    "{:<24} threads={:<2} {:>8.3} Mop/s",
+                    m.name, threads, m.mops_mean
+                );
+                out.push(ThroughputSample {
+                    series: m.name.to_string(),
+                    threads,
+                    mops: m.mops_mean,
+                });
+            }
+        }
+    }
+    // Fat-value workload (ISSUE 4): the same zipfian mix over heap-
+    // indirected `Indirect<[u64; 4]>` values, so the cost of the indirect
+    // `ValueRepr` strategy is a recorded trajectory point, not folklore.
+    // One flat structure and one tree, both lock modes, 1/4 threads.
+    for structure in ["hashtable", "abtree"] {
+        for series in [Series::lf(structure), Series::bl(structure)] {
+            for threads in [1usize, 4] {
+                let cfg = Config {
+                    threads,
+                    key_range: 100_000,
+                    update_percent: 20,
+                    zipf_alpha: 0.75,
+                    run_duration: duration,
+                    repeats,
+                    sparsify_keys: false,
+                    seed: 2,
+                };
+                let m = run_point_fat(series, &cfg);
                 println!(
                     "{:<24} threads={:<2} {:>8.3} Mop/s",
                     m.name, threads, m.mops_mean

@@ -72,28 +72,50 @@ impl Series {
     }
 }
 
-/// Instantiate a structure by registry name, sized for `key_range`.
-///
-/// Every structure — Flock or baseline — implements `flock_api::Map`
-/// directly, so the registry is a plain boxing of the trait object.
+/// The fat-value workload's value type: four words, heap-indirected
+/// through the epoch-managed `ValueRepr` strategy (cannot fit the 48-bit
+/// inline payload).
+pub type FatValue = flock_api::Indirect<[u64; 4]>;
+
+/// Deterministic fat-value constructor for the workload — the same
+/// derivation the conformance harness uses, re-exported so the bench
+/// trajectory and the tests can never diverge on what a "fat value" is.
+pub use flock_api::testing::fat_value;
+
+/// Instantiate every registry structure at a given `(K, V)` pair (all 14
+/// variants are generic since the `ValueRepr` refactor).
+macro_rules! registry {
+    ($structure:expr, $key_range:expr) => {
+        match $structure {
+            "dlist" => Box::new(DList::new()),
+            "lazylist" => Box::new(LazyList::new()),
+            "hashtable" => Box::new(HashTable::with_capacity($key_range as usize)),
+            "leaftree" => Box::new(LeafTree::new()),
+            "leaftree-strict" => Box::new(LeafTree::new_strict()),
+            "leaftreap" => Box::new(LeafTreap::new()),
+            "abtree" => Box::new(ABTree::new()),
+            "arttree" => Box::new(ArtTree::new()),
+            "harris_list" => Box::new(flock_baselines::HarrisList::new()),
+            "harris_list_opt" => Box::new(flock_baselines::HarrisList::new_opt()),
+            "natarajan" => Box::new(flock_baselines::NatarajanBst::new()),
+            "ellen" => Box::new(flock_baselines::EllenBst::new()),
+            "bronson_style_bst" => Box::new(flock_baselines::BlockingBst::new()),
+            "srivastava_abtree" => Box::new(flock_baselines::BlockingABTree::new()),
+            other => panic!("unknown structure {other:?}"),
+        }
+    };
+}
+
+/// Instantiate a structure by registry name, sized for `key_range`, at the
+/// paper's `(u64, u64)` evaluation shape.
 pub fn make_map(structure: &str, key_range: u64) -> Box<dyn Map<u64, u64>> {
-    match structure {
-        "dlist" => Box::new(DList::new()),
-        "lazylist" => Box::new(LazyList::new()),
-        "hashtable" => Box::new(HashTable::with_capacity(key_range as usize)),
-        "leaftree" => Box::new(LeafTree::new()),
-        "leaftree-strict" => Box::new(LeafTree::new_strict()),
-        "leaftreap" => Box::new(LeafTreap::new()),
-        "abtree" => Box::new(ABTree::new()),
-        "arttree" => Box::new(ArtTree::new()),
-        "harris_list" => Box::new(flock_baselines::HarrisList::new()),
-        "harris_list_opt" => Box::new(flock_baselines::HarrisList::new_opt()),
-        "natarajan" => Box::new(flock_baselines::NatarajanBst::new()),
-        "ellen" => Box::new(flock_baselines::EllenBst::new()),
-        "bronson_style_bst" => Box::new(flock_baselines::BlockingBst::new()),
-        "srivastava_abtree" => Box::new(flock_baselines::BlockingABTree::new()),
-        other => panic!("unknown structure {other:?}"),
-    }
+    registry!(structure, key_range)
+}
+
+/// Instantiate a structure by registry name at the fat-value shape
+/// `(u64, FatValue)` — the heap-indirected workload of the trajectory.
+pub fn make_map_fat(structure: &str, key_range: u64) -> Box<dyn Map<u64, FatValue>> {
+    registry!(structure, key_range)
 }
 
 /// Scale parameters for a whole reproduction run.
@@ -169,6 +191,19 @@ pub fn run_point(series: Series, cfg: &Config) -> Measurement {
     m
 }
 
+/// [`run_point`] at the fat-value shape: same workload, values built by
+/// [`fat_value`]. Series labels get a `-fat` suffix.
+pub fn run_point_fat(series: Series, cfg: &Config) -> Measurement {
+    flock_core::set_lock_mode(series.mode.unwrap_or(LockMode::LockFree));
+    let map = make_map_fat(series.structure, cfg.key_range);
+    let mut m = flock_workload::run_experiment_as(&*map, cfg, fat_value);
+    drop(map);
+    flock_epoch::flush_all();
+    flock_core::set_lock_mode(LockMode::LockFree);
+    m.name = Box::leak(format!("{}-fat", series.label()).into_boxed_str());
+    m
+}
+
 /// Emit a CSV file under `results/` and echo rows to stdout.
 pub struct Report {
     rows: Vec<Measurement>,
@@ -241,7 +276,30 @@ mod tests {
             assert!(m.insert(1, 2), "{name}");
             assert_eq!(m.get(1), Some(2), "{name}");
             assert!(m.remove(1), "{name}");
+            // And the fat-value instantiation of the same structure.
+            let f = make_map_fat(name, 1024);
+            assert!(f.insert(1, fat_value(2)), "{name} (fat)");
+            assert_eq!(f.get(1), Some(fat_value(2)), "{name} (fat)");
+            assert!(f.remove(1), "{name} (fat)");
         }
+        flock_epoch::flush_all();
+    }
+
+    #[test]
+    fn run_point_fat_smoke() {
+        let cfg = Config {
+            threads: 2,
+            key_range: 512,
+            update_percent: 50,
+            zipf_alpha: 0.75,
+            run_duration: Duration::from_millis(20),
+            repeats: 1,
+            sparsify_keys: false,
+            seed: 4,
+        };
+        let m = run_point_fat(Series::lf("hashtable"), &cfg);
+        assert!(m.mops_mean > 0.0, "{}", m.name);
+        assert_eq!(m.name, "hashtable-lf-fat");
     }
 
     #[test]

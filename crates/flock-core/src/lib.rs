@@ -73,9 +73,10 @@ pub use locked::Locked;
 pub use log::{EMPTY, LOG_BLOCK_ENTRIES};
 pub use mutable::{Mutable, UpdateOnce, commit_value};
 
-// Re-export the reclamation entry points so data-structure code needs only
-// this crate.
-pub use flock_epoch::{EpochGuard, pin, pin_with};
+// Re-export the reclamation entry points (and the indirect value
+// representation built on them) so data-structure code needs only this
+// crate.
+pub use flock_epoch::{EpochGuard, Indirect, pin, pin_with};
 
 /// A `Copy + Send + Sync` wrapper for raw pointers captured by thunks.
 ///

@@ -131,6 +131,25 @@ unsafe impl PackedValue for LockWord {
     }
 }
 
+// SAFETY: inline strategy over the PackedValue impl above; the referenced
+// descriptor is owned by the lock protocol, not the slot, so the
+// reclamation hooks are no-ops (as for plain pointers).
+unsafe impl flock_sync::ValueRepr for LockWord {
+    const INDIRECT: bool = false;
+    #[inline(always)]
+    fn encode(v: Self) -> u64 {
+        v.to_bits()
+    }
+    #[inline(always)]
+    unsafe fn decode(bits: u64) -> Self {
+        LockWord::from_bits(bits)
+    }
+    #[inline(always)]
+    unsafe fn retire_bits(_bits: u64) {}
+    #[inline(always)]
+    unsafe fn dealloc_bits(_bits: u64) {}
+}
+
 /// A Flock lock.
 ///
 /// One word; create with [`Lock::new`] and protect critical sections with

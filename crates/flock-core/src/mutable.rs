@@ -2,10 +2,29 @@
 //!
 //! `Mutable<V>` is the Rust rendition of the paper's `mutable_` wrapper
 //! (Algorithm 2): a shared location whose `load`, `store` and `cam` are
-//! idempotent when executed inside a thunk. Values are at most 48 bits
-//! (see `flock_sync::pack::PackedValue`), stored alongside a 16-bit ABA tag
-//! in one atomic word — the representation all of the paper's experiments
-//! use (§6 "ABA").
+//! idempotent when executed inside a thunk. The stored word is a 48-bit
+//! payload alongside a 16-bit ABA tag — the representation all of the
+//! paper's experiments use (§6 "ABA") — but the *payload* is produced by
+//! the [`flock_sync::ValueRepr`] representation layer, so `V` is either
+//!
+//! * an **inline** type (fits 48 bits: integers, flags, pointers — the
+//!   historical fast path, compiled identically because the indirect
+//!   branches are `const`-false), or
+//! * an **indirect** type (`flock_epoch::Indirect<T>`): the payload is a
+//!   pointer to an epoch-managed heap copy. Stores then become
+//!   allocate-swap-retire, and all three steps are made idempotent with
+//!   the same thunk-log machinery as everything else: each run's fresh
+//!   allocation is committed (losers free theirs, exactly like
+//!   [`crate::alloc`]), and the retire of the displaced encoding is
+//!   guarded by a committed marker (exactly like [`crate::retire`]), so a
+//!   helped thunk re-reads a stable snapshot and every displaced value is
+//!   dropped exactly once.
+//!
+//! Indirect loads decode by cloning out of the live allocation, which
+//! requires grace-period protection; the cell pins the epoch itself on
+//! every indirect decode/retire (a compiled-out no-op for inline types,
+//! a reentrant depth bump on the structure/thunk paths that are already
+//! pinned), so even bare unpinned callers are safe.
 //!
 //! Operation sketch (inside a thunk; outside, the log steps vanish):
 //!
@@ -34,12 +53,16 @@ use std::marker::PhantomData;
 
 use flock_sync::announce;
 use flock_sync::atomic::{AtomicU64, Ordering};
-use flock_sync::pack::{PackedValue, next_tag, pack, unpack_tag, unpack_val};
+use flock_sync::pack::{PackedValue, ValueRepr, next_tag, pack, unpack_tag, unpack_val};
 use flock_sync::tagged::TaggedAtomicU64;
 use flock_sync::{ThreadCtx, thread_ctx};
 
 use crate::ctx::commit_raw_in;
 use crate::descriptor::Descriptor;
+
+/// Marker committed to the log by the run that wins the retire of a
+/// displaced indirect encoding (mirrors `idemp::RETIRE_MARKER`).
+const VALUE_RETIRE_MARKER: u64 = 1;
 
 /// A shared mutable location with idempotent operations.
 ///
@@ -47,21 +70,44 @@ use crate::descriptor::Descriptor;
 /// the paper's examples do (`mutable_<link*> next;`). Reads and writes of
 /// values that are *not* shared-and-mutated-under-locks don't need this —
 /// plain fields are fine for constants.
+///
+/// `V` ranges over the [`ValueRepr`] layer: inline types behave exactly as
+/// the historical 48-bit cell; `flock_epoch::Indirect<T>` values live
+/// behind an epoch-managed pointer. Every operation that touches an
+/// indirect encoding (load, cam, store's retire, `Debug`) pins the epoch
+/// itself — free for inline instantiations (the branch is `const`-false),
+/// a reentrant depth bump on the already-pinned structure/thunk paths —
+/// so bare cells are safe to use without an explicit guard.
 #[repr(transparent)]
-pub struct Mutable<V: PackedValue> {
+pub struct Mutable<V: ValueRepr> {
     cell: TaggedAtomicU64,
     _pd: PhantomData<V>,
 }
 
-// SAFETY: all access goes through atomic operations; V is a Copy bit-pattern.
-unsafe impl<V: PackedValue> Send for Mutable<V> {}
-unsafe impl<V: PackedValue> Sync for Mutable<V> {}
+// SAFETY: all access goes through atomic operations; inline V is a Copy bit
+// pattern, indirect V's repr impl requires `T: Send + Sync`.
+unsafe impl<V: ValueRepr> Send for Mutable<V> {}
+unsafe impl<V: ValueRepr> Sync for Mutable<V> {}
 
-impl<V: PackedValue> Mutable<V> {
-    /// A new cell holding `v` (tag 0).
+impl<V: ValueRepr> Drop for Mutable<V> {
+    fn drop(&mut self) {
+        if V::INDIRECT {
+            // Exclusive access: free the final encoding immediately. When
+            // the cell sits in an epoch-retired node this runs *after* the
+            // grace period (at collector-drop time), so no reader can still
+            // be decoding it.
+            // SAFETY: the cell always holds a live encoding; `&mut self`
+            // means no other thread can observe it again.
+            unsafe { V::dealloc_bits(self.cell.load_val(Ordering::Relaxed)) };
+        }
+    }
+}
+
+impl<V: ValueRepr> Mutable<V> {
+    /// A new cell holding `v` (tag 0). Allocates for indirect reprs.
     pub fn new(v: V) -> Self {
         Self {
-            cell: TaggedAtomicU64::new(v.to_bits()),
+            cell: TaggedAtomicU64::new(V::encode(v)),
             _pd: PhantomData,
         }
     }
@@ -104,7 +150,19 @@ impl<V: PackedValue> Mutable<V> {
     /// [`Mutable::load`] against an already-fetched thread context.
     #[inline]
     pub(crate) fn load_in(&self, tc: &ThreadCtx) -> V {
-        V::from_bits(unpack_val(self.load_packed_committed_in(tc)))
+        // Indirect decode dereferences the encoding, so it needs grace-
+        // period protection even for bare top-level callers (e.g. a
+        // `Locked` cell outside any structure operation) — without this, a
+        // concurrent second store could retire-and-free the encoding under
+        // the decode. Free for inline reprs (compiled out); cheap and
+        // reentrant for the already-pinned structure/thunk paths.
+        let _g = V::INDIRECT.then(|| flock_epoch::pin_with(tc));
+        // SAFETY: the committed word's payload is a live encoding — it was
+        // installed by `encode` and any displacing store retires it through
+        // the epoch collector, which cannot free it while this read is
+        // pinned (guard above, plus the owner pin / adopted epoch on
+        // in-thunk paths).
+        unsafe { V::decode(unpack_val(self.load_packed_committed_in(tc))) }
     }
 
     /// Idempotent load returning the full packed word (tag + payload), for
@@ -137,7 +195,9 @@ impl<V: PackedValue> Mutable<V> {
     ///
     /// Stores and CAMs to the same location must not race (they should be
     /// protected by the location's lock), per the paper's model; concurrent
-    /// loads are fine.
+    /// loads are fine. For indirect reprs the displaced encoding is retired
+    /// through the epoch collector (exactly once per logical store, even
+    /// under helping) so concurrent readers keep a stable snapshot.
     #[inline]
     pub fn store(&self, new: V) {
         thread_ctx::with(|tc| {
@@ -156,8 +216,23 @@ impl<V: PackedValue> Mutable<V> {
     /// [`Mutable::cam`] against an already-fetched thread context.
     #[inline]
     pub(crate) fn cam_in(&self, tc: &ThreadCtx, old: V, new: V) {
+        // Same unpinned-caller protection as `load_in`: the comparison
+        // decodes the committed encoding.
+        let _g = V::INDIRECT.then(|| flock_epoch::pin_with(tc));
         let committed_old = self.load_packed_committed_in(tc);
-        if unpack_val(committed_old) != old.to_bits() {
+        // Inline: value equality *is* bit equality (encode is injective on
+        // round-trips), keeping the historical comparison. Indirect: decode
+        // and compare by value — distinct allocations of equal values must
+        // still match. The branch compiles out per instantiation; both
+        // sides are deterministic given the committed word, so every run of
+        // a thunk takes the same path.
+        let matches = if V::INDIRECT {
+            // SAFETY: committed payload is a live encoding, pinned above.
+            unsafe { V::decode(unpack_val(committed_old)) == old }
+        } else {
+            unpack_val(committed_old) == V::encode(old)
+        };
+        if !matches {
             return;
         }
         self.tagged_cas_after_load_in(tc, committed_old, new);
@@ -178,7 +253,14 @@ impl<V: PackedValue> Mutable<V> {
     }
 
     /// Shared tail of `store`/`cam`: given the committed old packed word,
-    /// agree on a new tag, run the announcement protocol, CAS once.
+    /// encode the new value (idempotently for indirect reprs), agree on a
+    /// new tag, run the announcement protocol, CAS once, and retire the
+    /// displaced encoding (idempotently, for indirect reprs).
+    ///
+    /// Log-slot discipline: every run of a thunk reaching this point
+    /// consumes the identical commit sequence — [fresh-encoding]*, tag
+    /// choice, [retire marker]* (indirect-only entries starred) — because
+    /// all branches below depend only on committed values, never on timing.
     #[inline]
     fn tagged_cas_after_load_in(&self, tc: &ThreadCtx, committed_old: u64, new: V) {
         let old_tag = unpack_tag(committed_old);
@@ -187,17 +269,53 @@ impl<V: PackedValue> Mutable<V> {
             // tag-bumping CAS; a CAS loop would mask racing stores, which
             // the model forbids anyway, so one attempt keeps semantics
             // identical to the logged path.
-            self.cell
-                .ccas(committed_old, pack(next_tag(old_tag), new.to_bits()));
+            let new_bits = V::encode(new);
+            let installed = self
+                .cell
+                .ccas(committed_old, pack(next_tag(old_tag), new_bits));
+            if V::INDIRECT {
+                if installed {
+                    // The displaced encoding may still be decoded by
+                    // concurrent readers: grace-period retire. Pin locally —
+                    // reentrant, and callers outside any guard (e.g. a bare
+                    // `Locked` cell) get the protection they need.
+                    let _g = flock_epoch::pin();
+                    // SAFETY: displaced by the CAS above, retired once.
+                    unsafe { V::retire_bits(unpack_val(committed_old)) };
+                } else {
+                    // The CAS lost (a racing store violated the model, or a
+                    // stale caller): our encoding was never published.
+                    // SAFETY: never escaped this call.
+                    unsafe { V::dealloc_bits(new_bits) };
+                }
+            }
             return;
         }
+
+        // Idempotent encode: every run allocates (indirect) or bit-casts
+        // (inline) its own encoding; the first commit wins and losers free
+        // theirs — the same shape as `crate::alloc`. The loser's allocation
+        // can never alias the winner's: the winner's encoding stays
+        // un-freed (installed, or retired but inside our adopted epoch)
+        // while any run of this thunk is still replaying.
+        let new_bits = if V::INDIRECT {
+            let fresh = V::encode(new);
+            let (committed, first) = commit_raw_in(tc, fresh);
+            if !first && committed != fresh {
+                // SAFETY: `fresh` lost the commit race; never published.
+                unsafe { V::dealloc_bits(fresh) };
+            }
+            committed
+        } else {
+            V::encode(new)
+        };
 
         // Agree on the tag for the new word. The first committer's choice —
         // made while scanning announcements — wins; everyone uses it.
         let table = announce::global();
         let candidate = table.next_free_tag(self.addr(), next_tag(old_tag));
         let (chosen, _) = commit_raw_in(tc, candidate as u64);
-        let new_word = pack(chosen as u16, new.to_bits());
+        let new_word = pack(chosen as u16, new_bits);
 
         // Hazard-style announcement of the expected (location, tag) pair:
         // announce, fence (inside announce), then re-check that the thunk is
@@ -216,14 +334,36 @@ impl<V: PackedValue> Mutable<V> {
             self.cell.ccas(committed_old, new_word);
         }
         table.clear(me);
+
+        if V::INDIRECT {
+            // Idempotent retire of the displaced encoding — the same shape
+            // as `crate::retire`: only the first run past this marker
+            // performs the epoch retire. Unconditional (not gated on the
+            // CAS outcome) because exactly one run's CAS installs the new
+            // word — the location is store-serialized by its lock, so
+            // `committed_old` is displaced by this logical store in every
+            // execution. Runners are epoch-protected (owner pin / adopted
+            // epoch), satisfying `retire_bits`' pinning contract.
+            let (_, first) = commit_raw_in(tc, VALUE_RETIRE_MARKER);
+            if first {
+                // SAFETY: displaced exactly once per logical store; the
+                // marker makes this run the unique retirer.
+                unsafe { V::retire_bits(unpack_val(committed_old)) };
+            }
+        }
     }
 }
 
-impl<V: PackedValue + std::fmt::Debug> std::fmt::Debug for Mutable<V> {
+impl<V: ValueRepr + std::fmt::Debug> std::fmt::Debug for Mutable<V> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // Indirect decode needs grace-period protection; pinning here keeps
+        // `Debug` safe to call from any diagnostic context.
+        let _g = V::INDIRECT.then(flock_epoch::pin);
         let w = self.cell.load_packed(Ordering::Acquire);
+        // SAFETY: payload is a live encoding; pinned above when indirect.
+        let v = unsafe { V::decode(unpack_val(w)) };
         f.debug_struct("Mutable")
-            .field("value", &V::from_bits(unpack_val(w)))
+            .field("value", &v)
             .field("tag", &unpack_tag(w))
             .finish()
     }
@@ -394,6 +534,149 @@ mod tests {
             assert_eq!(m.load(), i);
         }
         assert_eq!(unpack_tag(m.raw_packed()), 99);
+    }
+
+    /// Fat values through the indirect repr: load/store/cam round-trips.
+    #[test]
+    fn indirect_mutable_roundtrip() {
+        use flock_epoch::Indirect;
+        let m: Mutable<Indirect<[u64; 4]>> = Mutable::new(Indirect([1, 2, 3, 4]));
+        let _g = flock_epoch::pin();
+        assert_eq!(m.load(), Indirect([1, 2, 3, 4]));
+        m.store(Indirect([5, 6, 7, 8]));
+        assert_eq!(m.load(), Indirect([5, 6, 7, 8]));
+        // Mismatched cam: distinct allocation, equal value NOT stored.
+        m.cam(Indirect([0, 0, 0, 0]), Indirect([9, 9, 9, 9]));
+        assert_eq!(m.load(), Indirect([5, 6, 7, 8]));
+        // Matching cam compares by value across distinct allocations.
+        m.cam(Indirect([5, 6, 7, 8]), Indirect([9, 9, 9, 9]));
+        assert_eq!(m.load(), Indirect([9, 9, 9, 9]));
+    }
+
+    /// Every indirect encoding a `Mutable` ever held is dropped exactly
+    /// once: overwritten ones via the epoch collector, the final one at
+    /// cell drop. Runs under miri (no wall-clock, no thread spawns).
+    #[test]
+    fn indirect_store_drops_each_encoding_exactly_once() {
+        use flock_epoch::Indirect;
+        use std::sync::Arc;
+        use std::sync::atomic::{AtomicUsize, Ordering::Relaxed};
+
+        #[derive(Clone, Debug)]
+        struct Counted(u64, Arc<AtomicUsize>);
+        impl PartialEq for Counted {
+            fn eq(&self, other: &Self) -> bool {
+                self.0 == other.0
+            }
+        }
+        impl Drop for Counted {
+            fn drop(&mut self) {
+                self.1.fetch_add(1, Relaxed);
+            }
+        }
+
+        let drops = Arc::new(AtomicUsize::new(0));
+        let mk = |i: u64| Indirect(Counted(i, Arc::clone(&drops)));
+        const N: u64 = 20;
+        {
+            let m = Mutable::new(mk(0));
+            let _g = flock_epoch::pin();
+            for i in 1..N {
+                m.store(mk(i));
+                assert_eq!(m.load().0.0, i);
+            }
+        } // cell dropped here: frees the final encoding
+        flock_epoch::flush_all();
+        // Created: N stored encodings + N-1 temporaries consumed by encode
+        // (moved into the box, not dropped) + per-load clones. Rather than
+        // count clones, assert the *live* balance: everything created was
+        // dropped.
+        // Each `mk` creates one Counted that ends up boxed; each load
+        // clones one that drops at statement end. Boxed: N; loads: N-1.
+        assert_eq!(drops.load(Relaxed), (N + N - 1) as usize);
+    }
+
+    /// Indirect stores inside lock-free thunks: the allocate/commit/retire
+    /// triple stays exactly-once under contention and helping.
+    #[test]
+    #[cfg_attr(miri, ignore)] // multi-thread contention stress, slow under miri
+    fn indirect_store_exactly_once_under_helping() {
+        use flock_epoch::Indirect;
+        use std::sync::Arc;
+        use std::sync::atomic::{AtomicUsize, Ordering::Relaxed};
+
+        let _guard = crate::lock::TEST_MODE_LOCK
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
+        crate::set_lock_mode(crate::LockMode::LockFree);
+
+        static LIVE: AtomicUsize = AtomicUsize::new(0);
+        #[derive(Debug)]
+        struct Tracked(u64);
+        impl Tracked {
+            fn new(v: u64) -> Self {
+                LIVE.fetch_add(1, Relaxed);
+                Tracked(v)
+            }
+        }
+        impl Clone for Tracked {
+            fn clone(&self) -> Self {
+                Tracked::new(self.0)
+            }
+        }
+        impl PartialEq for Tracked {
+            fn eq(&self, other: &Self) -> bool {
+                self.0 == other.0
+            }
+        }
+        impl Drop for Tracked {
+            fn drop(&mut self) {
+                LIVE.fetch_sub(1, Relaxed);
+            }
+        }
+
+        let before = LIVE.load(Relaxed);
+        {
+            let lock = Arc::new(crate::Lock::new());
+            let cell: Arc<Mutable<Indirect<Tracked>>> =
+                Arc::new(Mutable::new(Indirect(Tracked::new(0))));
+            // Plain spawn + join (NOT thread::scope): a scope returns when
+            // the spawned closures finish, but the threads' TLS destructors
+            // — which orphan their epoch retire bags — may still be
+            // running, so a flush right after a scope can miss items. An
+            // explicit join waits for full thread termination.
+            let handles: Vec<_> = (0..4u64)
+                .map(|t| {
+                    let lock = Arc::clone(&lock);
+                    let cell = Arc::clone(&cell);
+                    std::thread::spawn(move || {
+                        let mut done = 0;
+                        while done < 150 {
+                            let c = Arc::clone(&cell);
+                            let v = t * 1_000 + done;
+                            if lock
+                                .try_lock(move || {
+                                    let cur = c.load();
+                                    c.store(Indirect(Tracked::new(cur.0.0 + v)));
+                                })
+                                .is_some()
+                            {
+                                done += 1;
+                            }
+                        }
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().unwrap();
+            }
+        } // cell dropped: final encoding freed
+        flock_epoch::flush_all();
+        assert_eq!(
+            LIVE.load(Relaxed),
+            before,
+            "an indirect encoding leaked or double-dropped under helping"
+        );
     }
 
     #[test]

@@ -1,12 +1,13 @@
 //! (a,b)-tree with optimistic fine-grained locking — the paper's `abtree`
-//! (§7), in the style of Srivastava-Brown optimistic B-trees.
+//! (§7), in the style of Srivastava-Brown optimistic B-trees. Generic over
+//! `(K, V)`.
 //!
 //! Design rules that keep readers consistent without locks:
 //!
 //! * A node's **key/value arrays and arity are immutable** after
 //!   construction; any change to a node's key set *replaces* the node
 //!   (copy-on-write) by swinging its parent's child pointer — a single
-//!   idempotent store.
+//!   idempotent store. Fat values ride inside the copied batch.
 //! * **Child pointers are mutable in place** (they change when a child is
 //!   replaced), guarded by the owning node's lock; holding a node's lock
 //!   therefore stabilizes all of its child cells.
@@ -22,55 +23,45 @@
 //! A pseudo-root *anchor* (an internal node with zero keys and one child)
 //! removes all root special cases.
 
-use flock_api::Map;
+use flock_api::{Key, Map, Value};
 use flock_core::{Lock, Mutable, Sp, UpdateOnce};
-use flock_sync::Backoff;
+use flock_sync::{ApproxLen, Backoff};
 
 /// Maximum keys per leaf and separators per internal node ("b").
 pub const B: usize = 12;
 
-struct Node {
+struct Node<K: Key, V: Value> {
     lock: Lock,
     removed: UpdateOnce<bool>,
     is_leaf: bool,
-    /// Number of keys (leaf: entries; internal: separators, children=len+1).
-    len: usize,
-    keys: [u64; B],
-    vals: [u64; B],
-    children: [Mutable<*mut Node>; B + 1],
+    /// Leaf: element keys (sorted). Internal: separators
+    /// (children = keys.len() + 1).
+    keys: Vec<K>,
+    /// Element values (leaves only; parallel to `keys`).
+    vals: Vec<V>,
+    children: [Mutable<*mut Node<K, V>>; B + 1],
 }
 
-impl Node {
-    fn empty_children() -> [Mutable<*mut Node>; B + 1] {
+impl<K: Key, V: Value> Node<K, V> {
+    fn empty_children() -> [Mutable<*mut Node<K, V>>; B + 1] {
         std::array::from_fn(|_| Mutable::new(std::ptr::null_mut()))
     }
 
-    fn leaf(entries: &[(u64, u64)]) -> Self {
+    fn leaf(entries: &[(K, V)]) -> Self {
         debug_assert!(entries.len() <= B);
-        let mut keys = [0; B];
-        let mut vals = [0; B];
-        for (i, (k, v)) in entries.iter().enumerate() {
-            keys[i] = *k;
-            vals[i] = *v;
-        }
         Self {
             lock: Lock::new(),
             removed: UpdateOnce::new(false),
             is_leaf: true,
-            len: entries.len(),
-            keys,
-            vals,
+            keys: entries.iter().map(|(k, _)| k.clone()).collect(),
+            vals: entries.iter().map(|(_, v)| v.clone()).collect(),
             children: Self::empty_children(),
         }
     }
 
-    fn internal(seps: &[u64], kids: &[*mut Node]) -> Self {
+    fn internal(seps: &[K], kids: &[*mut Node<K, V>]) -> Self {
         debug_assert_eq!(kids.len(), seps.len() + 1);
         debug_assert!(seps.len() <= B);
-        let mut keys = [0; B];
-        for (i, s) in seps.iter().enumerate() {
-            keys[i] = *s;
-        }
         let children = std::array::from_fn(|i| {
             Mutable::new(if i < kids.len() {
                 kids[i]
@@ -82,66 +73,71 @@ impl Node {
             lock: Lock::new(),
             removed: UpdateOnce::new(false),
             is_leaf: false,
-            len: seps.len(),
-            keys,
-            vals: [0; B],
+            keys: seps.to_vec(),
+            vals: Vec::new(),
             children,
         }
     }
 
     /// Index of the child subtree that covers `k`
-    /// (left of the first separator `> k`... routing: child `i` covers keys
-    /// `< keys[i]`; the last child covers the rest; equal keys go right).
+    /// (child `i` covers keys `< keys[i]`; the last child covers the rest;
+    /// equal keys go right).
     #[inline]
-    fn route(&self, k: u64) -> usize {
-        self.keys[..self.len].partition_point(|&s| s <= k)
+    fn route(&self, k: &K) -> usize {
+        self.keys.partition_point(|s| s <= k)
     }
 
     /// Position of `k` in a leaf, if present.
     #[inline]
-    fn find(&self, k: u64) -> Option<usize> {
+    fn find(&self, k: &K) -> Option<usize> {
         debug_assert!(self.is_leaf);
-        self.keys[..self.len].iter().position(|&x| x == k)
+        self.keys.iter().position(|x| x == k)
     }
 
-    fn leaf_entries(&self) -> Vec<(u64, u64)> {
-        (0..self.len)
-            .map(|i| (self.keys[i], self.vals[i]))
+    fn leaf_entries(&self) -> Vec<(K, V)> {
+        self.keys
+            .iter()
+            .cloned()
+            .zip(self.vals.iter().cloned())
             .collect()
     }
 
-    fn separators(&self) -> Vec<u64> {
-        self.keys[..self.len].to_vec()
+    fn separators(&self) -> Vec<K> {
+        self.keys.clone()
     }
 
-    fn child_ptrs(&self) -> Vec<*mut Node> {
-        (0..=self.len).map(|i| self.children[i].load()).collect()
+    fn child_ptrs(&self) -> Vec<*mut Node<K, V>> {
+        (0..=self.keys.len())
+            .map(|i| self.children[i].load())
+            .collect()
     }
 
     #[inline]
     fn is_full(&self) -> bool {
-        self.len == B
+        self.keys.len() == B
     }
 }
 
 /// Concurrent (a,b)-tree map.
-pub struct ABTree {
+pub struct ABTree<K: Key, V: Value> {
     /// Pseudo-root: zero keys, single child = the real root.
-    anchor: *mut Node,
+    anchor: *mut Node<K, V>,
     label: &'static str,
+    /// Maintained element count backing `len_approx`.
+    count: ApproxLen,
 }
 
 // SAFETY: mutation via Flock locks + epoch reclamation; anchor immutable.
-unsafe impl Send for ABTree {}
-unsafe impl Sync for ABTree {}
+unsafe impl<K: Key, V: Value> Send for ABTree<K, V> {}
+unsafe impl<K: Key, V: Value> Sync for ABTree<K, V> {}
 
-impl Default for ABTree {
+impl<K: Key, V: Value> Default for ABTree<K, V> {
     fn default() -> Self {
         Self::new()
     }
 }
 
-impl ABTree {
+impl<K: Key, V: Value> ABTree<K, V> {
     /// An empty tree.
     pub fn new() -> Self {
         Self::with_label("abtree")
@@ -150,12 +146,16 @@ impl ABTree {
     pub(crate) fn with_label(label: &'static str) -> Self {
         let root = flock_epoch::alloc(Node::leaf(&[]));
         let anchor = flock_epoch::alloc(Node::internal(&[], &[root]));
-        Self { anchor, label }
+        Self {
+            anchor,
+            label,
+            count: ApproxLen::new(),
+        }
     }
 
     /// Walk to the leaf covering `k`, recording the path
     /// (`anchor` first, leaf last).
-    fn path_to(&self, k: u64) -> Vec<*mut Node> {
+    fn path_to(&self, k: &K) -> Vec<*mut Node<K, V>> {
         let mut path = vec![self.anchor];
         // SAFETY: caller pinned; nodes epoch-reclaimed.
         let mut cur = unsafe { (*self.anchor).children[0].load() };
@@ -172,19 +172,27 @@ impl ABTree {
 
     /// Split full node `c` (child of `p`, grandchild of `g`): replaces `p`
     /// with a copy containing the new separator and the two halves of `c`.
-    /// Returns whether the split was applied.
     /// `None` = a lock on the g → p → c path was busy (caller should back
     /// off); `Some(applied)` = all three locks were taken and the plan
     /// either applied or had gone stale.
-    fn split_child(&self, g: *mut Node, p: *mut Node, c: *mut Node, k: u64) -> Option<bool> {
+    fn split_child(
+        &self,
+        g: *mut Node<K, V>,
+        p: *mut Node<K, V>,
+        c: *mut Node<K, V>,
+        k: &K,
+    ) -> Option<bool> {
         let (sp_g, sp_p, sp_c) = (Sp(g), Sp(p), Sp(c));
+        let k2 = k.clone();
         // SAFETY: pinned caller.
         let outcome = unsafe { &*g }.lock.try_lock(move || {
             // SAFETY: thunk runners hold epoch protection.
             let p_ref = unsafe { sp_p.as_ref() };
+            let k3 = k2.clone();
             p_ref.lock.try_lock(move || {
                 // SAFETY: as above.
                 let c_ref = unsafe { sp_c.as_ref() };
+                let k4 = k3.clone();
                 c_ref.lock.try_lock(move || {
                     // SAFETY: as above.
                     let g = unsafe { sp_g.as_ref() };
@@ -197,21 +205,21 @@ impl ABTree {
                         return false; // stale plan; caller restarts
                     }
                     // Validate links (find c's slot in p, p's slot in g).
-                    let gi = g.route(k);
+                    let gi = g.route(&k4);
                     if g.children[gi].load() != sp_p.ptr() {
                         return false;
                     }
-                    let pi = p.route(k);
+                    let pi = p.route(&k4);
                     if p.children[pi].load() != sp_c.ptr() {
                         return false;
                     }
                     // Build the two halves of c. c's child cells are stable
                     // because we hold c's lock.
-                    let mid = c.len / 2;
+                    let mid = c.keys.len() / 2;
                     let (sep, left_ptr, right_ptr);
                     if c.is_leaf {
                         let entries = c.leaf_entries();
-                        sep = entries[mid].0;
+                        sep = entries[mid].0.clone();
                         let lo = entries[..mid].to_vec();
                         let hi = entries[mid..].to_vec();
                         left_ptr = flock_core::alloc(move || Node::leaf(&lo));
@@ -219,7 +227,7 @@ impl ABTree {
                     } else {
                         let seps = c.separators();
                         let kids = c.child_ptrs();
-                        sep = seps[mid];
+                        sep = seps[mid].clone();
                         let lsep = seps[..mid].to_vec();
                         let lkid = kids[..=mid].to_vec();
                         let rsep = seps[mid + 1..].to_vec();
@@ -257,15 +265,15 @@ impl ABTree {
     }
 
     /// Insert; `false` if present.
-    pub fn insert(&self, k: u64, v: u64) -> bool {
+    pub fn insert(&self, k: K, v: V) -> bool {
         let _g = flock_epoch::pin();
         let mut backoff = Backoff::new();
         'restart: loop {
-            let path = self.path_to(k);
+            let path = self.path_to(&k);
             let leaf = *path.last().expect("path includes leaf");
             // SAFETY: epoch-pinned.
             let leaf_ref = unsafe { &*leaf };
-            if leaf_ref.find(k).is_some() {
+            if leaf_ref.find(&k).is_some() {
                 return false;
             }
             // Grow the tree when the root itself is full: it splits into two
@@ -285,7 +293,7 @@ impl ABTree {
                 // SAFETY: pinned path nodes.
                 if unsafe { &*path[w] }.is_full() {
                     let (g, p, c) = (path[w - 2], path[w - 1], path[w]);
-                    if self.split_child(g, p, c, k).is_none() {
+                    if self.split_child(g, p, c, &k).is_none() {
                         backoff.snooze(); // a lock on the split path was busy
                     }
                     continue 'restart;
@@ -293,6 +301,7 @@ impl ABTree {
             }
             let parent = path[path.len() - 2];
             let (sp_p, sp_l) = (Sp(parent), Sp(leaf));
+            let (k2, v2) = (k.clone(), v.clone());
             // SAFETY: epoch-pinned.
             let outcome = unsafe { &*parent }.lock.try_lock(move || {
                 // SAFETY: thunk runners hold epoch protection.
@@ -301,16 +310,16 @@ impl ABTree {
                 if p.removed.load() {
                     return false;
                 }
-                let slot = p.route(k);
+                let slot = p.route(&k2);
                 if p.children[slot].load() != sp_l.ptr() {
                     return false;
                 }
-                if l.find(k).is_some() || l.is_full() {
+                if l.find(&k2).is_some() || l.is_full() {
                     return false; // re-examine from the top
                 }
                 let mut entries = l.leaf_entries();
-                let pos = entries.partition_point(|&(ek, _)| ek < k);
-                entries.insert(pos, (k, v));
+                let pos = entries.partition_point(|(ek, _)| ek < &k2);
+                entries.insert(pos, (k2.clone(), v2.clone()));
                 let newl = flock_core::alloc(move || Node::leaf(&entries));
                 p.children[slot].store(newl);
                 // SAFETY: replaced above; idempotent retire.
@@ -318,15 +327,18 @@ impl ABTree {
                 true
             });
             match outcome {
-                Some(true) => return true,
+                Some(true) => {
+                    self.count.inc();
+                    return true;
+                }
                 Some(false) => {}         // validation failed / leaf full: replan
                 None => backoff.snooze(), // parent lock busy
             }
             // Re-check for presence then retry.
             // SAFETY: pinned.
-            let path2 = self.path_to(k);
+            let path2 = self.path_to(&k);
             let leaf2 = *path2.last().expect("leaf");
-            if unsafe { &*leaf2 }.find(k).is_some() {
+            if unsafe { &*leaf2 }.find(&k).is_some() {
                 return false;
             }
         }
@@ -336,7 +348,7 @@ impl ABTree {
     /// one-separator root, under anchor → root locks.
     /// `None` = the anchor's or root's lock was busy; `Some(applied)`
     /// otherwise.
-    fn split_root(&self, root: *mut Node) -> Option<bool> {
+    fn split_root(&self, root: *mut Node<K, V>) -> Option<bool> {
         let (sp_a, sp_r) = (Sp(self.anchor), Sp(root));
         // SAFETY: pinned caller; anchor immutable.
         let outcome = unsafe { &*self.anchor }.lock.try_lock(move || {
@@ -349,11 +361,11 @@ impl ABTree {
                 if a.children[0].load() != sp_r.ptr() || !r.is_full() || r.removed.load() {
                     return false;
                 }
-                let mid = r.len / 2;
+                let mid = r.keys.len() / 2;
                 let (sep, left_ptr, right_ptr);
                 if r.is_leaf {
                     let entries = r.leaf_entries();
-                    sep = entries[mid].0;
+                    sep = entries[mid].0.clone();
                     let lo = entries[..mid].to_vec();
                     let hi = entries[mid..].to_vec();
                     left_ptr = flock_core::alloc(move || Node::leaf(&lo));
@@ -362,7 +374,7 @@ impl ABTree {
                     // Child cells stable: we hold the root's lock.
                     let seps = r.separators();
                     let kids = r.child_ptrs();
-                    sep = seps[mid];
+                    sep = seps[mid].clone();
                     let lsep = seps[..mid].to_vec();
                     let lkid = SendPtrs(kids[..=mid].to_vec());
                     let rsep = seps[mid + 1..].to_vec();
@@ -370,8 +382,10 @@ impl ABTree {
                     left_ptr = flock_core::alloc(move || Node::internal(&lsep, &lkid.0));
                     right_ptr = flock_core::alloc(move || Node::internal(&rsep, &rkid.0));
                 }
-                let new_root =
-                    flock_core::alloc(move || Node::internal(&[sep], &[left_ptr, right_ptr]));
+                let sep2 = sep.clone();
+                let new_root = flock_core::alloc(move || {
+                    Node::internal(std::slice::from_ref(&sep2), &[left_ptr, right_ptr])
+                });
                 r.removed.store(true);
                 a.children[0].store(new_root);
                 // SAFETY: replaced above; idempotent retire.
@@ -386,23 +400,24 @@ impl ABTree {
     }
 
     /// Remove; `false` if absent.
-    pub fn remove(&self, k: u64) -> bool {
+    pub fn remove(&self, k: K) -> bool {
         let _g = flock_epoch::pin();
         let mut backoff = Backoff::new();
         loop {
-            let path = self.path_to(k);
+            let path = self.path_to(&k);
             let leaf = *path.last().expect("leaf");
             // SAFETY: epoch-pinned.
             let leaf_ref = unsafe { &*leaf };
-            if leaf_ref.find(k).is_none() {
+            if leaf_ref.find(&k).is_none() {
                 return false;
             }
             let parent = path[path.len() - 2];
             // SAFETY: pinned.
             let parent_ref = unsafe { &*parent };
-            let outcome = if leaf_ref.len > 1 || parent_ref.len == 0 {
+            let outcome = if leaf_ref.keys.len() > 1 || parent_ref.keys.is_empty() {
                 // Shrink by copy. (A root leaf may become empty.)
                 let (sp_p, sp_l) = (Sp(parent), Sp(leaf));
+                let k2 = k.clone();
                 parent_ref
                     .lock
                     .try_lock(move || {
@@ -412,11 +427,11 @@ impl ABTree {
                         if p.removed.load() {
                             return false;
                         }
-                        let slot = p.route(k);
+                        let slot = p.route(&k2);
                         if p.children[slot].load() != sp_l.ptr() {
                             return false;
                         }
-                        let Some(pos) = l.find(k) else { return false };
+                        let Some(pos) = l.find(&k2) else { return false };
                         let mut entries = l.leaf_entries();
                         entries.remove(pos);
                         let newl = flock_core::alloc(move || Node::leaf(&entries));
@@ -432,10 +447,12 @@ impl ABTree {
                 // parent would be left with a single child, hoist that child.
                 let g = path[path.len() - 3];
                 let (sp_g, sp_p, sp_l) = (Sp(g), Sp(parent), Sp(leaf));
+                let k2 = k.clone();
                 // SAFETY: pinned.
                 unsafe { &*g }.lock.try_lock(move || {
                     // SAFETY: thunk runners hold epoch protection.
                     let p = unsafe { sp_p.as_ref() };
+                    let k3 = k2.clone();
                     p.lock.try_lock(move || {
                         // SAFETY: as above.
                         let g = unsafe { sp_g.as_ref() };
@@ -444,15 +461,15 @@ impl ABTree {
                         if g.removed.load() || p.removed.load() {
                             return false;
                         }
-                        let gi = g.route(k);
+                        let gi = g.route(&k3);
                         if g.children[gi].load() != sp_p.ptr() {
                             return false;
                         }
-                        let pi = p.route(k);
+                        let pi = p.route(&k3);
                         if p.children[pi].load() != sp_l.ptr() {
                             return false;
                         }
-                        if l.find(k).is_none() || l.len != 1 {
+                        if l.find(&k3).is_none() || l.keys.len() != 1 {
                             return false;
                         }
                         let mut seps = p.separators();
@@ -477,7 +494,10 @@ impl ABTree {
                 })
             };
             match outcome {
-                Some(Some(true)) => return true,
+                Some(Some(true)) => {
+                    self.count.dec();
+                    return true;
+                }
                 Some(Some(false)) => {} // validation failed: replan now
                 _ => backoff.snooze(),  // a lock on the path was busy
             }
@@ -485,7 +505,7 @@ impl ABTree {
     }
 
     /// Wait-free lookup.
-    pub fn get(&self, k: u64) -> Option<u64> {
+    pub fn get(&self, k: K) -> Option<V> {
         let _g = flock_epoch::pin();
         // SAFETY: pinned descent.
         let mut cur = unsafe { (*self.anchor).children[0].load() };
@@ -493,9 +513,9 @@ impl ABTree {
             // SAFETY: pinned.
             let n = unsafe { &*cur };
             if n.is_leaf {
-                return n.find(k).map(|i| n.vals[i]);
+                return n.find(&k).map(|i| n.vals[i].clone());
             }
-            cur = n.children[n.route(k)].load();
+            cur = n.children[n.route(&k)].load();
         }
     }
 
@@ -503,7 +523,7 @@ impl ABTree {
     pub fn len(&self) -> usize {
         let _g = flock_epoch::pin();
         // SAFETY: pinned walk.
-        unsafe { Self::count((*self.anchor).children[0].load()) }
+        unsafe { Self::count_entries((*self.anchor).children[0].load()) }
     }
 
     /// Is the tree empty?
@@ -511,20 +531,20 @@ impl ABTree {
         self.len() == 0
     }
 
-    unsafe fn count(n: *mut Node) -> usize {
+    unsafe fn count_entries(n: *mut Node<K, V>) -> usize {
         // SAFETY: pinned per caller.
         let node = unsafe { &*n };
         if node.is_leaf {
-            node.len
+            node.keys.len()
         } else {
-            (0..=node.len)
-                .map(|i| unsafe { Self::count(node.children[i].load()) })
+            (0..=node.keys.len())
+                .map(|i| unsafe { Self::count_entries(node.children[i].load()) })
                 .sum()
         }
     }
 
     /// Ordered snapshot — single-threaded use.
-    pub fn collect(&self) -> Vec<(u64, u64)> {
+    pub fn collect(&self) -> Vec<(K, V)> {
         let _g = flock_epoch::pin();
         let mut out = Vec::new();
         // SAFETY: pinned walk.
@@ -532,13 +552,13 @@ impl ABTree {
         out
     }
 
-    unsafe fn walk(n: *mut Node, out: &mut Vec<(u64, u64)>) {
+    unsafe fn walk(n: *mut Node<K, V>, out: &mut Vec<(K, V)>) {
         // SAFETY: pinned per caller.
         let node = unsafe { &*n };
         if node.is_leaf {
             out.extend(node.leaf_entries());
         } else {
-            for i in 0..=node.len {
+            for i in 0..=node.keys.len() {
                 unsafe { Self::walk(node.children[i].load(), out) };
             }
         }
@@ -552,12 +572,12 @@ impl ABTree {
         }
     }
 
-    unsafe fn check(n: *mut Node, lo: Option<u64>, hi: Option<u64>) {
+    unsafe fn check(n: *mut Node<K, V>, lo: Option<&K>, hi: Option<&K>) {
         // SAFETY: quiescent per caller.
         let node = unsafe { &*n };
         assert!(!node.removed.load(), "removed node reachable");
-        assert!(node.len <= B);
-        let in_bounds = |k: u64| {
+        assert!(node.keys.len() <= B);
+        let in_bounds = |k: &K| {
             if let Some(lo) = lo {
                 assert!(k >= lo, "key below bound");
             }
@@ -566,21 +586,26 @@ impl ABTree {
             }
         };
         if node.is_leaf {
-            let e = node.leaf_entries();
-            assert!(e.windows(2).all(|w| w[0].0 < w[1].0), "unsorted leaf");
-            for (k, _) in e {
+            assert!(node.keys.windows(2).all(|w| w[0] < w[1]), "unsorted leaf");
+            for k in &node.keys {
                 in_bounds(k);
             }
         } else {
-            assert!(node.len >= 1, "internal node without separators");
-            let seps = node.separators();
-            assert!(seps.windows(2).all(|w| w[0] < w[1]), "unsorted separators");
-            for &s in &seps {
+            assert!(!node.keys.is_empty(), "internal node without separators");
+            assert!(
+                node.keys.windows(2).all(|w| w[0] < w[1]),
+                "unsorted separators"
+            );
+            for s in &node.keys {
                 in_bounds(s);
             }
-            for i in 0..=node.len {
-                let clo = if i == 0 { lo } else { Some(seps[i - 1]) };
-                let chi = if i == node.len { hi } else { Some(seps[i]) };
+            for i in 0..=node.keys.len() {
+                let clo = if i == 0 { lo } else { Some(&node.keys[i - 1]) };
+                let chi = if i == node.keys.len() {
+                    hi
+                } else {
+                    Some(&node.keys[i])
+                };
                 unsafe { Self::check(node.children[i].load(), clo, chi) };
             }
         }
@@ -589,22 +614,22 @@ impl ABTree {
 
 /// Send+Sync wrapper for a vector of node pointers captured by thunks
 /// (pointer payloads are epoch-protected; see `flock_core::Sp`).
-struct SendPtrs(Vec<*mut Node>);
+struct SendPtrs<K: Key, V: Value>(Vec<*mut Node<K, V>>);
 // SAFETY: plain addresses; validity via the epoch collector.
-unsafe impl Send for SendPtrs {}
-unsafe impl Sync for SendPtrs {}
+unsafe impl<K: Key, V: Value> Send for SendPtrs<K, V> {}
+unsafe impl<K: Key, V: Value> Sync for SendPtrs<K, V> {}
 
-impl Drop for ABTree {
+impl<K: Key, V: Value> Drop for ABTree<K, V> {
     fn drop(&mut self) {
         // SAFETY: exclusive access; retired nodes belong to the collector.
-        unsafe fn free(n: *mut Node) {
+        unsafe fn free<K: Key, V: Value>(n: *mut Node<K, V>) {
             if n.is_null() {
                 return;
             }
             // SAFETY: exclusive teardown.
             unsafe {
                 if !(*n).is_leaf {
-                    for i in 0..=(*n).len {
+                    for i in 0..=(*n).keys.len() {
                         free((*n).children[i].load());
                     }
                 }
@@ -619,21 +644,21 @@ impl Drop for ABTree {
     }
 }
 
-impl Map<u64, u64> for ABTree {
-    fn insert(&self, key: u64, value: u64) -> bool {
+impl<K: Key, V: Value> Map<K, V> for ABTree<K, V> {
+    fn insert(&self, key: K, value: V) -> bool {
         ABTree::insert(self, key, value)
     }
-    fn remove(&self, key: u64) -> bool {
+    fn remove(&self, key: K) -> bool {
         ABTree::remove(self, key)
     }
-    fn get(&self, key: u64) -> Option<u64> {
+    fn get(&self, key: K) -> Option<V> {
         ABTree::get(self, key)
     }
     fn name(&self) -> &'static str {
         self.label
     }
     fn len_approx(&self) -> Option<usize> {
-        Some(self.len())
+        Some(self.count.get())
     }
 }
 
@@ -645,7 +670,7 @@ mod tests {
     #[test]
     fn basic_ops() {
         testutil::both_modes(|| {
-            let t = ABTree::new();
+            let t: ABTree<u64, u64> = ABTree::new();
             assert!(t.insert(5, 50));
             assert!(!t.insert(5, 51));
             assert!(t.insert(3, 30));
@@ -661,7 +686,7 @@ mod tests {
     #[test]
     fn grows_past_many_splits() {
         testutil::both_modes(|| {
-            let t = ABTree::new();
+            let t: ABTree<u64, u64> = ABTree::new();
             for k in 0..2_000 {
                 assert!(t.insert(k, k * 3), "insert {k}");
             }
@@ -676,7 +701,7 @@ mod tests {
     #[test]
     fn reverse_and_shuffled_inserts() {
         testutil::both_modes(|| {
-            let t = ABTree::new();
+            let t: ABTree<u64, u64> = ABTree::new();
             for k in (0..1_000).rev() {
                 assert!(t.insert(k, k));
             }
@@ -695,7 +720,7 @@ mod tests {
     #[test]
     fn drain_to_empty() {
         testutil::both_modes(|| {
-            let t = ABTree::new();
+            let t: ABTree<u64, u64> = ABTree::new();
             for k in 0..500 {
                 assert!(t.insert(k, k));
             }
@@ -711,7 +736,7 @@ mod tests {
     #[test]
     fn oracle() {
         testutil::both_modes(|| {
-            let t = ABTree::new();
+            let t: ABTree<u64, u64> = ABTree::new();
             testutil::oracle_check(&t, 4_000, 512, 21);
             t.check_invariants();
         });
@@ -720,7 +745,7 @@ mod tests {
     #[test]
     fn concurrent_partitioned() {
         testutil::both_modes(|| {
-            let t = ABTree::new();
+            let t: ABTree<u64, u64> = ABTree::new();
             testutil::partition_stress(&t, 4, 1_500);
             t.check_invariants();
         });

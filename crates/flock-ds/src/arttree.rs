@@ -1,6 +1,7 @@
-//! Adaptive radix tree (ART) over 8-byte keys with optimistic fine-grained
-//! locking — the paper's `arttree` (§7), which it reports as **the first
-//! lock-free ART** when run in lock-free mode.
+//! Adaptive radix tree (ART) with optimistic fine-grained locking — the
+//! paper's `arttree` (§7), which it reports as **the first lock-free ART**
+//! when run in lock-free mode. Generic over `(K, V)` for any key with a
+//! radix image (see [`RadixKey`]).
 //!
 //! Follows Leis et al.'s design: four adaptive node widths (Node4 / Node16 /
 //! Node48 / Node256) chosen by fanout, with *lazy expansion* (a leaf is
@@ -8,6 +9,14 @@
 //! Simplifications relative to the original ART, documented in DESIGN.md:
 //! no path compression (the paper's benchmark sparsifies keys by hashing, so
 //! long shared prefixes are rare) and no node shrinking on deletes.
+//!
+//! A radix tree indexes by digit position, not by comparison, so its keys
+//! need more than `Ord`: [`RadixKey`] maps a key to an order-preserving,
+//! **injective** 8-byte image whose bytes drive the descent (implemented
+//! for the integer primitives; the leaf stores the real key and final
+//! equality is checked on it). Values are plain leaf fields — leaves are
+//! immutable, so fat values ride inside the epoch-reclaimed leaf
+//! allocation.
 //!
 //! Concurrency design:
 //!
@@ -20,23 +29,57 @@
 //!   chain, upgrading a full node) take the owning node's lock — plus the
 //!   parent's when the node itself is replaced — validate, then apply.
 
-use flock_api::Map;
+use flock_api::{Key, Map, Value};
 use flock_core::{Lock, Mutable, Sp, UpdateOnce};
-use flock_sync::Backoff;
+use flock_sync::{ApproxLen, Backoff};
 
 const KEY_BYTES: usize = 8;
 
+/// Keys usable by the radix tree: an order-preserving, injective mapping
+/// into the 8-byte radix space. Distinct keys must produce distinct images
+/// (`a < b` ⇒ `a.radix() < b.radix()`), or descents would collide.
+pub trait RadixKey {
+    /// The 8-byte radix image whose big-endian bytes drive the descent.
+    fn radix(&self) -> u64;
+}
+
+macro_rules! impl_radix_unsigned {
+    ($($t:ty),*) => {$(
+        impl RadixKey for $t {
+            #[inline(always)]
+            fn radix(&self) -> u64 {
+                *self as u64
+            }
+        }
+    )*};
+}
+impl_radix_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_radix_signed {
+    ($($t:ty),*) => {$(
+        impl RadixKey for $t {
+            #[inline(always)]
+            fn radix(&self) -> u64 {
+                // Sign-flip: maps i::MIN..=i::MAX monotonically onto
+                // 0..=u64::MAX.
+                (*self as i64 as u64) ^ (1u64 << 63)
+            }
+        }
+    )*};
+}
+impl_radix_signed!(i8, i16, i32, i64, isize);
+
 #[inline]
-fn byte_at(k: u64, depth: usize) -> u8 {
+fn byte_at(r: u64, depth: usize) -> u8 {
     debug_assert!(depth < KEY_BYTES);
-    (k >> (56 - 8 * depth)) as u8
+    (r >> (56 - 8 * depth)) as u8
 }
 
 /// Tagged child cell: 0 = empty, bit0 = leaf, else internal node.
 const LEAF_TAG: usize = 1;
 
 #[inline]
-fn tag_leaf(l: *mut ArtLeaf) -> usize {
+fn tag_leaf<K, V>(l: *mut ArtLeaf<K, V>) -> usize {
     l as usize | LEAF_TAG
 }
 
@@ -51,8 +94,8 @@ fn is_leaf(c: usize) -> bool {
 }
 
 #[inline]
-fn as_leaf(c: usize) -> *mut ArtLeaf {
-    (c & !LEAF_TAG) as *mut ArtLeaf
+fn as_leaf<K, V>(c: usize) -> *mut ArtLeaf<K, V> {
+    (c & !LEAF_TAG) as *mut ArtLeaf<K, V>
 }
 
 #[inline]
@@ -60,9 +103,9 @@ fn as_node(c: usize) -> *mut ArtNode {
     c as *mut ArtNode
 }
 
-struct ArtLeaf {
-    key: u64,
-    value: u64,
+struct ArtLeaf<K, V> {
+    key: K,
+    value: V,
 }
 
 /// Node widths. `kind` selects the layout of `keys`/`index`/`children`.
@@ -71,6 +114,9 @@ const N16: u8 = 1;
 const N48: u8 = 2;
 const N256: u8 = 3;
 
+/// An internal node. Deliberately *not* generic: child cells are tagged
+/// `usize` addresses, so one node layout serves every `(K, V)`
+/// instantiation (the leaf type carries the generics).
 struct ArtNode {
     lock: Lock,
     removed: UpdateOnce<bool>,
@@ -236,44 +282,50 @@ impl ArtNode {
     }
 }
 
-/// Adaptive radix tree map over `u64` keys.
-pub struct ArtTree {
+/// Adaptive radix tree map over radix-imageable keys.
+pub struct ArtTree<K: Key + RadixKey, V: Value> {
     /// Depth-0 node; fixed Node256 so it is never upgraded or removed.
     root: *mut ArtNode,
+    /// Maintained element count backing `len_approx`.
+    count: ApproxLen,
+    _kv: std::marker::PhantomData<(K, V)>,
 }
 
 // SAFETY: mutation via Flock locks + epoch reclamation; root immutable.
-unsafe impl Send for ArtTree {}
-unsafe impl Sync for ArtTree {}
+unsafe impl<K: Key + RadixKey, V: Value> Send for ArtTree<K, V> {}
+unsafe impl<K: Key + RadixKey, V: Value> Sync for ArtTree<K, V> {}
 
-impl Default for ArtTree {
+impl<K: Key + RadixKey, V: Value> Default for ArtTree<K, V> {
     fn default() -> Self {
         Self::new()
     }
 }
 
-impl ArtTree {
+impl<K: Key + RadixKey, V: Value> ArtTree<K, V> {
     /// An empty tree.
     pub fn new() -> Self {
         Self {
             root: flock_epoch::alloc(ArtNode::new(N256)),
+            count: ApproxLen::new(),
+            _kv: std::marker::PhantomData,
         }
     }
 
     /// Wait-free lookup.
-    pub fn get(&self, k: u64) -> Option<u64> {
+    pub fn get(&self, k: K) -> Option<V> {
         let _g = flock_epoch::pin();
+        let r = k.radix();
         let mut cur = self.root;
         for d in 0..KEY_BYTES {
             // SAFETY: pinned; nodes epoch-reclaimed.
-            let c = unsafe { &*cur }.lookup(byte_at(k, d));
+            let c = unsafe { &*cur }.lookup(byte_at(r, d));
             if c == 0 {
                 return None;
             }
             if is_leaf(c) {
                 // SAFETY: leaf pointers epoch-protected.
-                let l = unsafe { &*as_leaf(c) };
-                return (l.key == k).then_some(l.value);
+                let l = unsafe { &*as_leaf::<K, V>(c) };
+                return (l.key == k).then(|| l.value.clone());
             }
             cur = as_node(c);
         }
@@ -281,21 +333,25 @@ impl ArtTree {
     }
 
     /// Insert; `false` if present.
-    pub fn insert(&self, k: u64, v: u64) -> bool {
+    pub fn insert(&self, k: K, v: V) -> bool {
         let _g = flock_epoch::pin();
+        let r = k.radix();
         let mut backoff = Backoff::new();
         'restart: loop {
             let mut parent: *mut ArtNode = std::ptr::null_mut();
             let mut cur = self.root;
             let mut d = 0;
             loop {
-                let b = byte_at(k, d);
+                let b = byte_at(r, d);
                 // SAFETY: pinned.
                 let c = unsafe { &*cur }.lookup(b);
                 if c == 0 {
                     // Empty slot: add a leaf here (possibly upgrading).
-                    match self.add_leaf(parent, cur, d, k, v) {
-                        AddOutcome::Done => return true,
+                    match self.add_leaf(parent, cur, d, &k, &v) {
+                        AddOutcome::Done => {
+                            self.count.inc();
+                            return true;
+                        }
                         AddOutcome::Busy => {
                             backoff.snooze();
                             continue 'restart;
@@ -305,14 +361,17 @@ impl ArtTree {
                 }
                 if is_leaf(c) {
                     // SAFETY: pinned.
-                    let l = unsafe { &*as_leaf(c) };
+                    let l = unsafe { &*as_leaf::<K, V>(c) };
                     if l.key == k {
                         return false;
                     }
                     // Split: replace the leaf with a chain diverging at the
                     // first differing byte.
-                    match self.split_leaf(cur, d, c, k, v) {
-                        Some(true) => return true,
+                    match self.split_leaf(cur, d, c, &k, &v) {
+                        Some(true) => {
+                            self.count.inc();
+                            return true;
+                        }
                         Some(false) => continue 'restart, // validation failed
                         None => {
                             backoff.snooze(); // node lock busy
@@ -328,14 +387,15 @@ impl ArtTree {
     }
 
     /// Remove; `false` if absent.
-    pub fn remove(&self, k: u64) -> bool {
+    pub fn remove(&self, k: K) -> bool {
         let _g = flock_epoch::pin();
+        let r = k.radix();
         let mut backoff = Backoff::new();
         'restart: loop {
             let mut cur = self.root;
             let mut d = 0;
             loop {
-                let b = byte_at(k, d);
+                let b = byte_at(r, d);
                 // SAFETY: pinned.
                 let c = unsafe { &*cur }.lookup(b);
                 if c == 0 {
@@ -343,7 +403,7 @@ impl ArtTree {
                 }
                 if is_leaf(c) {
                     // SAFETY: pinned.
-                    if unsafe { &*as_leaf(c) }.key != k {
+                    if unsafe { &*as_leaf::<K, V>(c) }.key != k {
                         return false;
                     }
                     let sp_n = Sp(cur);
@@ -363,10 +423,13 @@ impl ArtTree {
                         }
                         cell.store(0); // tombstone the child cell
                         // SAFETY: unlinked above; idempotent retire.
-                        unsafe { flock_core::retire(as_leaf(c)) };
+                        unsafe { flock_core::retire(as_leaf::<K, V>(c)) };
                         true
                     }) {
-                        Some(true) => return true,
+                        Some(true) => {
+                            self.count.dec();
+                            return true;
+                        }
                         Some(false) => continue 'restart, // validation failed
                         None => {
                             backoff.snooze(); // node lock busy
@@ -388,11 +451,12 @@ impl ArtTree {
         parent: *mut ArtNode,
         node: *mut ArtNode,
         depth: usize,
-        k: u64,
-        v: u64,
+        k: &K,
+        v: &V,
     ) -> AddOutcome {
-        let b = byte_at(k, depth);
+        let b = byte_at(k.radix(), depth);
         let sp_n = Sp(node);
+        let (k2, v2) = (k.clone(), v.clone());
         // First try the common path: free slot under the node's own lock.
         // SAFETY: pinned caller.
         let fast = unsafe { &*node }.lock.try_lock(move || {
@@ -403,7 +467,10 @@ impl ArtTree {
             }
             // Reuse a tombstoned slot for the same byte if present.
             if let Some(slot) = n.slot_of(b) {
-                let leaf = flock_core::alloc(|| ArtLeaf { key: k, value: v });
+                let leaf = flock_core::alloc(|| ArtLeaf {
+                    key: k2.clone(),
+                    value: v2.clone(),
+                });
                 n.children[slot].store(tag_leaf(leaf));
                 return true;
             }
@@ -412,7 +479,10 @@ impl ArtTree {
             if !n.has_free_slot() {
                 return false;
             }
-            let leaf = flock_core::alloc(|| ArtLeaf { key: k, value: v });
+            let leaf = flock_core::alloc(|| ArtLeaf {
+                key: k2.clone(),
+                value: v2.clone(),
+            });
             let added = n.try_add(b, tag_leaf(leaf));
             debug_assert!(added, "free slot vanished under the node lock");
             added
@@ -458,17 +528,20 @@ impl ArtTree {
         parent: *mut ArtNode,
         node: *mut ArtNode,
         depth: usize,
-        k: u64,
-        v: u64,
+        k: &K,
+        v: &V,
     ) -> Option<bool> {
         debug_assert!(depth >= 1);
-        let pb = byte_at(k, depth - 1);
-        let b = byte_at(k, depth);
+        let r = k.radix();
+        let pb = byte_at(r, depth - 1);
+        let b = byte_at(r, depth);
         let (sp_p, sp_n) = (Sp(parent), Sp(node));
+        let (k2, v2) = (k.clone(), v.clone());
         // SAFETY: pinned caller.
         let outcome = unsafe { &*parent }.lock.try_lock(move || {
             // SAFETY: thunk runners hold epoch protection.
             let n_ref = unsafe { sp_n.as_ref() };
+            let (k3, v3) = (k2.clone(), v2.clone());
             n_ref.lock.try_lock(move || {
                 // SAFETY: as above.
                 let p = unsafe { sp_p.as_ref() };
@@ -485,17 +558,23 @@ impl ArtTree {
                 if n.lookup(b) != 0 || n.slot_of(b).is_some() || !matches!(n.kind, N4 | N16 | N48) {
                     return false; // stale plan
                 }
-                // Build the compacted, larger copy with the new leaf.
+                // Build the compacted, larger copy with the new leaf. The
+                // leaf is its own idempotent alloc: nested inside the
+                // node's init closure it would leak once per replayed run.
                 let entries = n.live_entries();
                 let new_kind = ArtNode::kind_for(entries.len() + 1);
                 let entries2 = entries.clone();
+                let (k4, v4) = (k3.clone(), v3.clone());
+                let leaf = flock_core::alloc(|| ArtLeaf {
+                    key: k4.clone(),
+                    value: v4.clone(),
+                });
                 let bigger = flock_core::alloc(move || {
                     let fresh = ArtNode::new(new_kind);
                     for (eb, ec) in &entries2 {
                         let added = fresh.try_add(*eb, *ec);
                         debug_assert!(added);
                     }
-                    let leaf = flock_epoch::alloc(ArtLeaf { key: k, value: v });
                     let added = fresh.try_add(b, tag_leaf(leaf));
                     debug_assert!(added);
                     fresh
@@ -519,16 +598,11 @@ impl ArtTree {
     /// Node4 holding both leaves.
     ///
     /// `None` = the node's lock was busy; `Some(false)` = validation failed.
-    fn split_leaf(
-        &self,
-        node: *mut ArtNode,
-        depth: usize,
-        c: usize,
-        k: u64,
-        v: u64,
-    ) -> Option<bool> {
-        let b = byte_at(k, depth);
+    fn split_leaf(&self, node: *mut ArtNode, depth: usize, c: usize, k: &K, v: &V) -> Option<bool> {
+        let kr = k.radix();
+        let b = byte_at(kr, depth);
         let sp_n = Sp(node);
+        let (k2, v2) = (k.clone(), v.clone());
         // SAFETY: pinned caller.
         unsafe { &*node }.lock.try_lock(move || {
             // SAFETY: thunk runners hold epoch protection.
@@ -543,32 +617,45 @@ impl ArtTree {
                 return false; // validate
             }
             // SAFETY: c validated in place; epoch-protected.
-            let old_key = unsafe { &*as_leaf(c) }.key;
-            debug_assert_ne!(old_key, k);
+            let old_r = unsafe { &*as_leaf::<K, V>(c) }.key.radix();
+            debug_assert_ne!(old_r, kr, "RadixKey images must be injective");
             // First divergent byte strictly below `depth`.
             let mut j = depth + 1;
-            while byte_at(old_key, j) == byte_at(k, j) {
+            while byte_at(old_r, j) == byte_at(kr, j) {
                 j += 1;
             }
-            let chain = flock_core::alloc(move || {
-                // Innermost node: both leaves.
-                let bottom = ArtNode::new(N4);
-                let new_leaf = flock_epoch::alloc(ArtLeaf { key: k, value: v });
-                let added = bottom.try_add(byte_at(old_key, j), c);
-                debug_assert!(added);
-                let added = bottom.try_add(byte_at(k, j), tag_leaf(new_leaf));
-                debug_assert!(added);
-                // Wrap in single-child nodes up to depth+1.
-                let mut head = bottom;
-                for d in (depth + 1..j).rev() {
-                    let wrap = ArtNode::new(N4);
-                    let added = wrap.try_add(byte_at(k, d), tag_node(flock_epoch::alloc(head)));
-                    debug_assert!(added);
-                    head = wrap;
-                }
-                head
+            // Build the chain bottom-up, one idempotent alloc per node:
+            // nesting the whole chain inside a single init closure would
+            // leak every inner allocation on replayed runs. The chain
+            // length (`j`) is a pure function of the two keys' committed
+            // radix images, so every run performs the identical alloc
+            // sequence and the log positions stay aligned.
+            let (k3, v3) = (k2.clone(), v2.clone());
+            let new_leaf = flock_core::alloc(|| ArtLeaf {
+                key: k3.clone(),
+                value: v3.clone(),
             });
-            n.children[slot].store(tag_node(chain));
+            // Innermost node: both leaves.
+            let bottom = flock_core::alloc(|| {
+                let n4 = ArtNode::new(N4);
+                let added = n4.try_add(byte_at(old_r, j), c);
+                debug_assert!(added);
+                let added = n4.try_add(byte_at(kr, j), tag_leaf(new_leaf));
+                debug_assert!(added);
+                n4
+            });
+            // Wrap in single-child nodes up to depth+1.
+            let mut head = bottom;
+            for d in (depth + 1..j).rev() {
+                let prev = head;
+                head = flock_core::alloc(move || {
+                    let wrap = ArtNode::new(N4);
+                    let added = wrap.try_add(byte_at(kr, d), tag_node(prev));
+                    debug_assert!(added);
+                    wrap
+                });
+            }
+            n.children[slot].store(tag_node(head));
             true
         })
     }
@@ -577,7 +664,7 @@ impl ArtTree {
     pub fn len(&self) -> usize {
         let _g = flock_epoch::pin();
         // SAFETY: pinned walk.
-        unsafe { Self::count(self.root) }
+        unsafe { Self::count_leaves(self.root) }
     }
 
     /// Is the tree empty?
@@ -585,7 +672,7 @@ impl ArtTree {
         self.len() == 0
     }
 
-    unsafe fn count(n: *mut ArtNode) -> usize {
+    unsafe fn count_leaves(n: *mut ArtNode) -> usize {
         // SAFETY: pinned per caller.
         let node = unsafe { &*n };
         node.live_entries()
@@ -594,30 +681,30 @@ impl ArtTree {
                 if is_leaf(c) {
                     1
                 } else {
-                    unsafe { Self::count(as_node(c)) }
+                    unsafe { Self::count_leaves(as_node(c)) }
                 }
             })
             .sum()
     }
 
     /// Snapshot of all pairs in key order — single-threaded use.
-    pub fn collect(&self) -> Vec<(u64, u64)> {
+    pub fn collect(&self) -> Vec<(K, V)> {
         let _g = flock_epoch::pin();
         let mut out = Vec::new();
         // SAFETY: pinned walk.
         unsafe { Self::walk(self.root, &mut out) };
-        out.sort_unstable();
+        out.sort_unstable_by(|a, b| a.0.cmp(&b.0));
         out
     }
 
-    unsafe fn walk(n: *mut ArtNode, out: &mut Vec<(u64, u64)>) {
+    unsafe fn walk(n: *mut ArtNode, out: &mut Vec<(K, V)>) {
         // SAFETY: pinned per caller.
         let node = unsafe { &*n };
         for (_, c) in node.live_entries() {
             if is_leaf(c) {
                 // SAFETY: live child pointer.
-                let l = unsafe { &*as_leaf(c) };
-                out.push((l.key, l.value));
+                let l = unsafe { &*as_leaf::<K, V>(c) };
+                out.push((l.key.clone(), l.value.clone()));
             } else {
                 unsafe { Self::walk(as_node(c), out) };
             }
@@ -629,7 +716,11 @@ impl ArtTree {
     pub fn check_invariants(&self) {
         let pairs = self.collect();
         for (k, v) in pairs {
-            assert_eq!(self.get(k), Some(v), "leaf unreachable by its key bytes");
+            assert_eq!(
+                self.get(k.clone()),
+                Some(v),
+                "leaf unreachable by its key bytes"
+            );
         }
     }
 }
@@ -643,42 +734,42 @@ enum AddOutcome {
     Busy,
 }
 
-impl Drop for ArtTree {
+impl<K: Key + RadixKey, V: Value> Drop for ArtTree<K, V> {
     fn drop(&mut self) {
         // SAFETY: exclusive access; retired nodes belong to the collector.
-        unsafe fn free(n: *mut ArtNode) {
+        unsafe fn free<K, V>(n: *mut ArtNode) {
             // SAFETY: exclusive teardown.
             unsafe {
                 for (_, c) in (*n).live_entries() {
                     if is_leaf(c) {
-                        flock_epoch::free_now(as_leaf(c));
+                        flock_epoch::free_now(as_leaf::<K, V>(c));
                     } else {
-                        free(as_node(c));
+                        free::<K, V>(as_node(c));
                     }
                 }
                 flock_epoch::free_now(n);
             }
         }
         // SAFETY: exclusive access.
-        unsafe { free(self.root) };
+        unsafe { free::<K, V>(self.root) };
     }
 }
 
-impl Map<u64, u64> for ArtTree {
-    fn insert(&self, key: u64, value: u64) -> bool {
+impl<K: Key + RadixKey, V: Value> Map<K, V> for ArtTree<K, V> {
+    fn insert(&self, key: K, value: V) -> bool {
         ArtTree::insert(self, key, value)
     }
-    fn remove(&self, key: u64) -> bool {
+    fn remove(&self, key: K) -> bool {
         ArtTree::remove(self, key)
     }
-    fn get(&self, key: u64) -> Option<u64> {
+    fn get(&self, key: K) -> Option<V> {
         ArtTree::get(self, key)
     }
     fn name(&self) -> &'static str {
         "arttree"
     }
     fn len_approx(&self) -> Option<usize> {
-        Some(self.len())
+        Some(self.count.get())
     }
 }
 
@@ -690,7 +781,7 @@ mod tests {
     #[test]
     fn basic_ops() {
         testutil::both_modes(|| {
-            let t = ArtTree::new();
+            let t: ArtTree<u64, u64> = ArtTree::new();
             assert!(t.insert(5, 50));
             assert!(!t.insert(5, 51));
             assert!(t.insert(3, 30));
@@ -704,9 +795,25 @@ mod tests {
     }
 
     #[test]
+    fn signed_keys_order_preserved() {
+        testutil::both_modes(|| {
+            let t: ArtTree<i32, u64> = ArtTree::new();
+            for (i, k) in [-100, -1, 0, 1, 100].into_iter().enumerate() {
+                assert!(t.insert(k, i as u64));
+            }
+            assert_eq!(
+                t.collect().into_iter().map(|(k, _)| k).collect::<Vec<_>>(),
+                vec![-100, -1, 0, 1, 100],
+                "sign-flip radix keeps signed order"
+            );
+            assert_eq!(t.get(-1), Some(1));
+        });
+    }
+
+    #[test]
     fn shared_prefix_keys_split_into_chains() {
         testutil::both_modes(|| {
-            let t = ArtTree::new();
+            let t: ArtTree<u64, u64> = ArtTree::new();
             // Keys differing only in the last byte share 7 prefix bytes:
             // exercises the chain-building split path.
             let base = 0xAABB_CCDD_EEFF_1100u64;
@@ -724,7 +831,7 @@ mod tests {
     #[test]
     fn node_upgrades_n4_to_n256() {
         testutil::both_modes(|| {
-            let t = ArtTree::new();
+            let t: ArtTree<u64, u64> = ArtTree::new();
             // 256 keys sharing 7 bytes force one node through every width.
             let base = 0x0102_0304_0506_0700u64;
             for i in 0..256u64 {
@@ -740,7 +847,7 @@ mod tests {
     #[test]
     fn tombstone_reuse_same_byte() {
         testutil::both_modes(|| {
-            let t = ArtTree::new();
+            let t: ArtTree<u64, u64> = ArtTree::new();
             let k = 0xDEAD_BEEF_0000_0042u64;
             for round in 0..50 {
                 assert!(t.insert(k, round));
@@ -754,11 +861,11 @@ mod tests {
     #[test]
     fn oracle_dense_and_sparse() {
         testutil::both_modes(|| {
-            let t = ArtTree::new();
+            let t: ArtTree<u64, u64> = ArtTree::new();
             testutil::oracle_check(&t, 3_000, 512, 17);
         });
         testutil::both_modes(|| {
-            let t = ArtTree::new();
+            let t: ArtTree<u64, u64> = ArtTree::new();
             // Sparse (hashed) keys, like the paper's benchmark keys.
             let mut oracle = std::collections::BTreeMap::new();
             for i in 0..2_000u64 {
@@ -782,7 +889,7 @@ mod tests {
     #[test]
     fn concurrent_partitioned() {
         testutil::both_modes(|| {
-            let t = ArtTree::new();
+            let t: ArtTree<u64, u64> = ArtTree::new();
             testutil::partition_stress(&t, 4, 1_500);
             t.check_invariants();
         });

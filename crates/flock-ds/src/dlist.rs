@@ -1,5 +1,5 @@
 //! Sorted doubly-linked list with optimistic fine-grained try-locks —
-//! the paper's running example (Algorithm 1).
+//! the paper's running example (Algorithm 1), generic over `(K, V)`.
 //!
 //! Each link carries a key, a value, `next`/`prev` mutable pointers, a
 //! `removed` update-once flag, and a lock. Traversal takes no locks; an
@@ -7,28 +7,45 @@
 //! (remove), validates that the neighborhood is unchanged, and splices. The
 //! doubly-linked splice (`prev.next = n; next.prev = n`) is the two-word
 //! update that is painful to make lock-free by hand and trivial here.
+//!
+//! Keys and values are cloned into nodes (`K: Clone`, and `V` through the
+//! `ValueRepr` layer — fat values ride inside the epoch-reclaimed link
+//! allocation). Sentinel links carry no key/value (`None`).
+//!
+//! Note on thunk results: thunks communicate **only** through their boolean
+//! return value and the shared structure. Capturing a pointer to the
+//! caller's stack would be a use-after-return hazard, because a helper can
+//! still be replaying the thunk after the owner's call has returned — the
+//! same reason the paper's C++ lambdas must capture by value.
 
-use flock_api::Map;
+use flock_api::{Key, Map, Value};
 use flock_core::{Lock, Mutable, Sp, UpdateOnce};
-use flock_sync::Backoff;
+use flock_sync::{ApproxLen, Backoff};
 
 /// Sentinel markers so head/tail need no special key values.
 const KIND_NORMAL: u8 = 0;
 const KIND_HEAD: u8 = 1;
 const KIND_TAIL: u8 = 2;
 
-struct Link {
-    next: Mutable<*mut Link>,
-    prev: Mutable<*mut Link>,
+struct Link<K: Key, V: Value> {
+    next: Mutable<*mut Link<K, V>>,
+    prev: Mutable<*mut Link<K, V>>,
     removed: UpdateOnce<bool>,
-    key: u64,
-    value: u64,
+    /// `None` only on the head/tail sentinels.
+    key: Option<K>,
+    value: Option<V>,
     lock: Lock,
     kind: u8,
 }
 
-impl Link {
-    fn new(key: u64, value: u64, next: *mut Link, prev: *mut Link, kind: u8) -> Self {
+impl<K: Key, V: Value> Link<K, V> {
+    fn new(
+        key: Option<K>,
+        value: Option<V>,
+        next: *mut Link<K, V>,
+        prev: *mut Link<K, V>,
+        kind: u8,
+    ) -> Self {
         Self {
             next: Mutable::new(next),
             prev: Mutable::new(prev),
@@ -43,12 +60,18 @@ impl Link {
     /// Does this link's key order at-or-after `k`? Tail orders after
     /// everything, head before everything.
     #[inline]
-    fn at_or_after(&self, k: u64) -> bool {
+    fn at_or_after(&self, k: &K) -> bool {
         match self.kind {
             KIND_TAIL => true,
             KIND_HEAD => false,
-            _ => self.key >= k,
+            _ => self.key.as_ref().is_some_and(|x| x >= k),
         }
+    }
+
+    /// Is this a normal link holding exactly `k`?
+    #[inline]
+    fn holds(&self, k: &K) -> bool {
+        self.kind == KIND_NORMAL && self.key.as_ref() == Some(k)
     }
 }
 
@@ -57,48 +80,55 @@ impl Link {
 /// ```
 /// use flock_ds::dlist::DList;
 /// use flock_api::Map;
-/// let l = DList::new();
+/// let l: DList<u64, u64> = DList::new();
 /// assert!(l.insert(2, 20));
 /// assert!(l.insert(1, 10));
 /// assert_eq!(l.get(2), Some(20));
 /// assert!(l.remove(1));
 /// assert_eq!(l.get(1), None);
 /// ```
-pub struct DList {
-    head: *mut Link,
-    tail: *mut Link,
+pub struct DList<K: Key, V: Value> {
+    head: *mut Link<K, V>,
+    tail: *mut Link<K, V>,
+    /// Maintained element count backing `len_approx` (bumped outside the
+    /// thunks: exactly one caller sees `Some(true)` per applied op).
+    count: ApproxLen,
 }
 
 // SAFETY: all mutation is via Flock locks + epoch reclamation; the raw head
 // and tail pointers are immutable after construction.
-unsafe impl Send for DList {}
-unsafe impl Sync for DList {}
+unsafe impl<K: Key, V: Value> Send for DList<K, V> {}
+unsafe impl<K: Key, V: Value> Sync for DList<K, V> {}
 
-impl Default for DList {
+impl<K: Key, V: Value> Default for DList<K, V> {
     fn default() -> Self {
         Self::new()
     }
 }
 
-impl DList {
+impl<K: Key, V: Value> DList<K, V> {
     /// An empty list.
     pub fn new() -> Self {
         let head = flock_epoch::alloc(Link::new(
-            0,
-            0,
+            None,
+            None,
             std::ptr::null_mut(),
             std::ptr::null_mut(),
             KIND_HEAD,
         ));
-        let tail = flock_epoch::alloc(Link::new(0, 0, std::ptr::null_mut(), head, KIND_TAIL));
+        let tail = flock_epoch::alloc(Link::new(None, None, std::ptr::null_mut(), head, KIND_TAIL));
         // SAFETY: fresh, unshared.
         unsafe { (*head).next.store(tail) };
-        Self { head, tail }
+        Self {
+            head,
+            tail,
+            count: ApproxLen::new(),
+        }
     }
 
     /// First link whose key orders at-or-after `k` (paper's `find_link`).
     /// Lock-free traversal; loads are unlogged because we are outside locks.
-    fn find_link(&self, k: u64) -> *mut Link {
+    fn find_link(&self, k: &K) -> *mut Link<K, V> {
         // SAFETY: head is immutable; links are epoch-protected (caller pins).
         let mut lnk = unsafe { (*self.head).next.load() };
         // SAFETY: as above — every loaded link is protected by the pin.
@@ -109,23 +139,24 @@ impl DList {
     }
 
     /// Insert; `false` if the key is already present.
-    pub fn insert(&self, k: u64, v: u64) -> bool {
+    pub fn insert(&self, k: K, v: V) -> bool {
         let _g = flock_epoch::pin();
         let mut backoff = Backoff::new();
         loop {
-            let next = self.find_link(k);
+            let next = self.find_link(&k);
             // SAFETY: epoch-pinned traversal result.
             let next_ref = unsafe { &*next };
-            if next_ref.kind == KIND_NORMAL && next_ref.key == k {
+            if next_ref.holds(&k) {
                 return false; // already there
             }
             let prev = next_ref.prev.load();
             // SAFETY: prev read from a live link; epoch-pinned.
             let prev_ref = unsafe { &*prev };
-            let prev_ok =
-                prev_ref.kind == KIND_HEAD || (prev_ref.kind == KIND_NORMAL && prev_ref.key < k);
+            let prev_ok = prev_ref.kind == KIND_HEAD
+                || (prev_ref.kind == KIND_NORMAL && prev_ref.key.as_ref().is_some_and(|x| x < &k));
             if prev_ok {
                 let (sp_prev, sp_next) = (Sp(prev), Sp(next));
+                let (k2, v2) = (k.clone(), v.clone());
                 match prev_ref.lock.try_lock(move || {
                     // SAFETY: thunk runs under epoch protection (owner's pin
                     // or helper's adopted epoch); links are retired through
@@ -135,13 +166,22 @@ impl DList {
                         return false; // validate
                     }
                     let newl = flock_core::alloc(|| {
-                        Link::new(k, v, sp_next.ptr(), sp_prev.ptr(), KIND_NORMAL)
+                        Link::new(
+                            Some(k2.clone()),
+                            Some(v2.clone()),
+                            sp_next.ptr(),
+                            sp_prev.ptr(),
+                            KIND_NORMAL,
+                        )
                     });
                     p.next.store(newl); // splice in
                     n.prev.store(newl);
                     true
                 }) {
-                    Some(true) => return true,
+                    Some(true) => {
+                        self.count.inc();
+                        return true;
+                    }
                     // Validation failed: the neighborhood changed under us —
                     // a fresh traversal has new information, retry at once.
                     Some(false) => {}
@@ -154,14 +194,14 @@ impl DList {
     }
 
     /// Remove; `false` if the key was not present.
-    pub fn remove(&self, k: u64) -> bool {
+    pub fn remove(&self, k: K) -> bool {
         let _g = flock_epoch::pin();
         let mut backoff = Backoff::new();
         loop {
-            let lnk = self.find_link(k);
+            let lnk = self.find_link(&k);
             // SAFETY: epoch-pinned traversal result.
             let lnk_ref = unsafe { &*lnk };
-            if lnk_ref.kind != KIND_NORMAL || lnk_ref.key != k {
+            if !lnk_ref.holds(&k) {
                 return false; // not found
             }
             let prev = lnk_ref.prev.load();
@@ -189,7 +229,10 @@ impl DList {
                     true
                 })
             }) {
-                Some(Some(true)) => return true,
+                Some(Some(true)) => {
+                    self.count.dec();
+                    return true;
+                }
                 Some(Some(false)) => {} // validation failed: re-traverse now
                 _ => backoff.snooze(),  // predecessor or victim lock busy
             }
@@ -197,15 +240,16 @@ impl DList {
     }
 
     /// Lookup (wait-free traversal, no locks — paper's `find`).
-    pub fn get(&self, k: u64) -> Option<u64> {
+    pub fn get(&self, k: K) -> Option<V> {
         let _g = flock_epoch::pin();
-        let lnk = self.find_link(k);
+        let lnk = self.find_link(&k);
         // SAFETY: epoch-pinned traversal result.
         let l = unsafe { &*lnk };
-        (l.kind == KIND_NORMAL && l.key == k).then_some(l.value)
+        if l.holds(&k) { l.value.clone() } else { None }
     }
 
-    /// Number of elements (O(n) walk; for tests and diagnostics).
+    /// Number of elements (O(n) walk; for tests and diagnostics — the
+    /// maintained count behind [`Map::len_approx`] is O(stripes)).
     pub fn len(&self) -> usize {
         let _g = flock_epoch::pin();
         let mut n = 0;
@@ -224,14 +268,16 @@ impl DList {
     }
 
     /// Snapshot of the (key, value) pairs in order — single-threaded use.
-    pub fn collect(&self) -> Vec<(u64, u64)> {
+    pub fn collect(&self) -> Vec<(K, V)> {
         let _g = flock_epoch::pin();
         let mut out = Vec::new();
         // SAFETY: epoch-pinned walk.
         let mut p = unsafe { (*self.head).next.load() };
         while unsafe { &*p }.kind == KIND_NORMAL {
             let l = unsafe { &*p };
-            out.push((l.key, l.value));
+            if let (Some(k), Some(v)) = (l.key.clone(), l.value.clone()) {
+                out.push((k, v));
+            }
             p = l.next.load();
         }
         out
@@ -244,7 +290,7 @@ impl DList {
         // SAFETY: quiescent per contract.
         unsafe {
             let mut p = self.head;
-            let mut last_key: Option<u64> = None;
+            let mut last_key: Option<K> = None;
             loop {
                 let next = (*p).next.load();
                 assert_eq!((*next).prev.load(), p, "broken back-pointer");
@@ -252,17 +298,18 @@ impl DList {
                     break;
                 }
                 assert!(!(*next).removed.load(), "removed link still reachable");
-                if let Some(lk) = last_key {
-                    assert!(lk < (*next).key, "keys out of order");
+                let nk = (*next).key.clone().expect("normal link has a key");
+                if let Some(lk) = &last_key {
+                    assert!(lk < &nk, "keys out of order");
                 }
-                last_key = Some((*next).key);
+                last_key = Some(nk);
                 p = next;
             }
         }
     }
 }
 
-impl Drop for DList {
+impl<K: Key, V: Value> Drop for DList<K, V> {
     fn drop(&mut self) {
         // Exclusive access: free all still-linked nodes directly. Retired
         // (unlinked) nodes are owned by the epoch collector.
@@ -281,21 +328,21 @@ impl Drop for DList {
     }
 }
 
-impl Map<u64, u64> for DList {
-    fn insert(&self, key: u64, value: u64) -> bool {
+impl<K: Key, V: Value> Map<K, V> for DList<K, V> {
+    fn insert(&self, key: K, value: V) -> bool {
         DList::insert(self, key, value)
     }
-    fn remove(&self, key: u64) -> bool {
+    fn remove(&self, key: K) -> bool {
         DList::remove(self, key)
     }
-    fn get(&self, key: u64) -> Option<u64> {
+    fn get(&self, key: K) -> Option<V> {
         DList::get(self, key)
     }
     fn name(&self) -> &'static str {
         "dlist"
     }
     fn len_approx(&self) -> Option<usize> {
-        Some(self.len())
+        Some(self.count.get())
     }
 }
 
@@ -307,7 +354,7 @@ mod tests {
     #[test]
     fn basic_ops() {
         testutil::both_modes(|| {
-            let l = DList::new();
+            let l: DList<u64, u64> = DList::new();
             assert_eq!(l.get(5), None);
             assert!(l.insert(5, 50));
             assert!(!l.insert(5, 51), "duplicate insert must fail");
@@ -325,7 +372,7 @@ mod tests {
     #[test]
     fn boundary_keys() {
         testutil::both_modes(|| {
-            let l = DList::new();
+            let l: DList<u64, u64> = DList::new();
             assert!(l.insert(0, 1));
             assert!(l.insert(u64::MAX, 2));
             assert_eq!(l.get(0), Some(1));
@@ -337,9 +384,30 @@ mod tests {
     }
 
     #[test]
+    fn heap_keys_and_fat_values() {
+        testutil::both_modes(|| {
+            let l: DList<String, flock_core::Indirect<Vec<u64>>> = DList::new();
+            assert!(l.insert("b".into(), flock_core::Indirect(vec![2, 2])));
+            assert!(l.insert("a".into(), flock_core::Indirect(vec![1])));
+            assert_eq!(l.get("a".into()), Some(flock_core::Indirect(vec![1])));
+            assert_eq!(
+                l.collect()
+                    .iter()
+                    .map(|(k, _)| k.clone())
+                    .collect::<Vec<_>>(),
+                vec!["a".to_string(), "b".to_string()],
+                "heap keys stay sorted"
+            );
+            assert!(l.remove("a".into()));
+            assert_eq!(l.get("a".into()), None);
+            l.check_invariants();
+        });
+    }
+
+    #[test]
     fn oracle() {
         testutil::both_modes(|| {
-            let l = DList::new();
+            let l: DList<u64, u64> = DList::new();
             testutil::oracle_check(&l, 3_000, 64, 42);
             l.check_invariants();
         });
@@ -348,7 +416,7 @@ mod tests {
     #[test]
     fn concurrent_partitioned() {
         testutil::both_modes(|| {
-            let l = DList::new();
+            let l: DList<u64, u64> = DList::new();
             testutil::partition_stress(&l, 4, 1_500);
             l.check_invariants();
         });
@@ -357,7 +425,7 @@ mod tests {
     #[test]
     fn drop_reclaims_without_crash() {
         testutil::exclusive(|| {
-            let l = DList::new();
+            let l: DList<u64, u64> = DList::new();
             for i in 0..100 {
                 l.insert(i, i);
             }

@@ -1,4 +1,5 @@
-//! Separate-chaining hash table with one Flock lock per bucket.
+//! Separate-chaining hash table with one Flock lock per bucket, generic
+//! over `(K, V)` and the hash function.
 //!
 //! The paper's `hashtable` (§7): a fixed array of buckets, each an unsorted
 //! singly-linked chain guarded by the bucket's lock. Lookups traverse the
@@ -9,43 +10,108 @@
 //! lock-free mode's descriptor + log cost is not amortized by any search
 //! time.
 //!
+//! Two things distinguish this structure in the generic workspace:
+//!
+//! * **A real hasher seam.** Bucket selection goes through
+//!   [`std::hash::BuildHasher`]; the default [`FlockHashBuilder`] is a
+//!   deterministic FNV-1a/mix64 combination (benchmarks need run-to-run
+//!   stable placement), and [`HashTable::with_capacity_and_hasher`] accepts
+//!   any substitute.
+//! * **A native atomic [`Map::update`].** Each node stores its value in a
+//!   lock-word-adjacent [`Mutable<V>`] slot, so `update` is an in-thunk
+//!   read-modify-write under the bucket lock: one idempotent store, no
+//!   remove/insert composite, no observable absence window
+//!   ([`Map::has_atomic_update`] returns `true`; the conformance harness
+//!   verifies the claim). Fat (`Indirect`) values ride behind an
+//!   epoch-managed pointer the store machinery retires exactly once.
+//!   Because values live in a packed slot, inline `u64`/`usize` values
+//!   inherit the workspace-wide 48-bit payload contract (debug-asserted;
+//!   use `Indirect<u64>` for full-range values) — see [`flock_api::Value`].
+//!
 //! Note on thunk results: thunks communicate **only** through their boolean
 //! return value and the shared structure. Capturing a pointer to the
 //! caller's stack would be a use-after-return hazard, because a helper can
 //! still be replaying the thunk after the owner's call has returned — the
 //! same reason the paper's C++ lambdas must capture by value.
 
-use flock_api::Map;
+use std::hash::{BuildHasher, Hasher};
+
+use flock_api::{Key, Map, Value};
 use flock_core::{Lock, Mutable, Sp};
-use flock_sync::Backoff;
+use flock_sync::{ApproxLen, Backoff};
 
 use crate::mix64;
 
-struct Node {
-    next: Mutable<*mut Node>,
-    key: u64,
-    value: u64,
+/// Deterministic default hasher: FNV-1a over the key's `Hash` bytes with a
+/// mix64 finalizer. Stable across runs and processes (unlike
+/// `RandomState`), which keeps benchmark bucket placement reproducible.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FlockHashBuilder;
+
+impl BuildHasher for FlockHashBuilder {
+    type Hasher = FlockHasher;
+    fn build_hasher(&self) -> FlockHasher {
+        FlockHasher(0xCBF2_9CE4_8422_2325)
+    }
 }
 
-struct Bucket {
+/// Hasher produced by [`FlockHashBuilder`].
+#[derive(Clone, Copy, Debug)]
+pub struct FlockHasher(u64);
+
+impl Hasher for FlockHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0 ^ b as u64).wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    }
+    #[inline]
+    fn finish(&self) -> u64 {
+        mix64(self.0)
+    }
+}
+
+struct Node<K: Key, V: Value> {
+    next: Mutable<*mut Node<K, V>>,
+    key: K,
+    /// Lock-word-adjacent value slot: mutable in place under the bucket
+    /// lock (native `update`), snapshot-readable without it.
+    value: Mutable<V>,
+}
+
+struct Bucket<K: Key, V: Value> {
     lock: Lock,
-    head: Mutable<*mut Node>,
+    head: Mutable<*mut Node<K, V>>,
 }
 
 /// Fixed-capacity separate-chaining hash map.
-pub struct HashTable {
-    buckets: Box<[Bucket]>,
+pub struct HashTable<K: Key, V: Value, S = FlockHashBuilder> {
+    buckets: Box<[Bucket<K, V>]>,
     mask: u64,
+    hasher: S,
+    /// Maintained element count backing `len_approx`.
+    count: ApproxLen,
 }
 
-// SAFETY: mutation via per-bucket Flock locks + epoch reclamation.
-unsafe impl Send for HashTable {}
-unsafe impl Sync for HashTable {}
+// SAFETY: mutation via per-bucket Flock locks + epoch reclamation; the
+// hasher is only read.
+unsafe impl<K: Key, V: Value, S: Send> Send for HashTable<K, V, S> {}
+unsafe impl<K: Key, V: Value, S: Sync> Sync for HashTable<K, V, S> {}
 
-impl HashTable {
+impl<K: Key, V: Value> HashTable<K, V> {
     /// A table with at least `capacity` buckets (rounded up to a power of
-    /// two). Size it to the expected element count for O(1) chains.
+    /// two) and the default deterministic hasher. Size it to the expected
+    /// element count for O(1) chains.
     pub fn with_capacity(capacity: usize) -> Self {
+        Self::with_capacity_and_hasher(capacity, FlockHashBuilder)
+    }
+}
+
+impl<K: Key, V: Value, S: BuildHasher + Send + Sync + 'static> HashTable<K, V, S> {
+    /// A table with at least `capacity` buckets and a caller-supplied
+    /// hash-function family (the hasher seam).
+    pub fn with_capacity_and_hasher(capacity: usize, hasher: S) -> Self {
         let n = capacity.next_power_of_two().max(16);
         let buckets = (0..n)
             .map(|_| Bucket {
@@ -56,12 +122,14 @@ impl HashTable {
         Self {
             buckets,
             mask: (n - 1) as u64,
+            hasher,
+            count: ApproxLen::new(),
         }
     }
 
     #[inline]
-    fn bucket(&self, k: u64) -> &Bucket {
-        &self.buckets[(mix64(k) & self.mask) as usize]
+    fn bucket(&self, k: &K) -> &Bucket<K, V> {
+        &self.buckets[(self.hasher.hash_one(k) & self.mask) as usize]
     }
 
     /// Find `k` in the chain starting at `head`. Returns the node, if any.
@@ -70,12 +138,12 @@ impl HashTable {
     ///
     /// Caller must be epoch-pinned (or inside a thunk, where the loads are
     /// logged and the chain is protected by the bucket lock).
-    unsafe fn chain_find(head: &Mutable<*mut Node>, k: u64) -> *mut Node {
+    unsafe fn chain_find(head: &Mutable<*mut Node<K, V>>, k: &K) -> *mut Node<K, V> {
         let mut p = head.load();
         while !p.is_null() {
             // SAFETY: epoch-pinned per contract.
             let n = unsafe { &*p };
-            if n.key == k {
+            if n.key == *k {
                 return p;
             }
             p = n.next.load();
@@ -84,37 +152,42 @@ impl HashTable {
     }
 
     /// Insert; `false` if present.
-    pub fn insert(&self, k: u64, v: u64) -> bool {
+    pub fn insert(&self, k: K, v: V) -> bool {
         let _g = flock_epoch::pin();
-        let b = self.bucket(k);
+        let b = self.bucket(&k);
         let mut backoff = Backoff::new();
         loop {
             // Check outside the lock; also the loop's termination path when
             // the thunk observes the key under the lock.
             // SAFETY: pinned above.
-            if !unsafe { Self::chain_find(&b.head, k) }.is_null() {
+            if !unsafe { Self::chain_find(&b.head, &k) }.is_null() {
                 return false;
             }
-            let head = Sp(&b.head as *const Mutable<*mut Node> as *mut Mutable<*mut Node>);
+            let head =
+                Sp(&b.head as *const Mutable<*mut Node<K, V>> as *mut Mutable<*mut Node<K, V>>);
+            let (k2, v2) = (k.clone(), v.clone());
             match b.lock.try_lock(move || {
                 // SAFETY: the bucket array lives as long as the table; every
                 // runner of this thunk is epoch-protected.
                 let head = unsafe { head.as_ref() };
                 // Re-find under the lock: the chain is now stable.
                 // SAFETY: under the bucket lock + epoch protection.
-                if !unsafe { Self::chain_find(head, k) }.is_null() {
+                if !unsafe { Self::chain_find(head, &k2) }.is_null() {
                     return false; // already present: retry loop re-checks
                 }
                 let old_head = head.load();
                 let newn = flock_core::alloc(|| Node {
                     next: Mutable::new(old_head),
-                    key: k,
-                    value: v,
+                    key: k2.clone(),
+                    value: Mutable::new(v2.clone()),
                 });
                 head.store(newn);
                 true
             }) {
-                Some(true) => return true,
+                Some(true) => {
+                    self.count.inc();
+                    return true;
+                }
                 Some(false) => {}         // key appeared under the lock: re-check
                 None => backoff.snooze(), // bucket lock busy
             }
@@ -122,27 +195,29 @@ impl HashTable {
     }
 
     /// Remove; `false` if absent.
-    pub fn remove(&self, k: u64) -> bool {
+    pub fn remove(&self, k: K) -> bool {
         let _g = flock_epoch::pin();
-        let b = self.bucket(k);
+        let b = self.bucket(&k);
         let mut backoff = Backoff::new();
         loop {
             // SAFETY: pinned above.
-            if unsafe { Self::chain_find(&b.head, k) }.is_null() {
+            if unsafe { Self::chain_find(&b.head, &k) }.is_null() {
                 return false;
             }
-            let head = Sp(&b.head as *const Mutable<*mut Node> as *mut Mutable<*mut Node>);
+            let head =
+                Sp(&b.head as *const Mutable<*mut Node<K, V>> as *mut Mutable<*mut Node<K, V>>);
+            let k2 = k.clone();
             match b.lock.try_lock(move || {
                 // SAFETY: see insert.
                 let head = unsafe { head.as_ref() };
                 // Walk with the current "previous pointer cell" in hand so
                 // the matching node can be spliced out.
-                let mut prev_cell: &Mutable<*mut Node> = head;
+                let mut prev_cell: &Mutable<*mut Node<K, V>> = head;
                 let mut p = prev_cell.load();
                 while !p.is_null() {
                     // SAFETY: under the bucket lock + epoch protection.
                     let n = unsafe { &*p };
-                    if n.key == k {
+                    if n.key == k2 {
                         prev_cell.store(n.next.load());
                         // SAFETY: unlinked above; idempotent retire.
                         unsafe { flock_core::retire(p) };
@@ -153,6 +228,48 @@ impl HashTable {
                 }
                 false // vanished between check and lock: retry loop re-checks
             }) {
+                Some(true) => {
+                    self.count.dec();
+                    return true;
+                }
+                Some(false) => {}         // key vanished under the lock: re-check
+                None => backoff.snooze(), // bucket lock busy
+            }
+        }
+    }
+
+    /// Native atomic update: replace the value stored under `k` in place,
+    /// under the bucket lock — one idempotent slot store, no remove/insert
+    /// composite, no absence window. Returns `false` (storing nothing) if
+    /// `k` is absent.
+    pub fn update(&self, k: K, v: V) -> bool {
+        let _g = flock_epoch::pin();
+        let b = self.bucket(&k);
+        let mut backoff = Backoff::new();
+        loop {
+            // SAFETY: pinned above.
+            if unsafe { Self::chain_find(&b.head, &k) }.is_null() {
+                return false;
+            }
+            let head =
+                Sp(&b.head as *const Mutable<*mut Node<K, V>> as *mut Mutable<*mut Node<K, V>>);
+            let (k2, v2) = (k.clone(), v.clone());
+            match b.lock.try_lock(move || {
+                // SAFETY: see insert.
+                let head = unsafe { head.as_ref() };
+                // SAFETY: under the bucket lock + epoch protection.
+                let p = unsafe { Self::chain_find(head, &k2) };
+                if p.is_null() {
+                    return false; // vanished between check and lock: re-check
+                }
+                // SAFETY: found under the lock; stable while we hold it.
+                let n = unsafe { &*p };
+                // In-thunk read-modify-write: the idempotent store keeps
+                // helpers agreeing on one new encoding and retires the
+                // displaced one exactly once (indirect values).
+                n.value.store(v2.clone());
+                true
+            }) {
                 Some(true) => return true,
                 Some(false) => {}         // key vanished under the lock: re-check
                 None => backoff.snooze(), // bucket lock busy
@@ -161,13 +278,14 @@ impl HashTable {
     }
 
     /// Wait-free lookup.
-    pub fn get(&self, k: u64) -> Option<u64> {
+    pub fn get(&self, k: K) -> Option<V> {
         let _g = flock_epoch::pin();
-        let b = self.bucket(k);
+        let b = self.bucket(&k);
         // SAFETY: pinned above.
-        let p = unsafe { Self::chain_find(&b.head, k) };
-        // SAFETY: non-null node found while pinned.
-        (!p.is_null()).then(|| unsafe { &*p }.value)
+        let p = unsafe { Self::chain_find(&b.head, &k) };
+        // SAFETY: non-null node found while pinned; the value slot load
+        // snapshots under the same pin.
+        (!p.is_null()).then(|| unsafe { &*p }.value.load())
     }
 
     /// Element count (O(buckets + n); tests/diagnostics).
@@ -191,7 +309,7 @@ impl HashTable {
     }
 }
 
-impl Drop for HashTable {
+impl<K: Key, V: Value, S> Drop for HashTable<K, V, S> {
     fn drop(&mut self) {
         // SAFETY: exclusive access; retired nodes belong to the collector.
         unsafe {
@@ -207,21 +325,27 @@ impl Drop for HashTable {
     }
 }
 
-impl Map<u64, u64> for HashTable {
-    fn insert(&self, key: u64, value: u64) -> bool {
+impl<K: Key, V: Value, S: BuildHasher + Send + Sync + 'static> Map<K, V> for HashTable<K, V, S> {
+    fn insert(&self, key: K, value: V) -> bool {
         HashTable::insert(self, key, value)
     }
-    fn remove(&self, key: u64) -> bool {
+    fn remove(&self, key: K) -> bool {
         HashTable::remove(self, key)
     }
-    fn get(&self, key: u64) -> Option<u64> {
+    fn get(&self, key: K) -> Option<V> {
         HashTable::get(self, key)
     }
     fn name(&self) -> &'static str {
         "hashtable"
     }
+    fn update(&self, key: K, value: V) -> bool {
+        HashTable::update(self, key, value)
+    }
+    fn has_atomic_update(&self) -> bool {
+        true
+    }
     fn len_approx(&self) -> Option<usize> {
-        Some(self.len())
+        Some(self.count.get())
     }
 }
 
@@ -233,7 +357,7 @@ mod tests {
     #[test]
     fn basic_ops() {
         testutil::both_modes(|| {
-            let h = HashTable::with_capacity(64);
+            let h: HashTable<u64, u64> = HashTable::with_capacity(64);
             assert!(h.insert(1, 10));
             assert!(!h.insert(1, 11));
             assert_eq!(h.get(1), Some(10));
@@ -247,7 +371,7 @@ mod tests {
     fn colliding_keys_share_chain() {
         testutil::both_modes(|| {
             // Tiny table forces collisions.
-            let h = HashTable::with_capacity(1);
+            let h: HashTable<u64, u64> = HashTable::with_capacity(1);
             for k in 0..64 {
                 assert!(h.insert(k, k * 10));
             }
@@ -266,9 +390,69 @@ mod tests {
     }
 
     #[test]
+    fn native_update_in_place() {
+        testutil::both_modes(|| {
+            let h: HashTable<u64, u64> = HashTable::with_capacity(16);
+            assert!(!h.update(1, 10), "update of an absent key refused");
+            assert!(h.insert(1, 10));
+            assert!(h.update(1, 11));
+            assert_eq!(h.get(1), Some(11));
+            assert_eq!(h.len(), 1, "update must not change the count");
+            assert!(h.remove(1));
+            assert!(!h.update(1, 12));
+        });
+    }
+
+    #[test]
+    fn native_update_fat_values() {
+        testutil::both_modes(|| {
+            use flock_core::Indirect;
+            let h: HashTable<u64, Indirect<Vec<u64>>> = HashTable::with_capacity(16);
+            assert!(h.insert(1, Indirect(vec![1, 2, 3])));
+            assert!(h.update(1, Indirect(vec![4, 5, 6, 7])));
+            assert_eq!(h.get(1), Some(Indirect(vec![4, 5, 6, 7])));
+            assert!(h.remove(1));
+            drop(h);
+            flock_epoch::flush_all();
+        });
+    }
+
+    #[test]
+    fn custom_hasher_seam() {
+        testutil::exclusive(|| {
+            // A pathological single-bucket hasher still yields a correct
+            // (if slow) table: everything collides into one chain.
+            #[derive(Clone, Default)]
+            struct OneBucket;
+            impl std::hash::BuildHasher for OneBucket {
+                type Hasher = Constant;
+                fn build_hasher(&self) -> Constant {
+                    Constant
+                }
+            }
+            struct Constant;
+            impl std::hash::Hasher for Constant {
+                fn write(&mut self, _bytes: &[u8]) {}
+                fn finish(&self) -> u64 {
+                    0
+                }
+            }
+            let h: HashTable<u64, u64, OneBucket> =
+                HashTable::with_capacity_and_hasher(64, OneBucket);
+            for k in 0..32 {
+                assert!(h.insert(k, k + 1));
+            }
+            for k in 0..32 {
+                assert_eq!(h.get(k), Some(k + 1));
+            }
+            assert_eq!(h.len(), 32);
+        });
+    }
+
+    #[test]
     fn oracle() {
         testutil::both_modes(|| {
-            let h = HashTable::with_capacity(32);
+            let h: HashTable<u64, u64> = HashTable::with_capacity(32);
             testutil::oracle_check(&h, 3_000, 128, 99);
         });
     }
@@ -276,7 +460,7 @@ mod tests {
     #[test]
     fn concurrent_partitioned() {
         testutil::both_modes(|| {
-            let h = HashTable::with_capacity(512);
+            let h: HashTable<u64, u64> = HashTable::with_capacity(512);
             testutil::partition_stress(&h, 4, 1_500);
         });
     }

@@ -1,4 +1,5 @@
-//! Sorted singly-linked *lazy list* with optimistic try-locks.
+//! Sorted singly-linked *lazy list* with optimistic try-locks, generic over
+//! `(K, V)`.
 //!
 //! The classic lazy-list design (Heller et al., OPODIS 2006), written with
 //! Flock locks as in the paper's `lazylist` (§7): traversal takes no locks;
@@ -7,25 +8,26 @@
 //! delete). `get` is wait-free: it walks the list and checks the `removed`
 //! flag of the matching node.
 
-use flock_api::Map;
+use flock_api::{Key, Map, Value};
 use flock_core::{Lock, Mutable, Sp, UpdateOnce};
-use flock_sync::Backoff;
+use flock_sync::{ApproxLen, Backoff};
 
 const KIND_NORMAL: u8 = 0;
 const KIND_HEAD: u8 = 1;
 const KIND_TAIL: u8 = 2;
 
-struct Node {
-    next: Mutable<*mut Node>,
+struct Node<K: Key, V: Value> {
+    next: Mutable<*mut Node<K, V>>,
     removed: UpdateOnce<bool>,
-    key: u64,
-    value: u64,
+    /// `None` only on the head/tail sentinels.
+    key: Option<K>,
+    value: Option<V>,
     lock: Lock,
     kind: u8,
 }
 
-impl Node {
-    fn new(key: u64, value: u64, next: *mut Node, kind: u8) -> Self {
+impl<K: Key, V: Value> Node<K, V> {
+    fn new(key: Option<K>, value: Option<V>, next: *mut Node<K, V>, kind: u8) -> Self {
         Self {
             next: Mutable::new(next),
             removed: UpdateOnce::new(false),
@@ -37,42 +39,53 @@ impl Node {
     }
 
     #[inline]
-    fn at_or_after(&self, k: u64) -> bool {
+    fn at_or_after(&self, k: &K) -> bool {
         match self.kind {
             KIND_TAIL => true,
             KIND_HEAD => false,
-            _ => self.key >= k,
+            _ => self.key.as_ref().is_some_and(|x| x >= k),
         }
+    }
+
+    #[inline]
+    fn holds(&self, k: &K) -> bool {
+        self.kind == KIND_NORMAL && self.key.as_ref() == Some(k)
     }
 }
 
 /// Sorted singly-linked lazy list map.
-pub struct LazyList {
-    head: *mut Node,
-    tail: *mut Node,
+pub struct LazyList<K: Key, V: Value> {
+    head: *mut Node<K, V>,
+    tail: *mut Node<K, V>,
+    /// Maintained element count backing `len_approx`.
+    count: ApproxLen,
 }
 
 // SAFETY: mutation via Flock locks + epoch reclamation; head/tail immutable.
-unsafe impl Send for LazyList {}
-unsafe impl Sync for LazyList {}
+unsafe impl<K: Key, V: Value> Send for LazyList<K, V> {}
+unsafe impl<K: Key, V: Value> Sync for LazyList<K, V> {}
 
-impl Default for LazyList {
+impl<K: Key, V: Value> Default for LazyList<K, V> {
     fn default() -> Self {
         Self::new()
     }
 }
 
-impl LazyList {
+impl<K: Key, V: Value> LazyList<K, V> {
     /// An empty list.
     pub fn new() -> Self {
-        let tail = flock_epoch::alloc(Node::new(0, 0, std::ptr::null_mut(), KIND_TAIL));
-        let head = flock_epoch::alloc(Node::new(0, 0, tail, KIND_HEAD));
-        Self { head, tail }
+        let tail = flock_epoch::alloc(Node::new(None, None, std::ptr::null_mut(), KIND_TAIL));
+        let head = flock_epoch::alloc(Node::new(None, None, tail, KIND_HEAD));
+        Self {
+            head,
+            tail,
+            count: ApproxLen::new(),
+        }
     }
 
     /// Unlocked traversal: returns `(pred, curr)` with
     /// `pred.key < k <= curr.key` (sentinels at the ends).
-    fn search(&self, k: u64) -> (*mut Node, *mut Node) {
+    fn search(&self, k: &K) -> (*mut Node<K, V>, *mut Node<K, V>) {
         let mut pred = self.head;
         // SAFETY: epoch-pinned caller; nodes reclaimed via collector.
         let mut curr = unsafe { (*pred).next.load() };
@@ -84,17 +97,18 @@ impl LazyList {
     }
 
     /// Insert; `false` if present.
-    pub fn insert(&self, k: u64, v: u64) -> bool {
+    pub fn insert(&self, k: K, v: V) -> bool {
         let _g = flock_epoch::pin();
         let mut backoff = Backoff::new();
         loop {
-            let (pred, curr) = self.search(k);
+            let (pred, curr) = self.search(&k);
             // SAFETY: epoch-pinned.
             let curr_ref = unsafe { &*curr };
-            if curr_ref.kind == KIND_NORMAL && curr_ref.key == k && !curr_ref.removed.load() {
+            if curr_ref.holds(&k) && !curr_ref.removed.load() {
                 return false;
             }
             let (sp_pred, sp_curr) = (Sp(pred), Sp(curr));
+            let (k2, v2) = (k.clone(), v.clone());
             // SAFETY: epoch-pinned.
             match unsafe { &*pred }.lock.try_lock(move || {
                 // SAFETY: epoch protection via owner pin / helper adoption.
@@ -102,11 +116,21 @@ impl LazyList {
                 if p.removed.load() || p.next.load() != sp_curr.ptr() {
                     return false; // validate
                 }
-                let newn = flock_core::alloc(|| Node::new(k, v, sp_curr.ptr(), KIND_NORMAL));
+                let newn = flock_core::alloc(|| {
+                    Node::new(
+                        Some(k2.clone()),
+                        Some(v2.clone()),
+                        sp_curr.ptr(),
+                        KIND_NORMAL,
+                    )
+                });
                 p.next.store(newn);
                 true
             }) {
-                Some(true) => return true,
+                Some(true) => {
+                    self.count.inc();
+                    return true;
+                }
                 Some(false) => {}         // validation failed: re-search now
                 None => backoff.snooze(), // predecessor lock busy
             }
@@ -114,14 +138,14 @@ impl LazyList {
     }
 
     /// Remove; `false` if absent.
-    pub fn remove(&self, k: u64) -> bool {
+    pub fn remove(&self, k: K) -> bool {
         let _g = flock_epoch::pin();
         let mut backoff = Backoff::new();
         loop {
-            let (pred, curr) = self.search(k);
+            let (pred, curr) = self.search(&k);
             // SAFETY: epoch-pinned.
             let curr_ref = unsafe { &*curr };
-            if curr_ref.kind != KIND_NORMAL || curr_ref.key != k || curr_ref.removed.load() {
+            if !curr_ref.holds(&k) || curr_ref.removed.load() {
                 return false;
             }
             let (sp_pred, sp_curr) = (Sp(pred), Sp(curr));
@@ -143,7 +167,10 @@ impl LazyList {
                     true
                 })
             }) {
-                Some(Some(true)) => return true,
+                Some(Some(true)) => {
+                    self.count.dec();
+                    return true;
+                }
                 Some(Some(false)) => {} // validation failed: re-search now
                 _ => backoff.snooze(),  // predecessor or victim lock busy
             }
@@ -151,12 +178,16 @@ impl LazyList {
     }
 
     /// Wait-free lookup.
-    pub fn get(&self, k: u64) -> Option<u64> {
+    pub fn get(&self, k: K) -> Option<V> {
         let _g = flock_epoch::pin();
-        let (_, curr) = self.search(k);
+        let (_, curr) = self.search(&k);
         // SAFETY: epoch-pinned.
         let c = unsafe { &*curr };
-        (c.kind == KIND_NORMAL && c.key == k && !c.removed.load()).then_some(c.value)
+        if c.holds(&k) && !c.removed.load() {
+            c.value.clone()
+        } else {
+            None
+        }
     }
 
     /// Element count (O(n); tests/diagnostics).
@@ -178,14 +209,16 @@ impl LazyList {
     }
 
     /// Ordered snapshot — single-threaded use.
-    pub fn collect(&self) -> Vec<(u64, u64)> {
+    pub fn collect(&self) -> Vec<(K, V)> {
         let _g = flock_epoch::pin();
         let mut out = Vec::new();
         // SAFETY: epoch-pinned walk.
         let mut p = unsafe { (*self.head).next.load() };
         while unsafe { &*p }.kind == KIND_NORMAL {
             let n = unsafe { &*p };
-            out.push((n.key, n.value));
+            if let (Some(k), Some(v)) = (n.key.clone(), n.value.clone()) {
+                out.push((k, v));
+            }
             p = n.next.load();
         }
         out
@@ -196,13 +229,14 @@ impl LazyList {
         // SAFETY: quiescent per contract.
         unsafe {
             let mut p = (*self.head).next.load();
-            let mut last: Option<u64> = None;
+            let mut last: Option<K> = None;
             while (*p).kind == KIND_NORMAL {
                 assert!(!(*p).removed.load(), "removed node reachable");
-                if let Some(lk) = last {
-                    assert!(lk < (*p).key, "keys out of order");
+                let pk = (*p).key.clone().expect("normal node has a key");
+                if let Some(lk) = &last {
+                    assert!(lk < &pk, "keys out of order");
                 }
-                last = Some((*p).key);
+                last = Some(pk);
                 p = (*p).next.load();
             }
             assert_eq!(p, self.tail);
@@ -210,7 +244,7 @@ impl LazyList {
     }
 }
 
-impl Drop for LazyList {
+impl<K: Key, V: Value> Drop for LazyList<K, V> {
     fn drop(&mut self) {
         // SAFETY: exclusive access; retired nodes belong to the collector.
         unsafe {
@@ -228,21 +262,21 @@ impl Drop for LazyList {
     }
 }
 
-impl Map<u64, u64> for LazyList {
-    fn insert(&self, key: u64, value: u64) -> bool {
+impl<K: Key, V: Value> Map<K, V> for LazyList<K, V> {
+    fn insert(&self, key: K, value: V) -> bool {
         LazyList::insert(self, key, value)
     }
-    fn remove(&self, key: u64) -> bool {
+    fn remove(&self, key: K) -> bool {
         LazyList::remove(self, key)
     }
-    fn get(&self, key: u64) -> Option<u64> {
+    fn get(&self, key: K) -> Option<V> {
         LazyList::get(self, key)
     }
     fn name(&self) -> &'static str {
         "lazylist"
     }
     fn len_approx(&self) -> Option<usize> {
-        Some(self.len())
+        Some(self.count.get())
     }
 }
 
@@ -254,7 +288,7 @@ mod tests {
     #[test]
     fn basic_ops() {
         testutil::both_modes(|| {
-            let l = LazyList::new();
+            let l: LazyList<u64, u64> = LazyList::new();
             assert!(l.insert(5, 50));
             assert!(!l.insert(5, 51));
             assert!(l.insert(1, 10));
@@ -271,7 +305,7 @@ mod tests {
     #[test]
     fn reinsert_after_remove() {
         testutil::both_modes(|| {
-            let l = LazyList::new();
+            let l: LazyList<u64, u64> = LazyList::new();
             for round in 0..10u64 {
                 assert!(l.insert(42, round));
                 assert_eq!(l.get(42), Some(round));
@@ -285,7 +319,7 @@ mod tests {
     #[test]
     fn oracle() {
         testutil::both_modes(|| {
-            let l = LazyList::new();
+            let l: LazyList<u64, u64> = LazyList::new();
             testutil::oracle_check(&l, 3_000, 64, 7);
             l.check_invariants();
         });
@@ -294,7 +328,7 @@ mod tests {
     #[test]
     fn concurrent_partitioned() {
         testutil::both_modes(|| {
-            let l = LazyList::new();
+            let l: LazyList<u64, u64> = LazyList::new();
             testutil::partition_stress(&l, 4, 1_500);
             l.check_invariants();
         });

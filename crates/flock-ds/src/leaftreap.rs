@@ -1,15 +1,17 @@
 //! Leaf-oriented balanced BST (treap) with multi-entry leaves — the paper's
 //! `leaftreap` (§7): "a leaf-oriented balanced BST with an optimization that
 //! stores a batch of key-value pairs (up to 2 cachelines worth) in each leaf
-//! to minimize height".
+//! to minimize height". Generic over `(K, V)`.
 //!
 //! * **Leaves** hold up to [`LEAF_CAP`] sorted key-value pairs and are
 //!   immutable: every modification copies the leaf and swings the parent's
 //!   child pointer (one idempotent store) — so readers always see a
-//!   consistent batch.
+//!   consistent batch. Fat values ride inside the copied batch (the batch
+//!   is part of the epoch-reclaimed node).
 //! * **Internal (routing) nodes** carry a routing key and a *priority*
-//!   (a hash of the key). Max-heap order on priorities makes the tree a
-//!   treap: expected `O(log n)` height regardless of insertion order.
+//!   (a deterministic hash of the key). Max-heap order on priorities makes
+//!   the tree a treap: expected `O(log n)` height regardless of insertion
+//!   order.
 //! * **Rebalancing**: when a leaf split introduces a routing node whose
 //!   priority beats its parent's, a separate fix-up loop rotates it upward,
 //!   one rotation at a time, each under grandparent→parent→child locks
@@ -17,11 +19,13 @@
 //!   lock-freedom theorem needs is respected). Rotations are copy-on-write:
 //!   fresh nodes replace the rotated pair, old ones are retired.
 
-use flock_api::Map;
-use flock_core::{Lock, Mutable, Sp, UpdateOnce};
-use flock_sync::Backoff;
+use std::hash::BuildHasher;
 
-use crate::mix64;
+use flock_api::{Key, Map, Value};
+use flock_core::{Lock, Mutable, Sp, UpdateOnce};
+use flock_sync::{ApproxLen, Backoff};
+
+use crate::hashtable::FlockHashBuilder;
 
 /// Entries per leaf: 2 cachelines of 8-byte keys / 8-byte values.
 pub const LEAF_CAP: usize = 8;
@@ -29,66 +33,75 @@ pub const LEAF_CAP: usize = 8;
 const KIND_INTERNAL: u8 = 0;
 const KIND_LEAF: u8 = 1;
 
-struct Node {
-    left: Mutable<*mut Node>,
-    right: Mutable<*mut Node>,
+/// Deterministic treap priority for a routing key.
+fn prio_of<K: Key>(k: &K) -> u64 {
+    FlockHashBuilder.hash_one(k)
+}
+
+struct Node<K: Key, V: Value> {
+    left: Mutable<*mut Node<K, V>>,
+    right: Mutable<*mut Node<K, V>>,
     removed: UpdateOnce<bool>,
     lock: Lock,
-    /// Routing key (internal) — leaves route by their first key.
-    key: u64,
+    /// Routing key (internals; `None` on the root and on leaves — leaves
+    /// are located by search position, not key).
+    key: Option<K>,
     /// Treap priority (internal only).
     prio: u64,
     kind: u8,
     is_root: bool,
     /// Sorted batch (leaves only); immutable after construction.
-    len: usize,
-    keys: [u64; LEAF_CAP],
-    vals: [u64; LEAF_CAP],
+    entries: Vec<(K, V)>,
 }
 
-impl Node {
-    fn internal(key: u64, left: *mut Node, right: *mut Node) -> Self {
+impl<K: Key, V: Value> Node<K, V> {
+    fn internal(key: K, left: *mut Node<K, V>, right: *mut Node<K, V>) -> Self {
+        let prio = prio_of(&key);
         Self {
             left: Mutable::new(left),
             right: Mutable::new(right),
             removed: UpdateOnce::new(false),
             lock: Lock::new(),
-            key,
-            prio: mix64(key),
+            key: Some(key),
+            prio,
             kind: KIND_INTERNAL,
             is_root: false,
-            len: 0,
-            keys: [0; LEAF_CAP],
-            vals: [0; LEAF_CAP],
+            entries: Vec::new(),
         }
     }
 
-    fn leaf(entries: &[(u64, u64)]) -> Self {
-        debug_assert!(entries.len() <= LEAF_CAP);
-        let mut keys = [0; LEAF_CAP];
-        let mut vals = [0; LEAF_CAP];
-        for (i, (k, v)) in entries.iter().enumerate() {
-            keys[i] = *k;
-            vals[i] = *v;
+    fn root(left: *mut Node<K, V>) -> Self {
+        Self {
+            left: Mutable::new(left),
+            right: Mutable::new(std::ptr::null_mut()),
+            removed: UpdateOnce::new(false),
+            lock: Lock::new(),
+            key: None,
+            prio: u64::MAX, // the root never loses a priority comparison
+            kind: KIND_INTERNAL,
+            is_root: true,
+            entries: Vec::new(),
         }
+    }
+
+    fn leaf(entries: &[(K, V)]) -> Self {
+        debug_assert!(entries.len() <= LEAF_CAP);
         Self {
             left: Mutable::new(std::ptr::null_mut()),
             right: Mutable::new(std::ptr::null_mut()),
             removed: UpdateOnce::new(false),
             lock: Lock::new(),
-            key: 0,
+            key: None,
             prio: 0,
             kind: KIND_LEAF,
             is_root: false,
-            len: entries.len(),
-            keys,
-            vals,
+            entries: entries.to_vec(),
         }
     }
 
     #[inline]
-    fn child_for(&self, k: u64) -> &Mutable<*mut Node> {
-        if self.is_root || k < self.key {
+    fn child_for(&self, k: &K) -> &Mutable<*mut Node<K, V>> {
+        if self.is_root || self.key.as_ref().is_some_and(|x| k < x) {
             &self.left
         } else {
             &self.right
@@ -97,48 +110,42 @@ impl Node {
 
     /// Position of `k` in this leaf's batch, if present.
     #[inline]
-    fn find(&self, k: u64) -> Option<usize> {
-        self.keys[..self.len].iter().position(|&x| x == k)
-    }
-
-    /// The batch as a vector of pairs.
-    fn entries(&self) -> Vec<(u64, u64)> {
-        (0..self.len)
-            .map(|i| (self.keys[i], self.vals[i]))
-            .collect()
+    fn find(&self, k: &K) -> Option<usize> {
+        self.entries.iter().position(|(x, _)| x == k)
     }
 }
 
 /// Leaf-oriented treap map with batched leaves.
-pub struct LeafTreap {
-    root: *mut Node,
+pub struct LeafTreap<K: Key, V: Value> {
+    root: *mut Node<K, V>,
+    /// Maintained element count backing `len_approx`.
+    count: ApproxLen,
 }
 
 // SAFETY: mutation via Flock locks + epoch reclamation; root immutable.
-unsafe impl Send for LeafTreap {}
-unsafe impl Sync for LeafTreap {}
+unsafe impl<K: Key, V: Value> Send for LeafTreap<K, V> {}
+unsafe impl<K: Key, V: Value> Sync for LeafTreap<K, V> {}
 
-impl Default for LeafTreap {
+impl<K: Key, V: Value> Default for LeafTreap<K, V> {
     fn default() -> Self {
         Self::new()
     }
 }
 
-impl LeafTreap {
+impl<K: Key, V: Value> LeafTreap<K, V> {
     /// An empty treap.
     pub fn new() -> Self {
         let empty = flock_epoch::alloc(Node::leaf(&[]));
-        let mut root = Node::internal(0, empty, std::ptr::null_mut());
-        root.is_root = true;
-        root.prio = u64::MAX; // root never loses a priority comparison
         Self {
-            root: flock_epoch::alloc(root),
+            root: flock_epoch::alloc(Node::root(empty)),
+            count: ApproxLen::new(),
         }
     }
 
     /// Lock-free search: `(grandparent, parent, leaf)`; grandparent is null
     /// when the parent is the root.
-    fn search(&self, k: u64) -> (*mut Node, *mut Node, *mut Node) {
+    #[allow(clippy::type_complexity)]
+    fn search(&self, k: &K) -> (*mut Node<K, V>, *mut Node<K, V>, *mut Node<K, V>) {
         let mut g = std::ptr::null_mut();
         let mut p = self.root;
         // SAFETY: caller pinned; nodes epoch-reclaimed.
@@ -152,43 +159,46 @@ impl LeafTreap {
     }
 
     /// Insert; `false` if present.
-    pub fn insert(&self, k: u64, v: u64) -> bool {
+    pub fn insert(&self, k: K, v: V) -> bool {
         let _g = flock_epoch::pin();
         let mut backoff = Backoff::new();
         loop {
-            let (_, parent, leaf) = self.search(k);
+            let (_, parent, leaf) = self.search(&k);
             // SAFETY: epoch-pinned.
             let leaf_ref = unsafe { &*leaf };
-            if leaf_ref.find(k).is_some() {
+            if leaf_ref.find(&k).is_some() {
                 return false;
             }
             let (sp_p, sp_l) = (Sp(parent), Sp(leaf));
+            let (k2, v2) = (k.clone(), v.clone());
             // SAFETY: epoch-pinned.
             let outcome = unsafe { &*parent }.lock.try_lock(move || {
                 // SAFETY: thunk runners hold epoch protection.
                 let p = unsafe { sp_p.as_ref() };
                 let l = unsafe { sp_l.as_ref() };
-                let cell = p.child_for(k);
+                let cell = p.child_for(&k2);
                 if p.removed.load() || cell.load() != sp_l.ptr() {
                     return false; // validate
                 }
-                let mut entries = l.entries();
-                let pos = entries.partition_point(|&(ek, _)| ek < k);
-                entries.insert(pos, (k, v));
+                let mut entries = l.entries.clone();
+                let pos = entries.partition_point(|(ek, _)| ek < &k2);
+                entries.insert(pos, (k2.clone(), v2.clone()));
                 if entries.len() <= LEAF_CAP {
                     let newl = flock_core::alloc(move || Node::leaf(&entries));
                     cell.store(newl);
                 } else {
                     // Split into two half-leaves under a new routing node.
+                    // Three separate idempotent allocs: nesting the leaf
+                    // allocations inside the routing node's init closure
+                    // would leak both halves on every replayed run.
                     let mid = entries.len() / 2;
-                    let split_key = entries[mid].0;
+                    let split_key = entries[mid].0.clone();
                     let lo = entries[..mid].to_vec();
                     let hi = entries[mid..].to_vec();
-                    let newi = flock_core::alloc(move || {
-                        let left = flock_epoch::alloc(Node::leaf(&lo));
-                        let right = flock_epoch::alloc(Node::leaf(&hi));
-                        Node::internal(split_key, left, right)
-                    });
+                    let left = flock_core::alloc(|| Node::leaf(&lo));
+                    let right = flock_core::alloc(|| Node::leaf(&hi));
+                    let newi =
+                        flock_core::alloc(move || Node::internal(split_key.clone(), left, right));
                     cell.store(newi);
                 }
                 // SAFETY: old leaf unlinked above; idempotent retire.
@@ -200,7 +210,8 @@ impl LeafTreap {
                     // A split may have violated heap order; bubble the new
                     // routing node up. Balance repair is separate from the
                     // insert's linearization point.
-                    self.fix_priorities(k);
+                    self.fix_priorities(&k);
+                    self.count.inc();
                     return true;
                 }
                 Some(false) => {}         // validation failed: re-search now
@@ -211,7 +222,7 @@ impl LeafTreap {
 
     /// Restore the treap's max-heap priority order along `k`'s search path
     /// by rotating violating nodes upward, one COW rotation at a time.
-    fn fix_priorities(&self, k: u64) {
+    fn fix_priorities(&self, k: &K) {
         let mut backoff = Backoff::new();
         'outer: loop {
             // Find the first violation (child.prio > parent.prio) on the
@@ -247,7 +258,12 @@ impl LeafTreap {
     /// One COW rotation lifting `c` above `p` under `g` (all validated under
     /// g → p → c locks). `None` = a lock on the path was busy;
     /// `Some(rotated)` otherwise.
-    fn rotate_up(&self, g: *mut Node, p: *mut Node, c: *mut Node) -> Option<bool> {
+    fn rotate_up(
+        &self,
+        g: *mut Node<K, V>,
+        p: *mut Node<K, V>,
+        c: *mut Node<K, V>,
+    ) -> Option<bool> {
         let (sp_g, sp_p, sp_c) = (Sp(g), Sp(p), Sp(c));
         // SAFETY: pinned by fix_priorities' caller.
         let outcome = unsafe { &*g }.lock.try_lock(move || {
@@ -281,24 +297,33 @@ impl LeafTreap {
                     if c.prio <= p.prio {
                         return false; // already fixed by someone else
                     }
-                    let (pk, ck) = (p.key, c.key);
+                    let pk = p.key.clone().expect("non-root internal has a key");
+                    let ck = c.key.clone().expect("non-root internal has a key");
                     let (cl, cr) = (c.left.load(), c.right.load());
                     let p_other = if c_is_left {
                         p.right.load()
                     } else {
                         p.left.load()
                     };
+                    // Two separate idempotent allocs (see insert's split):
+                    // a nested plain alloc would leak `new_p` per replay.
+                    let pk2 = pk.clone();
+                    let new_p = flock_core::alloc(move || {
+                        if c_is_left {
+                            // Right rotation: p' = (pk, c.right, p.right).
+                            Node::internal(pk2.clone(), cr, p_other)
+                        } else {
+                            // Left rotation: p' = (pk, p.left, c.left).
+                            Node::internal(pk2.clone(), p_other, cl)
+                        }
+                    });
                     let new_top = flock_core::alloc(move || {
                         if c_is_left {
-                            // Right rotation: c' = (ck, c.left, p'),
-                            // p' = (pk, c.right, p.right).
-                            let new_p = flock_epoch::alloc(Node::internal(pk, cr, p_other));
-                            Node::internal(ck, cl, new_p)
+                            // c' = (ck, c.left, p').
+                            Node::internal(ck.clone(), cl, new_p)
                         } else {
-                            // Left rotation: c' = (ck, p', c.right),
-                            // p' = (pk, p.left, c.left).
-                            let new_p = flock_epoch::alloc(Node::internal(pk, p_other, cl));
-                            Node::internal(ck, new_p, cr)
+                            // c' = (ck, p', c.right).
+                            Node::internal(ck.clone(), new_p, cr)
                         }
                     });
                     p.removed.store(true);
@@ -321,20 +346,21 @@ impl LeafTreap {
     }
 
     /// Remove; `false` if absent.
-    pub fn remove(&self, k: u64) -> bool {
+    pub fn remove(&self, k: K) -> bool {
         let _g = flock_epoch::pin();
         let mut backoff = Backoff::new();
         loop {
-            let (gparent, parent, leaf) = self.search(k);
+            let (gparent, parent, leaf) = self.search(&k);
             // SAFETY: epoch-pinned.
             let leaf_ref = unsafe { &*leaf };
-            if leaf_ref.find(k).is_none() {
+            if leaf_ref.find(&k).is_none() {
                 return false;
             }
-            let outcome = if leaf_ref.len > 1 || gparent.is_null() {
+            let outcome = if leaf_ref.entries.len() > 1 || gparent.is_null() {
                 // Shrink the batch (COW); also covers the directly-under-root
                 // case, where an empty leaf may remain.
                 let (sp_p, sp_l) = (Sp(parent), Sp(leaf));
+                let k2 = k.clone();
                 // SAFETY: epoch-pinned.
                 unsafe { &*parent }
                     .lock
@@ -342,12 +368,12 @@ impl LeafTreap {
                         // SAFETY: thunk runners hold epoch protection.
                         let p = unsafe { sp_p.as_ref() };
                         let l = unsafe { sp_l.as_ref() };
-                        let cell = p.child_for(k);
+                        let cell = p.child_for(&k2);
                         if p.removed.load() || cell.load() != sp_l.ptr() {
                             return false;
                         }
-                        let Some(pos) = l.find(k) else { return false };
-                        let mut entries = l.entries();
+                        let Some(pos) = l.find(&k2) else { return false };
+                        let mut entries = l.entries.clone();
                         entries.remove(pos);
                         let newl = flock_core::alloc(move || Node::leaf(&entries));
                         cell.store(newl);
@@ -359,10 +385,12 @@ impl LeafTreap {
             } else {
                 // Last entry of a non-root leaf: splice leaf + parent out.
                 let (sp_g, sp_p, sp_l) = (Sp(gparent), Sp(parent), Sp(leaf));
+                let k2 = k.clone();
                 // SAFETY: epoch-pinned.
                 unsafe { &*gparent }.lock.try_lock(move || {
                     // SAFETY: thunk runners hold epoch protection.
                     let p = unsafe { sp_p.as_ref() };
+                    let k3 = k2.clone();
                     p.lock.try_lock(move || {
                         // SAFETY: as above.
                         let g = unsafe { sp_g.as_ref() };
@@ -371,7 +399,7 @@ impl LeafTreap {
                         if g.removed.load() || p.removed.load() {
                             return false;
                         }
-                        if l.find(k).is_none() {
+                        if l.find(&k3).is_none() {
                             return false;
                         }
                         let gcell = if g.left.load() == sp_p.ptr() {
@@ -400,7 +428,10 @@ impl LeafTreap {
                 })
             };
             match outcome {
-                Some(Some(true)) => return true,
+                Some(Some(true)) => {
+                    self.count.dec();
+                    return true;
+                }
                 Some(Some(false)) => {} // validation failed: re-search now
                 _ => backoff.snooze(),  // a lock on the path was busy
             }
@@ -408,19 +439,19 @@ impl LeafTreap {
     }
 
     /// Wait-free lookup.
-    pub fn get(&self, k: u64) -> Option<u64> {
+    pub fn get(&self, k: K) -> Option<V> {
         let _g = flock_epoch::pin();
-        let (_, _, leaf) = self.search(k);
+        let (_, _, leaf) = self.search(&k);
         // SAFETY: epoch-pinned.
         let l = unsafe { &*leaf };
-        l.find(k).map(|i| l.vals[i])
+        l.find(&k).map(|i| l.entries[i].1.clone())
     }
 
     /// Element count (O(n) walk; tests/diagnostics).
     pub fn len(&self) -> usize {
         let _g = flock_epoch::pin();
         // SAFETY: pinned walk.
-        unsafe { Self::count((*self.root).left.load()) }
+        unsafe { Self::count_entries((*self.root).left.load()) }
     }
 
     /// Is the treap empty?
@@ -428,18 +459,20 @@ impl LeafTreap {
         self.len() == 0
     }
 
-    unsafe fn count(n: *mut Node) -> usize {
+    unsafe fn count_entries(n: *mut Node<K, V>) -> usize {
         // SAFETY: pinned per caller.
         let node = unsafe { &*n };
         if node.kind == KIND_LEAF {
-            node.len
+            node.entries.len()
         } else {
-            unsafe { Self::count(node.left.load()) + Self::count(node.right.load()) }
+            unsafe {
+                Self::count_entries(node.left.load()) + Self::count_entries(node.right.load())
+            }
         }
     }
 
     /// Ordered snapshot — single-threaded use.
-    pub fn collect(&self) -> Vec<(u64, u64)> {
+    pub fn collect(&self) -> Vec<(K, V)> {
         let _g = flock_epoch::pin();
         let mut out = Vec::new();
         // SAFETY: pinned walk.
@@ -447,11 +480,11 @@ impl LeafTreap {
         out
     }
 
-    unsafe fn walk(n: *mut Node, out: &mut Vec<(u64, u64)>) {
+    unsafe fn walk(n: *mut Node<K, V>, out: &mut Vec<(K, V)>) {
         // SAFETY: pinned per caller.
         let node = unsafe { &*n };
         if node.kind == KIND_LEAF {
-            out.extend(node.entries());
+            out.extend(node.entries.iter().cloned());
         } else {
             unsafe {
                 Self::walk(node.left.load(), out);
@@ -469,11 +502,11 @@ impl LeafTreap {
         }
     }
 
-    unsafe fn check(n: *mut Node, lo: Option<u64>, hi: Option<u64>, max_prio: u64) {
+    unsafe fn check(n: *mut Node<K, V>, lo: Option<&K>, hi: Option<&K>, max_prio: u64) {
         // SAFETY: quiescent per caller.
         let node = unsafe { &*n };
         if node.kind == KIND_LEAF {
-            let e = node.entries();
+            let e = &node.entries;
             assert!(e.windows(2).all(|w| w[0].0 < w[1].0), "unsorted leaf batch");
             for (k, _) in e {
                 if let Some(lo) = lo {
@@ -486,24 +519,25 @@ impl LeafTreap {
         } else {
             assert!(!node.removed.load(), "removed routing node reachable");
             assert!(node.prio <= max_prio, "treap heap order violated");
+            let k = node.key.as_ref().expect("non-root internal has a key");
             if let Some(lo) = lo {
-                assert!(node.key >= lo);
+                assert!(k >= lo);
             }
             if let Some(hi) = hi {
-                assert!(node.key <= hi);
+                assert!(k <= hi);
             }
             unsafe {
-                Self::check(node.left.load(), lo, Some(node.key), node.prio);
-                Self::check(node.right.load(), Some(node.key), hi, node.prio);
+                Self::check(node.left.load(), lo, Some(k), node.prio);
+                Self::check(node.right.load(), Some(k), hi, node.prio);
             }
         }
     }
 }
 
-impl Drop for LeafTreap {
+impl<K: Key, V: Value> Drop for LeafTreap<K, V> {
     fn drop(&mut self) {
         // SAFETY: exclusive access; retired nodes belong to the collector.
-        unsafe fn free(n: *mut Node) {
+        unsafe fn free<K: Key, V: Value>(n: *mut Node<K, V>) {
             if n.is_null() {
                 return;
             }
@@ -524,21 +558,21 @@ impl Drop for LeafTreap {
     }
 }
 
-impl Map<u64, u64> for LeafTreap {
-    fn insert(&self, key: u64, value: u64) -> bool {
+impl<K: Key, V: Value> Map<K, V> for LeafTreap<K, V> {
+    fn insert(&self, key: K, value: V) -> bool {
         LeafTreap::insert(self, key, value)
     }
-    fn remove(&self, key: u64) -> bool {
+    fn remove(&self, key: K) -> bool {
         LeafTreap::remove(self, key)
     }
-    fn get(&self, key: u64) -> Option<u64> {
+    fn get(&self, key: K) -> Option<V> {
         LeafTreap::get(self, key)
     }
     fn name(&self) -> &'static str {
         "leaftreap"
     }
     fn len_approx(&self) -> Option<usize> {
-        Some(self.len())
+        Some(self.count.get())
     }
 }
 
@@ -550,7 +584,7 @@ mod tests {
     #[test]
     fn basic_ops() {
         testutil::both_modes(|| {
-            let t = LeafTreap::new();
+            let t: LeafTreap<u64, u64> = LeafTreap::new();
             assert!(t.insert(5, 50));
             assert!(!t.insert(5, 51));
             assert!(t.insert(3, 30));
@@ -566,7 +600,7 @@ mod tests {
     #[test]
     fn splits_and_heap_order() {
         testutil::both_modes(|| {
-            let t = LeafTreap::new();
+            let t: LeafTreap<u64, u64> = LeafTreap::new();
             // Sequential keys are the adversarial case for an unbalanced
             // tree; the treap must stay heap-ordered and balanced.
             for k in 0..512 {
@@ -586,11 +620,11 @@ mod tests {
     }
 
     fn expected_logarithmic_depth_body() {
-        let t = LeafTreap::new();
+        let t: LeafTreap<u64, u64> = LeafTreap::new();
         for k in 0..4096 {
             t.insert(k, k);
         }
-        unsafe fn depth(n: *mut Node) -> usize {
+        unsafe fn depth(n: *mut Node<u64, u64>) -> usize {
             // SAFETY: quiescent per caller.
             let node = unsafe { &*n };
             if node.kind == KIND_LEAF {
@@ -610,7 +644,7 @@ mod tests {
     #[test]
     fn drain_and_refill() {
         testutil::both_modes(|| {
-            let t = LeafTreap::new();
+            let t: LeafTreap<u64, u64> = LeafTreap::new();
             for k in 0..256 {
                 assert!(t.insert(k, k));
             }
@@ -629,7 +663,7 @@ mod tests {
     #[test]
     fn oracle() {
         testutil::both_modes(|| {
-            let t = LeafTreap::new();
+            let t: LeafTreap<u64, u64> = LeafTreap::new();
             testutil::oracle_check(&t, 4_000, 256, 11);
             t.check_invariants();
         });
@@ -638,7 +672,7 @@ mod tests {
     #[test]
     fn concurrent_partitioned() {
         testutil::both_modes(|| {
-            let t = LeafTreap::new();
+            let t: LeafTreap<u64, u64> = LeafTreap::new();
             testutil::partition_stress(&t, 4, 1_500);
             t.check_invariants();
         });

@@ -1,6 +1,6 @@
 //! Leaf-oriented (external) unbalanced binary search tree with optimistic
 //! fine-grained locking — the paper's `leaftree` (§7) and the subject of its
-//! Figure 4 try-lock vs strict-lock comparison.
+//! Figure 4 try-lock vs strict-lock comparison. Generic over `(K, V)`.
 //!
 //! All keys live in leaves; internal nodes carry routing keys (left subtree
 //! `< key`, right subtree `>= key`). Searches are lock-free. An insert locks
@@ -14,86 +14,116 @@
 //! uses try-locks (restart on busy), [`LeafTree::new_strict`] uses strict
 //! locks (wait for the holder — helping it first in lock-free mode).
 
-use flock_api::Map;
+use flock_api::{Key, Map, Value};
 use flock_core::{Lock, Mutable, Sp, UpdateOnce};
-use flock_sync::Backoff;
+use flock_sync::{ApproxLen, Backoff};
 
 const KIND_INTERNAL: u8 = 0;
 const KIND_LEAF: u8 = 1;
 /// Placeholder leaf for an empty tree (no key).
 const KIND_EMPTY: u8 = 2;
 
-struct Node {
+struct Node<K: Key, V: Value> {
     // Internal-node fields (unused in leaves).
-    left: Mutable<*mut Node>,
-    right: Mutable<*mut Node>,
+    left: Mutable<*mut Node<K, V>>,
+    right: Mutable<*mut Node<K, V>>,
     removed: UpdateOnce<bool>,
     lock: Lock,
-    /// Routing key for internals; element key for leaves.
-    key: u64,
+    /// Routing key for internals; element key for leaves. `None` only on
+    /// the root (which routes everything left) and the empty placeholder.
+    key: Option<K>,
     /// Element value (leaves only).
-    value: u64,
+    value: Option<V>,
     kind: u8,
     /// The root internal node routes everything left (acts as +inf).
     is_root: bool,
 }
 
-impl Node {
-    fn internal(key: u64, left: *mut Node, right: *mut Node) -> Self {
+impl<K: Key, V: Value> Node<K, V> {
+    fn internal(key: K, left: *mut Node<K, V>, right: *mut Node<K, V>) -> Self {
         Self {
             left: Mutable::new(left),
             right: Mutable::new(right),
             removed: UpdateOnce::new(false),
             lock: Lock::new(),
-            key,
-            value: 0,
+            key: Some(key),
+            value: None,
             kind: KIND_INTERNAL,
             is_root: false,
         }
     }
 
-    fn leaf(key: u64, value: u64) -> Self {
+    /// The root pseudo-internal: no key, routes everything left.
+    fn root(left: *mut Node<K, V>) -> Self {
+        Self {
+            left: Mutable::new(left),
+            right: Mutable::new(std::ptr::null_mut()),
+            removed: UpdateOnce::new(false),
+            lock: Lock::new(),
+            key: None,
+            value: None,
+            kind: KIND_INTERNAL,
+            is_root: true,
+        }
+    }
+
+    fn leaf(key: K, value: V) -> Self {
         Self {
             left: Mutable::new(std::ptr::null_mut()),
             right: Mutable::new(std::ptr::null_mut()),
             removed: UpdateOnce::new(false),
             lock: Lock::new(),
-            key,
-            value,
+            key: Some(key),
+            value: Some(value),
             kind: KIND_LEAF,
             is_root: false,
         }
     }
 
     fn empty_leaf() -> Self {
-        let mut n = Self::leaf(0, 0);
-        n.kind = KIND_EMPTY;
-        n
+        Self {
+            left: Mutable::new(std::ptr::null_mut()),
+            right: Mutable::new(std::ptr::null_mut()),
+            removed: UpdateOnce::new(false),
+            lock: Lock::new(),
+            key: None,
+            value: None,
+            kind: KIND_EMPTY,
+            is_root: false,
+        }
     }
 
     /// Which child does `k` route to?
     #[inline]
-    fn child_for(&self, k: u64) -> &Mutable<*mut Node> {
-        if self.is_root || k < self.key {
+    fn child_for(&self, k: &K) -> &Mutable<*mut Node<K, V>> {
+        if self.is_root || self.key.as_ref().is_some_and(|x| k < x) {
             &self.left
         } else {
             &self.right
         }
     }
+
+    /// Is this a real leaf holding exactly `k`?
+    #[inline]
+    fn holds(&self, k: &K) -> bool {
+        self.kind == KIND_LEAF && self.key.as_ref() == Some(k)
+    }
 }
 
 /// Leaf-oriented unbalanced BST map.
-pub struct LeafTree {
-    root: *mut Node,
+pub struct LeafTree<K: Key, V: Value> {
+    root: *mut Node<K, V>,
     strict: bool,
     label: &'static str,
+    /// Maintained element count backing `len_approx`.
+    count: ApproxLen,
 }
 
 // SAFETY: mutation via Flock locks + epoch reclamation; root immutable.
-unsafe impl Send for LeafTree {}
-unsafe impl Sync for LeafTree {}
+unsafe impl<K: Key, V: Value> Send for LeafTree<K, V> {}
+unsafe impl<K: Key, V: Value> Sync for LeafTree<K, V> {}
 
-impl Default for LeafTree {
+impl<K: Key, V: Value> Default for LeafTree<K, V> {
     fn default() -> Self {
         Self::new()
     }
@@ -116,7 +146,7 @@ where
     }
 }
 
-impl LeafTree {
+impl<K: Key, V: Value> LeafTree<K, V> {
     /// An empty tree using try-locks (the paper's preferred discipline).
     pub fn new() -> Self {
         Self::build(false, "leaftree")
@@ -129,18 +159,18 @@ impl LeafTree {
 
     fn build(strict: bool, label: &'static str) -> Self {
         let empty = flock_epoch::alloc(Node::empty_leaf());
-        let mut root = Node::internal(0, empty, std::ptr::null_mut());
-        root.is_root = true;
         Self {
-            root: flock_epoch::alloc(root),
+            root: flock_epoch::alloc(Node::root(empty)),
             strict,
             label,
+            count: ApproxLen::new(),
         }
     }
 
     /// Lock-free search: returns `(grandparent, parent, leaf)` for `k`.
     /// `grandparent` is null when `parent` is the root.
-    fn search(&self, k: u64) -> (*mut Node, *mut Node, *mut Node) {
+    #[allow(clippy::type_complexity)]
+    fn search(&self, k: &K) -> (*mut Node<K, V>, *mut Node<K, V>, *mut Node<K, V>) {
         let mut gparent = std::ptr::null_mut();
         let mut parent = self.root;
         // SAFETY: caller pinned; nodes epoch-reclaimed.
@@ -154,49 +184,58 @@ impl LeafTree {
     }
 
     /// Insert; `false` if present.
-    pub fn insert(&self, k: u64, v: u64) -> bool {
+    pub fn insert(&self, k: K, v: V) -> bool {
         let _g = flock_epoch::pin();
         let mut backoff = Backoff::new();
         loop {
-            let (_, parent, leaf) = self.search(k);
+            let (_, parent, leaf) = self.search(&k);
             // SAFETY: epoch-pinned.
             let leaf_ref = unsafe { &*leaf };
-            if leaf_ref.kind == KIND_LEAF && leaf_ref.key == k {
+            if leaf_ref.holds(&k) {
                 return false;
             }
             let (sp_parent, sp_leaf) = (Sp(parent), Sp(leaf));
+            let (k2, v2) = (k.clone(), v.clone());
             // SAFETY: epoch-pinned.
             let outcome = acquire(&unsafe { &*parent }.lock, self.strict, move || {
                 // SAFETY: thunk runners hold epoch protection.
                 let p = unsafe { sp_parent.as_ref() };
                 let l = unsafe { sp_leaf.as_ref() };
-                let cell = p.child_for(k);
+                let cell = p.child_for(&k2);
                 if p.removed.load() || cell.load() != sp_leaf.ptr() {
                     return false; // validate
                 }
                 if l.kind == KIND_EMPTY {
                     // Empty slot: replace placeholder with the new leaf.
-                    let newl = flock_core::alloc(|| Node::leaf(k, v));
+                    let newl = flock_core::alloc(|| Node::leaf(k2.clone(), v2.clone()));
                     cell.store(newl);
                     // SAFETY: placeholder unlinked above; retired once.
                     unsafe { flock_core::retire(sp_leaf.ptr()) };
                     return true;
                 }
                 // Split: new internal with the old leaf and the new leaf.
-                let lk = l.key;
+                // Both allocations are their own idempotent allocs: a
+                // nested plain `flock_epoch::alloc` inside the internal
+                // node's init closure would leak one leaf per replayed run
+                // (the loser's outer node is freed, but a plain nested
+                // allocation inside it is not).
+                let lk = l.key.clone().expect("real leaf has a key");
+                let new_leaf = flock_core::alloc(|| Node::leaf(k2.clone(), v2.clone()));
                 let newn = flock_core::alloc(|| {
-                    let new_leaf = flock_epoch::alloc(Node::leaf(k, v));
-                    if k < lk {
-                        Node::internal(lk, new_leaf, sp_leaf.ptr())
+                    if k2 < lk {
+                        Node::internal(lk.clone(), new_leaf, sp_leaf.ptr())
                     } else {
-                        Node::internal(k, sp_leaf.ptr(), new_leaf)
+                        Node::internal(k2.clone(), sp_leaf.ptr(), new_leaf)
                     }
                 });
                 cell.store(newn);
                 true
             });
             match outcome {
-                Some(true) => return true,
+                Some(true) => {
+                    self.count.inc();
+                    return true;
+                }
                 Some(false) => {}         // validation failed: re-search now
                 None => backoff.snooze(), // parent lock busy (try-lock mode)
             }
@@ -204,24 +243,25 @@ impl LeafTree {
     }
 
     /// Remove; `false` if absent.
-    pub fn remove(&self, k: u64) -> bool {
+    pub fn remove(&self, k: K) -> bool {
         let _g = flock_epoch::pin();
         let mut backoff = Backoff::new();
         loop {
-            let (gparent, parent, leaf) = self.search(k);
+            let (gparent, parent, leaf) = self.search(&k);
             // SAFETY: epoch-pinned.
             let leaf_ref = unsafe { &*leaf };
-            if leaf_ref.kind != KIND_LEAF || leaf_ref.key != k {
+            if !leaf_ref.holds(&k) {
                 return false;
             }
             let outcome = if gparent.is_null() {
                 // Leaf hangs directly off the root: swap in a placeholder.
                 let (sp_parent, sp_leaf) = (Sp(parent), Sp(leaf));
+                let k2 = k.clone();
                 // SAFETY: epoch-pinned; parent == root.
                 acquire(&unsafe { &*parent }.lock, self.strict, move || {
                     // SAFETY: thunk runners hold epoch protection.
                     let p = unsafe { sp_parent.as_ref() };
-                    let cell = p.child_for(k);
+                    let cell = p.child_for(&k2);
                     if cell.load() != sp_leaf.ptr() {
                         return false;
                     }
@@ -256,14 +296,13 @@ impl LeafTree {
                         } else {
                             return false;
                         };
-                        let (pcell, sibling) = if p.left.load() == sp_l.ptr() {
-                            (&p.left, p.right.load())
+                        let sibling = if p.left.load() == sp_l.ptr() {
+                            p.right.load()
                         } else if p.right.load() == sp_l.ptr() {
-                            (&p.right, p.left.load())
+                            p.left.load()
                         } else {
                             return false;
                         };
-                        let _ = pcell;
                         p.removed.store(true);
                         gcell.store(sibling); // splice parent + leaf out
                         // SAFETY: both unlinked above; idempotent retires.
@@ -276,7 +315,10 @@ impl LeafTree {
                 })
             };
             match outcome {
-                Some(Some(true)) => return true,
+                Some(Some(true)) => {
+                    self.count.dec();
+                    return true;
+                }
                 Some(Some(false)) => {} // validation failed: re-search now
                 _ => backoff.snooze(),  // an ancestor lock was busy
             }
@@ -284,19 +326,19 @@ impl LeafTree {
     }
 
     /// Wait-free lookup.
-    pub fn get(&self, k: u64) -> Option<u64> {
+    pub fn get(&self, k: K) -> Option<V> {
         let _g = flock_epoch::pin();
-        let (_, _, leaf) = self.search(k);
+        let (_, _, leaf) = self.search(&k);
         // SAFETY: epoch-pinned.
         let l = unsafe { &*leaf };
-        (l.kind == KIND_LEAF && l.key == k).then_some(l.value)
+        if l.holds(&k) { l.value.clone() } else { None }
     }
 
     /// Element count (O(n) walk; tests/diagnostics).
     pub fn len(&self) -> usize {
         let _g = flock_epoch::pin();
         // SAFETY: pinned; quiescent callers get exact counts.
-        unsafe { Self::count((*self.root).left.load()) }
+        unsafe { Self::count_nodes((*self.root).left.load()) }
     }
 
     /// Is the tree empty?
@@ -304,18 +346,20 @@ impl LeafTree {
         self.len() == 0
     }
 
-    unsafe fn count(n: *mut Node) -> usize {
+    unsafe fn count_nodes(n: *mut Node<K, V>) -> usize {
         // SAFETY: pinned walk per caller.
         let node = unsafe { &*n };
         match node.kind {
             KIND_LEAF => 1,
             KIND_EMPTY => 0,
-            _ => unsafe { Self::count(node.left.load()) + Self::count(node.right.load()) },
+            _ => unsafe {
+                Self::count_nodes(node.left.load()) + Self::count_nodes(node.right.load())
+            },
         }
     }
 
     /// Ordered snapshot — single-threaded use.
-    pub fn collect(&self) -> Vec<(u64, u64)> {
+    pub fn collect(&self) -> Vec<(K, V)> {
         let _g = flock_epoch::pin();
         let mut out = Vec::new();
         // SAFETY: pinned walk.
@@ -323,11 +367,15 @@ impl LeafTree {
         out
     }
 
-    unsafe fn walk(n: *mut Node, out: &mut Vec<(u64, u64)>) {
+    unsafe fn walk(n: *mut Node<K, V>, out: &mut Vec<(K, V)>) {
         // SAFETY: pinned walk per caller.
         let node = unsafe { &*n };
         match node.kind {
-            KIND_LEAF => out.push((node.key, node.value)),
+            KIND_LEAF => {
+                if let (Some(k), Some(v)) = (node.key.clone(), node.value.clone()) {
+                    out.push((k, v));
+                }
+            }
             KIND_EMPTY => {}
             _ => unsafe {
                 Self::walk(node.left.load(), out);
@@ -345,40 +393,42 @@ impl LeafTree {
         }
     }
 
-    unsafe fn check(n: *mut Node, lo: Option<u64>, hi: Option<u64>) {
+    unsafe fn check(n: *mut Node<K, V>, lo: Option<&K>, hi: Option<&K>) {
         // SAFETY: quiescent per caller.
         let node = unsafe { &*n };
         match node.kind {
             KIND_EMPTY => {}
             KIND_LEAF => {
+                let k = node.key.as_ref().expect("real leaf has a key");
                 if let Some(lo) = lo {
-                    assert!(node.key >= lo, "leaf key below routing bound");
+                    assert!(k >= lo, "leaf key below routing bound");
                 }
                 if let Some(hi) = hi {
-                    assert!(node.key < hi, "leaf key above routing bound");
+                    assert!(k < hi, "leaf key above routing bound");
                 }
             }
             _ => {
                 assert!(!node.removed.load(), "removed internal reachable");
+                let k = node.key.as_ref().expect("internal has a routing key");
                 if let Some(lo) = lo {
-                    assert!(node.key >= lo);
+                    assert!(k >= lo);
                 }
                 if let Some(hi) = hi {
-                    assert!(node.key <= hi);
+                    assert!(k <= hi);
                 }
                 unsafe {
-                    Self::check(node.left.load(), lo, Some(node.key));
-                    Self::check(node.right.load(), Some(node.key), hi);
+                    Self::check(node.left.load(), lo, Some(k));
+                    Self::check(node.right.load(), Some(k), hi);
                 }
             }
         }
     }
 }
 
-impl Drop for LeafTree {
+impl<K: Key, V: Value> Drop for LeafTree<K, V> {
     fn drop(&mut self) {
         // SAFETY: exclusive access; retired nodes belong to the collector.
-        unsafe fn free(n: *mut Node) {
+        unsafe fn free<K: Key, V: Value>(n: *mut Node<K, V>) {
             if n.is_null() {
                 return;
             }
@@ -400,21 +450,21 @@ impl Drop for LeafTree {
     }
 }
 
-impl Map<u64, u64> for LeafTree {
-    fn insert(&self, key: u64, value: u64) -> bool {
+impl<K: Key, V: Value> Map<K, V> for LeafTree<K, V> {
+    fn insert(&self, key: K, value: V) -> bool {
         LeafTree::insert(self, key, value)
     }
-    fn remove(&self, key: u64) -> bool {
+    fn remove(&self, key: K) -> bool {
         LeafTree::remove(self, key)
     }
-    fn get(&self, key: u64) -> Option<u64> {
+    fn get(&self, key: K) -> Option<V> {
         LeafTree::get(self, key)
     }
     fn name(&self) -> &'static str {
         self.label
     }
     fn len_approx(&self) -> Option<usize> {
-        Some(self.len())
+        Some(self.count.get())
     }
 }
 
@@ -426,7 +476,8 @@ mod tests {
     #[test]
     fn basic_ops() {
         testutil::both_modes(|| {
-            for t in [LeafTree::new(), LeafTree::new_strict()] {
+            let trees: [LeafTree<u64, u64>; 2] = [LeafTree::new(), LeafTree::new_strict()];
+            for t in trees {
                 assert!(t.is_empty());
                 assert!(t.insert(5, 50));
                 assert!(!t.insert(5, 51));
@@ -446,7 +497,7 @@ mod tests {
     #[test]
     fn remove_down_to_empty_and_refill() {
         testutil::both_modes(|| {
-            let t = LeafTree::new();
+            let t: LeafTree<u64, u64> = LeafTree::new();
             for k in 0..32 {
                 assert!(t.insert(k, k));
             }
@@ -465,7 +516,7 @@ mod tests {
     #[test]
     fn oracle() {
         testutil::both_modes(|| {
-            let t = LeafTree::new();
+            let t: LeafTree<u64, u64> = LeafTree::new();
             testutil::oracle_check(&t, 4_000, 256, 5);
             t.check_invariants();
         });
@@ -474,7 +525,7 @@ mod tests {
     #[test]
     fn oracle_strict() {
         testutil::both_modes(|| {
-            let t = LeafTree::new_strict();
+            let t: LeafTree<u64, u64> = LeafTree::new_strict();
             testutil::oracle_check(&t, 4_000, 256, 6);
             t.check_invariants();
         });
@@ -483,7 +534,7 @@ mod tests {
     #[test]
     fn concurrent_partitioned() {
         testutil::both_modes(|| {
-            let t = LeafTree::new();
+            let t: LeafTree<u64, u64> = LeafTree::new();
             testutil::partition_stress(&t, 4, 1_500);
             t.check_invariants();
         });
@@ -492,7 +543,7 @@ mod tests {
     #[test]
     fn concurrent_partitioned_strict() {
         testutil::both_modes(|| {
-            let t = LeafTree::new_strict();
+            let t: LeafTree<u64, u64> = LeafTree::new_strict();
             testutil::partition_stress(&t, 4, 1_000);
             t.check_invariants();
         });

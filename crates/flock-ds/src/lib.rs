@@ -16,9 +16,22 @@
 //! | [`abtree`] | (a,b)-tree | `abtree` |
 //! | [`arttree`] | adaptive radix tree | `arttree` |
 //!
-//! All implement [`flock_api::Map`] over `u64` keys and values, the shape
-//! the paper's evaluation uses (8-byte keys and values) — the same trait the
-//! baselines implement, so benchmarks and tests treat them uniformly.
+//! All implement [`flock_api::Map`] **generically over `(K, V)`**: keys are
+//! anything `Clone + Ord + Hash` (the radix tree additionally needs a
+//! [`arttree::RadixKey`] image; the hash table hashes through a pluggable
+//! [`hashtable::FlockHashBuilder`]-style seam), and values go through the
+//! `ValueRepr` layer — inline when they fit the 48-bit packed payload,
+//! heap-indirected via `flock_core::Indirect<T>` when they don't. The
+//! paper's evaluation shape `Map<u64, u64>` is just one instantiation; the
+//! conformance suite also pins `(u32, u16)` and `(u64, Indirect<[u64; 4]>)`
+//! for every structure.
+//!
+//! All seven maintain a striped element counter (`flock_sync::ApproxLen`)
+//! behind `Map::len_approx` — bumped *outside* the thunks (a helped thunk
+//! replays, so an in-thunk counter bump would double-count; exactly one
+//! caller observes success per applied operation). The hash table
+//! additionally overrides `Map::update` with a native in-place atomic
+//! update (`has_atomic_update() == true`).
 //!
 //! Update operations use `try_lock`'s typed result to separate their retry
 //! reasons: `None` (lock busy) backs off before retrying, `Some(false)`
@@ -34,10 +47,12 @@ pub mod lazylist;
 pub mod leaftreap;
 pub mod leaftree;
 
+pub use arttree::RadixKey;
 pub use flock_api::Map;
+pub use hashtable::FlockHashBuilder;
 
-/// Mix a key into a pseudo-random u64 (splitmix64 finalizer). Used for treap
-/// priorities and hash-table bucket selection.
+/// Mix a key into a pseudo-random u64 (splitmix64 finalizer). Used for the
+/// default hasher's finalizer and the workload's key sparsifier.
 #[inline]
 pub(crate) fn mix64(mut x: u64) -> u64 {
     x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);

@@ -1,0 +1,131 @@
+//! Epoch-managed indirection: the *fat value* strategy of the
+//! [`flock_sync::ValueRepr`] representation layer.
+//!
+//! A value wrapped in [`Indirect<T>`] is stored behind a pointer in the
+//! 48-bit payload of a packed word: `encode` boxes the value through this
+//! crate's [`alloc`](crate::alloc) choke point, `decode` clones a snapshot
+//! out of the live allocation, and the reclamation hooks route through the
+//! epoch collector. The grace period is what makes overwrite-in-place sound
+//! in the presence of the paper's helping protocol: a helper replaying a
+//! thunk re-reads the *committed* packed word from the log and decodes the
+//! allocation it points to — which therefore must survive until every
+//! thread that could replay (all epoch-pinned at or before the overwrite)
+//! has moved on. `retire_bits` provides exactly that; `dealloc_bits` is the
+//! immediate path for encodings that never escaped (losers of an
+//! idempotent-encode race, exclusive teardown).
+//!
+//! Decision rule (also in EXPERIMENTS.md §6): if your value type fits 48
+//! bits, use it directly (inline repr, zero cost — the historical fast
+//! path); otherwise wrap it in `Indirect<T>` and pay one allocation per
+//! stored value plus a clone per read.
+
+use flock_sync::{VAL_MASK, ValueRepr};
+
+/// Wrapper selecting the indirect (heap, epoch-reclaimed) value
+/// representation for `T`. See the module docs.
+///
+/// `Indirect<T>` is a transparent newtype: construct with `Indirect(v)`,
+/// read through `.0`. It derives the comparison/printing traits from `T`,
+/// so any `Clone + PartialEq + Debug + Send + Sync + 'static` payload — a
+/// 32-byte struct, a `String`, a `Vec` — can serve as a map value.
+#[derive(Clone, PartialEq, Eq, Debug, Default, Hash, PartialOrd, Ord)]
+#[repr(transparent)]
+pub struct Indirect<T>(pub T);
+
+impl<T> Indirect<T> {
+    /// Consume the wrapper, returning the payload.
+    pub fn into_inner(self) -> T {
+        self.0
+    }
+}
+
+impl<T> From<T> for Indirect<T> {
+    fn from(v: T) -> Self {
+        Indirect(v)
+    }
+}
+
+// SAFETY: `encode` boxes through `alloc` and returns the (≤48-bit,
+// debug-checked) address; `decode` clones from the allocation, which the
+// contract keeps alive (un-reclaimed + caller epoch-pinned); `retire_bits`
+// defers the drop past every possible reader via the collector and
+// `dealloc_bits` drops immediately, each consuming the single ownership of
+// the allocation — so every encoding is dropped exactly once.
+unsafe impl<T: Clone + PartialEq + Send + Sync + 'static> ValueRepr for Indirect<T> {
+    const INDIRECT: bool = true;
+
+    #[inline]
+    fn encode(v: Self) -> u64 {
+        let bits = crate::alloc(v.0) as u64;
+        debug_assert!(bits <= VAL_MASK, "allocation {bits:#x} exceeds 48 bits");
+        bits
+    }
+
+    #[inline]
+    unsafe fn decode(bits: u64) -> Self {
+        // SAFETY: `bits` is an `alloc::<T>` address per the trait contract,
+        // alive because the caller is pinned and the encoding un-reclaimed.
+        Indirect(unsafe { &*(bits as usize as *const T) }.clone())
+    }
+
+    #[inline]
+    unsafe fn retire_bits(bits: u64) {
+        // SAFETY: forwarded contract (unlinked, retired once, caller
+        // pinned).
+        unsafe { crate::retire(bits as usize as *mut T) };
+    }
+
+    #[inline]
+    unsafe fn dealloc_bits(bits: u64) {
+        // SAFETY: forwarded contract (never published / exclusively owned).
+        unsafe { crate::free_now(bits as usize as *mut T) };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering::Relaxed};
+
+    #[test]
+    fn encode_decode_roundtrip_fat_payload() {
+        let v = Indirect([1u64, 2, 3, 4]);
+        let bits = <Indirect<[u64; 4]> as ValueRepr>::encode(v.clone());
+        // SAFETY: bits from encode, not yet reclaimed.
+        let back = unsafe { <Indirect<[u64; 4]> as ValueRepr>::decode(bits) };
+        assert_eq!(back, v);
+        // SAFETY: bits from encode, never published.
+        unsafe { <Indirect<[u64; 4]> as ValueRepr>::dealloc_bits(bits) };
+    }
+
+    #[test]
+    fn retire_defers_drop_until_flush() {
+        static DROPS: AtomicUsize = AtomicUsize::new(0);
+        #[derive(Clone, PartialEq)]
+        struct Bomb(u64);
+        impl Drop for Bomb {
+            fn drop(&mut self) {
+                DROPS.fetch_add(1, Relaxed);
+            }
+        }
+        let before = DROPS.load(Relaxed);
+        let bits = <Indirect<Bomb> as ValueRepr>::encode(Indirect(Bomb(9)));
+        {
+            let _g = crate::pin();
+            // SAFETY: bits from encode, unlinked, retired once, pinned.
+            unsafe { <Indirect<Bomb> as ValueRepr>::retire_bits(bits) };
+        }
+        crate::flush_all();
+        assert_eq!(DROPS.load(Relaxed), before + 1, "dropped exactly once");
+    }
+
+    #[test]
+    fn heap_values_work() {
+        let v = Indirect(String::from("a value that cannot fit 48 bits"));
+        let bits = <Indirect<String> as ValueRepr>::encode(v.clone());
+        // SAFETY: bits from encode, not yet reclaimed.
+        assert_eq!(unsafe { <Indirect<String> as ValueRepr>::decode(bits) }, v);
+        // SAFETY: never published.
+        unsafe { <Indirect<String> as ValueRepr>::dealloc_bits(bits) };
+    }
+}

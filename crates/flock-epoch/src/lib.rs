@@ -29,11 +29,13 @@
 
 mod collector;
 mod guard;
+mod indirect;
 
 pub use collector::{CollectorStats, QUIESCENT, collector_stats, try_advance};
 #[cfg(feature = "model")]
 pub use guard::mutants;
 pub use guard::{AdoptGuard, EpochGuard, pin, pin_with, pinned_epoch};
+pub use indirect::Indirect;
 
 use flock_sync::atomic::Ordering;
 

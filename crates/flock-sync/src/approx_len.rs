@@ -1,32 +1,46 @@
 //! A striped, maintained element counter backing `Map::len_approx`.
 //!
-//! The ROADMAP asked for maintained counters instead of the O(n) walks the
-//! Flock structures use. A single shared atomic would put one hot cache
-//! line under every update of every thread — exactly the coherence traffic
-//! this workspace spends so much effort avoiding — so the count is striped:
-//! each thread bumps the (cache-padded) stripe picked by its dense thread
-//! id, and readers sum the stripes.
+//! The ROADMAP asked for maintained counters instead of O(n) walks. A single
+//! shared atomic would put one hot cache line under every update of every
+//! thread — exactly the coherence traffic this workspace spends so much
+//! effort avoiding — so the count is striped: each thread bumps the
+//! (cache-padded) stripe picked by its dense thread id, and readers sum the
+//! stripes.
 //!
-//! The sum is a *snapshot approximation* under concurrency (stripes are
-//! read one by one), which is precisely the `len_approx` contract; when
-//! the structure is quiescent the sum is exact, because every successful
+//! The sum is a *snapshot approximation* under concurrency (stripes are read
+//! one by one), which is precisely the `len_approx` contract; when the
+//! structure is quiescent the sum is exact, because every successful
 //! insert/remove bumped exactly one stripe.
+//!
+//! Shared here (rather than per structure crate) because both the baselines
+//! (PR 2) and the Flock structures maintain their counts with it. For Flock
+//! structures the bump must happen **outside** the thunk — a helped thunk is
+//! replayed, and a plain `fetch_add` inside it would double-count; exactly
+//! one caller observes `Some(true)` per applied operation, so that return is
+//! the unique place to count.
 
 use std::sync::atomic::{AtomicIsize, Ordering};
 
-use flock_sync::{CachePadded, tid};
+use crate::{CachePadded, tid};
 
 /// Stripes in the counter. A power of two so the tid fold is a mask; 16
 /// cache lines is plenty to keep typical thread counts from colliding.
 const STRIPES: usize = 16;
 
 /// Striped approximate element counter. See the module docs.
-pub(crate) struct ApproxLen {
+pub struct ApproxLen {
     stripes: [CachePadded<AtomicIsize>; STRIPES],
 }
 
+impl Default for ApproxLen {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 impl ApproxLen {
-    pub(crate) fn new() -> Self {
+    /// A zeroed counter.
+    pub fn new() -> Self {
         Self {
             stripes: std::array::from_fn(|_| CachePadded::new(AtomicIsize::new(0))),
         }
@@ -39,7 +53,7 @@ impl ApproxLen {
 
     /// Record one successful insert.
     #[inline]
-    pub(crate) fn inc(&self) {
+    pub fn inc(&self) {
         // Ordering: Relaxed — the count carries no synchronization; only
         // the total matters, and RMWs never lose increments.
         self.stripe().fetch_add(1, Ordering::Relaxed);
@@ -47,14 +61,14 @@ impl ApproxLen {
 
     /// Record one successful remove.
     #[inline]
-    pub(crate) fn dec(&self) {
+    pub fn dec(&self) {
         self.stripe().fetch_sub(1, Ordering::Relaxed);
     }
 
     /// Snapshot sum of the stripes (exact when quiescent). Clamped at zero:
     /// a mid-flight reader can catch a decrement's stripe before the
     /// matching increment's stripe.
-    pub(crate) fn get(&self) -> usize {
+    pub fn get(&self) -> usize {
         let sum: isize = self.stripes.iter().map(|s| s.load(Ordering::Relaxed)).sum();
         sum.max(0) as usize
     }

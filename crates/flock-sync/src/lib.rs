@@ -4,9 +4,12 @@
 //! library ("Lock-Free Locks Revisited", PPoPP 2022) is built on:
 //!
 //! * [`pack`] — packing of a 16-bit ABA tag and a 48-bit payload into a single
-//!   64-bit word, and the [`pack::PackedValue`] encoding trait. This is the
-//!   single-word tagged representation the paper's experiments use (§6 "ABA",
-//!   second optimization).
+//!   64-bit word, the [`pack::PackedValue`] encoding trait, and the
+//!   [`pack::ValueRepr`] representation layer that lets arbitrary (fat)
+//!   values ride in a 48-bit slot, either inline or behind epoch-managed
+//!   indirection (`flock_epoch::Indirect`). This is the single-word tagged
+//!   representation the paper's experiments use (§6 "ABA", second
+//!   optimization).
 //! * [`tagged`] — [`tagged::TaggedAtomicU64`], an atomic cell over packed words
 //!   with *compare-and-compare-and-swap* (read first, CAS only if it could
 //!   succeed; §6 "Avoiding CASes").
@@ -31,6 +34,7 @@
 #![warn(missing_docs)]
 
 pub mod announce;
+pub mod approx_len;
 pub mod atomic;
 pub mod backoff;
 pub mod pack;
@@ -41,8 +45,9 @@ pub mod tid;
 pub mod ttas;
 
 pub use announce::TagAnnouncements;
+pub use approx_len::ApproxLen;
 pub use backoff::Backoff;
-pub use pack::{PackedValue, TAG_LIMIT, VAL_MASK, pack, unpack_tag, unpack_val};
+pub use pack::{Inline, PackedValue, TAG_LIMIT, VAL_MASK, ValueRepr, pack, unpack_tag, unpack_val};
 pub use padded::CachePadded;
 pub use tagged::{TaggedAtomicU64, ccas_enabled, set_ccas_enabled};
 pub use thread_ctx::ThreadCtx;

@@ -181,6 +181,161 @@ unsafe impl<T> PackedValue for *const T {
     }
 }
 
+/// How a logical value rides in the 48-bit payload of a lock-word-adjacent
+/// slot (`flock_core::Mutable` and friends).
+///
+/// Two strategies exist:
+///
+/// * **Inline** — the value's bits *are* the payload. Implemented here for
+///   every [`PackedValue`] primitive (and via the [`Inline`] adapter for
+///   custom `PackedValue` types). `encode`/`decode` are bit casts and the
+///   reclamation hooks are no-ops, so the compiled slot operations are
+///   identical to the historical 48-bit-only path.
+/// * **Indirect** — the payload is a pointer to an epoch-managed heap copy
+///   of the value (`flock_epoch::Indirect<T>`). `encode` allocates,
+///   `decode` clones out of the live allocation, and the reclamation hooks
+///   route through the epoch collector so concurrent readers (including
+///   helpers replaying a thunk) can still snapshot a retired encoding.
+///
+/// The two cleanup hooks differ in *who may still see the encoding*:
+/// [`ValueRepr::retire_bits`] is for encodings that were published to a
+/// shared slot (grace-period reclamation), [`ValueRepr::dealloc_bits`] for
+/// encodings that provably never escaped (losers of an idempotent-encode
+/// race, or exclusive teardown).
+///
+/// # Safety
+///
+/// Implementations must guarantee:
+///
+/// * `encode` returns a payload `<= VAL_MASK`;
+/// * `decode(encode(v)) == v` for every `v`, for as long as the encoding
+///   has not been passed to a reclamation hook (and, for indirect reprs,
+///   the caller is inside an epoch guard);
+/// * each encoding is passed to exactly one of `retire_bits` /
+///   `dealloc_bits`, exactly once, after which it is never decoded by new
+///   readers.
+pub unsafe trait ValueRepr: Clone + PartialEq {
+    /// `true` when `encode` allocates and the packed word stores a pointer.
+    /// A `const` so inline instantiations compile the reclamation branches
+    /// out entirely.
+    const INDIRECT: bool;
+
+    /// Encode the value into at most 48 payload bits (may allocate).
+    fn encode(v: Self) -> u64;
+
+    /// Snapshot-decode a value from payload bits produced by `encode`.
+    ///
+    /// # Safety
+    ///
+    /// `bits` must come from `encode` and not yet be reclaimed; indirect
+    /// reprs additionally require the caller to hold an epoch guard
+    /// protecting the encoding.
+    unsafe fn decode(bits: u64) -> Self;
+
+    /// Reclaim a **published** encoding through the grace-period collector
+    /// (no-op for inline reprs).
+    ///
+    /// # Safety
+    ///
+    /// `bits` from `encode`, unlinked from every shared slot, reclaimed at
+    /// most once; for indirect reprs the caller must be epoch-pinned.
+    unsafe fn retire_bits(bits: u64);
+
+    /// Immediately free an encoding that was **never published** (or is
+    /// exclusively owned, e.g. during teardown). No-op for inline reprs.
+    ///
+    /// # Safety
+    ///
+    /// `bits` from `encode`, reachable by no other thread, reclaimed at
+    /// most once.
+    unsafe fn dealloc_bits(bits: u64);
+}
+
+macro_rules! impl_inline_value_repr {
+    ($($t:ty),*) => {$(
+        // SAFETY: delegates to the type's `PackedValue` impl, whose
+        // contract is exactly the inline half of the `ValueRepr` contract;
+        // nothing is allocated, so the reclamation hooks are no-ops.
+        unsafe impl ValueRepr for $t {
+            const INDIRECT: bool = false;
+            #[inline(always)]
+            fn encode(v: Self) -> u64 {
+                <$t as PackedValue>::to_bits(v)
+            }
+            #[inline(always)]
+            unsafe fn decode(bits: u64) -> Self {
+                <$t as PackedValue>::from_bits(bits)
+            }
+            #[inline(always)]
+            unsafe fn retire_bits(_bits: u64) {}
+            #[inline(always)]
+            unsafe fn dealloc_bits(_bits: u64) {}
+        }
+    )*};
+}
+impl_inline_value_repr!((), bool, u8, u16, u32, i8, i16, i32, u64, usize);
+
+// SAFETY: as the macro impls; pointers are inline payloads (≤ 48 bits on
+// supported targets, debug-checked by the PackedValue impls). The pointee is
+// NOT owned by the slot — reclamation hooks are no-ops by design (the
+// surrounding structure retires what the pointer targets).
+unsafe impl<T> ValueRepr for *mut T {
+    const INDIRECT: bool = false;
+    #[inline(always)]
+    fn encode(v: Self) -> u64 {
+        v.to_bits()
+    }
+    #[inline(always)]
+    unsafe fn decode(bits: u64) -> Self {
+        <*mut T as PackedValue>::from_bits(bits)
+    }
+    #[inline(always)]
+    unsafe fn retire_bits(_bits: u64) {}
+    #[inline(always)]
+    unsafe fn dealloc_bits(_bits: u64) {}
+}
+
+// SAFETY: identical to the `*mut T` impl.
+unsafe impl<T> ValueRepr for *const T {
+    const INDIRECT: bool = false;
+    #[inline(always)]
+    fn encode(v: Self) -> u64 {
+        v.to_bits()
+    }
+    #[inline(always)]
+    unsafe fn decode(bits: u64) -> Self {
+        <*const T as PackedValue>::from_bits(bits)
+    }
+    #[inline(always)]
+    unsafe fn retire_bits(_bits: u64) {}
+    #[inline(always)]
+    unsafe fn dealloc_bits(_bits: u64) {}
+}
+
+/// Adapter giving any custom [`PackedValue`] type the inline [`ValueRepr`]
+/// strategy (the primitive types get direct impls above; a blanket impl
+/// would collide with downstream indirect reprs under coherence).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default, Hash)]
+#[repr(transparent)]
+pub struct Inline<T: PackedValue>(pub T);
+
+// SAFETY: forwards the `PackedValue` contract, like the macro impls.
+unsafe impl<T: PackedValue> ValueRepr for Inline<T> {
+    const INDIRECT: bool = false;
+    #[inline(always)]
+    fn encode(v: Self) -> u64 {
+        v.0.to_bits()
+    }
+    #[inline(always)]
+    unsafe fn decode(bits: u64) -> Self {
+        Inline(T::from_bits(bits))
+    }
+    #[inline(always)]
+    unsafe fn retire_bits(_bits: u64) {}
+    #[inline(always)]
+    unsafe fn dealloc_bits(_bits: u64) {}
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -244,5 +399,26 @@ mod tests {
     fn unit_roundtrip() {
         assert_eq!(().to_bits(), 0);
         <() as PackedValue>::from_bits(0);
+    }
+
+    #[test]
+    fn inline_value_repr_is_bit_identical_to_packed_value() {
+        for v in [0u64, 1, 42, VAL_MASK] {
+            assert_eq!(<u64 as ValueRepr>::encode(v), v.to_bits());
+            // SAFETY: bits come from encode above.
+            assert_eq!(unsafe { <u64 as ValueRepr>::decode(v) }, v);
+        }
+        const { assert!(!<u64 as ValueRepr>::INDIRECT) };
+        assert_eq!(<bool as ValueRepr>::encode(true), 1);
+        let w = Inline(7u32);
+        let bits = <Inline<u32> as ValueRepr>::encode(w);
+        // SAFETY: bits come from encode above.
+        assert_eq!(unsafe { <Inline<u32> as ValueRepr>::decode(bits) }, w);
+        // The inline reclamation hooks are no-ops on arbitrary bits.
+        // SAFETY: no-ops per the inline impls.
+        unsafe {
+            <u64 as ValueRepr>::retire_bits(3);
+            <u64 as ValueRepr>::dealloc_bits(3);
+        }
     }
 }

@@ -6,7 +6,7 @@ use std::time::{Duration, Instant};
 use crate::rng::SplitMix64;
 use crate::sparsify;
 use crate::zipf::Zipfian;
-use flock_api::Map;
+use flock_api::{Map, Value};
 
 /// One experiment configuration (one point on a paper graph).
 #[derive(Debug, Clone)]
@@ -99,7 +99,11 @@ pub fn shuffle_allocator(blocks: usize) {
 /// inserted in **random order** — sorted insertion would degenerate the
 /// unbalanced trees into chains, whereas the paper's structures are
 /// "balanced in expectation due to random inserts".
-fn prefill<M: Map<u64, u64> + ?Sized>(map: &M, cfg: &Config) {
+fn prefill<V: Value, M: Map<u64, V> + ?Sized>(
+    map: &M,
+    cfg: &Config,
+    vf: &(impl Fn(u64) -> V + Sync),
+) {
     // Parallel prefill: partition the key space over available cores; each
     // worker shuffles its own slice, and workers interleave, so the global
     // insertion order is effectively random.
@@ -122,7 +126,7 @@ fn prefill<M: Map<u64, u64> + ?Sized>(map: &M, cfg: &Config) {
                 }
                 for k in keys {
                     let key = if cfg.sparsify_keys { sparsify(k) } else { k };
-                    map.insert(key, k);
+                    map.insert(key, vf(k));
                 }
             });
         }
@@ -130,7 +134,12 @@ fn prefill<M: Map<u64, u64> + ?Sized>(map: &M, cfg: &Config) {
 }
 
 /// One timed run; returns total completed operations.
-fn timed_run<M: Map<u64, u64> + ?Sized>(map: &M, cfg: &Config, run_idx: usize) -> u64 {
+fn timed_run<V: Value, M: Map<u64, V> + ?Sized>(
+    map: &M,
+    cfg: &Config,
+    run_idx: usize,
+    vf: &(impl Fn(u64) -> V + Sync),
+) -> u64 {
     let stop = AtomicBool::new(false);
     let total = AtomicU64::new(0);
     let zipf = Zipfian::new(cfg.key_range, cfg.zipf_alpha);
@@ -140,6 +149,7 @@ fn timed_run<M: Map<u64, u64> + ?Sized>(map: &M, cfg: &Config, run_idx: usize) -
             let total = &total;
             let zipf = &zipf;
             let map = &*map;
+            let vf = &vf;
             s.spawn(move || {
                 let mut rng = SplitMix64::new(
                     cfg.seed ^ (run_idx as u64) << 32 ^ ((t as u64 + 1) * 0x1234_5678),
@@ -162,7 +172,7 @@ fn timed_run<M: Map<u64, u64> + ?Sized>(map: &M, cfg: &Config, run_idx: usize) -
                     if dice < cfg.update_percent {
                         // Updates split evenly between insert and delete.
                         if dice.is_multiple_of(2) {
-                            map.insert(key, rank);
+                            map.insert(key, vf(rank));
                         } else {
                             map.remove(key);
                         }
@@ -182,16 +192,28 @@ fn timed_run<M: Map<u64, u64> + ?Sized>(map: &M, cfg: &Config, run_idx: usize) -
 }
 
 /// Run the full experiment protocol on `map`: prefill, one warm-up run,
-/// `cfg.repeats` timed runs; returns mean ± σ throughput.
+/// `cfg.repeats` timed runs; returns mean ± σ throughput. The paper's
+/// `(u64, u64)` shape; see [`run_experiment_as`] for other value types.
 pub fn run_experiment<M: Map<u64, u64> + ?Sized>(map: &M, cfg: &Config) -> Measurement {
-    prefill(map, cfg);
+    run_experiment_as(map, cfg, |v| v)
+}
+
+/// [`run_experiment`] generalized over the value type: `vf` maps the
+/// workload's `u64` value stamps into the map's value domain (e.g. a fat
+/// `Indirect<[u64; 4]>` constructor for the fat-value workload).
+pub fn run_experiment_as<V: Value, M: Map<u64, V> + ?Sized>(
+    map: &M,
+    cfg: &Config,
+    vf: impl Fn(u64) -> V + Sync,
+) -> Measurement {
+    prefill(map, cfg, &vf);
     // Warm-up run (discarded), as in the paper.
-    let _ = timed_run(map, cfg, 0);
+    let _ = timed_run(map, cfg, 0, &vf);
     let mut mops = Vec::with_capacity(cfg.repeats);
     let mut total_ops = 0u64;
     for r in 0..cfg.repeats {
         let t0 = Instant::now();
-        let ops = timed_run(map, cfg, r + 1);
+        let ops = timed_run(map, cfg, r + 1, &vf);
         let secs = t0.elapsed().as_secs_f64();
         total_ops += ops;
         mops.push(ops as f64 / secs / 1e6);
@@ -273,7 +295,7 @@ mod tests {
             key_range: 10_000,
             ..Config::default()
         };
-        prefill(&map, &cfg);
+        prefill(&map, &cfg, &|v| v);
         let n = map.inner.lock().unwrap().len() as f64;
         assert!((4_000.0..6_000.0).contains(&n), "prefill size {n}");
     }
@@ -286,7 +308,7 @@ mod tests {
             sparsify_keys: true,
             ..Config::default()
         };
-        prefill(&map, &cfg);
+        prefill(&map, &cfg, &|v| v);
         let inner = map.inner.lock().unwrap();
         // Hashed keys should leave the dense low range almost empty.
         let dense = inner.keys().filter(|&&k| k < 1_000).count();

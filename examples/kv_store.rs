@@ -38,7 +38,7 @@ fn main() {
     for (workload, update_pct) in [("YCSB-A (50% upd)", 50), ("YCSB-B (5% upd)", 5)] {
         for mode in [LockMode::LockFree, LockMode::Blocking] {
             set_lock_mode(mode);
-            let store = ABTree::new();
+            let store: ABTree<u64, u64> = ABTree::new();
             let cfg = Config {
                 threads,
                 key_range: 100_000,

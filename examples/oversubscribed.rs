@@ -20,7 +20,7 @@ use std::time::{Duration, Instant};
 
 fn throughput(mode: LockMode, threads: usize, secs: f64) -> f64 {
     set_lock_mode(mode);
-    let table = Arc::new(HashTable::with_capacity(1024));
+    let table: Arc<HashTable<u64, u64>> = Arc::new(HashTable::with_capacity(1024));
     for k in 0..1024 {
         table.insert(k, k);
     }

@@ -21,7 +21,7 @@ struct Stats {
 }
 
 fn hammer(
-    list: &Arc<DList>,
+    list: &Arc<DList<u64, u64>>,
     stats: &Arc<Locked<Stats>>,
     threads: usize,
     ops_per_thread: u64,
@@ -75,7 +75,7 @@ fn main() {
         ("blocking  (spin)", LockMode::Blocking),
     ] {
         set_lock_mode(mode);
-        let list = Arc::new(DList::new());
+        let list: Arc<DList<u64, u64>> = Arc::new(DList::new());
         let stats = Arc::new(Locked::new(Stats {
             ops: Mutable::new(0),
             max_key: Mutable::new(0),

@@ -14,8 +14,10 @@
 //!   results, and the [`Locked<T>`](core::Locked) cell fusing a lock with
 //!   the data it protects.
 //! * [`api`] ([`flock_api`]) — the one public [`Map`](api::Map) interface
-//!   every structure in the workspace implements, plus the
-//!   `map_conformance!` test harness.
+//!   every structure in the workspace implements — generically over
+//!   `(K, V)`, with fat values via [`Indirect`](api::Indirect) — plus the
+//!   `map_conformance!` test harness (three `(K, V)` instantiations,
+//!   drop-exactly-once reclamation, update-atomicity capability checks).
 //! * [`sync`] ([`flock_sync`]) — tagged-word atomics and spin primitives.
 //! * [`epoch`] ([`flock_epoch`]) — epoch-based memory reclamation.
 //! * [`ds`] ([`flock_ds`]) — seven lock-based data structures that run
@@ -34,7 +36,7 @@
 //! // Run critical sections lock-free (helping + logging)…
 //! flock::core::set_lock_mode(LockMode::LockFree);
 //!
-//! let list = flock::ds::dlist::DList::new();
+//! let list: flock::ds::dlist::DList<u64, u64> = flock::ds::dlist::DList::new();
 //! assert!(list.insert(1, 10));
 //! assert_eq!(list.get(1), Some(10));
 //! assert!(list.contains(1));

@@ -162,8 +162,10 @@ fn atomic_move_between_two_structures() {
     // Move items between two Flock hash tables atomically via nested locks
     // protecting a shared "transfer" critical section. The invariant: a key
     // is in exactly one of the two tables at every moment.
-    let a = Arc::new(flock::ds::hashtable::HashTable::with_capacity(64));
-    let b = Arc::new(flock::ds::hashtable::HashTable::with_capacity(64));
+    let a: Arc<flock::ds::hashtable::HashTable<u64, u64>> =
+        Arc::new(flock::ds::hashtable::HashTable::with_capacity(64));
+    let b: Arc<flock::ds::hashtable::HashTable<u64, u64>> =
+        Arc::new(flock::ds::hashtable::HashTable::with_capacity(64));
     let transfer_locks: Arc<Vec<Lock>> = Arc::new((0..16).map(|_| Lock::new()).collect());
     for k in 0..16u64 {
         a.insert(k, k);

@@ -25,7 +25,11 @@ fn oracle_case<M: Map<u64, u64>>(map: &M, seed: u64, ops: usize, key_range: u64)
     let mut oracle = BTreeMap::new();
     for i in 0..ops {
         let k = rng.below(key_range);
-        let v = rng.next_u64();
+        // Inline u64 values ride in the 48-bit ValueRepr payload (the
+        // documented contract of every packed slot in this workspace);
+        // full-range u64 payloads belong in `Indirect` — which the
+        // fat-value history test below exercises with all 64 bits.
+        let v = rng.next_u64() & ((1u64 << 48) - 1);
         match rng.below(3) {
             0 => {
                 let expect = !oracle.contains_key(&k);
@@ -74,38 +78,94 @@ macro_rules! oracle_prop {
 oracle_prop!(
     dlist_matches_oracle,
     flock::ds::dlist::DList::new(),
-    |m: &flock::ds::dlist::DList| m.check_invariants()
+    |m: &flock::ds::dlist::DList<u64, u64>| m.check_invariants()
 );
 oracle_prop!(
     lazylist_matches_oracle,
     flock::ds::lazylist::LazyList::new(),
-    |m: &flock::ds::lazylist::LazyList| m.check_invariants()
+    |m: &flock::ds::lazylist::LazyList<u64, u64>| m.check_invariants()
 );
 oracle_prop!(
     hashtable_matches_oracle,
     flock::ds::hashtable::HashTable::with_capacity(16),
-    |_m: &flock::ds::hashtable::HashTable| ()
+    |_m: &flock::ds::hashtable::HashTable<u64, u64>| ()
 );
 oracle_prop!(
     leaftree_matches_oracle,
     flock::ds::leaftree::LeafTree::new(),
-    |m: &flock::ds::leaftree::LeafTree| m.check_invariants()
+    |m: &flock::ds::leaftree::LeafTree<u64, u64>| m.check_invariants()
 );
 oracle_prop!(
     leaftreap_matches_oracle,
     flock::ds::leaftreap::LeafTreap::new(),
-    |m: &flock::ds::leaftreap::LeafTreap| m.check_invariants()
+    |m: &flock::ds::leaftreap::LeafTreap<u64, u64>| m.check_invariants()
 );
 oracle_prop!(
     abtree_matches_oracle,
     flock::ds::abtree::ABTree::new(),
-    |m: &flock::ds::abtree::ABTree| m.check_invariants()
+    |m: &flock::ds::abtree::ABTree<u64, u64>| m.check_invariants()
 );
 oracle_prop!(
     arttree_matches_oracle,
     flock::ds::arttree::ArtTree::new(),
-    |m: &flock::ds::arttree::ArtTree| m.check_invariants()
+    |m: &flock::ds::arttree::ArtTree<u64, u64>| m.check_invariants()
 );
+
+/// The same randomized histories at a fat, heap-indirected value type: the
+/// oracle agreement must be representation-independent.
+#[test]
+fn fat_value_histories_match_oracle() {
+    use flock::api::Indirect;
+    let _g = MODE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    set_lock_mode(LockMode::LockFree);
+    fn fat(v: u64) -> Indirect<[u64; 4]> {
+        Indirect([v, !v, v ^ 0xABCD, v.rotate_left(9)])
+    }
+    fn case<M: Map<u64, Indirect<[u64; 4]>>>(map: &M, seed: u64, ops: usize) {
+        let mut rng = SplitMix64::new(seed);
+        let mut oracle = BTreeMap::new();
+        for i in 0..ops {
+            let k = rng.below(48);
+            let v = rng.next_u64();
+            match rng.below(3) {
+                0 => {
+                    let expect = !oracle.contains_key(&k);
+                    if expect {
+                        oracle.insert(k, v);
+                    }
+                    assert_eq!(map.insert(k, fat(v)), expect, "seed {seed} insert op {i}");
+                }
+                1 => {
+                    let expect = oracle.remove(&k).is_some();
+                    assert_eq!(map.remove(k), expect, "seed {seed} remove op {i}");
+                }
+                _ => {
+                    assert_eq!(
+                        map.get(k),
+                        oracle.get(&k).map(|&x| fat(x)),
+                        "seed {seed} get op {i}"
+                    );
+                }
+            }
+        }
+        for (k, v) in &oracle {
+            assert_eq!(map.get(*k), Some(fat(*v)), "seed {seed} sweep {k}");
+        }
+    }
+    for seed in 0..8u64 {
+        let ops = 60 + (seed as usize * 31) % 200;
+        case(&flock::ds::dlist::DList::new(), seed, ops);
+        case(
+            &flock::ds::hashtable::HashTable::with_capacity(16),
+            seed,
+            ops,
+        );
+        case(&flock::ds::leaftreap::LeafTreap::new(), seed, ops);
+        case(&flock::baselines::NatarajanBst::new(), seed, ops);
+        case(&flock::baselines::BlockingBst::new(), seed, ops);
+    }
+    flock::epoch::flush_all();
+}
 
 #[test]
 fn baselines_match_oracle() {
