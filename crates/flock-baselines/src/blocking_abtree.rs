@@ -295,6 +295,48 @@ impl<K: Key, V: Value> BlockingABTree<K, V> {
         }
     }
 
+    /// Native atomic update: copy-on-write replace the leaf with the value
+    /// changed, under the parent's lock — the single atomic child-pointer
+    /// store means readers see the old batch or the new one, never absence
+    /// or a third value. Returns `false` (storing nothing) if `k` is
+    /// absent.
+    pub fn update(&self, k: K, v: V) -> bool {
+        let _g = flock_epoch::pin();
+        loop {
+            let path = self.path_to(&k);
+            let leaf = *path.last().expect("leaf");
+            // SAFETY: pinned.
+            let l = unsafe { &*leaf };
+            if l.find(&k).is_none() {
+                return false;
+            }
+            let parent = path[path.len() - 2];
+            // SAFETY: pinned.
+            let p = unsafe { &*parent };
+            p.lock.acquire();
+            let slot = p.route(&k);
+            let pos = if !p.removed.load(Ordering::SeqCst)
+                && p.children[slot].load(Ordering::SeqCst) == leaf as usize
+            {
+                l.find(&k)
+            } else {
+                None
+            };
+            if let Some(pos) = pos {
+                let mut entries = l.leaf_entries();
+                entries[pos].1 = v.clone();
+                let newl = flock_epoch::alloc(Node::leaf(&entries));
+                p.children[slot].store(newl as usize, Ordering::SeqCst);
+                // SAFETY: replaced above; unique retire under the lock.
+                unsafe { flock_epoch::retire(leaf) };
+            }
+            p.lock.release();
+            if pos.is_some() {
+                return true;
+            }
+        }
+    }
+
     /// Remove; `false` if absent.
     pub fn remove(&self, k: K) -> bool {
         let ok = self.remove_impl(&k);
@@ -456,6 +498,12 @@ impl<K: Key, V: Value> Map<K, V> for BlockingABTree<K, V> {
     }
     fn name(&self) -> &'static str {
         "srivastava_abtree"
+    }
+    fn update(&self, key: K, value: V) -> bool {
+        BlockingABTree::update(self, key, value)
+    }
+    fn has_atomic_update(&self) -> bool {
+        true
     }
     fn len_approx(&self) -> Option<usize> {
         Some(self.len.get())

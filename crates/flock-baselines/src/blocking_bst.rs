@@ -282,6 +282,36 @@ impl<K: Key, V: Value> BlockingBst<K, V> {
         }
     }
 
+    /// Native atomic update: replace the value in place under the node's
+    /// lock (the same slot-swap the revive path uses). Returns `false`
+    /// (storing nothing) if `k` is absent. Readers snapshot the value word
+    /// without the lock, so they see the old value or the new one — never
+    /// absence.
+    pub fn update(&self, k: K, v: V) -> bool {
+        let _g = flock_epoch::pin();
+        loop {
+            let (_, node) = self.search(&k);
+            if node.is_null() {
+                return false;
+            }
+            // SAFETY: pinned.
+            let n = unsafe { &*node };
+            n.lock.acquire();
+            let out = if n.removed.load(Ordering::SeqCst) {
+                None // spliced while we looked: restart
+            } else if n.has_value.load(Ordering::SeqCst) {
+                n.replace_value(v.clone());
+                Some(true)
+            } else {
+                Some(false) // routing node: key logically absent
+            };
+            n.lock.release();
+            if let Some(r) = out {
+                return r;
+            }
+        }
+    }
+
     /// Wait-free lookup.
     pub fn get(&self, k: K) -> Option<V> {
         let _g = flock_epoch::pin();
@@ -354,6 +384,12 @@ impl<K: Key, V: Value> Map<K, V> for BlockingBst<K, V> {
     }
     fn name(&self) -> &'static str {
         "bronson_style_bst"
+    }
+    fn update(&self, key: K, value: V) -> bool {
+        BlockingBst::update(self, key, value)
+    }
+    fn has_atomic_update(&self) -> bool {
+        true
     }
     fn len_approx(&self) -> Option<usize> {
         Some(self.len.get())

@@ -25,6 +25,8 @@ use flock_sync::ApproxLen;
 
 use flock_api::{Key, Map, Value};
 
+use crate::value_cell::ValueCell;
+
 const CLEAN: usize = 0;
 const IFLAG: usize = 1;
 const DFLAG: usize = 2;
@@ -45,7 +47,7 @@ fn state(w: usize) -> usize {
 }
 
 #[inline]
-fn info_of<K, V>(w: usize) -> *mut Info<K, V> {
+fn info_of<K, V: Value>(w: usize) -> *mut Info<K, V> {
     (w & PTR_MASK) as *mut Info<K, V>
 }
 
@@ -57,7 +59,7 @@ fn seq_of(w: usize) -> usize {
 /// Build the update word that replaces `prev`: new info + state, sequence
 /// bumped by one (mod 2^16).
 #[inline]
-fn next_word<K, V>(prev: usize, info: *mut Info<K, V>, st: usize) -> usize {
+fn next_word<K, V: Value>(prev: usize, info: *mut Info<K, V>, st: usize) -> usize {
     debug_assert_eq!(info as usize & !PTR_MASK, 0);
     info as usize | st | (seq_of(prev).wrapping_add(1) << SEQ_SHIFT)
 }
@@ -70,10 +72,11 @@ enum KeyClass<K> {
     Inf2,
 }
 
-struct Node<K, V> {
+struct Node<K, V: Value> {
     key: KeyClass<K>,
-    /// `None` on sentinel leaves and internals.
-    value: Option<V>,
+    /// Atomic value cell (`None` on sentinel leaves and internals): swap-
+    /// replaced in place by the native `update`, snapshot-read by `get`.
+    value: Option<ValueCell<V>>,
     is_leaf: bool,
     left: AtomicUsize,
     right: AtomicUsize,
@@ -85,7 +88,7 @@ impl<K: Key, V: Value> Node<K, V> {
     fn leaf(key: KeyClass<K>, value: Option<V>) -> Self {
         Self {
             key,
-            value,
+            value: value.map(ValueCell::new),
             is_leaf: true,
             left: AtomicUsize::new(0),
             right: AtomicUsize::new(0),
@@ -114,7 +117,7 @@ impl<K: Key, V: Value> Node<K, V> {
     }
 }
 
-enum Info<K, V> {
+enum Info<K, V: Value> {
     /// Swap `leaf` under `parent` for `new_internal`.
     Insert {
         parent: *mut Node<K, V>,
@@ -155,7 +158,7 @@ impl<K: Key, V: Value> Default for EllenBst<K, V> {
     }
 }
 
-struct Search<K, V> {
+struct Search<K, V: Value> {
     gparent: *mut Node<K, V>,
     parent: *mut Node<K, V>,
     leaf: *mut Node<K, V>,
@@ -496,7 +499,37 @@ impl<K: Key, V: Value> EllenBst<K, V> {
         let s = self.search(&kc);
         // SAFETY: pinned.
         let l = unsafe { &*s.leaf };
-        if l.key == kc { l.value.clone() } else { None }
+        if l.key == kc {
+            l.value.as_ref().map(ValueCell::load)
+        } else {
+            None
+        }
+    }
+
+    /// Native atomic update: one atomic swap of the leaf's value cell.
+    /// Returns `false` (storing nothing) if `k` is absent.
+    ///
+    /// A key's leaf node is pointer-stable for the key's lifetime (inserts
+    /// reuse the existing leaf inside the new internal), so the swap hits
+    /// the one cell every reader of this key decodes. Linearizes at the
+    /// swap when the leaf is still reachable there, and immediately before
+    /// the concurrent delete's child-CAS otherwise (the value written into
+    /// an already-spliced leaf is unobservable, matching
+    /// update-then-remove).
+    pub fn update(&self, k: K, v: V) -> bool {
+        let kc = KeyClass::Finite(k);
+        let _g = flock_epoch::pin();
+        let s = self.search(&kc);
+        // SAFETY: pinned.
+        let l = unsafe { &*s.leaf };
+        if l.key != kc {
+            return false;
+        }
+        l.value
+            .as_ref()
+            .expect("finite-key leaf has a value cell")
+            .replace(v);
+        true
     }
 
     /// Element count (O(n)).
@@ -578,6 +611,12 @@ impl<K: Key, V: Value> Map<K, V> for EllenBst<K, V> {
     }
     fn name(&self) -> &'static str {
         "ellen"
+    }
+    fn update(&self, key: K, value: V) -> bool {
+        EllenBst::update(self, key, value)
+    }
+    fn has_atomic_update(&self) -> bool {
+        true
     }
     fn len_approx(&self) -> Option<usize> {
         Some(self.len.get())

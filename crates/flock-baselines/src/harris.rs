@@ -16,6 +16,8 @@ use flock_sync::ApproxLen;
 
 use flock_api::{Key, Map, Value};
 
+use crate::value_cell::ValueCell;
+
 const MARK: usize = 1;
 
 #[inline]
@@ -28,10 +30,12 @@ fn unmark(p: usize) -> usize {
     p & !MARK
 }
 
-struct Node<K, V> {
+struct Node<K, V: Value> {
     /// `None` only on the head/tail sentinels.
     key: Option<K>,
-    value: Option<V>,
+    /// Atomic value cell (`None` only on sentinels): swap-replaced in place
+    /// by the native `update`, snapshot-read by `get`.
+    value: Option<ValueCell<V>>,
     /// Successor pointer; low bit = this node is logically deleted.
     next: AtomicUsize,
     kind: u8, // 0 normal, 1 head, 2 tail
@@ -45,7 +49,7 @@ impl<K: Key, V: Value> Node<K, V> {
     fn new(key: Option<K>, value: Option<V>, next: usize, kind: u8) -> Self {
         Self {
             key,
-            value,
+            value: value.map(ValueCell::new),
             next: AtomicUsize::new(next),
             kind,
         }
@@ -260,7 +264,7 @@ impl<K: Key, V: Value> HarrisList<K, V> {
                 if c.at_or_after(&k) {
                     let is_marked = marked(c.next.load(Ordering::SeqCst));
                     return if c.holds(&k) && !is_marked {
-                        c.value.clone()
+                        c.value.as_ref().map(ValueCell::load)
                     } else {
                         None
                     };
@@ -271,8 +275,34 @@ impl<K: Key, V: Value> HarrisList<K, V> {
             let (_, curr) = self.search(&k);
             // SAFETY: pinned.
             let c = unsafe { &*curr };
-            if c.holds(&k) { c.value.clone() } else { None }
+            if c.holds(&k) {
+                c.value.as_ref().map(ValueCell::load)
+            } else {
+                None
+            }
         }
+    }
+
+    /// Native atomic update: one atomic swap of the node's value cell.
+    /// Returns `false` (storing nothing) if `k` is absent.
+    ///
+    /// Linearizes at the swap when the node is still unmarked there, and
+    /// immediately before the concurrent remove's mark otherwise (the value
+    /// written into an already-marked node is unobservable — `get` treats
+    /// marked nodes as absent — which matches update-then-remove).
+    pub fn update(&self, k: K, v: V) -> bool {
+        let _g = flock_epoch::pin();
+        let (_, curr) = self.search(&k);
+        // SAFETY: pinned; `search` returned `curr` unmarked.
+        let c = unsafe { &*curr };
+        if !c.holds(&k) {
+            return false;
+        }
+        c.value
+            .as_ref()
+            .expect("normal node has a value cell")
+            .replace(v);
+        true
     }
 
     /// Element count (O(n); tests/diagnostics). Skips marked nodes.
@@ -336,6 +366,12 @@ impl<K: Key, V: Value> Map<K, V> for HarrisList<K, V> {
     fn name(&self) -> &'static str {
         self.label
     }
+    fn update(&self, key: K, value: V) -> bool {
+        HarrisList::update(self, key, value)
+    }
+    fn has_atomic_update(&self) -> bool {
+        true
+    }
     fn len_approx(&self) -> Option<usize> {
         Some(self.len.get())
     }
@@ -359,6 +395,19 @@ mod tests {
             assert!(!l.remove(5));
             assert_eq!(l.get(5), None);
             assert_eq!(l.len(), 2);
+        }
+    }
+
+    #[test]
+    fn native_update_in_place() {
+        for l in [HarrisList::<u64, u64>::new(), HarrisList::new_opt()] {
+            assert!(!l.update(1, 10), "update of an absent key refused");
+            assert!(l.insert(1, 10));
+            assert!(l.update(1, 11));
+            assert_eq!(l.get(1), Some(11));
+            assert_eq!(l.len(), 1, "update must not change the count");
+            assert!(l.remove(1));
+            assert!(!l.update(1, 12));
         }
     }
 

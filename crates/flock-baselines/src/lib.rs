@@ -20,12 +20,16 @@
 //! Every baseline implements [`flock_api::Map`] — the same single interface
 //! the Flock structures implement, and **generically over `(K, V)`** like
 //! them — so the bench harness needs no adapter layer to mix the two
-//! families. Node keys/values are plain generic fields (the CAS designs
-//! replace whole nodes), except `blocking_bst`, whose in-place revive
-//! stores values as raw `ValueRepr` payload bits in one atomic word (fat
-//! values behind an epoch-retired pointer). All five keep their striped
-//! maintained counters (`flock_sync::ApproxLen`, shared with the Flock
-//! structures since the `ValueRepr` refactor) behind `Map::len_approx`.
+//! families. Node *keys* are plain generic fields (the CAS designs replace
+//! whole nodes), but every baseline stores its *values* in one atomic word
+//! of raw `ValueRepr` payload bits (fat values behind an epoch-retired
+//! pointer) — the pattern `blocking_bst`'s in-place revive pioneered, now
+//! shared via the crate-private `value_cell` module — which is what gives
+//! all five a **native atomic `Map::update`** (`has_atomic_update()` is
+//! true across the whole bench registry; the remove+insert composite is
+//! unreachable from it). All five keep their striped maintained counters
+//! (`flock_sync::ApproxLen`, shared with the Flock structures since the
+//! `ValueRepr` refactor) behind `Map::len_approx`.
 //!
 //! Divergences from the original systems are documented per-module and in
 //! DESIGN.md §4 (notably: `blocking_bst` does not rebalance, so it matches
@@ -38,6 +42,7 @@ pub mod blocking_bst;
 pub mod ellen;
 pub mod harris;
 pub mod natarajan;
+mod value_cell;
 
 pub use blocking_abtree::BlockingABTree;
 pub use blocking_bst::BlockingBst;

@@ -24,12 +24,14 @@ use flock_sync::ApproxLen;
 
 use flock_api::{Key, Map, Value};
 
+use crate::value_cell::ValueCell;
+
 const FLAG: usize = 1;
 const TAG: usize = 2;
 const BITS: usize = FLAG | TAG;
 
 #[inline]
-fn ptr_of<K, V>(w: usize) -> *mut Node<K, V> {
+fn ptr_of<K, V: Value>(w: usize) -> *mut Node<K, V> {
     (w & !BITS) as *mut Node<K, V>
 }
 
@@ -53,10 +55,11 @@ enum KeyClass<K> {
     Inf2,
 }
 
-struct Node<K, V> {
+struct Node<K, V: Value> {
     key: KeyClass<K>,
-    /// `None` on sentinel leaves and internals.
-    value: Option<V>,
+    /// Atomic value cell (`None` on sentinel leaves and internals): swap-
+    /// replaced in place by the native `update`, snapshot-read by `get`.
+    value: Option<ValueCell<V>>,
     /// Child edges (internals only).
     left: AtomicUsize,
     right: AtomicUsize,
@@ -67,7 +70,7 @@ impl<K: Key, V: Value> Node<K, V> {
     fn leaf(key: KeyClass<K>, value: Option<V>) -> Self {
         Self {
             key,
-            value,
+            value: value.map(ValueCell::new),
             left: AtomicUsize::new(0),
             right: AtomicUsize::new(0),
             is_leaf: true,
@@ -116,7 +119,7 @@ impl<K: Key, V: Value> Default for NatarajanBst<K, V> {
 
 /// Result of a descent: the last two internals and the leaf, plus the edge
 /// word through which the leaf was reached.
-struct Seek<K, V> {
+struct Seek<K, V: Value> {
     gparent: *mut Node<K, V>,
     parent: *mut Node<K, V>,
     leaf: *mut Node<K, V>,
@@ -353,28 +356,64 @@ impl<K: Key, V: Value> NatarajanBst<K, V> {
         }
     }
 
+    /// Read-only descent to the leaf covering `kc`: `(leaf, edge_word)`,
+    /// where the edge word carries the deletion flag. Caller must be
+    /// pinned. Shared by `get` and `update` so the FLAG semantics of the
+    /// two can never diverge.
+    fn descend(&self, kc: &KeyClass<K>) -> (*mut Node<K, V>, usize) {
+        let mut cur = self.root;
+        loop {
+            // SAFETY: pinned descent per caller.
+            let n = unsafe { &*cur };
+            let (edge, _) = n.edges_for(kc);
+            let w = edge.load(Ordering::SeqCst);
+            let child = ptr_of::<K, V>(w);
+            // SAFETY: pinned.
+            if unsafe { &*child }.is_leaf {
+                return (child, w);
+            }
+            cur = child;
+        }
+    }
+
     /// Lookup; absent if the leaf's edge carries a deletion flag.
     pub fn get(&self, k: K) -> Option<V> {
         let kc = KeyClass::Finite(k);
         let _g = flock_epoch::pin();
-        let mut cur = self.root;
-        let mut w;
-        loop {
-            // SAFETY: pinned descent.
-            let n = unsafe { &*cur };
-            let (edge, _) = n.edges_for(&kc);
-            w = edge.load(Ordering::SeqCst);
-            let child = ptr_of::<K, V>(w);
-            // SAFETY: pinned.
-            let c = unsafe { &*child };
-            if c.is_leaf {
-                return if c.key == kc && !flagged(w) {
-                    c.value.clone()
-                } else {
-                    None
-                };
-            }
-            cur = child;
+        let (leaf, w) = self.descend(&kc);
+        // SAFETY: pinned.
+        let c = unsafe { &*leaf };
+        if c.key == kc && !flagged(w) {
+            c.value.as_ref().map(ValueCell::load)
+        } else {
+            None
+        }
+    }
+
+    /// Native atomic update: one atomic swap of the leaf's value cell.
+    /// Returns `false` (storing nothing) if `k` is absent.
+    ///
+    /// A key's leaf node is pointer-stable for the key's lifetime (inserts
+    /// reuse the existing leaf when building the new internal), so the swap
+    /// hits the one cell every reader of this key decodes. Linearizes at
+    /// the swap when the leaf's edge is still unflagged there, and
+    /// immediately before the concurrent remove's flag otherwise (the value
+    /// written into an already-flagged leaf is unobservable, matching
+    /// update-then-remove).
+    pub fn update(&self, k: K, v: V) -> bool {
+        let kc = KeyClass::Finite(k);
+        let _g = flock_epoch::pin();
+        let (leaf, w) = self.descend(&kc);
+        // SAFETY: pinned.
+        let c = unsafe { &*leaf };
+        if c.key == kc && !flagged(w) {
+            c.value
+                .as_ref()
+                .expect("finite-key leaf has a value cell")
+                .replace(v);
+            true
+        } else {
+            false
         }
     }
 
@@ -440,6 +479,12 @@ impl<K: Key, V: Value> Map<K, V> for NatarajanBst<K, V> {
     }
     fn name(&self) -> &'static str {
         "natarajan"
+    }
+    fn update(&self, key: K, value: V) -> bool {
+        NatarajanBst::update(self, key, value)
+    }
+    fn has_atomic_update(&self) -> bool {
+        true
     }
     fn len_approx(&self) -> Option<usize> {
         Some(self.len.get())

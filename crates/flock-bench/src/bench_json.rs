@@ -25,6 +25,13 @@ pub const CONTENDED_FACTOR_SCALE: f64 = 2.0;
 /// cases; also excluded from host-speed calibration (perf_trajectory).
 pub const FAT_VALUE_FACTOR_SCALE: f64 = 2.0;
 
+/// Gate widening for `update_*` cases (native vs composite `Map::update`):
+/// the composite side allocates and epoch-retires a node per operation and
+/// both sides traverse a structure, so their spread is allocator- and
+/// cache-bound like the fat cases. Widened identically; also excluded from
+/// host-speed calibration (perf_trajectory).
+pub const UPDATE_FACTOR_SCALE: f64 = 2.0;
+
 /// One primitive microbenchmark result (lower is better).
 #[derive(Debug, Clone, PartialEq)]
 pub struct PrimitiveSample {
@@ -152,6 +159,8 @@ impl BenchReport {
                     factor * CONTENDED_FACTOR_SCALE
                 } else if new.name.starts_with("fat_value_") {
                     factor * FAT_VALUE_FACTOR_SCALE
+                } else if new.name.starts_with("update_") {
+                    factor * UPDATE_FACTOR_SCALE
                 } else {
                     factor
                 };
@@ -446,6 +455,75 @@ pub fn run_primitive_suite(budget: Duration) -> Vec<PrimitiveSample> {
         }
     }
     set_lock_mode(LockMode::LockFree);
+
+    // Native vs composite Map::update (ISSUE 5): the atomic in-place slot
+    // store priced against the remove+insert fallback it replaced, single-
+    // threaded over a prefilled structure — one flat (hashtable) and one
+    // tree (abtree) representative, plus the fat (indirect) native case
+    // whose slot RMW runs the full allocate→commit→CAS→retire pipeline.
+    // `update_*` cases carry the widened gate and sit outside host-speed
+    // calibration (the composite side is allocator-bound).
+    {
+        use flock_api::Map as _;
+        use flock_ds::{abtree::ABTree, hashtable::HashTable};
+        const KEYS: u64 = 32;
+        let h: HashTable<u64, u64> = HashTable::with_capacity(64);
+        for k in 0..KEYS {
+            h.insert(k, k);
+        }
+        let mut i = 0u64;
+        case(
+            "update_native_hashtable",
+            measure_best(budget, || {
+                i = (i + 1) % KEYS;
+                black_box(h.update(i, i));
+            }),
+        );
+        let hc = crate::CompositeUpdate(h);
+        let mut i = 0u64;
+        case(
+            "update_composite_hashtable",
+            measure_best(budget, || {
+                i = (i + 1) % KEYS;
+                black_box(hc.update(i, i));
+            }),
+        );
+        let t: ABTree<u64, u64> = ABTree::new();
+        for k in 0..KEYS {
+            t.insert(k, k);
+        }
+        let mut i = 0u64;
+        case(
+            "update_native_abtree",
+            measure_best(budget, || {
+                i = (i + 1) % KEYS;
+                black_box(t.update(i, i));
+            }),
+        );
+        let tc = crate::CompositeUpdate(t);
+        let mut i = 0u64;
+        case(
+            "update_composite_abtree",
+            measure_best(budget, || {
+                i = (i + 1) % KEYS;
+                black_box(tc.update(i, i));
+            }),
+        );
+        use flock_epoch::Indirect;
+        let hf: HashTable<u64, Indirect<[u64; 4]>> = HashTable::with_capacity(64);
+        for k in 0..KEYS {
+            hf.insert(k, Indirect([k; 4]));
+        }
+        let mut i = 0u64;
+        case(
+            "update_native_hashtable_fat",
+            measure_best(budget, || {
+                i = (i + 1) % KEYS;
+                black_box(hf.update(i, Indirect([i, i ^ 7, !i, i << 1])));
+            }),
+        );
+        flock_epoch::flush_all();
+    }
 
     let l = Arc::new(Lock::new());
     let slot: Arc<Mutable<*mut u64>> = Arc::new(Mutable::new(std::ptr::null_mut()));

@@ -14,7 +14,9 @@
 use std::time::Duration;
 
 use flock_bench::bench_json::{BenchReport, ThroughputSample, run_primitive_suite};
-use flock_bench::{Series, run_point, run_point_fat};
+use flock_bench::{
+    Series, run_point, run_point_fat, run_point_updates, run_point_updates_composite,
+};
 use flock_workload::Config;
 
 /// Regression gate for `--check`: fail when a primitive slows down by more
@@ -56,7 +58,12 @@ fn calibration(current: &BenchReport, baseline: &BenchReport) -> f64 {
             // Fat-value cases are excluded for the same reason: they are
             // allocator-bound, and allocator behavior varies across hosts
             // independently of the CPU-speed delta the calibration models.
-            if new.name.starts_with("contended_") || new.name.starts_with("fat_value_") {
+            // The update-heavy cases (native vs composite Map::update)
+            // inherit both exclusions: the composite side allocates per op.
+            if new.name.starts_with("contended_")
+                || new.name.starts_with("fat_value_")
+                || new.name.starts_with("update_")
+            {
                 return None;
             }
             let old = baseline.primitives.iter().find(|p| p.name == new.name)?;
@@ -122,6 +129,39 @@ fn throughput_sweep(duration: Duration, repeats: usize) -> Vec<ThroughputSample>
                     seed: 2,
                 };
                 let m = run_point_fat(series, &cfg);
+                println!(
+                    "{:<24} threads={:<2} {:>8.3} Mop/s",
+                    m.name, threads, m.mops_mean
+                );
+                out.push(ThroughputSample {
+                    series: m.name.to_string(),
+                    threads,
+                    mops: m.mops_mean,
+                });
+            }
+        }
+    }
+    // Update-heavy workload (ISSUE 5): 50% native `Map::update` / 50% get
+    // over the prefilled key set, against the identical mix forced down the
+    // remove+insert composite — the recorded price of atomic update at the
+    // structure level. One flat and one tree structure, lock-free mode,
+    // 1/4 threads.
+    for structure in ["hashtable", "abtree"] {
+        for threads in [1usize, 4] {
+            let cfg = Config {
+                threads,
+                key_range: 100_000,
+                update_percent: 50,
+                zipf_alpha: 0.75,
+                run_duration: duration,
+                repeats,
+                sparsify_keys: false,
+                seed: 2,
+            };
+            for m in [
+                run_point_updates(Series::lf(structure), &cfg),
+                run_point_updates_composite(Series::lf(structure), &cfg),
+            ] {
                 println!(
                     "{:<24} threads={:<2} {:>8.3} Mop/s",
                     m.name, threads, m.mops_mean

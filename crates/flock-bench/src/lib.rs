@@ -19,7 +19,7 @@ pub mod bench_json;
 
 use std::time::Duration;
 
-use flock_api::Map;
+use flock_api::{Key, Map, Value};
 use flock_core::LockMode;
 use flock_ds::{
     abtree::ABTree, arttree::ArtTree, dlist::DList, hashtable::HashTable, lazylist::LazyList,
@@ -191,6 +191,72 @@ pub fn run_point(series: Series, cfg: &Config) -> Measurement {
     m
 }
 
+/// Delegating wrapper that forces the **composite** remove+insert
+/// `Map::update` — the non-atomic fallback every registry structure
+/// replaced with a native in-place update. Exists so the trajectory can
+/// price the atomic path against what it replaced
+/// (`update_composite_*` primitives, `-updc` workload series); it is not
+/// part of the registry.
+pub struct CompositeUpdate<M>(pub M);
+
+impl<K: Key, V: Value, M: Map<K, V>> Map<K, V> for CompositeUpdate<M> {
+    fn insert(&self, key: K, value: V) -> bool {
+        self.0.insert(key, value)
+    }
+    fn remove(&self, key: K) -> bool {
+        self.0.remove(key)
+    }
+    fn get(&self, key: K) -> Option<V> {
+        self.0.get(key)
+    }
+    fn name(&self) -> &'static str {
+        self.0.name()
+    }
+    fn update(&self, key: K, value: V) -> bool {
+        // The pre-PR-5 composite, verbatim: observable absence window
+        // between the halves, lost-update race with concurrent inserts.
+        if self.0.remove(key.clone()) {
+            let _ = self.0.insert(key, value);
+            true
+        } else {
+            false
+        }
+    }
+    fn has_atomic_update(&self) -> bool {
+        false
+    }
+    fn len_approx(&self) -> Option<usize> {
+        self.0.len_approx()
+    }
+}
+
+/// [`run_point`] with the **update-heavy** mix (`update_percent`% native
+/// `Map::update`, rest lookups). Series labels get a `-upd` suffix.
+pub fn run_point_updates(series: Series, cfg: &Config) -> Measurement {
+    flock_core::set_lock_mode(series.mode.unwrap_or(LockMode::LockFree));
+    let map = make_map(series.structure, cfg.key_range);
+    let mut m = flock_workload::run_update_experiment(&*map, cfg);
+    drop(map);
+    flock_epoch::flush_all();
+    flock_core::set_lock_mode(LockMode::LockFree);
+    m.name = Box::leak(format!("{}-upd", series.label()).into_boxed_str());
+    m
+}
+
+/// [`run_point_updates`] through [`CompositeUpdate`]: the same update-heavy
+/// mix forced down the remove+insert fallback. Labels get `-updc`; the
+/// `-upd`/`-updc` pair is the recorded price of atomic update.
+pub fn run_point_updates_composite(series: Series, cfg: &Config) -> Measurement {
+    flock_core::set_lock_mode(series.mode.unwrap_or(LockMode::LockFree));
+    let map = CompositeUpdate(make_map(series.structure, cfg.key_range));
+    let mut m = flock_workload::run_update_experiment(&map, cfg);
+    drop(map);
+    flock_epoch::flush_all();
+    flock_core::set_lock_mode(LockMode::LockFree);
+    m.name = Box::leak(format!("{}-updc", series.label()).into_boxed_str());
+    m
+}
+
 /// [`run_point`] at the fat-value shape: same workload, values built by
 /// [`fat_value`]. Series labels get a `-fat` suffix.
 pub fn run_point_fat(series: Series, cfg: &Config) -> Measurement {
@@ -285,6 +351,48 @@ mod tests {
         flock_epoch::flush_all();
     }
 
+    /// PR 5: the remove+insert composite `update` is **unreachable from
+    /// the public registry** — every structure (all 7 Flock structures and
+    /// all 5 baselines, at both the paper shape and the fat shape)
+    /// provides the native atomic `update` and says so. The composite's
+    /// absence-window contract stays pinned in flock-api for external
+    /// implementors only.
+    #[test]
+    fn composite_update_unreachable_from_registry() {
+        for name in [
+            "dlist",
+            "lazylist",
+            "hashtable",
+            "leaftree",
+            "leaftree-strict",
+            "leaftreap",
+            "abtree",
+            "arttree",
+            "harris_list",
+            "harris_list_opt",
+            "natarajan",
+            "ellen",
+            "bronson_style_bst",
+            "srivastava_abtree",
+        ] {
+            let m = make_map(name, 1024);
+            assert!(
+                m.has_atomic_update(),
+                "{name} fell back to the composite update"
+            );
+            assert!(m.insert(1, 2));
+            assert!(m.update(1, 3), "{name}: native update of a present key");
+            assert_eq!(m.get(1), Some(3), "{name}");
+            assert!(!m.update(9, 1), "{name}: update of an absent key");
+            let f = make_map_fat(name, 1024);
+            assert!(f.has_atomic_update(), "{name} (fat)");
+            assert!(f.insert(1, fat_value(2)));
+            assert!(f.update(1, fat_value(3)), "{name} (fat)");
+            assert_eq!(f.get(1), Some(fat_value(3)), "{name} (fat)");
+        }
+        flock_epoch::flush_all();
+    }
+
     #[test]
     fn run_point_fat_smoke() {
         let cfg = Config {
@@ -300,6 +408,26 @@ mod tests {
         let m = run_point_fat(Series::lf("hashtable"), &cfg);
         assert!(m.mops_mean > 0.0, "{}", m.name);
         assert_eq!(m.name, "hashtable-lf-fat");
+    }
+
+    #[test]
+    fn run_point_updates_smoke() {
+        let cfg = Config {
+            threads: 2,
+            key_range: 512,
+            update_percent: 50,
+            zipf_alpha: 0.75,
+            run_duration: Duration::from_millis(20),
+            repeats: 1,
+            sparsify_keys: false,
+            seed: 5,
+        };
+        let m = run_point_updates(Series::lf("hashtable"), &cfg);
+        assert!(m.mops_mean > 0.0, "{}", m.name);
+        assert_eq!(m.name, "hashtable-lf-upd");
+        let m = run_point_updates_composite(Series::lf("hashtable"), &cfg);
+        assert!(m.mops_mean > 0.0, "{}", m.name);
+        assert_eq!(m.name, "hashtable-lf-updc");
     }
 
     #[test]

@@ -158,6 +158,13 @@ pub struct Descriptor {
     helped: AtomicBool,
     /// Epoch reserved by the creating operation; helpers adopt it.
     birth_epoch: AtomicU64,
+    /// Incarnation counter of this descriptor slab: bumped on every
+    /// (re)initialization in [`create_descriptor`], never reset. Two
+    /// observations of the same slab with equal generations are the same
+    /// incarnation — the help path's defense against lock-word tag
+    /// wraparound, where the packed word `(tag, ptr)` can recur while the
+    /// descriptor behind it was pool-recycled (see `Lock::help`).
+    generation: AtomicU64,
     /// True when the descriptor was created while running another thunk.
     nested: bool,
 }
@@ -176,6 +183,7 @@ impl Descriptor {
             done: AtomicBool::new(false),
             helped: AtomicBool::new(false),
             birth_epoch: AtomicU64::new(0),
+            generation: AtomicU64::new(0),
             nested: false,
         }
     }
@@ -264,6 +272,18 @@ impl Descriptor {
         // Ordering: SeqCst — write side of the Dekker pair, see
         // `was_helped`. Help paths only run under contention.
         self.helped.store(true, Ordering::SeqCst);
+    }
+
+    /// This slab's incarnation number (see the field docs).
+    ///
+    /// Ordering: Acquire. A helper that observed the descriptor installed
+    /// on a lock word (SeqCst load reading from the SeqCst install CAS)
+    /// already synchronizes with the incarnation's initialization; Acquire
+    /// here keeps the *re-read* in the generation-validated help protocol
+    /// from floating above the lock-word load it follows, so "generation
+    /// unchanged" really does mean "no `create_descriptor` ran in between".
+    pub(crate) fn generation(&self) -> u64 {
+        self.generation.load(Ordering::Acquire)
     }
 
     pub(crate) fn birth_epoch(&self) -> u64 {
@@ -372,6 +392,12 @@ where
     // publication, so the marks cannot leak into this incarnation's checks.
     d.done.store(false, Ordering::Relaxed);
     d.helped.store(false, Ordering::Relaxed);
+    // New incarnation: bump the generation so any helper still holding a
+    // pre-recycle observation of this slab fails its generation re-check
+    // (the tag-wrap defense in `Lock::help`). Release pairs with the
+    // Acquire in `generation()`; the bump is also ordered before any
+    // publication of this incarnation by the install CAS / log commit.
+    d.generation.fetch_add(1, Ordering::Release);
     d.thunk.set(f);
     // Ordering: Relaxed — pre-publication write, ordered by the install
     // CAS / log commit that later publishes the descriptor (see

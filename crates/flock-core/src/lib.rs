@@ -62,16 +62,20 @@ mod mutable;
 /// every non-`model` build.
 #[cfg(feature = "model")]
 pub mod mutants;
+mod value_slot;
 
 pub use ctx::in_thunk;
 #[cfg(feature = "model")]
 pub use descriptor::model_drain_descriptor_pool;
 pub use descriptor::set_descriptor_reuse;
 pub use idemp::{alloc, retire};
+#[cfg(feature = "model")]
+pub use lock::model_probe;
 pub use lock::{Lock, LockMode, lock_mode, set_helping, set_lock_mode};
 pub use locked::Locked;
 pub use log::{EMPTY, LOG_BLOCK_ENTRIES};
 pub use mutable::{Mutable, UpdateOnce, commit_value};
+pub use value_slot::ValueSlot;
 
 // Re-export the reclamation entry points (and the indirect value
 // representation built on them) so data-structure code needs only this

@@ -10,12 +10,16 @@
 //!    report failure.
 //! 3. If locked: help the installed descriptor, then report failure.
 //!
-//! Helping wraps `run` in the *adopt → revalidate → run* protocol: mark the
-//! descriptor helped, adopt its epoch, re-read the lock word raw, and only
-//! run if the descriptor is still installed. The unlock CAM is executed
-//! unconditionally through the idempotent path so that replayers of an
-//! enclosing thunk consume identical log positions regardless of which
-//! branch they take (DESIGN.md §3).
+//! Helping wraps `run` in the *observe-generation → mark → adopt →
+//! revalidate → run → unlock* protocol: mark the descriptor helped, adopt
+//! its epoch, re-read the lock word **and the descriptor's generation
+//! counter** (all committed reads), and only run — and only issue the
+//! unlock CAM — while both still match the observation. The generation
+//! counter is what makes the full-packed-word comparison exact even across
+//! a `TAG_LIMIT`-install tag wraparound of one lock word (see
+//! [`Lock::help`]); committed reads keep replayers of an enclosing thunk
+//! on identical log positions regardless of which branch they take
+//! (DESIGN.md §3).
 //!
 //! In blocking mode the same lock word acts as a test-and-test-and-set bit
 //! (with the descriptor pointer left null), no descriptor is created, and
@@ -407,12 +411,13 @@ impl Lock {
     }
 
     /// Help the descriptor installed on this lock (observed as the full
-    /// packed word `cur_packed`): mark helped → adopt epoch → revalidate →
-    /// run; then always replay the unlock CAM so nested replayers stay
-    /// log-position-synchronized.
+    /// packed word `cur_packed`): observe the descriptor's generation →
+    /// mark helped → adopt epoch → revalidate (word **and** generation) →
+    /// if valid, run and then unlock; a helper that fails revalidation does
+    /// nothing at all.
     ///
-    /// Both the revalidation and the unlock guard compare the **full packed
-    /// word — tag included**. Comparing only the value bits is unsound: an
+    /// The revalidation and the unlock guard compare the **full packed word
+    /// — tag included**. Comparing only the value bits is unsound: an
     /// unhelped descriptor is pool-recycled by its owner and can be
     /// reinstalled on the same lock at the same address, and the pool reset
     /// erases any *stale* `helped` mark. A helper whose mark was erased
@@ -422,10 +427,43 @@ impl Lock {
     /// crash: "descriptor thunk called before set"); a value-only unlock
     /// guard would likewise let the trailing CAM unlock the new incarnation
     /// mid-run. The install CAM bumps the lock word's tag, so full-word
-    /// comparison rejects every reincarnation. (Residual window: a stalled
-    /// helper surviving an exact 2^16-install tag wraparound of this one
-    /// lock word; ignored as unreachable in practice, like the paper's own
-    /// single-word-tag bound.)
+    /// comparison rejects a reincarnation — except across an exact
+    /// `TAG_LIMIT`-install wraparound of this one lock word, where the
+    /// packed word itself recurs (the value-reuse hazard every value-based
+    /// scheme must defend against, cf. Dice & Kogan).
+    ///
+    /// The **descriptor generation** closes that wraparound window
+    /// exhaustively. The slab's 64-bit generation is bumped on every
+    /// (re)initialization and never recurs. The protocol:
+    ///
+    /// read `gen0` (committed) → mark helped → adopt (SeqCst fence) →
+    /// load the word `w` (committed) → re-read the generation `gen1`
+    /// (committed); **valid ⇔ `w == cur_packed && gen1 == gen0`**.
+    ///
+    /// *Valid* implies no `create_descriptor` ran on this slab between
+    /// the two generation reads, so (a) the install `w` observed belongs to the one
+    /// incarnation alive across that whole interval (an installed
+    /// descriptor is never recycled before its unlock), and (b) the mark in
+    /// step 2 landed on exactly that incarnation and was never erased by a
+    /// pool reset. Its owner therefore observes `helped` (the step-3 fence
+    /// anchors the Dekker pair with the owner's unlock-CAM/reuse-check
+    /// sequence) and retires the slab through the epoch collector instead
+    /// of recycling it — and since this helper is pinned/adopted, the slab
+    /// can neither be freed nor re-enter `create_descriptor` while this
+    /// call is still running. Hence the packed word `(tag, ptr)` cannot
+    /// recur as a *different* incarnation for the rest of this call, which
+    /// is what makes the trailing unlock CAM (full-word-guarded, after the
+    /// run completed) safe. *Invalid* helpers skip the unlock CAM entirely:
+    /// a CAM there could fire on a wrapped reinstallation whose thunk never
+    /// ran, releasing a held lock — and skipping costs no progress, since
+    /// the currently installed incarnation always has its own owner and
+    /// freshly-validating helpers to release it.
+    ///
+    /// Every branch depends only on committed values, so runners of an
+    /// enclosing thunk stay log-position-synchronized. Wraparound in scope,
+    /// this is proved exhaustively by flock-model's `lock_word_tag_wrap_*`
+    /// tests; the `SKIP_GEN_CHECK` mutant reverts to the pre-fix behavior
+    /// (raw revalidation, unconditional unlock CAM) and is provably caught.
     fn help(&self, tc: &ThreadCtx, cur_packed: u64, guard: &flock_epoch::EpochGuard) {
         let cur = LockWord::from_bits(unpack_val(cur_packed));
         debug_assert!(cur.is_locked());
@@ -441,38 +479,67 @@ impl Lock {
             // crash.
             return;
         }
-        // SAFETY: `d` was read from the lock word while pinned; descriptors
-        // are freed only through the epoch collector (or reused when
-        // provably unreachable — which the protocol below excludes).
-        unsafe { (*d).mark_helped() };
-        // Adopt the helped thunk's epoch (paper §6) — publishes with a
-        // SeqCst fence before the revalidation read below. That fence also
-        // anchors the mark_helped/unlock-CAM Dekker pair: the mark is
-        // sequenced before it, the owner's reuse check is sequenced after
-        // its own SeqCst unlock CAM.
-        // SAFETY: as above.
-        let _adopt = guard.adopt(unsafe { (*d).birth_epoch() });
-        // Revalidate: only run while the lock word still holds the exact
-        // incarnation we observed (full packed comparison, see above). The
-        // mark_helped above happened before this read, so this incarnation's
-        // owner cannot have recycled the descriptor if the read still sees
-        // it installed. (Acquire read; ordered by the adopt fence.)
-        let raw = self.word.raw_packed();
-        if raw == cur_packed {
-            // SAFETY: revalidated + epoch-adopted: `d` is live and its
-            // owner will observe `helped` before any reuse decision. The
-            // null out-slot discards the helper's copy of the result.
-            // A stale-false done read only causes a redundant (idempotent)
-            // replay.
+        // Sanity-mutant hook: `true` reverts to the pre-generation help
+        // path so the model checker can demonstrate the wraparound bug.
+        #[cfg(feature = "model")]
+        if crate::mutants::skip_gen_check() {
+            // SAFETY: see the pre-fix comments preserved in git history;
+            // this arm exists only to be proven wrong by the checker.
             unsafe {
-                if !(*d).is_done() {
+                (*d).mark_helped();
+                let _adopt = guard.adopt((*d).birth_epoch());
+                if self.word.raw_packed() == cur_packed && !(*d).is_done() {
                     ctx::run_in(tc, d, std::ptr::null_mut());
                     (*d).set_done();
                 }
             }
+            self.word
+                .cam_packed_in(tc, cur_packed, LockWord::UNLOCKED_EMPTY);
+            return;
         }
-        // Idempotent unlock attempt — executed unconditionally so that every
-        // runner of an enclosing thunk commits the same two log entries.
+        // Step 1: observe the slab's incarnation BEFORE marking helped (see
+        // the protocol above). Committed, like every read feeding `valid`,
+        // so all runners of an enclosing thunk take the same branches.
+        // SAFETY: `d` was read from the lock word while pinned; published
+        // descriptors are never plain-freed (pool reuse or epoch retire
+        // only), so the dereference is valid even if the slab was since
+        // recycled.
+        let gen0 = ctx::commit_raw_in(tc, unsafe { (*d).generation() }).0;
+        // Step 2: mark. At worst this lands on a later incarnation than the
+        // generation we read — then `valid` below is false and the only
+        // effect is forcing that incarnation down the conservative retire
+        // path (harmless by design, see `dispose_top_level`).
+        // SAFETY: as above.
+        unsafe { (*d).mark_helped() };
+        // Step 3: adopt the helped thunk's epoch (paper §6) — publishes
+        // with a SeqCst fence before the revalidation reads below. That
+        // fence also anchors the mark_helped/unlock-CAM Dekker pair: the
+        // mark is sequenced before it, the owner's reuse check is sequenced
+        // after its own SeqCst unlock CAM.
+        // SAFETY: as above.
+        let _adopt = guard.adopt(unsafe { (*d).birth_epoch() });
+        // Steps 4+5: revalidate word, then generation (this order — the
+        // Acquire generation load synchronizes through the install CAS the
+        // word load observed, so equality proves no intervening recycle).
+        let w = self.word.load_packed_in(tc);
+        // SAFETY: as above.
+        let gen1 = ctx::commit_raw_in(tc, unsafe { (*d).generation() }).0;
+        if w != cur_packed || gen1 != gen0 {
+            return; // stale observation: do nothing (see the doc comment)
+        }
+        // SAFETY: validated + epoch-adopted: `d` is live, this is the
+        // incarnation we marked, and its owner will observe `helped` before
+        // any reuse decision. The null out-slot discards the helper's copy
+        // of the result. A stale-false done read only causes a redundant
+        // (idempotent) replay.
+        unsafe {
+            if !(*d).is_done() {
+                ctx::run_in(tc, d, std::ptr::null_mut());
+                (*d).set_done();
+            }
+        }
+        // Unlock the incarnation we just ran (or observed done). The
+        // full-word guard plus `valid` makes this exact (doc comment).
         self.word
             .cam_packed_in(tc, cur_packed, LockWord::UNLOCKED_EMPTY);
     }
@@ -523,6 +590,37 @@ impl Lock {
             w,
             pack(next_tag(unpack_tag(w)), LockWord::UNLOCKED_EMPTY.to_bits()),
         );
+    }
+}
+
+/// Model-only probes splitting a helper's *observation* of a lock word
+/// from its *help* call, so the model checker can schedule an arbitrarily
+/// stalled helper without spending preemptions inside `try_lock` — the
+/// scenario of the tag-wraparound tests. Production helpers take exactly
+/// this path (observe inside `lock_free_try_lock`, then `help`); the probe
+/// only externalizes the stall point between the two.
+#[cfg(feature = "model")]
+pub mod model_probe {
+    use super::Lock;
+    use flock_sync::pack::{PackedValue, unpack_val};
+    use flock_sync::thread_ctx;
+
+    /// A helper's observation step: the full packed lock word.
+    pub fn observe(lock: &Lock) -> u64 {
+        thread_ctx::with(|tc| lock.word.load_packed_in(tc))
+    }
+
+    /// Run the real help path against a (possibly long-stale) observation,
+    /// exactly as `lock_free_try_lock` would on finding `observed_packed`
+    /// locked. No-op when the observation was of an unlocked word.
+    pub fn help_observed(lock: &Lock, observed_packed: u64) {
+        if !super::LockWord::from_bits(unpack_val(observed_packed)).is_locked() {
+            return;
+        }
+        thread_ctx::with(|tc| {
+            let guard = flock_epoch::pin_with(tc);
+            lock.help(tc, observed_packed, &guard);
+        });
     }
 }
 

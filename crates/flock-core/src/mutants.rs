@@ -26,3 +26,15 @@ pub static LOG_NO_AGREEMENT: AtomicBool = AtomicBool::new(false);
 pub(crate) fn log_no_agreement() -> bool {
     LOG_NO_AGREEMENT.load(Ordering::Relaxed)
 }
+
+/// Drop the generation re-checks from the help path (`Lock::help` behaves
+/// as before the descriptor-generation fix): a stalled helper that survives
+/// an exact `TAG_LIMIT`-install wraparound of one lock word revalidates a
+/// *reincarnated* packed word — the same-value-different-incarnation ABA
+/// the generation counter exists to reject — and can run or unlock a
+/// descriptor that is not the one it observed.
+pub static SKIP_GEN_CHECK: AtomicBool = AtomicBool::new(false);
+
+pub(crate) fn skip_gen_check() -> bool {
+    SKIP_GEN_CHECK.load(Ordering::Relaxed)
+}

@@ -1,0 +1,167 @@
+//! Per-node value slots: the shared idempotent value-slot primitive behind
+//! every structure's native atomic `Map::update` ([`ValueSlot::set`] is
+//! what the `update` overrides call; [`ValueSlot::rmw`] is the general
+//! read-modify-write form offered for composed in-thunk critical
+//! sections).
+//!
+//! The paper's central claim is that idempotent lock-free locks compose
+//! arbitrary critical sections — including read-modify-write — without
+//! giving up atomicity to helping. The structure-side pattern that realizes
+//! it (proved on `hashtable` first, now shared by every Flock structure) is
+//! always the same choreography:
+//!
+//! 1. the node that owns a key stores its value in a lock-word-adjacent
+//!    [`ValueSlot`] (a [`Mutable<V>`] underneath) instead of a plain field;
+//! 2. readers snapshot the slot **without any lock** ([`ValueSlot::read`]):
+//!    one atomic load of the packed word, decoded under the caller's epoch
+//!    guard for indirect (fat) values — they see the old value or the new
+//!    one, never absence and never a third value;
+//! 3. writers replace or read-modify-write the slot **inside the owning
+//!    lock's thunk** ([`ValueSlot::set`] / [`ValueSlot::rmw`]), after
+//!    re-validating that the node still holds the key. The `Mutable` store
+//!    machinery makes the write idempotent: all runs of a helped thunk
+//!    agree on one new encoding (log commit), exactly one CAS installs it
+//!    (tag agreement + announcement), and for indirect values exactly one
+//!    displaced encoding is epoch-retired per applied update.
+//!
+//! Which lock "owns" a slot is the structure's decision — the bucket lock
+//! (hashtable), the node's own lock (dlist, lazylist, arttree), or the
+//! leaf's parent lock (leaftree, leaftreap, abtree) — but it must be the
+//! same lock (or set of locks) whose holder can remove or replace the node,
+//! so that "the key is present" stays true for the duration of the thunk.
+//! EXPERIMENTS.md §7 tabulates the per-structure placement.
+
+use flock_sync::ValueRepr;
+
+use crate::mutable::Mutable;
+
+/// A per-node value slot with lock-free snapshot reads and idempotent
+/// in-thunk replacement — see the module docs for the full choreography.
+pub struct ValueSlot<V: ValueRepr> {
+    cell: Mutable<V>,
+}
+
+impl<V: ValueRepr> ValueSlot<V> {
+    /// A new slot holding `v` (allocates for indirect representations).
+    pub fn new(v: V) -> Self {
+        Self {
+            cell: Mutable::new(v),
+        }
+    }
+
+    /// Snapshot the current value without taking any lock.
+    ///
+    /// Outside a thunk this is one atomic load (plus an epoch-protected
+    /// decode for indirect values — the cell pins itself, so bare callers
+    /// are safe); inside a thunk the load is committed to the thunk log so
+    /// every run of the thunk observes the same snapshot.
+    #[inline]
+    pub fn read(&self) -> V {
+        self.cell.load()
+    }
+
+    /// Replace the stored value.
+    ///
+    /// Must run inside the owning lock's thunk (or while the slot is
+    /// otherwise store-serialized): concurrent `set`/`rmw` on one slot are
+    /// outside the model, concurrent [`ValueSlot::read`]s are the point.
+    /// Idempotent under helping — one logical store per call, with the
+    /// displaced indirect encoding retired exactly once.
+    #[inline]
+    pub fn set(&self, v: V) {
+        self.cell.store(v);
+    }
+
+    /// Read-modify-write the stored value in place: replace it with
+    /// `f(current)` and return the value that was replaced.
+    ///
+    /// Same contract as [`ValueSlot::set`], plus: `f` must be deterministic
+    /// given its argument — the load below is committed to the thunk log,
+    /// so every run of a helped thunk applies `f` to the identical
+    /// snapshot and stores the identical result (allocated per run for
+    /// indirect values; losers of the encode race free theirs).
+    #[inline]
+    pub fn rmw(&self, f: impl FnOnce(V) -> V) -> V {
+        let old = self.cell.load();
+        self.cell.store(f(old.clone()));
+        old
+    }
+}
+
+impl<V: ValueRepr + std::fmt::Debug> std::fmt::Debug for ValueSlot<V> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_tuple("ValueSlot").field(&self.cell).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn read_set_rmw_top_level() {
+        let s = ValueSlot::new(5u64);
+        assert_eq!(s.read(), 5);
+        s.set(7);
+        assert_eq!(s.read(), 7);
+        assert_eq!(s.rmw(|v| v * 10), 7);
+        assert_eq!(s.read(), 70);
+    }
+
+    #[test]
+    fn indirect_values_roundtrip() {
+        use flock_epoch::Indirect;
+        let s: ValueSlot<Indirect<Vec<u64>>> = ValueSlot::new(Indirect(vec![1, 2]));
+        assert_eq!(s.read(), Indirect(vec![1, 2]));
+        s.set(Indirect(vec![3]));
+        assert_eq!(s.read(), Indirect(vec![3]));
+        let old = s.rmw(|Indirect(mut v)| {
+            v.push(4);
+            Indirect(v)
+        });
+        assert_eq!(old, Indirect(vec![3]));
+        assert_eq!(s.read(), Indirect(vec![3, 4]));
+        drop(s);
+        flock_epoch::flush_all();
+    }
+
+    /// The headline composition: an in-thunk RMW stays exactly-once under
+    /// contention and helping, and concurrent lock-free readers never see a
+    /// torn or absent value.
+    #[test]
+    #[cfg_attr(miri, ignore)] // multi-thread contention stress, slow under miri
+    fn rmw_exactly_once_under_helping() {
+        let _guard = crate::lock::TEST_MODE_LOCK
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
+        crate::set_lock_mode(crate::LockMode::LockFree);
+        let lock = Arc::new(crate::Lock::new());
+        let slot = Arc::new(ValueSlot::new(0u64));
+        const THREADS: u64 = 4;
+        const PER_THREAD: u64 = 500;
+        std::thread::scope(|s| {
+            for _ in 0..THREADS {
+                let lock = Arc::clone(&lock);
+                let slot = Arc::clone(&slot);
+                s.spawn(move || {
+                    let mut done = 0;
+                    while done < PER_THREAD {
+                        let s2 = Arc::clone(&slot);
+                        if lock.try_lock(move || s2.rmw(|v| v + 1)).is_some() {
+                            done += 1;
+                        }
+                    }
+                });
+            }
+            let slot = Arc::clone(&slot);
+            s.spawn(move || {
+                for _ in 0..2_000 {
+                    let v = slot.read();
+                    assert!(v <= THREADS * PER_THREAD, "impossible snapshot {v}");
+                }
+            });
+        });
+        assert_eq!(slot.read(), THREADS * PER_THREAD);
+    }
+}

@@ -24,7 +24,7 @@
 //! removes all root special cases.
 
 use flock_api::{Key, Map, Value};
-use flock_core::{Lock, Mutable, Sp, UpdateOnce};
+use flock_core::{Lock, Mutable, Sp, UpdateOnce, ValueSlot};
 use flock_sync::{ApproxLen, Backoff};
 
 /// Maximum keys per leaf and separators per internal node ("b").
@@ -37,8 +37,11 @@ struct Node<K: Key, V: Value> {
     /// Leaf: element keys (sorted). Internal: separators
     /// (children = keys.len() + 1).
     keys: Vec<K>,
-    /// Element values (leaves only; parallel to `keys`).
-    vals: Vec<V>,
+    /// Element value slots (leaves only; parallel to `keys`). The key set
+    /// is immutable (membership changes copy the leaf), but each value is
+    /// mutable in place under the leaf's **parent** lock — native `update`
+    /// without copying the batch.
+    vals: Vec<ValueSlot<V>>,
     children: [Mutable<*mut Node<K, V>>; B + 1],
 }
 
@@ -54,7 +57,10 @@ impl<K: Key, V: Value> Node<K, V> {
             removed: UpdateOnce::new(false),
             is_leaf: true,
             keys: entries.iter().map(|(k, _)| k.clone()).collect(),
-            vals: entries.iter().map(|(_, v)| v.clone()).collect(),
+            vals: entries
+                .iter()
+                .map(|(_, v)| ValueSlot::new(v.clone()))
+                .collect(),
             children: Self::empty_children(),
         }
     }
@@ -94,11 +100,14 @@ impl<K: Key, V: Value> Node<K, V> {
         self.keys.iter().position(|x| x == k)
     }
 
+    /// Key/value snapshot of a leaf (for copy-on-write paths). Inside a
+    /// thunk every slot read is committed, so all runners copy the same
+    /// batch.
     fn leaf_entries(&self) -> Vec<(K, V)> {
         self.keys
             .iter()
             .cloned()
-            .zip(self.vals.iter().cloned())
+            .zip(self.vals.iter().map(ValueSlot::read))
             .collect()
     }
 
@@ -513,9 +522,53 @@ impl<K: Key, V: Value> ABTree<K, V> {
             // SAFETY: pinned.
             let n = unsafe { &*cur };
             if n.is_leaf {
-                return n.find(&k).map(|i| n.vals[i].clone());
+                return n.find(&k).map(|i| n.vals[i].read());
             }
             cur = n.children[n.route(&k)].load();
+        }
+    }
+
+    /// Native atomic update: replace the value stored under `k` in place —
+    /// one idempotent slot store under the leaf's **parent** lock (the lock
+    /// every copy-on-write replacement of this leaf's child cell takes),
+    /// with the parent link validated under it. Returns `false` if `k` is
+    /// absent. Readers see the old value or the new one, never absence or a
+    /// third value — and the batch is not copied.
+    pub fn update(&self, k: K, v: V) -> bool {
+        let _g = flock_epoch::pin();
+        let mut backoff = Backoff::new();
+        loop {
+            let path = self.path_to(&k);
+            let leaf = *path.last().expect("path includes leaf");
+            // SAFETY: epoch-pinned.
+            let leaf_ref = unsafe { &*leaf };
+            if leaf_ref.find(&k).is_none() {
+                return false;
+            }
+            let parent = path[path.len() - 2];
+            let (sp_p, sp_l) = (Sp(parent), Sp(leaf));
+            let (k2, v2) = (k.clone(), v.clone());
+            // SAFETY: epoch-pinned.
+            let outcome = unsafe { &*parent }.lock.try_lock(move || {
+                // SAFETY: thunk runners hold epoch protection.
+                let p = unsafe { sp_p.as_ref() };
+                let l = unsafe { sp_l.as_ref() };
+                if p.removed.load() {
+                    return false;
+                }
+                let slot = p.route(&k2);
+                if p.children[slot].load() != sp_l.ptr() {
+                    return false; // leaf replaced under us: re-plan
+                }
+                let Some(pos) = l.find(&k2) else { return false };
+                l.vals[pos].set(v2.clone());
+                true
+            });
+            match outcome {
+                Some(true) => return true,
+                Some(false) => {}         // validation failed: re-plan now
+                None => backoff.snooze(), // parent lock busy
+            }
         }
     }
 
@@ -657,6 +710,12 @@ impl<K: Key, V: Value> Map<K, V> for ABTree<K, V> {
     fn name(&self) -> &'static str {
         self.label
     }
+    fn update(&self, key: K, value: V) -> bool {
+        ABTree::update(self, key, value)
+    }
+    fn has_atomic_update(&self) -> bool {
+        true
+    }
     fn len_approx(&self) -> Option<usize> {
         Some(self.count.get())
     }
@@ -730,6 +789,28 @@ mod tests {
             assert!(t.is_empty());
             assert!(t.insert(1, 2));
             assert_eq!(t.get(1), Some(2));
+        });
+    }
+
+    #[test]
+    fn native_update_in_place() {
+        testutil::both_modes(|| {
+            let t: ABTree<u64, u64> = ABTree::new();
+            assert!(!t.update(1, 10), "update of an absent key refused");
+            // Enough keys for several splits, so updates hit deep leaves.
+            for k in 0..200 {
+                assert!(t.insert(k, k));
+            }
+            for k in 0..200 {
+                assert!(t.update(k, k + 1000));
+            }
+            for k in 0..200 {
+                assert_eq!(t.get(k), Some(k + 1000));
+            }
+            assert_eq!(t.len(), 200, "update must not change the count");
+            assert!(t.remove(7));
+            assert!(!t.update(7, 1));
+            t.check_invariants();
         });
     }
 

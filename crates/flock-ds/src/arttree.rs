@@ -30,7 +30,7 @@
 //!   parent's when the node itself is replaced — validate, then apply.
 
 use flock_api::{Key, Map, Value};
-use flock_core::{Lock, Mutable, Sp, UpdateOnce};
+use flock_core::{Lock, Mutable, Sp, UpdateOnce, ValueSlot};
 use flock_sync::{ApproxLen, Backoff};
 
 const KEY_BYTES: usize = 8;
@@ -79,7 +79,7 @@ fn byte_at(r: u64, depth: usize) -> u8 {
 const LEAF_TAG: usize = 1;
 
 #[inline]
-fn tag_leaf<K, V>(l: *mut ArtLeaf<K, V>) -> usize {
+fn tag_leaf<K, V: Value>(l: *mut ArtLeaf<K, V>) -> usize {
     l as usize | LEAF_TAG
 }
 
@@ -94,7 +94,7 @@ fn is_leaf(c: usize) -> bool {
 }
 
 #[inline]
-fn as_leaf<K, V>(c: usize) -> *mut ArtLeaf<K, V> {
+fn as_leaf<K, V: Value>(c: usize) -> *mut ArtLeaf<K, V> {
     (c & !LEAF_TAG) as *mut ArtLeaf<K, V>
 }
 
@@ -103,9 +103,12 @@ fn as_node(c: usize) -> *mut ArtNode {
     c as *mut ArtNode
 }
 
-struct ArtLeaf<K, V> {
+struct ArtLeaf<K, V: Value> {
     key: K,
-    value: V,
+    /// Value slot: mutable in place under the lock of the node whose child
+    /// cell references this leaf (native `update`), snapshot-readable
+    /// without it. The leaf itself stays immutable in every other respect.
+    value: ValueSlot<V>,
 }
 
 /// Node widths. `kind` selects the layout of `keys`/`index`/`children`.
@@ -325,7 +328,7 @@ impl<K: Key + RadixKey, V: Value> ArtTree<K, V> {
             if is_leaf(c) {
                 // SAFETY: leaf pointers epoch-protected.
                 let l = unsafe { &*as_leaf::<K, V>(c) };
-                return (l.key == k).then(|| l.value.clone());
+                return (l.key == k).then(|| l.value.read());
             }
             cur = as_node(c);
         }
@@ -443,6 +446,65 @@ impl<K: Key + RadixKey, V: Value> ArtTree<K, V> {
         }
     }
 
+    /// Native atomic update: replace the value stored under `k` in place —
+    /// one idempotent slot store under the lock of the node whose child
+    /// cell holds the leaf (the same lock the remove path's tombstone and
+    /// every replacement of that cell take), with the cell validated under
+    /// it. Returns `false` (storing nothing) if `k` is absent. Readers see
+    /// the old value or the new one, never absence or a third value.
+    pub fn update(&self, k: K, v: V) -> bool {
+        let _g = flock_epoch::pin();
+        let r = k.radix();
+        let mut backoff = Backoff::new();
+        'restart: loop {
+            let mut cur = self.root;
+            let mut d = 0;
+            loop {
+                let b = byte_at(r, d);
+                // SAFETY: pinned.
+                let c = unsafe { &*cur }.lookup(b);
+                if c == 0 {
+                    return false;
+                }
+                if is_leaf(c) {
+                    // SAFETY: pinned.
+                    if unsafe { &*as_leaf::<K, V>(c) }.key != k {
+                        return false;
+                    }
+                    let sp_n = Sp(cur);
+                    let v2 = v.clone();
+                    // SAFETY: pinned.
+                    match unsafe { &*cur }.lock.try_lock(move || {
+                        // SAFETY: thunk runners hold epoch protection.
+                        let n = unsafe { sp_n.as_ref() };
+                        if n.removed.load() {
+                            return false;
+                        }
+                        let Some(slot) = n.slot_of(b) else {
+                            return false;
+                        };
+                        if n.children[slot].load() != c {
+                            return false; // leaf moved/tombstoned: re-descend
+                        }
+                        // SAFETY: the cell still references the leaf and we
+                        // hold the lock every replacement of it takes.
+                        unsafe { &*as_leaf::<K, V>(c) }.value.set(v2.clone());
+                        true
+                    }) {
+                        Some(true) => return true,
+                        Some(false) => continue 'restart, // validation failed
+                        None => {
+                            backoff.snooze(); // node lock busy
+                            continue 'restart;
+                        }
+                    }
+                }
+                cur = as_node(c);
+                d += 1;
+            }
+        }
+    }
+
     /// Add a fresh leaf for `k` into `node` (whose slot for `k`'s byte at
     /// `depth` was observed empty), upgrading the node if it is out of
     /// slots.
@@ -469,7 +531,7 @@ impl<K: Key + RadixKey, V: Value> ArtTree<K, V> {
             if let Some(slot) = n.slot_of(b) {
                 let leaf = flock_core::alloc(|| ArtLeaf {
                     key: k2.clone(),
-                    value: v2.clone(),
+                    value: ValueSlot::new(v2.clone()),
                 });
                 n.children[slot].store(tag_leaf(leaf));
                 return true;
@@ -481,7 +543,7 @@ impl<K: Key + RadixKey, V: Value> ArtTree<K, V> {
             }
             let leaf = flock_core::alloc(|| ArtLeaf {
                 key: k2.clone(),
-                value: v2.clone(),
+                value: ValueSlot::new(v2.clone()),
             });
             let added = n.try_add(b, tag_leaf(leaf));
             debug_assert!(added, "free slot vanished under the node lock");
@@ -567,7 +629,7 @@ impl<K: Key + RadixKey, V: Value> ArtTree<K, V> {
                 let (k4, v4) = (k3.clone(), v3.clone());
                 let leaf = flock_core::alloc(|| ArtLeaf {
                     key: k4.clone(),
-                    value: v4.clone(),
+                    value: ValueSlot::new(v4.clone()),
                 });
                 let bigger = flock_core::alloc(move || {
                     let fresh = ArtNode::new(new_kind);
@@ -633,7 +695,7 @@ impl<K: Key + RadixKey, V: Value> ArtTree<K, V> {
             let (k3, v3) = (k2.clone(), v2.clone());
             let new_leaf = flock_core::alloc(|| ArtLeaf {
                 key: k3.clone(),
-                value: v3.clone(),
+                value: ValueSlot::new(v3.clone()),
             });
             // Innermost node: both leaves.
             let bottom = flock_core::alloc(|| {
@@ -704,7 +766,7 @@ impl<K: Key + RadixKey, V: Value> ArtTree<K, V> {
             if is_leaf(c) {
                 // SAFETY: live child pointer.
                 let l = unsafe { &*as_leaf::<K, V>(c) };
-                out.push((l.key.clone(), l.value.clone()));
+                out.push((l.key.clone(), l.value.read()));
             } else {
                 unsafe { Self::walk(as_node(c), out) };
             }
@@ -737,7 +799,7 @@ enum AddOutcome {
 impl<K: Key + RadixKey, V: Value> Drop for ArtTree<K, V> {
     fn drop(&mut self) {
         // SAFETY: exclusive access; retired nodes belong to the collector.
-        unsafe fn free<K, V>(n: *mut ArtNode) {
+        unsafe fn free<K, V: Value>(n: *mut ArtNode) {
             // SAFETY: exclusive teardown.
             unsafe {
                 for (_, c) in (*n).live_entries() {
@@ -767,6 +829,12 @@ impl<K: Key + RadixKey, V: Value> Map<K, V> for ArtTree<K, V> {
     }
     fn name(&self) -> &'static str {
         "arttree"
+    }
+    fn update(&self, key: K, value: V) -> bool {
+        ArtTree::update(self, key, value)
+    }
+    fn has_atomic_update(&self) -> bool {
+        true
     }
     fn len_approx(&self) -> Option<usize> {
         Some(self.count.get())
@@ -855,6 +923,29 @@ mod tests {
                 assert!(t.remove(k));
             }
             assert!(t.is_empty());
+        });
+    }
+
+    #[test]
+    fn native_update_in_place() {
+        testutil::both_modes(|| {
+            let t: ArtTree<u64, u64> = ArtTree::new();
+            assert!(!t.update(1, 10), "update of an absent key refused");
+            // Shared-prefix keys force chains, so updates hit deep leaves.
+            let base = 0xAABB_CCDD_EEFF_0000u64;
+            for i in 0..64 {
+                assert!(t.insert(base + i, i));
+            }
+            for i in 0..64 {
+                assert!(t.update(base + i, i + 1000));
+            }
+            for i in 0..64 {
+                assert_eq!(t.get(base + i), Some(i + 1000));
+            }
+            assert_eq!(t.len(), 64, "update must not change the count");
+            assert!(t.remove(base));
+            assert!(!t.update(base, 1));
+            t.check_invariants();
         });
     }
 

@@ -19,7 +19,7 @@
 //! same reason the paper's C++ lambdas must capture by value.
 
 use flock_api::{Key, Map, Value};
-use flock_core::{Lock, Mutable, Sp, UpdateOnce};
+use flock_core::{Lock, Mutable, Sp, UpdateOnce, ValueSlot};
 use flock_sync::{ApproxLen, Backoff};
 
 /// Sentinel markers so head/tail need no special key values.
@@ -33,7 +33,10 @@ struct Link<K: Key, V: Value> {
     removed: UpdateOnce<bool>,
     /// `None` only on the head/tail sentinels.
     key: Option<K>,
-    value: Option<V>,
+    /// Lock-word-adjacent value slot (`None` only on sentinels): mutable in
+    /// place under this link's own lock (native `update`), snapshot-readable
+    /// without it.
+    value: Option<ValueSlot<V>>,
     lock: Lock,
     kind: u8,
 }
@@ -51,7 +54,7 @@ impl<K: Key, V: Value> Link<K, V> {
             prev: Mutable::new(prev),
             removed: UpdateOnce::new(false),
             key,
-            value,
+            value: value.map(ValueSlot::new),
             lock: Lock::new(),
             kind,
         }
@@ -245,7 +248,50 @@ impl<K: Key, V: Value> DList<K, V> {
         let lnk = self.find_link(&k);
         // SAFETY: epoch-pinned traversal result.
         let l = unsafe { &*lnk };
-        if l.holds(&k) { l.value.clone() } else { None }
+        if l.holds(&k) {
+            l.value.as_ref().map(ValueSlot::read)
+        } else {
+            None
+        }
+    }
+
+    /// Native atomic update: replace the value stored under `k` in place —
+    /// one idempotent slot store under the link's **own** lock. Returns
+    /// `false` (storing nothing) if `k` is absent.
+    ///
+    /// The link's lock is the remove path's inner lock and the only place
+    /// its `removed` flag is ever set, so holding it with `removed == false`
+    /// pins "the key is present" for the whole thunk: concurrent readers
+    /// see the old value or the new one, never absence or a third value.
+    pub fn update(&self, k: K, v: V) -> bool {
+        let _g = flock_epoch::pin();
+        let mut backoff = Backoff::new();
+        loop {
+            let lnk = self.find_link(&k);
+            // SAFETY: epoch-pinned traversal result.
+            let lnk_ref = unsafe { &*lnk };
+            if !lnk_ref.holds(&k) {
+                return false;
+            }
+            let sp_lnk = Sp(lnk);
+            let v2 = v.clone();
+            match lnk_ref.lock.try_lock(move || {
+                // SAFETY: thunk runners hold epoch protection.
+                let l = unsafe { sp_lnk.as_ref() };
+                if l.removed.load() {
+                    return false; // unlinked under us: re-traverse
+                }
+                l.value
+                    .as_ref()
+                    .expect("normal link has a value slot")
+                    .set(v2.clone());
+                true
+            }) {
+                Some(true) => return true,
+                Some(false) => {}         // link vanished: re-check presence
+                None => backoff.snooze(), // link lock busy
+            }
+        }
     }
 
     /// Number of elements (O(n) walk; for tests and diagnostics — the
@@ -275,7 +321,7 @@ impl<K: Key, V: Value> DList<K, V> {
         let mut p = unsafe { (*self.head).next.load() };
         while unsafe { &*p }.kind == KIND_NORMAL {
             let l = unsafe { &*p };
-            if let (Some(k), Some(v)) = (l.key.clone(), l.value.clone()) {
+            if let (Some(k), Some(v)) = (l.key.clone(), l.value.as_ref().map(ValueSlot::read)) {
                 out.push((k, v));
             }
             p = l.next.load();
@@ -341,6 +387,12 @@ impl<K: Key, V: Value> Map<K, V> for DList<K, V> {
     fn name(&self) -> &'static str {
         "dlist"
     }
+    fn update(&self, key: K, value: V) -> bool {
+        DList::update(self, key, value)
+    }
+    fn has_atomic_update(&self) -> bool {
+        true
+    }
     fn len_approx(&self) -> Option<usize> {
         Some(self.count.get())
     }
@@ -400,6 +452,21 @@ mod tests {
             );
             assert!(l.remove("a".into()));
             assert_eq!(l.get("a".into()), None);
+            l.check_invariants();
+        });
+    }
+
+    #[test]
+    fn native_update_in_place() {
+        testutil::both_modes(|| {
+            let l: DList<u64, u64> = DList::new();
+            assert!(!l.update(1, 10), "update of an absent key refused");
+            assert!(l.insert(1, 10));
+            assert!(l.update(1, 11));
+            assert_eq!(l.get(1), Some(11));
+            assert_eq!(l.len(), 1, "update must not change the count");
+            assert!(l.remove(1));
+            assert!(!l.update(1, 12));
             l.check_invariants();
         });
     }

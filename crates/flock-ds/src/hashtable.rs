@@ -17,10 +17,11 @@
 //!   deterministic FNV-1a/mix64 combination (benchmarks need run-to-run
 //!   stable placement), and [`HashTable::with_capacity_and_hasher`] accepts
 //!   any substitute.
-//! * **A native atomic [`Map::update`].** Each node stores its value in a
-//!   lock-word-adjacent [`Mutable<V>`] slot, so `update` is an in-thunk
-//!   read-modify-write under the bucket lock: one idempotent store, no
-//!   remove/insert composite, no observable absence window
+//! * **A native atomic [`Map::update`]** — the structure that proved the
+//!   pattern every Flock structure now shares: each node stores its value
+//!   in a lock-word-adjacent [`ValueSlot<V>`] read-modify-written in-thunk
+//!   under the bucket lock — one idempotent store, no remove/insert
+//!   composite, no observable absence window
 //!   ([`Map::has_atomic_update`] returns `true`; the conformance harness
 //!   verifies the claim). Fat (`Indirect`) values ride behind an
 //!   epoch-managed pointer the store machinery retires exactly once.
@@ -37,7 +38,7 @@
 use std::hash::{BuildHasher, Hasher};
 
 use flock_api::{Key, Map, Value};
-use flock_core::{Lock, Mutable, Sp};
+use flock_core::{Lock, Mutable, Sp, ValueSlot};
 use flock_sync::{ApproxLen, Backoff};
 
 use crate::mix64;
@@ -77,7 +78,7 @@ struct Node<K: Key, V: Value> {
     key: K,
     /// Lock-word-adjacent value slot: mutable in place under the bucket
     /// lock (native `update`), snapshot-readable without it.
-    value: Mutable<V>,
+    value: ValueSlot<V>,
 }
 
 struct Bucket<K: Key, V: Value> {
@@ -179,7 +180,7 @@ impl<K: Key, V: Value, S: BuildHasher + Send + Sync + 'static> HashTable<K, V, S
                 let newn = flock_core::alloc(|| Node {
                     next: Mutable::new(old_head),
                     key: k2.clone(),
-                    value: Mutable::new(v2.clone()),
+                    value: ValueSlot::new(v2.clone()),
                 });
                 head.store(newn);
                 true
@@ -264,10 +265,11 @@ impl<K: Key, V: Value, S: BuildHasher + Send + Sync + 'static> HashTable<K, V, S
                 }
                 // SAFETY: found under the lock; stable while we hold it.
                 let n = unsafe { &*p };
-                // In-thunk read-modify-write: the idempotent store keeps
-                // helpers agreeing on one new encoding and retires the
-                // displaced one exactly once (indirect values).
-                n.value.store(v2.clone());
+                // In-thunk read-modify-write through the shared value-slot
+                // primitive: the idempotent store keeps helpers agreeing on
+                // one new encoding and retires the displaced one exactly
+                // once (indirect values).
+                n.value.set(v2.clone());
                 true
             }) {
                 Some(true) => return true,
@@ -285,7 +287,7 @@ impl<K: Key, V: Value, S: BuildHasher + Send + Sync + 'static> HashTable<K, V, S
         let p = unsafe { Self::chain_find(&b.head, &k) };
         // SAFETY: non-null node found while pinned; the value slot load
         // snapshots under the same pin.
-        (!p.is_null()).then(|| unsafe { &*p }.value.load())
+        (!p.is_null()).then(|| unsafe { &*p }.value.read())
     }
 
     /// Element count (O(buckets + n); tests/diagnostics).

@@ -9,7 +9,7 @@
 //! flag of the matching node.
 
 use flock_api::{Key, Map, Value};
-use flock_core::{Lock, Mutable, Sp, UpdateOnce};
+use flock_core::{Lock, Mutable, Sp, UpdateOnce, ValueSlot};
 use flock_sync::{ApproxLen, Backoff};
 
 const KIND_NORMAL: u8 = 0;
@@ -21,7 +21,10 @@ struct Node<K: Key, V: Value> {
     removed: UpdateOnce<bool>,
     /// `None` only on the head/tail sentinels.
     key: Option<K>,
-    value: Option<V>,
+    /// Lock-word-adjacent value slot (`None` only on sentinels): mutable in
+    /// place under this node's own lock (native `update`), snapshot-readable
+    /// without it.
+    value: Option<ValueSlot<V>>,
     lock: Lock,
     kind: u8,
 }
@@ -32,7 +35,7 @@ impl<K: Key, V: Value> Node<K, V> {
             next: Mutable::new(next),
             removed: UpdateOnce::new(false),
             key,
-            value,
+            value: value.map(ValueSlot::new),
             lock: Lock::new(),
             kind,
         }
@@ -184,9 +187,48 @@ impl<K: Key, V: Value> LazyList<K, V> {
         // SAFETY: epoch-pinned.
         let c = unsafe { &*curr };
         if c.holds(&k) && !c.removed.load() {
-            c.value.clone()
+            c.value.as_ref().map(ValueSlot::read)
         } else {
             None
+        }
+    }
+
+    /// Native atomic update: replace the value stored under `k` in place —
+    /// one idempotent slot store under the node's **own** lock. Returns
+    /// `false` (storing nothing) if `k` is absent.
+    ///
+    /// The node's lock is the remove path's inner lock and the only place
+    /// its `removed` flag (the logical-delete mark) is ever set, so holding
+    /// it with `removed == false` pins "the key is present" for the whole
+    /// thunk: readers see the old value or the new one, never absence.
+    pub fn update(&self, k: K, v: V) -> bool {
+        let _g = flock_epoch::pin();
+        let mut backoff = Backoff::new();
+        loop {
+            let (_, curr) = self.search(&k);
+            // SAFETY: epoch-pinned.
+            let curr_ref = unsafe { &*curr };
+            if !curr_ref.holds(&k) || curr_ref.removed.load() {
+                return false;
+            }
+            let sp_curr = Sp(curr);
+            let v2 = v.clone();
+            match curr_ref.lock.try_lock(move || {
+                // SAFETY: thunk runners hold epoch protection.
+                let c = unsafe { sp_curr.as_ref() };
+                if c.removed.load() {
+                    return false; // logically deleted under us: re-check
+                }
+                c.value
+                    .as_ref()
+                    .expect("normal node has a value slot")
+                    .set(v2.clone());
+                true
+            }) {
+                Some(true) => return true,
+                Some(false) => {}         // node vanished: re-check presence
+                None => backoff.snooze(), // node lock busy
+            }
         }
     }
 
@@ -216,7 +258,7 @@ impl<K: Key, V: Value> LazyList<K, V> {
         let mut p = unsafe { (*self.head).next.load() };
         while unsafe { &*p }.kind == KIND_NORMAL {
             let n = unsafe { &*p };
-            if let (Some(k), Some(v)) = (n.key.clone(), n.value.clone()) {
+            if let (Some(k), Some(v)) = (n.key.clone(), n.value.as_ref().map(ValueSlot::read)) {
                 out.push((k, v));
             }
             p = n.next.load();
@@ -275,6 +317,12 @@ impl<K: Key, V: Value> Map<K, V> for LazyList<K, V> {
     fn name(&self) -> &'static str {
         "lazylist"
     }
+    fn update(&self, key: K, value: V) -> bool {
+        LazyList::update(self, key, value)
+    }
+    fn has_atomic_update(&self) -> bool {
+        true
+    }
     fn len_approx(&self) -> Option<usize> {
         Some(self.count.get())
     }
@@ -313,6 +361,21 @@ mod tests {
                 assert_eq!(l.get(42), None);
             }
             assert!(l.is_empty());
+        });
+    }
+
+    #[test]
+    fn native_update_in_place() {
+        testutil::both_modes(|| {
+            let l: LazyList<u64, u64> = LazyList::new();
+            assert!(!l.update(1, 10), "update of an absent key refused");
+            assert!(l.insert(1, 10));
+            assert!(l.update(1, 11));
+            assert_eq!(l.get(1), Some(11));
+            assert_eq!(l.len(), 1, "update must not change the count");
+            assert!(l.remove(1));
+            assert!(!l.update(1, 12));
+            l.check_invariants();
         });
     }
 

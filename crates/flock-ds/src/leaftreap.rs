@@ -22,7 +22,7 @@
 use std::hash::BuildHasher;
 
 use flock_api::{Key, Map, Value};
-use flock_core::{Lock, Mutable, Sp, UpdateOnce};
+use flock_core::{Lock, Mutable, Sp, UpdateOnce, ValueSlot};
 use flock_sync::{ApproxLen, Backoff};
 
 use crate::hashtable::FlockHashBuilder;
@@ -50,8 +50,11 @@ struct Node<K: Key, V: Value> {
     prio: u64,
     kind: u8,
     is_root: bool,
-    /// Sorted batch (leaves only); immutable after construction.
-    entries: Vec<(K, V)>,
+    /// Sorted batch (leaves only). The *key set* is immutable after
+    /// construction (membership changes copy the leaf), but each entry's
+    /// value lives in a [`ValueSlot`] mutable in place under the leaf's
+    /// **parent** lock — native `update` without copying the batch.
+    entries: Vec<(K, ValueSlot<V>)>,
 }
 
 impl<K: Key, V: Value> Node<K, V> {
@@ -95,7 +98,10 @@ impl<K: Key, V: Value> Node<K, V> {
             prio: 0,
             kind: KIND_LEAF,
             is_root: false,
-            entries: entries.to_vec(),
+            entries: entries
+                .iter()
+                .map(|(k, v)| (k.clone(), ValueSlot::new(v.clone())))
+                .collect(),
         }
     }
 
@@ -112,6 +118,16 @@ impl<K: Key, V: Value> Node<K, V> {
     #[inline]
     fn find(&self, k: &K) -> Option<usize> {
         self.entries.iter().position(|(x, _)| x == k)
+    }
+
+    /// Value snapshot of the batch (for copy-on-write paths). Inside a
+    /// thunk every slot read is committed, so all runners copy the same
+    /// batch.
+    fn entries_snapshot(&self) -> Vec<(K, V)> {
+        self.entries
+            .iter()
+            .map(|(k, s)| (k.clone(), s.read()))
+            .collect()
     }
 }
 
@@ -180,7 +196,7 @@ impl<K: Key, V: Value> LeafTreap<K, V> {
                 if p.removed.load() || cell.load() != sp_l.ptr() {
                     return false; // validate
                 }
-                let mut entries = l.entries.clone();
+                let mut entries = l.entries_snapshot();
                 let pos = entries.partition_point(|(ek, _)| ek < &k2);
                 entries.insert(pos, (k2.clone(), v2.clone()));
                 if entries.len() <= LEAF_CAP {
@@ -373,7 +389,7 @@ impl<K: Key, V: Value> LeafTreap<K, V> {
                             return false;
                         }
                         let Some(pos) = l.find(&k2) else { return false };
-                        let mut entries = l.entries.clone();
+                        let mut entries = l.entries_snapshot();
                         entries.remove(pos);
                         let newl = flock_core::alloc(move || Node::leaf(&entries));
                         cell.store(newl);
@@ -444,7 +460,46 @@ impl<K: Key, V: Value> LeafTreap<K, V> {
         let (_, _, leaf) = self.search(&k);
         // SAFETY: epoch-pinned.
         let l = unsafe { &*leaf };
-        l.find(&k).map(|i| l.entries[i].1.clone())
+        l.find(&k).map(|i| l.entries[i].1.read())
+    }
+
+    /// Native atomic update: replace the value stored under `k` in place —
+    /// one idempotent slot store under the leaf's **parent** lock (the lock
+    /// every copy-on-write replacement of this leaf takes), with the parent
+    /// link validated under it. Returns `false` if `k` is absent. Readers
+    /// see the old value or the new one, never absence or a third value —
+    /// and the batch is not copied.
+    pub fn update(&self, k: K, v: V) -> bool {
+        let _g = flock_epoch::pin();
+        let mut backoff = Backoff::new();
+        loop {
+            let (_, parent, leaf) = self.search(&k);
+            // SAFETY: epoch-pinned.
+            let leaf_ref = unsafe { &*leaf };
+            if leaf_ref.find(&k).is_none() {
+                return false;
+            }
+            let (sp_p, sp_l) = (Sp(parent), Sp(leaf));
+            let (k2, v2) = (k.clone(), v.clone());
+            // SAFETY: epoch-pinned.
+            let outcome = unsafe { &*parent }.lock.try_lock(move || {
+                // SAFETY: thunk runners hold epoch protection.
+                let p = unsafe { sp_p.as_ref() };
+                let l = unsafe { sp_l.as_ref() };
+                let cell = p.child_for(&k2);
+                if p.removed.load() || cell.load() != sp_l.ptr() {
+                    return false; // leaf replaced under us: re-search
+                }
+                let Some(pos) = l.find(&k2) else { return false };
+                l.entries[pos].1.set(v2.clone());
+                true
+            });
+            match outcome {
+                Some(true) => return true,
+                Some(false) => {}         // validation failed: re-search now
+                None => backoff.snooze(), // parent lock busy
+            }
+        }
     }
 
     /// Element count (O(n) walk; tests/diagnostics).
@@ -484,7 +539,7 @@ impl<K: Key, V: Value> LeafTreap<K, V> {
         // SAFETY: pinned per caller.
         let node = unsafe { &*n };
         if node.kind == KIND_LEAF {
-            out.extend(node.entries.iter().cloned());
+            out.extend(node.entries_snapshot());
         } else {
             unsafe {
                 Self::walk(node.left.load(), out);
@@ -571,6 +626,12 @@ impl<K: Key, V: Value> Map<K, V> for LeafTreap<K, V> {
     fn name(&self) -> &'static str {
         "leaftreap"
     }
+    fn update(&self, key: K, value: V) -> bool {
+        LeafTreap::update(self, key, value)
+    }
+    fn has_atomic_update(&self) -> bool {
+        true
+    }
     fn len_approx(&self) -> Option<usize> {
         Some(self.count.get())
     }
@@ -656,6 +717,28 @@ mod tests {
                 assert!(t.insert(k, k + 1));
             }
             assert_eq!(t.len(), 256);
+            t.check_invariants();
+        });
+    }
+
+    #[test]
+    fn native_update_in_place() {
+        testutil::both_modes(|| {
+            let t: LeafTreap<u64, u64> = LeafTreap::new();
+            assert!(!t.update(1, 10), "update of an absent key refused");
+            // Fill past one leaf so updates hit interior leaves too.
+            for k in 0..64 {
+                assert!(t.insert(k, k));
+            }
+            for k in 0..64 {
+                assert!(t.update(k, k + 1000));
+            }
+            for k in 0..64 {
+                assert_eq!(t.get(k), Some(k + 1000));
+            }
+            assert_eq!(t.len(), 64, "update must not change the count");
+            assert!(t.remove(7));
+            assert!(!t.update(7, 1));
             t.check_invariants();
         });
     }

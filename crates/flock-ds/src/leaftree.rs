@@ -15,7 +15,7 @@
 //! locks (wait for the holder — helping it first in lock-free mode).
 
 use flock_api::{Key, Map, Value};
-use flock_core::{Lock, Mutable, Sp, UpdateOnce};
+use flock_core::{Lock, Mutable, Sp, UpdateOnce, ValueSlot};
 use flock_sync::{ApproxLen, Backoff};
 
 const KIND_INTERNAL: u8 = 0;
@@ -32,8 +32,11 @@ struct Node<K: Key, V: Value> {
     /// Routing key for internals; element key for leaves. `None` only on
     /// the root (which routes everything left) and the empty placeholder.
     key: Option<K>,
-    /// Element value (leaves only).
-    value: Option<V>,
+    /// Element value slot (leaves only): mutable in place under the leaf's
+    /// **parent** lock — the lock every structural change to the leaf's
+    /// child cell takes — so native `update` serializes with insert-split
+    /// and remove while readers snapshot without locks.
+    value: Option<ValueSlot<V>>,
     kind: u8,
     /// The root internal node routes everything left (acts as +inf).
     is_root: bool,
@@ -74,7 +77,7 @@ impl<K: Key, V: Value> Node<K, V> {
             removed: UpdateOnce::new(false),
             lock: Lock::new(),
             key: Some(key),
-            value: Some(value),
+            value: Some(ValueSlot::new(value)),
             kind: KIND_LEAF,
             is_root: false,
         }
@@ -331,7 +334,56 @@ impl<K: Key, V: Value> LeafTree<K, V> {
         let (_, _, leaf) = self.search(&k);
         // SAFETY: epoch-pinned.
         let l = unsafe { &*leaf };
-        if l.holds(&k) { l.value.clone() } else { None }
+        if l.holds(&k) {
+            l.value.as_ref().map(ValueSlot::read)
+        } else {
+            None
+        }
+    }
+
+    /// Native atomic update: replace the value stored under `k` in place —
+    /// one idempotent slot store under the leaf's **parent** lock. Returns
+    /// `false` (storing nothing) if `k` is absent.
+    ///
+    /// The parent's lock guards the child cell through which every
+    /// structural change to this leaf goes (insert-split replaces the leaf,
+    /// both remove paths hold the parent's lock before splicing), so
+    /// validating `cell == leaf && !parent.removed` under it pins "the key
+    /// is present" for the whole thunk: readers see the old value or the
+    /// new one, never absence or a third value.
+    pub fn update(&self, k: K, v: V) -> bool {
+        let _g = flock_epoch::pin();
+        let mut backoff = Backoff::new();
+        loop {
+            let (_, parent, leaf) = self.search(&k);
+            // SAFETY: epoch-pinned.
+            let leaf_ref = unsafe { &*leaf };
+            if !leaf_ref.holds(&k) {
+                return false;
+            }
+            let (sp_parent, sp_leaf) = (Sp(parent), Sp(leaf));
+            let (k2, v2) = (k.clone(), v.clone());
+            // SAFETY: epoch-pinned.
+            let outcome = acquire(&unsafe { &*parent }.lock, self.strict, move || {
+                // SAFETY: thunk runners hold epoch protection.
+                let p = unsafe { sp_parent.as_ref() };
+                let l = unsafe { sp_leaf.as_ref() };
+                let cell = p.child_for(&k2);
+                if p.removed.load() || cell.load() != sp_leaf.ptr() {
+                    return false; // leaf replaced/spliced: re-search
+                }
+                l.value
+                    .as_ref()
+                    .expect("real leaf has a value slot")
+                    .set(v2.clone());
+                true
+            });
+            match outcome {
+                Some(true) => return true,
+                Some(false) => {}         // validation failed: re-search now
+                None => backoff.snooze(), // parent lock busy (try-lock mode)
+            }
+        }
     }
 
     /// Element count (O(n) walk; tests/diagnostics).
@@ -372,7 +424,9 @@ impl<K: Key, V: Value> LeafTree<K, V> {
         let node = unsafe { &*n };
         match node.kind {
             KIND_LEAF => {
-                if let (Some(k), Some(v)) = (node.key.clone(), node.value.clone()) {
+                if let (Some(k), Some(v)) =
+                    (node.key.clone(), node.value.as_ref().map(ValueSlot::read))
+                {
                     out.push((k, v));
                 }
             }
@@ -463,6 +517,12 @@ impl<K: Key, V: Value> Map<K, V> for LeafTree<K, V> {
     fn name(&self) -> &'static str {
         self.label
     }
+    fn update(&self, key: K, value: V) -> bool {
+        LeafTree::update(self, key, value)
+    }
+    fn has_atomic_update(&self) -> bool {
+        true
+    }
     fn len_approx(&self) -> Option<usize> {
         Some(self.count.get())
     }
@@ -472,6 +532,23 @@ impl<K: Key, V: Value> Map<K, V> for LeafTree<K, V> {
 mod tests {
     use super::*;
     use flock_api::testing as testutil;
+
+    #[test]
+    fn native_update_in_place() {
+        testutil::both_modes(|| {
+            for t in [LeafTree::<u64, u64>::new(), LeafTree::new_strict()] {
+                assert!(!t.update(1, 10), "update of an absent key refused");
+                assert!(t.insert(1, 10));
+                assert!(t.insert(2, 20));
+                assert!(t.update(1, 11));
+                assert_eq!(t.get(1), Some(11));
+                assert_eq!(t.len(), 2, "update must not change the count");
+                assert!(t.remove(1));
+                assert!(!t.update(1, 12));
+                t.check_invariants();
+            }
+        });
+    }
 
     #[test]
     fn basic_ops() {

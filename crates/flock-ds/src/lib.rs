@@ -29,9 +29,12 @@
 //! All seven maintain a striped element counter (`flock_sync::ApproxLen`)
 //! behind `Map::len_approx` — bumped *outside* the thunks (a helped thunk
 //! replays, so an in-thunk counter bump would double-count; exactly one
-//! caller observes success per applied operation). The hash table
-//! additionally overrides `Map::update` with a native in-place atomic
-//! update (`has_atomic_update() == true`).
+//! caller observes success per applied operation). All seven also override
+//! `Map::update` with a **native in-place atomic update**
+//! (`has_atomic_update() == true`): each value lives in a per-node
+//! `flock_core::ValueSlot` read-modify-written inside the thunk of the
+//! lock whose holder could remove the node — see each module's `update`
+//! docs for the owning lock and EXPERIMENTS.md §7 for the placement table.
 //!
 //! Update operations use `try_lock`'s typed result to separate their retry
 //! reasons: `None` (lock busy) backs off before retrying, `Some(false)`

@@ -72,12 +72,13 @@ fn main() {
         return bench_overhead();
     }
     let budget: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(20_000);
+    let preempt: usize = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(1);
     let t0 = std::time::Instant::now();
     let report = explore(
         Config {
             max_schedules: budget,
             tso: true,
-            max_preemptions: 1,
+            max_preemptions: preempt,
             ..Config::default()
         },
         match args.get(1).map(|s| s.as_str()) {

@@ -407,6 +407,187 @@ fn epoch_mutant_skip_pin_fence_is_caught() {
     );
 }
 
+// ---------------------------------------------------------------- tag wrap
+
+/// RAII override of the effective lock-word tag space (model-only knob):
+/// never leaks a shrunken tag space into the next test.
+struct TagLimit;
+
+impl TagLimit {
+    fn set(limit: u16) -> Self {
+        flock_sync::pack::model_tag_limit::set(limit);
+        TagLimit
+    }
+}
+
+impl Drop for TagLimit {
+    fn drop(&mut self) {
+        flock_sync::pack::model_tag_limit::set(flock_sync::pack::TAG_LIMIT);
+    }
+}
+
+/// Lock-word tag wraparound under a stalled helper — PR 3's documented
+/// "residual window", closed for real by the descriptor generation counter.
+///
+/// With the effective tag space shrunk to 2, every install/unlock pair
+/// wraps the lock word, so the worker's *second* try_lock reinstalls its
+/// pool-reused descriptor at the **identical packed word** (tag, ptr) that
+/// was observed during the first — the reincarnation a stalled helper must
+/// reject. The helper is split along its real seam (`model_probe`:
+/// observe, then help) across two threads, so the checker can stall it
+/// arbitrarily long without spending preemptions inside `try_lock`: an
+/// observer thread captures the packed word once, and a helper thread
+/// later runs the real help path against that observation. Acting on the
+/// stale observation, the pre-fix help path (raw word-only revalidation,
+/// unconditional unlock CAM) can CAM-release the wrapped second install
+/// before its thunk ever ran — making the worker's own acquisition fail —
+/// or replay a recycled descriptor ("descriptor thunk called before set").
+///
+/// **Invariants:** (a) both worker try_locks succeed — the observer and
+/// helper threads never acquire, and a correct helper either helps the
+/// *current* incarnation to completion or does nothing, so nothing can
+/// make the worker's install fail; (b) the lock ends released; (c) no
+/// panic.
+fn tag_wrap_body() {
+    let lock = Arc::new(Lock::new());
+    let obs_cell = Arc::new(AtomicU64::new(0));
+
+    // Worker: two complete try_locks — one thread, so the second op
+    // pool-reuses the first op's descriptor and (tag space 2) reinstalls
+    // the identical packed word. Op 1's own thunk records the packed word
+    // of its hold into `obs_cell`: the helper's observation, captured with
+    // zero scheduling cost (the load is the thunk's own committed load, so
+    // every replay stores the same value — an idempotent effect).
+    let l1 = Arc::clone(&lock);
+    let o1 = Arc::clone(&obs_cell);
+    let worker = flock_model::spawn(move || {
+        let mut acquired = 0usize;
+        let (l2, o2) = (Arc::clone(&l1), Arc::clone(&o1));
+        if l1
+            .try_lock(move || o2.store(flock_core::model_probe::observe(&l2), Ordering::SeqCst))
+            .is_some()
+        {
+            acquired += 1;
+        }
+        if l1.try_lock(|| ()).is_some() {
+            acquired += 1;
+        }
+        acquired
+    });
+    // Stalled helper: run the real help path against the op-1 observation,
+    // however long after op 1 the scheduler lets it act.
+    let (l3, o3) = (Arc::clone(&lock), Arc::clone(&obs_cell));
+    let helper = flock_model::spawn(move || {
+        let obs = o3.load(Ordering::SeqCst);
+        if obs != 0 {
+            flock_core::model_probe::help_observed(&l3, obs);
+        }
+    });
+
+    let acquired = worker.join();
+    helper.join();
+    assert_eq!(
+        acquired, 2,
+        "a worker try_lock failed on a lock nobody else ever acquires \
+         (stale helper corrupted the wrapped lock word?)"
+    );
+    assert!(!lock.is_locked(), "lock leaked a hold");
+}
+
+/// Scope: worker + stalled helper (split along the real observe/help
+/// seam), one lock, tag space 2 (wraparound on every reinstall), SC, ≤3
+/// preemptions, exhaustive (~26k schedules). Three preemptions are what
+/// the violating shape needs: worker paused between its ops (the helper
+/// marks and fails revalidation against the in-between word), helper
+/// paused before its unlock CAM, worker paused after the wrapped second
+/// install (the stale CAM's target).
+#[test]
+fn lock_word_tag_wrap_stale_helper_rejected() {
+    let _g = serial();
+    let _t = TagLimit::set(2);
+    let report = explore(
+        Config {
+            max_preemptions: 3,
+            max_schedules: 1_000_000,
+            ..Config::sc()
+        },
+        tag_wrap_body,
+    );
+    report.assert_exhaustive_ok();
+    assert!(report.schedules_run > 1_000, "space suspiciously small");
+}
+
+/// Deeper (non-exhaustive, seeded) sweep through the unsplit end-to-end
+/// path: a second thread's real `try_lock` is the helper, 3 worker ops,
+/// counting thunks (exactly-once), 6 preemptions, fixed seed →
+/// reproducible.
+#[test]
+fn lock_word_tag_wrap_seeded_sweep() {
+    let _g = serial();
+    let _t = TagLimit::set(2);
+    let report = explore(
+        Config {
+            max_preemptions: 6,
+            seed: Some(0x7A6_17A6),
+            samples: 300,
+            ..Config::sc()
+        },
+        || {
+            let lock = Arc::new(Lock::new());
+            let counter = Arc::new(Mutable::new(0u64));
+            let (l2, c2) = (Arc::clone(&lock), Arc::clone(&counter));
+            let helper = flock_model::spawn(move || {
+                let c3 = Arc::clone(&c2);
+                l2.try_lock(move || c3.store(c3.load() + 1)).is_some()
+            });
+            let mut acquired = 0u64;
+            for _ in 0..3 {
+                let c3 = Arc::clone(&counter);
+                if lock.try_lock(move || c3.store(c3.load() + 1)).is_some() {
+                    acquired += 1;
+                }
+            }
+            let theirs = helper.join() as u64;
+            assert_eq!(
+                counter.load(),
+                acquired + theirs,
+                "thunk effects not exactly-once across tag wraparound"
+            );
+            assert!(!lock.is_locked(), "lock leaked a hold");
+        },
+    );
+    assert!(report.failure.is_none(), "{}", report.failure.unwrap());
+    assert_eq!(report.pruned, 0);
+}
+
+/// Sanity mutant: drop the generation checks (pre-fix help path — raw
+/// word-only revalidation, unconditional unlock CAM). Across an exact
+/// tag wraparound the stale helper acts on the reincarnated packed word,
+/// and the checker must surface a violation (a failed worker acquisition,
+/// a leaked hold, or the recycled-descriptor crash).
+#[test]
+fn lock_word_tag_wrap_mutant_skip_gen_check_is_caught() {
+    let _g = serial();
+    let _t = TagLimit::set(2);
+    let _k = Knob::set(&flock_core::mutants::SKIP_GEN_CHECK);
+    let report = explore(
+        Config {
+            max_preemptions: 3,
+            max_schedules: 1_000_000,
+            ..Config::sc()
+        },
+        tag_wrap_body,
+    );
+    let f = report.assert_finds_bug();
+    assert!(
+        f.message.contains("worker try_lock failed")
+            || f.message.contains("lock leaked a hold")
+            || f.message.contains("descriptor thunk called before set"),
+        "unexpected failure mode: {}",
+        f.message
+    );
+}
+
 // --------------------------------------------------------------------- tid
 
 /// The active-thread registry: a scan bounded by `scan_bound()` must never

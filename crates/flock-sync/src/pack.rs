@@ -29,6 +29,32 @@ pub const TAG_LIMIT: u16 = u16::MAX;
 #[cfg(feature = "model")]
 pub const TAG_LIMIT: u16 = 8;
 
+/// Model-only runtime override of the wrap point (scope bounding knob for
+/// individual model tests; production keeps the compile-time constant).
+///
+/// The lock-word tag-wrap tests shrink the effective tag space to 2 so a
+/// full `TAG_LIMIT`-install wraparound of one lock word fits inside an
+/// exhaustively explorable schedule space. Settable only while no modeled
+/// operations are in flight; a limit of `n` must stay above the number of
+/// tags concurrently announced per location (see [`TAG_LIMIT`]) — with no
+/// in-thunk stores in the test body, 2 is safe.
+#[cfg(feature = "model")]
+pub mod model_tag_limit {
+    use core::sync::atomic::{AtomicU16, Ordering};
+
+    static LIMIT: AtomicU16 = AtomicU16::new(super::TAG_LIMIT);
+
+    /// Set the effective wrap point (clamped to `2..=TAG_LIMIT`).
+    pub fn set(limit: u16) {
+        LIMIT.store(limit.clamp(2, super::TAG_LIMIT), Ordering::SeqCst);
+    }
+
+    /// The current effective wrap point.
+    pub fn get() -> u16 {
+        LIMIT.load(Ordering::Relaxed)
+    }
+}
+
 /// Pack `tag` and a 48-bit `val` into one word.
 ///
 /// Debug-asserts that `val` fits in 48 bits and that the reserved tag is not
@@ -55,8 +81,14 @@ pub fn unpack_val(word: u64) -> u64 {
 /// Successor of a tag in the cyclic tag space, skipping the reserved value.
 #[inline(always)]
 pub fn next_tag(tag: u16) -> u16 {
+    #[cfg(feature = "model")]
+    let limit = model_tag_limit::get();
+    #[cfg(not(feature = "model"))]
+    let limit = TAG_LIMIT;
     let next = tag.wrapping_add(1);
-    if next == TAG_LIMIT { 0 } else { next }
+    // `>=` (not `==`): the model-only runtime limit may shrink below a tag
+    // already in circulation; such a tag wraps on its next bump.
+    if next >= limit { 0 } else { next }
 }
 
 /// Types that can be stored in the 48-bit payload of a `Mutable`.

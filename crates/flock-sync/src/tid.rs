@@ -252,6 +252,11 @@ mod tests {
         // Claim this thread's id first so the floor is stable.
         let me = current().0;
         let barrier = std::sync::Barrier::new(33);
+        // Second barrier: holds every worker alive until the assert below
+        // has run — without it, a descheduled main thread could observe the
+        // bound *after* the workers exited and released their ids, and the
+        // legitimately-shrunken bound would trip the liveness assert.
+        let hold = std::sync::Barrier::new(33);
         let max_id = std::sync::atomic::AtomicUsize::new(0);
         std::thread::scope(|s| {
             for _ in 0..32 {
@@ -259,10 +264,12 @@ mod tests {
                     let id = current().0;
                     max_id.fetch_max(id, Ordering::Relaxed);
                     barrier.wait(); // all 32 alive at once
+                    hold.wait(); // stay alive through the assert
                 });
             }
             barrier.wait();
             assert!(scan_bound() > max_id.load(Ordering::Relaxed));
+            hold.wait();
         });
         // All 32 exited: the bound must drop back below the burst's top id.
         // Concurrent tests may briefly hold high ids of their own, so poll

@@ -133,12 +133,16 @@ fn prefill<V: Value, M: Map<u64, V> + ?Sized>(
     });
 }
 
-/// One timed run; returns total completed operations.
+/// One timed run; returns total completed operations. `rmw` selects the
+/// update-heavy mix: the `update_percent` fraction goes through native
+/// `Map::update` (an in-place read-modify-write on every registry
+/// structure) instead of the insert/remove split.
 fn timed_run<V: Value, M: Map<u64, V> + ?Sized>(
     map: &M,
     cfg: &Config,
     run_idx: usize,
     vf: &(impl Fn(u64) -> V + Sync),
+    rmw: bool,
 ) -> u64 {
     let stop = AtomicBool::new(false);
     let total = AtomicU64::new(0);
@@ -170,8 +174,13 @@ fn timed_run<V: Value, M: Map<u64, V> + ?Sized>(
                     };
                     let dice = rng.below(100) as u32;
                     if dice < cfg.update_percent {
-                        // Updates split evenly between insert and delete.
-                        if dice.is_multiple_of(2) {
+                        if rmw {
+                            // Update-heavy mix: in-place value replacement
+                            // of (prefilled) present keys; absent keys are
+                            // a measured no-op.
+                            map.update(key, vf(rank));
+                        } else if dice.is_multiple_of(2) {
+                            // Updates split evenly between insert and delete.
                             map.insert(key, vf(rank));
                         } else {
                             map.remove(key);
@@ -206,14 +215,41 @@ pub fn run_experiment_as<V: Value, M: Map<u64, V> + ?Sized>(
     cfg: &Config,
     vf: impl Fn(u64) -> V + Sync,
 ) -> Measurement {
+    run_protocol(map, cfg, vf, false)
+}
+
+/// [`run_experiment_as`] with the **update-heavy** mix: the
+/// `update_percent` fraction of operations goes through native
+/// [`Map::update`] (atomic in-place replacement) on the prefilled key set,
+/// the rest are lookups. Paired with a forced-composite wrapper this
+/// prices the atomic path against the remove+insert fallback.
+pub fn run_update_experiment_as<V: Value, M: Map<u64, V> + ?Sized>(
+    map: &M,
+    cfg: &Config,
+    vf: impl Fn(u64) -> V + Sync,
+) -> Measurement {
+    run_protocol(map, cfg, vf, true)
+}
+
+/// [`run_update_experiment_as`] at the paper's `(u64, u64)` shape.
+pub fn run_update_experiment<M: Map<u64, u64> + ?Sized>(map: &M, cfg: &Config) -> Measurement {
+    run_update_experiment_as(map, cfg, |v| v)
+}
+
+fn run_protocol<V: Value, M: Map<u64, V> + ?Sized>(
+    map: &M,
+    cfg: &Config,
+    vf: impl Fn(u64) -> V + Sync,
+    rmw: bool,
+) -> Measurement {
     prefill(map, cfg, &vf);
     // Warm-up run (discarded), as in the paper.
-    let _ = timed_run(map, cfg, 0, &vf);
+    let _ = timed_run(map, cfg, 0, &vf, rmw);
     let mut mops = Vec::with_capacity(cfg.repeats);
     let mut total_ops = 0u64;
     for r in 0..cfg.repeats {
         let t0 = Instant::now();
-        let ops = timed_run(map, cfg, r + 1, &vf);
+        let ops = timed_run(map, cfg, r + 1, &vf, rmw);
         let secs = t0.elapsed().as_secs_f64();
         total_ops += ops;
         mops.push(ops as f64 / secs / 1e6);
