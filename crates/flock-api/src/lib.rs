@@ -48,6 +48,7 @@ use std::fmt::Debug;
 use std::hash::Hash;
 
 pub use flock_epoch::Indirect;
+pub use flock_epoch::{EpochStats, epoch_stats};
 pub use flock_sync::ValueRepr;
 
 /// Marker bound for map keys: cheap to clone, totally ordered, hashable,
@@ -674,6 +675,212 @@ pub mod testing {
              dropped exactly once (positive = leak, negative = double drop)"
         );
     }
+
+    /// Chaos-only progress validation (the `chaos` feature): stall one
+    /// victim thread mid-critical-section through the fault-injection seams
+    /// and check the paper's central claim *and its inversion* on one
+    /// structure:
+    ///
+    /// * **lock-free mode** — the remaining worker threads must complete a
+    ///   full quota of operations colliding with the stalled victim's lock
+    ///   (helpers run the victim's thunk from its committed descriptor);
+    /// * **blocking mode** — the *same schedule* must fail the quota:
+    ///   nothing can help past a stalled TTAS holder, so colliding workers
+    ///   spin until the victim is released. The asserted *failure* is the
+    ///   documented inversion — it proves the stall really lands inside the
+    ///   critical section, so the lock-free arm's pass is meaningful.
+    ///
+    /// Structures that never cross a flock seam (the hand-crafted baselines
+    /// with their own node locks) complete the victim op unparked and the
+    /// check returns vacuously — the chaos runner covers their stall
+    /// behavior at the workload level instead.
+    ///
+    /// Call under [`exclusive`]: the chaos policy registry and the lock
+    /// mode are process-global.
+    #[cfg(feature = "chaos")]
+    pub fn progress_under_stall_check<M, F>(make: F)
+    where
+        M: Map<u64, u64> + Sync,
+        F: Fn() -> M,
+    {
+        use flock_core::{LockMode, set_lock_mode};
+        use std::time::Duration;
+
+        set_lock_mode(LockMode::LockFree);
+        {
+            let map = make();
+            match stall::run_stalled_phase(&map, Duration::from_secs(60)) {
+                // No flock seam crossed: nothing to stall here.
+                None => return,
+                Some(done) => assert!(
+                    done >= stall::QUOTA,
+                    "lock-free progress violated: only {done}/{} worker \
+                     iterations completed with a victim stalled \
+                     mid-critical-section",
+                    stall::QUOTA
+                ),
+            }
+        }
+        flock_epoch::flush_all();
+
+        set_lock_mode(LockMode::Blocking);
+        {
+            let map = make();
+            if let Some(done) = stall::run_stalled_phase(&map, Duration::from_secs(2)) {
+                assert!(
+                    done < stall::QUOTA,
+                    "blocking-mode inversion failed: workers met the quota \
+                     ({done}) despite a stalled lock holder — the stall seam \
+                     is not inside the blocking critical section"
+                );
+            }
+        }
+        flock_epoch::flush_all();
+        set_lock_mode(LockMode::LockFree);
+    }
+
+    /// The machinery behind [`progress_under_stall_check`].
+    #[cfg(feature = "chaos")]
+    mod stall {
+        use super::Map;
+        use flock_sync::chaos::{self, ChaosPolicy, Seam};
+        use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+        use std::sync::{Arc, Condvar, Mutex};
+        use std::time::{Duration, Instant};
+
+        /// The key every thread collides on: the victim stalls holding the
+        /// lock its operation on this key takes, and every worker iteration
+        /// operates on the same key so it needs that lock (or, lock-free,
+        /// helps past it).
+        const HOT: u64 = 3;
+        /// Worker iterations that must complete while the victim stays
+        /// parked (lock-free) / must NOT complete (blocking).
+        pub(super) const QUOTA: usize = 300;
+        const WORKERS: usize = 2;
+
+        /// Stalls exactly one designated thread, once, at its first
+        /// critical-section seam; holds it parked until released.
+        struct StallVictim {
+            victim: Mutex<Option<std::thread::ThreadId>>,
+            parked: AtomicBool,
+            served: AtomicBool,
+            released: Mutex<bool>,
+            cv: Condvar,
+        }
+
+        impl StallVictim {
+            fn new() -> Self {
+                Self {
+                    victim: Mutex::new(None),
+                    parked: AtomicBool::new(false),
+                    served: AtomicBool::new(false),
+                    released: Mutex::new(false),
+                    cv: Condvar::new(),
+                }
+            }
+
+            /// Designate the calling thread as the victim.
+            fn arm_current(&self) {
+                *self.victim.lock().unwrap_or_else(|e| e.into_inner()) =
+                    Some(std::thread::current().id());
+            }
+
+            fn release(&self) {
+                *self.released.lock().unwrap_or_else(|e| e.into_inner()) = true;
+                self.cv.notify_all();
+            }
+        }
+
+        impl ChaosPolicy for StallVictim {
+            fn at(&self, seam: Seam) {
+                if !matches!(seam, Seam::InThunk | Seam::BlockingCritical) {
+                    return;
+                }
+                if self.served.load(Ordering::Acquire) {
+                    return;
+                }
+                let me = std::thread::current().id();
+                if *self.victim.lock().unwrap_or_else(|e| e.into_inner()) != Some(me) {
+                    return;
+                }
+                // Stall once: after release the victim's resumed run (and
+                // any helped replay it performs) must pass through freely.
+                self.served.store(true, Ordering::Release);
+                self.parked.store(true, Ordering::Release);
+                let mut rel = self.released.lock().unwrap_or_else(|e| e.into_inner());
+                while !*rel {
+                    rel = self.cv.wait(rel).unwrap_or_else(|e| e.into_inner());
+                }
+            }
+        }
+
+        /// One stalled-victim schedule against `map` in the *current* lock
+        /// mode: victim starts an op on [`HOT`] and parks at its first seam;
+        /// workers then run [`QUOTA`] colliding iterations. Returns how many
+        /// iterations completed within `window` (the victim is always
+        /// released afterwards so every thread joins), or `None` if the
+        /// victim's op finished without crossing any seam.
+        pub(super) fn run_stalled_phase<M: Map<u64, u64> + Sync>(
+            map: &M,
+            window: Duration,
+        ) -> Option<usize> {
+            let policy = Arc::new(StallVictim::new());
+            chaos::set_chaos_policy(policy.clone());
+            let completed = AtomicUsize::new(0);
+            let victim_done = AtomicBool::new(false);
+            let result = std::thread::scope(|s| {
+                {
+                    let policy = Arc::clone(&policy);
+                    let victim_done = &victim_done;
+                    let map = &map;
+                    s.spawn(move || {
+                        policy.arm_current();
+                        let _ = map.insert(HOT, 1);
+                        victim_done.store(true, Ordering::Release);
+                    });
+                }
+                // Wait until the victim is parked mid-critical-section —
+                // or finished without hitting a seam (no flock locks).
+                let t0 = Instant::now();
+                loop {
+                    if policy.parked.load(Ordering::Acquire) {
+                        break;
+                    }
+                    if victim_done.load(Ordering::Acquire) {
+                        return None;
+                    }
+                    assert!(
+                        t0.elapsed() < Duration::from_secs(10),
+                        "victim neither parked nor completed within 10s"
+                    );
+                    std::thread::yield_now();
+                }
+                for w in 0..WORKERS {
+                    let completed = &completed;
+                    let map = &map;
+                    s.spawn(move || {
+                        for i in 0..QUOTA / WORKERS {
+                            let v = (w as u64 + 1) * 100_000 + i as u64;
+                            let _ = map.insert(HOT, v);
+                            let _ = map.get(HOT);
+                            let _ = map.remove(HOT);
+                            completed.fetch_add(1, Ordering::Relaxed);
+                        }
+                    });
+                }
+                let deadline = Instant::now() + window;
+                while completed.load(Ordering::Relaxed) < QUOTA && Instant::now() < deadline {
+                    std::thread::sleep(Duration::from_millis(10));
+                }
+                let done_in_window = completed.load(Ordering::Relaxed);
+                // Release unconditionally so both arms join cleanly.
+                policy.release();
+                Some(done_in_window)
+            });
+            chaos::clear_chaos_policy();
+            result
+        }
+    }
 }
 
 /// Stamp out the shared conformance suite for one map structure.
@@ -803,6 +1010,21 @@ macro_rules! map_conformance {
                 $crate::testing::both_modes(|| {
                     let m = $make;
                     $crate::testing::update_atomicity_check_as(&m, |k| k as u32, |v| v as u16);
+                });
+            }
+
+            /// Chaos-only (the stamping crate's `chaos` feature): one
+            /// victim stalled mid-critical-section must not stop the other
+            /// threads in lock-free mode, and must stop them in blocking
+            /// mode — see
+            /// [`progress_under_stall_check`]($crate::testing::progress_under_stall_check)
+            /// for the full contract (baselines with their own locks skip
+            /// vacuously).
+            #[cfg(feature = "chaos")]
+            #[test]
+            fn progress_under_stall() {
+                $crate::testing::exclusive(|| {
+                    $crate::testing::progress_under_stall_check(|| $make);
                 });
             }
 

@@ -105,6 +105,11 @@ pub(crate) unsafe fn run_in(tc: &ThreadCtx, d: *const Descriptor, out: *mut u8) 
         .set(dref.first_block() as *const LogBlock as *const ());
     tc.log_pos.set(0);
     tc.descriptor.set(d as *const ());
+    // Chaos seam: the thunk context is installed and the body is about to
+    // execute — a stall here parks this runner mid-critical-section, a
+    // panic here unwinds out of "the thunk" (the Restore guard above plus
+    // the callers' panic handling keep both survivable). No-op by default.
+    flock_sync::chaos::probe(flock_sync::chaos::Seam::InThunk);
     // SAFETY: `out` per forwarded contract.
     unsafe { dref.call_thunk(out) }
 }

@@ -153,6 +153,13 @@ pub struct Descriptor {
     first_block: LogBlock,
     /// Set (sticky) once any run of the thunk completes.
     done: AtomicBool,
+    /// Set (sticky per incarnation) when any run of the thunk unwound
+    /// instead of completing. The panic-safety contract (`Lock` docs,
+    /// EXPERIMENTS.md §8) keys replay decisions off this flag: a partially
+    /// committed log must never be replayed by a runner that would execute
+    /// *past* the panic point after the lock was released. Always written
+    /// before `done` and read after it, so a `done` observer sees it.
+    panicked: AtomicBool,
     /// Set by any thread that intends to help this descriptor; an unhelped
     /// top-level descriptor can be reused without a grace period.
     helped: AtomicBool,
@@ -181,6 +188,7 @@ impl Descriptor {
             thunk: ThunkSlot::empty(),
             first_block: LogBlock::new(),
             done: AtomicBool::new(false),
+            panicked: AtomicBool::new(false),
             helped: AtomicBool::new(false),
             birth_epoch: AtomicU64::new(0),
             generation: AtomicU64::new(0),
@@ -255,6 +263,25 @@ impl Descriptor {
             Ordering::Release
         };
         self.done.store(true, ORDER);
+    }
+
+    /// Did any run of this incarnation's thunk panic instead of completing?
+    ///
+    /// Ordering: Acquire, paired with the Release in [`mark_panicked`].
+    /// The flag is always stored before `done`, and the lock paths read it
+    /// after observing `done` (itself Acquire), so "done and not panicked"
+    /// is a stable conclusion: no runner can set the flag afterwards for
+    /// this incarnation (the run that would is the one that set `done`).
+    ///
+    /// [`mark_panicked`]: Descriptor::mark_panicked
+    pub(crate) fn thunk_panicked(&self) -> bool {
+        self.panicked.load(Ordering::Acquire)
+    }
+
+    /// Record that a run of the thunk unwound. Must be called before the
+    /// same runner's `set_done` (see [`Descriptor::thunk_panicked`]).
+    pub(crate) fn mark_panicked(&self) {
+        self.panicked.store(true, Ordering::Release);
     }
 
     pub(crate) fn was_helped(&self) -> bool {
@@ -388,9 +415,10 @@ where
         .with(|p| p.items.borrow_mut().pop())
         .unwrap_or_else(|| Box::new(Descriptor::new()));
     // A stale helper of a previous incarnation may have marked the pooled
-    // descriptor `helped` after its reset; clear both flags here, *before*
+    // descriptor `helped` after its reset; clear the flags here, *before*
     // publication, so the marks cannot leak into this incarnation's checks.
     d.done.store(false, Ordering::Relaxed);
+    d.panicked.store(false, Ordering::Relaxed);
     d.helped.store(false, Ordering::Relaxed);
     // New incarnation: bump the generation so any helper still holding a
     // pre-recycle observation of this slab fails its generation re-check
@@ -425,6 +453,7 @@ pub(crate) unsafe fn recycle_unshared(d: *mut Descriptor) {
     // SAFETY: exclusive access.
     unsafe { boxed.first_block.reset() };
     boxed.done.store(false, Ordering::Relaxed);
+    boxed.panicked.store(false, Ordering::Relaxed);
     boxed.helped.store(false, Ordering::Relaxed);
     POOL.with(|p| {
         let mut pool = p.items.borrow_mut();
@@ -463,6 +492,7 @@ pub(crate) unsafe fn dispose_top_level(d: *mut Descriptor) {
         // touch the log.
         unsafe { boxed.first_block.reset() };
         boxed.done.store(false, Ordering::Relaxed);
+        boxed.panicked.store(false, Ordering::Relaxed);
         boxed.helped.store(false, Ordering::Relaxed);
         POOL.with(|p| {
             let mut pool = p.items.borrow_mut();

@@ -24,6 +24,32 @@
 //! In blocking mode the same lock word acts as a test-and-test-and-set bit
 //! (with the descriptor pointer left null), no descriptor is created, and
 //! nothing is logged — the paper's runtime-switchable blocking mode.
+//!
+//! ## Panic safety
+//!
+//! A critical section that panics must never poison the lock word, the
+//! descriptor pool, or the epoch state. The contract (regression-tested
+//! here and in `flock-chaos`; methodology in EXPERIMENTS.md §8):
+//!
+//! * **Blocking mode:** the TTAS bit is released on unwind (a drop guard in
+//!   [`Lock::blocking_run`]) and the panic propagates to the caller.
+//!   Pre-contract, a panic here left the word locked forever.
+//! * **Lock-free mode:** every run site (owner in
+//!   [`Lock::run_and_unlock_self`], helper in [`Lock::help`]) catches the
+//!   unwind, marks the descriptor `panicked` **then** `done`, releases the
+//!   lock, and disposes/skips exactly as after a completed run. The owner
+//!   then resumes the panic; a helper swallows it (the panic belongs to the
+//!   victim's critical section — the victim's owner reports it). A sticky
+//!   `panicked` flag keeps any later runner from **replaying** a log that
+//!   ends at a panic point: a non-panicking replay would otherwise keep
+//!   executing — and applying effects — past the point where the lock was
+//!   released. Owners that find the flag set report the panic instead of
+//!   replaying (like a poisoned `std::sync::Mutex`, the flag is
+//!   conservative: a racing helper may have completed the thunk).
+//! * If the *panic-handling sequence itself* unwinds, no safe state can be
+//!   re-established and the process aborts with a diagnostic (an
+//!   [`AbortGuard`] armed around each handler) — never a silently hung or
+//!   half-released lock.
 
 // MODE/HELPING below are runtime configuration ("not meant to be toggled
 // while operations run"), not protocol state: they deliberately stay plain
@@ -90,6 +116,24 @@ impl From<LockMode> for u8 {
             LockMode::LockFree => 0,
             LockMode::Blocking => 1,
         }
+    }
+}
+
+/// Aborts the process if dropped during an unwind. Armed (and disarmed with
+/// `mem::forget` on success) around the panic-handling sequences that
+/// restore protocol safety: if *they* panic, no safe state can be
+/// re-established, and the contract's fallback is a loud abort rather than
+/// a silently poisoned lock.
+struct AbortGuard(&'static str);
+
+impl Drop for AbortGuard {
+    fn drop(&mut self) {
+        eprintln!(
+            "flock: fatal: {} unwound while restoring protocol safety after a \
+             critical-section panic; aborting",
+            self.0
+        );
+        std::process::abort();
     }
 }
 
@@ -240,9 +284,7 @@ impl Lock {
                             LockWord::locked(std::ptr::null()).to_bits(),
                         ),
                     ) {
-                        let r = thunk();
-                        self.blocking_release();
-                        return r;
+                        return self.blocking_run(thunk);
                     }
                     backoff.spin();
                 }
@@ -274,12 +316,9 @@ impl Lock {
                         // visible here (see lock_free_try_lock).
                         let done = unsafe { (*d).is_done() };
                         if done || cur2 == mine {
-                            let result = self.run_and_unlock_self::<R>(tc, d, mine);
-                            // SAFETY: lock word no longer references `d`
-                            // (unlock CAMs it to null); pinned; `d` was
-                            // created from a thunk returning `R`.
-                            unsafe { self.dispose_after_run(tc, d, nested) };
-                            return result;
+                            // Runs, unlocks and disposes (`d` was created
+                            // from a thunk returning `R`; we are pinned).
+                            return self.run_and_unlock_self::<R>(tc, d, mine, nested);
                         }
                         if cur2.is_locked() {
                             self.help(tc, cur2_packed, &guard);
@@ -344,6 +383,12 @@ impl Lock {
             let mine = LockWord::locked(d);
             self.word.cam_in(tc, cur, mine);
 
+            // Chaos seam: the install CAM has (possibly) published our
+            // descriptor but we have not begun running it. A thread stalled
+            // here holds the lock; helpers must complete the committed
+            // descriptor without it. No-op in default builds.
+            flock_sync::chaos::probe(flock_sync::chaos::Seam::LockInstalled);
+
             // Line 19: did we get in?
             let cur2_packed = self.word.load_packed_in(tc);
             let cur2 = LockWord::from_bits(unpack_val(cur2_packed));
@@ -360,11 +405,9 @@ impl Lock {
             if done || cur2 == mine {
                 // Line 22: run self. If we were helped to completion, this
                 // is a replay: the log makes it recompute the identical
-                // result without re-applying effects.
-                let result = self.run_and_unlock_self::<R>(tc, d, mine);
-                // SAFETY: unlock removed the lock word's reference; pinned.
-                unsafe { self.dispose_after_run(tc, d, nested) };
-                Some(result)
+                // result without re-applying effects. Runs, unlocks and
+                // disposes (we are pinned; `d`'s thunk returns `R`).
+                Some(self.run_and_unlock_self::<R>(tc, d, mine, nested))
             } else {
                 // Lines 23-26: someone else is (or was) in; help if locked.
                 if cur2.is_locked() {
@@ -385,29 +428,94 @@ impl Lock {
         })
     }
 
-    /// Run our own installed (or already completed) descriptor and release
-    /// the lock: the paper's `runAndUnlock` for the self path.
+    /// Run our own installed (or already completed) descriptor, release the
+    /// lock, and dispose of the descriptor: the paper's `runAndUnlock` for
+    /// the self path, extended with the panic-safety contract (module docs).
     ///
-    /// Callers guarantee `d` was created from a thunk returning `R`; the run
-    /// writes the (replay-deterministic) result into a local slot.
+    /// Callers guarantee `d` was created from a thunk returning `R` and that
+    /// the calling thread is pinned; the run writes the
+    /// (replay-deterministic) result into a local slot.
+    ///
+    /// If a **previous** runner's execution of this thunk panicked
+    /// (`thunk_panicked` set), the thunk is *not* replayed — its log may end
+    /// at the panic point, and a replay that does not itself panic would
+    /// keep executing (and applying effects) past the release of the lock.
+    /// The owner finishes the abandonment (done → unlock → dispose, the
+    /// same order every completion uses) and reports the panic to its
+    /// caller instead.
     fn run_and_unlock_self<R: Send + 'static>(
         &self,
         tc: &ThreadCtx,
         d: *const Descriptor,
         mine: LockWord,
+        nested: bool,
     ) -> R {
+        // SAFETY: `d` live (see callers).
+        if unsafe { (*d).thunk_panicked() } {
+            // `set_done` before the unlock CAM keeps the protocol-wide
+            // invariant that an observed unlock implies an observable
+            // `done` (idempotent if the panicking runner already set it).
+            // SAFETY: as above.
+            unsafe { (*d).set_done() };
+            self.word.cam_in(tc, mine, LockWord::UNLOCKED_EMPTY);
+            // SAFETY: lock word no longer references `d`; pinned (callers).
+            unsafe { self.dispose_after_run(tc, d, nested) };
+            panic!("flock: critical section panicked during helped execution");
+        }
         let mut out = std::mem::MaybeUninit::<R>::uninit();
         // SAFETY: `d` live (see callers); running a thunk is idempotent;
         // `out` is an uninitialized slot of the thunk's return type.
-        unsafe { ctx::run_in(tc, d, out.as_mut_ptr().cast()) };
-        // SAFETY: as above.
-        unsafe { (*d).set_done() };
-        // Unlock by clearing the descriptor pointer so the descriptor
-        // becomes unreachable from the lock word (enables safe reuse).
-        self.word.cam_in(tc, mine, LockWord::UNLOCKED_EMPTY);
-        // SAFETY: `ctx::run_in` returned without unwinding, so it wrote
-        // `out`.
-        unsafe { out.assume_init() }
+        // AssertUnwindSafe: on unwind `out` is abandoned uninitialized and
+        // every shared invariant is restored by the Err arm below — that
+        // safe-stating is exactly what the catch exists for.
+        let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| unsafe {
+            ctx::run_in(tc, d, out.as_mut_ptr().cast())
+        }));
+        match run {
+            Ok(()) => {
+                // Taint re-check: a helper may have unwound (and marked the
+                // descriptor) *after* the pre-check above but while our own
+                // replay was running. The replay stayed safe — a partial
+                // log's suppressed CASes (the `done`-announced check) make
+                // past-the-log effects no-ops — but the result may reflect
+                // an aborted critical section, so report the panic rather
+                // than return it.
+                // SAFETY: as above.
+                let tainted = unsafe { (*d).thunk_panicked() };
+                // SAFETY: as above.
+                unsafe { (*d).set_done() };
+                // Unlock by clearing the descriptor pointer so the descriptor
+                // becomes unreachable from the lock word (enables safe reuse).
+                self.word.cam_in(tc, mine, LockWord::UNLOCKED_EMPTY);
+                // SAFETY: unlock removed the lock word's reference; pinned.
+                unsafe { self.dispose_after_run(tc, d, nested) };
+                // SAFETY: `ctx::run_in` returned without unwinding, so it
+                // wrote `out`.
+                let r = unsafe { out.assume_init() };
+                if tainted {
+                    drop(r);
+                    panic!("flock: critical section panicked during helped execution");
+                }
+                r
+            }
+            Err(payload) => {
+                // The thunk unwound. Safe-state in the contract's order —
+                // panicked strictly before done (replay decisions key off
+                // that), done strictly before unlock — then dispose exactly
+                // as on the normal path and resume the panic in the caller.
+                let abort = AbortGuard("the owner's panic handler");
+                // SAFETY: as above.
+                unsafe {
+                    (*d).mark_panicked();
+                    (*d).set_done();
+                }
+                self.word.cam_in(tc, mine, LockWord::UNLOCKED_EMPTY);
+                // SAFETY: unlock removed the lock word's reference; pinned.
+                unsafe { self.dispose_after_run(tc, d, nested) };
+                std::mem::forget(abort);
+                std::panic::resume_unwind(payload)
+            }
+        }
     }
 
     /// Help the descriptor installed on this lock (observed as the full
@@ -534,8 +642,35 @@ impl Lock {
         // (idempotent) replay.
         unsafe {
             if !(*d).is_done() {
-                ctx::run_in(tc, d, std::ptr::null_mut());
-                (*d).set_done();
+                if (*d).thunk_panicked() {
+                    // A previous runner unwound mid-thunk: never start a
+                    // replay of a log that may end at the panic point (see
+                    // run_and_unlock_self). Finish the abandonment on its
+                    // behalf — done, then the unlock CAM below.
+                    (*d).set_done();
+                } else {
+                    // Chaos seam: a validated helper about to run the
+                    // victim's thunk. No-op in default builds.
+                    flock_sync::chaos::probe(flock_sync::chaos::Seam::HelpRun);
+                    let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        ctx::run_in(tc, d, std::ptr::null_mut());
+                    }));
+                    match run {
+                        Ok(()) => (*d).set_done(),
+                        Err(payload) => {
+                            // Safe-state (contract order), then swallow: the
+                            // panic belongs to the victim's critical
+                            // section and its owner reports it; killing the
+                            // helping bystander would convert one thread's
+                            // bug into another thread's crash.
+                            let abort = AbortGuard("a helper's panic handler");
+                            (*d).mark_panicked();
+                            (*d).set_done();
+                            std::mem::forget(abort);
+                            drop(payload);
+                        }
+                    }
+                }
             }
         }
         // Unlock the incarnation we just ran (or observed done). The
@@ -576,9 +711,27 @@ impl Lock {
         ) {
             return None;
         }
-        let r = thunk();
-        self.blocking_release();
-        Some(r)
+        Some(self.blocking_run(thunk))
+    }
+
+    /// Run a blocking-mode critical section with the TTAS bit held,
+    /// releasing on both return and unwind: there is no helper to rescue a
+    /// blocking lock, so a panicking critical section must release the word
+    /// itself (pre-contract, a panic here hung the lock forever — waiters
+    /// spun on a bit whose holder had unwound away).
+    fn blocking_run<R, F: FnOnce() -> R>(&self, thunk: F) -> R {
+        struct Release<'a>(&'a Lock);
+        impl Drop for Release<'_> {
+            fn drop(&mut self) {
+                self.0.blocking_release();
+            }
+        }
+        let _release = Release(self);
+        // Chaos seam: blocking critical section entered, word held. A stall
+        // here is the motivating failure helping exists to excuse — nothing
+        // can rescue it. No-op in default builds.
+        flock_sync::chaos::probe(flock_sync::chaos::Seam::BlockingCritical);
+        thunk()
     }
 
     fn blocking_release(&self) {
@@ -784,6 +937,60 @@ mod tests {
             assert_eq!(ok, Some(Some(true)));
             assert!(!outer.is_locked());
             assert!(!inner.is_locked());
+        });
+    }
+
+    /// Panic-safety contract, owner path: a thunk that unwinds out of
+    /// `try_lock` must leave the lock released and reusable in both modes.
+    /// (Pre-contract, lock-free mode leaked a locked word whose descriptor
+    /// was never completed, and blocking mode skipped `blocking_release`
+    /// entirely — every later acquisition hung.)
+    #[test]
+    fn panic_in_thunk_releases_lock() {
+        both_modes(|| {
+            let l = Lock::new();
+            let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                l.try_lock(|| -> u32 { panic!("thunk boom") })
+            }));
+            assert!(r.is_err(), "panic must propagate to the lock caller");
+            assert!(!l.is_locked(), "lock still held after a panicking thunk");
+            assert_eq!(l.try_lock(|| 7u32), Some(7), "lock unusable after panic");
+        });
+    }
+
+    /// Same contract through the strict (waiting) acquisition path.
+    #[test]
+    fn panic_in_strict_lock_releases_lock() {
+        both_modes(|| {
+            let l = Lock::new();
+            let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                l.lock(|| -> u32 { panic!("strict boom") })
+            }));
+            assert!(r.is_err());
+            assert!(!l.is_locked());
+            assert_eq!(l.lock(|| 11u32), 11);
+        });
+    }
+
+    /// A panicking critical section must not poison *other* operations'
+    /// state: after the unwind, unrelated locks and cells keep working and
+    /// a nested acquisition sequence completes.
+    #[test]
+    fn panic_does_not_poison_unrelated_state() {
+        both_modes(|| {
+            let a = Arc::new(Lock::new());
+            let b = Arc::new(Lock::new());
+            let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                a.try_lock(|| -> () { panic!("poison probe") })
+            }));
+            let b2 = Arc::clone(&b);
+            assert_eq!(
+                a.try_lock(move || b2.try_lock(|| 3u32)),
+                Some(Some(3)),
+                "nested acquisition broken after an unrelated panic"
+            );
+            assert!(!a.is_locked());
+            assert!(!b.is_locked());
         });
     }
 

@@ -352,6 +352,48 @@ mod tests {
         });
     }
 
+    /// Panic-safety: a closure that unwinds out of `with` leaves the cell's
+    /// lock released, and the data stays usable (no poisoning — shared
+    /// state lives in `Mutable` cells that a partial run never corrupts,
+    /// because an unwound thunk's effects were applied under the lock or
+    /// not at all).
+    #[test]
+    fn panic_in_with_releases_lock() {
+        both_modes(|| {
+            let cell = Locked::new(Mutable::new(5u32));
+            let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                cell.with(|_| -> u32 { panic!("with boom") })
+            }));
+            assert!(r.is_err());
+            assert!(!cell.is_locked(), "cell lock leaked by a panicking with");
+            assert_eq!(cell.with(|m| m.load()), 5);
+        });
+    }
+
+    /// Panic-safety: a closure that unwinds out of `try_with2` releases
+    /// *both* locks — the inner lock's unwind path must compose with the
+    /// outer critical section's, not just its own.
+    #[test]
+    fn panic_in_try_with2_releases_both_locks() {
+        both_modes(|| {
+            let a = Arc::new(Locked::new(Mutable::new(1u32)));
+            let b = Arc::new(Locked::new(Mutable::new(2u32)));
+            let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                Locked::try_with2(&a, &b, |_, _| -> u32 { panic!("with2 boom") })
+            }));
+            assert!(r.is_err());
+            assert!(!a.is_locked(), "first lock leaked by panicking try_with2");
+            assert!(!b.is_locked(), "second lock leaked by panicking try_with2");
+            // Both cells fully functional afterwards.
+            let moved = Locked::try_with2(&a, &b, |x, y| {
+                x.store(x.load() + 1);
+                y.store(y.load() + 1);
+                x.load() + y.load()
+            });
+            assert_eq!(moved, Some(2 + 3));
+        });
+    }
+
     #[test]
     #[should_panic(expected = "distinct cells")]
     fn try_with2_rejects_same_cell() {

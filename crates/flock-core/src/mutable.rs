@@ -317,6 +317,12 @@ impl<V: ValueRepr> Mutable<V> {
         let (chosen, _) = commit_raw_in(tc, candidate as u64);
         let new_word = pack(chosen as u16, new_bits);
 
+        // Chaos seam: the new word is committed to the thunk log but not yet
+        // installed — a stall here is exactly the window helping exists for
+        // (a helper replays the log, agrees on `new_word`, and installs it on
+        // the victim's behalf). No-op in default builds.
+        flock_sync::chaos::probe(flock_sync::chaos::Seam::LogCommitToInstall);
+
         // Hazard-style announcement of the expected (location, tag) pair:
         // announce, fence (inside announce), then re-check that the thunk is
         // not finished. If it is finished every effect is already applied

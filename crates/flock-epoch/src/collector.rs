@@ -18,6 +18,10 @@ pub(crate) struct Retired {
     pub(crate) drop_fn: unsafe fn(*mut u8),
     /// Global epoch at retire time.
     pub(crate) stamp: u64,
+    /// `size_of` the retired allocation, for the bag-growth accounting in
+    /// [`epoch_stats`] (heap payload only — boxes of a `T` count
+    /// `size_of::<T>()`; any transitive owned memory is not walked).
+    pub(crate) bytes: usize,
 }
 
 // SAFETY: a Retired is an owned, unlinked allocation; the collector is the
@@ -36,6 +40,10 @@ pub(crate) struct Global {
     orphans: Mutex<Vec<Retired>>,
     retired_count: AtomicUsize,
     freed_count: AtomicUsize,
+    /// Bytes currently sitting in retire bags (local + orphan), i.e.
+    /// retired-not-yet-freed. Grows without bound only while a reservation
+    /// is stuck — which is exactly what [`epoch_stats`] exists to report.
+    bag_bytes: AtomicUsize,
 }
 
 #[allow(clippy::declare_interior_mutable_const)]
@@ -47,6 +55,7 @@ static GLOBAL: Global = Global {
     orphans: Mutex::new(Vec::new()),
     retired_count: AtomicUsize::new(0),
     freed_count: AtomicUsize::new(0),
+    bag_bytes: AtomicUsize::new(0),
 };
 
 pub(crate) fn global_epoch() -> &'static AtomicU64 {
@@ -117,11 +126,25 @@ pub fn try_advance() -> u64 {
 }
 
 thread_local! {
-    static LOCAL_BAG: LocalBag = const { LocalBag { items: std::cell::RefCell::new(Vec::new()) } };
+    static LOCAL_BAG: LocalBag = const {
+        LocalBag {
+            items: std::cell::RefCell::new(Vec::new()),
+            last_failed_safe: std::cell::Cell::new(0),
+        }
+    };
 }
 
 struct LocalBag {
     items: std::cell::RefCell<Vec<Retired>>,
+    /// Highest `safe_before` for which a full scan of this bag freed
+    /// nothing. While the reservation floor is stuck (a stalled or
+    /// forever-pinned thread), `safe_before` stays at this value and every
+    /// new retire would otherwise rescan the whole growing bag — quadratic
+    /// work for zero frees. Skipping re-scans at an already-failed floor is
+    /// sound: items retire with `stamp >=` the epoch at retire time
+    /// `>= safe_before`, so nothing addable later becomes freeable at the
+    /// same floor.
+    last_failed_safe: std::cell::Cell<u64>,
 }
 
 impl Drop for LocalBag {
@@ -183,6 +206,7 @@ pub(crate) fn bag_retired_global(item: Retired) {
     #[cfg(debug_assertions)]
     debug_track::on_retire(item.ptr as usize);
     GLOBAL.retired_count.fetch_add(1, Ordering::Relaxed);
+    GLOBAL.bag_bytes.fetch_add(item.bytes, Ordering::Relaxed);
     if let Ok(mut orphans) = GLOBAL.orphans.lock() {
         orphans.push(item);
     }
@@ -191,6 +215,7 @@ pub(crate) fn bag_retired_global(item: Retired) {
 pub(crate) fn bag_retired(item: Retired) {
     #[cfg(debug_assertions)]
     debug_track::on_retire(item.ptr as usize);
+    GLOBAL.bag_bytes.fetch_add(item.bytes, Ordering::Relaxed);
     let count = GLOBAL.retired_count.fetch_add(1, Ordering::Relaxed) + 1;
     let should_collect = LOCAL_BAG.with(|bag| {
         let mut items = bag.items.borrow_mut();
@@ -210,8 +235,17 @@ pub(crate) fn bag_retired(item: Retired) {
 pub(crate) fn collect_local() {
     let safe_before = min_active_reservation().saturating_sub(1);
     let mut freed = 0usize;
+    let mut freed_bytes = 0usize;
     LOCAL_BAG.with(|bag| {
+        // Stuck-reservation guard: a full scan at this floor (or a higher
+        // one) already freed nothing, and nothing retired since can be
+        // older — skip the rescan so a stalled pinner costs O(1) per
+        // retire instead of O(bag).
+        if safe_before <= bag.last_failed_safe.get() {
+            return;
+        }
         let mut items = bag.items.borrow_mut();
+        let before = items.len();
         items.retain(|it| {
             if it.stamp < safe_before {
                 #[cfg(debug_assertions)]
@@ -221,11 +255,15 @@ pub(crate) fn collect_local() {
                 // retire contract says it was unlinked and retired once.
                 unsafe { (it.drop_fn)(it.ptr) };
                 freed += 1;
+                freed_bytes += it.bytes;
                 false
             } else {
                 true
             }
         });
+        if freed == 0 && before > 0 {
+            bag.last_failed_safe.set(safe_before);
+        }
     });
     // Opportunistically drain orphans too; try_lock so we never spin here.
     if let Ok(mut orphans) = GLOBAL.orphans.try_lock() {
@@ -236,6 +274,7 @@ pub(crate) fn collect_local() {
                 // SAFETY: as above.
                 unsafe { (it.drop_fn)(it.ptr) };
                 freed += 1;
+                freed_bytes += it.bytes;
                 false
             } else {
                 true
@@ -244,6 +283,7 @@ pub(crate) fn collect_local() {
     }
     if freed > 0 {
         GLOBAL.freed_count.fetch_add(freed, Ordering::Relaxed);
+        GLOBAL.bag_bytes.fetch_sub(freed_bytes, Ordering::Relaxed);
     }
 }
 
@@ -294,6 +334,7 @@ pub(crate) fn model_reset() {
         for it in items.drain(..) {
             #[cfg(debug_assertions)]
             debug_track::on_free(it.ptr as usize);
+            GLOBAL.bag_bytes.fetch_sub(it.bytes, Ordering::Relaxed);
             // SAFETY: nothing is pinned (caller contract), so no in-flight
             // operation can reach a retired object; retired exactly once.
             unsafe { (it.drop_fn)(it.ptr) };
@@ -333,6 +374,52 @@ pub fn collector_stats() -> CollectorStats {
         retired: GLOBAL.retired_count.load(Ordering::Relaxed),
         freed: GLOBAL.freed_count.load(Ordering::Relaxed),
         epoch: GLOBAL.epoch.load(Ordering::Relaxed),
+    }
+}
+
+/// Degradation snapshot: how far reclamation has fallen behind and why.
+///
+/// Where [`CollectorStats`] counts activity, this reports *pressure* — the
+/// quantities that grow when a thread stalls while pinned. The collector's
+/// degradation contract under a forever-pinned thread is "bounded by what
+/// the live threads retire, and reported": retire bags grow (`bag_bytes`),
+/// the reservation floor stops (`oldest_reservation_age` climbs), and
+/// nothing is ever freed out from under the stuck reservation. The chaos
+/// runner asserts `bag_bytes` stays proportional to work done and that the
+/// stats recover to ~zero once the stall is released.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EpochStats {
+    /// Threads currently holding an active (non-quiescent) reservation.
+    pub pinned_threads: usize,
+    /// Global epoch minus the oldest active reservation, in epochs — how
+    /// many advance cycles the slowest pinned thread is holding back. Zero
+    /// when nothing is pinned.
+    pub oldest_reservation_age: u64,
+    /// Bytes retired but not yet freed, across all local bags and the
+    /// orphan bag (heap payloads only, as stamped at retire time).
+    pub retire_bag_bytes: usize,
+}
+
+/// Snapshot of the collector's degradation pressure. See [`EpochStats`].
+pub fn epoch_stats() -> EpochStats {
+    fence(Ordering::SeqCst);
+    let epoch = GLOBAL.epoch.load(Ordering::Relaxed);
+    let bound = tid::scan_bound().min(MAX_THREADS);
+    let mut pinned = 0usize;
+    let mut min = epoch;
+    for r in &GLOBAL.reservations[..bound] {
+        let v = r.load(Ordering::Relaxed);
+        if v != QUIESCENT {
+            pinned += 1;
+            if v < min {
+                min = v;
+            }
+        }
+    }
+    EpochStats {
+        pinned_threads: pinned,
+        oldest_reservation_age: epoch.saturating_sub(min),
+        retire_bag_bytes: GLOBAL.bag_bytes.load(Ordering::Relaxed),
     }
 }
 

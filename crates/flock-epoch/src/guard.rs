@@ -92,6 +92,11 @@ pub fn pin_with(tc: &ThreadCtx) -> EpochGuard {
                 break;
             }
         }
+        // Chaos seam: reservation just published — a stall here is a
+        // forever-pinned thread, the case the collector must degrade
+        // gracefully under (bags grow bounded-and-reported, never freed
+        // out from under the reservation). No-op in default builds.
+        flock_sync::chaos::probe(flock_sync::chaos::Seam::EpochPinned);
     }
     EpochGuard {
         tid: me,

@@ -31,7 +31,9 @@ mod collector;
 mod guard;
 mod indirect;
 
-pub use collector::{CollectorStats, QUIESCENT, collector_stats, try_advance};
+pub use collector::{
+    CollectorStats, EpochStats, QUIESCENT, collector_stats, epoch_stats, try_advance,
+};
 #[cfg(feature = "model")]
 pub use guard::mutants;
 pub use guard::{AdoptGuard, EpochGuard, pin, pin_with, pinned_epoch};
@@ -124,6 +126,7 @@ pub unsafe fn retire<T>(ptr: *mut T) {
         ptr: ptr.cast::<u8>(),
         drop_fn: drop_box::<T>,
         stamp,
+        bytes: std::mem::size_of::<T>(),
     });
 }
 
@@ -150,6 +153,7 @@ pub unsafe fn retire_orphan<T>(ptr: *mut T) {
         ptr: ptr.cast::<u8>(),
         drop_fn: drop_box::<T>,
         stamp,
+        bytes: std::mem::size_of::<T>(),
     });
 }
 
@@ -239,6 +243,47 @@ mod tests {
         // SAFETY: fresh private allocation.
         unsafe { free_now(p) };
         assert_eq!(drops.load(Relaxed), 1);
+    }
+
+    /// `epoch_stats` reflects pinning pressure and bag growth: a pinned
+    /// thread shows up in `pinned_threads`, retires accumulate in
+    /// `retire_bag_bytes` while the pin blocks reclamation, and an aging
+    /// reservation registers a nonzero `oldest_reservation_age`; everything
+    /// recovers once the pin drops.
+    #[test]
+    fn epoch_stats_tracks_pin_and_bag_pressure() {
+        let g = pin();
+        let stats = epoch_stats();
+        assert!(stats.pinned_threads >= 1, "own pin not counted: {stats:?}");
+        {
+            let _inner = pin();
+            for _ in 0..4 {
+                let p = alloc([0u8; 256]);
+                // SAFETY: fresh private allocation, retired once.
+                unsafe { retire(p) };
+            }
+        }
+        // Our own reservation blocks the reclamation floor, so our retires
+        // must still be sitting in a bag — other test threads can free
+        // *their* older items concurrently, but never these, so the global
+        // byte gauge is at least our contribution.
+        let stats = epoch_stats();
+        assert!(
+            stats.retire_bag_bytes >= 4 * 256,
+            "retires not reflected in bag bytes: {stats:?}"
+        );
+        // Age the reservation: the one advance our pin permits moves the
+        // epoch past the floor we hold; further advances are blocked.
+        for _ in 0..3 {
+            try_advance();
+        }
+        let stats = epoch_stats();
+        assert!(
+            stats.oldest_reservation_age >= 1,
+            "aged pin shows no reservation age: {stats:?}"
+        );
+        drop(g);
+        flush_all();
     }
 
     #[test]

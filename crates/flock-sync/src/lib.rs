@@ -22,7 +22,11 @@
 //! * [`thread_ctx`] — the single `thread_local!` consolidating every
 //!   hot-path per-thread variable (id, epoch pin state, thunk-log cursor),
 //!   fetched once per operation.
-//! * [`backoff`] — truncated exponential backoff for contended retry loops.
+//! * [`backoff`] — truncated exponential backoff with deterministic jitter
+//!   for contended retry loops.
+//! * [`chaos`] — named fault-injection points at the protocol seams: no-op
+//!   hooks in default builds, a registered `ChaosPolicy` under the
+//!   non-default `chaos` feature (the `flock-chaos` crate's substrate).
 //! * [`ttas`] — a test-and-test-and-set spin lock; this is exactly the lock the
 //!   paper uses for the *blocking* mode of Flock locks.
 //! * [`padded`] — `CachePadded<T>` to keep per-thread hot words on their own
@@ -37,6 +41,7 @@ pub mod announce;
 pub mod approx_len;
 pub mod atomic;
 pub mod backoff;
+pub mod chaos;
 pub mod pack;
 pub mod padded;
 pub mod tagged;
