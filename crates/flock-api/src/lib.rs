@@ -46,6 +46,7 @@
 
 use std::fmt::Debug;
 use std::hash::Hash;
+use std::ops::Bound;
 
 pub use flock_epoch::Indirect;
 pub use flock_epoch::{EpochStats, epoch_stats};
@@ -100,8 +101,12 @@ pub trait Map<K: Key, V: Value>: Send + Sync {
 
     /// Is `key` present?
     ///
-    /// Provided in terms of [`Map::get`]; structures with a cheaper
-    /// existence check may override.
+    /// Provided in terms of [`Map::get`] — which **materializes the
+    /// value**: for [`Indirect<V>`] fat values the default decodes and
+    /// clones the boxed payload just to discard it. Structures with a
+    /// presence-only existence check (no value decode, no clone) should
+    /// override; every structure in this workspace's registry does, and
+    /// the conformance harness's `contains_no_materialize` test pins it.
     fn contains(&self, key: K) -> bool {
         self.get(key).is_some()
     }
@@ -210,6 +215,93 @@ impl<K: Key, V: Value, M: Map<K, V> + ?Sized> Map<K, V> for Box<M> {
     }
 }
 
+/// Does `k` satisfy the lower bound of a range?
+#[inline]
+pub fn key_above_lower<K: Ord + ?Sized>(k: &K, lo: Bound<&K>) -> bool {
+    match lo {
+        Bound::Unbounded => true,
+        Bound::Included(l) => k >= l,
+        Bound::Excluded(l) => k > l,
+    }
+}
+
+/// Does `k` satisfy the upper bound of a range?
+#[inline]
+pub fn key_below_upper<K: Ord + ?Sized>(k: &K, hi: Bound<&K>) -> bool {
+    match hi {
+        Bound::Unbounded => true,
+        Bound::Included(h) => k <= h,
+        Bound::Excluded(h) => k < h,
+    }
+}
+
+/// Is `k` inside both bounds of a range?
+#[inline]
+pub fn key_in_range<K: Ord + ?Sized>(k: &K, lo: Bound<&K>, hi: Bound<&K>) -> bool {
+    key_above_lower(k, lo) && key_below_upper(k, hi)
+}
+
+/// A [`Map`] whose keys support ordered traversal: range scans and full
+/// ordered iteration.
+///
+/// ## Scan consistency contract
+///
+/// Range scans take **no locks**. Every implementation in this workspace
+/// gives the same two-level guarantee (EXPERIMENTS.md §9 tabulates the
+/// per-structure mechanism), checked for every ordered structure at three
+/// `(K, V)` shapes by [`ordered_map_conformance!`]:
+///
+/// * **Per-entry atomicity** — each returned `(key, value)` pair was
+///   simultaneously present in the map at some instant during the scan.
+///   Entries are read through the version-validated optimistic path
+///   (a `flock_core::read_validated`-style bracket under the entry's
+///   owning lock), falling back to per-slot committed reads after a
+///   bounded number of validation failures; either way a scan never
+///   returns a torn value or a `(key, value)` pairing that never
+///   coexisted.
+/// * **Cross-entry weak consistency** — the scan as a whole is *not* an
+///   atomic snapshot. Keys come back in strictly increasing order, each at
+///   most once; a key present for the entire duration of the scan is
+///   returned; keys inserted or removed mid-scan may or may not appear.
+///   No key outside the requested bounds is ever returned.
+pub trait OrderedMap<K: Key, V: Value>: Map<K, V> {
+    /// All entries within the bounds, in ascending key order.
+    fn range(&self, lo: Bound<&K>, hi: Bound<&K>) -> Vec<(K, V)>;
+
+    /// Ordered snapshot of the whole map — equivalent to
+    /// `range(Bound::Unbounded, Bound::Unbounded)`.
+    fn iter(&self) -> Vec<(K, V)> {
+        self.range(Bound::Unbounded, Bound::Unbounded)
+    }
+
+    /// Convenience form of [`OrderedMap::range`] over the standard range
+    /// syntax: `map.scan(10..20)`, `map.scan(..=9)`, `map.scan(..)`.
+    fn scan<R: std::ops::RangeBounds<K>>(&self, r: R) -> Vec<(K, V)>
+    where
+        Self: Sized,
+    {
+        self.range(r.start_bound(), r.end_bound())
+    }
+}
+
+impl<K: Key, V: Value, M: OrderedMap<K, V> + ?Sized> OrderedMap<K, V> for &M {
+    fn range(&self, lo: Bound<&K>, hi: Bound<&K>) -> Vec<(K, V)> {
+        (**self).range(lo, hi)
+    }
+    fn iter(&self) -> Vec<(K, V)> {
+        (**self).iter()
+    }
+}
+
+impl<K: Key, V: Value, M: OrderedMap<K, V> + ?Sized> OrderedMap<K, V> for Box<M> {
+    fn range(&self, lo: Bound<&K>, hi: Bound<&K>) -> Vec<(K, V)> {
+        (**self).range(lo, hi)
+    }
+    fn iter(&self) -> Vec<(K, V)> {
+        (**self).iter()
+    }
+}
+
 pub mod testing {
     //! The shared conformance-test harness behind [`map_conformance!`]
     //! (also usable directly from hand-written tests).
@@ -217,8 +309,9 @@ pub mod testing {
     //! This module is compiled into the crate (not `#[cfg(test)]`) because
     //! downstream crates invoke it from *their* test builds.
 
-    use super::{Indirect, Key, Map, Value};
+    use super::{Indirect, Key, Map, OrderedMap, Value};
     use std::collections::BTreeMap;
+    use std::ops::Bound;
     use std::sync::atomic::{AtomicIsize, Ordering::Relaxed};
 
     /// Process-wide lock serializing tests that touch the global lock mode:
@@ -576,6 +669,18 @@ pub mod testing {
     /// Net count of live [`DropTracked`] instances (creations minus drops).
     static TRACKED_LIVE: AtomicIsize = AtomicIsize::new(0);
 
+    /// Total constructions of [`DropTracked`] (including clones) — the
+    /// materialization probe behind [`contains_no_materialize_check`].
+    static TRACKED_CONSTRUCTED: AtomicIsize = AtomicIsize::new(0);
+
+    /// Process-global, monotone count of [`DropTracked`] constructions so
+    /// far (clones included). Diff two snapshots around an operation to
+    /// count the payload materializations it performed; take them under
+    /// [`exclusive`] so parallel tests cannot perturb the counter.
+    pub fn tracked_constructions() -> isize {
+        TRACKED_CONSTRUCTED.load(Relaxed)
+    }
+
     /// A drop-counting payload for the indirect-path reclamation check:
     /// every construction (including clones) bumps a process-global
     /// counter, every drop decrements it, so leaks and double drops show up
@@ -588,6 +693,7 @@ pub mod testing {
         /// A new tracked instance carrying `v`.
         pub fn new(v: u64) -> Self {
             TRACKED_LIVE.fetch_add(1, Relaxed);
+            TRACKED_CONSTRUCTED.fetch_add(1, Relaxed);
             DropTracked(v)
         }
     }
@@ -676,6 +782,224 @@ pub mod testing {
         );
     }
 
+    /// Pin the presence-only `contains` contract on the fat-value path:
+    /// [`Map::contains`] must not decode and clone an [`Indirect`] payload
+    /// it only needs to *observe* — the default `get`-based composite does
+    /// exactly that, so every registry structure overrides it. Call under
+    /// [`exclusive`]: the construction counter is process-global.
+    pub fn contains_no_materialize_check<M>(map: &M)
+    where
+        M: Map<u64, Indirect<DropTracked>>,
+    {
+        assert!(map.insert(5, Indirect(DropTracked::new(50))));
+        let base = tracked_constructions();
+        for _ in 0..64 {
+            assert!(map.contains(5), "present key");
+            assert!(!map.contains(6), "absent key");
+        }
+        assert_eq!(
+            tracked_constructions() - base,
+            0,
+            "contains must be presence-only: no fat-value payload may be \
+             decoded or cloned on the existence path"
+        );
+        let got = map.get(5);
+        assert!(
+            tracked_constructions() > base,
+            "get must still materialize the value"
+        );
+        assert_eq!(got.map(|Indirect(d)| d.0), Some(50));
+        assert!(map.remove(5));
+        flock_epoch::flush_all();
+    }
+
+    /// Sequential differential check of [`OrderedMap::range`] and
+    /// [`OrderedMap::iter`] against a `BTreeMap` oracle over a mix of bound
+    /// shapes. `kf` must be strictly monotone (order-preserving) on
+    /// `0..key_range`; `vf` injective on the value stamps.
+    pub fn range_oracle_check_as<K, V, M, KF, VF>(
+        map: &M,
+        ops: usize,
+        key_range: u64,
+        seed: u64,
+        kf: KF,
+        vf: VF,
+    ) where
+        K: Key,
+        V: Value,
+        M: OrderedMap<K, V> + ?Sized,
+        KF: Fn(u64) -> K,
+        VF: Fn(u64) -> V,
+    {
+        let mut oracle: BTreeMap<u64, u64> = BTreeMap::new();
+        let mut state = seed | 1;
+        let expect = |oracle: &BTreeMap<u64, u64>, lo: Bound<u64>, hi: Bound<u64>| -> Vec<(K, V)> {
+            oracle
+                .range((lo, hi))
+                .map(|(k, v)| (kf(*k), vf(*v)))
+                .collect()
+        };
+        for i in 0..ops {
+            let k = xorshift(&mut state) % key_range;
+            match xorshift(&mut state) % 4 {
+                0 => {
+                    let expect_new = !oracle.contains_key(&k);
+                    if expect_new {
+                        oracle.insert(k, i as u64);
+                    }
+                    assert_eq!(map.insert(kf(k), vf(i as u64)), expect_new, "insert({k})");
+                }
+                1 => {
+                    let expect_hit = oracle.remove(&k).is_some();
+                    assert_eq!(map.remove(kf(k)), expect_hit, "remove({k})");
+                }
+                _ => {
+                    let a = xorshift(&mut state) % key_range;
+                    let b = xorshift(&mut state) % key_range;
+                    let (lo_id, hi_id) = (a.min(b), a.max(b));
+                    let (klo, khi) = (kf(lo_id), kf(hi_id));
+                    let (got, want) = match xorshift(&mut state) % 4 {
+                        0 => (
+                            map.range(Bound::Included(&klo), Bound::Excluded(&khi)),
+                            expect(&oracle, Bound::Included(lo_id), Bound::Excluded(hi_id)),
+                        ),
+                        1 => (
+                            map.range(Bound::Included(&klo), Bound::Included(&khi)),
+                            expect(&oracle, Bound::Included(lo_id), Bound::Included(hi_id)),
+                        ),
+                        2 => (
+                            map.range(Bound::Unbounded, Bound::Excluded(&khi)),
+                            expect(&oracle, Bound::Unbounded, Bound::Excluded(hi_id)),
+                        ),
+                        _ => (
+                            map.range(Bound::Excluded(&klo), Bound::Unbounded),
+                            expect(&oracle, Bound::Excluded(lo_id), Bound::Unbounded),
+                        ),
+                    };
+                    assert_eq!(got, want, "range disagreed with oracle at op {i}");
+                }
+            }
+        }
+        assert_eq!(
+            map.iter(),
+            expect(&oracle, Bound::Unbounded, Bound::Unbounded),
+            "iter() disagreed with the full oracle"
+        );
+    }
+
+    /// Concurrent scan-consistency check — the conformance teeth behind the
+    /// [`OrderedMap`] contract: while a mutator flickers some keys and
+    /// atomically flips the values of others, racing range scans must only
+    /// ever return keys inside their linearization window, in strictly
+    /// increasing order, with values drawn from each key's legal set — and
+    /// must never miss a key that is present for the scan's whole duration.
+    ///
+    /// `kf` must be strictly monotone (order-preserving) on `0..64`; `vf`
+    /// injective on stamps up to `64 + 1000`.
+    pub fn scan_consistency_check_as<K, V, M, KF, VF>(map: &M, kf: KF, vf: VF)
+    where
+        K: Key,
+        V: Value,
+        M: OrderedMap<K, V> + Sync + ?Sized,
+        KF: Fn(u64) -> K + Sync,
+        VF: Fn(u64) -> V + Sync,
+    {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        const LO: u64 = 16; // scan window is [LO, HI)
+        const HI: u64 = 48;
+        const STAMP: u64 = 1_000; // alternate legal value stamp offset
+        const SCANNERS: usize = 2;
+        const SCANS: usize = 150;
+        // Even keys (inside and outside the window) are permanent anchors;
+        // odd keys inside the window flicker; nothing else ever exists.
+        // Evens outside the window pin the "no key outside its bounds"
+        // clause: they are always present yet must never be returned.
+        for k in (0..64).step_by(2) {
+            assert!(map.insert(kf(k), vf(k)));
+        }
+        let stop = AtomicBool::new(false);
+        std::thread::scope(|s| {
+            let (stop, map, kf, vf) = (&stop, &map, &kf, &vf);
+            // Mutator: flicker odd window keys through insert/remove; flip
+            // even window values between their two legal stamps through
+            // the (atomic) native update.
+            s.spawn(move || {
+                let mut state = 0x5EED_5EED_u64;
+                while !stop.load(Ordering::Relaxed) {
+                    let k = LO + xorshift(&mut state) % (HI - LO);
+                    if k % 2 == 1 {
+                        if !map.insert(kf(k), vf(k)) {
+                            let _ = map.remove(kf(k));
+                        }
+                    } else {
+                        let stamp = if xorshift(&mut state).is_multiple_of(2) {
+                            k
+                        } else {
+                            k + STAMP
+                        };
+                        assert!(map.update(kf(k), vf(stamp)), "even keys are permanent");
+                    }
+                }
+            });
+            let scanners: Vec<_> = (0..SCANNERS)
+                .map(|t| {
+                    s.spawn(move || {
+                        let (lo_k, hi_k) = (kf(LO), kf(HI));
+                        for scan in 0..SCANS {
+                            let got = map.range(Bound::Included(&lo_k), Bound::Excluded(&hi_k));
+                            for w in got.windows(2) {
+                                assert!(
+                                    w[0].0 < w[1].0,
+                                    "t{t} scan {scan}: keys out of order or duplicated"
+                                );
+                            }
+                            let mut seen_evens = 0usize;
+                            for (k, v) in &got {
+                                let id = (LO..HI).find(|i| kf(*i) == *k).unwrap_or_else(|| {
+                                    panic!(
+                                        "t{t} scan {scan}: key {k:?} observed outside its \
+                                         linearization window"
+                                    )
+                                });
+                                if id % 2 == 0 {
+                                    assert!(
+                                        *v == vf(id) || *v == vf(id + STAMP),
+                                        "t{t} scan {scan}: torn or illegal value {v:?} for \
+                                         key {id}"
+                                    );
+                                    seen_evens += 1;
+                                } else {
+                                    assert!(
+                                        *v == vf(id),
+                                        "t{t} scan {scan}: illegal value {v:?} for flicker \
+                                         key {id}"
+                                    );
+                                }
+                            }
+                            assert_eq!(
+                                seen_evens,
+                                ((HI - LO) / 2) as usize,
+                                "t{t} scan {scan}: a permanently-present key was missed"
+                            );
+                        }
+                    })
+                })
+                .collect();
+            for h in scanners {
+                h.join().expect("scanner panicked");
+            }
+            stop.store(true, Ordering::Relaxed);
+        });
+        // Quiescent sweep: the permanent keys are all still there, ordered.
+        let all = map.iter();
+        let permanent: Vec<&K> = all
+            .iter()
+            .map(|(k, _)| k)
+            .filter(|k| (0..64).step_by(2).any(|i| kf(i) == **k))
+            .collect();
+        assert_eq!(permanent.len(), 32, "quiescent sweep lost a permanent key");
+    }
+
     /// Chaos-only progress validation (the `chaos` feature): stall one
     /// victim thread mid-critical-section through the fault-injection seams
     /// and check the paper's central claim *and its inversion* on one
@@ -737,6 +1061,37 @@ pub mod testing {
         }
         flock_epoch::flush_all();
         set_lock_mode(LockMode::LockFree);
+    }
+
+    /// Strict companion to [`progress_under_stall_check`] for structures
+    /// that are *known* to take a flock lock on the victim op (every
+    /// structure in this workspace's registry): assert the stalled victim
+    /// really parked at an in-critical-section seam
+    /// (`InThunk`/`BlockingCritical`) instead of completing seam-free.
+    /// This is the EXPERIMENTS.md §8 caveat made checkable — the victim op
+    /// is a native `update` of a pre-inserted key, which always enters the
+    /// owning lock's critical section. Call under [`exclusive`].
+    #[cfg(feature = "chaos")]
+    pub fn stall_seam_crossed_check<M, F>(make: F)
+    where
+        M: Map<u64, u64> + Sync,
+        F: Fn() -> M,
+    {
+        use flock_core::{LockMode, set_lock_mode};
+        use std::time::Duration;
+
+        set_lock_mode(LockMode::LockFree);
+        {
+            let map = make();
+            let crossed = stall::run_stalled_phase(&map, Duration::from_secs(60));
+            assert!(
+                crossed.is_some(),
+                "victim op (native update of a present key) completed \
+                 without crossing InThunk: the stall schedule is not \
+                 exercising this structure's critical section"
+            );
+        }
+        flock_epoch::flush_all();
     }
 
     /// The machinery behind [`progress_under_stall_check`].
@@ -828,6 +1183,13 @@ pub mod testing {
             chaos::set_chaos_policy(policy.clone());
             let completed = AtomicUsize::new(0);
             let victim_done = AtomicBool::new(false);
+            // The victim op is a **native update of a pre-inserted key**:
+            // update always enters the owning lock's critical section,
+            // whereas an insert of a present key (and every get) returns
+            // through outside-the-lock reads on several structures and
+            // never crosses a seam — the EXPERIMENTS.md §8 caveat. The
+            // pre-insert runs on this (unarmed) thread, so it cannot park.
+            assert!(map.insert(HOT, 1), "pre-insert of the hot key");
             let result = std::thread::scope(|s| {
                 {
                     let policy = Arc::clone(&policy);
@@ -835,7 +1197,8 @@ pub mod testing {
                     let map = &map;
                     s.spawn(move || {
                         policy.arm_current();
-                        let _ = map.insert(HOT, 1);
+                        // Sentinel value fits the 48-bit inline payload.
+                        let _ = map.update(HOT, (1 << 47) - 1);
                         victim_done.store(true, Ordering::Release);
                     });
                 }
@@ -861,8 +1224,13 @@ pub mod testing {
                     s.spawn(move || {
                         for i in 0..QUOTA / WORKERS {
                             let v = (w as u64 + 1) * 100_000 + i as u64;
+                            // Every iteration crosses the owning lock at
+                            // least twice (update of a present key, remove)
+                            // regardless of how the structure fast-paths
+                            // redundant inserts and gets.
                             let _ = map.insert(HOT, v);
                             let _ = map.get(HOT);
+                            let _ = map.update(HOT, v + 1);
                             let _ = map.remove(HOT);
                             completed.fetch_add(1, Ordering::Relaxed);
                         }
@@ -998,6 +1366,14 @@ macro_rules! map_conformance {
             }
 
             #[test]
+            fn contains_no_materialize() {
+                $crate::testing::exclusive(|| {
+                    let m = $make;
+                    $crate::testing::contains_no_materialize_check(&m);
+                });
+            }
+
+            #[test]
             fn update_atomicity() {
                 $crate::testing::both_modes(|| {
                     let m = $make;
@@ -1047,6 +1423,78 @@ macro_rules! map_conformance {
     };
 }
 
+/// Stamp out the ordered-map conformance suite for one structure
+/// implementing [`OrderedMap`]: a sequential differential range check
+/// against a `BTreeMap` oracle (plain and fat values) and the concurrent
+/// [`scan_consistency_check_as`](testing::scan_consistency_check_as) at
+/// all three `(K, V)` shapes — scans racing inserts/removes/updates must
+/// never observe a key outside its linearization window, a torn value, or
+/// miss a permanently-present key.
+///
+/// ```ignore
+/// flock_api::ordered_map_conformance!(dlist_ordered, flock_ds::dlist::DList::new());
+/// ```
+#[macro_export]
+macro_rules! ordered_map_conformance {
+    ($name:ident, $make:expr) => {
+        mod $name {
+            #[allow(unused_imports)]
+            use super::*;
+
+            #[test]
+            fn range_oracle() {
+                $crate::testing::both_modes(|| {
+                    let m = $make;
+                    $crate::testing::range_oracle_check_as(&m, 2_000, 128, 45, |k| k, |v| v);
+                });
+            }
+
+            #[test]
+            fn range_oracle_fat_values() {
+                $crate::testing::both_modes(|| {
+                    let m = $make;
+                    $crate::testing::range_oracle_check_as(
+                        &m,
+                        1_200,
+                        128,
+                        46,
+                        |k| k,
+                        $crate::testing::fat_value,
+                    );
+                });
+            }
+
+            #[test]
+            fn scan_consistency() {
+                $crate::testing::both_modes(|| {
+                    let m = $make;
+                    $crate::testing::scan_consistency_check_as(&m, |k| k, |v| v);
+                });
+            }
+
+            #[test]
+            fn scan_consistency_small_types() {
+                $crate::testing::both_modes(|| {
+                    let m = $make;
+                    $crate::testing::scan_consistency_check_as(&m, |k| k as u32, |v| v as u16);
+                });
+            }
+
+            #[test]
+            fn scan_consistency_fat_values() {
+                $crate::testing::both_modes(|| {
+                    let m = $make;
+                    $crate::testing::scan_consistency_check_as(
+                        &m,
+                        |k| k,
+                        $crate::testing::fat_value,
+                    );
+                });
+            }
+        }
+    };
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1079,6 +1527,11 @@ mod tests {
         }
         fn get(&self, key: K) -> Option<V> {
             self.0.lock().unwrap().get(&key).cloned()
+        }
+        fn contains(&self, key: K) -> bool {
+            // Presence-only: no value clone (the conformance harness's
+            // `contains_no_materialize` pins this for every consumer).
+            self.0.lock().unwrap().contains_key(&key)
         }
         fn name(&self) -> &'static str {
             "mutex_hashmap"

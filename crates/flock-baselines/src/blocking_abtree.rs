@@ -434,6 +434,23 @@ impl<K: Key, V: Value> BlockingABTree<K, V> {
         }
     }
 
+    /// Presence-only lookup: the same descent as [`BlockingABTree::get`]
+    /// without cloning the value.
+    pub fn contains(&self, k: &K) -> bool {
+        let _g = flock_epoch::pin();
+        // SAFETY: pinned descent.
+        let mut cur =
+            unsafe { (*self.anchor).children[0].load(Ordering::SeqCst) } as *mut Node<K, V>;
+        loop {
+            // SAFETY: pinned.
+            let n = unsafe { &*cur };
+            if n.is_leaf {
+                return n.find(k).is_some();
+            }
+            cur = n.children[n.route(k)].load(Ordering::SeqCst) as *mut Node<K, V>;
+        }
+    }
+
     /// Element count (O(n)).
     pub fn len(&self) -> usize {
         let _g = flock_epoch::pin();
@@ -495,6 +512,9 @@ impl<K: Key, V: Value> Map<K, V> for BlockingABTree<K, V> {
     }
     fn get(&self, key: K) -> Option<V> {
         BlockingABTree::get(self, key)
+    }
+    fn contains(&self, key: K) -> bool {
+        BlockingABTree::contains(self, &key)
     }
     fn name(&self) -> &'static str {
         "srivastava_abtree"

@@ -324,6 +324,19 @@ impl<K: Key, V: Value> BlockingBst<K, V> {
         (n.has_value.load(Ordering::SeqCst) && !n.removed.load(Ordering::SeqCst)).then(|| n.value())
     }
 
+    /// Presence-only lookup: the same search as [`BlockingBst::get`]
+    /// without decoding the value word.
+    pub fn contains(&self, k: &K) -> bool {
+        let _g = flock_epoch::pin();
+        let (_, node) = self.search(k);
+        if node.is_null() {
+            return false;
+        }
+        // SAFETY: pinned.
+        let n = unsafe { &*node };
+        n.has_value.load(Ordering::SeqCst) && !n.removed.load(Ordering::SeqCst)
+    }
+
     /// Element count (live keys; O(n)).
     pub fn len(&self) -> usize {
         let _g = flock_epoch::pin();
@@ -381,6 +394,9 @@ impl<K: Key, V: Value> Map<K, V> for BlockingBst<K, V> {
     }
     fn get(&self, key: K) -> Option<V> {
         BlockingBst::get(self, key)
+    }
+    fn contains(&self, key: K) -> bool {
+        BlockingBst::contains(self, &key)
     }
     fn name(&self) -> &'static str {
         "bronson_style_bst"

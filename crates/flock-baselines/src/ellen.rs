@@ -506,6 +506,16 @@ impl<K: Key, V: Value> EllenBst<K, V> {
         }
     }
 
+    /// Presence-only lookup: the same search as [`EllenBst::get`] without
+    /// decoding the value cell.
+    pub fn contains(&self, k: K) -> bool {
+        let kc = KeyClass::Finite(k);
+        let _g = flock_epoch::pin();
+        let s = self.search(&kc);
+        // SAFETY: pinned.
+        unsafe { &*s.leaf }.key == kc
+    }
+
     /// Native atomic update: one atomic swap of the leaf's value cell.
     /// Returns `false` (storing nothing) if `k` is absent.
     ///
@@ -608,6 +618,9 @@ impl<K: Key, V: Value> Map<K, V> for EllenBst<K, V> {
     }
     fn get(&self, key: K) -> Option<V> {
         EllenBst::get(self, key)
+    }
+    fn contains(&self, key: K) -> bool {
+        EllenBst::contains(self, key)
     }
     fn name(&self) -> &'static str {
         "ellen"

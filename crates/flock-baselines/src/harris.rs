@@ -283,6 +283,29 @@ impl<K: Key, V: Value> HarrisList<K, V> {
         }
     }
 
+    /// Presence-only lookup: the same walk as [`HarrisList::get`] without
+    /// decoding the value cell.
+    pub fn contains(&self, k: &K) -> bool {
+        let _g = flock_epoch::pin();
+        if self.opt_find {
+            // SAFETY: pinned.
+            let mut curr =
+                unmark(unsafe { &*self.head }.next.load(Ordering::SeqCst)) as *mut Node<K, V>;
+            loop {
+                // SAFETY: pinned.
+                let c = unsafe { &*curr };
+                if c.at_or_after(k) {
+                    return c.holds(k) && !marked(c.next.load(Ordering::SeqCst));
+                }
+                curr = unmark(c.next.load(Ordering::SeqCst)) as *mut Node<K, V>;
+            }
+        } else {
+            let (_, curr) = self.search(k);
+            // SAFETY: pinned.
+            unsafe { &*curr }.holds(k)
+        }
+    }
+
     /// Native atomic update: one atomic swap of the node's value cell.
     /// Returns `false` (storing nothing) if `k` is absent.
     ///
@@ -362,6 +385,9 @@ impl<K: Key, V: Value> Map<K, V> for HarrisList<K, V> {
     }
     fn get(&self, key: K) -> Option<V> {
         HarrisList::get(self, key)
+    }
+    fn contains(&self, key: K) -> bool {
+        HarrisList::contains(self, &key)
     }
     fn name(&self) -> &'static str {
         self.label

@@ -390,6 +390,16 @@ impl<K: Key, V: Value> NatarajanBst<K, V> {
         }
     }
 
+    /// Presence-only lookup: the same descent as [`NatarajanBst::get`]
+    /// without decoding the value cell.
+    pub fn contains(&self, k: K) -> bool {
+        let kc = KeyClass::Finite(k);
+        let _g = flock_epoch::pin();
+        let (leaf, w) = self.descend(&kc);
+        // SAFETY: pinned.
+        unsafe { &*leaf }.key == kc && !flagged(w)
+    }
+
     /// Native atomic update: one atomic swap of the leaf's value cell.
     /// Returns `false` (storing nothing) if `k` is absent.
     ///
@@ -476,6 +486,9 @@ impl<K: Key, V: Value> Map<K, V> for NatarajanBst<K, V> {
     }
     fn get(&self, key: K) -> Option<V> {
         NatarajanBst::get(self, key)
+    }
+    fn contains(&self, key: K) -> bool {
+        NatarajanBst::contains(self, key)
     }
     fn name(&self) -> &'static str {
         "natarajan"

@@ -14,11 +14,15 @@
 //! Four arms, every one a hard assertion (nonzero exit on violation; the
 //! seed is printed first so any failure is replayable):
 //!
-//! 1. **Stall/progress** — K=2 victim threads are parked *inside their
-//!    critical sections* ([`Seam::InThunk`]) and never released during the
+//! 1. **Stall/progress** — K=2 victim threads run a native `update` of a
+//!    pre-inserted key and are parked *inside their critical sections*
+//!    ([`Seam::InThunk`]) — an update of a present key cannot return
+//!    through an outside-the-lock read path, so a parked victim provably
+//!    crossed the seam mid-thunk — and never released during the
 //!    measurement window. Every Flock structure in lock-free mode must keep
-//!    completing operations on the very keys the victims hold (helpers
-//!    finish the stalled thunks from their committed descriptors). The same
+//!    completing operations (a four-way insert/get/update/remove mix) on
+//!    the very keys the victims hold (helpers finish the stalled thunks
+//!    from their committed descriptors). The same
 //!    structures in blocking mode, with the victim parked holding the TTAS
 //!    word ([`Seam::BlockingCritical`]), must demonstrably stall — the
 //!    documented inversion. Both sides are recorded as `-stall` throughput
@@ -125,6 +129,15 @@ fn stalled_window(
     window: Duration,
     seed: u64,
 ) -> (u64, usize) {
+    // Pre-insert the hot keys (before any policy is armed) so the victim op
+    // below is a native `update` of a *present* key: an update must run its
+    // read-modify-write inside the owning lock's critical section, so a
+    // victim that parks did so provably at the seam inside a thunk — it
+    // cannot have completed through an outside-the-lock read path the way
+    // an insert-of-present-key can. (The EXPERIMENTS.md §8 caveat, closed.)
+    for &hot in &HOT {
+        map.insert(hot, hot);
+    }
     let stall = StallPolicy::new(seam);
     set_chaos_policy(stall.clone());
     let completed = AtomicU64::new(0);
@@ -136,7 +149,8 @@ fn stalled_window(
             let hot = HOT[k % HOT.len()];
             s.spawn(move || {
                 stall.arm_current();
-                map.insert(hot, u64::MAX);
+                // Sentinel fits the 48-bit inline value payload.
+                let _ = map.update(hot, (1 << 47) - 1);
             });
         }
         // In blocking mode the second victim can block on the first's lock
@@ -152,12 +166,18 @@ fn stalled_window(
                 while !stop.load(Ordering::Acquire) {
                     let r = rng.next();
                     let key = HOT[(r as usize) % HOT.len()];
-                    match r % 3 {
+                    // Four-way mix including native `update`: helpers must
+                    // complete stalled update thunks too, not just
+                    // insert/remove descriptors.
+                    match r % 4 {
                         0 => {
-                            map.insert(key, r);
+                            map.insert(key, r & ((1 << 47) - 1));
                         }
                         1 => {
                             map.get(key);
+                        }
+                        2 => {
+                            let _ = map.update(key, r & ((1 << 47) - 1));
                         }
                         _ => {
                             map.remove(key);

@@ -15,7 +15,8 @@ use std::time::Duration;
 
 use flock_bench::bench_json::{BenchReport, ThroughputSample, run_primitive_suite};
 use flock_bench::{
-    Series, run_point, run_point_fat, run_point_updates, run_point_updates_composite,
+    Series, run_point, run_point_fat, run_point_read_mostly, run_point_scan, run_point_updates,
+    run_point_updates_composite,
 };
 use flock_workload::Config;
 
@@ -172,6 +173,65 @@ fn throughput_sweep(duration: Duration, repeats: usize) -> Vec<ThroughputSample>
                     mops: m.mops_mean,
                 });
             }
+        }
+    }
+    // Read-mostly workload (ISSUE 8): the 95/5 mix the optimistic
+    // version-validated read path exists for — get/contains run unlogged
+    // `Acquire` descents re-checked against the owning lock's version.
+    // Same representative triple, both lock modes, 1/4 threads.
+    for structure in ["hashtable", "abtree", "leaftree"] {
+        for series in [Series::lf(structure), Series::bl(structure)] {
+            for threads in [1usize, 4] {
+                let cfg = Config {
+                    threads,
+                    key_range: 100_000,
+                    update_percent: 5, // pinned by run_point_read_mostly anyway
+                    zipf_alpha: 0.75,
+                    run_duration: duration,
+                    repeats,
+                    sparsify_keys: false,
+                    seed: 2,
+                };
+                let m = run_point_read_mostly(series, &cfg);
+                println!(
+                    "{:<24} threads={:<2} {:>8.3} Mop/s",
+                    m.name, threads, m.mops_mean
+                );
+                out.push(ThroughputSample {
+                    series: m.name.to_string(),
+                    threads,
+                    mops: m.mops_mean,
+                });
+            }
+        }
+    }
+    // Ordered-scan workload (ISSUE 8): SCAN_WIDTH-key `range` scans racing
+    // 5% point mutations — the validated-snapshot leaf reads under
+    // contention. One shallow and one deep tree, lock-free mode, 1/4
+    // threads; one op = one whole scan, so Mop/s are not comparable with
+    // the point series.
+    for structure in ["abtree", "leaftree"] {
+        for threads in [1usize, 4] {
+            let cfg = Config {
+                threads,
+                key_range: 100_000,
+                update_percent: 5,
+                zipf_alpha: 0.75,
+                run_duration: duration,
+                repeats,
+                sparsify_keys: false,
+                seed: 2,
+            };
+            let m = run_point_scan(Series::lf(structure), &cfg);
+            println!(
+                "{:<24} threads={:<2} {:>8.3} Mop/s",
+                m.name, threads, m.mops_mean
+            );
+            out.push(ThroughputSample {
+                series: m.name.to_string(),
+                threads,
+                mops: m.mops_mean,
+            });
         }
     }
     out

@@ -17,15 +17,17 @@
 
 pub mod bench_json;
 
-use std::time::Duration;
+use std::ops::Bound;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::{Duration, Instant};
 
-use flock_api::{Key, Map, Value};
+use flock_api::{Key, Map, OrderedMap, Value};
 use flock_core::LockMode;
 use flock_ds::{
     abtree::ABTree, arttree::ArtTree, dlist::DList, hashtable::HashTable, lazylist::LazyList,
     leaftreap::LeafTreap, leaftree::LeafTree,
 };
-use flock_workload::{Config, Measurement};
+use flock_workload::{Config, Measurement, SplitMix64};
 
 /// A benchmarkable series: a structure plus the lock mode it runs under
 /// (baselines ignore the mode).
@@ -116,6 +118,34 @@ pub fn make_map(structure: &str, key_range: u64) -> Box<dyn Map<u64, u64>> {
 /// `(u64, FatValue)` — the heap-indirected workload of the trajectory.
 pub fn make_map_fat(structure: &str, key_range: u64) -> Box<dyn Map<u64, FatValue>> {
     registry!(structure, key_range)
+}
+
+/// The ordered subset of the Flock registry — every structure implementing
+/// [`OrderedMap`] (the hash table is the one exclusion).
+pub const ORDERED_STRUCTURES: [&str; 7] = [
+    "dlist",
+    "lazylist",
+    "leaftree",
+    "leaftree-strict",
+    "leaftreap",
+    "abtree",
+    "arttree",
+];
+
+/// Instantiate an **ordered** structure by registry name at the paper's
+/// `(u64, u64)` shape. Panics on the hash table and the baselines — the
+/// scan series is defined only over [`ORDERED_STRUCTURES`].
+pub fn make_ordered_map(structure: &str, _key_range: u64) -> Box<dyn OrderedMap<u64, u64>> {
+    match structure {
+        "dlist" => Box::new(DList::new()),
+        "lazylist" => Box::new(LazyList::new()),
+        "leaftree" => Box::new(LeafTree::new()),
+        "leaftree-strict" => Box::new(LeafTree::new_strict()),
+        "leaftreap" => Box::new(LeafTreap::new()),
+        "abtree" => Box::new(ABTree::new()),
+        "arttree" => Box::new(ArtTree::new()),
+        other => panic!("not an ordered registry structure: {other:?}"),
+    }
 }
 
 /// Scale parameters for a whole reproduction run.
@@ -268,6 +298,140 @@ pub fn run_point_fat(series: Series, cfg: &Config) -> Measurement {
     flock_core::set_lock_mode(LockMode::LockFree);
     m.name = Box::leak(format!("{}-fat", series.label()).into_boxed_str());
     m
+}
+
+/// [`run_point`] at the **read-mostly** mix (95% lookups / 5% updates) the
+/// optimistic read path is built for: `update_percent` is pinned to 5
+/// regardless of the incoming config. Series labels get a `-rm` suffix.
+pub fn run_point_read_mostly(series: Series, cfg: &Config) -> Measurement {
+    let cfg = Config {
+        update_percent: 5,
+        ..cfg.clone()
+    };
+    let mut m = run_point(series, &cfg);
+    // `run_point` already stamped the base label; add the mix suffix.
+    m.name = Box::leak(format!("{}-rm", m.name).into_boxed_str());
+    m
+}
+
+/// Keys per range scan in the `-scan` workload.
+pub const SCAN_WIDTH: u64 = 64;
+
+/// [`run_point`]'s counterpart for the **ordered-scan** workload: each
+/// operation is either a [`OrderedMap::range`] over a uniformly-placed
+/// [`SCAN_WIDTH`]-key window (the `100 - update_percent` fraction) or a
+/// point mutation (insert/remove split evenly). One scan counts as one
+/// operation, so Mop/s here are scans/s-scaled, not entries/s. Series
+/// labels get a `-scan` suffix; only [`ORDERED_STRUCTURES`] participate.
+pub fn run_point_scan(series: Series, cfg: &Config) -> Measurement {
+    flock_core::set_lock_mode(series.mode.unwrap_or(LockMode::LockFree));
+    let map = make_ordered_map(series.structure, cfg.key_range);
+    let mut m = run_scan_experiment(&*map, cfg);
+    drop(map);
+    flock_epoch::flush_all();
+    flock_core::set_lock_mode(LockMode::LockFree);
+    m.name = Box::leak(format!("{}-scan", series.label()).into_boxed_str());
+    m
+}
+
+/// The scan experiment protocol: prefill (half the keys, random order, as
+/// the point-op driver does), one discarded warm-up run, `cfg.repeats`
+/// timed runs of the scan/mutate mix; mean ± σ throughput.
+fn run_scan_experiment<M: OrderedMap<u64, u64> + ?Sized>(map: &M, cfg: &Config) -> Measurement {
+    // Prefill mirroring the driver's convention: a key is "in" the initial
+    // set iff its sparsify hash is even; shuffled parallel insertion keeps
+    // the comparison trees balanced in expectation.
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(2)
+        .min(cfg.threads.max(1));
+    let range = cfg.key_range;
+    std::thread::scope(|s| {
+        for w in 0..workers {
+            let map = &*map;
+            let lo = range * w as u64 / workers as u64;
+            let hi = range * (w as u64 + 1) / workers as u64;
+            s.spawn(move || {
+                let mut keys: Vec<u64> = (lo..hi)
+                    .filter(|&k| flock_workload::sparsify(k) & 1 == 0)
+                    .collect();
+                let mut rng = SplitMix64::new(cfg.seed ^ ((w as u64 + 1) * 0xF11));
+                for i in (1..keys.len()).rev() {
+                    keys.swap(i, rng.below(i as u64 + 1) as usize);
+                }
+                for k in keys {
+                    map.insert(k, k);
+                }
+            });
+        }
+    });
+    let _ = scan_timed_run(map, cfg, 0);
+    let mut mops = Vec::with_capacity(cfg.repeats);
+    let mut total_ops = 0u64;
+    for r in 0..cfg.repeats {
+        let t0 = Instant::now();
+        let ops = scan_timed_run(map, cfg, r + 1);
+        let secs = t0.elapsed().as_secs_f64();
+        total_ops += ops;
+        mops.push(ops as f64 / secs / 1e6);
+    }
+    let mean = mops.iter().sum::<f64>() / mops.len() as f64;
+    let var = if mops.len() > 1 {
+        mops.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (mops.len() - 1) as f64
+    } else {
+        0.0
+    };
+    Measurement {
+        name: map.name(),
+        mops_mean: mean,
+        mops_stddev: var.sqrt(),
+        total_ops,
+        config: cfg.clone(),
+    }
+}
+
+fn scan_timed_run<M: OrderedMap<u64, u64> + ?Sized>(map: &M, cfg: &Config, run_idx: usize) -> u64 {
+    let stop = AtomicBool::new(false);
+    let total = AtomicU64::new(0);
+    std::thread::scope(|s| {
+        for t in 0..cfg.threads {
+            let stop = &stop;
+            let total = &total;
+            let map = &*map;
+            s.spawn(move || {
+                let mut rng = SplitMix64::new(
+                    cfg.seed ^ (run_idx as u64) << 32 ^ ((t as u64 + 1) * 0x5CA7_0000),
+                );
+                let mut ops = 0u64;
+                let mut check = 0u32;
+                while {
+                    check += 1;
+                    !check.is_multiple_of(64) || !stop.load(Ordering::Relaxed)
+                } {
+                    let dice = rng.below(100) as u32;
+                    if dice < cfg.update_percent {
+                        let key = rng.below(cfg.key_range);
+                        if dice.is_multiple_of(2) {
+                            map.insert(key, key);
+                        } else {
+                            map.remove(key);
+                        }
+                    } else {
+                        let lo = rng.below(cfg.key_range.saturating_sub(SCAN_WIDTH).max(1));
+                        let hi = lo + SCAN_WIDTH;
+                        std::hint::black_box(
+                            map.range(Bound::Included(&lo), Bound::Excluded(&hi)).len(),
+                        );
+                    }
+                    ops += 1;
+                }
+                total.fetch_add(ops, Ordering::Relaxed);
+            });
+        }
+        std::thread::sleep(cfg.run_duration);
+        stop.store(true, Ordering::SeqCst);
+    });
+    total.load(Ordering::Relaxed)
 }
 
 /// Emit a CSV file under `results/` and echo rows to stdout.
@@ -428,6 +592,56 @@ mod tests {
         let m = run_point_updates_composite(Series::lf("hashtable"), &cfg);
         assert!(m.mops_mean > 0.0, "{}", m.name);
         assert_eq!(m.name, "hashtable-lf-updc");
+    }
+
+    #[test]
+    fn run_point_read_mostly_smoke() {
+        let cfg = Config {
+            threads: 2,
+            key_range: 512,
+            update_percent: 50, // overridden to 5 by the runner
+            zipf_alpha: 0.75,
+            run_duration: Duration::from_millis(20),
+            repeats: 1,
+            sparsify_keys: false,
+            seed: 6,
+        };
+        let m = run_point_read_mostly(Series::lf("hashtable"), &cfg);
+        assert!(m.mops_mean > 0.0, "{}", m.name);
+        assert_eq!(m.name, "hashtable-lf-rm");
+        assert_eq!(m.config.update_percent, 5, "read-mostly mix is 95/5");
+    }
+
+    #[test]
+    fn run_point_scan_smoke() {
+        let cfg = Config {
+            threads: 2,
+            key_range: 512,
+            update_percent: 5,
+            zipf_alpha: 0.75,
+            run_duration: Duration::from_millis(20),
+            repeats: 1,
+            sparsify_keys: false,
+            seed: 7,
+        };
+        for structure in ORDERED_STRUCTURES {
+            let m = run_point_scan(Series::lf(structure), &cfg);
+            assert!(m.mops_mean > 0.0, "{}", m.name);
+            assert!(m.name.ends_with("-scan"), "{}", m.name);
+        }
+    }
+
+    #[test]
+    fn ordered_registry_scans_in_order() {
+        for structure in ORDERED_STRUCTURES {
+            let m = make_ordered_map(structure, 1024);
+            for k in [9u64, 3, 7, 1, 5] {
+                assert!(m.insert(k, k * 10), "{structure}");
+            }
+            assert_eq!(m.scan(3..8), vec![(3, 30), (5, 50), (7, 70)], "{structure}");
+            assert_eq!(m.iter().len(), 5, "{structure}");
+        }
+        flock_epoch::flush_all();
     }
 
     #[test]

@@ -71,7 +71,10 @@ pub use descriptor::set_descriptor_reuse;
 pub use idemp::{alloc, retire};
 #[cfg(feature = "model")]
 pub use lock::model_probe;
-pub use lock::{Lock, LockMode, lock_mode, set_helping, set_lock_mode};
+pub use lock::{
+    Lock, LockMode, LockVersion, OPTIMISTIC_READ_ATTEMPTS, lock_mode, read_validated, set_helping,
+    set_lock_mode,
+};
 pub use locked::Locked;
 pub use log::{EMPTY, LOG_BLOCK_ENTRIES};
 pub use mutable::{Mutable, UpdateOnce, commit_value};

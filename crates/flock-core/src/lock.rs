@@ -110,6 +110,50 @@ pub fn lock_mode() -> LockMode {
     }
 }
 
+/// An opaque observation of a [`Lock`]'s **version**: the full packed lock
+/// word (ABA tag + descriptor bits), captured only while the lock was
+/// unlocked. See [`Lock::version`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct LockVersion(flock_sync::pack::PackedVersion);
+
+/// How many optimistic attempts [`read_validated`] (and the structure read
+/// paths built on it) make before falling back to the committed read path.
+/// Bounded so a reader racing a write-heavy lock cannot livelock: after
+/// this many failed validations the cost of the committed path is paid
+/// once and the read always completes.
+pub const OPTIMISTIC_READ_ATTEMPTS: usize = 3;
+
+/// Run an optimistic, version-validated read with a bounded fallback.
+///
+/// `optimistic` performs the read with plain `Acquire` loads (e.g.
+/// [`Mutable::load_acquire`](crate::Mutable::load_acquire) /
+/// [`ValueSlot::read_acquire`](crate::ValueSlot::read_acquire)) bracketed
+/// by [`Lock::version`] / [`Lock::validate`] on whichever lock owns the
+/// data, returning `Some(r)` when validation passed and `None` when it
+/// failed (lock busy, or a critical section committed mid-read). After
+/// [`OPTIMISTIC_READ_ATTEMPTS`] failures — or immediately when called
+/// inside a thunk, where uncommitted loads would desynchronize helper
+/// replays — `fallback` (the committed read path) produces the result.
+#[inline]
+pub fn read_validated<R>(
+    mut optimistic: impl FnMut() -> Option<R>,
+    fallback: impl FnOnce() -> R,
+) -> R {
+    if crate::in_thunk() {
+        // In-thunk reads must stay on the logged/committed path: every run
+        // of a helped thunk has to observe identical values, and the
+        // optimistic closure's raw loads are not committed to the log.
+        return fallback();
+    }
+    for _ in 0..OPTIMISTIC_READ_ATTEMPTS {
+        if let Some(r) = optimistic() {
+            return r;
+        }
+        std::hint::spin_loop();
+    }
+    fallback()
+}
+
 impl From<LockMode> for u8 {
     fn from(m: LockMode) -> u8 {
         match m {
@@ -236,6 +280,62 @@ impl Lock {
     /// Is the lock currently held? (Racy observation, for diagnostics.)
     pub fn is_locked(&self) -> bool {
         LockWord::from_bits(unpack_val(self.word.raw_packed())).is_locked()
+    }
+
+    /// Observe the lock's current **version** for optimistic validation:
+    /// the full packed lock word (tag + descriptor bits), returned only
+    /// while the lock is *unlocked* — `None` means a critical section is
+    /// (or may be) in flight and an optimistic read cannot start.
+    ///
+    /// The version doubles as a seqlock sequence number "for free": every
+    /// acquisition CAS and every release CAM bumps the word's ABA tag, in
+    /// both lock modes, so an unlocked word observed unchanged across a
+    /// read window (see [`Lock::validate`]) proves **no critical section on
+    /// this lock completed during the window** — every field the lock
+    /// protects was stable. The residual is an exact
+    /// [`TAG_LIMIT`](flock_sync::pack::TAG_LIMIT)-acquisition wraparound of
+    /// this one word inside a single read (≥ 2¹⁵ acquire/release pairs
+    /// between two adjacent loads of one reader), which the descriptor bits
+    /// in the comparison narrow further; the committed fallback path of
+    /// [`read_validated`] is the designed recovery for validation noise,
+    /// and EXPERIMENTS.md §9 quantifies the window.
+    #[inline]
+    pub fn version(&self) -> Option<LockVersion> {
+        let w = self.word.raw_packed();
+        if LockWord::from_bits(unpack_val(w)).is_locked() {
+            None
+        } else {
+            Some(LockVersion(flock_sync::pack::PackedVersion::from_word(w)))
+        }
+    }
+
+    /// Validate an optimistic read window opened by [`Lock::version`]:
+    /// `true` iff the lock word is byte-identical to the observation (and
+    /// hence still unlocked). Issues the `Acquire` fence that orders the
+    /// caller's preceding data loads before the validating re-read — the
+    /// seqlock discipline: version → data reads → fence → re-read.
+    #[inline]
+    pub fn validate(&self, observed: LockVersion) -> bool {
+        std::sync::atomic::fence(Ordering::Acquire);
+        self.word.raw_packed() == observed.0.word()
+    }
+
+    /// Lock-scoped [`read_validated`]: run `optimistic` bracketed by this
+    /// lock's [`version`](Lock::version)/[`validate`](Lock::validate), with
+    /// the usual bounded fallback. For reads whose data is owned by a
+    /// *single, known* lock (a hash bucket, a [`Locked`](crate::Locked)
+    /// cell); traversals that discover the owning lock mid-read use the
+    /// free-function form directly.
+    #[inline]
+    pub fn read_validated<R>(&self, optimistic: impl Fn() -> R, fallback: impl FnOnce() -> R) -> R {
+        read_validated(
+            || {
+                let v = self.version()?;
+                let r = optimistic();
+                self.validate(v).then_some(r)
+            },
+            fallback,
+        )
     }
 
     /// Attempt to acquire the lock and run `thunk` under it.

@@ -95,6 +95,21 @@ impl<T> Locked<T> {
     pub fn lock_ref(&self) -> &Lock {
         &self.lock
     }
+
+    /// The cell's current [`crate::LockVersion`] (`None` while a critical
+    /// section holds the lock) — see [`Lock::version`].
+    pub fn version(&self) -> Option<crate::LockVersion> {
+        self.lock.version()
+    }
+
+    /// Optimistic version-validated read over the protected data: `f` runs
+    /// with plain unlocked loads, bracketed by this cell's lock version;
+    /// on bounded validation failure `fallback` (a committed read) decides.
+    /// See [`Lock::read_validated`].
+    pub fn read_validated<R>(&self, f: impl Fn(&T) -> R, fallback: impl FnOnce(&T) -> R) -> R {
+        self.lock
+            .read_validated(|| f(&self.data), || fallback(&self.data))
+    }
 }
 
 impl<T: Send + Sync + 'static> Locked<T> {

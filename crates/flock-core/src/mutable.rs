@@ -147,6 +147,30 @@ impl<V: ValueRepr> Mutable<V> {
         thread_ctx::with(|tc| self.load_in(tc))
     }
 
+    /// Optimistic snapshot load: one plain `Acquire` read of the packed
+    /// word, bypassing the thunk log, the thread-context fetch and the
+    /// `SeqCst` linearization-point ordering of [`Mutable::load`].
+    ///
+    /// **Only for version-validated read paths outside any thunk** (the
+    /// [`read_validated`](crate::read_validated) discipline): the observed
+    /// value is meaningful solely because the bracketing lock version
+    /// re-check discards windows in which a critical section committed.
+    /// Inside a thunk this load would desynchronize helper replays — the
+    /// combinator routes in-thunk callers to the committed path instead.
+    ///
+    /// Indirect decodes pin the epoch themselves (like [`Mutable::load`]),
+    /// so a decoded-then-discarded snapshot from a window that later fails
+    /// validation is still memory-safe: the encoding cannot be freed while
+    /// this call is pinned.
+    #[inline]
+    pub fn load_acquire(&self) -> V {
+        let _g = V::INDIRECT.then(flock_epoch::pin);
+        // SAFETY: the payload is a live encoding (installed by `encode`,
+        // displaced encodings are epoch-retired) and the guard above covers
+        // indirect decodes.
+        unsafe { V::decode(unpack_val(self.cell.load_packed(Ordering::Acquire))) }
+    }
+
     /// [`Mutable::load`] against an already-fetched thread context.
     #[inline]
     pub(crate) fn load_in(&self, tc: &ThreadCtx) -> V {
@@ -409,6 +433,15 @@ impl<V: PackedValue> UpdateOnce<V> {
         let w = self.cell.load(Ordering::Acquire);
         let (committed, _) = crate::ctx::commit_raw(w | UPDATE_ONCE_PRESENT);
         V::from_bits(committed & !UPDATE_ONCE_PRESENT)
+    }
+
+    /// Plain `Acquire` load bypassing the thunk log — the `UpdateOnce`
+    /// counterpart of [`Mutable::load_acquire`]. **Only for version-
+    /// validated optimistic read paths outside any thunk** (the
+    /// [`read_validated`](crate::read_validated) discipline).
+    #[inline]
+    pub fn load_acquire(&self) -> V {
+        V::from_bits(self.cell.load(Ordering::Acquire))
     }
 
     /// Store the location's single update. Caller contract: all writers

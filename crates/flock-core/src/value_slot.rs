@@ -60,6 +60,16 @@ impl<V: ValueRepr> ValueSlot<V> {
         self.cell.load()
     }
 
+    /// Optimistic snapshot of the value for version-validated read paths:
+    /// one plain `Acquire` load, no thunk-log traffic. Must be bracketed by
+    /// the owning lock's version check (see
+    /// [`read_validated`](crate::read_validated)) and never called from
+    /// inside a thunk; [`ValueSlot::read`] is the committed form.
+    #[inline]
+    pub fn read_acquire(&self) -> V {
+        self.cell.load_acquire()
+    }
+
     /// Replace the stored value.
     ///
     /// Must run inside the owning lock's thunk (or while the slot is

@@ -513,18 +513,159 @@ impl<K: Key, V: Value> ABTree<K, V> {
         }
     }
 
-    /// Wait-free lookup.
-    pub fn get(&self, k: K) -> Option<V> {
-        let _g = flock_epoch::pin();
-        // SAFETY: pinned descent.
-        let mut cur = unsafe { (*self.anchor).children[0].load() };
+    /// One optimistic descent to the leaf covering `k`, version-validated
+    /// against the leaf's **parent** lock — the lock every mutation of
+    /// this leaf goes through (value updates in place, copy-on-write leaf
+    /// replacement, splits and splices all acquire it), so "full packed
+    /// word unchanged and unlocked at both observations" proves the leaf's
+    /// child cell and value slots were untouched across the read. `read`
+    /// extracts the answer from the (immutable-keyed) leaf with plain
+    /// `Acquire` slot loads. `None` = validation failed, retry or fall
+    /// back.
+    fn descend_validated<R>(&self, k: &K, read: impl Fn(&Node<K, V>) -> R) -> Option<R> {
+        // SAFETY: caller pinned; nodes epoch-reclaimed.
+        let mut parent = self.anchor;
+        let mut slot = 0usize;
+        let mut cur = unsafe { (*self.anchor).children[0].load_acquire() };
         loop {
             // SAFETY: pinned.
             let n = unsafe { &*cur };
             if n.is_leaf {
-                return n.find(&k).map(|i| n.vals[i].read());
+                // SAFETY: pinned.
+                let p = unsafe { &*parent };
+                let v0 = p.lock.version()?;
+                if p.children[slot].load_acquire() != cur {
+                    return None; // leaf replaced between descent and version
+                }
+                let res = read(n);
+                return p.lock.validate(v0).then_some(res);
             }
-            cur = n.children[n.route(&k)].load();
+            parent = cur;
+            slot = n.route(k);
+            cur = n.children[slot].load_acquire();
+        }
+    }
+
+    /// Wait-free lookup — optimistic version-validated fast path with a
+    /// bounded fallback to the committed (thunk-logged) read.
+    pub fn get(&self, k: K) -> Option<V> {
+        let _g = flock_epoch::pin();
+        flock_core::read_validated(
+            || self.descend_validated(&k, |n| n.find(&k).map(|i| n.vals[i].read_acquire())),
+            || {
+                // Committed descent: SeqCst child loads, logged slot read.
+                // SAFETY: pinned descent.
+                let mut cur = unsafe { (*self.anchor).children[0].load() };
+                loop {
+                    // SAFETY: pinned.
+                    let n = unsafe { &*cur };
+                    if n.is_leaf {
+                        return n.find(&k).map(|i| n.vals[i].read());
+                    }
+                    cur = n.children[n.route(&k)].load();
+                }
+            },
+        )
+    }
+
+    /// Presence-only lookup: never decodes or clones a value. Key sets are
+    /// immutable per leaf (membership changes replace the leaf), so the
+    /// descent plus a leaf-identity re-check under the parent's version
+    /// suffices — and the committed fallback needs no slot read at all.
+    pub fn contains(&self, k: &K) -> bool {
+        let _g = flock_epoch::pin();
+        flock_core::read_validated(
+            || self.descend_validated(k, |n| n.find(k).is_some()),
+            || {
+                // SAFETY: pinned descent.
+                let mut cur = unsafe { (*self.anchor).children[0].load() };
+                loop {
+                    // SAFETY: pinned.
+                    let n = unsafe { &*cur };
+                    if n.is_leaf {
+                        return n.find(k).is_some();
+                    }
+                    cur = n.children[n.route(k)].load();
+                }
+            },
+        )
+    }
+
+    /// Ordered range scan (see [`flock_api::OrderedMap`] for the
+    /// consistency contract): a separator-pruned walk that snapshots each
+    /// covered leaf under its parent lock's version, falling back to
+    /// per-slot committed reads for that leaf after bounded validation
+    /// failures.
+    pub fn range(&self, lo: std::ops::Bound<&K>, hi: std::ops::Bound<&K>) -> Vec<(K, V)> {
+        let _g = flock_epoch::pin();
+        let mut out = Vec::new();
+        // SAFETY: pinned walk.
+        unsafe {
+            self.range_walk(
+                self.anchor,
+                0,
+                (*self.anchor).children[0].load_acquire(),
+                lo,
+                hi,
+                &mut out,
+            );
+        }
+        out
+    }
+
+    unsafe fn range_walk(
+        &self,
+        parent: *mut Node<K, V>,
+        slot: usize,
+        n: *mut Node<K, V>,
+        lo: std::ops::Bound<&K>,
+        hi: std::ops::Bound<&K>,
+        out: &mut Vec<(K, V)>,
+    ) {
+        // SAFETY: pinned per caller.
+        let node = unsafe { &*n };
+        if node.is_leaf {
+            // SAFETY: pinned.
+            let p = unsafe { &*parent };
+            let entries = flock_core::read_validated(
+                || {
+                    let v0 = p.lock.version()?;
+                    if p.children[slot].load_acquire() != n {
+                        return None;
+                    }
+                    let e: Vec<(K, V)> = node
+                        .keys
+                        .iter()
+                        .cloned()
+                        .zip(node.vals.iter().map(ValueSlot::read_acquire))
+                        .collect();
+                    p.lock.validate(v0).then_some(e)
+                },
+                || {
+                    node.keys
+                        .iter()
+                        .cloned()
+                        .zip(node.vals.iter().map(ValueSlot::read))
+                        .collect()
+                },
+            );
+            out.extend(
+                entries
+                    .into_iter()
+                    .filter(|(k, _)| flock_api::key_in_range(k, lo, hi)),
+            );
+        } else {
+            for i in 0..=node.keys.len() {
+                // Child i covers [keys[i-1], keys[i]) — equal keys route
+                // right. Prune subtrees wholly outside the bounds.
+                if i < node.keys.len() && !flock_api::key_above_lower(&node.keys[i], lo) {
+                    continue; // everything in child i is < keys[i] <= lo
+                }
+                if i > 0 && !flock_api::key_below_upper(&node.keys[i - 1], hi) {
+                    break; // child i (and all later) start at >= hi
+                }
+                unsafe { self.range_walk(n, i, node.children[i].load_acquire(), lo, hi, out) };
+            }
         }
     }
 
@@ -707,6 +848,9 @@ impl<K: Key, V: Value> Map<K, V> for ABTree<K, V> {
     fn get(&self, key: K) -> Option<V> {
         ABTree::get(self, key)
     }
+    fn contains(&self, key: K) -> bool {
+        ABTree::contains(self, &key)
+    }
     fn name(&self) -> &'static str {
         self.label
     }
@@ -718,6 +862,12 @@ impl<K: Key, V: Value> Map<K, V> for ABTree<K, V> {
     }
     fn len_approx(&self) -> Option<usize> {
         Some(self.count.get())
+    }
+}
+
+impl<K: Key, V: Value> flock_api::OrderedMap<K, V> for ABTree<K, V> {
+    fn range(&self, lo: std::ops::Bound<&K>, hi: std::ops::Bound<&K>) -> Vec<(K, V)> {
+        ABTree::range(self, lo, hi)
     }
 }
 

@@ -29,7 +29,9 @@
 //!   chain, upgrading a full node) take the owning node's lock — plus the
 //!   parent's when the node itself is replaced — validate, then apply.
 
-use flock_api::{Key, Map, Value};
+use std::ops::Bound;
+
+use flock_api::{Key, Map, OrderedMap, Value, key_in_range};
 use flock_core::{Lock, Mutable, Sp, UpdateOnce, ValueSlot};
 use flock_sync::{ApproxLen, Backoff};
 
@@ -178,6 +180,32 @@ impl ArtNode {
         }
     }
 
+    /// [`ArtNode::lookup`] with plain `Acquire` loads, bypassing the thunk
+    /// log and the `SeqCst` committed-read machinery. **Only for the
+    /// version-validated optimistic read paths outside any thunk** (the
+    /// [`flock_core::read_validated`] discipline).
+    fn lookup_acquire(&self, b: u8) -> usize {
+        match self.kind {
+            N4 | N16 => {
+                let want = b as u32 + 1;
+                for (i, kslot) in self.keys.iter().enumerate() {
+                    if kslot.load_acquire() == want {
+                        return self.children[i].load_acquire();
+                    }
+                }
+                0
+            }
+            N48 => {
+                let slot = self.index[b as usize].load_acquire();
+                if slot == 0 {
+                    return 0;
+                }
+                self.children[(slot - 1) as usize].load_acquire()
+            }
+            _ => self.children[b as usize].load_acquire(),
+        }
+    }
+
     /// The slot that holds byte `b`'s child cell, if `b` has been assigned.
     fn slot_of(&self, b: u8) -> Option<usize> {
         match self.kind {
@@ -314,8 +342,72 @@ impl<K: Key + RadixKey, V: Value> ArtTree<K, V> {
         }
     }
 
-    /// Wait-free lookup.
+    /// Wait-free lookup. Optimistic first: an unlogged `Acquire` descent,
+    /// the value read bracketed by the version of the lock owning the
+    /// leaf's child cell (every replacement of that cell — tombstone,
+    /// split, upgrade — and every in-place `update` of the leaf's slot
+    /// runs under that node's lock; node replacements mark the old node
+    /// `removed` inside its own critical section). After
+    /// [`flock_core::OPTIMISTIC_READ_ATTEMPTS`] failed validations — or
+    /// inside a thunk — falls back to the committed-read descent.
     pub fn get(&self, k: K) -> Option<V> {
+        let _g = flock_epoch::pin();
+        let r = k.radix();
+        flock_core::read_validated(
+            || {
+                let mut cur = self.root;
+                for d in 0..KEY_BYTES {
+                    // SAFETY: pinned; nodes epoch-reclaimed.
+                    let n = unsafe { &*cur };
+                    let b = byte_at(r, d);
+                    let c = n.lookup_acquire(b);
+                    if c == 0 {
+                        return Some(None);
+                    }
+                    if is_leaf(c) {
+                        // SAFETY: leaf pointers epoch-protected.
+                        let l = unsafe { &*as_leaf::<K, V>(c) };
+                        if l.key != k {
+                            return Some(None);
+                        }
+                        let v0 = n.lock.version()?;
+                        if n.removed.load() || n.lookup_acquire(b) != c {
+                            return None;
+                        }
+                        let v = l.value.read_acquire();
+                        return n.lock.validate(v0).then_some(Some(v));
+                    }
+                    cur = as_node(c);
+                }
+                unreachable!("leaves appear within {KEY_BYTES} levels");
+            },
+            || {
+                let mut cur = self.root;
+                for d in 0..KEY_BYTES {
+                    // SAFETY: pinned; nodes epoch-reclaimed.
+                    let c = unsafe { &*cur }.lookup(byte_at(r, d));
+                    if c == 0 {
+                        return None;
+                    }
+                    if is_leaf(c) {
+                        // SAFETY: leaf pointers epoch-protected.
+                        let l = unsafe { &*as_leaf::<K, V>(c) };
+                        return (l.key == k).then(|| l.value.read());
+                    }
+                    cur = as_node(c);
+                }
+                unreachable!("leaves appear within {KEY_BYTES} levels");
+            },
+        )
+    }
+
+    /// Presence check without materializing the value — no slot read, no
+    /// decode, no clone (for `Indirect` fat values `get` clones the boxed
+    /// payload just to drop it). A leaf's key is an immutable field, so
+    /// observing the tagged child cell *is* the linearization point: no
+    /// version validation is needed. Committed loads throughout — safe
+    /// inside a thunk, plain atomic reads outside one.
+    pub fn contains(&self, k: &K) -> bool {
         let _g = flock_epoch::pin();
         let r = k.radix();
         let mut cur = self.root;
@@ -323,16 +415,100 @@ impl<K: Key + RadixKey, V: Value> ArtTree<K, V> {
             // SAFETY: pinned; nodes epoch-reclaimed.
             let c = unsafe { &*cur }.lookup(byte_at(r, d));
             if c == 0 {
-                return None;
+                return false;
             }
             if is_leaf(c) {
                 // SAFETY: leaf pointers epoch-protected.
-                let l = unsafe { &*as_leaf::<K, V>(c) };
-                return (l.key == k).then(|| l.value.read());
+                return unsafe { &*as_leaf::<K, V>(c) }.key == *k;
             }
             cur = as_node(c);
         }
         unreachable!("leaves appear within {KEY_BYTES} levels");
+    }
+
+    /// Ordered range scan over `[lo, hi]` bounds. The descent prunes
+    /// subtrees by their radix-prefix span ([`RadixKey::radix`] is
+    /// order-preserving, so prefix intervals bound key intervals); each
+    /// leaf's value is read under the owning node's lock-version bracket
+    /// (committed read after bounded validation failures), so every
+    /// reported pair was simultaneously present at some instant during
+    /// the scan; see [`OrderedMap`] for the cross-entry contract.
+    pub fn range(&self, lo: Bound<&K>, hi: Bound<&K>) -> Vec<(K, V)> {
+        let _g = flock_epoch::pin();
+        // Conservative radix window: exact bound semantics (and Excluded
+        // edges) are enforced by the final `key_in_range` filter.
+        let rlo = match lo {
+            Bound::Included(l) | Bound::Excluded(l) => l.radix(),
+            Bound::Unbounded => 0,
+        };
+        let rhi = match hi {
+            Bound::Included(h) | Bound::Excluded(h) => h.radix(),
+            Bound::Unbounded => u64::MAX,
+        };
+        let mut out = Vec::new();
+        if rlo <= rhi {
+            // SAFETY: pinned walk.
+            unsafe { self.range_walk(self.root, 0, 0, lo, hi, rlo, rhi, &mut out) };
+        }
+        out
+    }
+
+    /// In-order walk: children sorted by byte label (N48/N256 enumerate
+    /// bytes ascending already; N4/N16 slots are insertion-ordered and
+    /// must be sorted), subtrees pruned when their radix span
+    /// `[prefix, prefix | suffix_mask]` misses `[rlo, rhi]`.
+    #[allow(clippy::too_many_arguments)]
+    unsafe fn range_walk(
+        &self,
+        node: *mut ArtNode,
+        depth: usize,
+        prefix: u64,
+        lo: Bound<&K>,
+        hi: Bound<&K>,
+        rlo: u64,
+        rhi: u64,
+        out: &mut Vec<(K, V)>,
+    ) {
+        // SAFETY: pinned per caller.
+        let n = unsafe { &*node };
+        let mut entries = n.live_entries();
+        if matches!(n.kind, N4 | N16) {
+            entries.sort_unstable_by_key(|(b, _)| *b);
+        }
+        let shift = 56 - 8 * depth;
+        for (b, c) in entries {
+            let p = prefix | ((b as u64) << shift);
+            // Keys under this child have radix images in
+            // [p, p | low_bits]: all deeper bytes free.
+            let span_hi = p | ((1u64 << shift) - 1);
+            if span_hi < rlo {
+                continue;
+            }
+            if p > rhi {
+                break; // children are byte-sorted: everything after is above
+            }
+            if is_leaf(c) {
+                // SAFETY: live child pointer, epoch-protected.
+                let l = unsafe { &*as_leaf::<K, V>(c) };
+                if !key_in_range(&l.key, lo, hi) {
+                    continue;
+                }
+                let v = flock_core::read_validated(
+                    || {
+                        let v0 = n.lock.version()?;
+                        if n.removed.load() || n.lookup_acquire(b) != c {
+                            return None;
+                        }
+                        let v = l.value.read_acquire();
+                        n.lock.validate(v0).then_some(v)
+                    },
+                    || l.value.read(),
+                );
+                out.push((l.key.clone(), v));
+            } else {
+                unsafe { self.range_walk(as_node(c), depth + 1, p, lo, hi, rlo, rhi, out) };
+            }
+        }
     }
 
     /// Insert; `false` if present.
@@ -827,6 +1003,9 @@ impl<K: Key + RadixKey, V: Value> Map<K, V> for ArtTree<K, V> {
     fn get(&self, key: K) -> Option<V> {
         ArtTree::get(self, key)
     }
+    fn contains(&self, key: K) -> bool {
+        ArtTree::contains(self, &key)
+    }
     fn name(&self) -> &'static str {
         "arttree"
     }
@@ -838,6 +1017,12 @@ impl<K: Key + RadixKey, V: Value> Map<K, V> for ArtTree<K, V> {
     }
     fn len_approx(&self) -> Option<usize> {
         Some(self.count.get())
+    }
+}
+
+impl<K: Key + RadixKey, V: Value> OrderedMap<K, V> for ArtTree<K, V> {
+    fn range(&self, lo: Bound<&K>, hi: Bound<&K>) -> Vec<(K, V)> {
+        ArtTree::range(self, lo, hi)
     }
 }
 

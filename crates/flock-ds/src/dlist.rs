@@ -141,6 +141,40 @@ impl<K: Key, V: Value> DList<K, V> {
         lnk
     }
 
+    /// Optimistic [`DList::find_link`]: plain `Acquire` pointer loads, no
+    /// thunk-log traffic. Caller must be epoch-pinned and outside any thunk
+    /// (the [`flock_core::read_validated`] discipline).
+    fn find_link_acquire(&self, k: &K) -> *mut Link<K, V> {
+        // SAFETY: identical to find_link — the pin covers every deref.
+        let mut lnk = unsafe { (*self.head).next.load_acquire() };
+        while !unsafe { &*lnk }.at_or_after(k) {
+            lnk = unsafe { &*lnk }.next.load_acquire();
+        }
+        lnk
+    }
+
+    /// Version-validated snapshot of one link's (presence, value) pair,
+    /// under the link's **own** lock — the same lock `remove` sets the
+    /// `removed` flag under and `update` stores through, so an unchanged
+    /// version across the two reads proves they were simultaneously true.
+    /// `None` means the link was removed (or kept failing validation and
+    /// the committed re-check found it removed).
+    fn read_link_validated(l: &Link<K, V>) -> Option<V> {
+        flock_core::read_validated(
+            || {
+                let v0 = l.lock.version()?;
+                if l.removed.load() {
+                    // Monotonic flag: a true read is definitive, no
+                    // validation needed to conclude absence.
+                    return Some(None);
+                }
+                let v = l.value.as_ref().map(ValueSlot::read_acquire);
+                l.lock.validate(v0).then_some(v)
+            },
+            || (!l.removed.load()).then(|| l.value.as_ref().map(ValueSlot::read))?,
+        )
+    }
+
     /// Insert; `false` if the key is already present.
     pub fn insert(&self, k: K, v: V) -> bool {
         let _g = flock_epoch::pin();
@@ -242,17 +276,105 @@ impl<K: Key, V: Value> DList<K, V> {
         }
     }
 
-    /// Lookup (wait-free traversal, no locks — paper's `find`).
+    /// Lookup (wait-free traversal, no locks — paper's `find`). The value
+    /// snapshot is version-validated against the link's own lock
+    /// ([`flock_core::read_validated`]); absence needs no validation — the
+    /// unlocked traversal is the committed path's read too.
     pub fn get(&self, k: K) -> Option<V> {
         let _g = flock_epoch::pin();
-        let lnk = self.find_link(&k);
-        // SAFETY: epoch-pinned traversal result.
-        let l = unsafe { &*lnk };
-        if l.holds(&k) {
-            l.value.as_ref().map(ValueSlot::read)
-        } else {
-            None
+        flock_core::read_validated(
+            || {
+                // SAFETY: epoch-pinned traversal result.
+                let l = unsafe { &*self.find_link_acquire(&k) };
+                if !l.holds(&k) {
+                    return Some(None);
+                }
+                let v0 = l.lock.version()?;
+                if l.removed.load() {
+                    return None; // unlinked mid-read: re-traverse
+                }
+                let v = l.value.as_ref().map(ValueSlot::read_acquire);
+                l.lock.validate(v0).then_some(v)
+            },
+            || {
+                // SAFETY: epoch-pinned traversal result.
+                let l = unsafe { &*self.find_link(&k) };
+                if l.holds(&k) {
+                    l.value.as_ref().map(ValueSlot::read)
+                } else {
+                    None
+                }
+            },
+        )
+    }
+
+    /// Presence check that never materializes the value: the traversal
+    /// stops at key equality and the value slot is never decoded (a fat
+    /// `Indirect` value would otherwise be cloned just to be dropped).
+    pub fn contains(&self, k: &K) -> bool {
+        let _g = flock_epoch::pin();
+        flock_core::read_validated(
+            || {
+                // SAFETY: epoch-pinned traversal result.
+                let l = unsafe { &*self.find_link_acquire(k) };
+                Some(l.holds(k) && !l.removed.load())
+            },
+            || {
+                // SAFETY: epoch-pinned traversal result.
+                let l = unsafe { &*self.find_link(k) };
+                l.holds(k) && !l.removed.load()
+            },
+        )
+    }
+
+    /// Ordered range scan over `[lo, hi]` (see
+    /// [`flock_api::OrderedMap::range`] for the consistency contract:
+    /// per-link-atomic pairs, validated against each link's own lock;
+    /// cross-link the scan is weakly consistent).
+    ///
+    /// Walking `next` pointers is safe past concurrent splices: a removed
+    /// link's `next` is frozen at unlink time and keeps pointing at
+    /// larger-keyed links, so keys stay strictly increasing and each is
+    /// reported at most once.
+    pub fn range(&self, lo: std::ops::Bound<&K>, hi: std::ops::Bound<&K>) -> Vec<(K, V)> {
+        use std::ops::Bound;
+        let _g = flock_epoch::pin();
+        let mut out = Vec::new();
+        // SAFETY: epoch-pinned walk; head is immutable.
+        let mut p = match lo {
+            Bound::Unbounded => unsafe { (*self.head).next.load_acquire() },
+            Bound::Included(k) => self.find_link_acquire(k),
+            Bound::Excluded(k) => {
+                let p = self.find_link_acquire(k);
+                // SAFETY: epoch-pinned traversal result.
+                if unsafe { &*p }.holds(k) {
+                    unsafe { (*p).next.load_acquire() }
+                } else {
+                    p
+                }
+            }
+        };
+        loop {
+            // SAFETY: epoch-pinned walk over live (or frozen-removed) links.
+            let l = unsafe { &*p };
+            if l.kind != KIND_NORMAL {
+                break;
+            }
+            let key = l.key.clone().expect("normal link has a key");
+            let past_hi = match hi {
+                Bound::Unbounded => false,
+                Bound::Included(h) => &key > h,
+                Bound::Excluded(h) => &key >= h,
+            };
+            if past_hi {
+                break;
+            }
+            if let Some(v) = Self::read_link_validated(l) {
+                out.push((key, v));
+            }
+            p = l.next.load_acquire();
         }
+        out
     }
 
     /// Native atomic update: replace the value stored under `k` in place —
@@ -384,6 +506,9 @@ impl<K: Key, V: Value> Map<K, V> for DList<K, V> {
     fn get(&self, key: K) -> Option<V> {
         DList::get(self, key)
     }
+    fn contains(&self, key: K) -> bool {
+        DList::contains(self, &key)
+    }
     fn name(&self) -> &'static str {
         "dlist"
     }
@@ -395,6 +520,12 @@ impl<K: Key, V: Value> Map<K, V> for DList<K, V> {
     }
     fn len_approx(&self) -> Option<usize> {
         Some(self.count.get())
+    }
+}
+
+impl<K: Key, V: Value> flock_api::OrderedMap<K, V> for DList<K, V> {
+    fn range(&self, lo: std::ops::Bound<&K>, hi: std::ops::Bound<&K>) -> Vec<(K, V)> {
+        DList::range(self, lo, hi)
     }
 }
 

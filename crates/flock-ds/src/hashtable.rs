@@ -152,6 +152,26 @@ impl<K: Key, V: Value, S: BuildHasher + Send + Sync + 'static> HashTable<K, V, S
         std::ptr::null_mut()
     }
 
+    /// Optimistic [`HashTable::chain_find`]: plain `Acquire` pointer loads,
+    /// no thunk-log traffic. Only for bucket-lock version-validated read
+    /// windows ([`flock_core::read_validated`]).
+    ///
+    /// # Safety
+    ///
+    /// Caller must be epoch-pinned and outside any thunk.
+    unsafe fn chain_find_acquire(head: &Mutable<*mut Node<K, V>>, k: &K) -> *mut Node<K, V> {
+        let mut p = head.load_acquire();
+        while !p.is_null() {
+            // SAFETY: epoch-pinned per contract.
+            let n = unsafe { &*p };
+            if n.key == *k {
+                return p;
+            }
+            p = n.next.load_acquire();
+        }
+        std::ptr::null_mut()
+    }
+
     /// Insert; `false` if present.
     pub fn insert(&self, k: K, v: V) -> bool {
         let _g = flock_epoch::pin();
@@ -279,28 +299,82 @@ impl<K: Key, V: Value, S: BuildHasher + Send + Sync + 'static> HashTable<K, V, S
         }
     }
 
-    /// Wait-free lookup.
+    /// Wait-free lookup. Optimistic first: the chain walk and the value
+    /// snapshot run under the bucket lock's version
+    /// ([`flock_core::read_validated`]) with plain `Acquire` loads; a
+    /// window in which a bucket critical section committed is discarded
+    /// and, after the bounded retries, the committed-read path decides.
     pub fn get(&self, k: K) -> Option<V> {
         let _g = flock_epoch::pin();
         let b = self.bucket(&k);
-        // SAFETY: pinned above.
-        let p = unsafe { Self::chain_find(&b.head, &k) };
-        // SAFETY: non-null node found while pinned; the value slot load
-        // snapshots under the same pin.
-        (!p.is_null()).then(|| unsafe { &*p }.value.read())
+        b.lock.read_validated(
+            || {
+                // SAFETY: pinned above; outside any thunk (the combinator
+                // routes in-thunk callers to the fallback).
+                let p = unsafe { Self::chain_find_acquire(&b.head, &k) };
+                // SAFETY: non-null node found while pinned.
+                (!p.is_null()).then(|| unsafe { &*p }.value.read_acquire())
+            },
+            || {
+                // SAFETY: pinned above.
+                let p = unsafe { Self::chain_find(&b.head, &k) };
+                // SAFETY: non-null node found while pinned; the value slot
+                // load snapshots under the same pin.
+                (!p.is_null()).then(|| unsafe { &*p }.value.read())
+            },
+        )
     }
 
-    /// Element count (O(buckets + n); tests/diagnostics).
-    pub fn len(&self) -> usize {
+    /// Presence check that never materializes the value: the chain walk
+    /// stops at key equality and the value slot is never decoded — routing
+    /// through [`HashTable::get`] would clone a fat (`Indirect`) value just
+    /// to drop it. Same optimistic/committed bracket as `get`.
+    pub fn contains(&self, k: &K) -> bool {
         let _g = flock_epoch::pin();
+        let b = self.bucket(k);
+        b.lock.read_validated(
+            // SAFETY: pinned above; outside any thunk (combinator contract).
+            || !unsafe { Self::chain_find_acquire(&b.head, k) }.is_null(),
+            // SAFETY: pinned above.
+            || !unsafe { Self::chain_find(&b.head, k) }.is_null(),
+        )
+    }
+
+    /// Buckets walked per epoch pin in [`HashTable::len`]: long enough to
+    /// amortize the pin, short enough that reclamation is never stalled for
+    /// the whole O(buckets + n) scan.
+    const LEN_CHUNK_BUCKETS: usize = 64;
+
+    /// Element count (O(buckets + n); tests/diagnostics).
+    ///
+    /// The walk is chunked: every [`Self::LEN_CHUNK_BUCKETS`] buckets the
+    /// epoch pin is dropped and re-taken, so a concurrent writer's retired
+    /// nodes can be reclaimed *during* the scan instead of piling up behind
+    /// one scan-long reservation. The count stays what it always was — a
+    /// racy snapshot summed bucket by bucket.
+    pub fn len(&self) -> usize {
+        self.len_chunked(|| {})
+    }
+
+    /// [`HashTable::len`] with a test observation hook: `between_chunks`
+    /// runs after each chunk **while this thread holds no epoch pin**, which
+    /// is what makes the periodic-repin behavior assertable via
+    /// [`flock_epoch::epoch_stats`].
+    fn len_chunked(&self, mut between_chunks: impl FnMut()) -> usize {
         let mut n = 0;
-        for b in self.buckets.iter() {
-            let mut p = b.head.load();
-            while !p.is_null() {
-                n += 1;
-                // SAFETY: pinned walk.
-                p = unsafe { &*p }.next.load();
+        for chunk in self.buckets.chunks(Self::LEN_CHUNK_BUCKETS) {
+            {
+                let _g = flock_epoch::pin();
+                for b in chunk {
+                    let mut p = b.head.load();
+                    while !p.is_null() {
+                        n += 1;
+                        // SAFETY: pinned walk.
+                        p = unsafe { &*p }.next.load();
+                    }
+                }
             }
+            between_chunks();
         }
         n
     }
@@ -336,6 +410,9 @@ impl<K: Key, V: Value, S: BuildHasher + Send + Sync + 'static> Map<K, V> for Has
     }
     fn get(&self, key: K) -> Option<V> {
         HashTable::get(self, key)
+    }
+    fn contains(&self, key: K) -> bool {
+        HashTable::contains(self, &key)
     }
     fn name(&self) -> &'static str {
         "hashtable"
@@ -448,6 +525,70 @@ mod tests {
                 assert_eq!(h.get(k), Some(k + 1));
             }
             assert_eq!(h.len(), 32);
+        });
+    }
+
+    /// Satellite regression: `len` used to hold one epoch pin across the
+    /// whole O(buckets + n) walk, stalling reclamation for its duration.
+    /// The chunked walk provably drops the pin between chunks (thread-local
+    /// `pinned_epoch` observation — immune to other test threads' pins) and
+    /// lets the collector free garbage retired mid-scan *before* `len`
+    /// returns.
+    #[test]
+    fn len_repins_between_chunks() {
+        testutil::exclusive(|| {
+            // 512 buckets → 8 chunk boundaries at 64 buckets/chunk.
+            let h: HashTable<u64, u64> = HashTable::with_capacity(512);
+            for k in 0..256 {
+                assert!(h.insert(k, k));
+            }
+            let freed_before = flock_epoch::collector_stats().freed;
+            let boundaries = std::cell::Cell::new(0usize);
+            let freed_mid_walk = std::cell::Cell::new(false);
+            let n = h.len_chunked(|| {
+                boundaries.set(boundaries.get() + 1);
+                assert_eq!(
+                    flock_epoch::pinned_epoch(),
+                    None,
+                    "len still holds its epoch pin at a chunk boundary"
+                );
+                // Feed the collector at the first boundary, then let it run:
+                // the freed counter moving while the walk is still in
+                // progress is the observable improvement.
+                if boundaries.get() == 1 {
+                    let garbage = flock_epoch::alloc(0u64);
+                    // SAFETY: fresh private allocation, never shared.
+                    unsafe { flock_epoch::retire_orphan(garbage) };
+                }
+                flock_epoch::try_advance();
+                flock_epoch::flush_all();
+                freed_mid_walk.set(
+                    freed_mid_walk.get() | (flock_epoch::collector_stats().freed > freed_before),
+                );
+            });
+            assert_eq!(n, 256);
+            assert!(
+                boundaries.get() >= 8,
+                "expected ≥ 8 chunk boundaries, saw {}",
+                boundaries.get()
+            );
+            assert!(
+                freed_mid_walk.get(),
+                "reclamation made no progress while len was walking"
+            );
+        });
+    }
+
+    /// `contains` never decodes the value slot (presence-only read path).
+    #[test]
+    fn contains_presence_only() {
+        testutil::both_modes(|| {
+            let h: HashTable<u64, u64> = HashTable::with_capacity(16);
+            assert!(!h.contains(&1));
+            assert!(h.insert(1, 10));
+            assert!(h.contains(&1));
+            assert!(h.remove(1));
+            assert!(!h.contains(&1));
         });
     }
 

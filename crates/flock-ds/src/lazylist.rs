@@ -99,6 +99,36 @@ impl<K: Key, V: Value> LazyList<K, V> {
         (pred, curr)
     }
 
+    /// Optimistic [`LazyList::search`] tail: first node at-or-after `k`,
+    /// with plain `Acquire` loads and no thunk-log traffic. Caller must be
+    /// epoch-pinned and outside any thunk ([`flock_core::read_validated`]).
+    fn search_acquire(&self, k: &K) -> *mut Node<K, V> {
+        // SAFETY: epoch-pinned caller; nodes reclaimed via collector.
+        let mut curr = unsafe { (*self.head).next.load_acquire() };
+        while !unsafe { &*curr }.at_or_after(k) {
+            curr = unsafe { &*curr }.next.load_acquire();
+        }
+        curr
+    }
+
+    /// Version-validated (presence, value) snapshot of one node under its
+    /// **own** lock — the logical-delete lock (`removed` is only ever set
+    /// under it) and the native-update lock, so an unchanged version across
+    /// the reads proves the pair held simultaneously. `None` = removed.
+    fn read_node_validated(c: &Node<K, V>) -> Option<V> {
+        flock_core::read_validated(
+            || {
+                let v0 = c.lock.version()?;
+                if c.removed.load() {
+                    return Some(None); // monotonic flag: definitive
+                }
+                let v = c.value.as_ref().map(ValueSlot::read_acquire);
+                c.lock.validate(v0).then_some(v)
+            },
+            || (!c.removed.load()).then(|| c.value.as_ref().map(ValueSlot::read))?,
+        )
+    }
+
     /// Insert; `false` if present.
     pub fn insert(&self, k: K, v: V) -> bool {
         let _g = flock_epoch::pin();
@@ -180,17 +210,98 @@ impl<K: Key, V: Value> LazyList<K, V> {
         }
     }
 
-    /// Wait-free lookup.
+    /// Wait-free lookup: optimistic version-validated snapshot against the
+    /// node's own lock, committed path after bounded failures.
     pub fn get(&self, k: K) -> Option<V> {
         let _g = flock_epoch::pin();
-        let (_, curr) = self.search(&k);
-        // SAFETY: epoch-pinned.
-        let c = unsafe { &*curr };
-        if c.holds(&k) && !c.removed.load() {
-            c.value.as_ref().map(ValueSlot::read)
-        } else {
-            None
+        flock_core::read_validated(
+            || {
+                // SAFETY: epoch-pinned.
+                let c = unsafe { &*self.search_acquire(&k) };
+                if !c.holds(&k) {
+                    return Some(None);
+                }
+                let v0 = c.lock.version()?;
+                if c.removed.load() {
+                    return Some(None); // logically deleted: definitively absent
+                }
+                let v = c.value.as_ref().map(ValueSlot::read_acquire);
+                c.lock.validate(v0).then_some(v)
+            },
+            || {
+                // SAFETY: epoch-pinned.
+                let c = unsafe { &*{ self.search(&k).1 } };
+                if c.holds(&k) && !c.removed.load() {
+                    c.value.as_ref().map(ValueSlot::read)
+                } else {
+                    None
+                }
+            },
+        )
+    }
+
+    /// Presence check that never decodes the value slot (no fat-value
+    /// clone-and-drop): key match + logical-delete flag only.
+    pub fn contains(&self, k: &K) -> bool {
+        let _g = flock_epoch::pin();
+        flock_core::read_validated(
+            || {
+                // SAFETY: epoch-pinned.
+                let c = unsafe { &*self.search_acquire(k) };
+                Some(c.holds(k) && !c.removed.load())
+            },
+            || {
+                // SAFETY: epoch-pinned.
+                let c = unsafe { &*{ self.search(k).1 } };
+                c.holds(k) && !c.removed.load()
+            },
+        )
+    }
+
+    /// Ordered range scan over the bounds (consistency contract:
+    /// [`flock_api::OrderedMap::range`] — per-node-atomic pairs, weakly
+    /// consistent across nodes). A removed node's `next` is frozen at
+    /// unlink time and keeps pointing forward, so keys stay strictly
+    /// increasing and each is reported at most once.
+    pub fn range(&self, lo: std::ops::Bound<&K>, hi: std::ops::Bound<&K>) -> Vec<(K, V)> {
+        use std::ops::Bound;
+        let _g = flock_epoch::pin();
+        let mut out = Vec::new();
+        // SAFETY: epoch-pinned walk; head is immutable.
+        let mut p = match lo {
+            Bound::Unbounded => unsafe { (*self.head).next.load_acquire() },
+            Bound::Included(k) => self.search_acquire(k),
+            Bound::Excluded(k) => {
+                let p = self.search_acquire(k);
+                // SAFETY: epoch-pinned traversal result.
+                if unsafe { &*p }.holds(k) {
+                    unsafe { (*p).next.load_acquire() }
+                } else {
+                    p
+                }
+            }
+        };
+        loop {
+            // SAFETY: epoch-pinned walk over live (or frozen-removed) nodes.
+            let c = unsafe { &*p };
+            if c.kind != KIND_NORMAL {
+                break;
+            }
+            let key = c.key.clone().expect("normal node has a key");
+            let past_hi = match hi {
+                Bound::Unbounded => false,
+                Bound::Included(h) => &key > h,
+                Bound::Excluded(h) => &key >= h,
+            };
+            if past_hi {
+                break;
+            }
+            if let Some(v) = Self::read_node_validated(c) {
+                out.push((key, v));
+            }
+            p = c.next.load_acquire();
         }
+        out
     }
 
     /// Native atomic update: replace the value stored under `k` in place —
@@ -314,6 +425,9 @@ impl<K: Key, V: Value> Map<K, V> for LazyList<K, V> {
     fn get(&self, key: K) -> Option<V> {
         LazyList::get(self, key)
     }
+    fn contains(&self, key: K) -> bool {
+        LazyList::contains(self, &key)
+    }
     fn name(&self) -> &'static str {
         "lazylist"
     }
@@ -325,6 +439,12 @@ impl<K: Key, V: Value> Map<K, V> for LazyList<K, V> {
     }
     fn len_approx(&self) -> Option<usize> {
         Some(self.count.get())
+    }
+}
+
+impl<K: Key, V: Value> flock_api::OrderedMap<K, V> for LazyList<K, V> {
+    fn range(&self, lo: std::ops::Bound<&K>, hi: std::ops::Bound<&K>) -> Vec<(K, V)> {
+        LazyList::range(self, lo, hi)
     }
 }
 

@@ -20,8 +20,9 @@
 //!   fresh nodes replace the rotated pair, old ones are retired.
 
 use std::hash::BuildHasher;
+use std::ops::Bound;
 
-use flock_api::{Key, Map, Value};
+use flock_api::{Key, Map, OrderedMap, Value, key_above_lower, key_below_upper, key_in_range};
 use flock_core::{Lock, Mutable, Sp, UpdateOnce, ValueSlot};
 use flock_sync::{ApproxLen, Backoff};
 
@@ -454,13 +455,134 @@ impl<K: Key, V: Value> LeafTreap<K, V> {
         }
     }
 
-    /// Wait-free lookup.
+    /// Lock-free search with plain `Acquire` loads: `(parent, leaf)`.
+    /// Used by the optimistic read paths, which never log their loads.
+    fn search_acquire(&self, k: &K) -> (*mut Node<K, V>, *mut Node<K, V>) {
+        let mut p = self.root;
+        // SAFETY: caller pinned; nodes epoch-reclaimed.
+        let mut c = unsafe { (*p).child_for(k).load_acquire() };
+        while unsafe { &*c }.kind == KIND_INTERNAL {
+            p = c;
+            c = unsafe { &*c }.child_for(k).load_acquire();
+        }
+        (p, c)
+    }
+
+    /// Wait-free lookup. Optimistic first: an unlogged `Acquire` descent,
+    /// the value slot read bracketed by the leaf's **parent** lock version
+    /// (every batch replacement *and* every in-place `update` of this
+    /// leaf's slots runs under that lock; rotations mark the old parent
+    /// `removed` inside its own critical section). After
+    /// [`flock_core::OPTIMISTIC_READ_ATTEMPTS`] failed validations — or
+    /// inside a thunk, where unlogged loads would desynchronize helpers —
+    /// falls back to the committed-read descent.
     pub fn get(&self, k: K) -> Option<V> {
         let _g = flock_epoch::pin();
-        let (_, _, leaf) = self.search(&k);
+        flock_core::read_validated(
+            || {
+                let (parent, leaf) = self.search_acquire(&k);
+                // SAFETY: epoch-pinned.
+                let (p, l) = unsafe { (&*parent, &*leaf) };
+                let v0 = p.lock.version()?;
+                if p.removed.load() || p.child_for(&k).load_acquire() != leaf {
+                    return None;
+                }
+                let v = l.find(&k).map(|i| l.entries[i].1.read_acquire());
+                p.lock.validate(v0).then_some(v)
+            },
+            || {
+                let (_, _, leaf) = self.search(&k);
+                // SAFETY: epoch-pinned.
+                let l = unsafe { &*leaf };
+                l.find(&k).map(|i| l.entries[i].1.read())
+            },
+        )
+    }
+
+    /// Presence check without materializing the value — no slot read, no
+    /// decode, no clone (for `Indirect` fat values `get` clones the boxed
+    /// payload just to drop it). A leaf's key set is immutable after
+    /// construction, so reaching the leaf is itself the linearization
+    /// point: no version validation is needed.
+    pub fn contains(&self, k: &K) -> bool {
+        let _g = flock_epoch::pin();
+        if flock_core::in_thunk() {
+            // Inside a thunk every load must be logged for replay.
+            let (_, _, leaf) = self.search(k);
+            // SAFETY: epoch-pinned.
+            return unsafe { &*leaf }.find(k).is_some();
+        }
+        let (_, leaf) = self.search_acquire(k);
         // SAFETY: epoch-pinned.
-        let l = unsafe { &*leaf };
-        l.find(&k).map(|i| l.entries[i].1.read())
+        unsafe { &*leaf }.find(k).is_some()
+    }
+
+    /// Ordered range scan over `[lo, hi]` bounds. Each leaf batch is
+    /// snapshot under a parent-lock version bracket (committed per-slot
+    /// reads after bounded validation failures), so every reported entry
+    /// was simultaneously present at some instant during the scan; see
+    /// [`OrderedMap`] for the cross-entry contract.
+    pub fn range(&self, lo: Bound<&K>, hi: Bound<&K>) -> Vec<(K, V)> {
+        let _g = flock_epoch::pin();
+        let mut out = Vec::new();
+        // SAFETY: pinned walk from the pseudo-root.
+        unsafe {
+            let first = (*self.root).left.load_acquire();
+            self.range_walk(self.root, first, lo, hi, &mut out);
+        }
+        out
+    }
+
+    /// In-order walk pruned by the routing keys (left subtree `< x`,
+    /// right subtree `>= x`). `parent` is the internal node whose child
+    /// cell yielded `n` — its lock owns `n`'s slots when `n` is a leaf.
+    unsafe fn range_walk(
+        &self,
+        parent: *mut Node<K, V>,
+        n: *mut Node<K, V>,
+        lo: Bound<&K>,
+        hi: Bound<&K>,
+        out: &mut Vec<(K, V)>,
+    ) {
+        // SAFETY: pinned per caller.
+        let node = unsafe { &*n };
+        if node.kind == KIND_LEAF {
+            // SAFETY: pinned per caller.
+            let p = unsafe { &*parent };
+            let snap = flock_core::read_validated(
+                || {
+                    let v0 = p.lock.version()?;
+                    if p.removed.load() {
+                        return None;
+                    }
+                    let snap: Vec<(K, V)> = node
+                        .entries
+                        .iter()
+                        .map(|(k, s)| (k.clone(), s.read_acquire()))
+                        .collect();
+                    p.lock.validate(v0).then_some(snap)
+                },
+                || {
+                    node.entries
+                        .iter()
+                        .map(|(k, s)| (k.clone(), s.read()))
+                        .collect()
+                },
+            );
+            out.extend(snap.into_iter().filter(|(k, _)| key_in_range(k, lo, hi)));
+            return;
+        }
+        let x = node.key.as_ref().expect("non-root internal has a key");
+        if key_above_lower(x, lo) {
+            // Left subtree holds keys `< x`; skip it when they all fall
+            // below the lower bound.
+            let l = node.left.load_acquire();
+            unsafe { self.range_walk(n, l, lo, hi, out) };
+        }
+        if key_below_upper(x, hi) {
+            let r = node.right.load_acquire();
+            unsafe { self.range_walk(n, r, lo, hi, out) };
+        }
     }
 
     /// Native atomic update: replace the value stored under `k` in place —
@@ -623,6 +745,9 @@ impl<K: Key, V: Value> Map<K, V> for LeafTreap<K, V> {
     fn get(&self, key: K) -> Option<V> {
         LeafTreap::get(self, key)
     }
+    fn contains(&self, key: K) -> bool {
+        LeafTreap::contains(self, &key)
+    }
     fn name(&self) -> &'static str {
         "leaftreap"
     }
@@ -634,6 +759,12 @@ impl<K: Key, V: Value> Map<K, V> for LeafTreap<K, V> {
     }
     fn len_approx(&self) -> Option<usize> {
         Some(self.count.get())
+    }
+}
+
+impl<K: Key, V: Value> OrderedMap<K, V> for LeafTreap<K, V> {
+    fn range(&self, lo: Bound<&K>, hi: Bound<&K>) -> Vec<(K, V)> {
+        LeafTreap::range(self, lo, hi)
     }
 }
 

@@ -328,16 +328,133 @@ impl<K: Key, V: Value> LeafTree<K, V> {
         }
     }
 
-    /// Wait-free lookup.
+    /// Optimistic variant of [`LeafTree::search`]: plain `Acquire` child
+    /// loads (no thunk-log traffic), returning only `(parent, leaf)`.
+    fn search_acquire(&self, k: &K) -> (*mut Node<K, V>, *mut Node<K, V>) {
+        let mut parent = self.root;
+        // SAFETY: caller pinned; nodes epoch-reclaimed.
+        let mut cur = unsafe { (*parent).child_for(k).load_acquire() };
+        while unsafe { &*cur }.kind == KIND_INTERNAL {
+            parent = cur;
+            cur = unsafe { &*cur }.child_for(k).load_acquire();
+        }
+        (parent, cur)
+    }
+
+    /// Wait-free lookup — optimistic version-validated fast path with a
+    /// bounded fallback to the committed read. The leaf's **parent** lock
+    /// is the owning lock (every structural change to the leaf's child
+    /// cell and every in-place value update acquires it), so an unchanged
+    /// parent version across the read proves the `(key, value)` pair was
+    /// simultaneously present.
     pub fn get(&self, k: K) -> Option<V> {
         let _g = flock_epoch::pin();
-        let (_, _, leaf) = self.search(&k);
+        flock_core::read_validated(
+            || {
+                let (parent, leaf) = self.search_acquire(&k);
+                // SAFETY: epoch-pinned.
+                let (p, l) = unsafe { (&*parent, &*leaf) };
+                if !l.holds(&k) {
+                    return Some(None); // absence needs no validation
+                }
+                let v0 = p.lock.version()?;
+                if p.removed.load() || p.child_for(&k).load_acquire() != leaf {
+                    return None; // stale path: retry / fall back
+                }
+                let v = l.value.as_ref().map(ValueSlot::read_acquire);
+                p.lock.validate(v0).then_some(v)
+            },
+            || {
+                let (_, _, leaf) = self.search(&k);
+                // SAFETY: epoch-pinned.
+                let l = unsafe { &*leaf };
+                if l.holds(&k) {
+                    l.value.as_ref().map(ValueSlot::read)
+                } else {
+                    None
+                }
+            },
+        )
+    }
+
+    /// Presence-only lookup: leaf keys are immutable, so the search plus
+    /// the key check suffices — no value decode, no clone, no validation.
+    /// (Inside a thunk the committed search keeps helper replays
+    /// deterministic.)
+    pub fn contains(&self, k: &K) -> bool {
+        let _g = flock_epoch::pin();
+        if flock_core::in_thunk() {
+            let (_, _, leaf) = self.search(k);
+            // SAFETY: epoch-pinned.
+            return unsafe { &*leaf }.holds(k);
+        }
+        let (_, leaf) = self.search_acquire(k);
         // SAFETY: epoch-pinned.
-        let l = unsafe { &*leaf };
-        if l.holds(&k) {
-            l.value.as_ref().map(ValueSlot::read)
-        } else {
-            None
+        unsafe { &*leaf }.holds(k)
+    }
+
+    /// Ordered range scan (see [`flock_api::OrderedMap`] for the
+    /// consistency contract): an in-order routing-key-pruned walk reading
+    /// each leaf's value under its parent lock's version, with a bounded
+    /// fallback to the committed per-slot read.
+    pub fn range(&self, lo: std::ops::Bound<&K>, hi: std::ops::Bound<&K>) -> Vec<(K, V)> {
+        let _g = flock_epoch::pin();
+        let mut out = Vec::new();
+        // SAFETY: pinned walk.
+        unsafe {
+            self.range_walk(
+                self.root,
+                (*self.root).left.load_acquire(),
+                lo,
+                hi,
+                &mut out,
+            )
+        };
+        out
+    }
+
+    unsafe fn range_walk(
+        &self,
+        parent: *mut Node<K, V>,
+        n: *mut Node<K, V>,
+        lo: std::ops::Bound<&K>,
+        hi: std::ops::Bound<&K>,
+        out: &mut Vec<(K, V)>,
+    ) {
+        // SAFETY: pinned per caller.
+        let node = unsafe { &*n };
+        match node.kind {
+            KIND_EMPTY => {}
+            KIND_LEAF => {
+                let k = node.key.clone().expect("real leaf has a key");
+                if !flock_api::key_in_range(&k, lo, hi) {
+                    return;
+                }
+                // SAFETY: pinned.
+                let p = unsafe { &*parent };
+                let v = flock_core::read_validated(
+                    || {
+                        let v0 = p.lock.version()?;
+                        let v = node.value.as_ref().map(ValueSlot::read_acquire);
+                        p.lock.validate(v0).then_some(v)
+                    },
+                    || node.value.as_ref().map(ValueSlot::read),
+                );
+                if let Some(v) = v {
+                    out.push((k, v));
+                }
+            }
+            _ => {
+                // Internal: left subtree < key, right subtree >= key.
+                let x = node.key.as_ref().expect("internal has a routing key");
+                if flock_api::key_above_lower(x, lo) {
+                    // The left subtree (keys < x) can still intersect.
+                    unsafe { self.range_walk(n, node.left.load_acquire(), lo, hi, out) };
+                }
+                if flock_api::key_below_upper(x, hi) {
+                    unsafe { self.range_walk(n, node.right.load_acquire(), lo, hi, out) };
+                }
+            }
         }
     }
 
@@ -514,6 +631,9 @@ impl<K: Key, V: Value> Map<K, V> for LeafTree<K, V> {
     fn get(&self, key: K) -> Option<V> {
         LeafTree::get(self, key)
     }
+    fn contains(&self, key: K) -> bool {
+        LeafTree::contains(self, &key)
+    }
     fn name(&self) -> &'static str {
         self.label
     }
@@ -525,6 +645,12 @@ impl<K: Key, V: Value> Map<K, V> for LeafTree<K, V> {
     }
     fn len_approx(&self) -> Option<usize> {
         Some(self.count.get())
+    }
+}
+
+impl<K: Key, V: Value> flock_api::OrderedMap<K, V> for LeafTree<K, V> {
+    fn range(&self, lo: std::ops::Bound<&K>, hi: std::ops::Bound<&K>) -> Vec<(K, V)> {
+        LeafTree::range(self, lo, hi)
     }
 }
 

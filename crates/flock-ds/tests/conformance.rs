@@ -1,6 +1,10 @@
 //! One `map_conformance!` instantiation per Flock structure (both lock
 //! disciplines of the leaftree included): the shared differential-oracle +
 //! partitioned-stress + provided-method suite, run in both lock modes.
+//! Ordered structures additionally stamp `ordered_map_conformance!` — the
+//! range-scan oracle and the concurrent scan-consistency suite at all
+//! three `(K, V)` shapes. The hash table is the one unordered structure
+//! and stays point-op only.
 
 use flock_ds::abtree::ABTree;
 use flock_ds::arttree::ArtTree;
@@ -18,3 +22,61 @@ flock_api::map_conformance!(leaftree_strict, LeafTree::new_strict());
 flock_api::map_conformance!(leaftreap, LeafTreap::new());
 flock_api::map_conformance!(abtree, ABTree::new());
 flock_api::map_conformance!(arttree, ArtTree::new());
+
+flock_api::ordered_map_conformance!(dlist_ordered, DList::new());
+flock_api::ordered_map_conformance!(lazylist_ordered, LazyList::new());
+flock_api::ordered_map_conformance!(leaftree_ordered, LeafTree::new());
+flock_api::ordered_map_conformance!(leaftree_strict_ordered, LeafTree::new_strict());
+flock_api::ordered_map_conformance!(leaftreap_ordered, LeafTreap::new());
+flock_api::ordered_map_conformance!(abtree_ordered, ABTree::new());
+flock_api::ordered_map_conformance!(arttree_ordered, ArtTree::new());
+
+/// EXPERIMENTS.md §8 caveat, made checkable: under the chaos stall
+/// schedule every registry structure's victim op (a native `update` of a
+/// pre-inserted key) must provably park *inside* a critical section
+/// (`InThunk`), not complete through an outside-the-lock read path.
+#[cfg(feature = "chaos")]
+mod stall_seam {
+    use super::*;
+    use flock_api::testing::{exclusive, stall_seam_crossed_check};
+
+    #[test]
+    fn dlist_crosses_in_thunk() {
+        exclusive(|| stall_seam_crossed_check(DList::<u64, u64>::new));
+    }
+
+    #[test]
+    fn lazylist_crosses_in_thunk() {
+        exclusive(|| stall_seam_crossed_check(LazyList::<u64, u64>::new));
+    }
+
+    #[test]
+    fn hashtable_crosses_in_thunk() {
+        exclusive(|| stall_seam_crossed_check(|| HashTable::<u64, u64>::with_capacity(512)));
+    }
+
+    #[test]
+    fn leaftree_crosses_in_thunk() {
+        exclusive(|| stall_seam_crossed_check(LeafTree::<u64, u64>::new));
+    }
+
+    #[test]
+    fn leaftree_strict_crosses_in_thunk() {
+        exclusive(|| stall_seam_crossed_check(LeafTree::<u64, u64>::new_strict));
+    }
+
+    #[test]
+    fn leaftreap_crosses_in_thunk() {
+        exclusive(|| stall_seam_crossed_check(LeafTreap::<u64, u64>::new));
+    }
+
+    #[test]
+    fn abtree_crosses_in_thunk() {
+        exclusive(|| stall_seam_crossed_check(ABTree::<u64, u64>::new));
+    }
+
+    #[test]
+    fn arttree_crosses_in_thunk() {
+        exclusive(|| stall_seam_crossed_check(ArtTree::<u64, u64>::new));
+    }
+}

@@ -588,6 +588,88 @@ fn lock_word_tag_wrap_mutant_skip_gen_check_is_caught() {
     );
 }
 
+// ---------------------------------------------------------- validated read
+
+/// The optimistic-read discipline (`Lock::version` / `Lock::validate`
+/// bracketing unlogged `Acquire` loads — the PR 7 read path): a read whose
+/// bracket **validates** can never return a torn multi-field snapshot.
+///
+/// A writer mutates two `Mutable` fields inside one critical section,
+/// preserving `a == b` at every quiescent point. The reader captures the
+/// lock version, reads both fields with `load_acquire`, and re-validates:
+/// `version()` returns `None` while the lock is held, every install CAS
+/// bumps the lock word's ABA tag (both lock modes), and `validate`
+/// re-reads the full packed word after an `Acquire` fence — so a
+/// successful bracket proves no critical section committed in between,
+/// i.e. the two loads saw a quiescent pair.
+///
+/// **Invariant:** a validated snapshot satisfies `a == b`. (A failed
+/// bracket returns nothing and is not under test: structures fall back to
+/// the committed-read path after bounded retries.)
+///
+/// Scope: writer + reading driver, one lock, two fields, SC, ≤2
+/// preemptions, exhaustive. (SC like the other full-stack lock tests:
+/// the writer runs the entire lock-free try_lock protocol, and TSO store
+/// buffers over that many atomics blow past the schedule budget; the
+/// bracket's fence-anchored orderings are exercised componentwise by the
+/// dekker and epoch TSO tests.)
+fn validated_read_body(validate: bool) {
+    let lock = Arc::new(Lock::new());
+    let a = Arc::new(Mutable::new(0u64));
+    let b = Arc::new(Mutable::new(0u64));
+
+    let (l2, a2, b2) = (Arc::clone(&lock), Arc::clone(&a), Arc::clone(&b));
+    let writer = flock_model::spawn(move || {
+        let (a3, b3) = (Arc::clone(&a2), Arc::clone(&b2));
+        let _ = l2.try_lock(move || {
+            // Two dependent stores: the pair is torn exactly when a reader
+            // observes the window between them.
+            a3.store(1);
+            b3.store(1);
+        });
+    });
+
+    // The driver is the reader: one optimistic attempt, no retry loop (a
+    // failed bracket is the fallback path, exercised by the structure
+    // suites; the model question is purely "can a *validated* bracket
+    // tear").
+    let snap = if validate {
+        (|| {
+            let v0 = lock.version()?;
+            let x = a.load_acquire();
+            let y = b.load_acquire();
+            lock.validate(v0).then_some((x, y))
+        })()
+    } else {
+        // Mutant reader: same unlogged loads, bracket dropped.
+        Some((a.load_acquire(), b.load_acquire()))
+    };
+    if let Some((x, y)) = snap {
+        assert_eq!(x, y, "validated optimistic read returned a torn pair");
+    }
+    writer.join();
+}
+
+#[test]
+fn validated_read_never_torn() {
+    let _g = serial();
+    let report = explore(Config::sc(), || validated_read_body(true));
+    report.assert_exhaustive_ok();
+    assert!(report.schedules_run > 10, "space suspiciously small");
+}
+
+/// Sanity mutant (harness-level): drop the version bracket and keep the
+/// same unlogged `Acquire` loads — the checker must surface the torn pair,
+/// proving the exhaustive pass above is detecting the bug class the
+/// bracket exists to prevent.
+#[test]
+fn validated_read_mutant_no_bracket_is_caught() {
+    let _g = serial();
+    let report = explore(Config::sc(), || validated_read_body(false));
+    let f = report.assert_finds_bug();
+    assert!(f.message.contains("torn pair"), "{}", f.message);
+}
+
 // --------------------------------------------------------------------- tid
 
 /// The active-thread registry: a scan bounded by `scan_bound()` must never

@@ -91,6 +91,39 @@ pub fn next_tag(tag: u16) -> u16 {
     if next >= limit { 0 } else { next }
 }
 
+/// An opaque snapshot of a packed word's full **incarnation** — tag and
+/// payload together — used by optimistic read validation.
+///
+/// Two observations of one location compare equal iff the location held the
+/// byte-identical packed word both times. Because every successful update
+/// of a tagged cell bumps the tag ([`next_tag`] on install *and* on any
+/// release CAM), equality across a read window proves no update committed
+/// in between — up to an exact [`TAG_LIMIT`]-update wraparound of that one
+/// word during the window, the residual every tag-based scheme carries
+/// (quantified where the optimistic layer documents its contract).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct PackedVersion(u64);
+
+impl PackedVersion {
+    /// Wrap a full packed word observed from a tagged cell.
+    #[inline(always)]
+    pub fn from_word(word: u64) -> Self {
+        PackedVersion(word)
+    }
+
+    /// The observed packed word.
+    #[inline(always)]
+    pub fn word(self) -> u64 {
+        self.0
+    }
+
+    /// The ABA tag of the observed word.
+    #[inline(always)]
+    pub fn tag(self) -> u16 {
+        unpack_tag(self.0)
+    }
+}
+
 /// Types that can be stored in the 48-bit payload of a `Mutable`.
 ///
 /// # Safety

@@ -85,7 +85,7 @@ fn main() {
         assert!(list.insert(10, 100));
         assert!(list.insert(20, 200));
         assert_eq!(list.get(10), Some(100));
-        assert!(list.contains(20));
+        assert!(list.contains(&20));
         assert!(list.update(20, 201), "in-place value replacement");
         assert_eq!(list.get(20), Some(201));
         assert!(list.remove(10));

@@ -39,7 +39,7 @@
 //! let list: flock::ds::dlist::DList<u64, u64> = flock::ds::dlist::DList::new();
 //! assert!(list.insert(1, 10));
 //! assert_eq!(list.get(1), Some(10));
-//! assert!(list.contains(1));
+//! assert!(list.contains(&1));
 //! assert!(list.remove(1));
 //!
 //! // …or with classic blocking spin locks — same code, runtime switch.
