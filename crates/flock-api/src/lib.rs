@@ -49,7 +49,7 @@ use std::hash::Hash;
 use std::ops::Bound;
 
 pub use flock_epoch::Indirect;
-pub use flock_epoch::{EpochStats, epoch_stats};
+pub use flock_epoch::{EpochStats, PoolStats, epoch_stats, pool_stats};
 pub use flock_sync::ValueRepr;
 
 /// Marker bound for map keys: cheap to clone, totally ordered, hashable,

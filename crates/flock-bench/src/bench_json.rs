@@ -32,6 +32,14 @@ pub const FAT_VALUE_FACTOR_SCALE: f64 = 2.0;
 /// host-speed calibration (perf_trajectory).
 pub const UPDATE_FACTOR_SCALE: f64 = 2.0;
 
+/// Gate widening for `pool_*` cases (the slab-pool primitives): the
+/// alloc/retire cycle is reclamation-bound (its cost depends on where the
+/// epoch floor happens to sit when the batch runs) and the cross-thread
+/// case adds channel backpressure and a second scheduled thread. Widened
+/// like the other allocator-bound families; also excluded from host-speed
+/// calibration (perf_trajectory).
+pub const POOL_FACTOR_SCALE: f64 = 2.0;
+
 /// One primitive microbenchmark result (lower is better).
 #[derive(Debug, Clone, PartialEq)]
 pub struct PrimitiveSample {
@@ -161,6 +169,8 @@ impl BenchReport {
                     factor * FAT_VALUE_FACTOR_SCALE
                 } else if new.name.starts_with("update_") {
                     factor * UPDATE_FACTOR_SCALE
+                } else if new.name.starts_with("pool_") {
+                    factor * POOL_FACTOR_SCALE
                 } else {
                     factor
                 };
@@ -542,6 +552,86 @@ pub fn run_primitive_suite(budget: Duration) -> Vec<PrimitiveSample> {
             });
         }),
     );
+
+    // Slab-pool primitives (ISSUE 9): the allocator's two signature paths,
+    // priced without the lock machinery that locked_alloc_retire_cycle
+    // wraps around them. `pool_alloc_retire_cycle` is the pure pipeline —
+    // pin, pool alloc, retire, unpin — so every slot round-trips through
+    // the calling thread's magazine once the collector frees it back.
+    // `pool_cross_thread_free` breaks that round-trip on purpose: slots
+    // are allocated here and freed on a consumer thread, so this thread's
+    // magazine never refills from its own frees (every refill is a
+    // global-pool miss) while the consumer's magazine overflows and
+    // flushes back — the remote-free seam the magazine design must not
+    // make pathological.
+    case(
+        "pool_alloc_retire_cycle",
+        measure_best(budget, || {
+            let g = flock_epoch::pin();
+            let p = flock_epoch::alloc(black_box(1u64));
+            // SAFETY: fresh private allocation, retired once.
+            unsafe { flock_epoch::retire(p) };
+            drop(g);
+        }),
+    );
+    flock_epoch::flush_all();
+
+    {
+        struct Batch(Vec<*mut u64>);
+        // SAFETY: the raw slot pointers are plain data; each batch's slots
+        // are uniquely owned and hand over wholesale to the consumer, the
+        // only thread that frees them.
+        unsafe impl Send for Batch {}
+        const XFER: usize = 256;
+        // Bounded channel: backpressure keeps the free backlog (and the
+        // page footprint) finite if the consumer falls behind; blocked
+        // sends are part of the measured cross-thread cost.
+        let (tx, rx) = std::sync::mpsc::sync_channel::<Batch>(4);
+        let consumer = std::thread::spawn(move || {
+            for Batch(ptrs) in rx {
+                for p in ptrs {
+                    // SAFETY: uniquely owned by the batch, freed once.
+                    unsafe { flock_epoch::free_now(p) };
+                }
+            }
+        });
+        let mut buf: Vec<*mut u64> = Vec::with_capacity(XFER);
+        let ns = measure_best(budget, || {
+            buf.push(flock_epoch::alloc(0u64));
+            if buf.len() == XFER {
+                tx.send(Batch(std::mem::take(&mut buf))).unwrap();
+                buf.reserve(XFER);
+            }
+        });
+        tx.send(Batch(std::mem::take(&mut buf))).unwrap();
+        drop(tx);
+        consumer.join().unwrap();
+        case("pool_cross_thread_free", ns);
+    }
+
+    // Fat-value contention (ISSUE 9): 4 threads hammer one lock whose
+    // thunk runs the full indirect-store pipeline (pool alloc → commit →
+    // CAS → epoch retire). On the allocator this is the mixed case: the
+    // winner allocates and the displaced value is freed later on whichever
+    // thread collects, so magazines see both local recycling and
+    // collector-routed returns under contention.
+    {
+        use flock_epoch::Indirect;
+        let l = Arc::new(Lock::new());
+        let v: Arc<Mutable<Indirect<[u64; 4]>>> = Arc::new(Mutable::new(Indirect([0; 4])));
+        case(
+            "contended_fat_value_store_4t",
+            measure_contended(budget, 4, |t| {
+                let v2 = Arc::clone(&v);
+                let x = t as u64;
+                black_box(l.try_lock(move || {
+                    let cur = v2.load();
+                    v2.store(Indirect([cur.0[0].wrapping_add(1), x, !x, x << 1]));
+                }));
+            }),
+        );
+        flock_epoch::flush_all();
+    }
 
     samples
 }

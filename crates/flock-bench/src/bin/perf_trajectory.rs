@@ -61,9 +61,12 @@ fn calibration(current: &BenchReport, baseline: &BenchReport) -> f64 {
             // independently of the CPU-speed delta the calibration models.
             // The update-heavy cases (native vs composite Map::update)
             // inherit both exclusions: the composite side allocates per op.
+            // Pool cases are reclamation- and scheduler-bound (the cross-
+            // thread case runs a second thread), so they are excluded too.
             if new.name.starts_with("contended_")
                 || new.name.starts_with("fat_value_")
                 || new.name.starts_with("update_")
+                || new.name.starts_with("pool_")
             {
                 return None;
             }

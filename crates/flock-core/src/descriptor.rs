@@ -353,17 +353,20 @@ fn reuse_enabled() -> bool {
 /// the conservative retire path), so published descriptors may be pooled —
 /// but they must never be immediately *freed*: when they leave the pool
 /// (overflow or thread exit) they go through the epoch collector.
+///
+/// Entries are raw `flock_epoch::alloc` pointers (not `Box`es): every
+/// descriptor shares the epoch allocator's provenance, so the collector's
+/// pool-aware drop path can return the memory to the slab pool uniformly.
 struct Pool {
-    // Boxes (not inline values): pool entries round-trip through
-    // `Box::into_raw`/`from_raw` as stable published pointers.
-    #[allow(clippy::vec_box)]
-    items: RefCell<Vec<Box<Descriptor>>>,
+    items: RefCell<Vec<DescPtr>>,
 }
+
+/// A pooled, fully reset descriptor (thread-local container; never sent).
+struct DescPtr(*mut Descriptor);
 
 impl Drop for Pool {
     fn drop(&mut self) {
-        for d in self.items.borrow_mut().drain(..) {
-            let raw = Box::into_raw(d);
+        for DescPtr(raw) in self.items.borrow_mut().drain(..) {
             flock_epoch::debug_track_alloc(raw);
             // SAFETY: pool entries were fully reset and are reachable only
             // via possible stale-helper pointers; the orphan retire defers
@@ -390,8 +393,7 @@ thread_local! {
 #[cfg(feature = "model")]
 pub fn model_drain_descriptor_pool() {
     POOL.with(|p| {
-        for d in p.items.borrow_mut().drain(..) {
-            let raw = Box::into_raw(d);
+        for DescPtr(raw) in p.items.borrow_mut().drain(..) {
             flock_epoch::debug_track_alloc(raw);
             // SAFETY: pool entries are fully reset and unreachable except
             // via possible stale-helper pointers; orphan retire defers the
@@ -411,9 +413,20 @@ where
     R: Send + 'static,
     F: Fn() -> R + Send + Sync + 'static,
 {
-    let mut d = POOL
-        .with(|p| p.items.borrow_mut().pop())
-        .unwrap_or_else(|| Box::new(Descriptor::new()));
+    let raw = match POOL.with(|p| p.items.borrow_mut().pop()) {
+        Some(DescPtr(raw)) => {
+            flock_epoch::debug_track_alloc(raw);
+            raw
+        }
+        // Fresh slab from the epoch allocator (and through its slab pool
+        // when the descriptor fits a size class), so every descriptor has
+        // the provenance `flock_epoch::retire` expects.
+        None => flock_epoch::alloc(Descriptor::new()),
+    };
+    // SAFETY: pooled entries are unshared-for-writing (stale helpers may
+    // still store the atomic flags, which reinitialization below clears);
+    // fresh entries are exclusively ours.
+    let d = unsafe { &mut *raw };
     // A stale helper of a previous incarnation may have marked the pooled
     // descriptor `helped` after its reset; clear the flags here, *before*
     // publication, so the marks cannot leak into this incarnation's checks.
@@ -432,8 +445,6 @@ where
     // `birth_epoch`).
     d.birth_epoch.store(birth_epoch, Ordering::Relaxed);
     d.nested = nested;
-    let raw = Box::into_raw(d);
-    flock_epoch::debug_track_alloc(raw);
     raw
 }
 
@@ -446,23 +457,30 @@ where
 /// `d` must come from [`create_descriptor`] and must never have been
 /// published (not CASed into a lock word, not committed to a log).
 pub(crate) unsafe fn recycle_unshared(d: *mut Descriptor) {
-    flock_epoch::debug_track_dealloc(d, "descriptor-recycle");
     // SAFETY: unshared per contract, so we have exclusive access.
-    let mut boxed = unsafe { Box::from_raw(d) };
-    boxed.thunk.clear();
+    let desc = unsafe { &mut *d };
+    desc.thunk.clear();
     // SAFETY: exclusive access.
-    unsafe { boxed.first_block.reset() };
-    boxed.done.store(false, Ordering::Relaxed);
-    boxed.panicked.store(false, Ordering::Relaxed);
-    boxed.helped.store(false, Ordering::Relaxed);
-    POOL.with(|p| {
+    unsafe { desc.first_block.reset() };
+    desc.done.store(false, Ordering::Relaxed);
+    desc.panicked.store(false, Ordering::Relaxed);
+    desc.helped.store(false, Ordering::Relaxed);
+    let pooled = POOL.with(|p| {
         let mut pool = p.items.borrow_mut();
         if pool.len() < POOL_CAP {
-            pool.push(boxed);
+            flock_epoch::debug_track_dealloc(d, "descriptor-recycle");
+            pool.push(DescPtr(d));
+            true
+        } else {
+            false
         }
-        // else: drop — safe to free immediately since never published
-        // (frees log extensions + closure).
     });
+    if !pooled {
+        // Pool full: safe to free immediately since never published
+        // (returns the slab to the epoch allocator's pool).
+        // SAFETY: unshared per contract; came from `flock_epoch::alloc`.
+        unsafe { flock_epoch::free_now(d) };
+    }
 }
 
 /// Dispose of a finished **top-level** descriptor after its `try_lock`
@@ -484,29 +502,31 @@ pub(crate) unsafe fn dispose_top_level(d: *mut Descriptor) {
         // can be reused. A *stale* helper may still mark `helped` later;
         // that is why published descriptors never leave the pool through a
         // plain free (see `Pool`).
-        flock_epoch::debug_track_dealloc(d, "descriptor-recycle");
         // SAFETY: ownership argument above; see DESIGN.md §3.
-        let mut boxed = unsafe { Box::from_raw(d) };
-        boxed.thunk.clear();
+        let desc = unsafe { &mut *d };
+        desc.thunk.clear();
         // SAFETY: no running helper (argument above); stale helpers never
         // touch the log.
-        unsafe { boxed.first_block.reset() };
-        boxed.done.store(false, Ordering::Relaxed);
-        boxed.panicked.store(false, Ordering::Relaxed);
-        boxed.helped.store(false, Ordering::Relaxed);
-        POOL.with(|p| {
+        unsafe { desc.first_block.reset() };
+        desc.done.store(false, Ordering::Relaxed);
+        desc.panicked.store(false, Ordering::Relaxed);
+        desc.helped.store(false, Ordering::Relaxed);
+        let pooled = POOL.with(|p| {
             let mut pool = p.items.borrow_mut();
             if pool.len() < POOL_CAP {
-                pool.push(boxed);
+                flock_epoch::debug_track_dealloc(d, "descriptor-recycle");
+                pool.push(DescPtr(d));
+                true
             } else {
-                // Pool full: must not free immediately (stale helpers), so
-                // hand the memory to the collector instead.
-                let raw = Box::into_raw(boxed);
-                flock_epoch::debug_track_alloc(raw);
-                // SAFETY: unreferenced by the lock word; retired once.
-                unsafe { flock_epoch::retire(raw) };
+                false
             }
         });
+        if !pooled {
+            // Pool full: must not free immediately (stale helpers), so
+            // hand the memory to the collector instead.
+            // SAFETY: unreferenced by the lock word; retired once.
+            unsafe { flock_epoch::retire(d) };
+        }
     } else {
         // SAFETY: pinned per contract; descriptor unreachable from the lock
         // word; stray helpers hold epoch protection.

@@ -15,13 +15,20 @@ pub const QUIESCENT: u64 = u64::MAX;
 /// A retired allocation awaiting reclamation.
 pub(crate) struct Retired {
     pub(crate) ptr: *mut u8,
-    pub(crate) drop_fn: unsafe fn(*mut u8),
+    /// Drop glue only (`None` when `T` has none — the free loop then skips
+    /// the indirect call). For pooled items the slot return is driven by
+    /// `class`; for fallback items the dropper frees the heap allocation.
+    pub(crate) dropper: Option<unsafe fn(*mut u8)>,
+    /// Pool size class, or `pool::NO_CLASS` for `Box`-fallback items.
+    /// Freed pooled slots are returned in one batched magazine push per
+    /// collect pass instead of a TLS round-trip per item.
+    pub(crate) class: u8,
     /// Global epoch at retire time.
     pub(crate) stamp: u64,
     /// `size_of` the retired allocation, for the bag-growth accounting in
     /// [`epoch_stats`] (heap payload only — boxes of a `T` count
     /// `size_of::<T>()`; any transitive owned memory is not walked).
-    pub(crate) bytes: usize,
+    pub(crate) bytes: u32,
 }
 
 // SAFETY: a Retired is an owned, unlinked allocation; the collector is the
@@ -43,6 +50,9 @@ pub(crate) struct Global {
     /// Bytes currently sitting in retire bags (local + orphan), i.e.
     /// retired-not-yet-freed. Grows without bound only while a reservation
     /// is stuck — which is exactly what [`epoch_stats`] exists to report.
+    /// Like `retired_count`, fed from per-bag pending cells at collect
+    /// boundaries (see [`LocalBag`]), so another thread's newest retires
+    /// may lag by up to one collect threshold.
     bag_bytes: AtomicUsize,
 }
 
@@ -130,6 +140,9 @@ thread_local! {
         LocalBag {
             items: std::cell::RefCell::new(Vec::new()),
             last_failed_safe: std::cell::Cell::new(0),
+            pending_retired: std::cell::Cell::new(0),
+            pending_bytes: std::cell::Cell::new(0),
+            since_advance: std::cell::Cell::new(0),
         }
     };
 }
@@ -145,10 +158,44 @@ struct LocalBag {
     /// `>= safe_before`, so nothing addable later becomes freeable at the
     /// same floor.
     last_failed_safe: std::cell::Cell<u64>,
+    /// Retires (count / bytes) bagged here but not yet published to the
+    /// global counters. The hot retire path only touches these cells; the
+    /// global `fetch_add`s happen at collect boundaries, stats snapshots
+    /// and thread exit, so a retire pays no cross-thread RMW. Items leave
+    /// this bag only through paths that publish first (`collect_local`,
+    /// `Drop`), so the global byte gauge never sees a free before its
+    /// retire.
+    pending_retired: std::cell::Cell<usize>,
+    pending_bytes: std::cell::Cell<usize>,
+    /// Retires since this thread last attempted a global epoch advance
+    /// (the `ADVANCE_PERIOD` cadence, kept thread-local for the same
+    /// no-RMW reason).
+    since_advance: std::cell::Cell<usize>,
+}
+
+/// Move a bag's pending retire counters into the global gauges.
+fn publish_pending(bag: &LocalBag) {
+    let n = bag.pending_retired.replace(0);
+    if n > 0 {
+        GLOBAL.retired_count.fetch_add(n, Ordering::Relaxed);
+    }
+    let b = bag.pending_bytes.replace(0);
+    if b > 0 {
+        GLOBAL.bag_bytes.fetch_add(b, Ordering::Relaxed);
+    }
+}
+
+/// Publish the *calling thread's* pending retire counters, so stats
+/// snapshots taken on this thread reflect its own retires immediately
+/// (other threads' pending counts drain at their collect boundaries).
+/// TLS-teardown-safe: a dead bag has already published via its `Drop`.
+pub(crate) fn publish_local_pending() {
+    let _ = LOCAL_BAG.try_with(publish_pending);
 }
 
 impl Drop for LocalBag {
     fn drop(&mut self) {
+        publish_pending(self);
         // Thread exiting: orphan whatever is left so other threads free it.
         let mut items = self.items.borrow_mut();
         if !items.is_empty()
@@ -206,7 +253,9 @@ pub(crate) fn bag_retired_global(item: Retired) {
     #[cfg(debug_assertions)]
     debug_track::on_retire(item.ptr as usize);
     GLOBAL.retired_count.fetch_add(1, Ordering::Relaxed);
-    GLOBAL.bag_bytes.fetch_add(item.bytes, Ordering::Relaxed);
+    GLOBAL
+        .bag_bytes
+        .fetch_add(item.bytes as usize, Ordering::Relaxed);
     if let Ok(mut orphans) = GLOBAL.orphans.lock() {
         orphans.push(item);
     }
@@ -215,18 +264,46 @@ pub(crate) fn bag_retired_global(item: Retired) {
 pub(crate) fn bag_retired(item: Retired) {
     #[cfg(debug_assertions)]
     debug_track::on_retire(item.ptr as usize);
-    GLOBAL.bag_bytes.fetch_add(item.bytes, Ordering::Relaxed);
-    let count = GLOBAL.retired_count.fetch_add(1, Ordering::Relaxed) + 1;
-    let should_collect = LOCAL_BAG.with(|bag| {
+    // One TLS access, zero global RMWs: counts accumulate in the bag's
+    // cells and publish at the collect/advance boundaries below.
+    let (should_advance, should_collect) = LOCAL_BAG.with(|bag| {
+        bag.pending_retired.set(bag.pending_retired.get() + 1);
+        bag.pending_bytes
+            .set(bag.pending_bytes.get() + item.bytes as usize);
+        let adv = bag.since_advance.get() + 1;
+        let should_advance = adv >= ADVANCE_PERIOD;
+        bag.since_advance.set(if should_advance { 0 } else { adv });
         let mut items = bag.items.borrow_mut();
         items.push(item);
-        items.len() >= BAG_COLLECT_THRESHOLD
+        (should_advance, items.len() >= BAG_COLLECT_THRESHOLD)
     });
-    if count.is_multiple_of(ADVANCE_PERIOD) {
+    if should_advance {
         try_advance();
     }
     if should_collect {
         collect_local();
+    }
+}
+
+/// Drop one reclaimable item and return its memory: pooled slots go back
+/// to the freeing thread's magazine, fallback items are fully freed by
+/// their dropper. Pooled types without drop glue (`dropper == None`, the
+/// common node case) skip the indirect call entirely.
+///
+/// # Safety
+///
+/// The item must be past its grace period: `stamp + 2 <=` every active
+/// reservation, so no in-flight operation can still reach it; the retire
+/// contract says it was unlinked and retired once.
+unsafe fn free_one(it: &Retired) {
+    #[cfg(debug_assertions)]
+    debug_track::on_free(it.ptr as usize);
+    if let Some(drop_fn) = it.dropper {
+        // SAFETY: forwarded contract; dropped exactly once.
+        unsafe { drop_fn(it.ptr) };
+    }
+    if it.class != crate::pool::NO_CLASS {
+        crate::pool::free_slot(it.ptr, it.class as usize);
     }
 }
 
@@ -237,6 +314,9 @@ pub(crate) fn collect_local() {
     let mut freed = 0usize;
     let mut freed_bytes = 0usize;
     LOCAL_BAG.with(|bag| {
+        // Publish before anything can be freed (and before the early
+        // return, so a stuck floor still reports its growing bag).
+        publish_pending(bag);
         // Stuck-reservation guard: a full scan at this floor (or a higher
         // one) already freed nothing, and nothing retired since can be
         // older — skip the rescan so a stalled pinner costs O(1) per
@@ -248,14 +328,11 @@ pub(crate) fn collect_local() {
         let before = items.len();
         items.retain(|it| {
             if it.stamp < safe_before {
-                #[cfg(debug_assertions)]
-                debug_track::on_free(it.ptr as usize);
-                // SAFETY: stamp + 2 <= every active reservation, so no
-                // in-flight operation can still reach this object; the
-                // retire contract says it was unlinked and retired once.
-                unsafe { (it.drop_fn)(it.ptr) };
+                // SAFETY: stamp + 2 <= every active reservation (see
+                // `free_one`).
+                unsafe { free_one(it) };
                 freed += 1;
-                freed_bytes += it.bytes;
+                freed_bytes += it.bytes as usize;
                 false
             } else {
                 true
@@ -269,12 +346,10 @@ pub(crate) fn collect_local() {
     if let Ok(mut orphans) = GLOBAL.orphans.try_lock() {
         orphans.retain(|it| {
             if it.stamp < safe_before {
-                #[cfg(debug_assertions)]
-                debug_track::on_free(it.ptr as usize);
                 // SAFETY: as above.
-                unsafe { (it.drop_fn)(it.ptr) };
+                unsafe { free_one(it) };
                 freed += 1;
-                freed_bytes += it.bytes;
+                freed_bytes += it.bytes as usize;
                 false
             } else {
                 true
@@ -319,6 +394,10 @@ pub(crate) fn flush_all() {
 #[cfg(feature = "model")]
 pub(crate) fn model_drain_local_bag() {
     LOCAL_BAG.with(|bag| {
+        publish_pending(bag);
+        // Cadence state must be identical at the start of every execution
+        // (the advance-attempt points are schedule-visible).
+        bag.since_advance.set(0);
         let mut items = bag.items.borrow_mut();
         if !items.is_empty()
             && let Ok(mut orphans) = GLOBAL.orphans.lock()
@@ -332,15 +411,19 @@ pub(crate) fn model_drain_local_bag() {
 pub(crate) fn model_reset() {
     fn free_all(items: &mut Vec<Retired>) {
         for it in items.drain(..) {
-            #[cfg(debug_assertions)]
-            debug_track::on_free(it.ptr as usize);
-            GLOBAL.bag_bytes.fetch_sub(it.bytes, Ordering::Relaxed);
+            GLOBAL
+                .bag_bytes
+                .fetch_sub(it.bytes as usize, Ordering::Relaxed);
             // SAFETY: nothing is pinned (caller contract), so no in-flight
             // operation can reach a retired object; retired exactly once.
-            unsafe { (it.drop_fn)(it.ptr) };
+            unsafe { free_one(&it) };
         }
     }
-    LOCAL_BAG.with(|bag| free_all(&mut bag.items.borrow_mut()));
+    LOCAL_BAG.with(|bag| {
+        publish_pending(bag);
+        bag.since_advance.set(0);
+        free_all(&mut bag.items.borrow_mut());
+    });
     if let Ok(mut orphans) = GLOBAL.orphans.lock() {
         free_all(&mut orphans);
     }
@@ -370,6 +453,7 @@ pub struct CollectorStats {
 
 /// Snapshot of the collector counters.
 pub fn collector_stats() -> CollectorStats {
+    publish_local_pending();
     CollectorStats {
         retired: GLOBAL.retired_count.load(Ordering::Relaxed),
         freed: GLOBAL.freed_count.load(Ordering::Relaxed),
@@ -398,10 +482,14 @@ pub struct EpochStats {
     /// Bytes retired but not yet freed, across all local bags and the
     /// orphan bag (heap payloads only, as stamped at retire time).
     pub retire_bag_bytes: usize,
+    /// Slab-pool counters: pages live, slots cached in magazines, refill
+    /// traffic and magazine hit rate. See [`crate::PoolStats`].
+    pub pool: crate::PoolStats,
 }
 
 /// Snapshot of the collector's degradation pressure. See [`EpochStats`].
 pub fn epoch_stats() -> EpochStats {
+    publish_local_pending();
     fence(Ordering::SeqCst);
     let epoch = GLOBAL.epoch.load(Ordering::Relaxed);
     let bound = tid::scan_bound().min(MAX_THREADS);
@@ -420,6 +508,7 @@ pub fn epoch_stats() -> EpochStats {
         pinned_threads: pinned,
         oldest_reservation_age: epoch.saturating_sub(min),
         retire_bag_bytes: GLOBAL.bag_bytes.load(Ordering::Relaxed),
+        pool: crate::pool::pool_stats(),
     }
 }
 

@@ -30,6 +30,7 @@
 mod collector;
 mod guard;
 mod indirect;
+mod pool;
 
 pub use collector::{
     CollectorStats, EpochStats, QUIESCENT, collector_stats, epoch_stats, try_advance,
@@ -38,6 +39,7 @@ pub use collector::{
 pub use guard::mutants;
 pub use guard::{AdoptGuard, EpochGuard, pin, pin_with, pinned_epoch};
 pub use indirect::Indirect;
+pub use pool::{PoolStats, pool_stats};
 
 use flock_sync::atomic::Ordering;
 
@@ -62,15 +64,32 @@ pub fn collect_now() {
 #[cfg(feature = "model")]
 pub fn model_drain_local_bag() {
     collector::model_drain_local_bag();
+    pool::model_drain_magazines();
 }
 
-/// Allocate `value` on the heap for use with [`retire`].
+/// Allocate `value` for use with [`retire`].
 ///
-/// Plain `Box` allocation today; kept as the single choke point so a pooled
-/// allocator can be swapped in without touching call sites.
+/// Served from the paged slab pool (`pool` module) when a size class fits
+/// `T` — a pure thread-local magazine pop in the steady state — and from a
+/// plain `Box` otherwise. The choice is per-`T` at compile time, so the
+/// matching free paths ([`free_now`], [`retire`]) return the memory the
+/// same way without any runtime provenance check.
 #[inline]
 pub fn alloc<T>(value: T) -> *mut T {
-    let p = Box::into_raw(Box::new(value));
+    let p: *mut T = match const { pool::class_for::<T>() } {
+        Some(class) => {
+            let slot = pool::alloc_slot(class).cast::<T>();
+            // SAFETY: a fresh class-`class` slot is exclusively ours,
+            // class-sized and class-aligned, which covers `T`'s layout
+            // (see `pool::CLASS_SIZES`); the write initializes it.
+            unsafe { slot.write(value) };
+            slot
+        }
+        None => {
+            pool::count_fallback_alloc();
+            Box::into_raw(Box::new(value))
+        }
+    };
     #[cfg(debug_assertions)]
     collector::debug_track::on_alloc(p as usize);
     p
@@ -78,7 +97,9 @@ pub fn alloc<T>(value: T) -> *mut T {
 
 /// Immediately free an object allocated with [`alloc`] that was **never
 /// shared** with other threads (e.g. the loser of an idempotent-allocate
-/// race, which was never published to the log).
+/// race, which was never published to the log). Pooled slots go straight
+/// back to the calling thread's magazine, so idempotent replays recycle
+/// the same slot instead of hitting the heap.
 ///
 /// # Safety
 ///
@@ -88,8 +109,15 @@ pub fn alloc<T>(value: T) -> *mut T {
 pub unsafe fn free_now<T>(ptr: *mut T) {
     #[cfg(debug_assertions)]
     collector::debug_track::on_dealloc(ptr as usize, "free_now");
-    // SAFETY: forwarded caller contract.
-    drop(unsafe { Box::from_raw(ptr) });
+    match const { pool::class_for::<T>() } {
+        Some(class) => {
+            // SAFETY: exclusive access per contract; dropped exactly once.
+            unsafe { std::ptr::drop_in_place(ptr) };
+            pool::free_slot(ptr.cast::<u8>(), class);
+        }
+        // SAFETY: fallback `T`s came from `Box::new` (see `alloc`).
+        None => drop(unsafe { Box::from_raw(ptr) }),
+    }
 }
 
 /// Retire an object: it will be dropped once no in-flight operation can still
@@ -109,10 +137,6 @@ pub unsafe fn retire<T>(ptr: *mut T) {
         guard::is_pinned(),
         "flock-epoch: retire called outside an epoch guard"
     );
-    unsafe fn drop_box<T>(p: *mut u8) {
-        // SAFETY: `p` was produced by `alloc::<T>` per `retire`'s contract.
-        drop(unsafe { Box::from_raw(p.cast::<T>()) });
-    }
     // Ordering: Relaxed is enough for the stamp *because the caller is
     // pinned*: read-read coherence means this load returns at least the
     // epoch this thread re-validated at pin time, and our own reservation
@@ -124,9 +148,14 @@ pub unsafe fn retire<T>(ptr: *mut T) {
     let stamp = collector::global_epoch().load(Ordering::Relaxed);
     collector::bag_retired(collector::Retired {
         ptr: ptr.cast::<u8>(),
-        drop_fn: drop_box::<T>,
+        // Drop glue and slot routing are chosen per `T` at compile time:
+        // the collector drops in place (when `T` needs it) and returns
+        // pooled slots to the *freeing* thread's magazine in a batched
+        // push; fallback items are boxed back to the heap by the dropper.
+        dropper: const { pool::retired_dropper::<T>() },
+        class: const { pool::retired_class::<T>() },
         stamp,
-        bytes: std::mem::size_of::<T>(),
+        bytes: std::mem::size_of::<T>() as u32,
     });
 }
 
@@ -138,22 +167,19 @@ pub unsafe fn retire<T>(ptr: *mut T) {
 /// # Safety
 ///
 /// Same contract as [`retire`], minus the pinning requirement: `ptr` must
-/// come from [`alloc`] (or a compatible `Box` allocation), be retired at
-/// most once, and be unreachable for new readers.
+/// come from [`alloc`], be retired at most once, and be unreachable for
+/// new readers.
 pub unsafe fn retire_orphan<T>(ptr: *mut T) {
-    unsafe fn drop_box<T>(p: *mut u8) {
-        // SAFETY: `p` was produced by a Box allocation of `T` per contract.
-        drop(unsafe { Box::from_raw(p.cast::<T>()) });
-    }
     // Ordering: SeqCst — unlike `retire`, the caller is *not* pinned, so
     // the coherence argument bounding stamp staleness does not apply; keep
     // the strongest order on this cold (thread-exit) path.
     let stamp = collector::global_epoch().load(Ordering::SeqCst);
     collector::bag_retired_global(collector::Retired {
         ptr: ptr.cast::<u8>(),
-        drop_fn: drop_box::<T>,
+        dropper: const { pool::retired_dropper::<T>() },
+        class: const { pool::retired_class::<T>() },
         stamp,
-        bytes: std::mem::size_of::<T>(),
+        bytes: std::mem::size_of::<T>() as u32,
     });
 }
 
@@ -284,6 +310,39 @@ mod tests {
         );
         drop(g);
         flush_all();
+    }
+
+    /// The pool counters ride along in `epoch_stats()`: pool traffic shows
+    /// up in pages/hit-rate, and a retired pooled slot comes back to the
+    /// allocator (cached or global) once the collector frees it.
+    #[test]
+    fn epoch_stats_surface_pool_counters() {
+        // Generate warm pool traffic: the second alloc of the same class
+        // must be a magazine hit.
+        let p = alloc(7u64);
+        // SAFETY: fresh private allocation.
+        unsafe { free_now(p) };
+        let q = alloc(9u64);
+        // SAFETY: fresh private allocation.
+        unsafe { free_now(q) };
+        let stats = epoch_stats();
+        assert!(stats.pool.pages_live >= 1, "no page carved: {stats:?}");
+        assert!(
+            stats.pool.magazine_hits >= 1,
+            "warm alloc did not hit the magazine: {stats:?}"
+        );
+        assert!(stats.pool.global_refills >= 1);
+        assert!(stats.pool.magazine_hit_rate() > 0.0);
+        // Retired slots return to the pool once freed.
+        {
+            let _g = pin();
+            let r = alloc(11u64);
+            // SAFETY: fresh private allocation, retired once.
+            unsafe { retire(r) };
+        }
+        flush_all();
+        let stats = epoch_stats();
+        assert!(stats.pool.slots_cached + stats.pool.slots_free_global >= 1);
     }
 
     #[test]

@@ -21,13 +21,20 @@
 //! running under a `with`) are fine.
 
 use std::cell::Cell;
+use std::sync::atomic::{AtomicPtr, Ordering};
 
 use crate::tid::{self, ThreadId};
 
 /// Sentinel for "thread id not claimed yet".
 const TID_UNCLAIMED: usize = usize::MAX;
 
-/// All of a thread's hot mutable state: id, epoch pinning, log cursor.
+/// Number of slab size classes the pool layer (`flock-epoch`) caches per
+/// thread. Lives here because the magazine heads are `ThreadCtx` fields;
+/// the pool layer asserts its class table matches this length.
+pub const POOL_CLASSES: usize = 7;
+
+/// All of a thread's hot mutable state: id, epoch pinning, log cursor,
+/// allocator magazines.
 pub struct ThreadCtx {
     /// Claimed thread id, or [`TID_UNCLAIMED`]. Claimed lazily by
     /// [`ThreadCtx::tid`]; released by `Drop` at thread exit.
@@ -44,6 +51,19 @@ pub struct ThreadCtx {
     /// Log layer: descriptor being run (`*const Descriptor`), null at top
     /// level.
     pub descriptor: Cell<*const ()>,
+    /// Pool layer: per-size-class magazine heads — intrusive free lists of
+    /// slab slots (each free slot's first word stores the next pointer).
+    /// Null means empty. Owned by the pool layer the same way the `log_*`
+    /// cells are owned by the log layer.
+    pub pool_heads: [Cell<*mut u8>; POOL_CLASSES],
+    /// Pool layer: number of slots chained from each magazine head.
+    pub pool_counts: [Cell<u32>; POOL_CLASSES],
+    /// Pool layer: magazine hits since the last publish to the global
+    /// counters (published at refill/flush boundaries and thread exit).
+    pub pool_hits: Cell<u64>,
+    /// Pool layer: total cached-slot count this thread last published to
+    /// the global gauge (published at the same boundaries as `pool_hits`).
+    pub pool_cached_published: Cell<usize>,
 }
 
 impl ThreadCtx {
@@ -55,6 +75,10 @@ impl ThreadCtx {
             log_block: Cell::new(std::ptr::null()),
             log_pos: Cell::new(0),
             descriptor: Cell::new(std::ptr::null()),
+            pool_heads: [const { Cell::new(std::ptr::null_mut()) }; POOL_CLASSES],
+            pool_counts: [const { Cell::new(0) }; POOL_CLASSES],
+            pool_hits: Cell::new(0),
+            pool_cached_published: Cell::new(0),
         }
     }
 
@@ -106,11 +130,47 @@ impl ThreadCtx {
         self.log_block.set(std::ptr::null());
         self.log_pos.set(0);
         self.descriptor.set(std::ptr::null());
+        // Drain the allocator magazines through the registered exit hook,
+        // as a real thread exit would, so pooled workers start every
+        // execution with empty magazines.
+        run_exit_hook(self);
+    }
+}
+
+/// Thread-exit hook installed by the pool layer (`flock-epoch`): flushes
+/// the magazines to the global pool when a `ThreadCtx` is dropped. This
+/// crate cannot name the pool, so the hook is registered as a bare fn.
+///
+/// Stored as a raw fn pointer; null means "not registered". `Relaxed` is
+/// sufficient everywhere: the value, once non-null, never changes (the
+/// pool registers one function exactly), a fn pointer carries no data to
+/// synchronize, and any thread whose magazines are non-empty has itself
+/// loaded or stored a non-null hook on the fill path — per-location
+/// coherence then keeps its exit-time load from going back to null.
+static EXIT_HOOK: AtomicPtr<()> = AtomicPtr::new(std::ptr::null_mut());
+
+/// Register `hook` to run when any `ThreadCtx` is dropped (thread exit).
+/// Idempotent and cheap (a `Relaxed` load on the already-registered path),
+/// so callers may invoke it from moderately hot code.
+pub fn register_thread_exit_hook(hook: fn(&ThreadCtx)) {
+    if EXIT_HOOK.load(Ordering::Relaxed).is_null() {
+        EXIT_HOOK.store(hook as *mut (), Ordering::Relaxed);
+    }
+}
+
+fn run_exit_hook(tc: &ThreadCtx) {
+    let h = EXIT_HOOK.load(Ordering::Relaxed);
+    if !h.is_null() {
+        // SAFETY: `h` was stored from a `fn(&ThreadCtx)` in
+        // `register_thread_exit_hook` and never changes once set.
+        let hook: fn(&ThreadCtx) = unsafe { std::mem::transmute(h) };
+        hook(tc);
     }
 }
 
 impl Drop for ThreadCtx {
     fn drop(&mut self) {
+        run_exit_hook(self);
         let t = self.tid.get();
         if t != TID_UNCLAIMED {
             tid::release_id(ThreadId(t));
@@ -128,6 +188,15 @@ thread_local! {
 #[inline]
 pub fn with<R>(f: impl FnOnce(&ThreadCtx) -> R) -> R {
     CTX.with(|tc| f(tc))
+}
+
+/// Like [`with`], but returns `None` instead of panicking when the
+/// context has already been destroyed (TLS teardown). The pool layer's
+/// free paths can run from other crates' TLS destructors — e.g. the epoch
+/// collector's local-bag drop — and fall back to the global pool then.
+#[inline]
+pub fn try_with<R>(f: impl FnOnce(&ThreadCtx) -> R) -> Option<R> {
+    CTX.try_with(|tc| f(tc)).ok()
 }
 
 #[cfg(test)]
