@@ -320,24 +320,32 @@ pub mod testing {
     /// not overlap within one test process.
     static MODE_TEST_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
 
-    /// Run `test` under both lock modes (lock-free first), restoring
-    /// lock-free afterwards. Serialized against every other mode-touching
-    /// test in the process.
+    /// Run `test` under the full lock-mode × admission-policy matrix
+    /// (lock-free/`Race` first), restoring lock-free + `Race` afterwards.
+    /// Structures built inside `test` via their plain `::new()` constructors
+    /// read [`flock_core::default_admission`] at construction, so every
+    /// combination exercises locks actually stamped with that policy.
+    /// Serialized against every other mode-touching test in the process.
     pub fn both_modes(test: impl Fn()) {
-        use flock_core::{LockMode, set_lock_mode};
+        use flock_core::{Admission, LockMode, set_default_admission, set_lock_mode};
         let _guard = MODE_TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
         for mode in [LockMode::LockFree, LockMode::Blocking] {
-            set_lock_mode(mode);
-            test();
+            for admission in [Admission::Race, Admission::Fifo] {
+                set_lock_mode(mode);
+                set_default_admission(admission);
+                test();
+            }
         }
         set_lock_mode(LockMode::LockFree);
+        set_default_admission(Admission::Race);
     }
 
-    /// Run `test` in the (default) lock-free mode while holding the same
-    /// exclusion as [`both_modes`].
+    /// Run `test` in the default configuration (lock-free mode, `Race`
+    /// admission) while holding the same exclusion as [`both_modes`].
     pub fn exclusive(test: impl Fn()) {
         let _guard = MODE_TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
         flock_core::set_lock_mode(flock_core::LockMode::LockFree);
+        flock_core::set_default_admission(flock_core::Admission::Race);
         test();
     }
 
@@ -576,6 +584,101 @@ pub mod testing {
             assert_eq!(map.remove(k), present, "hot key {k} in incoherent state");
             assert!(!map.contains(k), "hot key {k} still present after removal");
         }
+    }
+
+    /// Hot-lock fairness storm: `threads` workers hammer **one** strict
+    /// [`flock_core::Locked`] cell (built with `admission`) for `window`,
+    /// returning each worker's completed-op count. All workers rendezvous on
+    /// a barrier before the clock starts, so the counts measure admission
+    /// order under contention, not spawn skew. Run it inside [`exclusive`]:
+    /// the strict acquisitions must happen in lock-free mode for the
+    /// admission policy (and helping) to be in play.
+    ///
+    /// `cs_spin` is a pure compute loop run inside the critical section
+    /// (iterations of a dependent multiply-add; ~1ns each). It controls
+    /// what the counts measure: with an empty critical section on an
+    /// oversubscribed host, the scheduled thread completes thousands of
+    /// solo acquisitions per timeslice (every other thread's single pending
+    /// arrival is long since drained), so per-thread counts degenerate into
+    /// CPU-share accounting and say nothing about admission. A critical
+    /// section long enough that draining the published arrivals fills a
+    /// timeslice keeps the lock saturated: completions then flow through
+    /// helping and handoff in admission order, which is the thing a lock
+    /// fairness benchmark is supposed to observe.
+    ///
+    /// `think` is an out-of-lock sleep between operations (pass
+    /// `Duration::ZERO` for a pure back-to-back storm). Think time is what
+    /// decouples completed-op counts from raw CPU share on an
+    /// oversubscribed host: a sleeping thread is not runnable, so its count
+    /// is bounded by cycles of `think + wait-for-service`, not by timeslice
+    /// accounting. Under FIFO admission the wait is uniform — a published
+    /// arrival is served in ticket order by handoff and helping even while
+    /// its owner is descheduled — while under Race admission a thread only
+    /// wins by being *scheduled at an unlocked instant*, a lottery whose
+    /// repeated losers show up directly in the count spread.
+    pub fn hot_lock_storm(
+        admission: flock_core::Admission,
+        threads: usize,
+        window: std::time::Duration,
+        cs_spin: u32,
+        think: std::time::Duration,
+    ) -> Vec<u64> {
+        use std::sync::{Arc, Barrier};
+        use std::time::Instant;
+        let cell = Arc::new(flock_core::Locked::new_with(
+            flock_core::Mutable::new(0u64),
+            admission,
+        ));
+        let start = Arc::new(Barrier::new(threads));
+        let mut counts = vec![0u64; threads];
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..threads)
+                .map(|_| {
+                    let cell = Arc::clone(&cell);
+                    let start = Arc::clone(&start);
+                    s.spawn(move || {
+                        start.wait();
+                        let deadline = Instant::now() + window;
+                        let mut n = 0u64;
+                        while Instant::now() < deadline {
+                            cell.with(move |c| {
+                                let cur = c.load();
+                                // Pure local compute (replay-safe: no logged
+                                // effects); black_box keeps it material.
+                                let mut x = cur;
+                                for i in 0..cs_spin as u64 {
+                                    x = std::hint::black_box(
+                                        x.wrapping_mul(6364136223846793005).wrapping_add(i),
+                                    );
+                                }
+                                std::hint::black_box(x);
+                                c.store(cur + 1);
+                            });
+                            n += 1;
+                            if !think.is_zero() {
+                                std::thread::sleep(think);
+                            }
+                        }
+                        n
+                    })
+                })
+                .collect();
+            for (slot, h) in counts.iter_mut().zip(handles) {
+                *slot = h.join().expect("storm worker panicked");
+            }
+        });
+        let total: u64 = counts.iter().sum();
+        let observed = cell.with(|c| c.load());
+        assert_eq!(observed, total, "hot cell lost increments under the storm");
+        counts
+    }
+
+    /// Max/min completed-op ratio of a [`hot_lock_storm`] count vector.
+    /// A starved thread (count 0) maps to `f64::INFINITY`.
+    pub fn fairness_ratio(counts: &[u64]) -> f64 {
+        let max = counts.iter().copied().max().unwrap_or(0) as f64;
+        let min = counts.iter().copied().min().unwrap_or(0) as f64;
+        if min == 0.0 { f64::INFINITY } else { max / min }
     }
 
     /// Exercise the provided-method surface (`contains`, `update`,
@@ -1650,5 +1753,51 @@ mod tests {
         assert!((&r).insert(5, 6));
         assert_eq!(Map::get(&r, 5), Some(6));
         assert!((&r).has_atomic_update(), "capability forwards through refs");
+    }
+
+    /// Hot-lock storm at 8 threads: FIFO admission must keep the per-thread
+    /// completed-op spread bounded. The `Race` run is the baseline being
+    /// beaten — its CAS-race admission gives no per-thread guarantee, and
+    /// its measured max/min spread routinely lands anywhere from ~1.5x to
+    /// unbounded (a thread that keeps losing the install race completes
+    /// arbitrarily few ops), so only liveness is asserted for it here; the
+    /// quantitative comparison lives in the `-fair` bench series
+    /// (EXPERIMENTS.md §11).
+    #[test]
+    fn no_starvation_under_contention() {
+        use flock_core::Admission;
+        use std::time::Duration;
+        const THREADS: usize = 8;
+        const WINDOW: Duration = Duration::from_millis(200);
+        // ~10µs of critical-section compute: enough to keep the hot lock
+        // saturated (see hot_lock_storm docs) while the 200ms window still
+        // collects thousands of ops per thread.
+        const CS_SPIN: u32 = 10_000;
+        testing::exclusive(|| {
+            let race =
+                testing::hot_lock_storm(Admission::Race, THREADS, WINDOW, CS_SPIN, Duration::ZERO);
+            // Baseline: every thread must at least stay live (helping
+            // guarantees system-wide progress, not individual fairness).
+            assert!(
+                race.iter().sum::<u64>() > 0,
+                "race storm made no progress at all"
+            );
+
+            let fifo =
+                testing::hot_lock_storm(Admission::Fifo, THREADS, WINDOW, CS_SPIN, Duration::ZERO);
+            let ratio = testing::fairness_ratio(&fifo);
+            assert!(
+                fifo.iter().all(|&n| n > 0),
+                "a FIFO waiter was starved outright: {fifo:?}"
+            );
+            // Generous bound: FIFO handoff keeps admission near round-robin,
+            // so the spread should be small; the slack absorbs scheduler
+            // noise on oversubscribed CI boxes, while still being far below
+            // what a pathological Race schedule can produce.
+            assert!(
+                ratio <= 6.0,
+                "FIFO max/min completed-op ratio {ratio:.2} out of bounds: {fifo:?}"
+            );
+        });
     }
 }

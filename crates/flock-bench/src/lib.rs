@@ -368,10 +368,15 @@ fn run_scan_experiment<M: OrderedMap<u64, u64> + ?Sized>(map: &M, cfg: &Config) 
     let _ = scan_timed_run(map, cfg, 0);
     let mut mops = Vec::with_capacity(cfg.repeats);
     let mut total_ops = 0u64;
+    let mut per_thread_ops = vec![0u64; cfg.threads];
     for r in 0..cfg.repeats {
         let t0 = Instant::now();
-        let ops = scan_timed_run(map, cfg, r + 1);
+        let counts = scan_timed_run(map, cfg, r + 1);
         let secs = t0.elapsed().as_secs_f64();
+        let ops: u64 = counts.iter().sum();
+        for (acc, c) in per_thread_ops.iter_mut().zip(&counts) {
+            *acc += c;
+        }
         total_ops += ops;
         mops.push(ops as f64 / secs / 1e6);
     }
@@ -386,17 +391,21 @@ fn run_scan_experiment<M: OrderedMap<u64, u64> + ?Sized>(map: &M, cfg: &Config) 
         mops_mean: mean,
         mops_stddev: var.sqrt(),
         total_ops,
+        per_thread_ops,
         config: cfg.clone(),
     }
 }
 
-fn scan_timed_run<M: OrderedMap<u64, u64> + ?Sized>(map: &M, cfg: &Config, run_idx: usize) -> u64 {
+fn scan_timed_run<M: OrderedMap<u64, u64> + ?Sized>(
+    map: &M,
+    cfg: &Config,
+    run_idx: usize,
+) -> Vec<u64> {
     let stop = AtomicBool::new(false);
-    let total = AtomicU64::new(0);
+    let counts: Vec<AtomicU64> = (0..cfg.threads).map(|_| AtomicU64::new(0)).collect();
     std::thread::scope(|s| {
-        for t in 0..cfg.threads {
+        for (t, slot) in counts.iter().enumerate() {
             let stop = &stop;
-            let total = &total;
             let map = &*map;
             s.spawn(move || {
                 let mut rng = SplitMix64::new(
@@ -425,13 +434,13 @@ fn scan_timed_run<M: OrderedMap<u64, u64> + ?Sized>(map: &M, cfg: &Config, run_i
                     }
                     ops += 1;
                 }
-                total.fetch_add(ops, Ordering::Relaxed);
+                slot.store(ops, Ordering::Relaxed);
             });
         }
         std::thread::sleep(cfg.run_duration);
         stop.store(true, Ordering::SeqCst);
     });
-    total.load(Ordering::Relaxed)
+    counts.into_iter().map(|c| c.into_inner()).collect()
 }
 
 /// Emit a CSV file under `results/` and echo rows to stdout.

@@ -1,0 +1,287 @@
+//! Pluggable **lock admission**: who gets a contended lock next.
+//!
+//! The paper's lock-free lock leaves admission implicit: every strict-lock
+//! waiter races a CAS to install its descriptor on the lock word, and the
+//! cache-luckiest thread wins. That is the fastest policy and the one every
+//! benchmark in the paper uses, but under a hot lock it is measurably
+//! unfair — the same core can win the race many times in a row while other
+//! threads starve (see EXPERIMENTS.md §11). This module factors the
+//! admission decision out of `Lock` into a compile-time strategy so the
+//! race stays the zero-cost default while a FIFO-ish **constant handoff**
+//! variant can be selected per lock:
+//!
+//! * [`Race`] — CAS-race admission, exactly the paper's behavior. Every
+//!   hook is an inlined no-op; `Lock`'s strict-acquire loop instantiated at
+//!   `Race` compiles to the same code the pre-policy implementation had
+//!   (the CI bench gate keeps this honest).
+//! * [`Fifo`] — arriving strict-lock waiters publish an **arrival word**
+//!   ([`flock_sync::wait_slot`]): which lock, a global arrival ticket, and
+//!   the descriptor (pointer + slab generation) they want installed. A
+//!   releasing owner scans for the oldest eligible arrival and CAMs the
+//!   lock word *directly* from its own descriptor to the waiter's — a
+//!   constant handoff that never reopens the race. Younger waiters defer
+//!   installation while an older eligible arrival is published — and a
+//!   younger waiter that finds the word *unlocked* anyway does not merely
+//!   spin: it installs the oldest arrival's descriptor on its behalf
+//!   (**proxy admission**, [`Admit::Proxy`]) and helps run it, so the
+//!   queue head is admitted in ticket order even while its thread is
+//!   descheduled.
+//!
+//! ## Why FIFO handoff keeps lock-free progress
+//!
+//! Queue locks convoy: if the thread at the head of the queue stalls, every
+//! successor waits behind it. Flock's descriptors dissolve the convoy in
+//! both directions:
+//!
+//! * A **stalled waiter that was handed the lock** holds it only in the
+//!   sense that its *descriptor* is installed — any helper (including the
+//!   other waiters' wait loops) runs the thunk to completion on its behalf,
+//!   exactly as for a stalled CAS-race winner.
+//! * A **stalled waiter that was never handed the lock** is skippable: its
+//!   eligibility is revalidated on every scan ([`candidate_eligible`]), so
+//!   once its descriptor completes (run by anyone) its slot stops matching
+//!   and both the handoff scan and younger waiters' deference ignore it.
+//! * Deference itself is **bounded** ([`DEFER_LIMIT`]): a waiter that has
+//!   deferred that many times installs anyway. Fairness degrades to the
+//!   race; progress never blocks on another thread's scheduling.
+//!
+//! ## Safety argument for the handoff
+//!
+//! The releasing owner scans and CAMs **while still holding the lock**: the
+//! lock word provably contains the owner's own descriptor until the handoff
+//! CAM itself. A candidate accepted by [`candidate_eligible`] (generation
+//! matches the published value, not done) is therefore a descriptor whose
+//! owner is currently in its wait loop — waiters retract or republish their
+//! slot only *after* their descriptor is done — so installing it effects
+//! exactly the install the waiter itself was waiting to perform. Torn slot
+//! reads (module docs in `wait_slot`) fail the generation check and are
+//! skipped. The CAM goes through `Mutable::cam_in`, which re-reads the word
+//! and compares values before swapping: if a helper already completed and
+//! released the owner's descriptor (so the owner no longer holds the lock),
+//! the handoff degrades to a silent no-op and the lock stays released.
+//!
+//! **Proxy admission** installs from an *unlocked* word without holding
+//! the lock, so its safety leans on two extra facts. First, an unlocked
+//! word means every previously-installed descriptor already released, and
+//! release is sequenced after `set_done` — so a scanned candidate that
+//! passes the `!done` check was never installed, or the install raced and
+//! the value-compared CAM fails harmlessly. Second, the scanning waiter
+//! holds an epoch pin for the whole wait, and published descriptors only
+//! retire through the epoch collector (see [`Fifo::arrive`]): a candidate
+//! that completes between scan and CAM cannot be reinitialized under the
+//! scanner's feet, so the worst case is installing an already-done
+//! descriptor — which helpers replay as a no-op and release.
+//!
+//! Admission is a **per-lock property fixed at construction**
+//! ([`Lock::new_with`](crate::Lock::new_with)), carried in dedicated low
+//! bits of the lock word so that every unlock CAM — owner, helper, or
+//! blocking-mode release — preserves it for free.
+
+use flock_sync::chaos::{self, Seam};
+use flock_sync::{ThreadCtx, wait_slot};
+
+use crate::descriptor::Descriptor;
+
+/// Runtime selector for a lock's admission policy. The policy is stamped
+/// on the lock word at construction ([`Lock::new_with`](crate::Lock::new_with))
+/// and never changes; `Lock::new` reads the process default from
+/// [`crate::config::default_admission`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Admission {
+    /// CAS-race admission — the paper's implicit policy and the default.
+    /// Fastest; fairness is whatever the cache hierarchy hands out.
+    #[default]
+    Race,
+    /// FIFO-ish constant handoff — releasing owners hand the lock word to
+    /// the oldest published waiter. Bounded unfairness under contention at
+    /// some throughput cost; lock-free progress is preserved (module docs).
+    Fifo,
+}
+
+mod sealed {
+    pub trait Sealed {}
+    impl Sealed for super::Race {}
+    impl Sealed for super::Fifo {}
+}
+
+/// Marker trait for admission policy types ([`Race`], [`Fifo`]). Sealed:
+/// the policy hooks pattern-match on crate-internal protocol state
+/// (descriptors, lock words), so external policies cannot be supported
+/// without exposing the protocol's unsafe internals.
+pub trait AdmissionPolicy: sealed::Sealed + 'static {}
+
+/// CAS-race admission (zero-sized). See [`Admission::Race`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Race;
+
+/// FIFO constant-handoff admission (zero-sized). See [`Admission::Fifo`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Fifo;
+
+impl AdmissionPolicy for Race {}
+impl AdmissionPolicy for Fifo {}
+
+/// How many times a FIFO waiter defers installation to an older published
+/// arrival before installing anyway (barging). This is the lock-freedom
+/// valve: an older waiter whose thread is descheduled forever must not
+/// block younger waiters, and once its descriptor is completed by a helper
+/// it stops being deferred to at all — the limit only matters in the window
+/// before any helper runs it. The limit must sit well above any plausible
+/// waiter count: with proxy admission each deferral *installs* the older
+/// arrival (so deferrals make progress for the queue), and a limit near the
+/// thread count lets a freshly-arrived waiter under full contention burn
+/// through its budget on legitimately-older arrivals and then barge —
+/// reintroducing race-style admission exactly in the regime the policy
+/// exists for. Small under the model checker to keep exhaustive
+/// interleaving counts tractable while still exploring the barge path.
+pub(crate) const DEFER_LIMIT: u32 = if cfg!(feature = "model") { 3 } else { 4096 };
+
+/// What a waiter that found the lock word **unlocked** should do with it,
+/// per its admission policy.
+pub(crate) enum Admit {
+    /// Install this waiter's own descriptor (race winner, front of the
+    /// queue, or past the deference bound).
+    Own,
+    /// An **older** published arrival exists: install *its* descriptor on
+    /// the word instead (proxy admission), then keep waiting. Without this,
+    /// an unlocked word whose oldest waiter is descheduled makes every
+    /// younger waiter spin uselessly until the deference bound — the
+    /// admission-side analogue of helping, and the reason FIFO order
+    /// survives oversubscription (the queue head need not be running to be
+    /// admitted).
+    Proxy(*const Descriptor),
+}
+
+/// Crate-internal admission hooks, implemented by [`Race`] and [`Fifo`].
+/// Split from the public sealed marker because the hook signatures mention
+/// `pub(crate)` protocol types. `Lock`'s strict-acquire loop is generic
+/// over this trait; `Race`'s inlined no-ops make that instantiation
+/// compile to the pre-policy code exactly.
+pub(crate) trait AdmissionOps: AdmissionPolicy {
+    /// Does this policy hand the lock word off at release (and must the
+    /// wait loop therefore watch for its own descriptor being installed)?
+    const HANDOFF: bool;
+
+    /// Per-wait state created by [`Self::arrive`]. `Fifo`'s arrival clears
+    /// its wait slot on drop, so departure is automatic on every exit path
+    /// from the wait loop — including unwinds.
+    type Arrival;
+
+    /// Called once per strict-lock wait, after the descriptor is created
+    /// and before the wait loop's first iteration.
+    fn arrive(tc: &ThreadCtx, lock_addr: usize, d: *const Descriptor) -> Self::Arrival;
+
+    /// The waiter observed the lock word unlocked: may it install its own
+    /// descriptor, or should an older arrival be admitted first?
+    fn admit(lock_addr: usize, arrival: &mut Self::Arrival) -> Admit;
+}
+
+impl AdmissionOps for Race {
+    const HANDOFF: bool = false;
+    type Arrival = ();
+
+    #[inline(always)]
+    fn arrive(_tc: &ThreadCtx, _lock_addr: usize, _d: *const Descriptor) {}
+
+    #[inline(always)]
+    fn admit(_lock_addr: usize, _arrival: &mut ()) -> Admit {
+        Admit::Own
+    }
+}
+
+/// A FIFO waiter's published arrival. Dropped (and the slot thereby
+/// retracted) only **after** the wait concludes — the waiter's descriptor
+/// is done by then, so the stale slot is inert: [`candidate_eligible`]
+/// rejects done descriptors, which is exactly what makes that revalidation
+/// load-bearing (and its removal a catchable mutant, see `mutants`).
+pub(crate) struct FifoArrival {
+    tid: usize,
+    ticket: u64,
+    deferrals: u32,
+}
+
+impl Drop for FifoArrival {
+    fn drop(&mut self) {
+        wait_slot::clear(self.tid);
+    }
+}
+
+impl AdmissionOps for Fifo {
+    const HANDOFF: bool = true;
+    type Arrival = FifoArrival;
+
+    fn arrive(tc: &ThreadCtx, lock_addr: usize, d: *const Descriptor) -> FifoArrival {
+        let tid = tc.tid().0;
+        let ticket = wait_slot::next_ticket();
+        // SAFETY: `d` is this thread's own just-created, not-yet-installed
+        // descriptor; reading its generation is trivially in-lifetime.
+        let generation = unsafe { (*d).generation() };
+        // Publishing the descriptor in a wait slot shares it with handoff
+        // and deference scanners, so it must never take the immediate-reuse
+        // path on completion: a scanner still pinned from before our
+        // departure could otherwise observe the slab mid-reinitialization
+        // (`done` already cleared, generation not yet bumped, thunk not yet
+        // set) and hand the lock to a half-built descriptor. Marking it
+        // helped up front forces `dispose_top_level` through the epoch
+        // collector, whose grace period outlasts every such scanner.
+        // SAFETY: as above.
+        unsafe { (*d).mark_helped() };
+        wait_slot::publish(tid, lock_addr, ticket, d as u64, generation);
+        // Slot is public but the wait loop has not started: the convoy
+        // hazard seam (a thread parked here forever may still be handed
+        // the lock; helpers and the done-check keep everyone else moving).
+        chaos::probe(Seam::FifoArrived);
+        FifoArrival {
+            tid,
+            ticket,
+            deferrals: 0,
+        }
+    }
+
+    fn admit(lock_addr: usize, arrival: &mut FifoArrival) -> Admit {
+        if arrival.deferrals >= DEFER_LIMIT {
+            // Bounded deference: prefer progress over fairness from here on.
+            return Admit::Own;
+        }
+        match wait_slot::oldest_waiter(lock_addr, candidate_eligible) {
+            Some(w) if w.ticket < arrival.ticket => {
+                arrival.deferrals += 1;
+                Admit::Proxy(w.desc as usize as *const Descriptor)
+            }
+            _ => Admit::Own,
+        }
+    }
+}
+
+/// Is a scanned `(desc, generation)` arrival candidate still worth granting the
+/// lock to? Shared by the releasing owner's handoff scan and younger
+/// waiters' deference checks.
+///
+/// Rejects candidates whose descriptor slab has been reincarnated since
+/// publication (generation mismatch — also covers torn slot reads) and
+/// candidates whose operation already completed (done — covers both
+/// helper-completed waiters, which must be *skipped not convoyed behind*,
+/// and the publisher's own slot in the release-to-depart window).
+///
+/// # Safety of the dereference
+///
+/// `desc` was published as a real `Descriptor` pointer, and descriptor
+/// slabs are never returned to the allocator once they may have been
+/// shared — retirement recycles them through the epoch collector into the
+/// immortal slab pool (`descriptor.rs` module docs). Reading the atomic
+/// `generation`/`done` words of a recycled slab is therefore always a
+/// valid (if stale) read; staleness is exactly what the generation
+/// comparison then filters.
+pub(crate) fn candidate_eligible(desc: u64, generation: u64) -> bool {
+    let d = desc as usize as *const Descriptor;
+    if d.is_null() {
+        return false;
+    }
+    #[cfg(feature = "model")]
+    if crate::mutants::fifo_skip_validation() {
+        return true;
+    }
+    // SAFETY: see the function docs — published descriptor slabs are
+    // immortal, so the atomic field reads are always in-bounds.
+    unsafe { (*d).generation() == generation && !(*d).is_done() }
+}

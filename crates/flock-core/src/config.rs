@@ -1,0 +1,133 @@
+//! Global runtime configuration, unified in **one atomic config word**.
+//!
+//! Three knobs share the word (PR 10; previously `set_lock_mode` and
+//! `set_helping` were two ad-hoc statics with separate orderings):
+//!
+//! * **Lock mode** (bit 0): lock-free (descriptor + helping) vs blocking
+//!   (TTAS) implementations of every [`Lock`](crate::Lock) operation —
+//!   the paper's runtime-switchable mode.
+//! * **Helping** (bit 1, inverted: set = disabled): the ablation hook that
+//!   turns off helping so its cost/benefit can be measured. Disabling it
+//!   forfeits lock-freedom.
+//! * **Default admission** (bit 2): the [`Admission`] policy
+//!   [`Lock::new`](crate::Lock::new) stamps on newly created locks —
+//!   CAS-race (the paper's implicit policy) or FIFO handoff. Pre-existing
+//!   locks keep the policy they were created with; see the `admission`
+//!   module docs in `lock.rs` for the protocol.
+//!
+//! All three are *configuration*, not protocol state: they are meant to be
+//! flipped only while no Flock operations are in flight (between benchmark
+//! phases, at test boundaries), and mixing values on live locks is
+//! unsupported. They deliberately live in a **plain std atomic** — not the
+//! `flock_sync::atomic` shim — so the model checker does not turn every
+//! configuration read into a scheduling point. All protocol state on the
+//! hot paths lives in `Mutable`/`Descriptor`, which do route through the
+//! shim.
+//!
+//! Setters publish with `SeqCst`; the hot-path getters load `Relaxed` (one
+//! load, no fence), which is exactly the visibility the "only while
+//! quiescent" contract needs.
+
+use std::sync::atomic::{AtomicU32, Ordering};
+
+use crate::admission::Admission;
+use crate::lock::LockMode;
+
+/// Bit 0: set = blocking mode, clear = lock-free mode.
+const MODE_BLOCKING: u32 = 1 << 0;
+/// Bit 1: set = helping **disabled** (clear-by-default keeps the zero word
+/// meaning "lock-free, helping on, race admission").
+const HELPING_OFF: u32 = 1 << 1;
+/// Bit 2: set = newly created locks default to FIFO admission.
+const ADMISSION_FIFO: u32 = 1 << 2;
+
+/// The config word. Zero = the defaults: lock-free mode, helping enabled,
+/// race admission.
+static CONFIG: AtomicU32 = AtomicU32::new(0);
+
+#[inline]
+fn set_bit(bit: u32, on: bool) {
+    if on {
+        CONFIG.fetch_or(bit, Ordering::SeqCst);
+    } else {
+        CONFIG.fetch_and(!bit, Ordering::SeqCst);
+    }
+}
+
+/// Select the global lock mode.
+///
+/// Must only be changed while no Flock operations are in flight (e.g.
+/// between benchmark phases); mixing modes on a live lock is not supported,
+/// matching the C++ library's runtime flag.
+pub fn set_lock_mode(mode: LockMode) {
+    set_bit(MODE_BLOCKING, mode == LockMode::Blocking);
+}
+
+/// The current global lock mode.
+#[inline]
+pub fn lock_mode() -> LockMode {
+    if CONFIG.load(Ordering::Relaxed) & MODE_BLOCKING == 0 {
+        LockMode::LockFree
+    } else {
+        LockMode::Blocking
+    }
+}
+
+/// Enable/disable helping (ablation hook): when disabled, a lock-free
+/// `try_lock` that finds the lock taken simply fails without running the
+/// holder's thunk. This forfeits lock-freedom and exists only to measure
+/// what helping costs/buys. Not meant to be toggled while operations run.
+pub fn set_helping(enabled: bool) {
+    set_bit(HELPING_OFF, !enabled);
+}
+
+/// Is helping currently enabled?
+#[inline]
+pub(crate) fn helping_enabled() -> bool {
+    CONFIG.load(Ordering::Relaxed) & HELPING_OFF == 0
+}
+
+/// Set the [`Admission`] policy that [`Lock::new`](crate::Lock::new) (and
+/// every structure constructor that does not select one explicitly) stamps
+/// on **newly created** locks. Existing locks keep their policy — admission
+/// is a per-lock property fixed at construction.
+pub fn set_default_admission(admission: Admission) {
+    set_bit(ADMISSION_FIFO, admission == Admission::Fifo);
+}
+
+/// The admission policy newly created locks receive by default.
+#[inline]
+pub fn default_admission() -> Admission {
+    if CONFIG.load(Ordering::Relaxed) & ADMISSION_FIFO == 0 {
+        Admission::Race
+    } else {
+        Admission::Fifo
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The three knobs pack into one word without clobbering each other.
+    #[test]
+    fn knobs_are_independent() {
+        let _guard = crate::lock::TEST_MODE_LOCK
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
+        set_lock_mode(LockMode::Blocking);
+        set_helping(false);
+        set_default_admission(Admission::Fifo);
+        assert_eq!(lock_mode(), LockMode::Blocking);
+        assert!(!helping_enabled());
+        assert_eq!(default_admission(), Admission::Fifo);
+        set_lock_mode(LockMode::LockFree);
+        assert!(!helping_enabled(), "mode write must not clobber helping");
+        assert_eq!(default_admission(), Admission::Fifo);
+        set_helping(true);
+        set_default_admission(Admission::Race);
+        assert_eq!(lock_mode(), LockMode::LockFree);
+        assert!(helping_enabled());
+        assert_eq!(default_admission(), Admission::Race);
+    }
+}

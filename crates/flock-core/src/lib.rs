@@ -49,6 +49,8 @@
 
 #![warn(missing_docs)]
 
+pub mod admission;
+pub mod config;
 mod ctx;
 mod descriptor;
 #[cfg(test)]
@@ -64,6 +66,8 @@ mod mutable;
 pub mod mutants;
 mod value_slot;
 
+pub use admission::{Admission, AdmissionPolicy, Fifo, Race};
+pub use config::{default_admission, lock_mode, set_default_admission, set_helping, set_lock_mode};
 pub use ctx::in_thunk;
 #[cfg(feature = "model")]
 pub use descriptor::model_drain_descriptor_pool;
@@ -71,10 +75,7 @@ pub use descriptor::set_descriptor_reuse;
 pub use idemp::{alloc, retire};
 #[cfg(feature = "model")]
 pub use lock::model_probe;
-pub use lock::{
-    Lock, LockMode, LockVersion, OPTIMISTIC_READ_ATTEMPTS, lock_mode, read_validated, set_helping,
-    set_lock_mode,
-};
+pub use lock::{Lock, LockMode, LockVersion, OPTIMISTIC_READ_ATTEMPTS, read_validated};
 pub use locked::Locked;
 pub use log::{EMPTY, LOG_BLOCK_ENTRIES};
 pub use mutable::{Mutable, UpdateOnce, commit_value};

@@ -67,10 +67,18 @@ impl<T: std::fmt::Debug> std::fmt::Debug for Locked<T> {
 }
 
 impl<T> Locked<T> {
-    /// A new unlocked cell protecting `data`.
+    /// A new unlocked cell protecting `data`, using the process-default
+    /// [`Admission`](crate::Admission) policy.
     pub fn new(data: T) -> Self {
+        Self::new_with(data, crate::config::default_admission())
+    }
+
+    /// A new unlocked cell protecting `data` with an explicit
+    /// [`Admission`](crate::Admission) policy for its lock — see
+    /// [`Lock::new_with`].
+    pub fn new_with(data: T, admission: crate::Admission) -> Self {
         Self {
-            lock: Lock::new(),
+            lock: Lock::new_with(admission),
             data: Arc::new(data),
         }
     }

@@ -572,7 +572,15 @@ mod tests {
             m.store(i);
             assert_eq!(m.load(), i);
         }
-        assert_eq!(unpack_tag(m.raw_packed()), 99);
+        // One tag bump per store. Compute the expectation through the same
+        // wrap function instead of hardcoding 99: the `model` feature (on
+        // whenever flock-model is in the build graph, e.g. workspace-wide
+        // test runs) shrinks the compile-time tag space far below 99.
+        let mut expect = 0u16;
+        for _ in 1..100 {
+            expect = flock_sync::pack::next_tag(expect);
+        }
+        assert_eq!(unpack_tag(m.raw_packed()), expect);
     }
 
     /// Fat values through the indirect repr: load/store/cam round-trips.

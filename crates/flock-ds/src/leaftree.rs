@@ -15,7 +15,7 @@
 //! locks (wait for the holder — helping it first in lock-free mode).
 
 use flock_api::{Key, Map, Value};
-use flock_core::{Lock, Mutable, Sp, UpdateOnce, ValueSlot};
+use flock_core::{Admission, Lock, Mutable, Sp, UpdateOnce, ValueSlot};
 use flock_sync::{ApproxLen, Backoff};
 
 const KIND_INTERNAL: u8 = 0;
@@ -43,12 +43,17 @@ struct Node<K: Key, V: Value> {
 }
 
 impl<K: Key, V: Value> Node<K, V> {
-    fn internal(key: K, left: *mut Node<K, V>, right: *mut Node<K, V>) -> Self {
+    fn internal(
+        key: K,
+        left: *mut Node<K, V>,
+        right: *mut Node<K, V>,
+        admission: Admission,
+    ) -> Self {
         Self {
             left: Mutable::new(left),
             right: Mutable::new(right),
             removed: UpdateOnce::new(false),
-            lock: Lock::new(),
+            lock: Lock::new_with(admission),
             key: Some(key),
             value: None,
             kind: KIND_INTERNAL,
@@ -57,12 +62,12 @@ impl<K: Key, V: Value> Node<K, V> {
     }
 
     /// The root pseudo-internal: no key, routes everything left.
-    fn root(left: *mut Node<K, V>) -> Self {
+    fn root(left: *mut Node<K, V>, admission: Admission) -> Self {
         Self {
             left: Mutable::new(left),
             right: Mutable::new(std::ptr::null_mut()),
             removed: UpdateOnce::new(false),
-            lock: Lock::new(),
+            lock: Lock::new_with(admission),
             key: None,
             value: None,
             kind: KIND_INTERNAL,
@@ -70,12 +75,12 @@ impl<K: Key, V: Value> Node<K, V> {
         }
     }
 
-    fn leaf(key: K, value: V) -> Self {
+    fn leaf(key: K, value: V, admission: Admission) -> Self {
         Self {
             left: Mutable::new(std::ptr::null_mut()),
             right: Mutable::new(std::ptr::null_mut()),
             removed: UpdateOnce::new(false),
-            lock: Lock::new(),
+            lock: Lock::new_with(admission),
             key: Some(key),
             value: Some(ValueSlot::new(value)),
             kind: KIND_LEAF,
@@ -83,12 +88,12 @@ impl<K: Key, V: Value> Node<K, V> {
         }
     }
 
-    fn empty_leaf() -> Self {
+    fn empty_leaf(admission: Admission) -> Self {
         Self {
             left: Mutable::new(std::ptr::null_mut()),
             right: Mutable::new(std::ptr::null_mut()),
             removed: UpdateOnce::new(false),
-            lock: Lock::new(),
+            lock: Lock::new_with(admission),
             key: None,
             value: None,
             kind: KIND_EMPTY,
@@ -117,6 +122,8 @@ impl<K: Key, V: Value> Node<K, V> {
 pub struct LeafTree<K: Key, V: Value> {
     root: *mut Node<K, V>,
     strict: bool,
+    /// Admission policy stamped on every node lock this tree creates.
+    admission: Admission,
     label: &'static str,
     /// Maintained element count backing `len_approx`.
     count: ApproxLen,
@@ -152,19 +159,31 @@ where
 impl<K: Key, V: Value> LeafTree<K, V> {
     /// An empty tree using try-locks (the paper's preferred discipline).
     pub fn new() -> Self {
-        Self::build(false, "leaftree")
+        Self::build(false, "leaftree", flock_core::default_admission())
     }
 
     /// An empty tree using strict locks (waits instead of restarting).
     pub fn new_strict() -> Self {
-        Self::build(true, "leaftree-strict")
+        Self::build(true, "leaftree-strict", flock_core::default_admission())
     }
 
-    fn build(strict: bool, label: &'static str) -> Self {
-        let empty = flock_epoch::alloc(Node::empty_leaf());
+    /// An empty try-lock tree whose node locks all use `admission`
+    /// (see [`flock_core::admission`]).
+    pub fn with_admission(admission: Admission) -> Self {
+        Self::build(false, "leaftree", admission)
+    }
+
+    /// An empty strict-lock tree whose node locks all use `admission`.
+    pub fn new_strict_with_admission(admission: Admission) -> Self {
+        Self::build(true, "leaftree-strict", admission)
+    }
+
+    fn build(strict: bool, label: &'static str, admission: Admission) -> Self {
+        let empty = flock_epoch::alloc(Node::empty_leaf(admission));
         Self {
-            root: flock_epoch::alloc(Node::root(empty)),
+            root: flock_epoch::alloc(Node::root(empty, admission)),
             strict,
+            admission,
             label,
             count: ApproxLen::new(),
         }
@@ -189,6 +208,7 @@ impl<K: Key, V: Value> LeafTree<K, V> {
     /// Insert; `false` if present.
     pub fn insert(&self, k: K, v: V) -> bool {
         let _g = flock_epoch::pin();
+        let admission = self.admission;
         let mut backoff = Backoff::new();
         loop {
             let (_, parent, leaf) = self.search(&k);
@@ -210,7 +230,7 @@ impl<K: Key, V: Value> LeafTree<K, V> {
                 }
                 if l.kind == KIND_EMPTY {
                     // Empty slot: replace placeholder with the new leaf.
-                    let newl = flock_core::alloc(|| Node::leaf(k2.clone(), v2.clone()));
+                    let newl = flock_core::alloc(|| Node::leaf(k2.clone(), v2.clone(), admission));
                     cell.store(newl);
                     // SAFETY: placeholder unlinked above; retired once.
                     unsafe { flock_core::retire(sp_leaf.ptr()) };
@@ -223,12 +243,12 @@ impl<K: Key, V: Value> LeafTree<K, V> {
                 // (the loser's outer node is freed, but a plain nested
                 // allocation inside it is not).
                 let lk = l.key.clone().expect("real leaf has a key");
-                let new_leaf = flock_core::alloc(|| Node::leaf(k2.clone(), v2.clone()));
+                let new_leaf = flock_core::alloc(|| Node::leaf(k2.clone(), v2.clone(), admission));
                 let newn = flock_core::alloc(|| {
                     if k2 < lk {
-                        Node::internal(lk.clone(), new_leaf, sp_leaf.ptr())
+                        Node::internal(lk.clone(), new_leaf, sp_leaf.ptr(), admission)
                     } else {
-                        Node::internal(k2.clone(), sp_leaf.ptr(), new_leaf)
+                        Node::internal(k2.clone(), sp_leaf.ptr(), new_leaf, admission)
                     }
                 });
                 cell.store(newn);
@@ -248,6 +268,7 @@ impl<K: Key, V: Value> LeafTree<K, V> {
     /// Remove; `false` if absent.
     pub fn remove(&self, k: K) -> bool {
         let _g = flock_epoch::pin();
+        let admission = self.admission;
         let mut backoff = Backoff::new();
         loop {
             let (gparent, parent, leaf) = self.search(&k);
@@ -268,7 +289,7 @@ impl<K: Key, V: Value> LeafTree<K, V> {
                     if cell.load() != sp_leaf.ptr() {
                         return false;
                     }
-                    let empty = flock_core::alloc(Node::empty_leaf);
+                    let empty = flock_core::alloc(move || Node::empty_leaf(admission));
                     cell.store(empty);
                     // SAFETY: unlinked above; idempotent retire.
                     unsafe { flock_core::retire(sp_leaf.ptr()) };

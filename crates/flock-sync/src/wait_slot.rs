@@ -1,0 +1,271 @@
+//! Per-thread **wait slots**: the arrival words of FIFO lock admission.
+//!
+//! A strict-lock waiter under the FIFO admission policy *publishes its
+//! arrival* here before it starts competing for the lock word: which lock
+//! it is waiting on, a globally ordered arrival ticket, and the descriptor
+//! (pointer bits + slab generation) that the releasing owner may install
+//! on the waiter's behalf. The releasing owner scans these slots for the
+//! oldest eligible waiter and hands the lock word to that descriptor
+//! directly instead of reopening the CAS race (`flock_core`'s `admission`
+//! module holds the protocol and its safety argument).
+//!
+//! One slot per thread id, statically sized by [`MAX_THREADS`] like the
+//! announcement and epoch tables, each slot cache-padded so arrivals do
+//! not false-share. Slot atomics route through [`crate::atomic`] — arrival
+//! publication is protocol state, and the model checker must be able to
+//! schedule on it.
+//!
+//! ## Read contract: slots are advisory, descriptors are authoritative
+//!
+//! Scans race with the slot owner clearing and re-publishing. A reader may
+//! therefore observe a *mixed* candidate (e.g. the previous wait's ticket
+//! with the next wait's descriptor). That is deliberate: the registry
+//! promises only that a candidate's `(desc, generation)` pair was once published
+//! here. **Safety** — never installing a descriptor on the wrong lock or
+//! twice — is enforced downstream by the handing-off owner, which
+//! revalidates the candidate against the descriptor's own generation
+//! counter while it still holds the lock (see `admission::try_handoff`).
+//! A torn candidate fails that validation and is skipped; a misordered
+//! ticket costs at most one out-of-order grant, which the FIFO-*ish*
+//! fairness contract tolerates.
+
+use crate::MAX_THREADS;
+use crate::atomic::{AtomicU64, AtomicUsize, Ordering};
+use crate::padded::CachePadded;
+
+/// One thread's arrival word set. `addr == 0` means "not waiting"; a
+/// published slot's `ticket` is never 0 (tickets start at 1).
+pub struct WaitSlot {
+    /// Address of the lock being waited on; 0 = slot empty.
+    addr: AtomicUsize,
+    /// Global arrival order (from [`next_ticket`]); valid while published.
+    ticket: AtomicU64,
+    /// Descriptor pointer bits the owner may install; valid while published.
+    desc: AtomicU64,
+    /// The descriptor slab's generation at publication time — the handoff
+    /// revalidation token.
+    generation: AtomicU64,
+}
+
+impl WaitSlot {
+    const fn new() -> Self {
+        Self {
+            addr: AtomicUsize::new(0),
+            ticket: AtomicU64::new(0),
+            desc: AtomicU64::new(0),
+            generation: AtomicU64::new(0),
+        }
+    }
+}
+
+/// The slot table, indexed by thread id.
+static SLOTS: [CachePadded<WaitSlot>; MAX_THREADS] =
+    [const { CachePadded::new(WaitSlot::new()) }; MAX_THREADS];
+
+/// The global arrival clock. Monotone; only *relative* order between
+/// concurrently live tickets ever matters, so wraparound (u64, one bump per
+/// strict-lock wait) is out of scope, and the model checker's replay
+/// determinism survives absolute values differing across executions.
+static TICKETS: AtomicU64 = AtomicU64::new(0);
+
+/// One past the highest thread id that ever published a slot: scans touch
+/// only this prefix of the table (monotone per process, like the tid
+/// registry's high-water mark; in steady state it tracks the live thread
+/// count).
+static SLOT_BOUND: AtomicUsize = AtomicUsize::new(0);
+
+/// A scanned arrival candidate. See the module docs for what is (and is
+/// not) guaranteed about a candidate read while its owner republishes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Waiter {
+    /// Publishing thread id.
+    pub tid: usize,
+    /// Arrival ticket (lower = older).
+    pub ticket: u64,
+    /// Published descriptor pointer bits.
+    pub desc: u64,
+    /// Published descriptor generation.
+    pub generation: u64,
+}
+
+/// Draw the next arrival ticket (≥ 1). One RMW per strict-lock *wait*, not
+/// per spin iteration.
+#[inline]
+pub fn next_ticket() -> u64 {
+    TICKETS.fetch_add(1, Ordering::SeqCst) + 1
+}
+
+/// Publish thread `tid`'s arrival at `lock_addr` with the given ticket and
+/// descriptor identity. Field stores happen strictly before the `addr`
+/// store that makes the slot visible to scans (SeqCst throughout: arrival
+/// is once per wait, and the simple ordering keeps the TSO model argument
+/// one line).
+pub fn publish(tid: usize, lock_addr: usize, ticket: u64, desc: u64, generation: u64) {
+    debug_assert!(tid < MAX_THREADS);
+    debug_assert!(lock_addr != 0);
+    let slot = &SLOTS[tid];
+    slot.ticket.store(ticket, Ordering::SeqCst);
+    slot.desc.store(desc, Ordering::SeqCst);
+    slot.generation.store(generation, Ordering::SeqCst);
+    slot.addr.store(lock_addr, Ordering::SeqCst);
+    SLOT_BOUND.fetch_max(tid + 1, Ordering::SeqCst);
+}
+
+/// Retract thread `tid`'s arrival (idempotent; a no-op on an empty slot).
+pub fn clear(tid: usize) {
+    debug_assert!(tid < MAX_THREADS);
+    SLOTS[tid].addr.store(0, Ordering::SeqCst);
+}
+
+/// Is thread `tid` currently publishing an arrival? (Diagnostics/tests.)
+pub fn is_published(tid: usize) -> bool {
+    SLOTS[tid].addr.load(Ordering::SeqCst) != 0
+}
+
+/// Scan for the **oldest** (lowest-ticket) waiter published for
+/// `lock_addr` that `eligible(desc, generation)` accepts. The eligibility hook is
+/// where `flock_core` skips waiters whose descriptor is already done
+/// (stalled-and-completed waiters must be skippable, not a convoy) without
+/// this crate needing to know what a descriptor is.
+pub fn oldest_waiter(lock_addr: usize, eligible: impl Fn(u64, u64) -> bool) -> Option<Waiter> {
+    let mut best: Option<Waiter> = None;
+    let bound = SLOT_BOUND.load(Ordering::SeqCst).min(MAX_THREADS);
+    for (tid, slot) in SLOTS.iter().enumerate().take(bound) {
+        if slot.addr.load(Ordering::SeqCst) != lock_addr {
+            continue;
+        }
+        let w = Waiter {
+            tid,
+            ticket: slot.ticket.load(Ordering::SeqCst),
+            desc: slot.desc.load(Ordering::SeqCst),
+            generation: slot.generation.load(Ordering::SeqCst),
+        };
+        // Re-check the slot is still published for this lock: filters the
+        // common clear-mid-scan race (torn candidates that survive this are
+        // rejected by the caller's generation validation, module docs).
+        if slot.addr.load(Ordering::SeqCst) != lock_addr {
+            continue;
+        }
+        if w.ticket != 0
+            && best.is_none_or(|b| w.ticket < b.ticket)
+            && eligible(w.desc, w.generation)
+        {
+            best = Some(w);
+        }
+    }
+    best
+}
+
+/// Is any waiter with a ticket **strictly older** than `ticket` published
+/// for `lock_addr` (and accepted by `eligible`)? Used by younger FIFO
+/// waiters to defer installation; strict comparison makes a waiter's own
+/// slot self-excluding.
+pub fn older_waiter_exists(
+    lock_addr: usize,
+    ticket: u64,
+    eligible: impl Fn(u64, u64) -> bool,
+) -> bool {
+    let bound = SLOT_BOUND.load(Ordering::SeqCst).min(MAX_THREADS);
+    for slot in SLOTS.iter().take(bound) {
+        if slot.addr.load(Ordering::SeqCst) != lock_addr {
+            continue;
+        }
+        let t = slot.ticket.load(Ordering::SeqCst);
+        let (d, g) = (
+            slot.desc.load(Ordering::SeqCst),
+            slot.generation.load(Ordering::SeqCst),
+        );
+        if slot.addr.load(Ordering::SeqCst) != lock_addr {
+            continue;
+        }
+        if t != 0 && t < ticket && eligible(d, g) {
+            return true;
+        }
+    }
+    false
+}
+
+/// Model-engine global reset (between executions): zero the ticket clock
+/// and the scan bound and empty every slot, so each execution starts from
+/// the state a fresh process has. Both statics are monotone within an
+/// execution; left un-reset they would change the *length* of slot scans
+/// across executions and desynchronize the checker's schedule replay.
+#[cfg(feature = "model")]
+pub fn model_reset_global() {
+    for slot in SLOTS.iter() {
+        slot.addr.store(0, Ordering::SeqCst);
+        slot.ticket.store(0, Ordering::SeqCst);
+        slot.desc.store(0, Ordering::SeqCst);
+        slot.generation.store(0, Ordering::SeqCst);
+    }
+    TICKETS.store(0, Ordering::SeqCst);
+    SLOT_BOUND.store(0, Ordering::SeqCst);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Test tids sit at the top of the table so they never collide with
+    /// real thread-context tids claimed by concurrently running tests.
+    const T0: usize = MAX_THREADS - 3;
+    const T1: usize = MAX_THREADS - 2;
+    const T2: usize = MAX_THREADS - 1;
+
+    // Distinct per-test fake lock addresses keep the shared static table
+    // from cross-talking between tests in one process.
+
+    #[test]
+    fn publish_scan_clear_roundtrip() {
+        let a = 0x1000usize;
+        publish(T0, a, next_ticket(), 0xD0, 7);
+        publish(T1, a, next_ticket(), 0xD1, 8);
+        let w = oldest_waiter(a, |_, _| true).expect("two waiters published");
+        assert_eq!(w.tid, T0, "oldest = first ticket");
+        assert_eq!((w.desc, w.generation), (0xD0, 7));
+        assert!(older_waiter_exists(a, u64::MAX, |_, _| true));
+        assert!(
+            !older_waiter_exists(a, w.ticket, |_, _| true),
+            "self-excluding"
+        );
+        clear(T0);
+        let w = oldest_waiter(a, |_, _| true).expect("one waiter left");
+        assert_eq!(w.tid, T1);
+        clear(T1);
+        assert!(oldest_waiter(a, |_, _| true).is_none());
+        assert!(!is_published(T0));
+    }
+
+    #[test]
+    fn eligibility_filter_skips_candidates() {
+        let a = 0x2000usize;
+        publish(T0, a, next_ticket(), 0xAA, 1);
+        publish(T2, a, next_ticket(), 0xBB, 2);
+        // The oldest is ineligible (e.g. its descriptor is already done):
+        // the scan must fall through to the next-oldest, not give up.
+        let w = oldest_waiter(a, |d, _| d != 0xAA).expect("eligible waiter exists");
+        assert_eq!(w.tid, T2);
+        clear(T0);
+        clear(T2);
+    }
+
+    #[test]
+    fn scans_are_per_lock() {
+        let (a, b) = (0x3000usize, 0x3008usize);
+        publish(T1, a, next_ticket(), 0xCC, 3);
+        assert!(
+            oldest_waiter(b, |_, _| true).is_none(),
+            "other lock is empty"
+        );
+        assert!(!older_waiter_exists(b, u64::MAX, |_, _| true));
+        clear(T1);
+    }
+
+    #[test]
+    fn tickets_are_monotone() {
+        let t1 = next_ticket();
+        let t2 = next_ticket();
+        assert!(t2 > t1);
+        assert!(t1 >= 1, "ticket 0 is reserved for 'unpublished'");
+    }
+}

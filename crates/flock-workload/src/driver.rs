@@ -57,28 +57,72 @@ pub struct Measurement {
     pub mops_stddev: f64,
     /// Total operations executed across all timed runs.
     pub total_ops: u64,
+    /// Operations completed by each worker thread, summed across the timed
+    /// runs (index = worker index). Empty for experiments that predate the
+    /// fairness metrics (e.g. hand-built measurements).
+    pub per_thread_ops: Vec<u64>,
     /// Configuration this was measured under.
     pub config: Config,
 }
 
 impl Measurement {
-    /// CSV row: `name,threads,range,update%,alpha,mops,stddev`.
+    /// Max/min ratio of per-thread op counts — the paper-style headline
+    /// fairness number (1.0 = perfectly fair). A fully starved thread
+    /// (`min == 0`) makes the true ratio infinite; this returns the max
+    /// count itself in that case so the number stays finite (and huge) for
+    /// reports. Returns 1.0 when per-thread counts were not recorded.
+    pub fn max_min_ratio(&self) -> f64 {
+        let Some(&max) = self.per_thread_ops.iter().max() else {
+            return 1.0;
+        };
+        let min = *self.per_thread_ops.iter().min().unwrap();
+        if min == 0 {
+            max as f64
+        } else {
+            max as f64 / min as f64
+        }
+    }
+
+    /// Jain's fairness index over per-thread op counts:
+    /// `(Σx)² / (n · Σx²)`, in `(0, 1]`; 1.0 = perfectly fair, `1/n` =
+    /// one thread did everything. Returns 1.0 when counts were not
+    /// recorded (or all threads did zero work).
+    pub fn jain_index(&self) -> f64 {
+        let n = self.per_thread_ops.len();
+        if n == 0 {
+            return 1.0;
+        }
+        let sum: f64 = self.per_thread_ops.iter().map(|&x| x as f64).sum();
+        let sum_sq: f64 = self
+            .per_thread_ops
+            .iter()
+            .map(|&x| (x as f64) * (x as f64))
+            .sum();
+        if sum_sq == 0.0 {
+            return 1.0;
+        }
+        (sum * sum) / (n as f64 * sum_sq)
+    }
+
+    /// CSV row: `name,threads,range,update%,alpha,mops,stddev,maxmin,jain`.
     pub fn csv_row(&self) -> String {
         format!(
-            "{},{},{},{},{},{:.4},{:.4}",
+            "{},{},{},{},{},{:.4},{:.4},{:.4},{:.4}",
             self.name,
             self.config.threads,
             self.config.key_range,
             self.config.update_percent,
             self.config.zipf_alpha,
             self.mops_mean,
-            self.mops_stddev
+            self.mops_stddev,
+            self.max_min_ratio(),
+            self.jain_index()
         )
     }
 
     /// CSV header matching [`Measurement::csv_row`].
     pub fn csv_header() -> &'static str {
-        "structure,threads,key_range,update_percent,zipf_alpha,mops,stddev"
+        "structure,threads,key_range,update_percent,zipf_alpha,mops,stddev,max_min_ratio,jain"
     }
 }
 
@@ -133,24 +177,24 @@ fn prefill<V: Value, M: Map<u64, V> + ?Sized>(
     });
 }
 
-/// One timed run; returns total completed operations. `rmw` selects the
-/// update-heavy mix: the `update_percent` fraction goes through native
-/// `Map::update` (an in-place read-modify-write on every registry
-/// structure) instead of the insert/remove split.
+/// One timed run; returns completed operations **per worker thread**
+/// (sum for the total). `rmw` selects the update-heavy mix: the
+/// `update_percent` fraction goes through native `Map::update` (an
+/// in-place read-modify-write on every registry structure) instead of the
+/// insert/remove split.
 fn timed_run<V: Value, M: Map<u64, V> + ?Sized>(
     map: &M,
     cfg: &Config,
     run_idx: usize,
     vf: &(impl Fn(u64) -> V + Sync),
     rmw: bool,
-) -> u64 {
+) -> Vec<u64> {
     let stop = AtomicBool::new(false);
-    let total = AtomicU64::new(0);
+    let counts: Vec<AtomicU64> = (0..cfg.threads).map(|_| AtomicU64::new(0)).collect();
     let zipf = Zipfian::new(cfg.key_range, cfg.zipf_alpha);
     std::thread::scope(|s| {
-        for t in 0..cfg.threads {
+        for (t, slot) in counts.iter().enumerate() {
             let stop = &stop;
-            let total = &total;
             let zipf = &zipf;
             let map = &*map;
             let vf = &vf;
@@ -190,14 +234,14 @@ fn timed_run<V: Value, M: Map<u64, V> + ?Sized>(
                     }
                     ops += 1;
                 }
-                total.fetch_add(ops, Ordering::Relaxed);
+                slot.store(ops, Ordering::Relaxed);
             });
         }
         // Timer thread: let the workers run, then stop them.
         std::thread::sleep(cfg.run_duration);
         stop.store(true, Ordering::SeqCst);
     });
-    total.load(Ordering::Relaxed)
+    counts.into_iter().map(|c| c.into_inner()).collect()
 }
 
 /// Run the full experiment protocol on `map`: prefill, one warm-up run,
@@ -247,10 +291,15 @@ fn run_protocol<V: Value, M: Map<u64, V> + ?Sized>(
     let _ = timed_run(map, cfg, 0, &vf, rmw);
     let mut mops = Vec::with_capacity(cfg.repeats);
     let mut total_ops = 0u64;
+    let mut per_thread_ops = vec![0u64; cfg.threads];
     for r in 0..cfg.repeats {
         let t0 = Instant::now();
-        let ops = timed_run(map, cfg, r + 1, &vf, rmw);
+        let counts = timed_run(map, cfg, r + 1, &vf, rmw);
         let secs = t0.elapsed().as_secs_f64();
+        let ops: u64 = counts.iter().sum();
+        for (acc, c) in per_thread_ops.iter_mut().zip(&counts) {
+            *acc += c;
+        }
         total_ops += ops;
         mops.push(ops as f64 / secs / 1e6);
     }
@@ -265,6 +314,7 @@ fn run_protocol<V: Value, M: Map<u64, V> + ?Sized>(
         mops_mean: mean,
         mops_stddev: var.sqrt(),
         total_ops,
+        per_thread_ops,
         config: cfg.clone(),
     }
 }
